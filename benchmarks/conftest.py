@@ -1,0 +1,24 @@
+"""Benchmark-harness helpers.
+
+Every benchmark regenerates one of the paper's tables or figures at full
+resolution and prints it (run with ``pytest benchmarks/ --benchmark-only
+-s`` to see the artefacts).  Heavy experiments use a single pedantic
+round — the artefact, not the nanoseconds, is the point; the timing is a
+by-product documenting the cost of each reproduction.
+"""
+
+from __future__ import annotations
+
+
+def run_and_report(benchmark, runner, rounds: int = 1):
+    """Benchmark ``runner`` once and print its rendered result."""
+    result = benchmark.pedantic(runner, rounds=rounds, iterations=1)
+    print()
+    print(result.render())
+    return result
+
+
+def assert_no_unexpected(result):
+    """Every finding must confirm the paper (no 'UNEXPECTED' markers)."""
+    for finding in result.findings:
+        assert "UNEXPECTED" not in finding, finding

@@ -1,0 +1,186 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out.
+
+Each ablation switches one modelling ingredient off and measures what the
+paper's conclusions would have looked like without it — quantifying why
+the ingredient is in the model.
+"""
+
+import itertools
+
+import pytest
+
+from repro import units
+from repro.cache.assignment import Assignment, COMPONENT_NAMES, knobs
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import CacheConfig
+from repro.optimize.schemes import Scheme
+from repro.optimize.single_cache import (
+    component_tables,
+    minimize_leakage,
+)
+from repro.optimize.space import DesignSpace, default_space
+from repro.technology.bptm import bptm65
+from repro.technology.scaling import ToxScalingRule
+
+
+def sixteen_k():
+    return CacheConfig(
+        size_bytes=16 * 1024, block_bytes=32, associativity=2, name="L1"
+    )
+
+
+class TestGateLeakageAblation:
+    """Without gate tunnelling (the pre-2005 literature mode), thick
+    oxide loses its leakage reward and the optimiser's Tox choice
+    collapses — the paper's core 'total leakage' motivation."""
+
+    def test_bench_optimal_tox_shifts(self, benchmark):
+        def ablation():
+            space = default_space()
+            chosen = {}
+            for gate_enabled in (True, False):
+                model = CacheModel(sixteen_k(), gate_enabled=gate_enabled)
+                result = minimize_leakage(
+                    model, Scheme.UNIFORM, units.ps(1400), space=space
+                )
+                chosen[gate_enabled] = result.assignment.array
+            return chosen
+
+        chosen = benchmark.pedantic(ablation, rounds=1, iterations=1)
+        with_gate, without_gate = chosen[True], chosen[False]
+        print(
+            f"\nE-abl gate: optimal uniform knobs with gate leakage "
+            f"{with_gate.label()}, without {without_gate.label()}"
+        )
+        # With gate leakage modelled, the optimiser pays delay for thick
+        # oxide; without it there is little reason to.
+        assert with_gate.tox >= without_gate.tox
+
+    def test_bench_leakage_underestimate(self, benchmark):
+        """Ignoring gate leakage underestimates total leakage massively
+        at the thin-oxide/high-Vth corner."""
+
+        def ratio():
+            full = CacheModel(sixteen_k())
+            sub_only = CacheModel(sixteen_k(), gate_enabled=False)
+            point = knobs(0.5, 10)
+            return (
+                full.uniform(point).leakage_power
+                / sub_only.uniform(point).leakage_power
+            )
+
+        value = benchmark.pedantic(ratio, rounds=1, iterations=1)
+        print(f"\nE-abl gate: thin-oxide corner underestimated {value:.0f}x")
+        assert value > 10
+
+
+class TestStackEffectAblation:
+    def test_bench_decoder_leakage_delta(self, benchmark):
+        def delta():
+            with_stack = CacheModel(sixteen_k(), stack_enabled=True)
+            without = CacheModel(sixteen_k(), stack_enabled=False)
+            point = knobs(0.25, 12)
+            a = with_stack.components["decoder"].leakage_power(
+                point.vth, point.tox
+            )
+            b = without.components["decoder"].leakage_power(
+                point.vth, point.tox
+            )
+            return (b - a) / a
+
+        value = benchmark.pedantic(delta, rounds=1, iterations=1)
+        print(f"\nE-abl stack: decoder leakage +{100 * value:.1f}% without")
+        assert value > 0
+
+
+class TestToxCouplingAblation:
+    """Section 2's Tox -> channel-length/cell-area coupling: without it,
+    thick oxide is much cheaper in delay, overstating Tox as a knob."""
+
+    def test_bench_delay_ratio_vs_exponent(self, benchmark):
+        def ratios():
+            out = {}
+            for exponent in (0.0, 0.6, 1.0):
+                technology = bptm65()
+                rule = ToxScalingRule(
+                    technology=technology, length_exponent=exponent
+                )
+                model = CacheModel(
+                    sixteen_k(), technology=technology, rule=rule
+                )
+                thin = model.uniform(knobs(0.3, 10)).access_time
+                thick = model.uniform(knobs(0.3, 14)).access_time
+                out[exponent] = thick / thin
+            return out
+
+        values = benchmark.pedantic(ratios, rounds=1, iterations=1)
+        print(
+            "\nE-abl coupling: Tox 10->14 A delay ratio by exponent: "
+            + ", ".join(f"{k}: {v:.2f}x" for k, v in values.items())
+        )
+        assert values[0.0] < values[0.6] < values[1.0]
+
+
+class TestGridResolutionAblation:
+    """The paper discretises 'with small step size'; quantify what a
+    coarse grid costs the optimum."""
+
+    def test_bench_step_size_sensitivity(self, benchmark):
+        def optima():
+            model = CacheModel(sixteen_k())
+            out = {}
+            for label, space in (
+                ("fine", default_space()),
+                ("coarse", default_space(vth_step=0.1, tox_step=2.0)),
+            ):
+                result = minimize_leakage(
+                    model,
+                    Scheme.CELL_VS_PERIPHERY,
+                    units.ps(1300),
+                    space=space,
+                )
+                out[label] = result.leakage_power
+            return out
+
+        values = benchmark.pedantic(optima, rounds=1, iterations=1)
+        penalty = values["coarse"] / values["fine"] - 1.0
+        print(f"\nE-abl grid: coarse grid costs +{100 * penalty:.1f}% leakage")
+        assert values["coarse"] >= values["fine"] * (1 - 1e-9)
+        assert penalty < 1.0  # coarse is worse but not catastrophic
+
+
+class TestPruningExactness:
+    """Scheme I's Pareto pruning must be exact, not heuristic — verified
+    against explicit enumeration on a grid small enough to brute-force."""
+
+    def test_bench_pruned_equals_exhaustive(self, benchmark):
+        space = DesignSpace(
+            vth_values=(0.2, 0.35, 0.5),
+            tox_values_angstrom=(10.0, 12.0, 14.0),
+        )
+        model = CacheModel(
+            CacheConfig(size_bytes=4 * 1024, block_bytes=32, associativity=2)
+        )
+        constraint = units.ps(1500)
+
+        def pruned():
+            return minimize_leakage(
+                model, Scheme.PER_COMPONENT, constraint, space=space
+            ).leakage_power
+
+        fast_value = benchmark.pedantic(pruned, rounds=1, iterations=1)
+
+        best = None
+        for combo in itertools.product(space.point_list(), repeat=4):
+            assignment = Assignment.from_mapping(
+                dict(zip(COMPONENT_NAMES, combo))
+            )
+            evaluation = model.evaluate(assignment)
+            if evaluation.access_time <= constraint:
+                if best is None or evaluation.leakage_power < best:
+                    best = evaluation.leakage_power
+        print(
+            f"\nE-abl pruning: pruned={units.to_mw(fast_value):.4f} mW, "
+            f"exhaustive={units.to_mw(best):.4f} mW"
+        )
+        assert fast_value == pytest.approx(best)

@@ -1,0 +1,100 @@
+"""E9 (extension) — process-corner robustness of the optimised design.
+
+The paper signs off at the typical corner.  This bench re-evaluates the
+Section 4 Scheme II optimum across the standard five corners: leakage is
+notoriously corner-sensitive (fast-hot silicon leaks an order of
+magnitude more), so a leakage budget set at tt can be blown at ff/125 C —
+the case for corner-aware knob assignment as future work.
+"""
+
+from repro import units
+from repro.cache.assignment import Assignment
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import CacheConfig
+from repro.experiments.report import format_table
+from repro.optimize.schemes import Scheme
+from repro.optimize.single_cache import minimize_leakage
+from repro.technology.bptm import bptm65
+from repro.technology.corners import STANDARD_CORNERS, CornerName, apply_corner
+from repro.technology.scaling import ToxScalingRule
+
+
+def test_bench_e9_corners(benchmark):
+    def sweep():
+        nominal = bptm65()
+        model = CacheModel(
+            CacheConfig(
+                size_bytes=16 * 1024, block_bytes=32, associativity=2,
+                name="L1",
+            ),
+            technology=nominal,
+        )
+        optimum = minimize_leakage(
+            model, Scheme.CELL_VS_PERIPHERY, units.ps(1300)
+        )
+        rows = []
+        leakage_by_corner = {}
+        for corner_name, corner in STANDARD_CORNERS.items():
+            technology = apply_corner(nominal, corner)
+            corner_model = CacheModel(
+                model.config,
+                technology=technology,
+                rule=ToxScalingRule(technology=technology),
+                organization=model.organization,
+            )
+            evaluation = corner_model.evaluate(optimum.assignment)
+            leakage_by_corner[corner_name] = evaluation.leakage_power
+            rows.append(
+                [
+                    corner.name,
+                    f"{corner.temperature:.0f}",
+                    f"{units.to_ps(evaluation.access_time):.0f}",
+                    f"{units.to_mw(evaluation.leakage_power):.4f}",
+                ]
+            )
+        table = format_table(
+            ["corner", "T (K)", "access (ps)", "leakage (mW)"], rows
+        )
+        return table, leakage_by_corner
+
+    table, leakage = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== E9: Scheme II optimum across process corners ===\n")
+    print(table)
+
+    typical = leakage[CornerName.TYPICAL]
+    fast_hot = leakage[CornerName.FAST_HOT]
+    slow_cold = leakage[CornerName.SLOW_COLD]
+    # Fast-hot silicon blows the typical budget — but only ~2x, because
+    # the optimum is *gate-tunnelling floored* and tunnelling is nearly
+    # temperature-insensitive.  A subthreshold-dominated design is far
+    # more corner-sensitive (checked below): total-leakage optimisation
+    # buys corner robustness for free.
+    assert 1.5 * typical < fast_hot < 20 * typical
+    assert slow_cold < typical
+
+    nominal = bptm65()
+    from repro.cache.assignment import knobs
+
+    low_vth = Assignment.uniform(knobs(0.2, 14))  # subthreshold-dominated
+    hot_technology = apply_corner(
+        nominal, STANDARD_CORNERS[CornerName.FAST_HOT]
+    )
+    config = CacheConfig(
+        size_bytes=16 * 1024, block_bytes=32, associativity=2, name="L1"
+    )
+    base_model = CacheModel(config, technology=nominal)
+    hot_model = CacheModel(
+        config,
+        technology=hot_technology,
+        rule=ToxScalingRule(technology=hot_technology),
+        organization=base_model.organization,
+    )
+    sub_ratio = hot_model.leakage_power(low_vth) / base_model.leakage_power(
+        low_vth
+    )
+    optimum_ratio = fast_hot / typical
+    print(
+        f"fast-hot blow-up: optimised (gate-floored) {optimum_ratio:.1f}x "
+        f"vs subthreshold-dominated {sub_ratio:.1f}x"
+    )
+    assert sub_ratio > optimum_ratio

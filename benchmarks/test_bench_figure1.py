@@ -1,0 +1,19 @@
+"""E2 — Figure 1 at full grid resolution.
+
+Regenerates the four leakage-vs-access-time curves of the paper's
+Figure 1 (16 KB cache; Tox fixed at 10/14 Å, Vth fixed at 0.2/0.4 V) and
+checks the three findings the paper reads off the figure.
+"""
+
+from benchmarks.conftest import assert_no_unexpected, run_and_report
+from repro.experiments.figure1 import run_figure1
+
+
+def test_bench_e2_figure1(benchmark):
+    result = run_and_report(benchmark, run_figure1, rounds=3)
+    assert_no_unexpected(result)
+    # Axis ranges should land on the paper's Figure 1 axes:
+    # access times within ~500-2600 ps, leakage up to tens of mW.
+    for xs, ys in result.series.values():
+        assert min(xs) > 400 and max(xs) < 2600
+        assert max(ys) < 100

@@ -1,0 +1,22 @@
+"""E6 — Figure 2: the (Tox, Vth) tuple problem.
+
+Regenerates the five total-energy-vs-AMAT Pareto curves of Figure 2 and
+checks the paper's orderings.  Uses the trimmed (5 Vth x 3 Tox) grid by
+default — the full coarse-grid enumeration is exact but takes minutes;
+set ``REPRO_FULL_FIGURE2=1`` in the environment to run it.
+"""
+
+import os
+
+from benchmarks.conftest import assert_no_unexpected, run_and_report
+from repro.experiments.figure2 import run_figure2
+
+
+def test_bench_e6_figure2(benchmark):
+    full = os.environ.get("REPRO_FULL_FIGURE2") == "1"
+    result = run_and_report(benchmark, lambda: run_figure2(fast=not full))
+    assert_no_unexpected(result)
+    assert len(result.series) == 5
+    # Every curve overlaps the paper's 1300-2100 ps AMAT window.
+    for xs, _ in result.series.values():
+        assert xs[0] < 2100 and xs[-1] > 1300

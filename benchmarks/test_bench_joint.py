@@ -1,0 +1,73 @@
+"""Extension bench: joint capacity + knob optimisation.
+
+Closes the loop Section 5 stops short of: search (L1 size) x (L2 size) x
+(Scheme II knobs for both caches) jointly under an AMAT budget, for both
+objectives.  The Section 5 conclusions must *emerge* from the joint
+search rather than being imposed: a small L1, a mid-sized L2, and
+conservative arrays with aggressive peripheries.
+"""
+
+from repro import units
+from repro.archsim.missmodel import blended_miss_model
+from repro.experiments.report import format_table
+from repro.optimize.joint import (
+    OBJECTIVE_ENERGY,
+    OBJECTIVE_LEAKAGE,
+    optimize_memory_system,
+)
+
+
+def test_bench_joint_optimization(benchmark):
+    def solve():
+        miss_model = blended_miss_model()
+        designs = {}
+        for objective in (OBJECTIVE_LEAKAGE, OBJECTIVE_ENERGY):
+            designs[objective] = optimize_memory_system(
+                miss_model,
+                amat_budget=units.ps(2800),
+                l1_sizes_kb=(4, 8, 16, 32),
+                l2_sizes_kb=(256, 512, 1024, 2048),
+                objective=objective,
+            )
+        return designs
+
+    designs = benchmark.pedantic(solve, rounds=1, iterations=1)
+    rows = []
+    for objective, design in designs.items():
+        rows.append(
+            [
+                objective,
+                f"{design.l1_size_kb}K",
+                f"{design.l2_size_kb}K",
+                f"{units.to_ps(design.amat):.0f}",
+                f"{units.to_mw(design.total_leakage):.3f}",
+                f"{units.to_pj(design.total_energy):.1f}",
+            ]
+        )
+    print("\n=== joint (L1, L2, knobs) optimisation, blended workload ===\n")
+    print(
+        format_table(
+            ["objective", "L1", "L2", "AMAT (ps)", "leakage (mW)",
+             "energy (pJ/ref)"],
+            rows,
+        )
+    )
+    for design in designs.values():
+        print(f"{design.describe()}")
+        print("  L1:"); print(design.l1_assignment.describe())
+        print("  L2:"); print(design.l2_assignment.describe())
+
+    leakage_design = designs[OBJECTIVE_LEAKAGE]
+    # Section 5's conclusions emerge: small L1 wins.
+    assert leakage_design.l1_size_kb <= 8
+    # Arrays conservative relative to periphery in both caches.
+    for assignment in (
+        leakage_design.l1_assignment,
+        leakage_design.l2_assignment,
+    ):
+        assert assignment.array.vth >= assignment["decoder"].vth
+    # Energy objective never loses on energy.
+    assert (
+        designs[OBJECTIVE_ENERGY].total_energy
+        <= leakage_design.total_energy * (1 + 1e-9)
+    )

@@ -1,0 +1,20 @@
+"""E5 — Section 5 L1-size exploration.
+
+Regenerates the L1 experiment: local miss rates are flat from 4 K to
+64 K, so the smallest L1 minimises total leakage.
+"""
+
+import pytest
+
+from benchmarks.conftest import assert_no_unexpected, run_and_report
+from repro.experiments.l1_exploration import run_l1_exploration
+
+
+@pytest.mark.parametrize("workload", ["spec2000", "specweb"])
+def test_bench_e5_l1_exploration(benchmark, workload):
+    result = run_and_report(
+        benchmark, lambda: run_l1_exploration(workload=workload)
+    )
+    assert_no_unexpected(result)
+    xs, ys = result.series["total leakage vs L1 size"]
+    assert ys[0] == min(ys)

@@ -1,0 +1,25 @@
+"""E3 — Section 5 L2-size exploration (single pair per L2).
+
+Regenerates the first Section 5 experiment for all three workload
+stand-ins: at a tight iso-AMAT budget, bigger L2s buy conservative knobs
+with their miss-rate headroom, but the largest capacities lose to their
+own cell count (interior optimum).
+"""
+
+import pytest
+
+from benchmarks.conftest import assert_no_unexpected, run_and_report
+from repro.experiments.l2_exploration import run_l2_exploration
+
+
+@pytest.mark.parametrize("workload", ["spec2000", "specweb", "tpcc"])
+def test_bench_e3_l2_exploration(benchmark, workload):
+    result = run_and_report(
+        benchmark, lambda: run_l2_exploration(workload=workload, split=False)
+    )
+    assert_no_unexpected(result)
+    xs, ys = result.series["L2 leakage vs size"]
+    assert xs, "at least one feasible capacity expected"
+    # The optimum is never the largest swept capacity.
+    best_size = xs[ys.index(min(ys))]
+    assert best_size < 4096

@@ -1,0 +1,24 @@
+"""E4 — Section 5 L2 exploration with split core/periphery pairs.
+
+Regenerates the second Section 5 experiment: once the L2 cell array and
+its periphery get independent (Vth, Tox) pairs, every capacity parks its
+array at the conservative corner, speed is bought back in the periphery,
+and the smallest L2 wins — the abstract's headline result.
+"""
+
+import pytest
+
+from benchmarks.conftest import assert_no_unexpected, run_and_report
+from repro.experiments.l2_exploration import run_l2_exploration
+
+
+@pytest.mark.parametrize("workload", ["spec2000", "tpcc"])
+def test_bench_e4_l2_split(benchmark, workload):
+    result = run_and_report(
+        benchmark, lambda: run_l2_exploration(workload=workload, split=True)
+    )
+    assert_no_unexpected(result)
+    xs, ys = result.series["L2 leakage vs size"]
+    # Smallest feasible capacity wins, and leakage rises with size.
+    assert ys[0] == min(ys)
+    assert ys == sorted(ys)

@@ -1,0 +1,77 @@
+"""Extension bench: Figure 2's orderings vs main-memory latency.
+
+The tuple-problem conclusions depend on how much AMAT leverage the L2's
+miss rate has, which scales with the memory latency.  This bench re-runs
+the two headline comparisons at 10 / 20 / 40 ns main memory and checks
+they are not artifacts of the 20 ns default:
+
+* dual Tox + dual Vth stays within a few percent of 2 Tox + 3 Vth;
+* 1 Tox + 2 Vth beats 2 Tox + 1 Vth at relaxed AMAT.
+"""
+
+from repro import units
+from repro.archsim.missmodel import calibrated_miss_model
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import l1_config, l2_config
+from repro.energy.dynamic import MainMemoryModel
+from repro.experiments.figure2 import fast_space
+from repro.experiments.report import format_table
+from repro.optimize.tuple_problem import TupleBudget, solve_tuple_problem
+
+BUDGETS = (
+    TupleBudget(2, 2),
+    TupleBudget(2, 3),
+    TupleBudget(2, 1),
+    TupleBudget(1, 2),
+)
+
+
+def test_bench_memory_latency_sensitivity(benchmark):
+    def sweep():
+        miss_model = calibrated_miss_model("spec2000")
+        l1 = CacheModel(l1_config(16))
+        l2 = CacheModel(l2_config(1024))
+        out = {}
+        for latency_ns in (10.0, 20.0, 40.0):
+            memory = MainMemoryModel(latency=latency_ns * 1e-9)
+            curves = solve_tuple_problem(
+                l1,
+                l2,
+                miss_model,
+                budgets=BUDGETS,
+                space=fast_space(),
+                memory=memory,
+            )
+            relaxed = max(curve.amats[-1] for curve in curves.values())
+            out[latency_ns] = {
+                budget: curve.energy_at(relaxed)
+                for budget, curve in curves.items()
+            }
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for latency_ns, energies in sorted(results.items()):
+        rows.append(
+            [f"{latency_ns:.0f}"]
+            + [
+                f"{units.to_pj(energies[budget]):.1f}"
+                for budget in BUDGETS
+            ]
+        )
+    print("\n=== Figure 2 orderings vs main-memory latency ===\n")
+    print(
+        format_table(
+            ["t_mem (ns)"] + [budget.label for budget in BUDGETS], rows
+        )
+    )
+    for latency_ns, energies in results.items():
+        # Dual/dual within 5 % of 2T+3V at every latency.
+        gap = (
+            energies[TupleBudget(2, 2)] / energies[TupleBudget(2, 3)] - 1.0
+        )
+        assert gap < 0.05, f"dual/dual gap {gap:.2%} at {latency_ns} ns"
+        # Vth remains the better second knob at every latency.
+        assert (
+            energies[TupleBudget(1, 2)] < energies[TupleBudget(2, 1)]
+        ), f"Vth-vs-Tox ordering flipped at {latency_ns} ns"

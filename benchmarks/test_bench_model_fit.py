@@ -1,0 +1,17 @@
+"""E7 — Section 3 model-fit quality at full grid resolution.
+
+Regenerates the implicit validity table behind Section 3: the double-
+exponential leakage form and the linear/weak-exponential delay form must
+explain every cache component over the whole design grid.
+"""
+
+from benchmarks.conftest import assert_no_unexpected, run_and_report
+from repro.experiments.model_fit import run_model_fit
+
+
+def test_bench_e7_model_fit(benchmark):
+    result = run_and_report(benchmark, run_model_fit, rounds=2)
+    assert_no_unexpected(result)
+    # Every component's leakage fit explains >= 98 % of variance.
+    for row in result.rows:
+        assert float(row[1]) >= 0.98

@@ -1,0 +1,15 @@
+"""E1 — Section 4 scheme comparison at full grid resolution.
+
+Regenerates the paper's in-text result: leakage of the 16 KB cache under
+Schemes I / II / III across a sweep of delay constraints, on the full
+25 mV / 0.5 Å design grid.
+"""
+
+from benchmarks.conftest import assert_no_unexpected, run_and_report
+from repro.experiments.scheme_comparison import run_scheme_comparison
+
+
+def test_bench_e1_scheme_comparison(benchmark):
+    result = run_and_report(benchmark, run_scheme_comparison)
+    assert_no_unexpected(result)
+    assert len(result.rows) == 6

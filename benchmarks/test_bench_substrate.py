@@ -1,0 +1,71 @@
+"""Substrate micro-benchmarks: the costs behind every experiment.
+
+These are conventional timing benchmarks (many rounds) for the three hot
+paths: whole-cache evaluation, trace simulation, and form fitting.
+"""
+
+import itertools
+
+from repro.archsim.hierarchy import TwoLevelHierarchy
+from repro.archsim.workloads import SPEC2000_LIKE, synthetic_trace
+from repro.cache.assignment import knobs
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import CacheConfig, l1_config, l2_config
+from repro.models.analytical import fit_cache_model
+
+
+def test_bench_cache_evaluation_cold(benchmark):
+    """One cold whole-cache evaluation (all four components)."""
+    counter = itertools.count()
+    # Distinct Vth values *inside the design box* (a long benchmark run
+    # must never walk the threshold past the supply).
+    vths = [0.2 + 0.3 * ((i * 7919) % 10_000) / 10_000 for i in range(10_000)]
+
+    def evaluate():
+        # A fresh Vth each round defeats the component memoisation so the
+        # bench measures real model work.
+        model = evaluate.model
+        return model.uniform(knobs(vths[next(counter) % len(vths)], 12))
+
+    evaluate.model = CacheModel(
+        CacheConfig(size_bytes=16 * 1024, block_bytes=32, associativity=2)
+    )
+    result = benchmark(evaluate)
+    assert result.access_time > 0
+
+
+def test_bench_cache_evaluation_memoized(benchmark):
+    """Repeated evaluation at a seen point (the optimiser's common case)."""
+    model = CacheModel(
+        CacheConfig(size_bytes=16 * 1024, block_bytes=32, associativity=2)
+    )
+    point = knobs(0.3, 12)
+    model.uniform(point)  # warm the memo
+
+    result = benchmark(lambda: model.uniform(point))
+    assert result.leakage_power > 0
+
+
+def test_bench_simulator_throughput(benchmark):
+    """Trace-driven simulation of 20k references through L1+L2."""
+
+    def simulate():
+        hierarchy = TwoLevelHierarchy(l1_config(16), l2_config(512))
+        return hierarchy.run(
+            synthetic_trace(SPEC2000_LIKE, 20_000, seed=1)
+        )
+
+    result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    assert result.l1.accesses == 20_000
+
+
+def test_bench_model_fitting(benchmark):
+    """Full Section 3 characterisation + fit of a 16 KB cache."""
+    model = CacheModel(
+        CacheConfig(size_bytes=16 * 1024, block_bytes=32, associativity=2)
+    )
+
+    fitted = benchmark.pedantic(
+        lambda: fit_cache_model(model), rounds=2, iterations=1
+    )
+    assert fitted.worst_fit_r_squared() > 0.97

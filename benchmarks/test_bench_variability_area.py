@@ -1,0 +1,86 @@
+"""Extension benches: variability impact and the area price of thick Tox.
+
+* **Variability** — within-die Vth spread makes the cell *population*
+  leak more than the nominal cell (lognormal mean).  The bench quantifies
+  the understatement and confirms the paper's orderings are
+  variability-invariant (the multiplier cancels in any same-sigma
+  comparison).
+* **Area** — Section 2 notes that Tox scaling grows the cell in both
+  dimensions.  The bench prices the paper's "set Tox conservatively
+  thick" advice in silicon area.
+"""
+
+from repro import units
+from repro.cache.assignment import knobs
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import CacheConfig
+from repro.devices.variability import (
+    leakage_variability_multiplier,
+    vth_sigma,
+)
+from repro.experiments.report import format_table
+
+
+def sixteen_k():
+    return CacheConfig(
+        size_bytes=16 * 1024, block_bytes=32, associativity=2, name="L1"
+    )
+
+
+def test_bench_variability_understatement(benchmark):
+    def quantify():
+        model = CacheModel(sixteen_k())
+        technology = model.technology
+        sigma = vth_sigma(
+            technology, 1.3 * technology.wmin, technology.lgate_drawn
+        )
+        multiplier = leakage_variability_multiplier(technology, sigma)
+        nominal_sub = model.components["array"].cell.standby_leakage_current(
+            0.35, technology.tox_ref, gate_enabled=False
+        )
+        population_sub = nominal_sub * multiplier
+        return sigma, multiplier, nominal_sub, population_sub
+
+    sigma, multiplier, nominal, population = benchmark.pedantic(
+        quantify, rounds=1, iterations=1
+    )
+    print(
+        f"\nE-abl variability: sigma_Vth={1000 * sigma:.0f} mV, population "
+        f"subthreshold leakage = {multiplier:.2f}x nominal"
+    )
+    # A 65 nm access-device population should leak tens of percent more.
+    assert 1.1 < multiplier < 5.0
+    assert population > nominal
+
+
+def test_bench_area_cost_of_thick_tox(benchmark):
+    def price():
+        model = CacheModel(sixteen_k())
+        rows = []
+        base_area = model.area(units.angstrom(10))
+        for tox_a in (10, 11, 12, 13, 14):
+            area = model.area(units.angstrom(tox_a))
+            leakage = model.uniform(knobs(0.35, tox_a)).leakage_power
+            rows.append(
+                [
+                    f"{tox_a}",
+                    f"{area * 1e6:.4f}",
+                    f"{100 * (area / base_area - 1):.1f}%",
+                    f"{units.to_mw(leakage):.3f}",
+                ]
+            )
+        return rows, base_area, model.area(units.angstrom(14))
+
+    rows, thin_area, thick_area = benchmark.pedantic(
+        price, rounds=1, iterations=1
+    )
+    print("\n=== E-abl: the area price of conservative Tox ===\n")
+    print(
+        format_table(
+            ["Tox (A)", "array area (mm^2)", "vs 10 A", "leakage (mW)"],
+            rows,
+        )
+    )
+    growth = thick_area / thin_area
+    # Sub-linear coupling (exponent 0.6): 14/10 -> (1.4^0.6)^2 = ~1.5x.
+    assert 1.2 < growth < 2.2

@@ -1,0 +1,86 @@
+"""Scenario: an embedded SoC team picks L1 process knobs against a budget.
+
+A battery-powered SoC has a hard standby-leakage budget for its 32 KB L1
+and a cycle-time target it must meet.  This example sweeps the cycle-time
+target and reports, for each of the paper's three schemes, the least
+leakage achievable — the trade-off table a design review would look at —
+then shows how much of the budget each scheme's optimum leaves.
+
+Run:  python examples/embedded_l1_budget.py
+"""
+
+from repro import CacheConfig, CacheModel, Scheme, minimize_leakage
+from repro.errors import InfeasibleConstraintError
+from repro.experiments.report import format_table
+from repro.optimize.single_cache import component_tables
+from repro.units import mw, ps, to_mw, to_ps
+
+#: The SoC's standby budget for the L1 (leakage only).
+LEAKAGE_BUDGET = mw(1.0)
+
+CYCLE_TARGETS_PS = (800, 1000, 1200, 1500, 1900)
+
+
+def main() -> None:
+    model = CacheModel(
+        CacheConfig(
+            size_bytes=32 * 1024,
+            block_bytes=32,
+            associativity=4,
+            name="soc-l1",
+        )
+    )
+    print(model.describe())
+    tables = component_tables(model)
+
+    rows = []
+    for target_ps in CYCLE_TARGETS_PS:
+        row = [f"{target_ps}"]
+        for scheme in (
+            Scheme.PER_COMPONENT,
+            Scheme.CELL_VS_PERIPHERY,
+            Scheme.UNIFORM,
+        ):
+            try:
+                result = minimize_leakage(
+                    model, scheme, ps(target_ps), tables=tables
+                )
+                meets = "*" if result.leakage_power <= LEAKAGE_BUDGET else " "
+                row.append(f"{to_mw(result.leakage_power):.4f}{meets}")
+            except InfeasibleConstraintError as error:
+                row.append(
+                    f"inf (min {to_ps(error.best_achievable):.0f} ps)"
+                )
+        rows.append(row)
+
+    print()
+    print(
+        format_table(
+            ["target (ps)", "Scheme I (mW)", "Scheme II (mW)", "Scheme III (mW)"],
+            rows,
+        )
+    )
+    print(f"\n'*' marks optima inside the {to_mw(LEAKAGE_BUDGET):.1f} mW budget.")
+
+    # Show the knob choices at the tightest target Scheme II can meet
+    # within budget.
+    for target_ps in CYCLE_TARGETS_PS:
+        try:
+            result = minimize_leakage(
+                model, Scheme.CELL_VS_PERIPHERY, ps(target_ps), tables=tables
+            )
+        except InfeasibleConstraintError:
+            continue
+        if result.leakage_power <= LEAKAGE_BUDGET:
+            print(
+                f"\ntightest in-budget Scheme II target: {target_ps} ps "
+                f"({to_mw(result.leakage_power):.4f} mW)"
+            )
+            print(result.assignment.describe())
+            break
+    else:
+        print("\nno target meets the leakage budget under Scheme II")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Scenario: process knobs vs runtime leakage-reduction techniques.
+
+The paper's knob assignment is a *design-time* lever; the prior work it
+cites ([1-7]) uses *runtime* mechanisms (drowsy retention, gated-Vdd
+decay, reverse body bias).  This example compares all of them on one
+16 KB cache, then shows they compose: a drowsy cache built on optimised
+knobs beats either alone.
+
+Run:  python examples/leakage_techniques.py
+"""
+
+from repro import CacheConfig, CacheModel, Scheme, minimize_leakage
+from repro.cache.assignment import Assignment, knobs
+from repro.experiments.report import format_table
+from repro.techniques import DrowsyCache, GatedVddCache, ReverseBodyBias
+from repro.techniques.base import NoTechnique
+from repro.units import ps, to_mw, to_ps
+
+
+def main() -> None:
+    model = CacheModel(
+        CacheConfig(
+            size_bytes=16 * 1024, block_bytes=32, associativity=2, name="L1"
+        )
+    )
+    mid_grid = Assignment.uniform(knobs(0.3, 12))
+    optimised = minimize_leakage(
+        model, Scheme.CELL_VS_PERIPHERY, ps(1300)
+    ).assignment
+
+    cases = [
+        ("mid-grid knobs, no technique", NoTechnique(), mid_grid),
+        ("optimised knobs (this paper)", NoTechnique(), optimised),
+        ("drowsy on mid-grid knobs", DrowsyCache(), mid_grid),
+        ("gated-Vdd on mid-grid knobs", GatedVddCache(), mid_grid),
+        ("RBB on mid-grid knobs", ReverseBodyBias(), mid_grid),
+        ("drowsy + optimised knobs", DrowsyCache(), optimised),
+    ]
+    rows = []
+    for label, technique, assignment in cases:
+        result = technique.evaluate(model, assignment)
+        rows.append(
+            [
+                label,
+                f"{to_mw(result.leakage_power):.4f}",
+                f"{to_ps(result.access_time_penalty):.0f}",
+                f"{result.extra_miss_rate:.3f}",
+                "yes" if result.retains_state else "NO",
+            ]
+        )
+    print(model.config.describe())
+    print()
+    print(
+        format_table(
+            ["configuration", "leakage (mW)", "wake penalty (ps)",
+             "extra misses", "keeps state"],
+            rows,
+        )
+    )
+    print(
+        "\nNote how reverse body bias barely moves the needle when gate "
+        "tunnelling\ndominates — the paper's case for total-leakage-aware "
+        "Tox assignment —\nand how runtime techniques stack on top of "
+        "optimised knobs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: evaluate a cache across process knobs and optimise it.
+
+Builds the paper's 16 KB cache, looks at a few (Vth, Tox) corners, fits
+the Section 3 closed forms, and runs the Section 4 Scheme II optimiser
+under a delay constraint.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CacheModel, CacheConfig, Scheme, knobs, minimize_leakage
+from repro.models import fit_cache_model
+from repro.units import ps, to_mw, to_pj, to_ps
+
+
+def main() -> None:
+    model = CacheModel(
+        CacheConfig(
+            size_bytes=16 * 1024, block_bytes=32, associativity=2, name="L1"
+        )
+    )
+    print(model.describe())
+    print()
+
+    # --- 1. Evaluate a few corners of the design box (uniform knobs).
+    print("corner evaluations (uniform assignment):")
+    for vth, tox_a in [(0.2, 10), (0.2, 14), (0.5, 10), (0.5, 14)]:
+        evaluation = model.uniform(knobs(vth, tox_a))
+        print(
+            f"  Vth={vth:.1f} V, Tox={tox_a} A: "
+            f"access {to_ps(evaluation.access_time):7.0f} ps, "
+            f"leakage {to_mw(evaluation.leakage_power):7.3f} mW, "
+            f"read energy {to_pj(evaluation.dynamic_read_energy):5.1f} pJ"
+        )
+    print()
+
+    # --- 2. Fit the paper's closed forms (Section 3).
+    fitted = fit_cache_model(model)
+    print(
+        "Section 3 fits: worst R^2 over all components/forms = "
+        f"{fitted.worst_fit_r_squared():.4f}"
+    )
+    array_leakage = fitted.components["array"].leakage_form
+    print(
+        f"array leakage form: P = {array_leakage.a0:.2e} "
+        f"+ {array_leakage.a1_coeff:.2e} e^({array_leakage.a1_exp:.1f} Vth) "
+        f"+ {array_leakage.a2_coeff:.2e} e^({array_leakage.a2_exp:.2f} Tox)"
+    )
+    print()
+
+    # --- 3. Optimise under a delay constraint (Section 4, Scheme II).
+    constraint = ps(1100)
+    result = minimize_leakage(model, Scheme.CELL_VS_PERIPHERY, constraint)
+    print(
+        f"Scheme II optimum under T <= {to_ps(constraint):.0f} ps: "
+        f"{to_mw(result.leakage_power):.4f} mW at "
+        f"{to_ps(result.access_time):.0f} ps"
+    )
+    print(result.assignment.describe())
+
+
+if __name__ == "__main__":
+    main()

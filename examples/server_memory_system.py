@@ -1,0 +1,98 @@
+"""Scenario: sizing a server's L2 for an OLTP (TPC-C-like) workload.
+
+A server chip running a memory-bound transaction mix must decide its L2
+capacity and process knobs.  This example walks the paper's Section 5
+methodology end to end on the TPC-C-like miss profile:
+
+1. sweep L2 capacity with a single (Vth, Tox) pair per candidate at an
+   iso-AMAT budget (the paper's first experiment);
+2. repeat with split core/periphery pairs (the second experiment);
+3. evaluate the winning system's total energy per reference, splitting
+   leakage from dynamic energy.
+
+Run:  python examples/server_memory_system.py
+"""
+
+from repro import (
+    CacheModel,
+    MemorySystem,
+    calibrated_miss_model,
+    l1_config,
+    l2_config,
+)
+from repro.experiments.l2_exploration import fastest_achievable_amat
+from repro.experiments.report import format_table
+from repro.optimize.two_level import DEFAULT_L1_KNOBS, explore_l2_sizes
+from repro.cache.assignment import Assignment
+from repro.units import to_mw, to_pj, to_ps
+
+L2_SIZES_KB = (256, 512, 1024, 2048)
+
+
+def sweep(miss_model, budget, split):
+    points = explore_l2_sizes(
+        miss_model, budget, l2_sizes_kb=L2_SIZES_KB, split=split
+    )
+    rows = []
+    for point in points:
+        rows.append(
+            [
+                f"{point.size_kb:.0f}",
+                f"{point.l2_local_miss_rate:.3f}",
+                f"{to_mw(point.varied_leakage):.2f}"
+                if point.feasible
+                else "infeasible",
+            ]
+        )
+    print(
+        format_table(
+            ["L2 (KB)", "local miss rate", "optimal L2 leakage (mW)"], rows
+        )
+    )
+    feasible = [p for p in points if p.feasible]
+    return min(feasible, key=lambda p: p.varied_leakage) if feasible else None
+
+
+def main() -> None:
+    miss_model = calibrated_miss_model("tpcc")
+    fastest = fastest_achievable_amat(miss_model, L2_SIZES_KB)
+    budget = 1.10 * fastest
+    print(
+        f"TPC-C-like profile; iso-AMAT budget {to_ps(budget):.0f} ps "
+        f"(1.10 x fastest achievable)\n"
+    )
+
+    print("-- one (Vth, Tox) pair per L2 --")
+    single = sweep(miss_model, budget, split=False)
+    print()
+    print("-- split core/periphery pairs --")
+    split = sweep(miss_model, budget, split=True)
+    print()
+
+    winner = min(
+        (p for p in (single, split) if p is not None),
+        key=lambda p: p.varied_leakage,
+    )
+    print(
+        f"winning design: {winner.size_kb:.0f} KB L2 at "
+        f"{to_mw(winner.varied_leakage):.2f} mW"
+    )
+    print(winner.assignment.describe())
+
+    # Total per-reference energy of the winning system.
+    l1_model = CacheModel(l1_config(16))
+    l2_model = CacheModel(l2_config(winner.size_kb))
+    system = MemorySystem(l1_model, l2_model, miss_model)
+    evaluation = system.evaluate(
+        Assignment.uniform(DEFAULT_L1_KNOBS), winner.assignment
+    )
+    print(
+        f"\nsystem: AMAT {to_ps(evaluation.amat):.0f} ps, "
+        f"dynamic {to_pj(evaluation.dynamic_energy):.1f} pJ/ref, "
+        f"leakage {to_pj(evaluation.leakage_energy_per_access):.1f} pJ/ref, "
+        f"total {to_pj(evaluation.total_energy):.1f} pJ/ref"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Scenario: characterising the synthetic workload suites by simulation.
+
+Runs the trace-driven two-level simulator on all three synthetic suites
+(the SPEC2000 / SPECWEB / TPC-C stand-ins), printing the locality profile
+the Section 5 optimisers consume: L1 and L2 local miss rates, write-back
+traffic, and the AMAT each suite would see on a reference hierarchy.
+
+This is the live-simulation path — the optimisers normally read the
+pre-calibrated curves in :mod:`repro.archsim.missmodel`; here we measure
+a fresh (shorter) trace and compare against the calibrated table.
+
+Run:  python examples/workload_characterization.py
+"""
+
+from repro.archsim import (
+    STANDARD_WORKLOADS,
+    TwoLevelHierarchy,
+    amat_two_level,
+    calibrated_miss_model,
+    synthetic_trace,
+)
+from repro.cache.config import l1_config, l2_config
+from repro.experiments.report import format_table
+from repro.units import ns, ps, to_ps
+
+N_ACCESSES = 200_000
+L1_HIT_TIME = ps(900)
+L2_HIT_TIME = ps(2200)
+MEMORY_LATENCY = ns(20)
+
+
+def main() -> None:
+    rows = []
+    for name, spec in STANDARD_WORKLOADS.items():
+        hierarchy = TwoLevelHierarchy(
+            l1_config(16), l2_config(1024), policy="lru"
+        )
+        result = hierarchy.run(
+            synthetic_trace(spec, N_ACCESSES, seed=7)
+        )
+        calibrated = calibrated_miss_model(name)
+        amat = amat_two_level(
+            l1_hit_time=L1_HIT_TIME,
+            l1_miss_rate=result.l1_miss_rate,
+            l2_hit_time=L2_HIT_TIME,
+            l2_local_miss_rate=result.l2_local_miss_rate,
+            memory_latency=MEMORY_LATENCY,
+        )
+        rows.append(
+            [
+                name,
+                f"{result.l1_miss_rate:.4f}",
+                f"{calibrated.l1_miss_rate(16 * 1024):.4f}",
+                f"{result.l2_local_miss_rate:.4f}",
+                f"{calibrated.l2_local_miss_rate(1024 * 1024):.4f}",
+                f"{result.l1.writebacks}",
+                f"{result.memory_accesses}",
+                f"{to_ps(amat):.0f}",
+            ]
+        )
+    print(f"{N_ACCESSES} accesses per suite, 16K L1 / 1M L2, LRU\n")
+    print(
+        format_table(
+            [
+                "suite",
+                "m_L1 (sim)",
+                "m_L1 (calib)",
+                "m_L2 (sim)",
+                "m_L2 (calib)",
+                "L1 writebacks",
+                "mem accesses",
+                "AMAT (ps)",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\n(sim values use a short fresh trace; calib values are the "
+        "2M-access tables the optimisers use)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+offline reproduction environment (no ``wheel`` package, no network) can do
+``pip install -e . --no-build-isolation`` through the legacy
+``setup.py develop`` path.
+"""
+
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Power-Performance Trade-Offs in Nanometer-Scale "
+        "Multi-Level Caches Considering Total Leakage' (Bai et al., DATE 2005)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+)

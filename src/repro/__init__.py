@@ -1,0 +1,81 @@
+"""repro — reproduction of Bai et al., "Power-Performance Trade-Offs in
+Nanometer-Scale Multi-Level Caches Considering Total Leakage" (DATE 2005).
+
+The library is layered bottom-up:
+
+* :mod:`repro.technology` — BPTM-style 65 nm node and Tox co-scaling;
+* :mod:`repro.devices` — subthreshold / gate-tunnelling / drive models;
+* :mod:`repro.circuits` — SRAM cell, sense amp, decoder, bus drivers;
+* :mod:`repro.cache` — CACTI-style organisation and the four-component
+  cache model (Section 3's structure);
+* :mod:`repro.models` — the paper's fitted closed forms (Section 3);
+* :mod:`repro.archsim` — trace-driven two-level cache simulation and
+  synthetic SPEC2000/SPECWEB/TPC-C-like workloads (Section 5's inputs);
+* :mod:`repro.energy` — system energy accounting (Figure 2's metric);
+* :mod:`repro.optimize` — the Section 4/5 optimisers;
+* :mod:`repro.experiments` — one runnable experiment per table/figure.
+
+Quick start::
+
+    from repro import CacheModel, CacheConfig, knobs
+
+    model = CacheModel(CacheConfig(size_bytes=16 * 1024, name="L1"))
+    point = model.uniform(knobs(0.35, 12))          # 0.35 V, 12 A
+    print(point.access_time, point.leakage_power)
+"""
+
+from repro.technology.bptm import Technology, bptm65
+from repro.technology.scaling import ToxScalingRule
+from repro.cache.config import CacheConfig, l1_config, l2_config
+from repro.cache.assignment import Assignment, Knobs, knobs, COMPONENT_NAMES
+from repro.cache.cache_model import CacheModel, CacheEvaluation
+from repro.models.analytical import FittedCacheModel, fit_cache_model
+from repro.archsim.missmodel import MissRateModel, calibrated_miss_model
+from repro.energy.system import MemorySystem
+from repro.energy.dynamic import MainMemoryModel
+from repro.optimize.schemes import Scheme
+from repro.optimize.space import DesignSpace, default_space, coarse_space
+from repro.optimize.single_cache import minimize_leakage
+from repro.optimize.two_level import explore_l1_sizes, explore_l2_sizes
+from repro.optimize.joint import JointDesign, optimize_memory_system
+from repro.optimize.tuple_problem import (
+    FIGURE2_BUDGETS,
+    TupleBudget,
+    solve_tuple_problem,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Technology",
+    "bptm65",
+    "ToxScalingRule",
+    "CacheConfig",
+    "l1_config",
+    "l2_config",
+    "Assignment",
+    "Knobs",
+    "knobs",
+    "COMPONENT_NAMES",
+    "CacheModel",
+    "CacheEvaluation",
+    "FittedCacheModel",
+    "fit_cache_model",
+    "MissRateModel",
+    "calibrated_miss_model",
+    "MemorySystem",
+    "MainMemoryModel",
+    "Scheme",
+    "DesignSpace",
+    "default_space",
+    "coarse_space",
+    "minimize_leakage",
+    "explore_l1_sizes",
+    "explore_l2_sizes",
+    "JointDesign",
+    "optimize_memory_system",
+    "FIGURE2_BUDGETS",
+    "TupleBudget",
+    "solve_tuple_problem",
+    "__version__",
+]

@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments [IDS...]``
+    Run the paper's experiments (default: all of E1..E7).
+``describe``
+    Print the structural model of a cache configuration.
+``evaluate``
+    Evaluate a cache at one (Vth, Tox) point.
+``optimize``
+    Run the Section 4 optimiser for a scheme and delay target.
+``fit``
+    Characterise a cache, fit the Section 3 forms, optionally save JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro import units
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import CacheConfig
+from repro.cache.assignment import knobs
+from repro.errors import ReproError
+from repro.optimize.schemes import Scheme
+from repro.optimize.single_cache import minimize_leakage
+
+_SCHEMES = {"1": Scheme.PER_COMPONENT, "2": Scheme.CELL_VS_PERIPHERY,
+            "3": Scheme.UNIFORM}
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--size-kb", type=float, default=16.0,
+                        help="capacity in KiB (default 16)")
+    parser.add_argument("--block-bytes", type=int, default=32,
+                        help="line size (default 32)")
+    parser.add_argument("--associativity", type=int, default=2,
+                        help="ways (default 2)")
+
+
+def _build_model(arguments) -> CacheModel:
+    config = CacheConfig(
+        size_bytes=int(arguments.size_kb * 1024),
+        block_bytes=arguments.block_bytes,
+        associativity=arguments.associativity,
+        name=f"cache-{arguments.size_kb:g}K",
+    )
+    return CacheModel(config)
+
+
+def _cmd_experiments(arguments) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    return runner_main(arguments.ids)
+
+
+def _cmd_describe(arguments) -> int:
+    model = _build_model(arguments)
+    print(model.describe())
+    print(f"cell-array area at nominal Tox: {model.area() * 1e6:.3f} mm^2")
+    evaluation = model.uniform(knobs(0.35, 12.0))
+    print(f"transistors: {evaluation.transistor_count}")
+    return 0
+
+
+def _cmd_evaluate(arguments) -> int:
+    model = _build_model(arguments)
+    point = knobs(arguments.vth, arguments.tox).validate()
+    evaluation = model.uniform(point)
+    print(model.config.describe())
+    print(f"assignment: uniform ({arguments.vth} V, {arguments.tox} A)")
+    print(f"access time:    {units.to_ps(evaluation.access_time):9.1f} ps")
+    print(f"leakage power:  {units.to_mw(evaluation.leakage_power):9.4f} mW")
+    print(
+        "read energy:    "
+        f"{units.to_pj(evaluation.dynamic_read_energy):9.2f} pJ"
+    )
+    return 0
+
+
+def _cmd_optimize(arguments) -> int:
+    model = _build_model(arguments)
+    scheme = _SCHEMES[arguments.scheme]
+    result = minimize_leakage(
+        model, scheme, units.ps(arguments.target_ps)
+    )
+    print(
+        f"{scheme.paper_name} optimum under "
+        f"T <= {arguments.target_ps:.0f} ps:"
+    )
+    print(f"  leakage:     {units.to_mw(result.leakage_power):.4f} mW")
+    print(f"  access time: {units.to_ps(result.access_time):.1f} ps")
+    print(result.assignment.describe())
+    return 0
+
+
+def _cmd_fit(arguments) -> int:
+    from repro.models.analytical import fit_cache_model
+    from repro.models.io import save_fitted_model
+
+    model = _build_model(arguments)
+    fitted = fit_cache_model(model)
+    print(
+        f"fitted {len(fitted.components)} components; worst R^2 = "
+        f"{fitted.worst_fit_r_squared():.4f}"
+    )
+    if arguments.output:
+        save_fitted_model(fitted, arguments.output)
+        print(f"saved to {arguments.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Power-Performance Trade-Offs in "
+            "Nanometer-Scale Multi-Level Caches Considering Total "
+            "Leakage' (DATE 2005)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    experiments = commands.add_parser(
+        "experiments", help="run the paper's experiments"
+    )
+    experiments.add_argument("ids", nargs="*", help="experiment ids")
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    describe = commands.add_parser("describe", help="print cache structure")
+    _add_cache_arguments(describe)
+    describe.set_defaults(handler=_cmd_describe)
+
+    evaluate = commands.add_parser("evaluate", help="evaluate one knob point")
+    _add_cache_arguments(evaluate)
+    evaluate.add_argument("--vth", type=float, default=0.35,
+                          help="threshold voltage in V")
+    evaluate.add_argument("--tox", type=float, default=12.0,
+                          help="oxide thickness in A")
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    optimize = commands.add_parser("optimize", help="Section 4 optimiser")
+    _add_cache_arguments(optimize)
+    optimize.add_argument("--scheme", choices=sorted(_SCHEMES),
+                          default="2", help="assignment scheme (1/2/3)")
+    optimize.add_argument("--target-ps", type=float, default=1200.0,
+                          help="access-time constraint in ps")
+    optimize.set_defaults(handler=_cmd_optimize)
+
+    fit = commands.add_parser("fit", help="fit the Section 3 forms")
+    _add_cache_arguments(fit)
+    fit.add_argument("--output", help="write the fit to this JSON path")
+    fit.set_defaults(handler=_cmd_fit)
+
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Architectural simulation substrate.
+
+Section 5 of the paper uses "architectural simulations to gather cache
+access statistics for each L1 and L2 cache size combination", collected
+from SPEC2000, SPECWEB and TPC-C.  We do not have those proprietary traces
+or the authors' simulator, so this package builds the equivalent pipeline:
+
+* :mod:`~repro.archsim.trace` — memory-access records and streams;
+* :mod:`~repro.archsim.workloads` — seeded synthetic address generators
+  parameterised to reproduce the published locality profiles of the three
+  suites (power-law reuse + streaming + working-set mixes);
+* :mod:`~repro.archsim.replacement` — LRU / FIFO / random policies;
+* :mod:`~repro.archsim.setassoc` — a write-back set-associative cache;
+* :mod:`~repro.archsim.hierarchy` — the two-level L1/L2/memory system;
+* :mod:`~repro.archsim.stats` — hit/miss accounting;
+* :mod:`~repro.archsim.missmodel` — an analytical miss-rate model
+  calibrated against the simulator, used by the optimisers so that design
+  sweeps don't re-simulate millions of accesses per candidate;
+* :mod:`~repro.archsim.stackdist` — Mattson stack-distance profiling
+  (one pass predicts the whole miss-rate-vs-size curve);
+* :mod:`~repro.archsim.amat` — average memory access time.
+"""
+
+from repro.archsim.trace import MemoryAccess, TraceStream
+from repro.archsim.stats import CacheStats
+from repro.archsim.replacement import (
+    ReplacementPolicy,
+    LruPolicy,
+    FifoPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.archsim.setassoc import SetAssociativeCache
+from repro.archsim.hierarchy import TwoLevelHierarchy, HierarchyResult
+from repro.archsim.workloads import (
+    WorkloadSpec,
+    synthetic_trace,
+    SPEC2000_LIKE,
+    SPECWEB_LIKE,
+    TPCC_LIKE,
+    STANDARD_WORKLOADS,
+)
+from repro.archsim.missmodel import (
+    MissRateModel,
+    blended_miss_model,
+    calibrated_miss_model,
+)
+from repro.archsim.stackdist import StackDistanceProfile, stack_distance_profile
+from repro.archsim.amat import amat_two_level
+
+__all__ = [
+    "MemoryAccess",
+    "TraceStream",
+    "CacheStats",
+    "ReplacementPolicy",
+    "LruPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "make_policy",
+    "SetAssociativeCache",
+    "TwoLevelHierarchy",
+    "HierarchyResult",
+    "WorkloadSpec",
+    "synthetic_trace",
+    "SPEC2000_LIKE",
+    "SPECWEB_LIKE",
+    "TPCC_LIKE",
+    "STANDARD_WORKLOADS",
+    "MissRateModel",
+    "blended_miss_model",
+    "calibrated_miss_model",
+    "StackDistanceProfile",
+    "stack_distance_profile",
+    "amat_two_level",
+]

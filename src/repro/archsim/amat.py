@@ -1,0 +1,50 @@
+"""Average memory access time (AMAT).
+
+The Section 5 performance constraint::
+
+    AMAT = t_L1 + m_L1 * (t_L2 + m_L2 * t_mem)
+
+with *local* miss rates at each level.  The paper trades AMAT against
+leakage: a bigger L2 lowers ``m_L2`` (architectural gain) while more
+aggressive knobs lower ``t_L1`` / ``t_L2`` (circuit gain) — both routes
+buy back the same AMAT, at very different leakage prices.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+def amat_two_level(
+    l1_hit_time: float,
+    l1_miss_rate: float,
+    l2_hit_time: float,
+    l2_local_miss_rate: float,
+    memory_latency: float,
+) -> float:
+    """Return the AMAT (same unit as the input times).
+
+    Parameters
+    ----------
+    l1_hit_time / l2_hit_time:
+        Access (hit) times of each level.
+    l1_miss_rate / l2_local_miss_rate:
+        Local miss rates (fractions in [0, 1]).
+    memory_latency:
+        Main-memory access latency.
+    """
+    for label, rate in (
+        ("l1_miss_rate", l1_miss_rate),
+        ("l2_local_miss_rate", l2_local_miss_rate),
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise SimulationError(f"{label} must be in [0, 1], got {rate}")
+    for label, value in (
+        ("l1_hit_time", l1_hit_time),
+        ("l2_hit_time", l2_hit_time),
+        ("memory_latency", memory_latency),
+    ):
+        if value < 0:
+            raise SimulationError(f"{label} must be >= 0, got {value}")
+    l2_penalty = l2_hit_time + l2_local_miss_rate * memory_latency
+    return l1_hit_time + l1_miss_rate * l2_penalty

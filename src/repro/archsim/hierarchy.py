@@ -1,0 +1,122 @@
+"""Two-level cache hierarchy simulation.
+
+The paper's Section 5 system: L1 backed by a unified L2 backed by main
+memory.  The hierarchy is non-inclusive (the common 2005 design): L1
+misses allocate in both levels; L1 dirty evictions are written back into
+L2; L2 evictions do not invalidate L1 (the paper's statistics don't hinge
+on inclusion policy, and non-inclusive is the simplest faithful choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.archsim.replacement import make_policy
+from repro.archsim.setassoc import SetAssociativeCache
+from repro.archsim.stats import CacheStats
+from repro.archsim.trace import MemoryAccess, TraceStream
+from repro.cache.config import CacheConfig
+
+
+@dataclass(frozen=True)
+class HierarchyResult:
+    """Statistics of one simulated trace through the hierarchy.
+
+    ``memory_accesses`` counts every L2 miss (fills) plus L2 dirty
+    write-backs — the quantity that multiplies main-memory energy in the
+    Section 5 total-energy accounting.
+    """
+
+    l1: CacheStats
+    l2: CacheStats
+    memory_accesses: int
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1.miss_rate
+
+    @property
+    def l2_local_miss_rate(self) -> float:
+        """L2 misses over L2 accesses (the paper's 'local' convention)."""
+        return self.l2.miss_rate
+
+    @property
+    def l2_global_miss_rate(self) -> float:
+        """L2 misses over *L1* accesses."""
+        if self.l1.accesses == 0:
+            return 0.0
+        return self.l2.misses / self.l1.accesses
+
+
+class TwoLevelHierarchy:
+    """An L1 + L2 + memory simulator.
+
+    Parameters
+    ----------
+    l1_config / l2_config:
+        Architectural shapes (only size/block/associativity are used here;
+        the circuit-level fields feed the power model, not the simulator).
+    policy:
+        Replacement policy name used at both levels (default LRU).
+    """
+
+    def __init__(
+        self,
+        l1_config: CacheConfig,
+        l2_config: CacheConfig,
+        policy: str = "lru",
+        seed: int = 0,
+    ) -> None:
+        self.l1 = SetAssociativeCache(
+            size_bytes=l1_config.size_bytes,
+            block_bytes=l1_config.block_bytes,
+            associativity=l1_config.associativity,
+            policy=make_policy(policy, seed=seed),
+            name=l1_config.name,
+        )
+        self.l2 = SetAssociativeCache(
+            size_bytes=l2_config.size_bytes,
+            block_bytes=l2_config.block_bytes,
+            associativity=l2_config.associativity,
+            policy=make_policy(policy, seed=seed + 1),
+            name=l2_config.name,
+        )
+        self.memory_accesses = 0
+
+    def access(self, access: MemoryAccess) -> None:
+        """Propagate one access through L1 -> L2 -> memory."""
+        l1_result = self.l1.access(access)
+        if l1_result.hit:
+            return
+        # L1 dirty eviction writes back into L2.
+        if l1_result.evicted_block is not None and l1_result.evicted_dirty:
+            writeback = MemoryAccess(
+                address=l1_result.evicted_block, is_write=True
+            )
+            l2_wb = self.l2.access(writeback)
+            if not l2_wb.hit:
+                self.memory_accesses += 1  # fill for the write-allocate
+            if l2_wb.evicted_dirty:
+                self.memory_accesses += 1
+        # The demand miss itself goes to L2.
+        l2_result = self.l2.access(
+            MemoryAccess(address=access.address, is_write=False)
+        )
+        if not l2_result.hit:
+            self.memory_accesses += 1
+        if l2_result.evicted_dirty:
+            self.memory_accesses += 1
+
+    def run(self, trace: TraceStream) -> HierarchyResult:
+        """Simulate a whole trace and return the statistics."""
+        for access in trace:
+            self.access(access)
+        return self.result()
+
+    def result(self) -> HierarchyResult:
+        """Return statistics collected so far."""
+        return HierarchyResult(
+            l1=self.l1.stats,
+            l2=self.l2.stats,
+            memory_accesses=self.memory_accesses,
+        )

@@ -1,0 +1,151 @@
+"""Write-back, write-allocate set-associative cache simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.units import is_power_of_two
+from repro.archsim.replacement import ReplacementPolicy, LruPolicy
+from repro.archsim.stats import CacheStats
+from repro.archsim.trace import MemoryAccess
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one access.
+
+    Attributes
+    ----------
+    hit:
+        True if the block was resident.
+    evicted_block:
+        Block address evicted to make room, or None.
+    evicted_dirty:
+        True if the eviction was a dirty write-back.
+    """
+
+    hit: bool
+    evicted_block: Optional[int] = None
+    evicted_dirty: bool = False
+
+
+class SetAssociativeCache:
+    """One level of cache: write-back, write-allocate.
+
+    Parameters
+    ----------
+    size_bytes / block_bytes / associativity:
+        The usual shape parameters (powers of two).
+    policy:
+        Replacement policy instance; defaults to a fresh LRU.
+    name:
+        Label for error messages and reports.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        block_bytes: int,
+        associativity: int,
+        policy: Optional[ReplacementPolicy] = None,
+        name: str = "cache",
+    ) -> None:
+        for label, value in (
+            ("size_bytes", size_bytes),
+            ("block_bytes", block_bytes),
+            ("associativity", associativity),
+        ):
+            if not is_power_of_two(value):
+                raise SimulationError(
+                    f"{name}: {label} must be a power of two, got {value}"
+                )
+        n_blocks = size_bytes // block_bytes
+        if associativity > n_blocks:
+            raise SimulationError(
+                f"{name}: associativity {associativity} exceeds "
+                f"{n_blocks} blocks"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.block_bytes = block_bytes
+        self.associativity = associativity
+        self.n_sets = n_blocks // associativity
+        self.policy = policy if policy is not None else LruPolicy()
+        self.stats = CacheStats()
+        # set index -> {block address: dirty}
+        self._sets: Dict[int, Dict[int, bool]] = {}
+
+    # -- addressing -----------------------------------------------------
+
+    def set_index(self, block_address: int) -> int:
+        """Return the set an aligned block address maps to."""
+        return (block_address // self.block_bytes) % self.n_sets
+
+    # -- main entry -----------------------------------------------------
+
+    def access(self, access: MemoryAccess) -> AccessResult:
+        """Simulate one access; returns hit/miss and any eviction."""
+        block = access.block_address(self.block_bytes)
+        index = self.set_index(block)
+        resident = self._sets.setdefault(index, {})
+
+        if block in resident:
+            self.stats.record_hit()
+            self.policy.on_access(index, block)
+            if access.is_write:
+                resident[block] = True
+            return AccessResult(hit=True)
+
+        self.stats.record_miss(access.is_write)
+        evicted_block: Optional[int] = None
+        evicted_dirty = False
+        if len(resident) >= self.associativity:
+            victim = self.policy.choose_victim(index, list(resident))
+            if victim not in resident:
+                raise SimulationError(
+                    f"{self.name}: policy chose non-resident victim {victim}"
+                )
+            evicted_block = victim
+            evicted_dirty = resident.pop(victim)
+            self.policy.on_evict(index, victim)
+            self.stats.record_eviction(evicted_dirty)
+        resident[block] = access.is_write
+        self.policy.on_fill(index, block)
+        return AccessResult(
+            hit=False, evicted_block=evicted_block, evicted_dirty=evicted_dirty
+        )
+
+    # -- introspection ----------------------------------------------------
+
+    def contains(self, address: int) -> bool:
+        """Return True if the block holding ``address`` is resident."""
+        block = address - (address % self.block_bytes)
+        return block in self._sets.get(self.set_index(block), {})
+
+    def resident_blocks(self) -> int:
+        """Return the number of blocks currently resident."""
+        return sum(len(blocks) for blocks in self._sets.values())
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the block holding ``address``; True if it was resident."""
+        block = address - (address % self.block_bytes)
+        index = self.set_index(block)
+        resident = self._sets.get(index, {})
+        if block in resident:
+            del resident[block]
+            self.policy.on_evict(index, block)
+            return True
+        return False
+
+    def flush(self) -> int:
+        """Empty the cache; return how many dirty blocks were dropped."""
+        dirty = sum(
+            1
+            for blocks in self._sets.values()
+            for is_dirty in blocks.values()
+            if is_dirty
+        )
+        self._sets.clear()
+        return dirty

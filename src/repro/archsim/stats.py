@@ -1,0 +1,83 @@
+"""Hit/miss accounting for one cache level."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class CacheStats:
+    """Mutable counters collected while simulating one cache.
+
+    ``miss_rate`` is the *local* miss rate: misses over accesses **at this
+    level** (the quantity the paper's L2 discussion uses — "local L1 cache
+    miss rates are already very low").
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    def record_hit(self) -> None:
+        self.accesses += 1
+        self.hits += 1
+
+    def record_miss(self, is_write: bool) -> None:
+        self.accesses += 1
+        self.misses += 1
+        if is_write:
+            self.write_misses += 1
+        else:
+            self.read_misses += 1
+
+    def record_eviction(self, dirty: bool) -> None:
+        self.evictions += 1
+        if dirty:
+            self.writebacks += 1
+
+    @property
+    def miss_rate(self) -> float:
+        """Local miss rate; 0.0 when the cache was never accessed."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return a new CacheStats summing self and other."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            read_misses=self.read_misses + other.read_misses,
+            write_misses=self.write_misses + other.write_misses,
+            evictions=self.evictions + other.evictions,
+            writebacks=self.writebacks + other.writebacks,
+        )
+
+    def validate(self) -> None:
+        """Internal-consistency check used by property tests."""
+        if self.hits + self.misses != self.accesses:
+            raise SimulationError(
+                f"hits({self.hits}) + misses({self.misses}) != "
+                f"accesses({self.accesses})"
+            )
+        if self.read_misses + self.write_misses != self.misses:
+            raise SimulationError(
+                f"read({self.read_misses}) + write({self.write_misses}) "
+                f"misses != total misses({self.misses})"
+            )
+        if self.writebacks > self.evictions:
+            raise SimulationError(
+                f"writebacks({self.writebacks}) exceed evictions"
+                f"({self.evictions})"
+            )

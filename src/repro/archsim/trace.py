@@ -1,0 +1,64 @@
+"""Memory-access records and trace streams.
+
+A trace is any iterable of :class:`MemoryAccess` records.  Generators from
+:mod:`repro.archsim.workloads` produce them lazily so multi-million-access
+runs never materialise a list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory reference.
+
+    Attributes
+    ----------
+    address:
+        Byte address (non-negative).
+    is_write:
+        True for a store.
+    """
+
+    address: int
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise SimulationError(f"address must be >= 0, got {self.address}")
+
+    def block_address(self, block_bytes: int) -> int:
+        """Return the block-aligned address for the given line size."""
+        return self.address - (self.address % block_bytes)
+
+
+#: Anything yielding MemoryAccess records.
+TraceStream = Iterable[MemoryAccess]
+
+
+def reads(addresses: Iterable[int]) -> Iterator[MemoryAccess]:
+    """Wrap raw addresses as read accesses (testing convenience)."""
+    for address in addresses:
+        yield MemoryAccess(address=address, is_write=False)
+
+
+def materialize(trace: TraceStream, limit: int = None) -> List[MemoryAccess]:
+    """Collect a trace into a list, optionally truncated to ``limit``.
+
+    Mostly for tests; production paths stream.
+    """
+    if limit is None:
+        return list(trace)
+    if limit < 0:
+        raise SimulationError(f"limit must be >= 0, got {limit}")
+    collected: List[MemoryAccess] = []
+    for access in trace:
+        if len(collected) >= limit:
+            break
+        collected.append(access)
+    return collected

@@ -1,0 +1,32 @@
+"""Cache organisation and whole-cache power/delay model.
+
+This package assembles the circuit blocks of :mod:`repro.circuits` into
+the paper's four-component cache:
+
+* :mod:`~repro.cache.config` — user-facing cache parameters;
+* :mod:`~repro.cache.geometry` — CACTI-style array partitioning into
+  sub-arrays (word-line/bit-line divisions) chosen once per configuration;
+* :mod:`~repro.cache.assignment` — (Vth, Tox) knob assignments per
+  component (the decision variables of every optimisation in the paper);
+* :mod:`~repro.cache.components` — the four components (cell array +
+  sense amps, decoder, address drivers, data drivers) with leakage /
+  delay / energy queries;
+* :mod:`~repro.cache.cache_model` — :class:`CacheModel`, the main public
+  entry point: access time, total leakage and dynamic energy of a cache
+  under any assignment.
+"""
+
+from repro.cache.config import CacheConfig
+from repro.cache.assignment import Knobs, Assignment, COMPONENT_NAMES
+from repro.cache.geometry import ArrayOrganization, organize
+from repro.cache.cache_model import CacheModel
+
+__all__ = [
+    "CacheConfig",
+    "Knobs",
+    "Assignment",
+    "COMPONENT_NAMES",
+    "ArrayOrganization",
+    "organize",
+    "CacheModel",
+]

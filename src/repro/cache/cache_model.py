@@ -1,0 +1,198 @@
+"""Whole-cache power / delay model — the library's main entry point.
+
+A :class:`CacheModel` binds a :class:`~repro.cache.config.CacheConfig` to
+a technology, fixes the array organisation once (the paper fixes its
+netlists before sweeping knobs), builds the four components of Section 3,
+and evaluates any :class:`~repro.cache.assignment.Assignment`:
+
+* total **access time** = sum of component delays (the paper's additive
+  independence assumption);
+* total **leakage power** = sum of component leakage;
+* **dynamic read energy** = sum of component switched energy per access.
+
+Example
+-------
+>>> from repro.cache import CacheModel, CacheConfig, Assignment
+>>> from repro.cache.assignment import knobs
+>>> model = CacheModel(CacheConfig(size_bytes=16 * 1024, name="L1"))
+>>> fast = Assignment.uniform(knobs(0.2, 10))
+>>> slow = Assignment.uniform(knobs(0.5, 14))
+>>> model.access_time(fast) < model.access_time(slow)
+True
+>>> model.leakage_power(fast) > model.leakage_power(slow)
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.technology.bptm import Technology, bptm65
+from repro.technology.scaling import ToxScalingRule
+from repro.cache.assignment import Assignment, COMPONENT_NAMES, Knobs
+from repro.cache.components import (
+    AddressDriverComponent,
+    ArrayComponent,
+    ComponentCost,
+    DecoderComponent,
+    DataDriverComponent,
+)
+from repro.cache.config import CacheConfig
+from repro.cache.geometry import ArrayOrganization, organize
+
+
+@dataclass(frozen=True)
+class CacheEvaluation:
+    """A cache evaluated under one complete assignment."""
+
+    assignment: Assignment
+    by_component: Dict[str, ComponentCost]
+
+    @property
+    def access_time(self) -> float:
+        """Total access time (s)."""
+        return sum(cost.delay for cost in self.by_component.values())
+
+    @property
+    def leakage_power(self) -> float:
+        """Total standby leakage (W)."""
+        return sum(cost.leakage_power for cost in self.by_component.values())
+
+    @property
+    def dynamic_read_energy(self) -> float:
+        """Switched energy per read access (J)."""
+        return sum(cost.dynamic_energy for cost in self.by_component.values())
+
+    @property
+    def transistor_count(self) -> int:
+        return sum(cost.transistor_count for cost in self.by_component.values())
+
+
+class CacheModel:
+    """The four-component cache model of Section 3.
+
+    Parameters
+    ----------
+    config:
+        Architectural cache parameters.
+    technology:
+        Process node; defaults to the BPTM-style 65 nm node.
+    rule:
+        Tox co-scaling rule; defaults to proportional scaling.
+    organization:
+        Pre-chosen array organisation; defaults to the CACTI-style search
+        of :func:`repro.cache.geometry.organize`.
+    stack_enabled / gate_enabled:
+        Ablation switches (stack effect in decoders; gate tunnelling
+        everywhere).
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        technology: Optional[Technology] = None,
+        rule: Optional[ToxScalingRule] = None,
+        organization: Optional[ArrayOrganization] = None,
+        stack_enabled: bool = True,
+        gate_enabled: bool = True,
+    ) -> None:
+        self.config = config
+        self.technology = technology if technology is not None else bptm65()
+        self.rule = (
+            rule if rule is not None else ToxScalingRule(technology=self.technology)
+        )
+        if self.rule.technology is not self.technology:
+            raise ConfigurationError(
+                "scaling rule is bound to a different technology object"
+            )
+        self.organization = (
+            organization
+            if organization is not None
+            else organize(config, self.technology, self.rule)
+        )
+        self.stack_enabled = stack_enabled
+        self.gate_enabled = gate_enabled
+        self.components = {
+            "address_drivers": AddressDriverComponent(
+                self.technology, self.rule, self.organization,
+                gate_enabled=gate_enabled,
+            ),
+            "decoder": DecoderComponent(
+                self.technology, self.rule, self.organization,
+                stack_enabled=stack_enabled, gate_enabled=gate_enabled,
+            ),
+            "array": ArrayComponent(
+                self.technology, self.rule, self.organization,
+                gate_enabled=gate_enabled,
+            ),
+            "data_drivers": DataDriverComponent(
+                self.technology, self.rule, self.organization,
+                gate_enabled=gate_enabled,
+            ),
+        }
+
+    # -- evaluation -----------------------------------------------------
+
+    def evaluate(self, assignment: Assignment) -> CacheEvaluation:
+        """Evaluate the cache under a complete component assignment."""
+        by_component = {
+            name: self.components[name].evaluate(point.vth, point.tox)
+            for name, point in assignment.components()
+        }
+        return CacheEvaluation(assignment=assignment, by_component=by_component)
+
+    def access_time(self, assignment: Assignment) -> float:
+        """Return total access time (s) under ``assignment``."""
+        return self.evaluate(assignment).access_time
+
+    def leakage_power(self, assignment: Assignment) -> float:
+        """Return total standby leakage power (W) under ``assignment``."""
+        return self.evaluate(assignment).leakage_power
+
+    def dynamic_read_energy(self, assignment: Assignment) -> float:
+        """Return switched energy (J) of one read under ``assignment``."""
+        return self.evaluate(assignment).dynamic_read_energy
+
+    def dynamic_write_energy(self, assignment: Assignment) -> float:
+        """Return switched energy (J) of one write under ``assignment``.
+
+        A write re-uses the address path and decoder but drives the bit
+        lines rail to rail instead of sensing a small swing — this is the
+        energy a miss *fill* pays at this level.
+        """
+        evaluation = self.evaluate(assignment)
+        array_point = assignment.array
+        array_write = self.components["array"].write_energy(
+            array_point.vth, array_point.tox
+        )
+        non_array = sum(
+            cost.dynamic_energy
+            for name, cost in evaluation.by_component.items()
+            if name != "array"
+        )
+        return non_array + array_write
+
+    def uniform(self, point: Knobs) -> CacheEvaluation:
+        """Evaluate with one (Vth, Tox) pair on all components (Scheme III)."""
+        return self.evaluate(Assignment.uniform(point))
+
+    # -- geometry -----------------------------------------------------------
+
+    def area(self, tox: float = None) -> float:
+        """Return the cell-array silicon area (m^2) at oxide thickness ``tox``."""
+        if tox is None:
+            tox = self.technology.tox_ref
+        cell = self.components["array"].cell
+        return self.organization.array_area(cell.width(tox), cell.height(tox))
+
+    def describe(self) -> str:
+        """Return a multi-line summary of the model's fixed structure."""
+        return "\n".join(
+            [
+                self.config.describe(),
+                self.organization.describe(),
+                f"components: {', '.join(COMPONENT_NAMES)}",
+            ]
+        )

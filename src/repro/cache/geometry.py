@@ -1,0 +1,252 @@
+"""CACTI-style array organisation.
+
+A cache's SRAM bits are physically split into sub-arrays to keep word
+lines and bit lines short.  Following CACTI's nomenclature:
+
+* ``ndwl`` — number of word-line divisions (columns of sub-arrays);
+* ``ndbl`` — number of bit-line divisions (rows of sub-arrays).
+
+One logical row (a whole set: all ways, data + tags + status) spans the
+``ndwl`` sub-arrays of one horizontal stripe, so an access activates one
+stripe: ``ndwl`` sub-arrays, each asserting one word line of
+``cols_per_subarray`` cells.
+
+The organisation is chosen **once per configuration** at the nominal
+process point (the paper fixes the netlist before sweeping knobs) by
+minimising an RC estimate of word-line + bit-line delay with a mild
+replication penalty — the same trade CACTI's exhaustive loop makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.errors import GeometryError
+from repro.units import is_power_of_two
+from repro.technology.bptm import Technology
+from repro.technology.scaling import ToxScalingRule
+from repro.circuits.sram_cell import SramCell
+from repro.cache.config import CacheConfig
+
+#: Largest sub-array dimensions the organiser will consider.
+MAX_ROWS_PER_SUBARRAY = 1024
+MAX_COLS_PER_SUBARRAY = 2048
+
+#: Weight of the replication (area/energy) penalty in the organisation
+#: cost function, relative to the RC delay term.
+REPLICATION_WEIGHT = 0.40
+
+
+@dataclass(frozen=True)
+class ArrayOrganization:
+    """A realised physical organisation of one cache's storage.
+
+    Attributes
+    ----------
+    config:
+        The architectural configuration this organisation realises.
+    ndwl / ndbl:
+        Word-line / bit-line divisions (powers of two).
+    rows_per_subarray / cols_per_subarray:
+        Sub-array dimensions in cells.
+    """
+
+    config: CacheConfig
+    ndwl: int
+    ndbl: int
+    rows_per_subarray: int
+    cols_per_subarray: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.ndwl) or not is_power_of_two(self.ndbl):
+            raise GeometryError(
+                f"ndwl/ndbl must be powers of two, got {self.ndwl}/{self.ndbl}"
+            )
+        if self.rows_per_subarray < 1 or self.cols_per_subarray < 1:
+            raise GeometryError(
+                "sub-array must be at least 1x1, got "
+                f"{self.rows_per_subarray}x{self.cols_per_subarray}"
+            )
+
+    # -- counts ----------------------------------------------------------
+
+    @property
+    def n_subarrays(self) -> int:
+        return self.ndwl * self.ndbl
+
+    @property
+    def total_rows(self) -> int:
+        return self.rows_per_subarray * self.ndbl
+
+    @property
+    def total_cols(self) -> int:
+        return self.cols_per_subarray * self.ndwl
+
+    @property
+    def total_cells(self) -> int:
+        """All storage cells (data + tag + status)."""
+        return self.total_rows * self.total_cols
+
+    @property
+    def active_subarrays(self) -> int:
+        """Sub-arrays activated per access (one horizontal stripe)."""
+        return self.ndwl
+
+    @property
+    def active_cols(self) -> int:
+        """Bit-line pairs developed per access."""
+        return self.cols_per_subarray * self.ndwl
+
+    @property
+    def n_sense_amps(self) -> int:
+        """One sense amplifier per physical bit-line column.
+
+        Vertically stacked sub-arrays share their column circuitry, so the
+        count is the total column count, not columns x ndbl.
+        """
+        return self.total_cols
+
+    @property
+    def decoder_rows(self) -> int:
+        """Word lines each per-sub-array row decoder must decode."""
+        return self.rows_per_subarray
+
+    @property
+    def n_decoders(self) -> int:
+        """Replicated row decoders (one per sub-array)."""
+        return self.n_subarrays
+
+    # -- physical dimensions (Tox-dependent) ------------------------------
+
+    def subarray_width(self, cell_width: float) -> float:
+        """Sub-array (and word-line) width (m) for the given cell width."""
+        return self.cols_per_subarray * cell_width
+
+    def subarray_height(self, cell_height: float) -> float:
+        """Sub-array (and bit-line) height (m) for the given cell height."""
+        return self.rows_per_subarray * cell_height
+
+    def array_width(self, cell_width: float) -> float:
+        """Full array width (m), all sub-array columns side by side."""
+        return self.ndwl * self.subarray_width(cell_width)
+
+    def array_height(self, cell_height: float) -> float:
+        """Full array height (m), all sub-array stripes stacked."""
+        return self.ndbl * self.subarray_height(cell_height)
+
+    def array_area(self, cell_width: float, cell_height: float) -> float:
+        """Cell-array silicon area (m^2), excluding periphery."""
+        return self.array_width(cell_width) * self.array_height(cell_height)
+
+    def bus_length(self, cell_width: float, cell_height: float) -> float:
+        """Representative address/data bus run (m): half the perimeter."""
+        return self.array_width(cell_width) + 0.5 * self.array_height(cell_height)
+
+    def describe(self) -> str:
+        return (
+            f"{self.config.name}: {self.ndwl}x{self.ndbl} sub-arrays of "
+            f"{self.rows_per_subarray} rows x {self.cols_per_subarray} cols"
+        )
+
+
+def candidate_organizations(config: CacheConfig) -> List[ArrayOrganization]:
+    """Enumerate all legal (ndwl, ndbl) organisations of a configuration."""
+    total_rows = config.n_sets
+    total_cols = config.associativity * config.bits_per_way
+    candidates: List[ArrayOrganization] = []
+    ndbl = 1
+    while ndbl <= total_rows:
+        rows = total_rows // ndbl
+        if rows >= 1 and rows <= MAX_ROWS_PER_SUBARRAY and total_rows % ndbl == 0:
+            ndwl = 1
+            while ndwl <= total_cols:
+                cols = total_cols // ndwl
+                if (
+                    cols >= 8
+                    and cols <= MAX_COLS_PER_SUBARRAY
+                    and total_cols % ndwl == 0
+                ):
+                    candidates.append(
+                        ArrayOrganization(
+                            config=config,
+                            ndwl=ndwl,
+                            ndbl=ndbl,
+                            rows_per_subarray=rows,
+                            cols_per_subarray=cols,
+                        )
+                    )
+                ndwl *= 2
+        ndbl *= 2
+    if not candidates:
+        raise GeometryError(
+            f"no legal organisation for {config.describe()} within "
+            f"{MAX_ROWS_PER_SUBARRAY} rows x {MAX_COLS_PER_SUBARRAY} cols"
+        )
+    return candidates
+
+
+def _organization_cost(
+    organization: ArrayOrganization,
+    technology: Technology,
+    cell: SramCell,
+) -> float:
+    """RC-flavoured cost used to pick the organisation (lower is better).
+
+    Word-line and bit-line distributed RC grow quadratically with segment
+    length; replication multiplies decoder/driver overhead.  Evaluated at
+    the nominal process point.
+    """
+    tox = technology.tox_ref
+    cell_w = cell.width(tox)
+    cell_h = cell.height(tox)
+    wl_len = organization.subarray_width(cell_w)
+    bl_len = organization.subarray_height(cell_h)
+    r_per_m = technology.wire_res_per_m
+    c_per_m = technology.wire_cap_per_m
+
+    wl_cap = c_per_m * wl_len + organization.cols_per_subarray * cell.wordline_load(
+        tox
+    )
+    bl_cap = c_per_m * bl_len + organization.rows_per_subarray * cell.bitline_load(
+        tox
+    )
+    wl_rc = 0.5 * (r_per_m * wl_len) * wl_cap
+    bl_rc = 0.5 * (r_per_m * bl_len) * bl_cap
+    # Bit-line development also slows linearly with bit-line capacitance;
+    # weight it like an RC with the cell's drive resistance.
+    vth = technology.vth_ref
+    i_read = cell.read_current(vth, tox)
+    develop = bl_cap * 0.1 * technology.vdd / i_read
+
+    replication = REPLICATION_WEIGHT * (
+        organization.n_subarrays / 4.0
+    ) * (wl_rc + bl_rc + develop)
+    return wl_rc + bl_rc + develop + replication
+
+
+def organize(
+    config: CacheConfig,
+    technology: Technology,
+    rule: ToxScalingRule = None,
+) -> ArrayOrganization:
+    """Pick the best organisation for a configuration (CACTI's inner loop).
+
+    Deterministic: ties break toward fewer sub-arrays, then lower ndbl.
+    """
+    if rule is None:
+        rule = ToxScalingRule(technology=technology)
+    cell = SramCell(technology=technology, rule=rule)
+    candidates = candidate_organizations(config)
+    scored = [
+        (
+            _organization_cost(organization, technology, cell),
+            organization.n_subarrays,
+            organization.ndbl,
+            index,
+            organization,
+        )
+        for index, organization in enumerate(candidates)
+    ]
+    scored.sort(key=lambda item: item[:4])
+    return scored[0][4]

@@ -1,0 +1,257 @@
+"""RC stage chains and buffer-chain sizing.
+
+Delay estimation throughout the circuit layer uses the RC abstraction: a
+path is a sequence of :class:`RcStage` objects (driver resistance charging
+a lumped load) whose delays add.  Drivers that must cross a large fanout
+(word lines, bus wires) are sized as geometric buffer chains — the
+logical-effort result that a chain of inverters each ``rho ~ 4`` times
+larger than the last minimises total delay.
+
+The chain builder also reports the *leakage* and *input capacitance* of
+the buffers it creates, so sizing choices made for speed automatically show
+up in the leakage budget — the coupling at the heart of the paper's
+trade-off study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import CircuitError
+from repro.technology.bptm import Technology
+from repro.devices import delay as _delay
+from repro.devices import subthreshold as _sub
+from repro.devices import gate_leakage as _gate
+
+#: Target stage effort of buffer chains (FO4-style sizing).
+STAGE_EFFORT = 4.0
+
+#: Elmore switching coefficient for a step input, ln(2).
+ELMORE_LN2 = 0.69
+
+#: P:N width ratio of the standard inverter.
+PN_RATIO = 2.0
+
+
+@dataclass(frozen=True)
+class RcStage:
+    """One RC delay stage: ``delay = 0.69 * R * C``.
+
+    Attributes
+    ----------
+    label:
+        Where the stage came from (for delay-budget reports).
+    resistance:
+        Driver effective resistance (ohm).
+    capacitance:
+        Total lumped load (F).
+    """
+
+    label: str
+    resistance: float
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance < 0 or self.capacitance < 0:
+            raise CircuitError(
+                f"stage {self.label!r} has negative R or C: "
+                f"R={self.resistance}, C={self.capacitance}"
+            )
+
+    @property
+    def delay(self) -> float:
+        """Stage delay in seconds."""
+        return ELMORE_LN2 * self.resistance * self.capacitance
+
+
+def chain_delay(stages: List[RcStage]) -> float:
+    """Return the summed delay (s) of a stage list."""
+    return sum(stage.delay for stage in stages)
+
+
+@dataclass(frozen=True)
+class InverterSizing:
+    """Widths of one inverter in a chain (m)."""
+
+    wn: float
+    wp: float
+
+    @property
+    def total_width(self) -> float:
+        return self.wn + self.wp
+
+
+@dataclass(frozen=True)
+class BufferChain:
+    """A sized geometric buffer chain with its delay and power summary.
+
+    Attributes
+    ----------
+    inverters:
+        The per-stage sizings, input first.
+    delay:
+        Total chain delay (s), including driving the final load.
+    input_capacitance:
+        Gate capacitance (F) presented to whatever drives the chain.
+    subthreshold_leakage:
+        Summed standby subthreshold current (A) of the chain; a static
+        CMOS inverter always has exactly one OFF device, and the model
+        averages the N-off / P-off states.
+    gate_leakage:
+        Summed gate-tunnelling current (A).
+    switched_capacitance:
+        Total capacitance (F) toggled when the chain fires once.
+    """
+
+    inverters: tuple
+    delay: float
+    input_capacitance: float
+    subthreshold_leakage: float
+    gate_leakage: float
+    switched_capacitance: float
+
+    @property
+    def stage_count(self) -> int:
+        return len(self.inverters)
+
+    def leakage_power(self, vdd: float) -> float:
+        """Return standby leakage power (W) at supply ``vdd``."""
+        return (self.subthreshold_leakage + self.gate_leakage) * vdd
+
+    def dynamic_energy(self, vdd: float) -> float:
+        """Return switched energy (J) for one transition pair at ``vdd``."""
+        return self.switched_capacitance * vdd * vdd
+
+
+def _inverter_metrics(
+    technology: Technology,
+    sizing: InverterSizing,
+    leff: float,
+    lgate: float,
+    vth: float,
+    tox: float,
+    gate_enabled: bool = True,
+):
+    """Return (R_drive, C_in, C_self, I_sub, I_gate) of one inverter."""
+    r_n = _delay.effective_resistance(technology, sizing.wn, leff, vth, tox)
+    r_p = _delay.effective_resistance(
+        technology, sizing.wp, leff, vth, tox, p_type=True
+    )
+    r_drive = 0.5 * (r_n + r_p)
+    c_in = _delay.gate_capacitance(technology, sizing.total_width, lgate, tox)
+    c_self = _delay.junction_capacitance(technology, sizing.total_width)
+    # Standby: average of input-low (NMOS off) and input-high (PMOS off).
+    i_sub_n = _sub.subthreshold_current(
+        technology, sizing.wn, leff, vth, tox, vgs=0.0, vds=technology.vdd
+    )
+    i_sub_p = _sub.subthreshold_current(
+        technology, sizing.wp, leff, vth, tox, vgs=0.0, vds=technology.vdd,
+        p_type=True,
+    )
+    i_sub = 0.5 * (i_sub_n + i_sub_p)
+    if gate_enabled:
+        # The conducting device tunnels over its full area; the off device
+        # contributes only edge tunnelling.  Average over the two states.
+        i_g_on_p = _gate.gate_tunnel_current(
+            technology, sizing.wp, lgate, tox, conducting=True, p_type=True
+        )
+        i_g_on_n = _gate.gate_tunnel_current(
+            technology, sizing.wn, lgate, tox, conducting=True
+        )
+        i_g_off_p = _gate.gate_tunnel_current(
+            technology, sizing.wp, lgate, tox, conducting=False, p_type=True
+        )
+        i_g_off_n = _gate.gate_tunnel_current(
+            technology, sizing.wn, lgate, tox, conducting=False
+        )
+        i_gate = 0.5 * ((i_g_on_n + i_g_off_p) + (i_g_on_p + i_g_off_n))
+    else:
+        i_gate = 0.0
+    return r_drive, c_in, c_self, i_sub, i_gate
+
+
+def optimal_buffer_chain(
+    technology: Technology,
+    load_capacitance: float,
+    leff: float,
+    lgate: float,
+    vth: float,
+    tox: float,
+    input_width: float = None,
+    stage_effort: float = STAGE_EFFORT,
+    gate_enabled: bool = True,
+) -> BufferChain:
+    """Size a geometric buffer chain to drive ``load_capacitance``.
+
+    Parameters
+    ----------
+    load_capacitance:
+        The final load (F) the chain must drive.
+    leff, lgate:
+        Channel lengths (m) — already Tox-co-scaled by the caller.
+    vth, tox:
+        The knob assignment the chain is evaluated under.
+    input_width:
+        NMOS width (m) of the first inverter; defaults to minimum width.
+    stage_effort:
+        Capacitance ratio between successive stages (default 4).
+
+    Notes
+    -----
+    The stage count is ``ceil(log_rho(C_load / C_in))``, at least one.  The
+    per-stage ratio is then re-balanced so stages have exactly equal
+    effort, which is both the delay-optimal and the conventional layout.
+    """
+    if load_capacitance <= 0:
+        raise CircuitError(f"load capacitance must be positive, got {load_capacitance}")
+    if stage_effort <= 1.0:
+        raise CircuitError(f"stage effort must exceed 1, got {stage_effort}")
+    wn0 = technology.wmin if input_width is None else input_width
+    if wn0 <= 0:
+        raise CircuitError(f"input width must be positive, got {wn0}")
+
+    first = InverterSizing(wn=wn0, wp=PN_RATIO * wn0)
+    c_in0 = _delay.gate_capacitance(technology, first.total_width, lgate, tox)
+    total_effort = load_capacitance / c_in0
+    if total_effort <= 1.0:
+        n_stages = 1
+        rho = max(total_effort, 1.0)
+    else:
+        n_stages = max(1, math.ceil(math.log(total_effort) / math.log(stage_effort)))
+        rho = total_effort ** (1.0 / n_stages)
+
+    inverters = tuple(
+        InverterSizing(wn=wn0 * rho**i, wp=PN_RATIO * wn0 * rho**i)
+        for i in range(n_stages)
+    )
+
+    delay = 0.0
+    i_sub_total = 0.0
+    i_gate_total = 0.0
+    c_switched = 0.0
+    for index, sizing in enumerate(inverters):
+        r_drive, c_in, c_self, i_sub, i_gate = _inverter_metrics(
+            technology, sizing, leff, lgate, vth, tox, gate_enabled=gate_enabled
+        )
+        if index + 1 < len(inverters):
+            next_sizing = inverters[index + 1]
+            c_load = _delay.gate_capacitance(
+                technology, next_sizing.total_width, lgate, tox
+            )
+        else:
+            c_load = load_capacitance
+        delay += ELMORE_LN2 * r_drive * (c_load + c_self)
+        i_sub_total += i_sub
+        i_gate_total += i_gate
+        c_switched += c_in + c_self
+
+    return BufferChain(
+        inverters=inverters,
+        delay=delay,
+        input_capacitance=c_in0,
+        subthreshold_leakage=i_sub_total,
+        gate_leakage=i_gate_total,
+        switched_capacitance=c_switched + load_capacitance,
+    )

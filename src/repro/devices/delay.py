@@ -1,0 +1,138 @@
+"""Drive current, switching resistance and capacitance models.
+
+Delay in this library is computed with the classic RC / logical-effort
+abstraction: every gate is a resistance (set by its drive transistor's
+saturation current) charging a load capacitance (gates + junctions +
+wires).  The saturation current follows the **alpha-power law**::
+
+    Idsat = (mu * Cox / 2) * (W / Leff) * (Vdd - Vth)^alpha
+
+with ``alpha ~ 1.3`` capturing velocity saturation at 65 nm.  Two separate
+Tox effects enter delay:
+
+* Cox = eps_ox / Tox falls with thicker oxide, weakening drive, and
+* the paper's co-scaling rule lengthens the channel with Tox
+  (:mod:`repro.technology.scaling`), weakening drive again and enlarging
+  the cell (longer word lines / bit lines).
+
+Over the 10-14 Å window the combination is close to linear in Tox, which
+is exactly the ``k2 * Tox`` term of the paper's fitted delay form; the
+``(Vdd - Vth)^-alpha`` drive dependence linearises to the paper's weak
+exponential ``k1 * exp(k3 * Vth)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeviceModelError
+from repro.technology.bptm import Technology
+
+#: Multiplier converting Vdd/Idsat into the effective switching resistance
+#: of a step-driven transistor (accounts for the drain current trajectory
+#: over the output transition; the classic value is ~1.2-1.5).
+RESISTANCE_FUDGE = 2.6
+
+#: Fraction of gate-oxide capacitance added by fringing/overlap.
+FRINGE_FACTOR = 1.25
+
+
+def on_current(
+    technology: Technology,
+    width: float,
+    leff: float,
+    vth: float,
+    tox: float,
+    p_type: bool = False,
+) -> float:
+    """Return the saturation drive current (A) via the alpha-power law.
+
+    Raises :class:`DeviceModelError` if the device cannot turn on
+    (``Vth >= Vdd``) — designs that high-threshold are outside the paper's
+    space and would otherwise silently produce zero drive.
+    """
+    if width <= 0 or leff <= 0:
+        raise DeviceModelError(
+            f"transistor geometry must be positive, got W={width}, Leff={leff}"
+        )
+    overdrive = technology.vdd - vth
+    if overdrive <= 0:
+        raise DeviceModelError(
+            f"Vth={vth} V >= Vdd={technology.vdd} V: device never turns on"
+        )
+    mobility = technology.mobility_p if p_type else technology.mobility_n
+    cox = technology.cox(tox)
+    return 0.5 * mobility * cox * (width / leff) * overdrive ** technology.alpha_power
+
+
+def effective_resistance(
+    technology: Technology,
+    width: float,
+    leff: float,
+    vth: float,
+    tox: float,
+    p_type: bool = False,
+) -> float:
+    """Return the effective switching resistance (ohm) of one transistor.
+
+    ``R = fudge * Vdd / Idsat`` — the standard RC-delay abstraction.
+    """
+    ids = on_current(technology, width, leff, vth, tox, p_type=p_type)
+    return RESISTANCE_FUDGE * technology.vdd / ids
+
+
+def gate_capacitance(
+    technology: Technology,
+    width: float,
+    lgate: float,
+    tox: float,
+) -> float:
+    """Return the input (gate) capacitance (F) of one transistor.
+
+    Uses the drawn length (the whole gate sits over oxide) plus a fringe
+    factor.  Thicker oxide *reduces* gate capacitance — one of the two
+    reasons Tox has a weaker delay effect than its drive penalty alone
+    would suggest.
+    """
+    if width <= 0 or lgate <= 0:
+        raise DeviceModelError(
+            f"gate geometry must be positive, got W={width}, L={lgate}"
+        )
+    return FRINGE_FACTOR * technology.cox(tox) * width * lgate
+
+
+def junction_capacitance(technology: Technology, width: float) -> float:
+    """Return the source/drain junction capacitance (F) of one transistor.
+
+    Junction capacitance scales with width but *not* with Tox, which is why
+    wire/junction-dominated paths (bit lines, buses) dilute the Tox delay
+    sensitivity relative to gate-load-dominated paths.
+    """
+    if width <= 0:
+        raise DeviceModelError(f"width must be positive, got {width}")
+    return technology.junction_cap_per_width * width
+
+
+def fo4_delay(
+    technology: Technology,
+    vth: float,
+    tox: float,
+    leff: float = None,
+    lgate: float = None,
+) -> float:
+    """Return the fanout-of-4 inverter delay (s) at the given knobs.
+
+    The universal speed yardstick: an inverter driving four copies of
+    itself.  Uses a 2:1 P:N inverter at minimum width.  Useful both for
+    calibration tests (65 nm FO4 should be ~15-25 ps at the fast corner of
+    the design space) and for expressing component delays in
+    technology-neutral units.
+    """
+    if leff is None:
+        leff = technology.leff
+    if lgate is None:
+        lgate = technology.lgate_drawn
+    wn = technology.wmin
+    wp = 2.0 * technology.wmin
+    r_n = effective_resistance(technology, wn, leff, vth, tox)
+    c_in = gate_capacitance(technology, wn + wp, lgate, tox)
+    c_self = junction_capacitance(technology, wn + wp)
+    return 0.69 * r_n * (4.0 * c_in + c_self)

@@ -1,0 +1,27 @@
+"""Energy accounting for the L1 + L2 + main-memory system.
+
+Section 5 optimises the *total energy* of the whole processor memory
+system: dynamic energy of every access at every level (including the
+misses — "our studies also account for the dynamic power expended as a
+result of cache misses") plus the leakage of both caches integrated over
+the time the access stream occupies.
+
+* :mod:`~repro.energy.dynamic` — per-access dynamic energy composition;
+* :mod:`~repro.energy.leakage_budget` — leakage power x time integration;
+* :mod:`~repro.energy.system` — the per-access total-energy metric of
+  Figure 2 and the :class:`MemorySystem` object bundling both cache
+  models with a workload's miss statistics.
+"""
+
+from repro.energy.dynamic import DynamicEnergyModel, MainMemoryModel
+from repro.energy.leakage_budget import LeakageBudget, leakage_energy
+from repro.energy.system import MemorySystem, SystemEvaluation
+
+__all__ = [
+    "DynamicEnergyModel",
+    "MainMemoryModel",
+    "LeakageBudget",
+    "leakage_energy",
+    "MemorySystem",
+    "SystemEvaluation",
+]

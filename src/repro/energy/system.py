@@ -1,0 +1,129 @@
+"""The L1 + L2 + main-memory system metric (Section 5 / Figure 2).
+
+:class:`MemorySystem` bundles two cache models (structural or fitted —
+anything with the ``evaluate(assignment)`` interface) with a workload's
+miss-rate model and a main-memory model, and evaluates a *system design
+point* — a knob assignment per cache — into the two coordinates Figure 2
+plots:
+
+* **AMAT** = t_L1 + m_L1 (t_L2 + m_L2 t_mem), and
+* **total energy per reference** = dynamic energy (all levels, including
+  miss traffic) + (P_leak,L1 + P_leak,L2) x AMAT.
+
+The leakage x AMAT term is what couples the circuit knobs to the
+architecture: slowing a cache down to save leakage power stretches the
+very interval over which all caches keep leaking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.archsim.amat import amat_two_level
+from repro.archsim.missmodel import MissRateModel
+from repro.cache.assignment import Assignment
+from repro.energy.dynamic import DynamicEnergyModel, MainMemoryModel
+from repro.energy.leakage_budget import leakage_energy
+
+
+@dataclass(frozen=True)
+class SystemEvaluation:
+    """One system design point, fully evaluated.
+
+    All energies in joules, times in seconds, powers in watts.
+    """
+
+    l1_assignment: Assignment
+    l2_assignment: Assignment
+    l1_access_time: float
+    l2_access_time: float
+    l1_miss_rate: float
+    l2_local_miss_rate: float
+    amat: float
+    dynamic_energy: float
+    leakage_power: float
+
+    @property
+    def leakage_energy_per_access(self) -> float:
+        """Leakage burned during one average access interval (J)."""
+        return leakage_energy(self.leakage_power, self.amat)
+
+    @property
+    def total_energy(self) -> float:
+        """The Figure 2 y-coordinate: dynamic + leakage energy (J)."""
+        return self.dynamic_energy + self.leakage_energy_per_access
+
+
+class MemorySystem:
+    """Two cache models + miss statistics + main memory.
+
+    Parameters
+    ----------
+    l1_model / l2_model:
+        Anything exposing ``evaluate(assignment) -> CacheEvaluation`` and a
+        ``config`` attribute (:class:`~repro.cache.cache_model.CacheModel`
+        or :class:`~repro.models.analytical.FittedCacheModel`).
+    miss_model:
+        Local miss-rate curves of the driving workload.
+    memory:
+        Main-memory latency/energy model.
+    """
+
+    def __init__(
+        self,
+        l1_model,
+        l2_model,
+        miss_model: MissRateModel,
+        memory: MainMemoryModel = MainMemoryModel(),
+    ) -> None:
+        self.l1_model = l1_model
+        self.l2_model = l2_model
+        self.miss_model = miss_model
+        self.memory = memory
+        self.l1_miss_rate = miss_model.l1_miss_rate(l1_model.config.size_bytes)
+        self.l2_local_miss_rate = miss_model.l2_local_miss_rate(
+            l2_model.config.size_bytes
+        )
+
+    def evaluate(
+        self, l1_assignment: Assignment, l2_assignment: Assignment
+    ) -> SystemEvaluation:
+        """Evaluate one (L1 knobs, L2 knobs) system design point."""
+        l1_eval = self.l1_model.evaluate(l1_assignment)
+        l2_eval = self.l2_model.evaluate(l2_assignment)
+        amat = amat_two_level(
+            l1_hit_time=l1_eval.access_time,
+            l1_miss_rate=self.l1_miss_rate,
+            l2_hit_time=l2_eval.access_time,
+            l2_local_miss_rate=self.l2_local_miss_rate,
+            memory_latency=self.memory.latency,
+        )
+        dynamic_model = DynamicEnergyModel(
+            l1_access_energy=l1_eval.dynamic_read_energy,
+            l2_access_energy=l2_eval.dynamic_read_energy,
+            memory=self.memory,
+        )
+        dynamic = dynamic_model.energy_per_reference(
+            self.l1_miss_rate, self.l2_local_miss_rate
+        )
+        return SystemEvaluation(
+            l1_assignment=l1_assignment,
+            l2_assignment=l2_assignment,
+            l1_access_time=l1_eval.access_time,
+            l2_access_time=l2_eval.access_time,
+            l1_miss_rate=self.l1_miss_rate,
+            l2_local_miss_rate=self.l2_local_miss_rate,
+            amat=amat,
+            dynamic_energy=dynamic,
+            leakage_power=l1_eval.leakage_power + l2_eval.leakage_power,
+        )
+
+    def amat_of(self, l1_access_time: float, l2_access_time: float) -> float:
+        """AMAT (s) for given hit times under this system's miss rates."""
+        return amat_two_level(
+            l1_hit_time=l1_access_time,
+            l1_miss_rate=self.l1_miss_rate,
+            l2_hit_time=l2_access_time,
+            l2_local_miss_rate=self.l2_local_miss_rate,
+            memory_latency=self.memory.latency,
+        )

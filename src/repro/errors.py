@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate the failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class TechnologyError(ReproError):
+    """A technology parameter is missing, inconsistent, or out of range."""
+
+
+class DeviceModelError(ReproError):
+    """A device-physics model was evaluated outside its validity region."""
+
+
+class CircuitError(ReproError):
+    """A circuit netlist or component is malformed or unsizable."""
+
+
+class GeometryError(ReproError):
+    """A cache organisation cannot be realised (e.g. non-power-of-two rows)."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied configuration object is invalid."""
+
+
+class FittingError(ReproError):
+    """An analytical-model fit failed or is of unacceptable quality."""
+
+
+class SimulationError(ReproError):
+    """The architectural simulator was driven with inconsistent inputs."""
+
+
+class OptimizationError(ReproError):
+    """No feasible point exists, or the search space is empty."""
+
+
+class InfeasibleConstraintError(OptimizationError):
+    """The delay/AMAT constraint excludes every candidate design point.
+
+    Carries the tightest achievable value so callers can report how far the
+    requested constraint is from the feasible region.
+    """
+
+    def __init__(self, message: str, best_achievable: float = float("nan")):
+        super().__init__(message)
+        self.best_achievable = best_achievable

@@ -1,0 +1,34 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment is a function returning an
+:class:`~repro.experiments.report.ExperimentResult` (a table, optional
+plot series, and a list of findings) and is registered in
+:data:`~repro.experiments.runner.REGISTRY` under its DESIGN.md id:
+
+====  ==========================================================
+E1    Section 4 scheme comparison (Schemes I / II / III)
+E2    Figure 1 — fixed-Vth vs fixed-Tox sweeps, 16 KB cache
+E3    Section 5 L2-size exploration, one (Vth, Tox) pair per L2
+E4    Section 5 L2 exploration with core/periphery split pairs
+E5    Section 5 L1-size exploration
+E6    Figure 2 — the (#Tox, #Vth) tuple problem
+E7    Section 3 model-fit quality (implicit table)
+====  ==========================================================
+
+Run everything from the command line::
+
+    python -m repro.experiments.runner            # all experiments
+    python -m repro.experiments.runner E2 E6      # a subset
+"""
+
+from repro.experiments.report import ExperimentResult, format_table, render_series
+from repro.experiments.runner import REGISTRY, run_experiment, run_all
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "render_series",
+    "REGISTRY",
+    "run_experiment",
+    "run_all",
+]

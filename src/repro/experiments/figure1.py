@@ -1,0 +1,156 @@
+"""E2 — Figure 1: fixed-Vth vs fixed-Tox sweeps of a 16 KB cache.
+
+Reproduces the four curves of the paper's Figure 1: leakage power versus
+access time for a 16 KB cache with
+
+* Tox fixed at 10 Å and at 14 Å while Vth sweeps 0.2-0.5 V, and
+* Vth fixed at 0.2 V and at 0.4 V while Tox sweeps 10-14 Å,
+
+all under a uniform (Scheme III) assignment, as in the paper's
+sensitivity study.  The findings the paper reads off this figure:
+
+1. leakage is more sensitive to Tox than to Vth (the Tox=10 Å curve never
+   drops to the floor the Tox=14 Å curve reaches — gate tunnelling sets a
+   leakage floor only Tox can move);
+2. delay spans a wider range when Vth varies (Tox fixed) than when Tox
+   varies (Vth fixed);
+3. hence: set Tox conservatively thick and use Vth as the delay knob.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import CacheConfig
+from repro.experiments.report import ExperimentResult
+from repro.optimize.single_cache import fixed_knob_sweep
+from repro.optimize.space import DesignSpace, default_space
+from repro.technology.bptm import Technology
+
+#: The fixed values the paper's four curves use.
+FIXED_TOX_CURVES = (10.0, 14.0)
+FIXED_VTH_CURVES = (0.2, 0.4)
+
+
+def figure1_model(
+    size_kb: int = 16, technology: Optional[Technology] = None
+) -> CacheModel:
+    """The 16 KB cache of Figure 1 (32 B blocks, 2-way)."""
+    return CacheModel(
+        CacheConfig(
+            size_bytes=size_kb * 1024,
+            block_bytes=32,
+            associativity=2,
+            name=f"L1-{size_kb}K",
+        ),
+        technology=technology,
+    )
+
+
+def run_figure1(
+    size_kb: int = 16,
+    space: Optional[DesignSpace] = None,
+    technology: Optional[Technology] = None,
+) -> ExperimentResult:
+    """Generate the Figure 1 curves and check the paper's three findings."""
+    model = figure1_model(size_kb, technology)
+    if space is None:
+        space = default_space()
+
+    series = {}
+    rows = []
+    ranges = {}
+    for tox_a in FIXED_TOX_CURVES:
+        times, leaks, _ = fixed_knob_sweep(
+            model, fixed_tox_angstrom=tox_a, space=space
+        )
+        name = f"Tox={tox_a:.0f}A"
+        series[name] = (
+            [units.to_ps(t) for t in times],
+            [units.to_mw(p) for p in leaks],
+        )
+        ranges[name] = (times.min(), times.max(), leaks.min(), leaks.max())
+    for vth in FIXED_VTH_CURVES:
+        times, leaks, _ = fixed_knob_sweep(model, fixed_vth=vth, space=space)
+        name = f"Vth={vth * 1000:.0f}mV"
+        series[name] = (
+            [units.to_ps(t) for t in times],
+            [units.to_mw(p) for p in leaks],
+        )
+        ranges[name] = (times.min(), times.max(), leaks.min(), leaks.max())
+
+    for name, (t_lo, t_hi, p_lo, p_hi) in ranges.items():
+        rows.append(
+            [
+                name,
+                f"{units.to_ps(t_lo):.0f}",
+                f"{units.to_ps(t_hi):.0f}",
+                f"{t_hi / t_lo:.2f}",
+                f"{units.to_mw(p_lo):.3f}",
+                f"{units.to_mw(p_hi):.3f}",
+                f"{p_hi / p_lo:.1f}",
+            ]
+        )
+
+    findings = []
+    # Finding 1: Tox sets the leakage floor.
+    floor_thin = ranges["Tox=10A"][2]
+    floor_thick = ranges["Tox=14A"][2]
+    findings.append(
+        "leakage floor at Tox=10A is "
+        f"{floor_thin / floor_thick:.0f}x the Tox=14A floor "
+        "(gate tunnelling is the floor; only Tox moves it)"
+        if floor_thin > floor_thick
+        else "UNEXPECTED: thin-oxide floor not above thick-oxide floor"
+    )
+    # Finding 2: delay range wider when Vth varies.
+    vth_span = max(
+        ranges[f"Tox={t:.0f}A"][1] - ranges[f"Tox={t:.0f}A"][0]
+        for t in FIXED_TOX_CURVES
+    )
+    tox_span = max(
+        ranges[f"Vth={v * 1000:.0f}mV"][1] - ranges[f"Vth={v * 1000:.0f}mV"][0]
+        for v in FIXED_VTH_CURVES
+    )
+    findings.append(
+        f"delay span varying Vth ({units.to_ps(vth_span):.0f} ps) "
+        f"{'exceeds' if vth_span > tox_span else 'DOES NOT exceed'} "
+        f"span varying Tox ({units.to_ps(tox_span):.0f} ps) "
+        "-> Vth is the delay knob"
+    )
+    # Finding 3: max leakage ratio across Tox beats across Vth.
+    tox_leak_ratio = max(
+        ranges[f"Vth={v * 1000:.0f}mV"][3] / ranges[f"Vth={v * 1000:.0f}mV"][2]
+        for v in FIXED_VTH_CURVES
+    )
+    vth_leak_ratio = max(
+        ranges[f"Tox={t:.0f}A"][3] / ranges[f"Tox={t:.0f}A"][2]
+        for t in FIXED_TOX_CURVES
+    )
+    findings.append(
+        f"leakage ratio across Tox ({tox_leak_ratio:.0f}x) "
+        f"{'exceeds' if tox_leak_ratio > vth_leak_ratio else 'DOES NOT exceed'} "
+        f"ratio across Vth ({vth_leak_ratio:.0f}x) "
+        "-> leakage is more sensitive to Tox"
+    )
+
+    return ExperimentResult(
+        experiment_id="E2",
+        title=f"Figure 1 - fixed Vth vs fixed Tox ({size_kb} KB cache)",
+        headers=[
+            "curve",
+            "t_min(ps)",
+            "t_max(ps)",
+            "t ratio",
+            "P_min(mW)",
+            "P_max(mW)",
+            "P ratio",
+        ],
+        rows=rows,
+        findings=findings,
+        series=series,
+        x_label="access time (ps)",
+        y_label="leakage (mW)",
+    )

@@ -1,0 +1,121 @@
+"""Plain-text rendering of experiment outputs.
+
+No plotting dependency is assumed (the environment is offline); figures
+are rendered as aligned numeric series the way the paper's curves would
+be read off the axes, plus CSV export for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned ASCII table."""
+    if not headers:
+        raise ReproError("table needs headers")
+    columns = len(headers)
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != columns:
+            raise ReproError(
+                f"row has {len(row)} cells, expected {columns}: {row}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in text_rows))
+        if text_rows
+        else len(headers[i])
+        for i in range(columns)
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "  ".join("-" * width for width in widths)
+    out = [line(list(headers)), separator]
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def render_series(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    x_label: str,
+    y_label: str,
+    x_format: str = "{:.1f}",
+    y_format: str = "{:.3f}",
+) -> str:
+    """Render named (x, y) series as labelled columns."""
+    blocks = []
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ReproError(
+                f"series {name!r}: {len(xs)} x-values vs {len(ys)} y-values"
+            )
+        rows = [
+            (x_format.format(x), y_format.format(y)) for x, y in zip(xs, ys)
+        ]
+        blocks.append(
+            f"[{name}]\n" + format_table([x_label, y_label], rows)
+        )
+    return "\n\n".join(blocks)
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        DESIGN.md id, e.g. ``"E2"``.
+    title:
+        Human-readable title.
+    headers / rows:
+        The main results table.
+    findings:
+        Qualitative conclusions checked against the paper, one per line.
+    series:
+        Optional named (x, y) curves for figure-type experiments.
+    x_label / y_label:
+        Axis labels for the series.
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List]
+    findings: List[str] = field(default_factory=list)
+    series: Dict[str, Tuple[List[float], List[float]]] = field(
+        default_factory=dict
+    )
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def render(self) -> str:
+        """Render the whole result as readable text."""
+        out = io.StringIO()
+        out.write(f"=== {self.experiment_id}: {self.title} ===\n\n")
+        out.write(format_table(self.headers, self.rows))
+        out.write("\n")
+        if self.series:
+            out.write("\n")
+            out.write(
+                render_series(self.series, self.x_label, self.y_label)
+            )
+            out.write("\n")
+        if self.findings:
+            out.write("\nFindings:\n")
+            for finding in self.findings:
+                out.write(f"  * {finding}\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Export the main table as CSV."""
+        lines = [",".join(self.headers)]
+        lines.extend(
+            ",".join(str(cell) for cell in row) for row in self.rows
+        )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,106 @@
+"""Experiment registry and command-line runner.
+
+Usage::
+
+    python -m repro.experiments.runner            # run all experiments
+    python -m repro.experiments.runner E2 E6      # run a subset
+    python -m repro.experiments.runner --list     # list ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.errors import ReproError
+from repro.experiments.report import ExperimentResult
+from repro.experiments.scheme_comparison import run_scheme_comparison
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.l2_exploration import run_l2_exploration
+from repro.experiments.l1_exploration import run_l1_exploration
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.model_fit import run_model_fit
+
+
+def _run_e4() -> ExperimentResult:
+    return run_l2_exploration(split=True)
+
+
+#: Experiment id -> zero-argument callable producing the result.
+REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {
+    "E1": run_scheme_comparison,
+    "E2": run_figure1,
+    "E3": run_l2_exploration,
+    "E4": _run_e4,
+    "E5": run_l1_exploration,
+    "E6": run_figure2,
+    "E7": run_model_fit,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        runner = REGISTRY[experiment_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
+        )
+    return runner()
+
+
+def run_all() -> List[ExperimentResult]:
+    """Run every registered experiment in id order."""
+    return [run_experiment(experiment_id) for experiment_id in sorted(REGISTRY)]
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--svg",
+        metavar="DIR",
+        help="also write each experiment's figure as DIR/<id>.svg",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.list:
+        for experiment_id in sorted(REGISTRY):
+            print(experiment_id)
+        return 0
+    ids = arguments.experiments or sorted(REGISTRY)
+    for experiment_id in ids:
+        start = time.time()
+        result = run_experiment(experiment_id)
+        print(result.render())
+        if arguments.svg and result.series:
+            import os
+
+            from repro.experiments.svgplot import chart_from_series
+
+            os.makedirs(arguments.svg, exist_ok=True)
+            chart = chart_from_series(
+                f"{result.experiment_id}: {result.title}",
+                result.series,
+                result.x_label,
+                result.y_label,
+            )
+            path = os.path.join(arguments.svg, f"{experiment_id}.svg")
+            chart.save(path)
+            print(f"[figure written to {path}]")
+        print(f"[{experiment_id} completed in {time.time() - start:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

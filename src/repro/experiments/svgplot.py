@@ -1,0 +1,210 @@
+"""Minimal dependency-free SVG line charts.
+
+The reproduction environment has no plotting stack, but "regenerate
+Figure 1 / Figure 2" should still mean producing an actual figure.  This
+module renders named (x, y) series — the
+:attr:`~repro.experiments.report.ExperimentResult.series` payload — as a
+self-contained SVG: axes, ticks, polyline per series, legend.  It is a
+chart writer, not a charting library: one layout, sized for the paper's
+two figures.
+
+Usage::
+
+    python -m repro.experiments.runner --svg out/   # one .svg per figure
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Canvas layout (px).
+WIDTH = 640
+HEIGHT = 420
+MARGIN_LEFT = 70
+MARGIN_RIGHT = 160
+MARGIN_TOP = 30
+MARGIN_BOTTOM = 50
+
+#: Colour cycle (colour-blind-safe Okabe-Ito subset).
+COLORS = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9")
+
+
+def _nice_ticks(low: float, high: float, target: int = 6) -> List[float]:
+    """Return round-numbered tick positions covering [low, high]."""
+    if not (math.isfinite(low) and math.isfinite(high)):
+        raise ReproError(f"non-finite axis range: [{low}, {high}]")
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(target - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiplier in (1, 2, 2.5, 5, 10):
+        step = multiplier * magnitude
+        if span / step <= target:
+            break
+    first = math.floor(low / step) * step
+    ticks = []
+    value = first
+    while value <= high + 0.5 * step:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _format_tick(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:g}"
+
+
+class SvgLineChart:
+    """One chart: add series, then render to an SVG string."""
+
+    def __init__(self, title: str, x_label: str, y_label: str) -> None:
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self._series: List[Tuple[str, Sequence[float], Sequence[float]]] = []
+
+    def add_series(
+        self, name: str, xs: Sequence[float], ys: Sequence[float]
+    ) -> None:
+        if len(xs) != len(ys):
+            raise ReproError(
+                f"series {name!r}: {len(xs)} x-values vs {len(ys)} y-values"
+            )
+        if not xs:
+            raise ReproError(f"series {name!r} is empty")
+        self._series.append((name, list(xs), list(ys)))
+
+    # -- rendering --------------------------------------------------------
+
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [x for _, series_x, _ in self._series for x in series_x]
+        ys = [y for _, _, series_y in self._series for y in series_y]
+        return min(xs), max(xs), min(ys), max(ys)
+
+    def render(self) -> str:
+        """Return the chart as a complete SVG document string."""
+        if not self._series:
+            raise ReproError("chart has no series")
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+        x_ticks = _nice_ticks(x_lo, x_hi)
+        y_ticks = _nice_ticks(min(y_lo, 0.0) if y_lo > 0 else y_lo, y_hi)
+        x_lo, x_hi = min(x_ticks[0], x_lo), max(x_ticks[-1], x_hi)
+        y_lo, y_hi = min(y_ticks[0], y_lo), max(y_ticks[-1], y_hi)
+
+        plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+        plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+
+        def px(x: float) -> float:
+            return MARGIN_LEFT + plot_w * (x - x_lo) / (x_hi - x_lo)
+
+        def py(y: float) -> float:
+            return MARGIN_TOP + plot_h * (1.0 - (y - y_lo) / (y_hi - y_lo))
+
+        parts: List[str] = []
+        parts.append(
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+            f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">'
+        )
+        parts.append(
+            f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>'
+        )
+        parts.append(
+            f'<text x="{MARGIN_LEFT}" y="18" font-family="sans-serif" '
+            f'font-size="14" font-weight="bold">{self.title}</text>'
+        )
+        # Axes frame.
+        parts.append(
+            f'<rect x="{MARGIN_LEFT}" y="{MARGIN_TOP}" width="{plot_w}" '
+            f'height="{plot_h}" fill="none" stroke="#333"/>'
+        )
+        # Grid + ticks.
+        for tick in x_ticks:
+            if not x_lo <= tick <= x_hi:
+                continue
+            x = px(tick)
+            parts.append(
+                f'<line x1="{x:.1f}" y1="{MARGIN_TOP}" x2="{x:.1f}" '
+                f'y2="{MARGIN_TOP + plot_h}" stroke="#ddd"/>'
+            )
+            parts.append(
+                f'<text x="{x:.1f}" y="{MARGIN_TOP + plot_h + 16}" '
+                f'font-family="sans-serif" font-size="11" '
+                f'text-anchor="middle">{_format_tick(tick)}</text>'
+            )
+        for tick in y_ticks:
+            if not y_lo <= tick <= y_hi:
+                continue
+            y = py(tick)
+            parts.append(
+                f'<line x1="{MARGIN_LEFT}" y1="{y:.1f}" '
+                f'x2="{MARGIN_LEFT + plot_w}" y2="{y:.1f}" stroke="#ddd"/>'
+            )
+            parts.append(
+                f'<text x="{MARGIN_LEFT - 6}" y="{y + 4:.1f}" '
+                f'font-family="sans-serif" font-size="11" '
+                f'text-anchor="end">{_format_tick(tick)}</text>'
+            )
+        # Axis labels.
+        parts.append(
+            f'<text x="{MARGIN_LEFT + plot_w / 2:.0f}" y="{HEIGHT - 12}" '
+            f'font-family="sans-serif" font-size="12" '
+            f'text-anchor="middle">{self.x_label}</text>'
+        )
+        parts.append(
+            f'<text x="16" y="{MARGIN_TOP + plot_h / 2:.0f}" '
+            f'font-family="sans-serif" font-size="12" text-anchor="middle" '
+            f'transform="rotate(-90 16 {MARGIN_TOP + plot_h / 2:.0f})">'
+            f"{self.y_label}</text>"
+        )
+        # Series.
+        for index, (name, xs, ys) in enumerate(self._series):
+            color = COLORS[index % len(COLORS)]
+            points = " ".join(
+                f"{px(x):.1f},{py(y):.1f}" for x, y in zip(xs, ys)
+            )
+            parts.append(
+                f'<polyline points="{points}" fill="none" '
+                f'stroke="{color}" stroke-width="1.8"/>'
+            )
+            for x, y in zip(xs, ys):
+                parts.append(
+                    f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="2.4" '
+                    f'fill="{color}"/>'
+                )
+            legend_y = MARGIN_TOP + 14 + 18 * index
+            legend_x = MARGIN_LEFT + plot_w + 12
+            parts.append(
+                f'<line x1="{legend_x}" y1="{legend_y - 4}" '
+                f'x2="{legend_x + 22}" y2="{legend_y - 4}" '
+                f'stroke="{color}" stroke-width="2"/>'
+            )
+            parts.append(
+                f'<text x="{legend_x + 28}" y="{legend_y}" '
+                f'font-family="sans-serif" font-size="11">{name}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        """Write the SVG document to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())
+
+
+def chart_from_series(
+    title: str,
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    x_label: str,
+    y_label: str,
+) -> SvgLineChart:
+    """Build a chart from an ExperimentResult's ``series`` mapping."""
+    chart = SvgLineChart(title=title, x_label=x_label, y_label=y_label)
+    for name, (xs, ys) in series.items():
+        chart.add_series(name, xs, ys)
+    return chart

@@ -1,0 +1,51 @@
+"""Section 3 analytical models: the paper's fitted closed forms.
+
+The paper observes (via HSPICE) that each cache component's total leakage
+is a double exponential in (Vth, Tox) and its delay is linear in Tox with
+a weak exponential Vth dependence, then uses those closed forms in the
+optimisation.  This package reproduces that workflow against our circuit
+substrate:
+
+* :mod:`~repro.models.forms` — the closed forms
+  ``P = A0 + A1 e^{a1 Vth} + A2 e^{a2 Tox}`` and
+  ``T = k0 + k1 e^{k3 Vth} + k2 Tox``;
+* :mod:`~repro.models.characterize` — the "HSPICE campaign": sweep a
+  component over the (Vth, Tox) grid and record leakage / delay samples;
+* :mod:`~repro.models.fitting` — least-squares fits of the closed forms to
+  the samples, with fit-quality reporting;
+* :mod:`~repro.models.analytical` — a fitted drop-in stand-in for a
+  :class:`~repro.cache.cache_model.CacheModel`, mirroring how the paper
+  optimises over the fitted forms rather than raw simulations.
+"""
+
+from repro.models.forms import LeakageForm, DelayForm, EnergyForm
+from repro.models.characterize import (
+    ComponentSamples,
+    characterize_component,
+    characterize_cache,
+    default_grid,
+)
+from repro.models.fitting import (
+    FitReport,
+    fit_leakage,
+    fit_delay,
+    fit_energy,
+)
+from repro.models.analytical import FittedComponent, FittedCacheModel, fit_cache_model
+
+__all__ = [
+    "LeakageForm",
+    "DelayForm",
+    "EnergyForm",
+    "ComponentSamples",
+    "characterize_component",
+    "characterize_cache",
+    "default_grid",
+    "FitReport",
+    "fit_leakage",
+    "fit_delay",
+    "fit_energy",
+    "FittedComponent",
+    "FittedCacheModel",
+    "fit_cache_model",
+]

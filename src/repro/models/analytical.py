@@ -1,0 +1,143 @@
+"""Fitted analytical cache model — the paper's optimisation substrate.
+
+The paper does not optimise over HSPICE directly: it fits the Section 3
+closed forms once per component and runs the nonlinear program over the
+fitted models.  :func:`fit_cache_model` reproduces that workflow: it
+characterises a structural :class:`~repro.cache.cache_model.CacheModel`
+over the grid, fits all three forms per component, and returns a
+:class:`FittedCacheModel` that duck-types the structural model's
+``evaluate`` / ``access_time`` / ``leakage_power`` interface — so every
+optimiser in :mod:`repro.optimize` runs unchanged on either substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro import units
+from repro.cache.assignment import Assignment, Knobs
+from repro.cache.cache_model import CacheEvaluation, CacheModel
+from repro.cache.components import ComponentCost
+from repro.errors import FittingError
+from repro.models.characterize import characterize_component
+from repro.models.fitting import (
+    FitReport,
+    fit_delay,
+    fit_energy,
+    fit_leakage,
+)
+from repro.models.forms import DelayForm, EnergyForm, LeakageForm
+
+
+@dataclass(frozen=True)
+class FittedComponent:
+    """One component's three fitted forms plus their quality reports."""
+
+    name: str
+    leakage_form: LeakageForm
+    delay_form: DelayForm
+    energy_form: EnergyForm
+    leakage_report: FitReport
+    delay_report: FitReport
+    energy_report: FitReport
+
+    def evaluate(self, vth: float, tox: float) -> ComponentCost:
+        """Evaluate the fitted forms at (vth, tox[m]) as a ComponentCost."""
+        tox_a = units.to_angstrom(tox)
+        return ComponentCost(
+            delay=float(self.delay_form(vth, tox_a)),
+            leakage_power=float(self.leakage_form(vth, tox_a)),
+            dynamic_energy=float(self.energy_form(vth, tox_a)),
+            transistor_count=0,
+        )
+
+    def delay(self, vth: float, tox: float) -> float:
+        return self.evaluate(vth, tox).delay
+
+    def leakage_power(self, vth: float, tox: float) -> float:
+        return self.evaluate(vth, tox).leakage_power
+
+    def dynamic_energy(self, vth: float, tox: float) -> float:
+        return self.evaluate(vth, tox).dynamic_energy
+
+
+class FittedCacheModel:
+    """A cache model backed by fitted closed forms (Section 3 workflow).
+
+    Mirrors the :class:`~repro.cache.cache_model.CacheModel` evaluation
+    interface; holds a reference to the structural model it was fitted
+    from for configuration metadata.
+    """
+
+    def __init__(
+        self,
+        source: CacheModel,
+        components: Dict[str, FittedComponent],
+    ) -> None:
+        if sorted(components) != sorted(source.components):
+            raise FittingError(
+                "fitted components do not cover the structural model: "
+                f"{sorted(components)} vs {sorted(source.components)}"
+            )
+        self.source = source
+        self.config = source.config
+        self.technology = source.technology
+        self.organization = source.organization
+        self.components = components
+
+    def evaluate(self, assignment: Assignment) -> CacheEvaluation:
+        by_component = {
+            name: self.components[name].evaluate(point.vth, point.tox)
+            for name, point in assignment.components()
+        }
+        return CacheEvaluation(assignment=assignment, by_component=by_component)
+
+    def access_time(self, assignment: Assignment) -> float:
+        return self.evaluate(assignment).access_time
+
+    def leakage_power(self, assignment: Assignment) -> float:
+        return self.evaluate(assignment).leakage_power
+
+    def dynamic_read_energy(self, assignment: Assignment) -> float:
+        return self.evaluate(assignment).dynamic_read_energy
+
+    def uniform(self, point: Knobs) -> CacheEvaluation:
+        return self.evaluate(Assignment.uniform(point))
+
+    def worst_fit_r_squared(self) -> float:
+        """Return the lowest linear-space R^2 across all fitted forms."""
+        reports = []
+        for component in self.components.values():
+            reports.extend(
+                [
+                    component.leakage_report,
+                    component.delay_report,
+                    component.energy_report,
+                ]
+            )
+        return min(report.r_squared for report in reports)
+
+
+def fit_cache_model(
+    model: CacheModel,
+    vths: Optional[Sequence[float]] = None,
+    toxes_angstrom: Optional[Sequence[float]] = None,
+) -> FittedCacheModel:
+    """Characterise and fit all four components of a structural model."""
+    fitted: Dict[str, FittedComponent] = {}
+    for name in model.components:
+        samples = characterize_component(model, name, vths, toxes_angstrom)
+        leakage_form, leakage_report = fit_leakage(samples)
+        delay_form, delay_report = fit_delay(samples)
+        energy_form, energy_report = fit_energy(samples)
+        fitted[name] = FittedComponent(
+            name=name,
+            leakage_form=leakage_form,
+            delay_form=delay_form,
+            energy_form=energy_form,
+            leakage_report=leakage_report,
+            delay_report=delay_report,
+            energy_report=energy_report,
+        )
+    return FittedCacheModel(source=model, components=fitted)

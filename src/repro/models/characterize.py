@@ -1,0 +1,151 @@
+"""Characterisation sweeps — the library's "HSPICE campaign".
+
+The paper characterises BPTM technology files over the (Vth, Tox) grid and
+fits closed forms to the results.  Here the circuit substrate plays the
+role of HSPICE: :func:`characterize_component` sweeps one cache component
+over a grid and records (leakage, delay, dynamic energy) samples that
+:mod:`repro.models.fitting` then fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.errors import FittingError
+from repro.technology.bptm import TOX_MAX_A, TOX_MIN_A, VTH_MAX, VTH_MIN
+from repro.cache.cache_model import CacheModel
+
+#: Default grid density (the paper: "discrete values with small step size").
+DEFAULT_VTH_POINTS = 13
+DEFAULT_TOX_POINTS = 9
+
+
+def default_grid(
+    vth_points: int = DEFAULT_VTH_POINTS,
+    tox_points: int = DEFAULT_TOX_POINTS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return the default (vth_values, tox_values_angstrom) sweep axes."""
+    if vth_points < 2 or tox_points < 2:
+        raise FittingError(
+            f"grid needs >= 2 points per axis, got {vth_points}x{tox_points}"
+        )
+    vths = np.linspace(VTH_MIN, VTH_MAX, vth_points)
+    toxes = np.linspace(TOX_MIN_A, TOX_MAX_A, tox_points)
+    return vths, toxes
+
+
+@dataclass(frozen=True)
+class ComponentSamples:
+    """Characterisation samples of one component over a (Vth, Tox) grid.
+
+    Attributes
+    ----------
+    component:
+        Component name (one of
+        :data:`repro.cache.assignment.COMPONENT_NAMES`).
+    vths / toxes_angstrom:
+        The 1-D sweep axes.
+    leakage / delay / energy:
+        2-D arrays of shape ``(len(vths), len(toxes))`` — watts, seconds,
+        joules.
+    """
+
+    component: str
+    vths: np.ndarray
+    toxes_angstrom: np.ndarray
+    leakage: np.ndarray
+    delay: np.ndarray
+    energy: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = (len(self.vths), len(self.toxes_angstrom))
+        for name in ("leakage", "delay", "energy"):
+            array = getattr(self, name)
+            if array.shape != expected:
+                raise FittingError(
+                    f"{name} samples have shape {array.shape}, expected {expected}"
+                )
+
+    def flat(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return flattened (vth, tox, leakage, delay, energy) columns."""
+        vth_grid, tox_grid = np.meshgrid(self.vths, self.toxes_angstrom, indexing="ij")
+        return (
+            vth_grid.ravel(),
+            tox_grid.ravel(),
+            self.leakage.ravel(),
+            self.delay.ravel(),
+            self.energy.ravel(),
+        )
+
+    @property
+    def n_samples(self) -> int:
+        return self.leakage.size
+
+
+def characterize_component(
+    model: CacheModel,
+    component: str,
+    vths: Sequence[float] = None,
+    toxes_angstrom: Sequence[float] = None,
+) -> ComponentSamples:
+    """Sweep one component of ``model`` over the (Vth, Tox) grid.
+
+    Parameters
+    ----------
+    model:
+        The structural cache model whose component is characterised.
+    component:
+        Component name, e.g. ``"array"``.
+    vths / toxes_angstrom:
+        Sweep axes; default to :func:`default_grid`.
+    """
+    if component not in model.components:
+        raise FittingError(
+            f"unknown component {component!r}; expected one of "
+            f"{sorted(model.components)}"
+        )
+    if vths is None or toxes_angstrom is None:
+        default_vths, default_toxes = default_grid()
+        vths = default_vths if vths is None else np.asarray(vths, dtype=float)
+        toxes_angstrom = (
+            default_toxes
+            if toxes_angstrom is None
+            else np.asarray(toxes_angstrom, dtype=float)
+        )
+    vths = np.asarray(vths, dtype=float)
+    toxes_angstrom = np.asarray(toxes_angstrom, dtype=float)
+
+    block = model.components[component]
+    leakage = np.empty((len(vths), len(toxes_angstrom)))
+    delay = np.empty_like(leakage)
+    energy = np.empty_like(leakage)
+    for i, vth in enumerate(vths):
+        for j, tox_a in enumerate(toxes_angstrom):
+            cost = block.evaluate(float(vth), units.angstrom(float(tox_a)))
+            leakage[i, j] = cost.leakage_power
+            delay[i, j] = cost.delay
+            energy[i, j] = cost.dynamic_energy
+    return ComponentSamples(
+        component=component,
+        vths=vths,
+        toxes_angstrom=toxes_angstrom,
+        leakage=leakage,
+        delay=delay,
+        energy=energy,
+    )
+
+
+def characterize_cache(
+    model: CacheModel,
+    vths: Sequence[float] = None,
+    toxes_angstrom: Sequence[float] = None,
+) -> Dict[str, ComponentSamples]:
+    """Characterise all four components of a cache model."""
+    return {
+        name: characterize_component(model, name, vths, toxes_angstrom)
+        for name in model.components
+    }

@@ -1,0 +1,174 @@
+"""Least-squares fitting of the Section 3 closed forms.
+
+The leakage surface spans several decades, so a plain linear-space fit
+would only care about the leakiest corner; we therefore fit the
+double-exponential leakage form by separable nonlinear least squares on a
+(a1, a2) exponent grid — for fixed exponents the coefficients
+(A0, A1, A2) solve a *linear* non-negative problem — scored in **log
+space** so every decade counts equally.  The delay form is fitted the same
+way over its single nonlinear parameter k3 (scored in linear space; delay
+spans less than one decade).  Both fits are deterministic: no random
+starts, no iteration-order dependence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.errors import FittingError
+from repro.models.characterize import ComponentSamples
+from repro.models.forms import DelayForm, EnergyForm, LeakageForm
+
+#: Exponent search grids.  Leakage: a1 in decades/V ~ [4, 16] -> 1/V;
+#: a2 in decades/Å ~ [0.2, 1.4].  Delay: k3 in 1/V.
+LEAKAGE_A1_GRID = -np.linspace(8.0, 40.0, 65)
+LEAKAGE_A2_GRID = -np.linspace(0.4, 3.2, 57)
+DELAY_K3_GRID = np.linspace(0.2, 6.0, 117)
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Quality metrics of one fitted form.
+
+    Attributes
+    ----------
+    r_squared:
+        Coefficient of determination in linear space.
+    log_r_squared:
+        R^2 computed on log10 of the data (meaningful for leakage, which
+        spans decades; NaN when the data contains non-positive values).
+    max_relative_error:
+        ``max |fit - data| / data`` over the grid.
+    rmse:
+        Root-mean-square error in the data's units.
+    n_samples:
+        Number of grid points fitted.
+    """
+
+    r_squared: float
+    log_r_squared: float
+    max_relative_error: float
+    rmse: float
+    n_samples: int
+
+    def acceptable(self, min_r_squared: float = 0.98) -> bool:
+        """Return True if the fit explains the data well enough to use."""
+        return self.r_squared >= min_r_squared
+
+
+def _report(data: np.ndarray, fitted: np.ndarray) -> FitReport:
+    residual = fitted - data
+    ss_res = float(np.sum(residual**2))
+    ss_tot = float(np.sum((data - data.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    if np.all(data > 0) and np.all(fitted > 0):
+        log_data = np.log10(data)
+        log_fit = np.log10(fitted)
+        ss_res_log = float(np.sum((log_fit - log_data) ** 2))
+        ss_tot_log = float(np.sum((log_data - log_data.mean()) ** 2))
+        log_r_squared = 1.0 - ss_res_log / ss_tot_log if ss_tot_log > 0 else 1.0
+    else:
+        log_r_squared = float("nan")
+    max_rel = float(np.max(np.abs(residual) / np.maximum(np.abs(data), 1e-30)))
+    rmse = math.sqrt(ss_res / data.size)
+    return FitReport(
+        r_squared=r_squared,
+        log_r_squared=log_r_squared,
+        max_relative_error=max_rel,
+        rmse=rmse,
+        n_samples=int(data.size),
+    )
+
+
+def _leakage_design_matrix(
+    vth: np.ndarray, tox: np.ndarray, a1: float, a2: float
+) -> np.ndarray:
+    return np.column_stack(
+        [np.ones_like(vth), np.exp(a1 * vth), np.exp(a2 * tox)]
+    )
+
+
+def fit_leakage(samples: ComponentSamples) -> Tuple[LeakageForm, FitReport]:
+    """Fit the double-exponential leakage form to component samples.
+
+    Returns the fitted :class:`LeakageForm` and its :class:`FitReport`.
+    Raises :class:`FittingError` if the samples contain non-positive
+    leakage (physically impossible; indicates a broken substrate).
+    """
+    vth, tox, leakage, _, _ = samples.flat()
+    if np.any(leakage <= 0):
+        raise FittingError(
+            f"component {samples.component!r} reported non-positive leakage"
+        )
+    log_data = np.log(leakage)
+    best = None
+    for a1 in LEAKAGE_A1_GRID:
+        basis1 = np.exp(a1 * vth)
+        for a2 in LEAKAGE_A2_GRID:
+            matrix = np.column_stack([np.ones_like(vth), basis1, np.exp(a2 * tox)])
+            coefficients, _ = nnls(matrix, leakage)
+            prediction = matrix @ coefficients
+            # Score in log space so the quiet corner of the design box
+            # counts as much as the leaky one.
+            safe = np.maximum(prediction, 1e-30)
+            score = float(np.sum((np.log(safe) - log_data) ** 2))
+            if best is None or score < best[0]:
+                best = (score, a1, a2, coefficients)
+    _, a1, a2, coefficients = best
+    form = LeakageForm(
+        a0=float(coefficients[0]),
+        a1_coeff=float(coefficients[1]),
+        a1_exp=float(a1),
+        a2_coeff=float(coefficients[2]),
+        a2_exp=float(a2),
+    )
+    fitted = form(vth, tox)
+    return form, _report(leakage, fitted)
+
+
+def fit_delay(samples: ComponentSamples) -> Tuple[DelayForm, FitReport]:
+    """Fit the linear-Tox / weak-exponential-Vth delay form."""
+    vth, tox, _, delay, _ = samples.flat()
+    if np.any(delay <= 0):
+        raise FittingError(
+            f"component {samples.component!r} reported non-positive delay"
+        )
+    best = None
+    for k3 in DELAY_K3_GRID:
+        matrix = np.column_stack([np.ones_like(vth), np.exp(k3 * vth), tox])
+        coefficients, residuals, _, _ = np.linalg.lstsq(matrix, delay, rcond=None)
+        prediction = matrix @ coefficients
+        score = float(np.sum((prediction - delay) ** 2))
+        if coefficients[1] < 0:
+            continue  # k1 must be non-negative for the form to make sense
+        if best is None or score < best[0]:
+            best = (score, k3, coefficients)
+    if best is None:
+        raise FittingError(
+            f"delay fit failed for component {samples.component!r}: no "
+            "admissible k3 produced a non-negative exponential coefficient"
+        )
+    _, k3, coefficients = best
+    form = DelayForm(
+        k0=float(coefficients[0]),
+        k1=float(coefficients[1]),
+        k2=float(coefficients[2]),
+        k3=float(k3),
+    )
+    fitted = form(vth, tox)
+    return form, _report(delay, fitted)
+
+
+def fit_energy(samples: ComponentSamples) -> Tuple[EnergyForm, FitReport]:
+    """Fit the linear-Tox dynamic-energy form."""
+    vth, tox, _, _, energy = samples.flat()
+    matrix = np.column_stack([np.ones_like(tox), tox])
+    coefficients, _, _, _ = np.linalg.lstsq(matrix, energy, rcond=None)
+    form = EnergyForm(e0=float(coefficients[0]), e1=float(coefficients[1]))
+    fitted = form(vth, tox)
+    return form, _report(energy, fitted)

@@ -1,0 +1,133 @@
+"""The paper's closed analytical forms (Section 3).
+
+Total leakage of a cache component::
+
+    P_total(Vth, Tox) = A0 + A1 * exp(a1 * Vth) + A2 * exp(a2 * Tox)
+
+with ``a1 < 0`` (subthreshold conduction dies exponentially with threshold)
+and ``a2 < 0`` (gate tunnelling dies exponentially with oxide thickness).
+
+Delay of a component::
+
+    Td(Vth, Tox) = k0 + k1 * exp(k3 * Vth) + k2 * Tox
+
+with ``k3 > 0`` small ("exponential growth with very small exponents") and
+``k2 > 0`` (thicker oxide is linearly slower over the narrow design
+window).
+
+Conventions: Vth in volts, Tox in **ångströms** (the paper's unit — using
+metres would push the exponents to 1e10 magnitudes and wreck conditioning),
+leakage in watts, delay in seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FittingError
+
+
+@dataclass(frozen=True)
+class LeakageForm:
+    """``P(Vth, Tox) = A0 + A1 e^{a1 Vth} + A2 e^{a2 Tox}`` (watts).
+
+    ``a1`` is in 1/V, ``a2`` in 1/Å.
+    """
+
+    a0: float
+    a1_coeff: float
+    a1_exp: float
+    a2_coeff: float
+    a2_exp: float
+
+    def __post_init__(self) -> None:
+        if self.a1_coeff < 0 or self.a2_coeff < 0:
+            raise FittingError(
+                "leakage form requires non-negative exponential coefficients, "
+                f"got A1={self.a1_coeff}, A2={self.a2_coeff}"
+            )
+
+    def __call__(self, vth, tox_angstrom):
+        """Evaluate the form; accepts scalars or numpy arrays."""
+        vth = np.asarray(vth, dtype=float)
+        tox = np.asarray(tox_angstrom, dtype=float)
+        result = (
+            self.a0
+            + self.a1_coeff * np.exp(self.a1_exp * vth)
+            + self.a2_coeff * np.exp(self.a2_exp * tox)
+        )
+        if result.ndim == 0:
+            return float(result)
+        return result
+
+    @property
+    def subthreshold_decades_per_volt(self) -> float:
+        """|a1| converted to decades/V — comparable with 1/S of the device."""
+        return abs(self.a1_exp) / math.log(10.0)
+
+    @property
+    def gate_decades_per_angstrom(self) -> float:
+        """|a2| converted to decades/Å — comparable with tunnelling data."""
+        return abs(self.a2_exp) / math.log(10.0)
+
+    def parameters(self) -> Tuple[float, float, float, float, float]:
+        return (self.a0, self.a1_coeff, self.a1_exp, self.a2_coeff, self.a2_exp)
+
+
+@dataclass(frozen=True)
+class DelayForm:
+    """``T(Vth, Tox) = k0 + k1 e^{k3 Vth} + k2 Tox`` (seconds).
+
+    ``k3`` is in 1/V, ``k2`` in s/Å.
+    """
+
+    k0: float
+    k1: float
+    k2: float
+    k3: float
+
+    def __post_init__(self) -> None:
+        if self.k1 < 0:
+            raise FittingError(f"delay form requires k1 >= 0, got {self.k1}")
+
+    def __call__(self, vth, tox_angstrom):
+        """Evaluate the form; accepts scalars or numpy arrays."""
+        vth = np.asarray(vth, dtype=float)
+        tox = np.asarray(tox_angstrom, dtype=float)
+        result = self.k0 + self.k1 * np.exp(self.k3 * vth) + self.k2 * tox
+        if result.ndim == 0:
+            return float(result)
+        return result
+
+    def parameters(self) -> Tuple[float, float, float, float]:
+        return (self.k0, self.k1, self.k2, self.k3)
+
+
+@dataclass(frozen=True)
+class EnergyForm:
+    """``E(Vth, Tox) = e0 + e1 * Tox`` (joules per access).
+
+    Dynamic energy is ``C V^2``-driven: Vth plays no role and the Tox
+    dependence (bigger cells -> longer lines, thinner oxide -> more gate
+    capacitance) is mild and near-linear over the design window.  Not in
+    the paper's Section 3 (it only fits leakage and delay) but required to
+    close the Section 5 total-energy loop with fitted models.
+    """
+
+    e0: float
+    e1: float
+
+    def __call__(self, vth, tox_angstrom):
+        """Evaluate the form; ``vth`` is accepted (and ignored) for symmetry."""
+        tox = np.asarray(tox_angstrom, dtype=float)
+        result = self.e0 + self.e1 * tox
+        if result.ndim == 0:
+            return float(result)
+        return result
+
+    def parameters(self) -> Tuple[float, float]:
+        return (self.e0, self.e1)

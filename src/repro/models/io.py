@@ -1,0 +1,119 @@
+"""JSON persistence for fitted analytical models.
+
+Characterising and fitting a large L2 takes seconds; design-space scripts
+that iterate on optimisation settings shouldn't re-pay it every run.
+:func:`save_fitted_model` / :func:`load_fitted_model` round-trip a
+:class:`~repro.models.analytical.FittedCacheModel` through a plain JSON
+document (the structural source model is *not* serialised — loading
+requires the same :class:`~repro.cache.cache_model.CacheModel` to be
+rebuilt, and the document records enough configuration fingerprint to
+verify the pairing).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.errors import FittingError
+from repro.models.analytical import FittedCacheModel, FittedComponent
+from repro.models.fitting import FitReport
+from repro.models.forms import DelayForm, EnergyForm, LeakageForm
+
+#: Document schema version; bump on breaking layout changes.
+SCHEMA_VERSION = 1
+
+
+def _fingerprint(model) -> Dict:
+    """Identifying facts of the structural model a fit belongs to."""
+    return {
+        "config_name": model.config.name,
+        "size_bytes": model.config.size_bytes,
+        "block_bytes": model.config.block_bytes,
+        "associativity": model.config.associativity,
+        "technology": model.technology.name,
+        "ndwl": model.organization.ndwl,
+        "ndbl": model.organization.ndbl,
+    }
+
+
+def _report_to_dict(report: FitReport) -> Dict:
+    return {
+        "r_squared": report.r_squared,
+        "log_r_squared": report.log_r_squared,
+        "max_relative_error": report.max_relative_error,
+        "rmse": report.rmse,
+        "n_samples": report.n_samples,
+    }
+
+
+def _report_from_dict(data: Dict) -> FitReport:
+    return FitReport(**data)
+
+
+def fitted_model_to_dict(fitted: FittedCacheModel) -> Dict:
+    """Serialise a fitted model to a JSON-ready dict."""
+    components = {}
+    for name, component in fitted.components.items():
+        components[name] = {
+            "leakage": list(component.leakage_form.parameters()),
+            "delay": list(component.delay_form.parameters()),
+            "energy": list(component.energy_form.parameters()),
+            "leakage_report": _report_to_dict(component.leakage_report),
+            "delay_report": _report_to_dict(component.delay_report),
+            "energy_report": _report_to_dict(component.energy_report),
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "fingerprint": _fingerprint(fitted),
+        "components": components,
+    }
+
+
+def fitted_model_from_dict(data: Dict, source) -> FittedCacheModel:
+    """Rebuild a fitted model against its structural ``source``.
+
+    Raises :class:`FittingError` if the document was fitted for a
+    different configuration (size, shape, organisation or node).
+    """
+    if data.get("schema_version") != SCHEMA_VERSION:
+        raise FittingError(
+            f"unsupported schema version {data.get('schema_version')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    expected = _fingerprint(source)
+    if data.get("fingerprint") != expected:
+        raise FittingError(
+            "fitted-model document does not match the structural model: "
+            f"{data.get('fingerprint')} vs {expected}"
+        )
+    components = {}
+    for name, payload in data["components"].items():
+        a0, a1c, a1e, a2c, a2e = payload["leakage"]
+        k0, k1, k2, k3 = payload["delay"]
+        e0, e1 = payload["energy"]
+        components[name] = FittedComponent(
+            name=name,
+            leakage_form=LeakageForm(
+                a0=a0, a1_coeff=a1c, a1_exp=a1e, a2_coeff=a2c, a2_exp=a2e
+            ),
+            delay_form=DelayForm(k0=k0, k1=k1, k2=k2, k3=k3),
+            energy_form=EnergyForm(e0=e0, e1=e1),
+            leakage_report=_report_from_dict(payload["leakage_report"]),
+            delay_report=_report_from_dict(payload["delay_report"]),
+            energy_report=_report_from_dict(payload["energy_report"]),
+        )
+    return FittedCacheModel(source=source, components=components)
+
+
+def save_fitted_model(fitted: FittedCacheModel, path) -> None:
+    """Write a fitted model to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(fitted_model_to_dict(fitted), handle, indent=2)
+
+
+def load_fitted_model(path, source) -> FittedCacheModel:
+    """Read a fitted model from ``path`` and bind it to ``source``."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    return fitted_model_from_dict(data, source)

@@ -1,0 +1,77 @@
+"""Optimisers for Sections 4 and 5.
+
+The paper formulates leakage minimisation under delay constraints as a
+nonlinear program over discrete (Vth, Tox) grids [10].  Because both
+total leakage and total delay are *sums over components*, the discrete
+problem decomposes cleanly and exhaustive search over per-component
+Pareto frontiers is exact:
+
+* :mod:`~repro.optimize.space` — the discrete design grids;
+* :mod:`~repro.optimize.pareto` — Pareto-front utilities;
+* :mod:`~repro.optimize.schemes` — Schemes I / II / III;
+* :mod:`~repro.optimize.single_cache` — Section 4: minimise one cache's
+  leakage under an access-time constraint;
+* :mod:`~repro.optimize.two_level` — Section 5: L2 and L1 explorations
+  under an AMAT constraint;
+* :mod:`~repro.optimize.tuple_problem` — Figure 2: the (#Tox, #Vth)
+  process-budget problem over the whole memory system.
+"""
+
+from repro.optimize.space import DesignSpace, default_space, coarse_space
+from repro.optimize.pareto import pareto_front, pareto_indices
+from repro.optimize.schemes import Scheme
+from repro.optimize.single_cache import (
+    SingleCacheResult,
+    minimize_leakage,
+    leakage_delay_frontier,
+    fixed_knob_sweep,
+)
+from repro.optimize.two_level import (
+    TwoLevelDesignPoint,
+    explore_l2_sizes,
+    explore_l1_sizes,
+)
+from repro.optimize.joint import (
+    JointDesign,
+    OBJECTIVE_ENERGY,
+    OBJECTIVE_LEAKAGE,
+    optimize_memory_system,
+)
+from repro.optimize.sensitivity import (
+    KnobSensitivity,
+    best_move,
+    knob_sensitivities,
+)
+from repro.optimize.tuple_problem import (
+    TupleBudget,
+    TupleCurve,
+    solve_tuple_problem,
+    FIGURE2_BUDGETS,
+)
+
+__all__ = [
+    "DesignSpace",
+    "default_space",
+    "coarse_space",
+    "pareto_front",
+    "pareto_indices",
+    "Scheme",
+    "SingleCacheResult",
+    "minimize_leakage",
+    "leakage_delay_frontier",
+    "fixed_knob_sweep",
+    "TwoLevelDesignPoint",
+    "explore_l2_sizes",
+    "explore_l1_sizes",
+    "JointDesign",
+    "OBJECTIVE_ENERGY",
+    "OBJECTIVE_LEAKAGE",
+    "optimize_memory_system",
+    "KnobSensitivity",
+    "best_move",
+    "knob_sensitivities",
+    "TupleBudget",
+    "TupleCurve",
+    "solve_tuple_problem",
+    "FIGURE2_BUDGETS",
+]

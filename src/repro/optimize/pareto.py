@@ -1,0 +1,120 @@
+"""Pareto-front utilities (minimisation convention).
+
+Used in two places: pruning per-component candidate sets before product
+enumeration (a dominated component choice can never appear in an optimal
+assignment, because leakage and delay are both additive), and extracting
+the final (AMAT, energy) trade-off curves of Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import OptimizationError
+
+
+def pareto_indices_2d(costs: np.ndarray) -> np.ndarray:
+    """Fast exact Pareto-minimal indices for 2-column costs.
+
+    Sort by the first column (ties: second column), then keep rows whose
+    second column is a strict running minimum.  O(n log n); used for the
+    large (AMAT, energy) clouds of the tuple problem.
+    """
+    costs = np.asarray(costs, dtype=float)
+    if costs.ndim != 2 or costs.shape[1] != 2:
+        raise OptimizationError(
+            f"pareto_indices_2d needs an (n, 2) matrix, got {costs.shape}"
+        )
+    n = costs.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=int)
+    order = np.lexsort((costs[:, 1], costs[:, 0]))
+    kept: List[int] = []
+    best_second = np.inf
+    last_kept_row = None
+    for index in order:
+        first, second = costs[index]
+        if second < best_second:
+            kept.append(index)
+            best_second = second
+            last_kept_row = (first, second)
+        elif last_kept_row is not None and (first, second) == last_kept_row:
+            continue  # exact duplicate of the kept point
+    return np.array(sorted(kept), dtype=int)
+
+
+def pareto_indices(costs: np.ndarray) -> np.ndarray:
+    """Return indices of the Pareto-minimal rows of a (n, d) cost matrix.
+
+    A row dominates another if it is <= everywhere and < somewhere.
+    Deterministic: among duplicate rows, the lexicographically earliest
+    sorted occurrence is kept.  Dispatches to the O(n log n) scan for two
+    columns and to a vectorised pairwise check otherwise.
+    """
+    costs = np.asarray(costs, dtype=float)
+    if costs.ndim != 2:
+        raise OptimizationError(
+            f"costs must be a 2-D matrix, got shape {costs.shape}"
+        )
+    n = costs.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=int)
+    if costs.shape[1] == 2:
+        return pareto_indices_2d(costs)
+    if n <= 4096:
+        # Vectorised pairwise dominance: dominated[i] iff some j has
+        # costs[j] <= costs[i] everywhere and < somewhere.
+        less_equal = np.all(costs[:, None, :] <= costs[None, :, :], axis=2)
+        strictly_less = np.any(costs[:, None, :] < costs[None, :, :], axis=2)
+        dominates = less_equal & strictly_less  # [j, i]
+        dominated = np.any(dominates, axis=0)
+        keep = np.flatnonzero(~dominated)
+        # Collapse exact duplicates to the first occurrence.
+        seen = set()
+        unique_keep = []
+        for index in keep:
+            key = tuple(costs[index])
+            if key in seen:
+                continue
+            seen.add(key)
+            unique_keep.append(index)
+        return np.array(unique_keep, dtype=int)
+    # Large high-dimensional inputs: incremental scan.
+    order = np.lexsort(costs.T[::-1])
+    kept: List[int] = []
+    for index in order:
+        row = costs[index]
+        dominated = False
+        for kept_index in kept:
+            kept_row = costs[kept_index]
+            if np.all(kept_row <= row) and np.any(kept_row < row):
+                dominated = True
+                break
+        if not dominated:
+            if any(np.array_equal(costs[k], row) for k in kept):
+                continue
+            kept.append(index)
+    return np.array(sorted(kept), dtype=int)
+
+
+def pareto_front(
+    points: Sequence, costs: np.ndarray
+) -> Tuple[List, np.ndarray]:
+    """Return (surviving points, their cost rows), Pareto-minimal only."""
+    if len(points) != len(costs):
+        raise OptimizationError(
+            f"{len(points)} points but {len(costs)} cost rows"
+        )
+    indices = pareto_indices(np.asarray(costs, dtype=float))
+    return [points[i] for i in indices], np.asarray(costs, dtype=float)[indices]
+
+
+def sort_by_first_cost(
+    points: Sequence, costs: np.ndarray
+) -> Tuple[List, np.ndarray]:
+    """Sort points by the first cost column (for plotting trade-off curves)."""
+    costs = np.asarray(costs, dtype=float)
+    order = np.argsort(costs[:, 0], kind="stable")
+    return [points[i] for i in order], costs[order]

@@ -1,0 +1,319 @@
+"""Section 4: single-cache leakage minimisation under a delay constraint.
+
+The problem::
+
+    minimise    LeakagePower(Vth_1, Tox_1, ..., Vth_4, Tox_4)
+    subject to  Td(...) <= T_max,   10 Å <= Tox_i <= 14 Å,
+                0.2 V <= Vth_i <= 0.5 V
+
+over a discrete grid, for each of the three schemes.  Both objective and
+constraint are sums over the four components, so the solver works on
+per-component evaluation tables:
+
+* Scheme III scans the grid once;
+* Scheme II scans (cell point) x (periphery point) pairs;
+* Scheme I first prunes each component's candidates to its own
+  (delay, leakage) Pareto front — a dominated component choice can never
+  appear in any optimum of an additive objective/constraint — then
+  enumerates the pruned product with vectorised sums.  This is exact, not
+  heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InfeasibleConstraintError, OptimizationError
+from repro.cache.assignment import (
+    Assignment,
+    COMPONENT_NAMES,
+    Knobs,
+    PERIPHERAL_COMPONENTS,
+)
+from repro.optimize.pareto import pareto_indices
+from repro.optimize.schemes import Scheme
+from repro.optimize.space import DesignSpace, default_space
+
+
+@dataclass(frozen=True)
+class SingleCacheResult:
+    """Outcome of one constrained minimisation."""
+
+    scheme: Scheme
+    assignment: Assignment
+    access_time: float
+    leakage_power: float
+    delay_constraint: float
+
+    @property
+    def slack(self) -> float:
+        """Unused delay budget (s)."""
+        return self.delay_constraint - self.access_time
+
+
+@dataclass(frozen=True)
+class _ComponentTable:
+    """All grid evaluations of one component."""
+
+    name: str
+    points: Tuple[Knobs, ...]
+    delays: np.ndarray
+    leakages: np.ndarray
+    energies: np.ndarray
+
+    def pruned(self) -> "_ComponentTable":
+        """Return only the (delay, leakage) Pareto-minimal candidates.
+
+        Exact for the Section 4 problem (leakage objective, delay
+        constraint); the tuple problem prunes on three axes itself.
+        """
+        costs = np.column_stack([self.delays, self.leakages])
+        keep = pareto_indices(costs)
+        return _ComponentTable(
+            name=self.name,
+            points=tuple(self.points[i] for i in keep),
+            delays=self.delays[keep],
+            leakages=self.leakages[keep],
+            energies=self.energies[keep],
+        )
+
+
+def component_tables(
+    model, space: Optional[DesignSpace] = None
+) -> Dict[str, _ComponentTable]:
+    """Evaluate every component of ``model`` over the whole grid."""
+    if space is None:
+        space = default_space()
+    points = space.point_list()
+    tables: Dict[str, _ComponentTable] = {}
+    for name in COMPONENT_NAMES:
+        component = model.components[name]
+        delays = np.empty(len(points))
+        leakages = np.empty(len(points))
+        energies = np.empty(len(points))
+        for index, point in enumerate(points):
+            cost = component.evaluate(point.vth, point.tox)
+            delays[index] = cost.delay
+            leakages[index] = cost.leakage_power
+            energies[index] = cost.dynamic_energy
+        tables[name] = _ComponentTable(
+            name=name,
+            points=points,
+            delays=delays,
+            leakages=leakages,
+            energies=energies,
+        )
+    return tables
+
+
+class _LazyAssignments:
+    """List-like view materialising Assignments only on indexing.
+
+    Scheme I's candidate product can run to millions of entries; building
+    an Assignment object per entry would dominate runtime, and the
+    optimisers only ever look at a handful of winners.
+    """
+
+    def __init__(self, point_lists: Tuple[Tuple[Knobs, ...], ...], builder):
+        self._point_lists = point_lists
+        self._builder = builder
+        self._shape = tuple(len(points) for points in point_lists)
+        self._size = 1
+        for extent in self._shape:
+            self._size *= extent
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, flat_index: int) -> Assignment:
+        if not 0 <= flat_index < self._size:
+            raise IndexError(flat_index)
+        coordinates = np.unravel_index(flat_index, self._shape)
+        chosen = tuple(
+            self._point_lists[axis][coordinate]
+            for axis, coordinate in enumerate(coordinates)
+        )
+        return self._builder(*chosen)
+
+
+def _candidate_matrix_scheme3(
+    tables: Dict[str, _ComponentTable]
+) -> Tuple[_LazyAssignments, np.ndarray, np.ndarray]:
+    points = tables["array"].points
+    delays = sum(tables[name].delays for name in COMPONENT_NAMES)
+    leakages = sum(tables[name].leakages for name in COMPONENT_NAMES)
+    assignments = _LazyAssignments((points,), Assignment.uniform)
+    return assignments, delays, leakages
+
+
+def _candidate_matrix_scheme2(
+    tables: Dict[str, _ComponentTable]
+) -> Tuple[_LazyAssignments, np.ndarray, np.ndarray]:
+    points = tables["array"].points
+    periph_delays = sum(tables[name].delays for name in PERIPHERAL_COMPONENTS)
+    periph_leaks = sum(tables[name].leakages for name in PERIPHERAL_COMPONENTS)
+    cell_delays = tables["array"].delays
+    cell_leaks = tables["array"].leakages
+    # Outer sums over (cell index, periphery index).
+    delay_grid = cell_delays[:, None] + periph_delays[None, :]
+    leak_grid = cell_leaks[:, None] + periph_leaks[None, :]
+    assignments = _LazyAssignments(
+        (points, points),
+        lambda cell, periphery: Assignment.split(cell=cell, periphery=periphery),
+    )
+    return assignments, delay_grid.ravel(), leak_grid.ravel()
+
+
+def _candidate_matrix_scheme1(
+    tables: Dict[str, _ComponentTable]
+) -> Tuple[_LazyAssignments, np.ndarray, np.ndarray]:
+    pruned = {name: tables[name].pruned() for name in COMPONENT_NAMES}
+    a, d, r, o = (pruned[name] for name in COMPONENT_NAMES)
+    delay_grid = (
+        a.delays[:, None, None, None]
+        + d.delays[None, :, None, None]
+        + r.delays[None, None, :, None]
+        + o.delays[None, None, None, :]
+    )
+    leak_grid = (
+        a.leakages[:, None, None, None]
+        + d.leakages[None, :, None, None]
+        + r.leakages[None, None, :, None]
+        + o.leakages[None, None, None, :]
+    )
+
+    def build(pa: Knobs, pd: Knobs, pr: Knobs, po: Knobs) -> Assignment:
+        return Assignment.from_mapping(
+            {
+                COMPONENT_NAMES[0]: pa,
+                COMPONENT_NAMES[1]: pd,
+                COMPONENT_NAMES[2]: pr,
+                COMPONENT_NAMES[3]: po,
+            }
+        )
+
+    assignments = _LazyAssignments(
+        (a.points, d.points, r.points, o.points), build
+    )
+    return assignments, delay_grid.ravel(), leak_grid.ravel()
+
+
+_SCHEME_BUILDERS = {
+    Scheme.UNIFORM: _candidate_matrix_scheme3,
+    Scheme.CELL_VS_PERIPHERY: _candidate_matrix_scheme2,
+    Scheme.PER_COMPONENT: _candidate_matrix_scheme1,
+}
+
+
+def enumerate_candidates(
+    model,
+    scheme: Scheme,
+    space: Optional[DesignSpace] = None,
+    tables: Optional[Dict[str, _ComponentTable]] = None,
+) -> Tuple[_LazyAssignments, np.ndarray, np.ndarray]:
+    """Return (assignments, total delays, total leakages) for a scheme."""
+    if tables is None:
+        tables = component_tables(model, space)
+    try:
+        builder = _SCHEME_BUILDERS[scheme]
+    except KeyError:
+        raise OptimizationError(f"unknown scheme {scheme!r}")
+    return builder(tables)
+
+
+def minimize_leakage(
+    model,
+    scheme: Scheme,
+    max_access_time: float,
+    space: Optional[DesignSpace] = None,
+    tables: Optional[Dict[str, _ComponentTable]] = None,
+) -> SingleCacheResult:
+    """Minimise cache leakage subject to ``access_time <= max_access_time``.
+
+    Raises :class:`InfeasibleConstraintError` (carrying the fastest
+    achievable access time) if no grid point meets the constraint.
+    """
+    assignments, delays, leakages = enumerate_candidates(
+        model, scheme, space, tables
+    )
+    feasible = delays <= max_access_time
+    if not np.any(feasible):
+        raise InfeasibleConstraintError(
+            f"{scheme.paper_name}: no assignment meets "
+            f"T <= {max_access_time:.3e} s (fastest is {delays.min():.3e} s)",
+            best_achievable=float(delays.min()),
+        )
+    masked = np.where(feasible, leakages, np.inf)
+    best = int(np.argmin(masked))
+    return SingleCacheResult(
+        scheme=scheme,
+        assignment=assignments[best],
+        access_time=float(delays[best]),
+        leakage_power=float(leakages[best]),
+        delay_constraint=max_access_time,
+    )
+
+
+def leakage_delay_frontier(
+    model,
+    scheme: Scheme,
+    space: Optional[DesignSpace] = None,
+    tables: Optional[Dict[str, _ComponentTable]] = None,
+) -> Tuple[np.ndarray, np.ndarray, List[Assignment]]:
+    """Return the scheme's full (delay, leakage) Pareto front, ascending.
+
+    This is the curve the Section 4 scheme comparison plots: for every
+    achievable delay, the least leakage the scheme can offer.
+    """
+    assignments, delays, leakages = enumerate_candidates(
+        model, scheme, space, tables
+    )
+    costs = np.column_stack([delays, leakages])
+    keep = pareto_indices(costs)
+    order = keep[np.argsort(delays[keep], kind="stable")]
+    return (
+        delays[order],
+        leakages[order],
+        [assignments[i] for i in order],
+    )
+
+
+def fixed_knob_sweep(
+    model,
+    fixed_vth: Optional[float] = None,
+    fixed_tox_angstrom: Optional[float] = None,
+    space: Optional[DesignSpace] = None,
+) -> Tuple[np.ndarray, np.ndarray, List[Knobs]]:
+    """Sweep one knob with the other fixed, uniform assignment (Figure 1).
+
+    Exactly one of ``fixed_vth`` / ``fixed_tox_angstrom`` must be given.
+    Returns (access times, leakage powers, knob points) along the sweep.
+    """
+    from repro import units
+
+    if (fixed_vth is None) == (fixed_tox_angstrom is None):
+        raise OptimizationError(
+            "fix exactly one of Vth / Tox for a Figure 1 sweep"
+        )
+    if space is None:
+        space = default_space()
+    if fixed_vth is not None:
+        points = [
+            Knobs(vth=fixed_vth, tox=units.angstrom(tox_a))
+            for tox_a in space.tox_values_angstrom
+        ]
+    else:
+        points = [
+            Knobs(vth=vth, tox=units.angstrom(fixed_tox_angstrom))
+            for vth in space.vth_values
+        ]
+    times = np.empty(len(points))
+    leaks = np.empty(len(points))
+    for index, point in enumerate(points):
+        evaluation = model.uniform(point)
+        times[index] = evaluation.access_time
+        leaks[index] = evaluation.leakage_power
+    return times, leaks, points

@@ -1,0 +1,94 @@
+"""Discrete (Vth, Tox) design grids.
+
+Section 4: "we have chosen Vth and Tox to take on discrete values with
+small step size".  A :class:`DesignSpace` is the cross product of a Vth
+axis and a Tox axis, clamped to the paper's bounds (0.2-0.5 V,
+10-14 Å).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.errors import OptimizationError
+from repro.technology.bptm import TOX_MAX_A, TOX_MIN_A, VTH_MAX, VTH_MIN
+from repro.cache.assignment import Knobs
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A discrete grid of candidate (Vth, Tox) points.
+
+    Attributes
+    ----------
+    vth_values:
+        Ascending Vth candidates (V).
+    tox_values_angstrom:
+        Ascending Tox candidates (Å).
+    """
+
+    vth_values: Tuple[float, ...]
+    tox_values_angstrom: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.vth_values or not self.tox_values_angstrom:
+            raise OptimizationError("design space must have non-empty axes")
+        if list(self.vth_values) != sorted(self.vth_values):
+            raise OptimizationError("vth_values must be ascending")
+        if list(self.tox_values_angstrom) != sorted(self.tox_values_angstrom):
+            raise OptimizationError("tox_values_angstrom must be ascending")
+        for vth in self.vth_values:
+            if not VTH_MIN - 1e-12 <= vth <= VTH_MAX + 1e-12:
+                raise OptimizationError(
+                    f"Vth={vth} outside the paper's range "
+                    f"[{VTH_MIN}, {VTH_MAX}] V"
+                )
+        for tox in self.tox_values_angstrom:
+            if not TOX_MIN_A - 1e-9 <= tox <= TOX_MAX_A + 1e-9:
+                raise OptimizationError(
+                    f"Tox={tox} outside the paper's range "
+                    f"[{TOX_MIN_A}, {TOX_MAX_A}] Å"
+                )
+
+    @property
+    def n_points(self) -> int:
+        """Number of grid points."""
+        return len(self.vth_values) * len(self.tox_values_angstrom)
+
+    def points(self) -> Iterator[Knobs]:
+        """Iterate every (Vth, Tox) grid point as :class:`Knobs`."""
+        for vth in self.vth_values:
+            for tox_a in self.tox_values_angstrom:
+                yield Knobs(vth=vth, tox=units.angstrom(tox_a))
+
+    def point_list(self) -> Tuple[Knobs, ...]:
+        """Materialise :meth:`points` (the optimisers index into it)."""
+        return tuple(self.points())
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.vth_values)} Vth x {len(self.tox_values_angstrom)} "
+            f"Tox = {self.n_points} points"
+        )
+
+
+def default_space(vth_step: float = 0.025, tox_step: float = 0.5) -> DesignSpace:
+    """The paper's fine grid: 25 mV Vth steps, 0.5 Å Tox steps."""
+    n_vth = int(round((VTH_MAX - VTH_MIN) / vth_step)) + 1
+    n_tox = int(round((TOX_MAX_A - TOX_MIN_A) / tox_step)) + 1
+    return DesignSpace(
+        vth_values=tuple(np.linspace(VTH_MIN, VTH_MAX, n_vth)),
+        tox_values_angstrom=tuple(np.linspace(TOX_MIN_A, TOX_MAX_A, n_tox)),
+    )
+
+
+def coarse_space() -> DesignSpace:
+    """A coarse grid (50 mV / 1 Å) for the combinatorial tuple problem."""
+    return DesignSpace(
+        vth_values=tuple(np.linspace(VTH_MIN, VTH_MAX, 7)),
+        tox_values_angstrom=tuple(np.linspace(TOX_MIN_A, TOX_MAX_A, 5)),
+    )

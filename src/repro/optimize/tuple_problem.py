@@ -1,0 +1,240 @@
+"""Figure 2: the (#Tox, #Vth) tuple problem.
+
+A real process offers only a handful of distinct oxide thicknesses (each
+is an extra growth step) and threshold voltages (each is an extra
+implant).  The paper asks: given a budget of *k* Tox values and *m* Vth
+values shared across the whole memory system (all four components of L1
+and of L2), what is the best achievable total-energy-vs-AMAT curve?
+
+Figure 2 compares the budgets (2,2), (2,3), (3,2), (2,1) and (1,2) and
+finds 2 Tox + 3 Vth best, 2 Tox + 2 Vth nearly identical, and — the
+headline — 1 Tox + 2 Vth *beating* 2 Tox + 1 Vth, because Vth is the more
+effective knob.
+
+Solution method (exact over the discrete grid):
+
+1. enumerate every way to pick the k Tox and m Vth values from the grid;
+2. the picked values define at most k x m candidate pairs; enumerate all
+   pair-per-component assignments of each cache (at most (k m)^4) with
+   vectorised sums, and prune each cache to its (delay, leakage,
+   dynamic-energy) Pareto set — dominated cache assignments can never
+   appear in a system optimum because AMAT and total energy are both
+   monotone in all three;
+3. combine L1 options x L2 options into system (AMAT, total energy)
+   points using the Section 5 energy metric;
+4. the budget's curve is the Pareto front of all points over all value
+   choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.archsim.missmodel import MissRateModel
+from repro.cache.assignment import COMPONENT_NAMES
+from repro.energy.dynamic import MainMemoryModel
+from repro.optimize.pareto import pareto_indices, pareto_indices_2d
+from repro.optimize.single_cache import component_tables
+from repro.optimize.space import DesignSpace, coarse_space
+
+
+@dataclass(frozen=True)
+class TupleBudget:
+    """A process budget of ``n_tox`` oxides and ``n_vth`` thresholds."""
+
+    n_tox: int
+    n_vth: int
+
+    def __post_init__(self) -> None:
+        if self.n_tox < 1 or self.n_vth < 1:
+            raise OptimizationError(
+                f"budget must allow at least one value per knob, got "
+                f"({self.n_tox}, {self.n_vth})"
+            )
+
+    @property
+    def label(self) -> str:
+        """The legend label used in Figure 2, e.g. ``"2 Tox + 3 Vth"``."""
+        return f"{self.n_tox} Tox + {self.n_vth} Vth"
+
+    @property
+    def n_pairs(self) -> int:
+        return self.n_tox * self.n_vth
+
+
+#: The five budgets Figure 2 plots.
+FIGURE2_BUDGETS: Tuple[TupleBudget, ...] = (
+    TupleBudget(n_tox=2, n_vth=2),
+    TupleBudget(n_tox=2, n_vth=3),
+    TupleBudget(n_tox=3, n_vth=2),
+    TupleBudget(n_tox=2, n_vth=1),
+    TupleBudget(n_tox=1, n_vth=2),
+)
+
+
+@dataclass(frozen=True)
+class TupleCurve:
+    """One budget's achievable (AMAT, total energy) Pareto front.
+
+    ``amats`` ascend; ``energies`` descend (Pareto property).
+    """
+
+    budget: TupleBudget
+    amats: np.ndarray
+    energies: np.ndarray
+
+    def energy_at(self, amat_budget: float) -> float:
+        """Least energy (J) achievable with ``AMAT <= amat_budget``.
+
+        Returns ``inf`` if the budget is faster than anything achievable.
+        """
+        feasible = self.amats <= amat_budget
+        if not np.any(feasible):
+            return float("inf")
+        return float(self.energies[feasible].min())
+
+    @property
+    def n_points(self) -> int:
+        return len(self.amats)
+
+
+@dataclass(frozen=True)
+class _CacheOptions:
+    """Pareto-pruned whole-cache assignment costs for one pair set."""
+
+    delays: np.ndarray
+    leakages: np.ndarray
+    energies: np.ndarray
+
+
+def _cache_options_for_pairs(
+    tables: Dict[str, object], pair_indices: Sequence[int]
+) -> _CacheOptions:
+    """Enumerate and prune all pair-per-component assignments of one cache.
+
+    ``pair_indices`` index into the grid tables' point list.
+    """
+    indices = np.asarray(pair_indices, dtype=int)
+    per_component = [
+        (
+            tables[name].delays[indices],
+            tables[name].leakages[indices],
+            tables[name].energies[indices],
+        )
+        for name in COMPONENT_NAMES
+    ]
+    n = len(indices)
+    shape_axes = []
+    for axis in range(4):
+        shape = [1, 1, 1, 1]
+        shape[axis] = n
+        shape_axes.append(tuple(shape))
+    delay = np.zeros((n, n, n, n))
+    leak = np.zeros((n, n, n, n))
+    energy = np.zeros((n, n, n, n))
+    for axis, (d, p, e) in enumerate(per_component):
+        delay = delay + d.reshape(shape_axes[axis])
+        leak = leak + p.reshape(shape_axes[axis])
+        energy = energy + e.reshape(shape_axes[axis])
+    costs = np.column_stack([delay.ravel(), leak.ravel(), energy.ravel()])
+    keep = pareto_indices(costs)
+    return _CacheOptions(
+        delays=costs[keep, 0],
+        leakages=costs[keep, 1],
+        energies=costs[keep, 2],
+    )
+
+
+def _combine_system(
+    l1: _CacheOptions,
+    l2: _CacheOptions,
+    m1: float,
+    m2: float,
+    memory: MainMemoryModel,
+    fill_factor: float,
+) -> np.ndarray:
+    """Return (n_l1 * n_l2, 2) [AMAT, total energy] points."""
+    amat = l1.delays[:, None] + m1 * (l2.delays[None, :] + m2 * memory.latency)
+    # Dynamic energy per reference (see DynamicEnergyModel):
+    #   E = EL1 (1 + f m1) + EL2 m1 (1 + f m2) + m1 m2 Emem.
+    dynamic = (
+        l1.energies[:, None] * (1.0 + fill_factor * m1)
+        + l2.energies[None, :] * (m1 * (1.0 + fill_factor * m2))
+        + m1 * m2 * memory.energy_per_access
+    )
+    total = dynamic + (l1.leakages[:, None] + l2.leakages[None, :]) * amat
+    return np.column_stack([amat.ravel(), total.ravel()])
+
+
+def solve_tuple_problem(
+    l1_model,
+    l2_model,
+    miss_model: MissRateModel,
+    budgets: Sequence[TupleBudget] = FIGURE2_BUDGETS,
+    space: Optional[DesignSpace] = None,
+    memory: MainMemoryModel = MainMemoryModel(),
+    fill_factor: float = 1.0,
+) -> Dict[TupleBudget, TupleCurve]:
+    """Solve the tuple problem for each budget; returns budget -> curve.
+
+    ``space`` defaults to the coarse grid — the value-set enumeration is
+    combinatorial in the axis lengths.
+    """
+    if space is None:
+        space = coarse_space()
+    n_vth = len(space.vth_values)
+    n_tox = len(space.tox_values_angstrom)
+    m1 = miss_model.l1_miss_rate(l1_model.config.size_bytes)
+    m2 = miss_model.l2_local_miss_rate(l2_model.config.size_bytes)
+
+    l1_tables = component_tables(l1_model, space)
+    l2_tables = component_tables(l2_model, space)
+
+    curves: Dict[TupleBudget, TupleCurve] = {}
+    for budget in budgets:
+        if budget.n_vth > n_vth or budget.n_tox > n_tox:
+            raise OptimizationError(
+                f"budget {budget.label} exceeds the grid "
+                f"({n_vth} Vth x {n_tox} Tox values)"
+            )
+        collected: List[np.ndarray] = []
+        for vth_ids in combinations(range(n_vth), budget.n_vth):
+            for tox_ids in combinations(range(n_tox), budget.n_tox):
+                # Point index layout from DesignSpace.points():
+                # index = i_vth * n_tox + j_tox.
+                pair_indices = [
+                    i * n_tox + j for i in vth_ids for j in tox_ids
+                ]
+                l1_options = _cache_options_for_pairs(l1_tables, pair_indices)
+                l2_options = _cache_options_for_pairs(l2_tables, pair_indices)
+                points = _combine_system(
+                    l1_options, l2_options, m1, m2, memory, fill_factor
+                )
+                keep = pareto_indices_2d(points)
+                collected.append(points[keep])
+        merged = np.vstack(collected)
+        keep = pareto_indices_2d(merged)
+        front = merged[keep]
+        order = np.argsort(front[:, 0], kind="stable")
+        curves[budget] = TupleCurve(
+            budget=budget,
+            amats=front[order, 0],
+            energies=front[order, 1],
+        )
+    return curves
+
+
+def curve_ordering_at(
+    curves: Dict[TupleBudget, TupleCurve], amat_budget: float
+) -> List[Tuple[TupleBudget, float]]:
+    """Rank budgets by achievable energy at one AMAT budget (best first)."""
+    ranked = sorted(
+        ((budget, curve.energy_at(amat_budget)) for budget, curve in curves.items()),
+        key=lambda item: item[1],
+    )
+    return ranked

@@ -1,0 +1,223 @@
+"""Section 5: two-level cache leakage optimisation under an AMAT budget.
+
+Two explorations, matching the paper's two experiments:
+
+* :func:`explore_l2_sizes` — fix the L1 (size and default knobs), sweep
+  the L2 capacity, and for every capacity find the L2 knob assignment
+  (one pair, or a core/periphery split) that minimises L2 leakage while
+  the *system* still meets the AMAT budget.  A bigger L2 has a lower
+  local miss rate, so its knobs can be set more conservatively — but its
+  cell population grows linearly, so past some capacity the leakage of
+  sheer size outweighs the miss-rate benefit (the paper's non-monotone
+  finding).
+* :func:`explore_l1_sizes` — fix the L2, sweep the L1 capacity, and
+  minimise *total* (L1 + L2) leakage under the same budget.  L1 local
+  miss rates barely move between 4 K and 64 K, so the smaller, faster,
+  less leaky L1 wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import units
+from repro.errors import OptimizationError
+from repro.archsim.missmodel import MissRateModel
+from repro.cache.assignment import Assignment, Knobs, knobs
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import l1_config, l2_config
+from repro.energy.dynamic import MainMemoryModel
+from repro.optimize.schemes import Scheme
+from repro.optimize.single_cache import enumerate_candidates
+from repro.optimize.space import DesignSpace, default_space
+from repro.technology.bptm import Technology, bptm65
+
+#: The "default Vth and Tox" the paper assigns to the fixed L1 in the L2
+#: exploration: mid-grid, mildly conservative.
+DEFAULT_L1_KNOBS = knobs(0.30, 12.0)
+
+#: Default knob pair for a fixed L2 in the L1 exploration: conservative
+#: (an L2 is latency-tolerant and leakage-dominated).
+DEFAULT_L2_KNOBS = knobs(0.40, 13.0)
+
+
+@dataclass(frozen=True)
+class TwoLevelDesignPoint:
+    """One capacity point of an exploration sweep.
+
+    ``varied_leakage`` is the leakage (W) of the cache being swept under
+    its optimal assignment; ``total_leakage`` adds the fixed cache.
+    ``feasible`` is False when no assignment met the AMAT budget at this
+    capacity (the point is reported rather than dropped so curves show
+    where the feasible region ends).
+    """
+
+    size_bytes: int
+    feasible: bool
+    amat: float
+    varied_leakage: float
+    total_leakage: float
+    assignment: Optional[Assignment]
+    l1_miss_rate: float
+    l2_local_miss_rate: float
+
+    @property
+    def size_kb(self) -> float:
+        return units.to_kb(self.size_bytes)
+
+
+def _scheme_for(split: bool) -> Scheme:
+    return Scheme.CELL_VS_PERIPHERY if split else Scheme.UNIFORM
+
+
+def explore_l2_sizes(
+    miss_model: MissRateModel,
+    amat_budget: float,
+    l2_sizes_kb: Sequence[int] = (128, 256, 512, 1024, 2048, 4096),
+    l1_size_kb: int = 16,
+    l1_knobs: Knobs = DEFAULT_L1_KNOBS,
+    split: bool = False,
+    technology: Optional[Technology] = None,
+    space: Optional[DesignSpace] = None,
+    memory: MainMemoryModel = MainMemoryModel(),
+) -> List[TwoLevelDesignPoint]:
+    """Sweep L2 capacity, optimising L2 knobs at an AMAT budget.
+
+    Parameters
+    ----------
+    miss_model:
+        Workload miss-rate curves.
+    amat_budget:
+        The AMAT (s) every design point must meet.
+    split:
+        False: one (Vth, Tox) pair for the whole L2 (the paper's first
+        experiment).  True: separate pairs for the L2 cell array and its
+        periphery (the second experiment).
+    """
+    technology = technology if technology is not None else bptm65()
+    if space is None:
+        space = default_space()
+    l1_model = CacheModel(l1_config(l1_size_kb), technology=technology)
+    l1_eval = l1_model.uniform(l1_knobs)
+    l1_time = l1_eval.access_time
+    l1_leak = l1_eval.leakage_power
+    m1 = miss_model.l1_miss_rate(l1_model.config.size_bytes)
+
+    results: List[TwoLevelDesignPoint] = []
+    for size_kb in l2_sizes_kb:
+        l2_model = CacheModel(l2_config(size_kb), technology=technology)
+        m2 = miss_model.l2_local_miss_rate(l2_model.config.size_bytes)
+        assignments, delays, leaks = enumerate_candidates(
+            l2_model, _scheme_for(split), space
+        )
+        amats = l1_time + m1 * (delays + m2 * memory.latency)
+        feasible = amats <= amat_budget
+        if not np.any(feasible):
+            fastest = int(np.argmin(amats))
+            results.append(
+                TwoLevelDesignPoint(
+                    size_bytes=l2_model.config.size_bytes,
+                    feasible=False,
+                    amat=float(amats[fastest]),
+                    varied_leakage=float(leaks[fastest]),
+                    total_leakage=float(leaks[fastest] + l1_leak),
+                    assignment=None,
+                    l1_miss_rate=m1,
+                    l2_local_miss_rate=m2,
+                )
+            )
+            continue
+        masked = np.where(feasible, leaks, np.inf)
+        best = int(np.argmin(masked))
+        results.append(
+            TwoLevelDesignPoint(
+                size_bytes=l2_model.config.size_bytes,
+                feasible=True,
+                amat=float(amats[best]),
+                varied_leakage=float(leaks[best]),
+                total_leakage=float(leaks[best] + l1_leak),
+                assignment=assignments[best],
+                l1_miss_rate=m1,
+                l2_local_miss_rate=m2,
+            )
+        )
+    return results
+
+
+def explore_l1_sizes(
+    miss_model: MissRateModel,
+    amat_budget: float,
+    l1_sizes_kb: Sequence[int] = (4, 8, 16, 32, 64),
+    l2_size_kb: int = 1024,
+    l2_knobs: Knobs = DEFAULT_L2_KNOBS,
+    split: bool = True,
+    technology: Optional[Technology] = None,
+    space: Optional[DesignSpace] = None,
+    memory: MainMemoryModel = MainMemoryModel(),
+) -> List[TwoLevelDesignPoint]:
+    """Sweep L1 capacity under a fixed L2, minimising total leakage.
+
+    The L1's own knobs are optimised per capacity (``split`` chooses
+    Scheme II vs Scheme III freedom); the L2 stays at ``l2_knobs``.
+    """
+    technology = technology if technology is not None else bptm65()
+    if space is None:
+        space = default_space()
+    l2_model = CacheModel(l2_config(l2_size_kb), technology=technology)
+    l2_eval = l2_model.evaluate(
+        Assignment.split(cell=l2_knobs, periphery=DEFAULT_L1_KNOBS)
+    )
+    l2_time = l2_eval.access_time
+    l2_leak = l2_eval.leakage_power
+    m2 = miss_model.l2_local_miss_rate(l2_model.config.size_bytes)
+
+    results: List[TwoLevelDesignPoint] = []
+    for size_kb in l1_sizes_kb:
+        l1_model = CacheModel(l1_config(size_kb), technology=technology)
+        m1 = miss_model.l1_miss_rate(l1_model.config.size_bytes)
+        assignments, delays, leaks = enumerate_candidates(
+            l1_model, _scheme_for(split), space
+        )
+        amats = delays + m1 * (l2_time + m2 * memory.latency)
+        feasible = amats <= amat_budget
+        if not np.any(feasible):
+            fastest = int(np.argmin(amats))
+            results.append(
+                TwoLevelDesignPoint(
+                    size_bytes=l1_model.config.size_bytes,
+                    feasible=False,
+                    amat=float(amats[fastest]),
+                    varied_leakage=float(leaks[fastest]),
+                    total_leakage=float(leaks[fastest] + l2_leak),
+                    assignment=None,
+                    l1_miss_rate=m1,
+                    l2_local_miss_rate=m2,
+                )
+            )
+            continue
+        masked = np.where(feasible, leaks, np.inf)
+        best = int(np.argmin(masked))
+        results.append(
+            TwoLevelDesignPoint(
+                size_bytes=l1_model.config.size_bytes,
+                feasible=True,
+                amat=float(amats[best]),
+                varied_leakage=float(leaks[best]),
+                total_leakage=float(leaks[best] + l2_leak),
+                assignment=assignments[best],
+                l1_miss_rate=m1,
+                l2_local_miss_rate=m2,
+            )
+        )
+    return results
+
+
+def best_point(points: Sequence[TwoLevelDesignPoint]) -> TwoLevelDesignPoint:
+    """Return the feasible point with the least total leakage."""
+    feasible = [point for point in points if point.feasible]
+    if not feasible:
+        raise OptimizationError("no feasible capacity in the sweep")
+    return min(feasible, key=lambda point: point.total_leakage)

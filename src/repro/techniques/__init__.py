@@ -1,0 +1,36 @@
+"""Leakage-reduction baselines from the paper's related work ([1-7]).
+
+The paper's introduction cites a line of cache-leakage techniques that
+all pre-date it and all target *subthreshold* leakage only.  This package
+implements the three canonical ones as baselines so the knob-assignment
+approach can be compared against them on the same cache model:
+
+* :mod:`~repro.techniques.drowsy` — drowsy caches (Kim et al. [6],[7]):
+  idle lines keep state at a reduced retention voltage; leakage falls
+  strongly, waking a drowsy line costs a cycle.
+* :mod:`~repro.techniques.gated_vdd` — gated-Vdd / cache decay
+  (Powell et al. [2]): idle lines are power-gated entirely; leakage is
+  almost eliminated but **state is lost**, so re-references become misses.
+* :mod:`~repro.techniques.body_bias` — reverse body bias (Agarwal et al.
+  [5], Nii et al. [1]): standby RBB raises the effective threshold;
+  subthreshold leakage falls, but **gate tunnelling is untouched** — the
+  structural weakness the paper's total-leakage view exposes.
+
+Each technique evaluates to a :class:`~repro.techniques.base.TechniqueResult`
+(effective leakage, AMAT penalty, state behaviour) for a given cache
+model + knob assignment, so techniques and knob choices compose.
+"""
+
+from repro.techniques.base import LeakageTechnique, TechniqueResult
+from repro.techniques.drowsy import DrowsyCache, drowsy_cell_leakage
+from repro.techniques.gated_vdd import GatedVddCache
+from repro.techniques.body_bias import ReverseBodyBias
+
+__all__ = [
+    "LeakageTechnique",
+    "TechniqueResult",
+    "DrowsyCache",
+    "drowsy_cell_leakage",
+    "GatedVddCache",
+    "ReverseBodyBias",
+]

@@ -1,0 +1,86 @@
+"""Common interface for leakage-reduction techniques.
+
+A technique transforms a cache's standby behaviour: it reduces leakage,
+may slow some accesses (wake-up latency), and may destroy state (extra
+misses).  :class:`TechniqueResult` captures all three so a fair
+comparison against the paper's knob-assignment approach can charge each
+technique its full architectural cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TechniqueResult:
+    """A cache's standby behaviour under one technique.
+
+    Attributes
+    ----------
+    name:
+        Technique label for reports.
+    leakage_power:
+        Effective standby leakage (W), averaged over awake/asleep lines.
+    access_time_penalty:
+        Expected extra access latency (s) *per access*, amortising wake
+        latencies over the fraction of accesses that hit sleeping lines.
+    extra_miss_rate:
+        Additional miss probability per access caused by state loss
+        (zero for state-preserving techniques).
+    retains_state:
+        Whether sleeping lines keep their contents.
+    """
+
+    name: str
+    leakage_power: float
+    access_time_penalty: float
+    extra_miss_rate: float
+    retains_state: bool
+
+    def __post_init__(self) -> None:
+        if self.leakage_power < 0:
+            raise ConfigurationError(
+                f"{self.name}: leakage must be >= 0, got {self.leakage_power}"
+            )
+        if self.access_time_penalty < 0:
+            raise ConfigurationError(
+                f"{self.name}: access penalty must be >= 0"
+            )
+        if not 0.0 <= self.extra_miss_rate <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: extra miss rate must be in [0, 1]"
+            )
+
+
+class LeakageTechnique:
+    """Interface: apply a standby technique to an evaluated cache.
+
+    Concrete techniques implement :meth:`evaluate` for a cache model and
+    a knob assignment (techniques compose with knob choices — a drowsy
+    cache still has a Vth/Tox assignment).
+    """
+
+    name = "baseline"
+
+    def evaluate(self, model, assignment) -> TechniqueResult:
+        """Return the cache's standby behaviour under this technique."""
+        raise NotImplementedError
+
+
+class NoTechnique(LeakageTechnique):
+    """The identity technique: the paper's pure knob-assignment world."""
+
+    name = "knobs-only"
+
+    def evaluate(self, model, assignment) -> TechniqueResult:
+        evaluation = model.evaluate(assignment)
+        return TechniqueResult(
+            name=self.name,
+            leakage_power=evaluation.leakage_power,
+            access_time_penalty=0.0,
+            extra_miss_rate=0.0,
+            retains_state=True,
+        )

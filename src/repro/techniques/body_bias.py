@@ -1,0 +1,107 @@
+"""Reverse body bias (Nii et al. [1]; Agarwal et al. [5]).
+
+Standby RBB raises the effective threshold by the body effect
+(``dVth = gamma_body * Vbb`` in our first-order model), suppressing
+subthreshold leakage exponentially while preserving state and — unlike
+drowsy — full noise margins.  Its two structural limitations, both
+visible in this model:
+
+* **gate tunnelling is untouched** (the oxide field doesn't change), so
+  at thin Tox the technique floors exactly where the paper says total
+  leakage analysis matters;
+* strong RBB wakes slowly (the body is a big RC) and increases junction
+  band-to-band tunnelling, modelled as a BTBT penalty factor that grows
+  with the bias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.techniques.base import LeakageTechnique, TechniqueResult
+
+#: Typical standby reverse bias (V).
+DEFAULT_BIAS = 0.5
+
+#: Body-network settle time charged to accesses arriving during wake.
+DEFAULT_WAKE_LATENCY = units.ps(1500)
+
+#: Fraction of accesses that arrive while the array is biased down.
+DEFAULT_SLEEPY_ACCESS_FRACTION = 0.02
+
+#: Junction band-to-band tunnelling: extra leakage per volt of RBB,
+#: relative to the *suppressed* subthreshold level.
+BTBT_PER_VOLT = 0.10
+
+
+@dataclass(frozen=True)
+class ReverseBodyBias(LeakageTechnique):
+    """The RBB baseline.
+
+    Parameters
+    ----------
+    bias:
+        Standby reverse body bias magnitude (V).
+    wake_latency / sleepy_access_fraction:
+        Cost model of re-biasing the body on activity.
+    """
+
+    bias: float = DEFAULT_BIAS
+    wake_latency: float = DEFAULT_WAKE_LATENCY
+    sleepy_access_fraction: float = DEFAULT_SLEEPY_ACCESS_FRACTION
+
+    name = "reverse-body-bias"
+
+    def __post_init__(self) -> None:
+        if self.bias < 0:
+            raise ConfigurationError(f"RBB bias must be >= 0, got {self.bias}")
+        if not 0.0 <= self.sleepy_access_fraction <= 1.0:
+            raise ConfigurationError(
+                "RBB: sleepy_access_fraction must be in [0, 1]"
+            )
+
+    def vth_shift(self, technology) -> float:
+        """Effective threshold increase (V) under the standby bias."""
+        return technology.body_effect_gamma * self.bias
+
+    def evaluate(self, model, assignment) -> TechniqueResult:
+        import math
+
+        technology = model.technology
+        evaluation = model.evaluate(assignment)
+        array_cost = evaluation.by_component["array"]
+        periphery = evaluation.leakage_power - array_cost.leakage_power
+
+        cell_point = assignment.array
+        cell = model.components["array"].cell
+        full_cell = cell.standby_leakage_current(
+            cell_point.vth, cell_point.tox, gate_enabled=model.gate_enabled
+        )
+        sub_only = cell.standby_leakage_current(
+            cell_point.vth, cell_point.tox, gate_enabled=False
+        )
+        gate_part = full_cell - sub_only
+        # Exponential subthreshold suppression from the raised barrier.
+        n_vt = technology.subthreshold_swing_n * technology.thermal_voltage
+        suppression = math.exp(-self.vth_shift(technology) / n_vt)
+        btbt = 1.0 + BTBT_PER_VOLT * self.bias
+        biased_cell = sub_only * suppression * btbt + gate_part
+
+        n_cells = model.organization.total_cells
+        sense_leakage = max(
+            array_cost.leakage_power
+            - n_cells * full_cell * technology.vdd,
+            0.0,
+        )
+        array_leakage = n_cells * biased_cell * technology.vdd
+
+        return TechniqueResult(
+            name=self.name,
+            leakage_power=array_leakage + sense_leakage + periphery,
+            access_time_penalty=self.sleepy_access_fraction
+            * self.wake_latency,
+            extra_miss_rate=0.0,
+            retains_state=True,
+        )

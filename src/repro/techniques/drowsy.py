@@ -1,0 +1,181 @@
+"""Drowsy caches (Kim et al. [6], [7]; Flautner et al., ISCA 2002).
+
+Idle cache lines are put into a "drowsy" state by dropping their supply
+to a retention voltage (~0.3 V at a 1 V nominal).  State is preserved —
+the cell's static noise margin survives — but the line cannot be read
+until its supply is restored, costing a wake-up latency on the first
+access.  Leakage falls for three compounding reasons, all computed from
+the same device models as the rest of the library:
+
+* subthreshold current loses its drain bias (``Vds`` drops to the
+  retention voltage, removing the DIBL barrier lowering and shrinking
+  the ``1 - exp(-Vds/vT)`` term);
+* gate tunnelling sees the reduced oxide voltage quadratically *and*
+  exponentially;
+* the cell's internal high node sits at the retention voltage, so the
+  power drawn is retention-voltage-proportional.
+
+The policy model is the classic "simple" drowsy policy: all lines are
+made drowsy every ``window`` cycles, so the awake fraction tracks the
+fraction of distinct lines touched per window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.devices import gate_leakage as _gate
+from repro.devices import subthreshold as _sub
+from repro.circuits.sram_cell import (
+    ACCESS_RATIO,
+    PULL_DOWN_RATIO,
+    PULL_UP_RATIO,
+)
+from repro.techniques.base import LeakageTechnique, TechniqueResult
+
+#: Canonical retention voltage at a ~1 V supply (Flautner et al.).
+DEFAULT_RETENTION_VDD = 0.3
+
+#: Default fraction of lines awake under the simple policy (working-set
+#: residency per drowsy window; ~10 % for 2k-4k cycle windows).
+DEFAULT_AWAKE_FRACTION = 0.10
+
+#: Wake-up latency of a drowsy line (supply restore), in seconds: one
+#: fast cycle at the studied node.
+DEFAULT_WAKE_LATENCY = units.ps(600)
+
+
+def drowsy_cell_leakage(
+    technology,
+    rule,
+    vth: float,
+    tox: float,
+    retention_vdd: float = DEFAULT_RETENTION_VDD,
+    gate_enabled: bool = True,
+) -> float:
+    """Return the standby leakage current (A) of one *drowsy* 6T cell.
+
+    Mirrors :meth:`repro.circuits.sram_cell.SramCell.standby_leakage_current`
+    but with every drain/gate bias collapsed to the retention voltage.
+    """
+    if not 0.0 < retention_vdd <= technology.vdd:
+        raise ConfigurationError(
+            f"retention voltage must be in (0, Vdd], got {retention_vdd}"
+        )
+    geometry = rule.geometry(tox)
+    scale = geometry.width_scale
+    wmin = technology.wmin
+
+    def sub(width_ratio, p_type=False):
+        return _sub.subthreshold_current(
+            technology,
+            width=width_ratio * wmin * scale,
+            leff=geometry.leff,
+            vth=vth,
+            tox=tox,
+            vgs=0.0,
+            vds=retention_vdd,
+            p_type=p_type,
+        )
+
+    def gate(width_ratio, conducting, p_type=False):
+        if not gate_enabled:
+            return 0.0
+        return _gate.gate_tunnel_current(
+            technology,
+            width=width_ratio * wmin * scale,
+            lgate=geometry.lgate_drawn,
+            tox=tox,
+            vgs=retention_vdd,
+            conducting=conducting,
+            p_type=p_type,
+        )
+
+    total = 0.0
+    # OFF pull-down / pull-up on the two nodes; access devices see the
+    # precharged-but-now-floating bit line at ~retention level.
+    total += sub(PULL_DOWN_RATIO) + gate(PULL_DOWN_RATIO, conducting=False)
+    total += gate(PULL_DOWN_RATIO, conducting=True)
+    total += sub(PULL_UP_RATIO, p_type=True) + gate(
+        PULL_UP_RATIO, conducting=False, p_type=True
+    )
+    total += gate(PULL_UP_RATIO, conducting=True, p_type=True)
+    total += sub(ACCESS_RATIO) + 2.0 * gate(ACCESS_RATIO, conducting=False)
+    return total
+
+
+@dataclass(frozen=True)
+class DrowsyCache(LeakageTechnique):
+    """The drowsy-cache baseline.
+
+    Parameters
+    ----------
+    retention_vdd:
+        Drowsy supply voltage (V).
+    awake_fraction:
+        Fraction of lines at full supply at any instant.
+    wake_latency:
+        Supply-restore latency (s) charged to accesses that hit a drowsy
+        line.
+    drowsy_hit_fraction:
+        Fraction of accesses that land on a drowsy line (with good
+        policies most hits land in the awake working set).
+    """
+
+    retention_vdd: float = DEFAULT_RETENTION_VDD
+    awake_fraction: float = DEFAULT_AWAKE_FRACTION
+    wake_latency: float = DEFAULT_WAKE_LATENCY
+    drowsy_hit_fraction: float = 0.05
+
+    name = "drowsy"
+
+    def __post_init__(self) -> None:
+        for label in ("awake_fraction", "drowsy_hit_fraction"):
+            value = getattr(self, label)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"drowsy: {label} must be in [0, 1], got {value}"
+                )
+
+    def evaluate(self, model, assignment) -> TechniqueResult:
+        evaluation = model.evaluate(assignment)
+        array_cost = evaluation.by_component["array"]
+        periphery = evaluation.leakage_power - array_cost.leakage_power
+
+        cell_point = assignment.array
+        cell = model.components["array"].cell
+        awake_cell = cell.standby_leakage_current(
+            cell_point.vth, cell_point.tox, gate_enabled=model.gate_enabled
+        )
+        drowsy_cell = drowsy_cell_leakage(
+            model.technology,
+            model.rule,
+            cell_point.vth,
+            cell_point.tox,
+            retention_vdd=self.retention_vdd,
+            gate_enabled=model.gate_enabled,
+        )
+        n_cells = model.organization.total_cells
+        # Awake cells burn at Vdd; drowsy cells at the retention voltage.
+        array_leakage = n_cells * (
+            self.awake_fraction * awake_cell * model.technology.vdd
+            + (1.0 - self.awake_fraction)
+            * drowsy_cell
+            * self.retention_vdd
+        )
+        # Sense amps and periphery are not drowsied (they hold no state
+        # worth retaining and must respond instantly).
+        sense_leakage = array_cost.leakage_power - (
+            n_cells * awake_cell * model.technology.vdd
+        )
+        sense_leakage = max(sense_leakage, 0.0)
+
+        return TechniqueResult(
+            name=self.name,
+            leakage_power=array_leakage + sense_leakage + periphery,
+            access_time_penalty=self.drowsy_hit_fraction * self.wake_latency,
+            extra_miss_rate=0.0,
+            retains_state=True,
+        )

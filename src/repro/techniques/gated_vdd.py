@@ -1,0 +1,78 @@
+"""Gated-Vdd / cache decay (Powell et al. [2]; Kaxiras et al.).
+
+Idle lines are disconnected from the supply through a high-Vth sleep
+transistor.  Leakage through a gated line is nearly eliminated (only the
+sleep device's own subthreshold remains), but the line's **state is
+lost**: a re-reference to a decayed line misses and must be refetched
+from the next level.  The decay-induced miss cost is what ultimately
+limits how aggressively lines can be gated — and why the paper's knob
+approach, which keeps all state, is attractive for L2s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.techniques.base import LeakageTechnique, TechniqueResult
+
+#: Residual leakage of a gated line relative to full leakage (the stacked
+#: high-Vth sleep transistor leaves ~2-5 %).
+DEFAULT_RESIDUAL_FRACTION = 0.03
+
+#: Fraction of lines kept powered under a decay policy tuned for the
+#: usual working-set residency.
+DEFAULT_LIVE_FRACTION = 0.25
+
+#: Extra misses per access induced by decaying still-live lines
+#: (policy-dependent; a well-tuned decay interval keeps this small).
+DEFAULT_DECAY_MISS_RATE = 0.005
+
+
+@dataclass(frozen=True)
+class GatedVddCache(LeakageTechnique):
+    """The gated-Vdd baseline.
+
+    Parameters
+    ----------
+    live_fraction:
+        Fraction of lines left powered.
+    residual_fraction:
+        Leakage of a gated line relative to an ungated one.
+    decay_miss_rate:
+        Extra miss probability per access from premature decay.
+    """
+
+    live_fraction: float = DEFAULT_LIVE_FRACTION
+    residual_fraction: float = DEFAULT_RESIDUAL_FRACTION
+    decay_miss_rate: float = DEFAULT_DECAY_MISS_RATE
+
+    name = "gated-vdd"
+
+    def __post_init__(self) -> None:
+        for label in ("live_fraction", "residual_fraction"):
+            value = getattr(self, label)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"gated-vdd: {label} must be in [0, 1], got {value}"
+                )
+        if not 0.0 <= self.decay_miss_rate <= 1.0:
+            raise ConfigurationError(
+                "gated-vdd: decay_miss_rate must be in [0, 1]"
+            )
+
+    def evaluate(self, model, assignment) -> TechniqueResult:
+        evaluation = model.evaluate(assignment)
+        array_cost = evaluation.by_component["array"]
+        periphery = evaluation.leakage_power - array_cost.leakage_power
+        gated_scale = (
+            self.live_fraction
+            + (1.0 - self.live_fraction) * self.residual_fraction
+        )
+        return TechniqueResult(
+            name=self.name,
+            leakage_power=array_cost.leakage_power * gated_scale + periphery,
+            access_time_penalty=0.0,
+            extra_miss_rate=self.decay_miss_rate,
+            retains_state=False,
+        )

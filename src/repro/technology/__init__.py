@@ -1,0 +1,41 @@
+"""Process-technology layer: BPTM-style 65 nm parameters and scaling rules.
+
+The paper characterises Berkeley Predictive Technology Model (BPTM) files
+for a 65 nm node over a (Vth, Tox) grid: Vth from 0.2 V to 0.5 V and Tox
+from 10 Å to 14 Å.  This package provides:
+
+* :class:`~repro.technology.bptm.Technology` — the frozen parameter set a
+  device model is evaluated against (supply, mobility, DIBL coefficient,
+  wire parasitics, …) with :func:`~repro.technology.bptm.bptm65` as the
+  canonical instance;
+* :mod:`~repro.technology.scaling` — the paper's Tox co-scaling rules:
+  thicker oxide forces a longer drawn channel (to keep the gate in control
+  against DIBL) and proportionally wider cell transistors (to keep the
+  memory cell stable), which grows the cell in both dimensions;
+* :mod:`~repro.technology.corners` — process/temperature corner handling.
+"""
+
+from repro.technology.bptm import (
+    Technology,
+    bptm65,
+    VTH_MIN,
+    VTH_MAX,
+    TOX_MIN_A,
+    TOX_MAX_A,
+)
+from repro.technology.scaling import ToxScalingRule, ScaledGeometry
+from repro.technology.corners import Corner, CornerName, apply_corner
+
+__all__ = [
+    "Technology",
+    "bptm65",
+    "VTH_MIN",
+    "VTH_MAX",
+    "TOX_MIN_A",
+    "TOX_MAX_A",
+    "ToxScalingRule",
+    "ScaledGeometry",
+    "Corner",
+    "CornerName",
+    "apply_corner",
+]

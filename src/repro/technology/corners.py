@@ -1,0 +1,111 @@
+"""Process and temperature corners.
+
+The paper evaluates everything at the typical corner, but any credible
+release of the system needs corner support: leakage is notoriously
+corner-sensitive (fast-NMOS silicon at high temperature can leak an order
+of magnitude more than typical).  A :class:`Corner` is a small multiplier
+bundle applied to a :class:`~repro.technology.bptm.Technology` to derive a
+perturbed copy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TechnologyError
+from repro.technology.bptm import Technology
+
+
+class CornerName(str, enum.Enum):
+    """Canonical corner identifiers."""
+
+    TYPICAL = "tt"
+    FAST = "ff"
+    SLOW = "ss"
+    FAST_HOT = "ff_hot"
+    SLOW_COLD = "ss_cold"
+
+
+@dataclass(frozen=True)
+class Corner:
+    """A multiplicative perturbation of a technology.
+
+    Attributes
+    ----------
+    name:
+        Identifier (free-form; the canonical ones are in :class:`CornerName`).
+    vth_shift:
+        Additive shift applied to the nominal threshold voltage (V);
+        negative means faster/leakier silicon.
+    mobility_scale:
+        Multiplier on carrier mobilities.
+    vdd_scale:
+        Multiplier on the supply voltage.
+    temperature:
+        Junction temperature (K) of the corner.
+    """
+
+    name: str
+    vth_shift: float = 0.0
+    mobility_scale: float = 1.0
+    vdd_scale: float = 1.0
+    temperature: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.mobility_scale <= 0:
+            raise TechnologyError(
+                f"mobility_scale must be positive, got {self.mobility_scale}"
+            )
+        if self.vdd_scale <= 0:
+            raise TechnologyError(f"vdd_scale must be positive, got {self.vdd_scale}")
+        if self.temperature <= 0:
+            raise TechnologyError(
+                f"temperature must be positive kelvin, got {self.temperature}"
+            )
+
+
+#: The standard five-corner set.  Shifts are representative of 65 nm-era
+#: 3-sigma process spread (±30 mV systematic Vth, ±8 % mobility, ±10 % Vdd).
+STANDARD_CORNERS = {
+    CornerName.TYPICAL: Corner(name="tt"),
+    CornerName.FAST: Corner(
+        name="ff", vth_shift=-0.03, mobility_scale=1.08, vdd_scale=1.10
+    ),
+    CornerName.SLOW: Corner(
+        name="ss", vth_shift=+0.03, mobility_scale=0.92, vdd_scale=0.90
+    ),
+    CornerName.FAST_HOT: Corner(
+        name="ff_hot",
+        vth_shift=-0.03,
+        mobility_scale=1.08,
+        vdd_scale=1.10,
+        temperature=383.0,
+    ),
+    CornerName.SLOW_COLD: Corner(
+        name="ss_cold",
+        vth_shift=+0.03,
+        mobility_scale=0.92,
+        vdd_scale=0.90,
+        temperature=233.0,
+    ),
+}
+
+
+def apply_corner(technology: Technology, corner: Corner) -> Technology:
+    """Return a copy of ``technology`` perturbed to ``corner``.
+
+    The corner's Vth shift moves the *reference* threshold; designs still
+    pick their own Vth values, so the shift models systematic process error
+    between targeted and realised threshold.
+    """
+    return dataclasses.replace(
+        technology,
+        name=f"{technology.name}@{corner.name}",
+        vth_ref=technology.vth_ref + corner.vth_shift,
+        mobility_n=technology.mobility_n * corner.mobility_scale,
+        mobility_p=technology.mobility_p * corner.mobility_scale,
+        vdd=technology.vdd * corner.vdd_scale,
+        temperature=corner.temperature,
+    )

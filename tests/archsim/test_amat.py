@@ -1,0 +1,53 @@
+"""AMAT formula."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.archsim.amat import amat_two_level
+from repro.errors import SimulationError
+
+
+class TestFormula:
+    def test_hand_computed(self):
+        amat = amat_two_level(
+            l1_hit_time=1.0,
+            l1_miss_rate=0.1,
+            l2_hit_time=5.0,
+            l2_local_miss_rate=0.5,
+            memory_latency=100.0,
+        )
+        assert amat == pytest.approx(1.0 + 0.1 * (5.0 + 0.5 * 100.0))
+
+    def test_perfect_l1(self):
+        assert amat_two_level(1.0, 0.0, 5.0, 0.5, 100.0) == pytest.approx(1.0)
+
+    def test_always_miss(self):
+        assert amat_two_level(1.0, 1.0, 5.0, 1.0, 100.0) == pytest.approx(106.0)
+
+    @given(
+        m1=st.floats(min_value=0, max_value=1),
+        m2=st.floats(min_value=0, max_value=1),
+    )
+    def test_bounded_by_extremes(self, m1, m2):
+        amat = amat_two_level(1.0, m1, 5.0, m2, 100.0)
+        assert 1.0 <= amat <= 106.0
+
+    @given(m2=st.floats(min_value=0, max_value=1))
+    def test_monotone_in_l1_miss_rate(self, m2):
+        low = amat_two_level(1.0, 0.05, 5.0, m2, 100.0)
+        high = amat_two_level(1.0, 0.10, 5.0, m2, 100.0)
+        assert high > low
+
+
+class TestValidation:
+    def test_rejects_bad_miss_rate(self):
+        with pytest.raises(SimulationError):
+            amat_two_level(1.0, 1.5, 5.0, 0.5, 100.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(SimulationError):
+            amat_two_level(1.0, 0.1, 5.0, 0.5, -1.0)
+
+    def test_rejects_negative_hit_time(self):
+        with pytest.raises(SimulationError):
+            amat_two_level(-1.0, 0.1, 5.0, 0.5, 100.0)

@@ -1,0 +1,91 @@
+"""Two-level hierarchy: propagation, write-backs, memory traffic."""
+
+import pytest
+
+from repro.archsim.hierarchy import TwoLevelHierarchy
+from repro.archsim.trace import MemoryAccess, reads
+from repro.cache.config import CacheConfig
+
+
+def small_hierarchy():
+    return TwoLevelHierarchy(
+        CacheConfig(size_bytes=512, block_bytes=64, associativity=1,
+                    name="L1"),
+        CacheConfig(size_bytes=4096, block_bytes=64, associativity=2,
+                    name="L2"),
+    )
+
+
+class TestPropagation:
+    def test_l1_hit_never_reaches_l2(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access(MemoryAccess(address=0))
+        l2_before = hierarchy.l2.stats.accesses
+        hierarchy.access(MemoryAccess(address=0))
+        assert hierarchy.l2.stats.accesses == l2_before
+
+    def test_cold_miss_reaches_memory(self):
+        hierarchy = small_hierarchy()
+        hierarchy.access(MemoryAccess(address=0))
+        assert hierarchy.l1.stats.misses == 1
+        assert hierarchy.l2.stats.misses == 1
+        assert hierarchy.memory_accesses == 1
+
+    def test_l1_evict_l2_hit_no_memory(self):
+        """A block evicted from L1 but still in L2 must not touch memory."""
+        hierarchy = small_hierarchy()
+        stride = 8 * 64  # L1 conflict stride (8 sets)
+        hierarchy.access(MemoryAccess(address=0))
+        hierarchy.access(MemoryAccess(address=stride))  # evicts 0 from L1
+        memory_before = hierarchy.memory_accesses
+        hierarchy.access(MemoryAccess(address=0))  # L1 miss, L2 hit
+        assert hierarchy.memory_accesses == memory_before
+
+    def test_dirty_l1_eviction_written_to_l2(self):
+        hierarchy = small_hierarchy()
+        stride = 8 * 64
+        hierarchy.access(MemoryAccess(address=0, is_write=True))
+        l2_before = hierarchy.l2.stats.accesses
+        hierarchy.access(MemoryAccess(address=stride))
+        # L2 sees the write-back plus the demand miss.
+        assert hierarchy.l2.stats.accesses == l2_before + 2
+
+
+class TestResult:
+    def test_run_collects_stats(self):
+        hierarchy = small_hierarchy()
+        result = hierarchy.run(reads([0, 0, 64, 64, 128]))
+        assert result.l1.accesses == 5
+        assert result.l1.hits == 2
+        assert result.l1_miss_rate == pytest.approx(3 / 5)
+
+    def test_local_vs_global_l2_miss_rate(self):
+        hierarchy = small_hierarchy()
+        result = hierarchy.run(reads([0, 0, 0, 0, 4096]))
+        # 2 L1 misses, both L2 misses.
+        assert result.l2_local_miss_rate == pytest.approx(1.0)
+        assert result.l2_global_miss_rate == pytest.approx(2 / 5)
+
+    def test_empty_trace(self):
+        result = small_hierarchy().run(reads([]))
+        assert result.l1.accesses == 0
+        assert result.l1_miss_rate == 0.0
+        assert result.l2_global_miss_rate == 0.0
+
+    def test_memory_accesses_monotone_in_footprint(self):
+        narrow = small_hierarchy().run(reads([0, 64] * 50))
+        wide = small_hierarchy().run(
+            reads([i * 64 for i in range(100)])
+        )
+        assert wide.memory_accesses > narrow.memory_accesses
+
+
+class TestFiltering:
+    def test_l2_filters_repeated_l1_misses(self):
+        """Blocks thrashing L1 but fitting L2 produce L2 hits."""
+        hierarchy = small_hierarchy()
+        stride = 8 * 64
+        pattern = [0, stride] * 20  # ping-pong in one L1 set
+        result = hierarchy.run(reads(pattern))
+        assert result.l1.misses > 10  # thrashes L1
+        assert result.l2.misses == 2  # only the two cold misses

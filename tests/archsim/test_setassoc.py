@@ -1,0 +1,162 @@
+"""Set-associative cache simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.archsim.setassoc import SetAssociativeCache
+from repro.archsim.trace import MemoryAccess
+from repro.errors import SimulationError
+
+
+def read(address):
+    return MemoryAccess(address=address, is_write=False)
+
+
+def write(address):
+    return MemoryAccess(address=address, is_write=True)
+
+
+def make_cache(size=1024, block=64, assoc=2, name="c"):
+    return SetAssociativeCache(
+        size_bytes=size, block_bytes=block, associativity=assoc, name=name
+    )
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.access(read(0)).hit
+        assert cache.access(read(0)).hit
+        assert cache.access(read(32)).hit  # same 64-byte block
+
+    def test_different_blocks_miss(self):
+        cache = make_cache()
+        cache.access(read(0))
+        assert not cache.access(read(64)).hit
+
+    def test_set_mapping(self):
+        cache = make_cache(size=1024, block=64, assoc=2)  # 8 sets
+        assert cache.n_sets == 8
+        assert cache.set_index(0) == 0
+        assert cache.set_index(64) == 1
+        assert cache.set_index(8 * 64) == 0  # wraps
+
+    def test_stats_recorded(self):
+        cache = make_cache()
+        cache.access(read(0))
+        cache.access(read(0))
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        cache.stats.validate()
+
+
+class TestEvictionAndLru:
+    def test_conflict_eviction_direct_mapped(self):
+        cache = make_cache(size=512, block=64, assoc=1)  # 8 sets
+        stride = 8 * 64
+        cache.access(read(0))
+        result = cache.access(read(stride))
+        assert result.evicted_block == 0
+        assert not cache.contains(0)
+
+    def test_lru_order_in_set(self):
+        cache = make_cache(size=512, block=64, assoc=2)  # 4 sets
+        stride = 4 * 64
+        cache.access(read(0))
+        cache.access(read(stride))
+        cache.access(read(0))  # refresh 0
+        result = cache.access(read(2 * stride))  # evicts stride, not 0
+        assert result.evicted_block == stride
+        assert cache.contains(0)
+
+    def test_capacity_never_exceeded(self):
+        cache = make_cache(size=512, block=64, assoc=2)
+        for i in range(100):
+            cache.access(read(i * 64))
+        assert cache.resident_blocks() <= 512 // 64
+
+
+class TestWriteBack:
+    def test_clean_eviction_not_writeback(self):
+        cache = make_cache(size=512, block=64, assoc=1)
+        stride = 8 * 64
+        cache.access(read(0))
+        result = cache.access(read(stride))
+        assert not result.evicted_dirty
+
+    def test_dirty_eviction_is_writeback(self):
+        cache = make_cache(size=512, block=64, assoc=1)
+        stride = 8 * 64
+        cache.access(write(0))
+        result = cache.access(read(stride))
+        assert result.evicted_dirty
+        assert cache.stats.writebacks == 1
+
+    def test_write_hit_dirties_block(self):
+        cache = make_cache(size=512, block=64, assoc=1)
+        stride = 8 * 64
+        cache.access(read(0))
+        cache.access(write(0))
+        result = cache.access(read(stride))
+        assert result.evicted_dirty
+
+    def test_write_allocate(self):
+        cache = make_cache()
+        assert not cache.access(write(0)).hit
+        assert cache.access(read(0)).hit
+
+
+class TestMaintenance:
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.access(read(0))
+        assert cache.invalidate(0)
+        assert not cache.contains(0)
+        assert not cache.invalidate(0)  # second time: not resident
+
+    def test_flush_reports_dirty(self):
+        cache = make_cache()
+        cache.access(write(0))
+        cache.access(read(64))
+        assert cache.flush() == 1
+        assert cache.resident_blocks() == 0
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(SimulationError):
+            make_cache(size=1000)
+
+    def test_rejects_excess_associativity(self):
+        with pytest.raises(SimulationError):
+            make_cache(size=128, block=64, assoc=4)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=1 << 20), max_size=200
+        )
+    )
+    def test_invariants_under_random_traffic(self, addresses):
+        cache = make_cache(size=1024, block=64, assoc=4)
+        for address in addresses:
+            cache.access(read(address))
+        cache.stats.validate()
+        assert cache.resident_blocks() <= 1024 // 64
+        assert cache.stats.accesses == len(addresses)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=1 << 16),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_immediate_reuse_always_hits(self, addresses):
+        cache = make_cache(size=2048, block=64, assoc=4)
+        for address in addresses:
+            cache.access(read(address))
+            assert cache.access(read(address)).hit

@@ -1,0 +1,128 @@
+"""Stack-distance analysis, cross-validated against the simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.archsim.setassoc import SetAssociativeCache
+from repro.archsim.stackdist import stack_distance_profile
+from repro.archsim.trace import reads
+from repro.errors import SimulationError
+
+
+class TestProfile:
+    def test_cold_only_stream(self):
+        profile = stack_distance_profile(reads([0, 64, 128]), block_bytes=64)
+        assert profile.cold_accesses == 3
+        assert profile.histogram == {}
+        assert profile.total_accesses == 3
+
+    def test_immediate_reuse_is_distance_zero(self):
+        profile = stack_distance_profile(reads([0, 0, 0]), block_bytes=64)
+        assert profile.histogram == {0: 2}
+        assert profile.cold_accesses == 1
+
+    def test_textbook_example(self):
+        # a b c a: the re-access to a skips over b and c -> distance 2.
+        profile = stack_distance_profile(
+            reads([0, 64, 128, 0]), block_bytes=64
+        )
+        assert profile.histogram == {2: 1}
+
+    def test_same_block_words_collapse(self):
+        profile = stack_distance_profile(reads([0, 8, 16]), block_bytes=64)
+        assert profile.cold_accesses == 1
+        assert profile.histogram == {0: 2}
+
+    def test_distinct_blocks_is_footprint(self):
+        profile = stack_distance_profile(
+            reads([0, 64, 0, 64, 128]), block_bytes=64
+        )
+        assert profile.distinct_blocks == 3
+
+    def test_mean_distance(self):
+        profile = stack_distance_profile(
+            reads([0, 64, 0, 64]), block_bytes=64
+        )
+        # Two reuses, both at distance 1.
+        assert profile.mean_distance() == pytest.approx(1.0)
+
+    def test_mean_distance_nan_without_reuse(self):
+        import math
+
+        profile = stack_distance_profile(reads([0, 64]), block_bytes=64)
+        assert math.isnan(profile.mean_distance())
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(SimulationError):
+            stack_distance_profile(reads([0]), block_bytes=48)
+
+
+class TestMissPrediction:
+    def test_capacity_sweep_monotone(self):
+        addresses = [i * 64 for i in range(20)] * 3
+        profile = stack_distance_profile(reads(addresses), block_bytes=64)
+        curve = profile.miss_curve([1, 2, 4, 8, 16, 32])
+        rates = [curve[c] for c in sorted(curve)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_infinite_cache_only_cold_misses(self):
+        addresses = [0, 64, 0, 128, 64]
+        profile = stack_distance_profile(reads(addresses), block_bytes=64)
+        assert profile.miss_rate(10**6) == pytest.approx(3 / 5)
+
+    def test_zero_capacity_always_misses(self):
+        profile = stack_distance_profile(reads([0, 0]), block_bytes=64)
+        assert profile.miss_rate(0) == 1.0
+
+    def test_empty_trace(self):
+        profile = stack_distance_profile(reads([]), block_bytes=64)
+        assert profile.miss_rate(4) == 0.0
+
+    def test_rejects_negative_capacity(self):
+        profile = stack_distance_profile(reads([0]), block_bytes=64)
+        with pytest.raises(SimulationError):
+            profile.miss_rate(-1)
+
+
+class TestOracleAgainstSimulator:
+    """The Mattson prediction must match the event-driven simulator
+    *exactly* for fully-associative LRU — two independent
+    implementations of the same semantics."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=2048), min_size=1, max_size=150
+        ),
+        capacity_blocks=st.sampled_from([1, 2, 4, 8, 16]),
+    )
+    def test_exact_agreement(self, addresses, capacity_blocks):
+        block = 64
+        profile = stack_distance_profile(reads(addresses), block_bytes=block)
+        predicted = profile.miss_rate(capacity_blocks)
+
+        cache = SetAssociativeCache(
+            size_bytes=capacity_blocks * block,
+            block_bytes=block,
+            associativity=capacity_blocks,  # fully associative
+        )
+        for access in reads(addresses):
+            cache.access(access)
+        assert cache.stats.miss_rate == pytest.approx(predicted)
+
+    def test_agreement_on_synthetic_workload(self):
+        from repro.archsim.workloads import SPEC2000_LIKE, synthetic_trace
+
+        trace = list(synthetic_trace(SPEC2000_LIKE, 3000, seed=5))
+        profile = stack_distance_profile(iter(trace), block_bytes=64)
+        capacity_blocks = 64
+        cache = SetAssociativeCache(
+            size_bytes=capacity_blocks * 64,
+            block_bytes=64,
+            associativity=capacity_blocks,
+        )
+        for access in trace:
+            cache.access(access)
+        assert cache.stats.miss_rate == pytest.approx(
+            profile.miss_rate(capacity_blocks)
+        )

@@ -1,0 +1,93 @@
+"""Hit/miss accounting invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.archsim.stats import CacheStats
+from repro.errors import SimulationError
+
+
+class TestCounters:
+    def test_hits_and_misses(self):
+        stats = CacheStats()
+        stats.record_hit()
+        stats.record_miss(is_write=False)
+        stats.record_miss(is_write=True)
+        assert stats.accesses == 3
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.read_misses == 1
+        assert stats.write_misses == 1
+
+    def test_miss_rate(self):
+        stats = CacheStats()
+        stats.record_hit()
+        stats.record_miss(is_write=False)
+        assert stats.miss_rate == pytest.approx(0.5)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_empty_stats_rates(self):
+        stats = CacheStats()
+        assert stats.miss_rate == 0.0
+        assert stats.hit_rate == 0.0
+
+    def test_evictions_and_writebacks(self):
+        stats = CacheStats()
+        stats.record_eviction(dirty=True)
+        stats.record_eviction(dirty=False)
+        assert stats.evictions == 2
+        assert stats.writebacks == 1
+
+
+class TestMergeAndValidate:
+    def test_merge_sums_fields(self):
+        a, b = CacheStats(), CacheStats()
+        a.record_hit()
+        b.record_miss(is_write=True)
+        merged = a.merge(b)
+        assert merged.accesses == 2
+        assert merged.hits == 1
+        assert merged.write_misses == 1
+
+    def test_merge_leaves_operands(self):
+        a, b = CacheStats(), CacheStats()
+        a.record_hit()
+        a.merge(b)
+        assert a.accesses == 1 and b.accesses == 0
+
+    def test_validate_passes_consistent(self):
+        stats = CacheStats()
+        stats.record_hit()
+        stats.record_miss(is_write=False)
+        stats.validate()
+
+    def test_validate_catches_bad_sum(self):
+        stats = CacheStats(accesses=5, hits=2, misses=2)
+        with pytest.raises(SimulationError):
+            stats.validate()
+
+    def test_validate_catches_bad_miss_split(self):
+        stats = CacheStats(accesses=2, hits=0, misses=2, read_misses=0,
+                           write_misses=1)
+        with pytest.raises(SimulationError):
+            stats.validate()
+
+    def test_validate_catches_excess_writebacks(self):
+        stats = CacheStats(evictions=1, writebacks=2)
+        with pytest.raises(SimulationError):
+            stats.validate()
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.booleans()), max_size=50
+        )
+    )
+    def test_random_sequences_stay_consistent(self, events):
+        stats = CacheStats()
+        for is_miss, is_write in events:
+            if is_miss:
+                stats.record_miss(is_write)
+            else:
+                stats.record_hit()
+        stats.validate()
+        assert 0.0 <= stats.miss_rate <= 1.0

@@ -1,0 +1,45 @@
+"""Trace records and helpers."""
+
+import pytest
+
+from repro.archsim.trace import MemoryAccess, materialize, reads
+from repro.errors import SimulationError
+
+
+class TestMemoryAccess:
+    def test_block_address(self):
+        access = MemoryAccess(address=100)
+        assert access.block_address(64) == 64
+        assert access.block_address(32) == 96
+
+    def test_aligned_address_unchanged(self):
+        assert MemoryAccess(address=128).block_address(64) == 128
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(SimulationError):
+            MemoryAccess(address=-1)
+
+    def test_default_is_read(self):
+        assert not MemoryAccess(address=0).is_write
+
+
+class TestHelpers:
+    def test_reads_wraps_addresses(self):
+        accesses = list(reads([0, 64, 128]))
+        assert [a.address for a in accesses] == [0, 64, 128]
+        assert not any(a.is_write for a in accesses)
+
+    def test_materialize_full(self):
+        accesses = materialize(reads(range(5)))
+        assert len(accesses) == 5
+
+    def test_materialize_limit(self):
+        accesses = materialize(reads(range(100)), limit=3)
+        assert len(accesses) == 3
+
+    def test_materialize_limit_zero(self):
+        assert materialize(reads(range(10)), limit=0) == []
+
+    def test_materialize_rejects_negative_limit(self):
+        with pytest.raises(SimulationError):
+            materialize(reads(range(10)), limit=-1)

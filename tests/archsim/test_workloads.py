@@ -1,0 +1,134 @@
+"""Synthetic workload generators."""
+
+import pytest
+
+from repro.archsim.trace import materialize
+from repro.archsim.workloads import (
+    SPEC2000_LIKE,
+    SPECWEB_LIKE,
+    STANDARD_WORKLOADS,
+    TPCC_LIKE,
+    WorkloadSpec,
+    synthetic_trace,
+)
+from repro.errors import SimulationError
+
+
+class TestSpecValidation:
+    def test_rejects_regions_exceeding_footprint(self):
+        with pytest.raises(SimulationError):
+            WorkloadSpec(
+                name="bad",
+                footprint_bytes=1024,
+                hot_bytes=512,
+                warm_bytes=1024,
+                hot_fraction=0.5,
+                stream_fraction=0.1,
+                cold_fraction=0.1,
+            )
+
+    def test_rejects_fraction_overflow(self):
+        with pytest.raises(SimulationError):
+            WorkloadSpec(
+                name="bad",
+                footprint_bytes=1 << 20,
+                hot_bytes=1024,
+                warm_bytes=4096,
+                hot_fraction=0.7,
+                stream_fraction=0.5,
+                cold_fraction=0.1,
+            )
+
+    def test_rejects_bad_cold_fraction(self):
+        with pytest.raises(SimulationError):
+            WorkloadSpec(
+                name="bad",
+                footprint_bytes=1 << 20,
+                hot_bytes=1024,
+                warm_bytes=4096,
+                hot_fraction=0.5,
+                stream_fraction=0.1,
+                cold_fraction=1.5,
+            )
+
+    def test_far_fraction(self):
+        assert SPEC2000_LIKE.far_fraction == pytest.approx(
+            1.0 - SPEC2000_LIKE.hot_fraction - SPEC2000_LIKE.stream_fraction
+        )
+
+
+class TestStandardSuites:
+    def test_three_suites(self):
+        assert set(STANDARD_WORKLOADS) == {"spec2000", "specweb", "tpcc"}
+
+    def test_tpcc_most_memory_bound(self):
+        assert TPCC_LIKE.warm_bytes > SPECWEB_LIKE.warm_bytes
+        assert TPCC_LIKE.footprint_bytes > SPEC2000_LIKE.footprint_bytes
+
+    def test_hot_regions_fit_smallest_l1(self):
+        for spec in STANDARD_WORKLOADS.values():
+            assert spec.hot_bytes <= 4 * 1024
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        a = materialize(synthetic_trace(SPEC2000_LIKE, 500, seed=3))
+        b = materialize(synthetic_trace(SPEC2000_LIKE, 500, seed=3))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = materialize(synthetic_trace(SPEC2000_LIKE, 500, seed=3))
+        b = materialize(synthetic_trace(SPEC2000_LIKE, 500, seed=4))
+        assert a != b
+
+    def test_exact_count(self):
+        assert len(materialize(synthetic_trace(SPEC2000_LIKE, 123))) == 123
+
+    def test_zero_accesses(self):
+        assert materialize(synthetic_trace(SPEC2000_LIKE, 0)) == []
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(SimulationError):
+            list(synthetic_trace(SPEC2000_LIKE, -1))
+
+    def test_addresses_within_footprint(self):
+        for access in synthetic_trace(SPECWEB_LIKE, 2000, seed=5):
+            assert 0 <= access.address < SPECWEB_LIKE.footprint_bytes
+
+    def test_write_fraction_approximate(self):
+        accesses = materialize(synthetic_trace(SPEC2000_LIKE, 5000, seed=9))
+        writes = sum(1 for a in accesses if a.is_write)
+        assert abs(writes / 5000 - SPEC2000_LIKE.write_fraction) < 0.03
+
+    def test_hot_region_dominates(self):
+        accesses = materialize(synthetic_trace(SPEC2000_LIKE, 5000, seed=2))
+        hot = sum(
+            1 for a in accesses if a.address < SPEC2000_LIKE.hot_bytes
+        )
+        assert abs(hot / 5000 - SPEC2000_LIKE.hot_fraction) < 0.03
+
+
+class TestLocalityProfile:
+    """Quick (short-trace) checks of the published qualitative shapes;
+    the full-scale curves live in the calibrated tables."""
+
+    def test_l1_miss_rate_low(self):
+        from repro.archsim.hierarchy import TwoLevelHierarchy
+        from repro.cache.config import l1_config, l2_config
+
+        hierarchy = TwoLevelHierarchy(l1_config(16), l2_config(512))
+        result = hierarchy.run(synthetic_trace(SPEC2000_LIKE, 30_000, seed=1))
+        assert result.l1_miss_rate < 0.12
+
+    def test_l1_miss_rate_flat_4k_to_64k(self):
+        from repro.archsim.hierarchy import TwoLevelHierarchy
+        from repro.cache.config import l1_config, l2_config
+
+        rates = []
+        for kb in (4, 64):
+            hierarchy = TwoLevelHierarchy(l1_config(kb), l2_config(512))
+            result = hierarchy.run(
+                synthetic_trace(SPEC2000_LIKE, 30_000, seed=1)
+            )
+            rates.append(result.l1_miss_rate)
+        assert abs(rates[0] - rates[1]) < 0.02

@@ -1,0 +1,101 @@
+"""Knob assignments and the three scheme constructors."""
+
+import pytest
+
+from repro import units
+from repro.cache.assignment import (
+    COMPONENT_NAMES,
+    PERIPHERAL_COMPONENTS,
+    Assignment,
+    Knobs,
+    knobs,
+)
+from repro.errors import ConfigurationError
+
+
+class TestKnobs:
+    def test_constructor_takes_angstroms(self):
+        point = knobs(0.35, 12.0)
+        assert point.vth == 0.35
+        assert point.tox == pytest.approx(units.angstrom(12))
+        assert point.tox_angstrom == pytest.approx(12.0)
+
+    def test_validate_accepts_design_box(self):
+        assert knobs(0.2, 10).validate() == knobs(0.2, 10)
+        assert knobs(0.5, 14).validate() == knobs(0.5, 14)
+
+    @pytest.mark.parametrize("vth,tox", [(0.1, 12), (0.6, 12), (0.3, 9), (0.3, 15)])
+    def test_validate_rejects_outside(self, vth, tox):
+        with pytest.raises(ConfigurationError):
+            knobs(vth, tox).validate()
+
+    def test_label(self):
+        assert knobs(0.35, 12).label() == "(0.35 V, 12 Å)"
+
+
+class TestConstructors:
+    def test_uniform_covers_all_components(self):
+        assignment = Assignment.uniform(knobs(0.3, 12))
+        for name in COMPONENT_NAMES:
+            assert assignment[name] == knobs(0.3, 12)
+
+    def test_split_gives_cell_its_own_pair(self):
+        cell, periph = knobs(0.5, 14), knobs(0.2, 10)
+        assignment = Assignment.split(cell=cell, periphery=periph)
+        assert assignment.array == cell
+        for name in PERIPHERAL_COMPONENTS:
+            assert assignment[name] == periph
+
+    def test_per_component(self):
+        points = [knobs(0.2 + 0.05 * i, 10 + i) for i in range(4)]
+        assignment = Assignment.per_component(*points)
+        assert assignment["address_drivers"] == points[0]
+        assert assignment["decoder"] == points[1]
+        assert assignment["array"] == points[2]
+        assert assignment["data_drivers"] == points[3]
+
+    def test_from_mapping_requires_exact_names(self):
+        with pytest.raises(ConfigurationError):
+            Assignment.from_mapping({"array": knobs(0.3, 12)})
+
+    def test_getitem_unknown_component(self):
+        assignment = Assignment.uniform(knobs(0.3, 12))
+        with pytest.raises(KeyError):
+            assignment["tags"]
+
+
+class TestProcessCost:
+    def test_uniform_is_one_one(self):
+        assert Assignment.uniform(knobs(0.3, 12)).process_cost() == (1, 1)
+
+    def test_split_two_two(self):
+        assignment = Assignment.split(
+            cell=knobs(0.5, 14), periphery=knobs(0.2, 10)
+        )
+        assert assignment.process_cost() == (2, 2)
+
+    def test_shared_tox_counts_once(self):
+        assignment = Assignment.split(
+            cell=knobs(0.5, 12), periphery=knobs(0.2, 12)
+        )
+        assert assignment.process_cost() == (1, 2)
+
+    def test_distinct_sets(self):
+        assignment = Assignment.split(
+            cell=knobs(0.5, 14), periphery=knobs(0.2, 10)
+        )
+        assert assignment.distinct_vths() == {0.5, 0.2}
+        assert len(assignment.distinct_toxes()) == 2
+
+
+class TestIteration:
+    def test_components_in_critical_path_order(self):
+        assignment = Assignment.uniform(knobs(0.3, 12))
+        assert tuple(name for name, _ in assignment.components()) == (
+            COMPONENT_NAMES
+        )
+
+    def test_describe_lists_all(self):
+        text = Assignment.uniform(knobs(0.3, 12)).describe()
+        for name in COMPONENT_NAMES:
+            assert name in text

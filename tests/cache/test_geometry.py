@@ -1,0 +1,131 @@
+"""CACTI-style array organisation."""
+
+import pytest
+
+from repro.cache.config import CacheConfig, l2_config
+from repro.cache.geometry import (
+    ArrayOrganization,
+    candidate_organizations,
+    organize,
+)
+from repro.errors import GeometryError
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CacheConfig(size_bytes=16 * 1024, block_bytes=32, associativity=2)
+
+
+class TestCandidates:
+    def test_all_candidates_cover_storage(self, config):
+        for organization in candidate_organizations(config):
+            assert organization.total_cells == config.total_storage_bits
+
+    def test_all_candidates_power_of_two_divisions(self, config):
+        for organization in candidate_organizations(config):
+            assert organization.ndwl & (organization.ndwl - 1) == 0
+            assert organization.ndbl & (organization.ndbl - 1) == 0
+
+    def test_rows_times_ndbl_is_sets(self, config):
+        for organization in candidate_organizations(config):
+            assert (
+                organization.rows_per_subarray * organization.ndbl
+                == config.n_sets
+            )
+
+    def test_candidates_nonempty_for_presets(self):
+        for kb in (128, 1024, 4096):
+            assert candidate_organizations(l2_config(kb))
+
+
+class TestOrganize:
+    def test_deterministic(self, config, technology):
+        first = organize(config, technology)
+        second = organize(config, technology)
+        assert (first.ndwl, first.ndbl) == (second.ndwl, second.ndbl)
+
+    def test_larger_cache_more_subarrays(self, technology):
+        small = organize(
+            CacheConfig(size_bytes=4 * 1024, block_bytes=32, associativity=2),
+            technology,
+        )
+        large = organize(l2_config(2048), technology)
+        assert large.n_subarrays >= small.n_subarrays
+
+    def test_organize_result_is_candidate(self, config, technology):
+        chosen = organize(config, technology)
+        candidates = candidate_organizations(config)
+        assert any(
+            c.ndwl == chosen.ndwl and c.ndbl == chosen.ndbl
+            for c in candidates
+        )
+
+
+class TestOrganizationProperties:
+    def make(self, config, ndwl=2, ndbl=4):
+        return ArrayOrganization(
+            config=config,
+            ndwl=ndwl,
+            ndbl=ndbl,
+            rows_per_subarray=config.n_sets // ndbl,
+            cols_per_subarray=config.associativity
+            * config.bits_per_way
+            // ndwl,
+        )
+
+    def test_counts(self, config):
+        organization = self.make(config)
+        assert organization.n_subarrays == 8
+        assert organization.total_rows == config.n_sets
+        assert organization.active_subarrays == organization.ndwl
+        assert (
+            organization.active_cols
+            == organization.cols_per_subarray * organization.ndwl
+        )
+        assert organization.n_sense_amps == organization.total_cols
+        assert organization.n_decoders == organization.n_subarrays
+
+    def test_physical_dimensions(self, config):
+        organization = self.make(config)
+        cell_w, cell_h = 1.5e-6, 0.9e-6
+        assert organization.array_width(cell_w) == pytest.approx(
+            organization.ndwl * organization.cols_per_subarray * cell_w
+        )
+        assert organization.array_height(cell_h) == pytest.approx(
+            organization.ndbl * organization.rows_per_subarray * cell_h
+        )
+        assert organization.array_area(cell_w, cell_h) == pytest.approx(
+            organization.array_width(cell_w)
+            * organization.array_height(cell_h)
+        )
+
+    def test_bus_length_is_half_perimeter(self, config):
+        organization = self.make(config)
+        cell_w, cell_h = 1.5e-6, 0.9e-6
+        assert organization.bus_length(cell_w, cell_h) == pytest.approx(
+            organization.array_width(cell_w)
+            + 0.5 * organization.array_height(cell_h)
+        )
+
+    def test_rejects_non_power_of_two_divisions(self, config):
+        with pytest.raises(GeometryError):
+            ArrayOrganization(
+                config=config,
+                ndwl=3,
+                ndbl=1,
+                rows_per_subarray=256,
+                cols_per_subarray=100,
+            )
+
+    def test_rejects_empty_subarray(self, config):
+        with pytest.raises(GeometryError):
+            ArrayOrganization(
+                config=config,
+                ndwl=1,
+                ndbl=1,
+                rows_per_subarray=0,
+                cols_per_subarray=100,
+            )
+
+    def test_describe(self, config):
+        assert "sub-arrays" in self.make(config).describe()

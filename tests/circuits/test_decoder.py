@@ -1,0 +1,141 @@
+"""Row decoder: predecode structure, cost evaluation, stack ablation."""
+
+import pytest
+
+from repro import units
+from repro.circuits.decoder import RowDecoder, predecode_groups
+from repro.circuits.wires import Wire
+from repro.errors import CircuitError
+
+
+def make_decoder(technology, rule, n_rows=128, stack_enabled=True,
+                 gate_enabled=True):
+    wire = Wire.from_technology(technology, 200e-6)
+    return RowDecoder(
+        technology=technology,
+        rule=rule,
+        n_rows=n_rows,
+        wordline_wire=wire,
+        wordline_cell_load=units.ff(50),
+        stack_enabled=stack_enabled,
+        gate_enabled=gate_enabled,
+    )
+
+
+class TestPredecodeGroups:
+    @pytest.mark.parametrize(
+        "bits,expected",
+        [
+            (1, [1]),
+            (2, [2]),
+            (3, [3]),
+            (4, [2, 2]),
+            (5, [2, 3]),
+            (6, [2, 2, 2]),
+            (7, [2, 2, 3]),
+            (10, [2, 2, 2, 2, 2]),
+        ],
+    )
+    def test_grouping(self, bits, expected):
+        assert predecode_groups(bits) == expected
+
+    def test_groups_cover_all_bits(self):
+        for bits in range(1, 14):
+            assert sum(predecode_groups(bits)) == bits
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(CircuitError):
+            predecode_groups(0)
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two_rows(self, technology, rule):
+        with pytest.raises(CircuitError):
+            make_decoder(technology, rule, n_rows=100)
+
+    def test_rejects_negative_cell_load(self, technology, rule):
+        wire = Wire.from_technology(technology, 1e-4)
+        with pytest.raises(CircuitError):
+            RowDecoder(
+                technology=technology,
+                rule=rule,
+                n_rows=64,
+                wordline_wire=wire,
+                wordline_cell_load=-1e-15,
+            )
+
+    def test_address_bits(self, technology, rule):
+        assert make_decoder(technology, rule, n_rows=128).address_bits == 7
+
+
+class TestEvaluation:
+    def test_costs_positive(self, technology, rule):
+        cost = make_decoder(technology, rule).evaluate(
+            0.3, technology.tox_ref
+        )
+        assert cost.delay > 0
+        assert cost.leakage_current > 0
+        assert cost.dynamic_energy > 0
+        assert cost.transistor_count > 0
+
+    def test_slower_at_high_vth(self, technology, rule):
+        decoder = make_decoder(technology, rule)
+        tox = technology.tox_ref
+        assert decoder.evaluate(0.5, tox).delay > decoder.evaluate(
+            0.2, tox
+        ).delay
+
+    def test_leakier_at_low_vth(self, technology, rule):
+        decoder = make_decoder(technology, rule)
+        tox = technology.tox_ref
+        assert decoder.evaluate(0.2, tox).leakage_current > decoder.evaluate(
+            0.5, tox
+        ).leakage_current
+
+    def test_more_rows_more_leakage(self, technology, rule):
+        small = make_decoder(technology, rule, n_rows=64)
+        large = make_decoder(technology, rule, n_rows=512)
+        tox = technology.tox_ref
+        assert large.evaluate(0.3, tox).leakage_current > small.evaluate(
+            0.3, tox
+        ).leakage_current
+
+    def test_transistor_count_scales_with_rows(self, technology, rule):
+        small = make_decoder(technology, rule, n_rows=64)
+        large = make_decoder(technology, rule, n_rows=256)
+        tox = technology.tox_ref
+        assert (
+            large.evaluate(0.3, tox).transistor_count
+            > 3 * small.evaluate(0.3, tox).transistor_count
+        )
+
+
+class TestStackAblation:
+    def test_disabling_stack_raises_leakage(self, technology, rule):
+        """The decoder is where the stack effect pays off (DESIGN.md
+        ablation); turning it off must cost real leakage."""
+        tox = technology.tox_ref
+        with_stack = make_decoder(technology, rule).evaluate(0.25, tox)
+        without = make_decoder(
+            technology, rule, stack_enabled=False
+        ).evaluate(0.25, tox)
+        # The word-line driver chains (no stacks) dominate decoder
+        # leakage, so the aggregate effect is percent-level; the
+        # device-level factor itself is ~10x (tests/devices/test_stack.py).
+        assert without.leakage_current > 1.01 * with_stack.leakage_current
+
+    def test_stack_does_not_change_delay(self, technology, rule):
+        tox = technology.tox_ref
+        with_stack = make_decoder(technology, rule).evaluate(0.25, tox)
+        without = make_decoder(
+            technology, rule, stack_enabled=False
+        ).evaluate(0.25, tox)
+        assert without.delay == pytest.approx(with_stack.delay)
+
+    def test_gate_ablation_reduces_leakage(self, technology, rule):
+        tox = units.angstrom(10)
+        full = make_decoder(technology, rule).evaluate(0.5, tox)
+        sub_only = make_decoder(
+            technology, rule, gate_enabled=False
+        ).evaluate(0.5, tox)
+        assert sub_only.leakage_current < full.leakage_current

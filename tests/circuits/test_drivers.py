@@ -1,0 +1,92 @@
+"""Bus driver banks."""
+
+import pytest
+
+from repro import units
+from repro.circuits.drivers import BusDriver
+from repro.circuits.wires import Wire
+from repro.errors import CircuitError
+
+
+def make_bank(technology, rule, n_lines=32, activity=0.5, length=1e-3):
+    return BusDriver(
+        technology=technology,
+        rule=rule,
+        n_lines=n_lines,
+        wire=Wire.from_technology(technology, length),
+        far_end_load=units.ff(20),
+        activity=activity,
+    )
+
+
+class TestConstruction:
+    def test_rejects_zero_lines(self, technology, rule):
+        with pytest.raises(CircuitError):
+            make_bank(technology, rule, n_lines=0)
+
+    def test_rejects_bad_activity(self, technology, rule):
+        with pytest.raises(CircuitError):
+            make_bank(technology, rule, activity=1.5)
+
+    def test_rejects_negative_far_end(self, technology, rule):
+        with pytest.raises(CircuitError):
+            BusDriver(
+                technology=technology,
+                rule=rule,
+                n_lines=8,
+                wire=Wire.from_technology(technology, 1e-3),
+                far_end_load=-1e-15,
+            )
+
+
+class TestEvaluation:
+    def test_costs_positive(self, technology, rule):
+        cost = make_bank(technology, rule).evaluate(0.3, technology.tox_ref)
+        assert cost.delay > 0
+        assert cost.leakage_current > 0
+        assert cost.dynamic_energy > 0
+        assert cost.transistor_count > 0
+
+    def test_leakage_linear_in_lines(self, technology, rule):
+        tox = technology.tox_ref
+        narrow = make_bank(technology, rule, n_lines=16).evaluate(0.3, tox)
+        wide = make_bank(technology, rule, n_lines=32).evaluate(0.3, tox)
+        assert wide.leakage_current == pytest.approx(
+            2 * narrow.leakage_current
+        )
+
+    def test_delay_independent_of_lines(self, technology, rule):
+        """Lines are parallel; the bank's delay is one line's delay."""
+        tox = technology.tox_ref
+        narrow = make_bank(technology, rule, n_lines=16).evaluate(0.3, tox)
+        wide = make_bank(technology, rule, n_lines=64).evaluate(0.3, tox)
+        assert wide.delay == pytest.approx(narrow.delay)
+
+    def test_energy_scales_with_activity(self, technology, rule):
+        tox = technology.tox_ref
+        quiet = make_bank(technology, rule, activity=0.25).evaluate(0.3, tox)
+        busy = make_bank(technology, rule, activity=0.5).evaluate(0.3, tox)
+        assert busy.dynamic_energy == pytest.approx(2 * quiet.dynamic_energy)
+
+    def test_longer_bus_slower(self, technology, rule):
+        tox = technology.tox_ref
+        short = make_bank(technology, rule, length=0.5e-3).evaluate(0.3, tox)
+        long = make_bank(technology, rule, length=2e-3).evaluate(0.3, tox)
+        assert long.delay > short.delay
+
+    def test_vth_slows_but_saves_leakage(self, technology, rule):
+        bank = make_bank(technology, rule)
+        tox = technology.tox_ref
+        fast = bank.evaluate(0.2, tox)
+        slow = bank.evaluate(0.5, tox)
+        assert slow.delay > fast.delay
+        assert slow.leakage_current < fast.leakage_current
+
+    def test_wire_dominance_dilutes_tox_delay(self, technology, rule):
+        """Bus delay is wire-heavy, so its Tox delay ratio must be mild —
+        the structural reason the paper's periphery tolerates aggressive
+        oxide choices."""
+        bank = make_bank(technology, rule, length=2e-3)
+        thin = bank.evaluate(0.3, units.angstrom(10)).delay
+        thick = bank.evaluate(0.3, units.angstrom(14)).delay
+        assert thick / thin < 1.8

@@ -1,0 +1,140 @@
+"""RC stages and buffer-chain sizing."""
+
+import pytest
+
+from repro import units
+from repro.errors import CircuitError
+from repro.circuits.logical_effort import (
+    BufferChain,
+    RcStage,
+    chain_delay,
+    optimal_buffer_chain,
+)
+
+
+class TestRcStage:
+    def test_delay_is_069_rc(self):
+        stage = RcStage(label="wl", resistance=1000.0, capacitance=1e-13)
+        assert stage.delay == pytest.approx(0.69 * 1000.0 * 1e-13)
+
+    def test_rejects_negative(self):
+        with pytest.raises(CircuitError):
+            RcStage(label="bad", resistance=-1.0, capacitance=1e-13)
+
+    def test_chain_delay_sums(self):
+        stages = [
+            RcStage(label=f"s{i}", resistance=100.0, capacitance=1e-14)
+            for i in range(3)
+        ]
+        assert chain_delay(stages) == pytest.approx(3 * stages[0].delay)
+
+    def test_chain_delay_empty(self):
+        assert chain_delay([]) == 0.0
+
+
+class TestBufferChain:
+    def make(self, technology, load_ff, vth=0.3):
+        return optimal_buffer_chain(
+            technology,
+            load_capacitance=units.ff(load_ff),
+            leff=technology.leff,
+            lgate=technology.lgate_drawn,
+            vth=vth,
+            tox=technology.tox_ref,
+        )
+
+    def test_small_load_single_stage(self, technology):
+        chain = self.make(technology, 0.1)
+        assert chain.stage_count == 1
+
+    def test_stage_count_grows_with_load(self, technology):
+        small = self.make(technology, 5)
+        large = self.make(technology, 500)
+        assert large.stage_count > small.stage_count
+
+    def test_stage_count_is_log_of_effort(self, technology):
+        """Going 4x bigger in load adds about one stage."""
+        chain_a = self.make(technology, 50)
+        chain_b = self.make(technology, 50 * 64)
+        assert chain_b.stage_count - chain_a.stage_count == 3
+
+    def test_chaining_beats_direct_drive(self, technology):
+        """A sized chain must beat a minimum inverter driving the load
+        directly — the whole point of buffer insertion."""
+        from repro.devices.delay import effective_resistance
+
+        load = units.ff(500)
+        chain = self.make(technology, 500)
+        r_min = effective_resistance(
+            technology, technology.wmin, technology.leff, 0.3,
+            technology.tox_ref,
+        )
+        direct = 0.69 * r_min * load
+        assert chain.delay < direct
+
+    def test_input_capacitance_is_first_stage(self, technology):
+        from repro.devices.delay import gate_capacitance
+
+        chain = self.make(technology, 100)
+        first = chain.inverters[0]
+        assert chain.input_capacitance == pytest.approx(
+            gate_capacitance(
+                technology,
+                first.total_width,
+                technology.lgate_drawn,
+                technology.tox_ref,
+            )
+        )
+
+    def test_leakage_positive_and_grows_with_load(self, technology):
+        small = self.make(technology, 5)
+        large = self.make(technology, 500)
+        assert 0 < small.subthreshold_leakage < large.subthreshold_leakage
+        assert 0 < small.gate_leakage < large.gate_leakage
+
+    def test_high_vth_chain_leaks_less_but_slower(self, technology):
+        fast = self.make(technology, 100, vth=0.2)
+        slow = self.make(technology, 100, vth=0.5)
+        assert slow.subthreshold_leakage < fast.subthreshold_leakage
+        assert slow.delay > fast.delay
+
+    def test_switched_capacitance_includes_load(self, technology):
+        chain = self.make(technology, 100)
+        assert chain.switched_capacitance > units.ff(100)
+
+    def test_leakage_power_and_energy_helpers(self, technology):
+        chain = self.make(technology, 100)
+        assert chain.leakage_power(1.0) == pytest.approx(
+            chain.subthreshold_leakage + chain.gate_leakage
+        )
+        assert chain.dynamic_energy(1.0) == pytest.approx(
+            chain.switched_capacitance
+        )
+
+    def test_gate_disable_zeroes_gate_leakage(self, technology):
+        chain = optimal_buffer_chain(
+            technology,
+            load_capacitance=units.ff(100),
+            leff=technology.leff,
+            lgate=technology.lgate_drawn,
+            vth=0.3,
+            tox=technology.tox_ref,
+            gate_enabled=False,
+        )
+        assert chain.gate_leakage == 0.0
+
+    def test_rejects_nonpositive_load(self, technology):
+        with pytest.raises(CircuitError):
+            self.make(technology, 0.0)
+
+    def test_rejects_unit_stage_effort(self, technology):
+        with pytest.raises(CircuitError):
+            optimal_buffer_chain(
+                technology,
+                load_capacitance=units.ff(100),
+                leff=technology.leff,
+                lgate=technology.lgate_drawn,
+                vth=0.3,
+                tox=technology.tox_ref,
+                stage_effort=1.0,
+            )

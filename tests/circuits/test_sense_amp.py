@@ -1,0 +1,93 @@
+"""Sense amplifier model."""
+
+import pytest
+
+from repro import units
+from repro.circuits.sense_amp import SWING_FRACTION, SenseAmplifier
+from repro.errors import CircuitError
+
+
+@pytest.fixture(scope="module")
+def amp():
+    from repro.technology.bptm import bptm65
+    from repro.technology.scaling import ToxScalingRule
+
+    technology = bptm65()
+    return SenseAmplifier(
+        technology=technology, rule=ToxScalingRule(technology=technology)
+    )
+
+
+class TestDevelopment:
+    def test_hand_formula(self, amp):
+        # t = C * dV / I.
+        delay = amp.development_delay(
+            bitline_capacitance=100e-15, cell_read_current=50e-6
+        )
+        expected = 100e-15 * SWING_FRACTION * amp.technology.vdd / 50e-6
+        assert delay == pytest.approx(expected)
+
+    def test_weak_cell_develops_slowly(self, amp):
+        fast = amp.development_delay(100e-15, 100e-6)
+        slow = amp.development_delay(100e-15, 20e-6)
+        assert slow > fast
+
+    def test_rejects_nonpositive_current(self, amp):
+        with pytest.raises(CircuitError):
+            amp.development_delay(100e-15, 0.0)
+
+    def test_rejects_negative_capacitance(self, amp):
+        with pytest.raises(CircuitError):
+            amp.development_delay(-1e-15, 50e-6)
+
+
+class TestRegeneration:
+    def test_positive_and_small(self, amp):
+        delay = amp.regeneration_delay(0.3, amp.technology.tox_ref)
+        assert 0 < delay < units.ps(200)
+
+    def test_slower_at_high_vth(self, amp):
+        tox = amp.technology.tox_ref
+        assert amp.regeneration_delay(0.5, tox) > amp.regeneration_delay(
+            0.2, tox
+        )
+
+
+class TestLeakageAndEnergy:
+    def test_leakage_positive(self, amp):
+        assert amp.standby_leakage_current(0.3, amp.technology.tox_ref) > 0
+
+    def test_leakage_falls_with_vth(self, amp):
+        tox = amp.technology.tox_ref
+        assert amp.standby_leakage_current(
+            0.5, tox
+        ) < amp.standby_leakage_current(0.2, tox)
+
+    def test_power_is_current_times_vdd(self, amp):
+        tox = amp.technology.tox_ref
+        assert amp.standby_leakage_power(0.3, tox) == pytest.approx(
+            amp.standby_leakage_current(0.3, tox) * amp.technology.vdd
+        )
+
+    def test_gate_ablation(self, amp):
+        tox = units.angstrom(10)
+        assert amp.standby_leakage_current(
+            0.5, tox, gate_enabled=False
+        ) < amp.standby_leakage_current(0.5, tox)
+
+    def test_sense_energy_grows_with_bitline(self, amp):
+        tox = amp.technology.tox_ref
+        assert amp.sense_energy(200e-15, tox) > amp.sense_energy(50e-15, tox)
+
+    def test_sense_energy_below_full_swing(self, amp):
+        """Sensing must beat discharging the bit line rail to rail —
+        that is the point of a sense amplifier."""
+        tox = amp.technology.tox_ref
+        bitline = 200e-15
+        full_swing = bitline * amp.technology.vdd**2
+        assert amp.sense_energy(bitline, tox) < full_swing
+
+    def test_required_swing(self, amp):
+        assert amp.required_swing() == pytest.approx(
+            SWING_FRACTION * amp.technology.vdd
+        )

@@ -1,0 +1,120 @@
+"""6T SRAM cell model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.circuits.sram_cell import (
+    ACCESS_RATIO,
+    PULL_DOWN_RATIO,
+    PULL_UP_RATIO,
+    SramCell,
+)
+
+
+@pytest.fixture(scope="module")
+def cell(request):
+    from repro.technology.bptm import bptm65
+    from repro.technology.scaling import ToxScalingRule
+
+    technology = bptm65()
+    return SramCell(
+        technology=technology, rule=ToxScalingRule(technology=technology)
+    )
+
+
+class TestLeakage:
+    def test_magnitude_at_fast_corner(self, cell, technology):
+        """A fast-knob 65 nm cell leaked ~10-300 nA."""
+        current = cell.standby_leakage_current(0.2, units.angstrom(10))
+        assert 1e-8 < current < 1e-6
+
+    def test_magnitude_at_slow_corner(self, cell, technology):
+        current = cell.standby_leakage_current(0.5, units.angstrom(14))
+        assert current < 2e-9
+
+    @given(vth=st.floats(min_value=0.2, max_value=0.49))
+    def test_monotone_in_vth(self, cell, vth):
+        tox = cell.technology.tox_ref
+        assert cell.standby_leakage_current(
+            vth + 0.01, tox
+        ) < cell.standby_leakage_current(vth, tox)
+
+    @given(tox_a=st.floats(min_value=10.0, max_value=13.9))
+    def test_monotone_in_tox(self, cell, tox_a):
+        assert cell.standby_leakage_current(
+            0.35, units.angstrom(tox_a + 0.1)
+        ) < cell.standby_leakage_current(0.35, units.angstrom(tox_a))
+
+    def test_power_is_current_times_vdd(self, cell, technology):
+        tox = technology.tox_ref
+        assert cell.standby_leakage_power(0.3, tox) == pytest.approx(
+            cell.standby_leakage_current(0.3, tox) * technology.vdd
+        )
+
+    def test_gate_ablation_reduces_leakage(self, cell, technology):
+        tox = units.angstrom(10)
+        full = cell.standby_leakage_current(0.5, tox)
+        sub_only = cell.standby_leakage_current(0.5, tox, gate_enabled=False)
+        # At high Vth / thin oxide, gate tunnelling dominates.
+        assert sub_only < 0.2 * full
+
+
+class TestReadPath:
+    def test_read_current_magnitude(self, cell):
+        current = cell.read_current(0.3, cell.technology.tox_ref)
+        assert 1e-5 < current < 1e-3
+
+    def test_read_current_falls_with_vth(self, cell):
+        tox = cell.technology.tox_ref
+        assert cell.read_current(0.5, tox) < cell.read_current(0.2, tox)
+
+    def test_read_current_falls_with_tox(self, cell):
+        assert cell.read_current(0.3, units.angstrom(14)) < cell.read_current(
+            0.3, units.angstrom(10)
+        )
+
+
+class TestLoads:
+    def test_wordline_load_is_two_access_gates(self, cell, technology):
+        from repro.devices.delay import gate_capacitance
+
+        tox = technology.tox_ref
+        expected = 2 * gate_capacitance(
+            technology,
+            ACCESS_RATIO * technology.wmin,
+            technology.lgate_drawn,
+            tox,
+        )
+        assert cell.wordline_load(tox) == pytest.approx(expected)
+
+    def test_bitline_load_has_wire_and_junction(self, cell, technology):
+        from repro.devices.delay import junction_capacitance
+
+        tox = technology.tox_ref
+        junction = junction_capacitance(
+            technology, ACCESS_RATIO * technology.wmin
+        )
+        load = cell.bitline_load(tox)
+        assert load > junction  # wire adds on top
+
+    def test_loads_grow_with_tox(self, cell):
+        # Wider scaled cells present more junction and wire capacitance.
+        assert cell.bitline_load(units.angstrom(14)) > cell.bitline_load(
+            units.angstrom(10)
+        )
+
+
+class TestGeometry:
+    def test_area_grows_with_tox(self, cell):
+        assert cell.area(units.angstrom(14)) > cell.area(units.angstrom(10))
+
+    def test_dimensions_consistent_with_area(self, cell, technology):
+        tox = technology.tox_ref
+        assert cell.area(tox) == pytest.approx(
+            cell.height(tox) * cell.width(tox)
+        )
+
+    def test_ratios_give_stable_cell(self, cell):
+        cell.validate()  # must not raise
+        assert PULL_DOWN_RATIO > ACCESS_RATIO > PULL_UP_RATIO

@@ -1,0 +1,76 @@
+"""Distributed-RC wire model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CircuitError
+from repro.circuits.wires import Wire
+
+
+class TestWire:
+    def test_parasitics_linear_in_length(self, technology):
+        short = Wire.from_technology(technology, 100e-6)
+        long = Wire.from_technology(technology, 200e-6)
+        assert long.resistance == pytest.approx(2 * short.resistance)
+        assert long.capacitance == pytest.approx(2 * short.capacitance)
+
+    def test_from_technology_uses_node_parasitics(self, technology):
+        wire = Wire.from_technology(technology, 1e-3)
+        assert wire.res_per_m == technology.wire_res_per_m
+        assert wire.cap_per_m == technology.wire_cap_per_m
+
+    def test_zero_length_allowed(self, technology):
+        wire = Wire.from_technology(technology, 0.0)
+        assert wire.resistance == 0.0
+        assert wire.elmore_delay(100.0, 1e-15) == pytest.approx(
+            0.69 * 100.0 * 1e-15
+        )
+
+    def test_rejects_negative_length(self, technology):
+        with pytest.raises(CircuitError):
+            Wire.from_technology(technology, -1.0)
+
+    def test_rejects_negative_parasitics(self):
+        with pytest.raises(CircuitError):
+            Wire(length=1e-3, res_per_m=-1.0, cap_per_m=1e-10)
+
+
+class TestElmore:
+    def test_hand_computed(self):
+        wire = Wire(length=1e-3, res_per_m=1e5, cap_per_m=1e-10)
+        # R_w = 100 ohm, C_w = 100 fF.
+        delay = wire.elmore_delay(driver_resistance=1000.0,
+                                  load_capacitance=1e-14)
+        expected = 0.69 * (
+            1000.0 * (1e-13 + 1e-14) + 100.0 * (0.5e-13 + 1e-14)
+        )
+        assert delay == pytest.approx(expected)
+
+    @given(length_um=st.floats(min_value=1.0, max_value=5000.0))
+    def test_monotone_in_length(self, technology, length_um):
+        shorter = Wire.from_technology(technology, length_um * 1e-6)
+        longer = Wire.from_technology(technology, (length_um + 1) * 1e-6)
+        assert longer.elmore_delay(500.0, 1e-14) > shorter.elmore_delay(
+            500.0, 1e-14
+        )
+
+    def test_stronger_driver_faster(self, technology):
+        wire = Wire.from_technology(technology, 1e-3)
+        assert wire.elmore_delay(100.0, 1e-14) < wire.elmore_delay(
+            1000.0, 1e-14
+        )
+
+    def test_rejects_negative_inputs(self, technology):
+        wire = Wire.from_technology(technology, 1e-3)
+        with pytest.raises(CircuitError):
+            wire.elmore_delay(-1.0, 1e-14)
+        with pytest.raises(CircuitError):
+            wire.elmore_delay(100.0, -1e-14)
+
+    def test_wire_quadratic_self_delay(self):
+        """Unbuffered wire delay grows quadratically with length (the
+        reason caches partition into sub-arrays)."""
+        short = Wire(length=1e-3, res_per_m=1e5, cap_per_m=1e-10)
+        long = Wire(length=2e-3, res_per_m=1e5, cap_per_m=1e-10)
+        ratio = long.elmore_delay(0.0, 0.0) / short.elmore_delay(0.0, 0.0)
+        assert ratio == pytest.approx(4.0)

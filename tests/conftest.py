@@ -1,0 +1,76 @@
+"""Shared fixtures.
+
+Expensive objects (cache models, grid tables, fitted models) are
+session-scoped: they are pure functions of the default technology, and
+reusing them keeps the suite fast without coupling tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import CacheConfig
+from repro.models.analytical import fit_cache_model
+from repro.optimize.space import DesignSpace
+from repro.technology.bptm import bptm65
+from repro.technology.scaling import ToxScalingRule
+
+
+@pytest.fixture(scope="session")
+def technology():
+    """The canonical BPTM-style 65 nm node."""
+    return bptm65()
+
+
+@pytest.fixture(scope="session")
+def rule(technology):
+    """The default Tox co-scaling rule bound to the session technology."""
+    return ToxScalingRule(technology=technology)
+
+
+@pytest.fixture(scope="session")
+def l1_16k(technology):
+    """The paper's 16 KB cache (Figure 1 subject)."""
+    return CacheModel(
+        CacheConfig(
+            size_bytes=16 * 1024, block_bytes=32, associativity=2, name="L1"
+        ),
+        technology=technology,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_cache(technology):
+    """A small cache for fast structural tests."""
+    return CacheModel(
+        CacheConfig(
+            size_bytes=4 * 1024, block_bytes=32, associativity=2, name="tiny"
+        ),
+        technology=technology,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_space():
+    """A 3 x 3 design grid: corners plus centre on both axes."""
+    return DesignSpace(
+        vth_values=(0.2, 0.35, 0.5),
+        tox_values_angstrom=(10.0, 12.0, 14.0),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_space():
+    """A 5 x 3 grid: still fast, fine enough for optimiser behaviour."""
+    return DesignSpace(
+        vth_values=tuple(np.linspace(0.2, 0.5, 5)),
+        tox_values_angstrom=(10.0, 12.0, 14.0),
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_16k(l1_16k):
+    """Section 3 fitted forms of the 16 KB cache (full default grid)."""
+    return fit_cache_model(l1_16k)

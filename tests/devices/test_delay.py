@@ -1,0 +1,130 @@
+"""Drive / resistance / capacitance models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.errors import DeviceModelError
+from repro.devices.delay import (
+    effective_resistance,
+    fo4_delay,
+    gate_capacitance,
+    junction_capacitance,
+    on_current,
+)
+
+
+class TestOnCurrent:
+    W, L = 1.3e-7, 3.6e-8
+
+    def test_magnitude(self, technology):
+        """65 nm drive was several hundred uA/um."""
+        per_um = (
+            on_current(technology, 1e-6, technology.leff, 0.2,
+                       technology.tox_ref)
+        )
+        assert 1e-4 < per_um < 2e-3
+
+    def test_decreases_with_vth(self, technology):
+        fast = on_current(technology, self.W, self.L, 0.2, technology.tox_ref)
+        slow = on_current(technology, self.W, self.L, 0.5, technology.tox_ref)
+        assert fast > slow
+
+    def test_decreases_with_tox(self, technology):
+        thin = on_current(technology, self.W, self.L, 0.3, units.angstrom(10))
+        thick = on_current(technology, self.W, self.L, 0.3, units.angstrom(14))
+        assert thin / thick == pytest.approx(1.4, rel=1e-6)
+
+    def test_pmos_weaker(self, technology):
+        nmos = on_current(technology, self.W, self.L, 0.3, technology.tox_ref)
+        pmos = on_current(
+            technology, self.W, self.L, 0.3, technology.tox_ref, p_type=True
+        )
+        assert pmos < nmos
+
+    def test_alpha_power_exponent(self, technology):
+        """Ids ratio between overdrives must follow the alpha exponent."""
+        i1 = on_current(technology, self.W, self.L, 0.2, technology.tox_ref)
+        i2 = on_current(technology, self.W, self.L, 0.4, technology.tox_ref)
+        expected = (0.8 / 0.6) ** technology.alpha_power
+        assert i1 / i2 == pytest.approx(expected, rel=1e-9)
+
+    def test_rejects_vth_at_supply(self, technology):
+        with pytest.raises(DeviceModelError):
+            on_current(technology, self.W, self.L, 1.0, technology.tox_ref)
+
+    def test_rejects_nonpositive_width(self, technology):
+        with pytest.raises(DeviceModelError):
+            on_current(technology, 0.0, self.L, 0.3, technology.tox_ref)
+
+
+class TestResistance:
+    def test_inverse_of_current(self, technology):
+        resistance = effective_resistance(
+            technology, 1.3e-7, technology.leff, 0.3, technology.tox_ref
+        )
+        current = on_current(
+            technology, 1.3e-7, technology.leff, 0.3, technology.tox_ref
+        )
+        assert resistance * current / technology.vdd == pytest.approx(
+            2.6  # RESISTANCE_FUDGE
+        )
+
+    @given(vth=st.floats(min_value=0.2, max_value=0.49))
+    def test_monotone_increasing_in_vth(self, technology, vth):
+        lower = effective_resistance(
+            technology, 1.3e-7, technology.leff, vth, technology.tox_ref
+        )
+        higher = effective_resistance(
+            technology, 1.3e-7, technology.leff, vth + 0.01, technology.tox_ref
+        )
+        assert higher > lower
+
+
+class TestCapacitance:
+    def test_gate_cap_magnitude(self, technology):
+        """A minimum-size 65 nm gate is a fraction of a femtofarad."""
+        cap = gate_capacitance(
+            technology, technology.wmin, technology.lgate_drawn,
+            technology.tox_ref,
+        )
+        assert 0.05e-15 < cap < 1e-15
+
+    def test_gate_cap_decreases_with_tox(self, technology):
+        thin = gate_capacitance(technology, 1e-7, 6.5e-8, units.angstrom(10))
+        thick = gate_capacitance(technology, 1e-7, 6.5e-8, units.angstrom(14))
+        assert thin > thick
+
+    def test_junction_cap_linear_in_width(self, technology):
+        assert junction_capacitance(technology, 2e-7) == pytest.approx(
+            2 * junction_capacitance(technology, 1e-7)
+        )
+
+    def test_junction_cap_rejects_nonpositive(self, technology):
+        with pytest.raises(DeviceModelError):
+            junction_capacitance(technology, 0.0)
+
+    def test_gate_cap_rejects_nonpositive(self, technology):
+        with pytest.raises(DeviceModelError):
+            gate_capacitance(technology, 1e-7, 0.0, technology.tox_ref)
+
+
+class TestFo4:
+    def test_magnitude(self, technology):
+        """FO4 should be tens of ps — the node is calibrated to the
+        paper's (slow, BPTM-pessimistic) 800-2200 ps cache access times."""
+        delay = fo4_delay(technology, 0.3, technology.tox_ref)
+        assert units.ps(5) < delay < units.ps(80)
+
+    def test_slower_at_high_vth(self, technology):
+        assert fo4_delay(technology, 0.5, technology.tox_ref) > fo4_delay(
+            technology, 0.2, technology.tox_ref
+        )
+
+    def test_vth_range_factor(self, technology):
+        """The delay penalty of Vth 0.2 -> 0.5 should be roughly 2x —
+        the lever behind the paper's 'Vth is the delay knob' finding."""
+        ratio = fo4_delay(technology, 0.5, technology.tox_ref) / fo4_delay(
+            technology, 0.2, technology.tox_ref
+        )
+        assert 1.5 < ratio < 3.0

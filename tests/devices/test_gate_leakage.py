@@ -1,0 +1,134 @@
+"""Gate direct-tunnelling model: Tox sensitivity, state dependence."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.errors import DeviceModelError
+from repro.devices.gate_leakage import (
+    EDT_FRACTION,
+    PMOS_TUNNEL_RATIO,
+    decades_per_angstrom,
+    gate_current_density,
+    gate_tunnel_current,
+)
+
+
+class TestDensity:
+    def test_magnitude_at_10a(self, technology):
+        """Measured thin oxides: ~1e2-1e4 A/cm^2 at 10 A / 1 V."""
+        j = gate_current_density(technology, 1.0, units.angstrom(10))
+        a_per_cm2 = j / 1e4
+        assert 1e2 < a_per_cm2 < 1e4
+
+    def test_magnitude_at_14a(self, technology):
+        j = gate_current_density(technology, 1.0, units.angstrom(14))
+        a_per_cm2 = j / 1e4
+        assert 1e0 < a_per_cm2 < 1e2
+
+    def test_decades_per_angstrom(self, technology):
+        """Physical sensitivity is ~0.4-0.6 decades per Å."""
+        assert 0.35 < decades_per_angstrom(technology) < 0.65
+
+    def test_zero_voltage_no_current(self, technology):
+        assert gate_current_density(technology, 0.0, units.angstrom(12)) == 0.0
+
+    def test_increases_with_voltage(self, technology):
+        low = gate_current_density(technology, 0.8, units.angstrom(12))
+        high = gate_current_density(technology, 1.0, units.angstrom(12))
+        assert high > low
+
+    @given(tox_a=st.floats(min_value=10.0, max_value=13.9))
+    def test_monotone_decreasing_in_tox(self, technology, tox_a):
+        here = gate_current_density(technology, 1.0, units.angstrom(tox_a))
+        thicker = gate_current_density(
+            technology, 1.0, units.angstrom(tox_a + 0.1)
+        )
+        assert thicker < here
+
+    def test_rejects_nonpositive_tox(self, technology):
+        with pytest.raises(DeviceModelError):
+            gate_current_density(technology, 1.0, 0.0)
+
+    def test_rejects_negative_voltage(self, technology):
+        with pytest.raises(DeviceModelError):
+            gate_current_density(technology, -1.0, units.angstrom(12))
+
+    def test_rejects_huge_voltage(self, technology):
+        with pytest.raises(DeviceModelError):
+            gate_current_density(technology, 13.0, units.angstrom(12))
+
+
+class TestTransistorCurrent:
+    W, L = 1.3e-7, 6.5e-8
+
+    def test_scales_with_area(self, technology):
+        base = gate_tunnel_current(
+            technology, self.W, self.L, technology.tox_ref
+        )
+        double = gate_tunnel_current(
+            technology, 2 * self.W, self.L, technology.tox_ref
+        )
+        assert double == pytest.approx(2 * base)
+
+    def test_off_device_edge_fraction(self, technology):
+        on = gate_tunnel_current(
+            technology, self.W, self.L, technology.tox_ref, conducting=True
+        )
+        off = gate_tunnel_current(
+            technology, self.W, self.L, technology.tox_ref, conducting=False
+        )
+        assert off == pytest.approx(EDT_FRACTION * on)
+
+    def test_pmos_suppression(self, technology):
+        nmos = gate_tunnel_current(
+            technology, self.W, self.L, technology.tox_ref
+        )
+        pmos = gate_tunnel_current(
+            technology, self.W, self.L, technology.tox_ref, p_type=True
+        )
+        assert pmos == pytest.approx(PMOS_TUNNEL_RATIO * nmos)
+
+    def test_default_bias_is_supply(self, technology):
+        explicit = gate_tunnel_current(
+            technology, self.W, self.L, technology.tox_ref, vgs=technology.vdd
+        )
+        default = gate_tunnel_current(
+            technology, self.W, self.L, technology.tox_ref
+        )
+        assert default == pytest.approx(explicit)
+
+    def test_rejects_nonpositive_geometry(self, technology):
+        with pytest.raises(DeviceModelError):
+            gate_tunnel_current(technology, 0.0, self.L, technology.tox_ref)
+
+
+class TestPaperMotivation:
+    def test_gate_can_surpass_subthreshold(self, technology):
+        """The paper's premise: at thin Tox and high Vth, gate leakage
+        overtakes subthreshold leakage."""
+        from repro.devices.subthreshold import subthreshold_current
+
+        leff = technology.leff
+        width = 1.3e-7
+        sub = subthreshold_current(
+            technology, width, leff, vth=0.5, tox=units.angstrom(10)
+        )
+        gate = gate_tunnel_current(
+            technology, width, technology.lgate_drawn, units.angstrom(10)
+        )
+        assert gate > 10 * sub
+
+    def test_subthreshold_dominates_at_thick_low(self, technology):
+        """And the converse at thick oxide, low threshold."""
+        from repro.devices.subthreshold import subthreshold_current
+
+        leff = technology.leff
+        width = 1.3e-7
+        sub = subthreshold_current(
+            technology, width, leff, vth=0.2, tox=units.angstrom(14)
+        )
+        gate = gate_tunnel_current(
+            technology, width, technology.lgate_drawn, units.angstrom(14)
+        )
+        assert sub > 10 * gate

@@ -1,0 +1,77 @@
+"""Series-stack leakage suppression."""
+
+import pytest
+
+from repro import units
+from repro.errors import DeviceModelError
+from repro.devices.stack import (
+    solve_intermediate_node,
+    stack_leakage_factor,
+)
+
+
+class TestIntermediateNode:
+    def test_settles_at_small_positive_voltage(self, technology):
+        vx = solve_intermediate_node(
+            technology, vth=0.3, tox=technology.tox_ref, leff=technology.leff
+        )
+        assert 0.005 < vx < 0.2
+
+    def test_currents_balance_at_solution(self, technology):
+        from repro.devices.stack import _stack2_current
+
+        vx = solve_intermediate_node(
+            technology, 0.3, technology.tox_ref, technology.leff
+        )
+        i_top, i_bottom = _stack2_current(
+            technology, 0.3, technology.tox_ref, technology.leff, vx
+        )
+        assert i_top == pytest.approx(i_bottom, rel=1e-3)
+
+
+class TestFactor:
+    def test_two_stack_suppresses_order_of_magnitude(self, technology):
+        factor = stack_leakage_factor(
+            technology, 0.3, technology.tox_ref, technology.leff, stack_depth=2
+        )
+        assert 0.005 < factor < 0.25
+
+    def test_depth_one_is_identity(self, technology):
+        assert stack_leakage_factor(
+            technology, 0.3, technology.tox_ref, technology.leff, stack_depth=1
+        ) == pytest.approx(1.0)
+
+    def test_disabled_is_identity(self, technology):
+        assert stack_leakage_factor(
+            technology,
+            0.3,
+            technology.tox_ref,
+            technology.leff,
+            stack_depth=2,
+            enabled=False,
+        ) == pytest.approx(1.0)
+
+    def test_deeper_stacks_leak_less(self, technology):
+        factors = [
+            stack_leakage_factor(
+                technology, 0.3, technology.tox_ref, technology.leff, depth
+            )
+            for depth in (1, 2, 3, 4)
+        ]
+        assert factors == sorted(factors, reverse=True)
+        assert all(f > 0 for f in factors)
+
+    def test_rejects_zero_depth(self, technology):
+        with pytest.raises(DeviceModelError):
+            stack_leakage_factor(
+                technology, 0.3, technology.tox_ref, technology.leff, 0
+            )
+
+    def test_factor_independent_of_width_by_construction(self, technology):
+        """Both stacked devices share the width, so the factor is a pure
+        ratio; evaluate at two Vth values to confirm it stays in range."""
+        for vth in (0.2, 0.5):
+            factor = stack_leakage_factor(
+                technology, vth, technology.tox_ref, technology.leff, 2
+            )
+            assert 0.001 < factor < 0.5

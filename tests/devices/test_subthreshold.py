@@ -1,0 +1,167 @@
+"""Subthreshold leakage model: slopes, DIBL, scaling, validity."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.errors import DeviceModelError
+from repro.devices.subthreshold import (
+    effective_threshold,
+    leakage_temperature_scale,
+    off_current_per_width,
+    subthreshold_current,
+    subthreshold_swing,
+)
+
+
+@pytest.fixture(scope="module")
+def leff(technology=None):
+    from repro.technology.bptm import bptm65
+
+    return bptm65().leff
+
+
+class TestEffectiveThreshold:
+    def test_full_drain_bias_is_nominal(self, technology):
+        # Vth is defined at Vds = Vdd, so no DIBL correction there.
+        assert effective_threshold(
+            technology, vth=0.3, vds=technology.vdd
+        ) == pytest.approx(0.3)
+
+    def test_lower_drain_bias_raises_barrier(self, technology):
+        assert effective_threshold(technology, 0.3, vds=0.1) > 0.3
+
+    def test_body_bias_raises_barrier(self, technology):
+        low = effective_threshold(technology, 0.3, vds=1.0, vsb=0.0)
+        high = effective_threshold(technology, 0.3, vds=1.0, vsb=0.2)
+        assert high > low
+
+
+class TestOffCurrent:
+    def test_magnitude_at_low_vth(self, technology, leff):
+        """Fast 65 nm silicon leaked ~50-500 nA/um at Vth = 0.2 V."""
+        ioff = off_current_per_width(technology, 0.2, technology.tox_ref, leff)
+        na_per_um = ioff * 1e9 * 1e-6
+        assert 30.0 < na_per_um < 800.0
+
+    def test_magnitude_at_high_vth(self, technology, leff):
+        """At Vth = 0.5 V subthreshold conduction nearly vanishes."""
+        ioff = off_current_per_width(technology, 0.5, technology.tox_ref, leff)
+        na_per_um = ioff * 1e9 * 1e-6
+        assert na_per_um < 1.0
+
+    def test_slope_matches_swing(self, technology, leff):
+        """log10(Ioff) vs Vth slope must equal -1/S exactly."""
+        swing = subthreshold_swing(technology)
+        i_low = off_current_per_width(technology, 0.25, technology.tox_ref, leff)
+        i_high = off_current_per_width(technology, 0.45, technology.tox_ref, leff)
+        decades = math.log10(i_low / i_high)
+        assert decades == pytest.approx(0.2 / swing, rel=1e-6)
+
+    def test_swing_value(self, technology):
+        assert subthreshold_swing(technology) == pytest.approx(
+            0.0863, abs=0.002
+        )
+
+
+class TestScaling:
+    def test_linear_in_width(self, technology, leff):
+        narrow = subthreshold_current(
+            technology, 1e-7, leff, 0.3, technology.tox_ref
+        )
+        wide = subthreshold_current(
+            technology, 2e-7, leff, 0.3, technology.tox_ref
+        )
+        assert wide == pytest.approx(2 * narrow)
+
+    def test_inverse_in_length(self, technology, leff):
+        short = subthreshold_current(
+            technology, 1e-7, leff, 0.3, technology.tox_ref
+        )
+        long = subthreshold_current(
+            technology, 1e-7, 2 * leff, 0.3, technology.tox_ref
+        )
+        assert short == pytest.approx(2 * long)
+
+    def test_pmos_leaks_less(self, technology, leff):
+        nmos = subthreshold_current(
+            technology, 1e-7, leff, 0.3, technology.tox_ref
+        )
+        pmos = subthreshold_current(
+            technology, 1e-7, leff, 0.3, technology.tox_ref, p_type=True
+        )
+        assert pmos < nmos
+
+    def test_thicker_oxide_slightly_less_prefactor(self, technology, leff):
+        # Cox in the pre-exponential: thicker oxide -> smaller I0.
+        thin = subthreshold_current(
+            technology, 1e-7, leff, 0.3, units.angstrom(10)
+        )
+        thick = subthreshold_current(
+            technology, 1e-7, leff, 0.3, units.angstrom(14)
+        )
+        assert thin / thick == pytest.approx(1.4, rel=1e-6)
+
+    def test_small_vds_reduces_current(self, technology, leff):
+        full = subthreshold_current(
+            technology, 1e-7, leff, 0.3, technology.tox_ref, vds=1.0
+        )
+        tiny = subthreshold_current(
+            technology, 1e-7, leff, 0.3, technology.tox_ref, vds=0.01
+        )
+        assert tiny < full
+
+    @given(vth=st.floats(min_value=0.2, max_value=0.5))
+    def test_monotone_decreasing_in_vth(self, technology, vth):
+        leff = technology.leff
+        here = subthreshold_current(
+            technology, 1e-7, leff, vth, technology.tox_ref
+        )
+        above = subthreshold_current(
+            technology, 1e-7, leff, vth + 0.01, technology.tox_ref
+        )
+        assert above < here
+
+
+class TestValidity:
+    def test_rejects_strong_inversion(self, technology, leff):
+        with pytest.raises(DeviceModelError):
+            subthreshold_current(
+                technology, 1e-7, leff, 0.3, technology.tox_ref, vgs=0.5
+            )
+
+    def test_rejects_nonpositive_geometry(self, technology, leff):
+        with pytest.raises(DeviceModelError):
+            subthreshold_current(
+                technology, 0.0, leff, 0.3, technology.tox_ref
+            )
+
+    def test_rejects_negative_bias(self, technology, leff):
+        with pytest.raises(DeviceModelError):
+            subthreshold_current(
+                technology, 1e-7, leff, 0.3, technology.tox_ref, vds=-0.5
+            )
+
+
+class TestTemperature:
+    def test_hotter_leaks_more(self, technology):
+        assert leakage_temperature_scale(technology, 0.3, 383.0) > 1.0
+
+    def test_colder_leaks_less(self, technology):
+        assert leakage_temperature_scale(technology, 0.3, 233.0) < 1.0
+
+    def test_identity_at_reference(self, technology):
+        assert leakage_temperature_scale(
+            technology, 0.3, technology.temperature
+        ) == pytest.approx(1.0)
+
+    def test_higher_vth_more_temperature_sensitive(self, technology):
+        low = leakage_temperature_scale(technology, 0.2, 383.0)
+        high = leakage_temperature_scale(technology, 0.5, 383.0)
+        assert high > low
+
+    def test_rejects_nonpositive_temperature(self, technology):
+        with pytest.raises(DeviceModelError):
+            leakage_temperature_scale(technology, 0.3, 0.0)

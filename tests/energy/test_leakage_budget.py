@@ -1,0 +1,46 @@
+"""Leakage-over-time accounting."""
+
+import pytest
+
+from repro.energy.leakage_budget import LeakageBudget, leakage_energy
+from repro.errors import ConfigurationError
+
+
+class TestLeakageEnergy:
+    def test_product(self):
+        assert leakage_energy(0.05, 2.0) == pytest.approx(0.1)
+
+    def test_zero_interval(self):
+        assert leakage_energy(0.05, 0.0) == 0.0
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            leakage_energy(-1.0, 1.0)
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ConfigurationError):
+            leakage_energy(1.0, -1.0)
+
+
+class TestBudget:
+    def test_totals(self):
+        budget = LeakageBudget(l1_power=0.01, l2_power=0.04, runtime=10.0)
+        assert budget.total_power == pytest.approx(0.05)
+        assert budget.total_energy == pytest.approx(0.5)
+
+    def test_per_access(self):
+        budget = LeakageBudget(l1_power=0.01, l2_power=0.04, runtime=10.0)
+        assert budget.per_access(1000) == pytest.approx(0.5 / 1000)
+
+    def test_per_access_rejects_zero(self):
+        budget = LeakageBudget(l1_power=0.01, l2_power=0.04, runtime=10.0)
+        with pytest.raises(ConfigurationError):
+            budget.per_access(0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            LeakageBudget(l1_power=-0.01, l2_power=0.0, runtime=1.0)
+
+    def test_rejects_negative_runtime(self):
+        with pytest.raises(ConfigurationError):
+            LeakageBudget(l1_power=0.01, l2_power=0.0, runtime=-1.0)

@@ -1,0 +1,120 @@
+"""Memory-system evaluation (the Figure 2 metric)."""
+
+import pytest
+
+from repro.archsim.missmodel import calibrated_miss_model
+from repro.cache.assignment import Assignment, knobs
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import l1_config, l2_config
+from repro.energy.dynamic import MainMemoryModel
+from repro.energy.system import MemorySystem
+from repro import units
+
+
+@pytest.fixture(scope="module")
+def system():
+    miss_model = calibrated_miss_model("spec2000")
+    return MemorySystem(
+        l1_model=CacheModel(l1_config(16)),
+        l2_model=CacheModel(l2_config(512)),
+        miss_model=miss_model,
+    )
+
+
+@pytest.fixture(scope="module")
+def evaluation(system):
+    return system.evaluate(
+        Assignment.uniform(knobs(0.3, 12)),
+        Assignment.split(cell=knobs(0.5, 14), periphery=knobs(0.25, 11)),
+    )
+
+
+class TestEvaluation:
+    def test_miss_rates_pulled_from_model(self, system):
+        assert system.l1_miss_rate == pytest.approx(
+            calibrated_miss_model("spec2000").l1_miss_rate(16 * 1024)
+        )
+        assert system.l2_local_miss_rate == pytest.approx(
+            calibrated_miss_model("spec2000").l2_local_miss_rate(512 * 1024)
+        )
+
+    def test_amat_composition(self, system, evaluation):
+        expected = system.amat_of(
+            evaluation.l1_access_time, evaluation.l2_access_time
+        )
+        assert evaluation.amat == pytest.approx(expected)
+
+    def test_total_energy_composition(self, evaluation):
+        assert evaluation.total_energy == pytest.approx(
+            evaluation.dynamic_energy
+            + evaluation.leakage_power * evaluation.amat
+        )
+
+    def test_magnitudes_match_figure2_axes(self, evaluation):
+        """Figure 2 plots ~1300-2100 ps AMAT and ~50-400 pJ."""
+        assert units.ps(900) < evaluation.amat < units.ps(4000)
+        assert units.pj(20) < evaluation.total_energy < units.pj(2000)
+
+    def test_leakage_energy_per_access(self, evaluation):
+        assert evaluation.leakage_energy_per_access == pytest.approx(
+            evaluation.leakage_power * evaluation.amat
+        )
+
+
+class TestKnobEffects:
+    def test_aggressive_knobs_faster_but_leakier(self, system):
+        aggressive = system.evaluate(
+            Assignment.uniform(knobs(0.2, 10)),
+            Assignment.uniform(knobs(0.2, 10)),
+        )
+        conservative = system.evaluate(
+            Assignment.uniform(knobs(0.5, 14)),
+            Assignment.uniform(knobs(0.5, 14)),
+        )
+        assert aggressive.amat < conservative.amat
+        assert aggressive.leakage_power > conservative.leakage_power
+
+    def test_interior_knobs_beat_extremes_on_energy(self, system):
+        """The Figure 2 sweet spot: both extremes burn more total energy
+        than a balanced design."""
+        aggressive = system.evaluate(
+            Assignment.uniform(knobs(0.2, 10)),
+            Assignment.uniform(knobs(0.2, 10)),
+        )
+        balanced = system.evaluate(
+            Assignment.uniform(knobs(0.35, 13)),
+            Assignment.split(cell=knobs(0.5, 14), periphery=knobs(0.3, 12)),
+        )
+        assert balanced.total_energy < aggressive.total_energy
+
+
+class TestFittedInterchangeability:
+    def test_fitted_model_works_in_system(self, fitted_16k):
+        """MemorySystem must accept a FittedCacheModel transparently."""
+        miss_model = calibrated_miss_model("spec2000")
+        system = MemorySystem(
+            l1_model=fitted_16k,
+            l2_model=CacheModel(l2_config(512)),
+            miss_model=miss_model,
+        )
+        evaluation = system.evaluate(
+            Assignment.uniform(knobs(0.3, 12)),
+            Assignment.uniform(knobs(0.4, 13)),
+        )
+        assert evaluation.total_energy > 0
+
+
+class TestCustomMemory:
+    def test_slower_memory_raises_amat(self):
+        miss_model = calibrated_miss_model("spec2000")
+        l1 = CacheModel(l1_config(16))
+        l2 = CacheModel(l2_config(512))
+        fast = MemorySystem(
+            l1, l2, miss_model, memory=MainMemoryModel(latency=10e-9)
+        )
+        slow = MemorySystem(
+            l1, l2, miss_model, memory=MainMemoryModel(latency=50e-9)
+        )
+        a1 = Assignment.uniform(knobs(0.3, 12))
+        a2 = Assignment.uniform(knobs(0.4, 13))
+        assert slow.evaluate(a1, a2).amat > fast.evaluate(a1, a2).amat

@@ -1,0 +1,41 @@
+"""E6 (Figure 2) experiment — run on the trimmed grid.
+
+Kept in its own module because it is the slowest experiment; everything
+else in the harness suite stays sub-second.
+"""
+
+import pytest
+
+from repro.experiments.figure2 import fast_space, run_figure2
+from repro.optimize.tuple_problem import FIGURE2_BUDGETS
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure2(fast=True)
+
+
+class TestE6Figure2:
+    def test_findings(self, result):
+        for finding in result.findings:
+            assert "UNEXPECTED" not in finding, finding
+
+    def test_five_curves(self, result):
+        assert len(result.series) == len(FIGURE2_BUDGETS)
+        for budget in FIGURE2_BUDGETS:
+            assert budget.label in result.series
+
+    def test_amat_axis_matches_paper_range(self, result):
+        """Figure 2's x-axis runs ~1300-2100 ps; ours must overlap it."""
+        for xs, _ in result.series.values():
+            assert xs[0] < 1600
+            assert xs[-1] > 1400
+
+    def test_energy_axis_magnitude(self, result):
+        """Figure 2's y-axis is tens-to-hundreds of pJ."""
+        for _, ys in result.series.values():
+            assert ys[-1] > 20  # floor above 20 pJ
+            assert ys[-1] < 2000
+
+    def test_fast_space_is_small(self):
+        assert fast_space().n_points <= 15

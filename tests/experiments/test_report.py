@@ -1,0 +1,93 @@
+"""Text rendering of experiment results."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.report import (
+    ExperimentResult,
+    format_table,
+    render_series,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_headers_only(self):
+        text = format_table(["x", "y"], [])
+        assert "x" in text and "y" in text
+
+    def test_rejects_no_headers(self):
+        with pytest.raises(ReproError):
+            format_table([], [[1]])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_non_string_cells(self):
+        text = format_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+
+class TestRenderSeries:
+    def test_named_blocks(self):
+        text = render_series(
+            {"curve": ([1.0, 2.0], [0.5, 0.25])}, "x", "y"
+        )
+        assert "[curve]" in text
+        assert "0.500" in text
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ReproError):
+            render_series({"bad": ([1.0], [0.5, 0.25])}, "x", "y")
+
+    def test_custom_formats(self):
+        text = render_series(
+            {"c": ([1.23456], [2.5])}, "x", "y",
+            x_format="{:.4f}", y_format="{:.0f}",
+        )
+        assert "1.2346" in text and "2" in text
+
+
+class TestExperimentResult:
+    @pytest.fixture
+    def result(self):
+        return ExperimentResult(
+            experiment_id="E0",
+            title="demo",
+            headers=["size", "leak"],
+            rows=[["16K", "1.0"], ["32K", "2.0"]],
+            findings=["bigger leaks more"],
+            series={"leak": ([16.0, 32.0], [1.0, 2.0])},
+            x_label="size",
+            y_label="leak",
+        )
+
+    def test_render_contains_everything(self, result):
+        text = result.render()
+        assert "E0: demo" in text
+        assert "16K" in text
+        assert "bigger leaks more" in text
+        assert "[leak]" in text
+
+    def test_render_without_optional_parts(self):
+        result = ExperimentResult(
+            experiment_id="E0",
+            title="bare",
+            headers=["x"],
+            rows=[["1"]],
+        )
+        text = result.render()
+        assert "Findings" not in text
+
+    def test_to_csv(self, result):
+        csv = result.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "size,leak"
+        assert lines[1] == "16K,1.0"
+        assert len(lines) == 3

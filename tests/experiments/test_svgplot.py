@@ -1,0 +1,87 @@
+"""Dependency-free SVG chart writer."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.svgplot import (
+    SvgLineChart,
+    _nice_ticks,
+    chart_from_series,
+)
+
+
+class TestTicks:
+    def test_round_steps(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1  # uniform
+        assert ticks[0] <= 0.0 and ticks[-1] >= 10.0
+
+    def test_handles_degenerate_range(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert len(ticks) >= 2
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ReproError):
+            _nice_ticks(float("nan"), 1.0)
+
+
+class TestChart:
+    @pytest.fixture
+    def chart(self):
+        chart = SvgLineChart(title="demo", x_label="x", y_label="y")
+        chart.add_series("a", [1.0, 2.0, 3.0], [1.0, 4.0, 9.0])
+        chart.add_series("b", [1.0, 2.0, 3.0], [9.0, 4.0, 1.0])
+        return chart
+
+    def test_renders_wellformed_xml(self, chart):
+        document = chart.render()
+        root = ElementTree.fromstring(document)
+        assert root.tag.endswith("svg")
+
+    def test_contains_series_and_labels(self, chart):
+        document = chart.render()
+        assert "demo" in document
+        assert ">a<" in document and ">b<" in document
+        assert document.count("<polyline") == 2
+
+    def test_save(self, chart, tmp_path):
+        path = tmp_path / "figure.svg"
+        chart.save(path)
+        assert path.read_text().startswith("<svg")
+
+    def test_rejects_empty_chart(self):
+        with pytest.raises(ReproError):
+            SvgLineChart("t", "x", "y").render()
+
+    def test_rejects_mismatched_series(self):
+        chart = SvgLineChart("t", "x", "y")
+        with pytest.raises(ReproError):
+            chart.add_series("bad", [1.0], [1.0, 2.0])
+
+    def test_rejects_empty_series(self):
+        chart = SvgLineChart("t", "x", "y")
+        with pytest.raises(ReproError):
+            chart.add_series("bad", [], [])
+
+
+class TestFromExperiment:
+    def test_figure1_series_render(self, small_space):
+        from repro.experiments.figure1 import run_figure1
+
+        result = run_figure1(space=small_space)
+        chart = chart_from_series(
+            result.title, result.series, result.x_label, result.y_label
+        )
+        document = chart.render()
+        ElementTree.fromstring(document)
+        assert document.count("<polyline") == 4
+
+    def test_runner_svg_flag(self, tmp_path, capsys, small_space):
+        from repro.experiments.runner import main
+
+        assert main(["E7", "--svg", str(tmp_path)]) == 0
+        # E7 has no series -> no file; flag must not crash.
+        assert not list(tmp_path.glob("*.svg"))

@@ -1,0 +1,82 @@
+"""Fitted cache model: drop-in agreement with the structural model."""
+
+import numpy as np
+import pytest
+
+from repro.cache.assignment import Assignment, knobs
+from repro.errors import FittingError
+from repro.models.analytical import FittedCacheModel, fit_cache_model
+
+
+class TestAgreement:
+    """The paper optimises over fits; the fits must track the substrate."""
+
+    @pytest.mark.parametrize(
+        "vth,tox", [(0.2, 10), (0.25, 11), (0.35, 12), (0.45, 13), (0.5, 14)]
+    )
+    def test_access_time_within_tolerance(self, l1_16k, fitted_16k, vth, tox):
+        assignment = Assignment.uniform(knobs(vth, tox))
+        structural = l1_16k.access_time(assignment)
+        fitted = fitted_16k.access_time(assignment)
+        # The paper's delay form is linear in Tox; the substrate is mildly
+        # superlinear, so extreme corners carry ~10 % model error.
+        assert fitted == pytest.approx(structural, rel=0.15)
+
+    @pytest.mark.parametrize("vth,tox", [(0.2, 10), (0.35, 12), (0.5, 14)])
+    def test_leakage_within_tolerance(self, l1_16k, fitted_16k, vth, tox):
+        assignment = Assignment.uniform(knobs(vth, tox))
+        structural = l1_16k.leakage_power(assignment)
+        fitted = fitted_16k.leakage_power(assignment)
+        assert fitted == pytest.approx(structural, rel=0.25)
+
+    def test_mixed_assignment(self, l1_16k, fitted_16k):
+        assignment = Assignment.split(
+            cell=knobs(0.5, 14), periphery=knobs(0.25, 11)
+        )
+        assert fitted_16k.access_time(assignment) == pytest.approx(
+            l1_16k.access_time(assignment), rel=0.10
+        )
+
+    def test_worst_fit_quality(self, fitted_16k):
+        assert fitted_16k.worst_fit_r_squared() > 0.97
+
+
+class TestInterface:
+    def test_mirrors_configuration(self, l1_16k, fitted_16k):
+        assert fitted_16k.config is l1_16k.config
+        assert fitted_16k.organization is l1_16k.organization
+
+    def test_uniform_helper(self, fitted_16k):
+        evaluation = fitted_16k.uniform(knobs(0.3, 12))
+        assert evaluation.access_time > 0
+        assert evaluation.leakage_power > 0
+        assert evaluation.dynamic_read_energy > 0
+
+    def test_component_accessors(self, fitted_16k):
+        component = fitted_16k.components["array"]
+        tox = fitted_16k.technology.tox_ref
+        assert component.delay(0.3, tox) > 0
+        assert component.leakage_power(0.3, tox) > 0
+        assert component.dynamic_energy(0.3, tox) > 0
+
+    def test_rejects_partial_component_set(self, l1_16k, fitted_16k):
+        partial = {"array": fitted_16k.components["array"]}
+        with pytest.raises(FittingError):
+            FittedCacheModel(source=l1_16k, components=partial)
+
+
+class TestCustomGrid:
+    def test_fit_on_custom_grid(self, tiny_cache, small_space):
+        fitted = fit_cache_model(
+            tiny_cache,
+            vths=small_space.vth_values,
+            toxes_angstrom=small_space.tox_values_angstrom,
+        )
+        assert fitted.worst_fit_r_squared() > 0.9
+
+    def test_monotone_like_substrate(self, fitted_16k):
+        """Fitted model must preserve the leakage orderings the
+        optimisers rely on."""
+        leaky = fitted_16k.uniform(knobs(0.2, 10)).leakage_power
+        quiet = fitted_16k.uniform(knobs(0.5, 14)).leakage_power
+        assert leaky > 10 * quiet

@@ -1,0 +1,99 @@
+"""Characterisation sweeps ('the HSPICE campaign')."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError
+from repro.models.characterize import (
+    ComponentSamples,
+    characterize_cache,
+    characterize_component,
+    default_grid,
+)
+
+
+class TestGrid:
+    def test_default_axes_span_design_box(self):
+        vths, toxes = default_grid()
+        assert vths[0] == 0.2 and vths[-1] == 0.5
+        assert toxes[0] == 10.0 and toxes[-1] == 14.0
+
+    def test_custom_density(self):
+        vths, toxes = default_grid(vth_points=5, tox_points=3)
+        assert len(vths) == 5 and len(toxes) == 3
+
+    def test_rejects_degenerate_grid(self):
+        with pytest.raises(FittingError):
+            default_grid(vth_points=1)
+
+
+class TestCharacterize:
+    def test_sample_shapes(self, tiny_cache, tiny_space):
+        samples = characterize_component(
+            tiny_cache,
+            "array",
+            vths=tiny_space.vth_values,
+            toxes_angstrom=tiny_space.tox_values_angstrom,
+        )
+        assert samples.leakage.shape == (3, 3)
+        assert samples.delay.shape == (3, 3)
+        assert samples.energy.shape == (3, 3)
+        assert samples.n_samples == 9
+
+    def test_samples_positive(self, tiny_cache, tiny_space):
+        samples = characterize_component(
+            tiny_cache,
+            "decoder",
+            vths=tiny_space.vth_values,
+            toxes_angstrom=tiny_space.tox_values_angstrom,
+        )
+        assert np.all(samples.leakage > 0)
+        assert np.all(samples.delay > 0)
+
+    def test_grid_orientation(self, tiny_cache, tiny_space):
+        """Row index is Vth, column index is Tox."""
+        samples = characterize_component(
+            tiny_cache,
+            "array",
+            vths=tiny_space.vth_values,
+            toxes_angstrom=tiny_space.tox_values_angstrom,
+        )
+        # Leakage falls along both axes.
+        assert samples.leakage[0, 0] > samples.leakage[-1, 0]
+        assert samples.leakage[0, 0] > samples.leakage[0, -1]
+
+    def test_flat_matches_grid(self, tiny_cache, tiny_space):
+        samples = characterize_component(
+            tiny_cache,
+            "array",
+            vths=tiny_space.vth_values,
+            toxes_angstrom=tiny_space.tox_values_angstrom,
+        )
+        vth, tox, leakage, delay, energy = samples.flat()
+        assert len(vth) == 9
+        # First flattened point is (vth[0], tox[0]).
+        assert vth[0] == tiny_space.vth_values[0]
+        assert leakage[0] == samples.leakage[0, 0]
+
+    def test_unknown_component(self, tiny_cache):
+        with pytest.raises(FittingError):
+            characterize_component(tiny_cache, "tags")
+
+    def test_characterize_cache_covers_all(self, tiny_cache, tiny_space):
+        samples = characterize_cache(
+            tiny_cache,
+            vths=tiny_space.vth_values,
+            toxes_angstrom=tiny_space.tox_values_angstrom,
+        )
+        assert set(samples) == set(tiny_cache.components)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(FittingError):
+            ComponentSamples(
+                component="array",
+                vths=np.array([0.2, 0.3]),
+                toxes_angstrom=np.array([10.0, 12.0]),
+                leakage=np.ones((2, 2)),
+                delay=np.ones((3, 2)),
+                energy=np.ones((2, 2)),
+            )

@@ -1,0 +1,135 @@
+"""Least-squares fitting of the Section 3 forms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError
+from repro.models.characterize import ComponentSamples, characterize_component
+from repro.models.fitting import FitReport, fit_delay, fit_energy, fit_leakage
+from repro.models.forms import DelayForm, EnergyForm, LeakageForm
+
+
+def synthetic_samples(leakage_form, delay_form, energy_form):
+    """Samples generated exactly from known forms (fit must recover them)."""
+    vths = np.linspace(0.2, 0.5, 9)
+    toxes = np.linspace(10.0, 14.0, 7)
+    vth_grid, tox_grid = np.meshgrid(vths, toxes, indexing="ij")
+    return ComponentSamples(
+        component="synthetic",
+        vths=vths,
+        toxes_angstrom=toxes,
+        leakage=leakage_form(vth_grid, tox_grid),
+        delay=delay_form(vth_grid, tox_grid),
+        energy=energy_form(vth_grid, tox_grid),
+    )
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    return synthetic_samples(
+        LeakageForm(
+            a0=2e-5, a1_coeff=0.8, a1_exp=-27.0, a2_coeff=5e2, a2_exp=-1.2
+        ),
+        DelayForm(k0=2e-10, k1=5e-11, k2=3e-11, k3=2.4),
+        EnergyForm(e0=5e-12, e1=4e-13),
+    )
+
+
+class TestSyntheticRecovery:
+    def test_leakage_fit_recovers_exact_form(self, synthetic):
+        form, report = fit_leakage(synthetic)
+        assert report.r_squared > 0.9999
+        assert report.max_relative_error < 0.05
+        # The exponent grid is discrete; recovered values are near truth.
+        assert form.a1_exp == pytest.approx(-27.0, abs=0.6)
+        assert form.a2_exp == pytest.approx(-1.2, abs=0.06)
+
+    def test_delay_fit_recovers_exact_form(self, synthetic):
+        form, report = fit_delay(synthetic)
+        assert report.r_squared > 0.9999
+        assert form.k3 == pytest.approx(2.4, abs=0.06)
+        assert form.k2 == pytest.approx(3e-11, rel=0.02)
+
+    def test_energy_fit_recovers_exact_form(self, synthetic):
+        form, report = fit_energy(synthetic)
+        assert report.r_squared > 0.999999
+        assert form.e0 == pytest.approx(5e-12, rel=1e-6)
+        assert form.e1 == pytest.approx(4e-13, rel=1e-6)
+
+
+class TestRealComponentFits:
+    """The paper's claim: these forms describe real cache components."""
+
+    @pytest.fixture(scope="class")
+    def samples(self, l1_16k):
+        return characterize_component(l1_16k, "array")
+
+    def test_leakage_fit_quality(self, samples):
+        _, report = fit_leakage(samples)
+        assert report.r_squared > 0.98
+        assert report.log_r_squared > 0.98
+
+    def test_delay_fit_quality(self, samples):
+        _, report = fit_delay(samples)
+        assert report.r_squared > 0.97
+
+    def test_energy_fit_quality(self, samples):
+        _, report = fit_energy(samples)
+        assert report.r_squared > 0.98
+
+    def test_fitted_exponents_physical(self, samples, technology):
+        """Fitted a1 must track the device subthreshold slope; a2 the
+        tunnelling sensitivity."""
+        from repro.devices.subthreshold import subthreshold_swing
+
+        form, _ = fit_leakage(samples)
+        device_slope = -np.log(10.0) / subthreshold_swing(technology)
+        assert form.a1_exp == pytest.approx(device_slope, rel=0.20)
+        assert 0.3 < form.gate_decades_per_angstrom < 0.7
+
+
+class TestDegenerateInputs:
+    def test_leakage_rejects_nonpositive(self, synthetic):
+        bad = ComponentSamples(
+            component="bad",
+            vths=synthetic.vths,
+            toxes_angstrom=synthetic.toxes_angstrom,
+            leakage=np.zeros_like(synthetic.leakage),
+            delay=synthetic.delay,
+            energy=synthetic.energy,
+        )
+        with pytest.raises(FittingError):
+            fit_leakage(bad)
+
+    def test_delay_rejects_nonpositive(self, synthetic):
+        bad = ComponentSamples(
+            component="bad",
+            vths=synthetic.vths,
+            toxes_angstrom=synthetic.toxes_angstrom,
+            leakage=synthetic.leakage,
+            delay=np.zeros_like(synthetic.delay),
+            energy=synthetic.energy,
+        )
+        with pytest.raises(FittingError):
+            fit_delay(bad)
+
+
+class TestFitReport:
+    def test_acceptable_threshold(self):
+        good = FitReport(
+            r_squared=0.995,
+            log_r_squared=0.99,
+            max_relative_error=0.1,
+            rmse=1.0,
+            n_samples=100,
+        )
+        bad = FitReport(
+            r_squared=0.90,
+            log_r_squared=0.9,
+            max_relative_error=0.5,
+            rmse=1.0,
+            n_samples=100,
+        )
+        assert good.acceptable()
+        assert not bad.acceptable()
+        assert bad.acceptable(min_r_squared=0.8)

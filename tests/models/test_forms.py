@@ -1,0 +1,90 @@
+"""The paper's closed analytical forms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError
+from repro.models.forms import DelayForm, EnergyForm, LeakageForm
+
+
+@pytest.fixture
+def leakage_form():
+    return LeakageForm(
+        a0=1e-5, a1_coeff=1.0, a1_exp=-28.0, a2_coeff=1e3, a2_exp=-1.1
+    )
+
+
+@pytest.fixture
+def delay_form():
+    return DelayForm(k0=1e-10, k1=1e-11, k2=2e-11, k3=2.0)
+
+
+class TestLeakageForm:
+    def test_scalar_evaluation(self, leakage_form):
+        value = leakage_form(0.3, 12.0)
+        expected = 1e-5 + np.exp(-28.0 * 0.3) + 1e3 * np.exp(-1.1 * 12.0)
+        assert value == pytest.approx(expected)
+
+    def test_array_evaluation(self, leakage_form):
+        vths = np.array([0.2, 0.3, 0.4])
+        values = leakage_form(vths, 12.0)
+        assert values.shape == (3,)
+        assert np.all(np.diff(values) < 0)  # falls with Vth
+
+    def test_scalar_returns_python_float(self, leakage_form):
+        assert isinstance(leakage_form(0.3, 12.0), float)
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(FittingError):
+            LeakageForm(
+                a0=0.0, a1_coeff=-1.0, a1_exp=-28.0, a2_coeff=1.0,
+                a2_exp=-1.0,
+            )
+
+    def test_decade_properties(self, leakage_form):
+        assert leakage_form.subthreshold_decades_per_volt == pytest.approx(
+            28.0 / np.log(10)
+        )
+        assert leakage_form.gate_decades_per_angstrom == pytest.approx(
+            1.1 / np.log(10)
+        )
+
+    def test_parameters_roundtrip(self, leakage_form):
+        assert leakage_form.parameters() == (1e-5, 1.0, -28.0, 1e3, -1.1)
+
+
+class TestDelayForm:
+    def test_scalar_evaluation(self, delay_form):
+        value = delay_form(0.3, 12.0)
+        expected = 1e-10 + 1e-11 * np.exp(2.0 * 0.3) + 2e-11 * 12.0
+        assert value == pytest.approx(expected)
+
+    def test_linear_in_tox(self, delay_form):
+        slope_a = delay_form(0.3, 12.0) - delay_form(0.3, 11.0)
+        slope_b = delay_form(0.3, 14.0) - delay_form(0.3, 13.0)
+        assert slope_a == pytest.approx(slope_b)
+
+    def test_grows_with_vth(self, delay_form):
+        assert delay_form(0.5, 12.0) > delay_form(0.2, 12.0)
+
+    def test_rejects_negative_k1(self):
+        with pytest.raises(FittingError):
+            DelayForm(k0=0.0, k1=-1.0, k2=0.0, k3=1.0)
+
+    def test_parameters(self, delay_form):
+        assert delay_form.parameters() == (1e-10, 1e-11, 2e-11, 2.0)
+
+
+class TestEnergyForm:
+    def test_vth_is_ignored(self):
+        form = EnergyForm(e0=1e-12, e1=1e-13)
+        assert form(0.2, 12.0) == form(0.5, 12.0)
+
+    def test_linear_in_tox(self):
+        form = EnergyForm(e0=1e-12, e1=1e-13)
+        assert form(0.3, 14.0) - form(0.3, 12.0) == pytest.approx(2e-13)
+
+    def test_array_evaluation(self):
+        form = EnergyForm(e0=1e-12, e1=1e-13)
+        values = form(0.3, np.array([10.0, 12.0, 14.0]))
+        assert values.shape == (3,)

@@ -1,0 +1,73 @@
+"""Fitted-model JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.cache.assignment import Assignment, knobs
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import CacheConfig
+from repro.errors import FittingError
+from repro.models.io import (
+    SCHEMA_VERSION,
+    fitted_model_from_dict,
+    fitted_model_to_dict,
+    load_fitted_model,
+    save_fitted_model,
+)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_evaluations(self, l1_16k, fitted_16k):
+        data = fitted_model_to_dict(fitted_16k)
+        rebuilt = fitted_model_from_dict(data, l1_16k)
+        assignment = Assignment.uniform(knobs(0.35, 12))
+        assert rebuilt.access_time(assignment) == pytest.approx(
+            fitted_16k.access_time(assignment)
+        )
+        assert rebuilt.leakage_power(assignment) == pytest.approx(
+            fitted_16k.leakage_power(assignment)
+        )
+        assert rebuilt.dynamic_read_energy(assignment) == pytest.approx(
+            fitted_16k.dynamic_read_energy(assignment)
+        )
+
+    def test_reports_preserved(self, l1_16k, fitted_16k):
+        data = fitted_model_to_dict(fitted_16k)
+        rebuilt = fitted_model_from_dict(data, l1_16k)
+        assert rebuilt.worst_fit_r_squared() == pytest.approx(
+            fitted_16k.worst_fit_r_squared()
+        )
+
+    def test_file_roundtrip(self, tmp_path, l1_16k, fitted_16k):
+        path = tmp_path / "fit.json"
+        save_fitted_model(fitted_16k, path)
+        rebuilt = load_fitted_model(path, l1_16k)
+        assignment = Assignment.uniform(knobs(0.25, 13))
+        assert rebuilt.access_time(assignment) == pytest.approx(
+            fitted_16k.access_time(assignment)
+        )
+
+    def test_document_is_plain_json(self, tmp_path, fitted_16k):
+        path = tmp_path / "fit.json"
+        save_fitted_model(fitted_16k, path)
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert set(data["components"]) == set(fitted_16k.components)
+
+
+class TestMismatchDetection:
+    def test_rejects_wrong_schema(self, l1_16k, fitted_16k):
+        data = fitted_model_to_dict(fitted_16k)
+        data["schema_version"] = 99
+        with pytest.raises(FittingError):
+            fitted_model_from_dict(data, l1_16k)
+
+    def test_rejects_wrong_configuration(self, fitted_16k):
+        data = fitted_model_to_dict(fitted_16k)
+        other = CacheModel(
+            CacheConfig(size_bytes=8 * 1024, block_bytes=32, associativity=2)
+        )
+        with pytest.raises(FittingError):
+            fitted_model_from_dict(data, other)

@@ -1,0 +1,119 @@
+"""Joint capacity + knob optimisation."""
+
+import pytest
+
+from repro import units
+from repro.archsim.missmodel import calibrated_miss_model
+from repro.errors import OptimizationError
+from repro.optimize.joint import (
+    OBJECTIVE_ENERGY,
+    OBJECTIVE_LEAKAGE,
+    optimize_memory_system,
+)
+
+
+@pytest.fixture(scope="module")
+def miss_model():
+    return calibrated_miss_model("spec2000")
+
+
+@pytest.fixture(scope="module")
+def leakage_design(miss_model, small_space):
+    return optimize_memory_system(
+        miss_model,
+        amat_budget=units.ps(2600),
+        l1_sizes_kb=(4, 16),
+        l2_sizes_kb=(256, 1024),
+        space=small_space,
+    )
+
+
+class TestLeakageObjective:
+    def test_meets_budget(self, leakage_design):
+        assert leakage_design.amat <= units.ps(2600)
+
+    def test_prefers_small_l1(self, leakage_design):
+        """With flat L1 miss rates, the joint optimum picks the small L1
+        (the Section 5 L1 conclusion, now emerging from a joint search)."""
+        assert leakage_design.l1_size_kb == 4
+
+    def test_assignments_cover_both_caches(self, leakage_design):
+        assert leakage_design.l1_assignment.array is not None
+        assert leakage_design.l2_assignment.array is not None
+
+    def test_arrays_conservative(self, leakage_design):
+        for assignment in (
+            leakage_design.l1_assignment,
+            leakage_design.l2_assignment,
+        ):
+            assert assignment.array.vth >= assignment["decoder"].vth
+
+    def test_describe(self, leakage_design):
+        text = leakage_design.describe()
+        assert "L1=" in text and "AMAT" in text
+
+
+class TestEnergyObjective:
+    def test_energy_objective_runs(self, miss_model, small_space):
+        design = optimize_memory_system(
+            miss_model,
+            amat_budget=units.ps(2600),
+            l1_sizes_kb=(4, 16),
+            l2_sizes_kb=(256, 1024),
+            objective=OBJECTIVE_ENERGY,
+            space=small_space,
+        )
+        assert design.total_energy > 0
+
+    def test_energy_optimum_no_worse_on_energy(self, miss_model,
+                                               small_space, leakage_design):
+        energy_design = optimize_memory_system(
+            miss_model,
+            amat_budget=units.ps(2600),
+            l1_sizes_kb=(4, 16),
+            l2_sizes_kb=(256, 1024),
+            objective=OBJECTIVE_ENERGY,
+            space=small_space,
+        )
+        assert energy_design.total_energy <= leakage_design.total_energy * (
+            1 + 1e-9
+        )
+
+
+class TestConstraints:
+    def test_tighter_budget_never_reduces_leakage(self, miss_model,
+                                                  small_space):
+        loose = optimize_memory_system(
+            miss_model,
+            amat_budget=units.ps(3200),
+            l1_sizes_kb=(16,),
+            l2_sizes_kb=(512,),
+            space=small_space,
+        )
+        tight = optimize_memory_system(
+            miss_model,
+            amat_budget=units.ps(2200),
+            l1_sizes_kb=(16,),
+            l2_sizes_kb=(512,),
+            space=small_space,
+        )
+        assert tight.total_leakage >= loose.total_leakage * (1 - 1e-9)
+
+    def test_impossible_budget_raises(self, miss_model, small_space):
+        with pytest.raises(OptimizationError):
+            optimize_memory_system(
+                miss_model,
+                amat_budget=units.ps(1),
+                l1_sizes_kb=(16,),
+                l2_sizes_kb=(512,),
+                space=small_space,
+            )
+
+    def test_unknown_objective_raises(self, miss_model, small_space):
+        with pytest.raises(OptimizationError):
+            optimize_memory_system(
+                miss_model,
+                amat_budget=units.ps(2600),
+                objective="speed",
+                space=small_space,
+            )

@@ -1,0 +1,152 @@
+"""Pareto-front utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import OptimizationError
+from repro.optimize.pareto import (
+    pareto_front,
+    pareto_indices,
+    pareto_indices_2d,
+    sort_by_first_cost,
+)
+
+
+class TestHandCases:
+    def test_simple_2d(self):
+        costs = np.array([[1, 3], [2, 2], [3, 1], [3, 3]])
+        keep = pareto_indices(costs)
+        assert list(keep) == [0, 1, 2]
+
+    def test_single_point(self):
+        assert list(pareto_indices(np.array([[1.0, 2.0]]))) == [0]
+
+    def test_empty(self):
+        assert len(pareto_indices(np.empty((0, 2)))) == 0
+
+    def test_dominated_point_dropped(self):
+        costs = np.array([[1, 1], [2, 2]])
+        assert list(pareto_indices(costs)) == [0]
+
+    def test_duplicates_collapse(self):
+        costs = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert len(pareto_indices(costs)) == 1
+
+    def test_3d(self):
+        costs = np.array(
+            [
+                [1, 2, 3],
+                [3, 2, 1],
+                [2, 2, 2],
+                [3, 3, 3],  # dominated by all
+            ]
+        )
+        keep = pareto_indices(costs)
+        assert 3 not in keep
+        assert set(keep) == {0, 1, 2}
+
+    def test_ties_kept_when_incomparable(self):
+        costs = np.array([[1, 2], [2, 1]])
+        assert len(pareto_indices(costs)) == 2
+
+    def test_rejects_1d(self):
+        with pytest.raises(OptimizationError):
+            pareto_indices(np.array([1.0, 2.0]))
+
+
+class Test2dFastPath:
+    def test_rejects_wrong_width(self):
+        with pytest.raises(OptimizationError):
+            pareto_indices_2d(np.ones((3, 3)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=20),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_agrees_with_bruteforce(self, points):
+        costs = np.array(points, dtype=float)
+        fast = set(map(tuple, costs[pareto_indices_2d(costs)]))
+        # Brute force: a point survives iff nothing dominates it.
+        brute = set()
+        for i, row in enumerate(costs):
+            dominated = any(
+                np.all(other <= row) and np.any(other < row)
+                for j, other in enumerate(costs)
+                if j != i
+            )
+            if not dominated:
+                brute.add(tuple(row))
+        assert fast == brute
+
+
+class TestHelpers:
+    def test_pareto_front_filters_points(self):
+        points = ["a", "b", "c"]
+        costs = np.array([[1, 3], [2, 2], [2, 4]])
+        surviving, surviving_costs = pareto_front(points, costs)
+        assert surviving == ["a", "b"]
+        assert surviving_costs.shape == (2, 2)
+
+    def test_pareto_front_length_mismatch(self):
+        with pytest.raises(OptimizationError):
+            pareto_front(["a"], np.array([[1, 2], [3, 4]]))
+
+    def test_sort_by_first_cost(self):
+        points = ["slow", "fast"]
+        costs = np.array([[2.0, 1.0], [1.0, 2.0]])
+        ordered, ordered_costs = sort_by_first_cost(points, costs)
+        assert ordered == ["fast", "slow"]
+        assert ordered_costs[0, 0] == 1.0
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=10),
+                st.floats(min_value=0, max_value=10),
+                st.floats(min_value=0, max_value=10),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_front_is_mutually_nondominating(self, points):
+        costs = np.array(points)
+        keep = pareto_indices(costs)
+        front = costs[keep]
+        for i in range(len(front)):
+            for j in range(len(front)):
+                if i == j:
+                    continue
+                dominates = np.all(front[i] <= front[j]) and np.any(
+                    front[i] < front[j]
+                )
+                assert not dominates
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=10),
+                st.floats(min_value=0, max_value=10),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_minimum_of_each_axis_survives(self, points):
+        costs = np.array(points)
+        keep = pareto_indices(costs)
+        front = costs[keep]
+        for axis in range(costs.shape[1]):
+            assert front[:, axis].min() == costs[:, axis].min()

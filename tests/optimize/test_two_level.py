@@ -1,0 +1,146 @@
+"""Section 5 two-level explorations."""
+
+import pytest
+
+from repro import units
+from repro.archsim.missmodel import calibrated_miss_model
+from repro.errors import OptimizationError
+from repro.optimize.two_level import (
+    DEFAULT_L1_KNOBS,
+    best_point,
+    explore_l1_sizes,
+    explore_l2_sizes,
+)
+
+
+@pytest.fixture(scope="module")
+def miss_model():
+    return calibrated_miss_model("spec2000")
+
+
+@pytest.fixture(scope="module")
+def l2_points(miss_model, small_space):
+    return explore_l2_sizes(
+        miss_model,
+        amat_budget=units.ps(2100),
+        l2_sizes_kb=(256, 512, 1024),
+        space=small_space,
+    )
+
+
+class TestL2Exploration:
+    def test_one_point_per_size(self, l2_points):
+        assert [p.size_kb for p in l2_points] == [256, 512, 1024]
+
+    def test_feasible_points_meet_budget(self, l2_points):
+        for point in l2_points:
+            if point.feasible:
+                assert point.amat <= units.ps(2100)
+                assert point.assignment is not None
+
+    def test_miss_rates_fall_with_size(self, l2_points):
+        rates = [p.l2_local_miss_rate for p in l2_points]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_total_includes_fixed_l1(self, l2_points):
+        for point in l2_points:
+            assert point.total_leakage > point.varied_leakage
+
+    def test_infeasible_at_impossible_budget(self, miss_model, small_space):
+        points = explore_l2_sizes(
+            miss_model,
+            amat_budget=units.ps(1),
+            l2_sizes_kb=(256,),
+            space=small_space,
+        )
+        assert not points[0].feasible
+        assert points[0].assignment is None
+
+    def test_split_never_worse_than_single(self, miss_model, small_space):
+        """Scheme II freedom is a superset of Scheme III freedom."""
+        budget = units.ps(2000)
+        single = explore_l2_sizes(
+            miss_model,
+            budget,
+            l2_sizes_kb=(512,),
+            split=False,
+            space=small_space,
+        )[0]
+        split = explore_l2_sizes(
+            miss_model,
+            budget,
+            l2_sizes_kb=(512,),
+            split=True,
+            space=small_space,
+        )[0]
+        assert split.feasible
+        assert split.varied_leakage <= single.varied_leakage * (1 + 1e-9)
+
+    def test_split_arrays_conservative(self, miss_model, small_space):
+        points = explore_l2_sizes(
+            miss_model,
+            units.ps(2100),
+            l2_sizes_kb=(256, 1024),
+            split=True,
+            space=small_space,
+        )
+        for point in points:
+            if point.feasible:
+                array = point.assignment.array
+                periphery = point.assignment["decoder"]
+                assert array.vth >= periphery.vth
+
+
+class TestL1Exploration:
+    @pytest.fixture(scope="class")
+    def l1_points(self, miss_model, small_space):
+        return explore_l1_sizes(
+            miss_model,
+            amat_budget=units.ps(3500),
+            l1_sizes_kb=(4, 16, 64),
+            l2_size_kb=512,
+            space=small_space,
+        )
+
+    def test_one_point_per_size(self, l1_points):
+        assert [p.size_kb for p in l1_points] == [4, 16, 64]
+
+    def test_miss_rates_nearly_flat(self, l1_points):
+        rates = [p.l1_miss_rate for p in l1_points]
+        assert max(rates) - min(rates) < 0.02
+
+    def test_small_l1_wins_total_leakage(self, l1_points):
+        feasible = [p for p in l1_points if p.feasible]
+        assert feasible, "budget should be attainable"
+        winner = min(feasible, key=lambda p: p.total_leakage)
+        assert winner.size_kb == min(p.size_kb for p in feasible)
+
+    def test_varied_leakage_grows_with_size(self, l1_points):
+        feasible = [p for p in l1_points if p.feasible]
+        leaks = [p.varied_leakage for p in feasible]
+        assert leaks == sorted(leaks)
+
+
+class TestBestPoint:
+    def test_picks_min_total(self, l2_points):
+        feasible = [p for p in l2_points if p.feasible]
+        if feasible:
+            assert best_point(l2_points).total_leakage == min(
+                p.total_leakage for p in feasible
+            )
+
+    def test_raises_when_nothing_feasible(self, miss_model, small_space):
+        points = explore_l2_sizes(
+            miss_model,
+            amat_budget=units.ps(1),
+            l2_sizes_kb=(256,),
+            space=small_space,
+        )
+        with pytest.raises(OptimizationError):
+            best_point(points)
+
+
+class TestDefaults:
+    def test_default_l1_knobs_mid_grid(self):
+        assert 0.25 <= DEFAULT_L1_KNOBS.vth <= 0.35
+        assert 11 <= DEFAULT_L1_KNOBS.tox_angstrom <= 13

@@ -1,0 +1,83 @@
+"""Process/temperature corners."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.technology.corners import (
+    STANDARD_CORNERS,
+    Corner,
+    CornerName,
+    apply_corner,
+)
+
+
+class TestCornerValidation:
+    def test_rejects_nonpositive_mobility_scale(self):
+        with pytest.raises(TechnologyError):
+            Corner(name="bad", mobility_scale=0.0)
+
+    def test_rejects_nonpositive_vdd_scale(self):
+        with pytest.raises(TechnologyError):
+            Corner(name="bad", vdd_scale=-1.0)
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(TechnologyError):
+            Corner(name="bad", temperature=0.0)
+
+
+class TestStandardCorners:
+    def test_all_five_present(self):
+        assert set(STANDARD_CORNERS) == set(CornerName)
+
+    def test_typical_is_identity_shift(self):
+        typical = STANDARD_CORNERS[CornerName.TYPICAL]
+        assert typical.vth_shift == 0.0
+        assert typical.mobility_scale == 1.0
+        assert typical.vdd_scale == 1.0
+
+    def test_fast_is_leakier_direction(self):
+        fast = STANDARD_CORNERS[CornerName.FAST]
+        assert fast.vth_shift < 0
+        assert fast.mobility_scale > 1
+        assert fast.vdd_scale > 1
+
+    def test_hot_corner_is_hot(self):
+        assert STANDARD_CORNERS[CornerName.FAST_HOT].temperature > 350
+
+
+class TestApplyCorner:
+    def test_typical_preserves_parameters(self, technology):
+        derived = apply_corner(
+            technology, STANDARD_CORNERS[CornerName.TYPICAL]
+        )
+        assert derived.vth_ref == technology.vth_ref
+        assert derived.vdd == technology.vdd
+        assert derived.mobility_n == technology.mobility_n
+
+    def test_fast_corner_shifts(self, technology):
+        derived = apply_corner(technology, STANDARD_CORNERS[CornerName.FAST])
+        assert derived.vth_ref < technology.vth_ref
+        assert derived.vdd > technology.vdd
+        assert derived.mobility_n > technology.mobility_n
+
+    def test_name_records_corner(self, technology):
+        derived = apply_corner(technology, STANDARD_CORNERS[CornerName.SLOW])
+        assert derived.name.endswith("@ss")
+
+    def test_original_untouched(self, technology):
+        before = technology.vth_ref
+        apply_corner(technology, STANDARD_CORNERS[CornerName.FAST])
+        assert technology.vth_ref == before
+
+    def test_corner_changes_leakage(self, technology):
+        """A fast-hot corner must leak more than typical silicon."""
+        from repro.devices.subthreshold import off_current_per_width
+
+        hot = apply_corner(technology, STANDARD_CORNERS[CornerName.FAST_HOT])
+        typical_ioff = off_current_per_width(
+            technology, vth=0.3, tox=technology.tox_ref, leff=technology.leff
+        )
+        hot_ioff = off_current_per_width(
+            hot, vth=0.3, tox=hot.tox_ref, leff=hot.leff
+        )
+        assert hot_ioff > 3 * typical_ioff

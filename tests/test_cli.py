@@ -1,0 +1,77 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestDescribe:
+    def test_prints_structure(self, capsys):
+        assert main(["describe", "--size-kb", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "8 KB" in output
+        assert "sub-arrays" in output
+        assert "transistors" in output
+
+
+class TestEvaluate:
+    def test_prints_metrics(self, capsys):
+        assert main(
+            ["evaluate", "--size-kb", "8", "--vth", "0.3", "--tox", "12"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "access time" in output
+        assert "leakage power" in output
+        assert "mW" in output
+
+    def test_invalid_knobs_reported_as_error(self, capsys):
+        # 0.9 V is outside the design box -> clean error, exit code 1.
+        code = main(
+            ["evaluate", "--size-kb", "8", "--vth", "0.9", "--tox", "12"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOptimize:
+    def test_scheme2_optimum(self, capsys):
+        assert main(
+            ["optimize", "--size-kb", "8", "--scheme", "2",
+             "--target-ps", "1400"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Scheme II" in output
+        assert "array" in output
+
+    def test_infeasible_target_is_clean_error(self, capsys):
+        code = main(
+            ["optimize", "--size-kb", "8", "--target-ps", "1"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFit:
+    def test_fit_and_save(self, tmp_path, capsys):
+        output_path = tmp_path / "fit.json"
+        assert main(
+            ["fit", "--size-kb", "8", "--output", str(output_path)]
+        ) == 0
+        assert output_path.exists()
+        assert "worst R^2" in capsys.readouterr().out
+
+
+class TestExperimentsCommand:
+    def test_delegates_to_runner(self, capsys):
+        assert main(["experiments", "E7"]) == 0
+        assert "E7" in capsys.readouterr().out

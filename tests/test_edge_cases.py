@@ -1,0 +1,157 @@
+"""Edge cases cutting across modules: tiny structures, extreme shapes."""
+
+import pytest
+
+from repro import units
+from repro.cache.assignment import knobs
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import CacheConfig
+
+
+class TestTinyStructures:
+    def test_two_row_decoder(self, technology, rule):
+        """A 2-row decoder (1 address bit) must still evaluate."""
+        from repro.circuits.decoder import RowDecoder
+        from repro.circuits.wires import Wire
+
+        decoder = RowDecoder(
+            technology=technology,
+            rule=rule,
+            n_rows=2,
+            wordline_wire=Wire.from_technology(technology, 10e-6),
+            wordline_cell_load=units.ff(5),
+        )
+        cost = decoder.evaluate(0.3, technology.tox_ref)
+        assert cost.delay > 0 and cost.leakage_current > 0
+
+    def test_single_line_bus(self, technology, rule):
+        from repro.circuits.drivers import BusDriver
+        from repro.circuits.wires import Wire
+
+        bank = BusDriver(
+            technology=technology,
+            rule=rule,
+            n_lines=1,
+            wire=Wire.from_technology(technology, 100e-6),
+            far_end_load=units.ff(5),
+        )
+        cost = bank.evaluate(0.3, technology.tox_ref)
+        assert cost.transistor_count >= 2
+
+    def test_smallest_sensible_cache(self, technology):
+        """A 1 KB direct-mapped cache builds and evaluates."""
+        model = CacheModel(
+            CacheConfig(size_bytes=1024, block_bytes=32, associativity=1),
+            technology=technology,
+        )
+        evaluation = model.uniform(knobs(0.3, 12))
+        assert evaluation.access_time > 0
+        assert evaluation.leakage_power > 0
+
+    def test_wide_output_port(self, technology):
+        """An L2-style 256-bit port cache evaluates."""
+        model = CacheModel(
+            CacheConfig(
+                size_bytes=64 * 1024,
+                block_bytes=64,
+                associativity=4,
+                output_bits=256,
+            ),
+            technology=technology,
+        )
+        assert model.components["data_drivers"].n_lines == 256
+
+
+class TestExtremeKnobs:
+    def test_design_box_corners_all_evaluate(self, tiny_cache):
+        for vth in (0.2, 0.5):
+            for tox in (10, 14):
+                evaluation = tiny_cache.uniform(knobs(vth, tox))
+                assert evaluation.access_time > 0
+
+    def test_mixed_extreme_assignment(self, tiny_cache):
+        """The most lopsided legal assignment evaluates sensibly."""
+        from repro.cache.assignment import Assignment
+
+        assignment = Assignment.per_component(
+            address_drivers=knobs(0.2, 10),
+            decoder=knobs(0.5, 14),
+            array=knobs(0.5, 14),
+            data_drivers=knobs(0.2, 10),
+        )
+        evaluation = tiny_cache.evaluate(assignment)
+        uniform_fast = tiny_cache.uniform(knobs(0.2, 10))
+        uniform_slow = tiny_cache.uniform(knobs(0.5, 14))
+        assert (
+            uniform_fast.access_time
+            < evaluation.access_time
+            < uniform_slow.access_time
+        )
+
+
+class TestExplorationHelpers:
+    def test_fastest_achievable_amat_is_attainable(self, small_space):
+        from repro.archsim.missmodel import calibrated_miss_model
+        from repro.experiments.l2_exploration import fastest_achievable_amat
+        from repro.optimize.two_level import explore_l2_sizes
+
+        miss_model = calibrated_miss_model("spec2000")
+        sizes = (256, 512)
+        fastest = fastest_achievable_amat(
+            miss_model, sizes, space=small_space
+        )
+        points = explore_l2_sizes(
+            miss_model,
+            amat_budget=fastest * 1.0001,
+            l2_sizes_kb=sizes,
+            space=small_space,
+        )
+        assert any(point.feasible for point in points)
+
+    def test_fastest_achievable_is_infeasible_below(self, small_space):
+        from repro.archsim.missmodel import calibrated_miss_model
+        from repro.experiments.l2_exploration import fastest_achievable_amat
+        from repro.optimize.two_level import explore_l2_sizes
+
+        miss_model = calibrated_miss_model("spec2000")
+        sizes = (256, 512)
+        fastest = fastest_achievable_amat(
+            miss_model, sizes, space=small_space
+        )
+        points = explore_l2_sizes(
+            miss_model,
+            amat_budget=fastest * 0.98,
+            l2_sizes_kb=sizes,
+            space=small_space,
+        )
+        assert not any(point.feasible for point in points)
+
+
+class TestCrossWorkloadConsistency:
+    """The paper's Section 5 claims hold across the benchmark suites."""
+
+    @pytest.mark.parametrize("workload", ["specweb", "tpcc"])
+    def test_l1_flatness_all_suites(self, workload, small_space):
+        from repro.experiments.l1_exploration import run_l1_exploration
+
+        result = run_l1_exploration(
+            workload=workload,
+            l1_sizes_kb=(4, 16, 64),
+            l2_size_kb=512,
+            space=small_space,
+        )
+        for finding in result.findings:
+            assert "UNEXPECTED" not in finding
+
+    @pytest.mark.parametrize("workload", ["specweb", "tpcc"])
+    def test_split_l2_smallest_wins_all_suites(self, workload, small_space):
+        from repro.experiments.l2_exploration import run_l2_exploration
+
+        result = run_l2_exploration(
+            workload=workload,
+            split=True,
+            l2_sizes_kb=(256, 512, 1024),
+            space=small_space,
+        )
+        for finding in result.findings:
+            assert "UNEXPECTED" not in finding

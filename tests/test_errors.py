@@ -1,0 +1,52 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.TechnologyError,
+    errors.DeviceModelError,
+    errors.CircuitError,
+    errors.GeometryError,
+    errors.ConfigurationError,
+    errors.FittingError,
+    errors.SimulationError,
+    errors.OptimizationError,
+    errors.InfeasibleConstraintError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_all_derive_from_repro_error(error_type):
+    assert issubclass(error_type, errors.ReproError)
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_infeasible_is_optimization_error():
+    assert issubclass(
+        errors.InfeasibleConstraintError, errors.OptimizationError
+    )
+
+
+def test_infeasible_carries_best_achievable():
+    error = errors.InfeasibleConstraintError("too tight", best_achievable=1.5)
+    assert error.best_achievable == 1.5
+    assert "too tight" in str(error)
+
+
+def test_infeasible_default_is_nan():
+    import math
+
+    error = errors.InfeasibleConstraintError("no value")
+    assert math.isnan(error.best_achievable)
+
+
+def test_catching_base_catches_all():
+    for error_type in ALL_ERRORS:
+        with pytest.raises(errors.ReproError):
+            raise error_type("boom")

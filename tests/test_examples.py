@@ -1,0 +1,60 @@
+"""Smoke tests for the example scripts.
+
+Each example is imported (which type-checks its imports against the
+public API) and the two fastest are executed end-to-end; the heavier
+walk-throughs are exercised by the benchmark harness and the manual
+commands in the README.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    def test_at_least_three_examples(self):
+        assert len(ALL_EXAMPLES) >= 3
+
+    def test_quickstart_present(self):
+        assert "quickstart.py" in ALL_EXAMPLES
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+class TestExamplesImportable:
+    def test_imports_and_defines_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+
+    def test_has_module_docstring(self, name):
+        module = load_example(name)
+        assert module.__doc__ and "Run:" in module.__doc__
+
+
+class TestFastExamplesRun:
+    def test_quickstart_runs(self, capsys):
+        load_example("quickstart.py").main()
+        output = capsys.readouterr().out
+        assert "Scheme II optimum" in output
+        assert "mW" in output
+
+    def test_leakage_techniques_runs(self, capsys):
+        load_example("leakage_techniques.py").main()
+        output = capsys.readouterr().out
+        assert "drowsy" in output
+        assert "optimised knobs" in output

@@ -1,0 +1,156 @@
+"""Cross-module integration: the full paper pipeline end to end."""
+
+import pytest
+
+from repro import (
+    Assignment,
+    CacheConfig,
+    CacheModel,
+    MemorySystem,
+    Scheme,
+    calibrated_miss_model,
+    fit_cache_model,
+    knobs,
+    l1_config,
+    l2_config,
+    minimize_leakage,
+)
+from repro import units
+from repro.optimize.single_cache import component_tables
+
+
+class TestStructuralVsFittedOptimization:
+    """The paper optimises over fitted forms; doing so must land close to
+    optimising over the structural substrate directly."""
+
+    @pytest.fixture(scope="class")
+    def models(self, l1_16k, fitted_16k, small_space):
+        return l1_16k, fitted_16k, small_space
+
+    @pytest.mark.parametrize("target_ps", [1000, 1400])
+    def test_optima_agree(self, models, target_ps):
+        structural, fitted, space = models
+        constraint = units.ps(target_ps)
+        s_result = minimize_leakage(
+            structural, Scheme.CELL_VS_PERIPHERY, constraint, space=space
+        )
+        f_result = minimize_leakage(
+            fitted, Scheme.CELL_VS_PERIPHERY, constraint, space=space
+        )
+        # Evaluate the fitted model's chosen assignment on the substrate:
+        # the true cost of optimising on the approximation.
+        realized = structural.leakage_power(f_result.assignment)
+        assert realized <= s_result.leakage_power * 1.6
+
+    def test_fitted_optimum_feasible_on_substrate(self, models):
+        structural, fitted, space = models
+        constraint = units.ps(1400)
+        f_result = minimize_leakage(
+            fitted, Scheme.CELL_VS_PERIPHERY, constraint, space=space
+        )
+        realized_time = structural.access_time(f_result.assignment)
+        # Allow the fit's ~10% corner error on the constraint check.
+        assert realized_time <= constraint * 1.12
+
+
+class TestFullSystemPipeline:
+    """Workload -> miss curves -> cache models -> optimised system."""
+
+    def test_end_to_end_energy_improves_with_optimization(self, small_space):
+        miss_model = calibrated_miss_model("spec2000")
+        l1 = CacheModel(l1_config(16))
+        l2 = CacheModel(l2_config(512))
+        system = MemorySystem(l1, l2, miss_model)
+
+        naive = system.evaluate(
+            Assignment.uniform(knobs(0.2, 10)),
+            Assignment.uniform(knobs(0.2, 10)),
+        )
+        # Optimise each cache's leakage at the naive design's speed + 25 %.
+        l1_opt = minimize_leakage(
+            l1,
+            Scheme.CELL_VS_PERIPHERY,
+            naive.l1_access_time * 1.25,
+            space=small_space,
+        )
+        l2_opt = minimize_leakage(
+            l2,
+            Scheme.CELL_VS_PERIPHERY,
+            naive.l2_access_time * 1.25,
+            space=small_space,
+        )
+        optimized = system.evaluate(l1_opt.assignment, l2_opt.assignment)
+        assert optimized.total_energy < 0.7 * naive.total_energy
+        assert optimized.amat < 1.5 * naive.amat
+
+    def test_all_three_workloads_run(self, small_space):
+        for workload in ("spec2000", "specweb", "tpcc"):
+            miss_model = calibrated_miss_model(workload)
+            system = MemorySystem(
+                CacheModel(l1_config(16)),
+                CacheModel(l2_config(512)),
+                miss_model,
+            )
+            evaluation = system.evaluate(
+                Assignment.uniform(knobs(0.3, 12)),
+                Assignment.uniform(knobs(0.4, 13)),
+            )
+            assert evaluation.total_energy > 0
+
+    def test_memory_bound_workload_costs_more(self):
+        """TPC-C (worst locality) must burn more energy per reference than
+        SPEC2000 on identical hardware."""
+        def total(workload):
+            system = MemorySystem(
+                CacheModel(l1_config(16)),
+                CacheModel(l2_config(512)),
+                calibrated_miss_model(workload),
+            )
+            return system.evaluate(
+                Assignment.uniform(knobs(0.3, 12)),
+                Assignment.uniform(knobs(0.4, 13)),
+            ).total_energy
+
+        assert total("tpcc") > total("spec2000")
+
+
+class TestLiveSimulationConsistency:
+    def test_simulated_miss_rates_feed_amat(self):
+        """A fresh simulation's statistics must plug into the AMAT/energy
+        path and give finite sensible numbers."""
+        from repro.archsim import TwoLevelHierarchy, amat_two_level
+        from repro.archsim.workloads import SPEC2000_LIKE, synthetic_trace
+
+        hierarchy = TwoLevelHierarchy(l1_config(8), l2_config(256))
+        result = hierarchy.run(synthetic_trace(SPEC2000_LIKE, 20_000, seed=11))
+        amat = amat_two_level(
+            l1_hit_time=units.ps(900),
+            l1_miss_rate=result.l1_miss_rate,
+            l2_hit_time=units.ps(2500),
+            l2_local_miss_rate=result.l2_local_miss_rate,
+            memory_latency=units.ns(20),
+        )
+        assert units.ps(900) < amat < units.ns(6)
+
+
+class TestScalingAcrossSizes:
+    @pytest.mark.parametrize("kb", [4, 16, 64])
+    def test_l1_family_builds_and_orders(self, kb, technology):
+        model = CacheModel(l1_config(kb), technology=technology)
+        evaluation = model.uniform(knobs(0.3, 12))
+        assert evaluation.access_time > 0
+        assert evaluation.leakage_power > 0
+
+    def test_leakage_grows_with_capacity(self, technology):
+        leaks = []
+        for kb in (4, 16, 64):
+            model = CacheModel(l1_config(kb), technology=technology)
+            leaks.append(model.uniform(knobs(0.3, 12)).leakage_power)
+        assert leaks == sorted(leaks)
+
+    def test_access_time_grows_with_capacity(self, technology):
+        times = []
+        for kb in (4, 64):
+            model = CacheModel(l1_config(kb), technology=technology)
+            times.append(model.uniform(knobs(0.3, 12)).access_time)
+        assert times[1] > times[0]

@@ -1,0 +1,160 @@
+"""Library-wide property-based tests (hypothesis).
+
+These cut across modules: any (Vth, Tox) in the design box must satisfy
+the physical orderings every optimiser in the library silently assumes.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.cache.assignment import knobs
+
+VTH = st.floats(min_value=0.2, max_value=0.5)
+TOX = st.floats(min_value=10.0, max_value=14.0)
+
+COMMON = dict(max_examples=20, deadline=None)
+
+
+class TestDesignBoxProperties:
+    @settings(**COMMON)
+    @given(vth=VTH, tox=TOX)
+    def test_evaluation_always_finite_positive(self, tiny_cache, vth, tox):
+        evaluation = tiny_cache.uniform(knobs(vth, tox))
+        assert 0 < evaluation.access_time < 1e-6
+        assert 0 < evaluation.leakage_power < 1.0
+        assert 0 < evaluation.dynamic_read_energy < 1e-8
+
+    @settings(**COMMON)
+    @given(vth=st.floats(min_value=0.2, max_value=0.45), tox=TOX)
+    def test_vth_tradeoff_universal(self, tiny_cache, vth, tox):
+        """Raising Vth alone always slows and always saves leakage."""
+        here = tiny_cache.uniform(knobs(vth, tox))
+        above = tiny_cache.uniform(knobs(vth + 0.05, tox))
+        assert above.access_time > here.access_time
+        assert above.leakage_power < here.leakage_power
+
+    @settings(**COMMON)
+    @given(vth=VTH, tox=st.floats(min_value=10.0, max_value=13.0))
+    def test_tox_tradeoff_universal(self, tiny_cache, vth, tox):
+        """Thickening Tox alone always slows and always saves leakage."""
+        here = tiny_cache.uniform(knobs(vth, tox))
+        thicker = tiny_cache.uniform(knobs(vth, tox + 1.0))
+        assert thicker.access_time > here.access_time
+        assert thicker.leakage_power < here.leakage_power
+
+    @settings(**COMMON)
+    @given(vth=VTH, tox=TOX)
+    def test_fitted_model_tracks_substrate(self, l1_16k, fitted_16k, vth, tox):
+        point = knobs(vth, tox)
+        structural = l1_16k.uniform(point)
+        fitted = fitted_16k.uniform(point)
+        assert fitted.access_time == pytest.approx(
+            structural.access_time, rel=0.2
+        )
+        # Leakage spans decades; compare in log space.
+        import math
+
+        assert abs(
+            math.log10(fitted.leakage_power)
+            - math.log10(structural.leakage_power)
+        ) < 0.35
+
+
+class TestAmatProperties:
+    @settings(**COMMON)
+    @given(
+        m1=st.floats(min_value=0, max_value=1),
+        m2=st.floats(min_value=0, max_value=1),
+        t1=st.floats(min_value=1e-10, max_value=1e-8),
+        t2=st.floats(min_value=1e-10, max_value=1e-8),
+    )
+    def test_amat_at_least_l1_time(self, m1, m2, t1, t2):
+        from repro.archsim.amat import amat_two_level
+
+        amat = amat_two_level(t1, m1, t2, m2, 2e-8)
+        assert amat >= t1
+
+    @settings(**COMMON)
+    @given(
+        m1=st.floats(min_value=0.01, max_value=1),
+        m2=st.floats(min_value=0, max_value=1),
+    )
+    def test_amat_monotone_in_l2_time(self, m1, m2):
+        from repro.archsim.amat import amat_two_level
+
+        slow = amat_two_level(1e-9, m1, 4e-9, m2, 2e-8)
+        fast = amat_two_level(1e-9, m1, 2e-9, m2, 2e-8)
+        assert slow > fast
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=1 << 18),
+            min_size=1,
+            max_size=120,
+        ),
+        assoc=st.sampled_from([1, 2, 4]),
+    )
+    def test_bigger_cache_never_more_misses(self, addresses, assoc):
+        """Stack property of LRU: capacity only ever helps."""
+        from repro.archsim.setassoc import SetAssociativeCache
+        from repro.archsim.trace import reads
+
+        def misses(size):
+            cache = SetAssociativeCache(
+                size_bytes=size, block_bytes=64,
+                associativity=min(assoc, size // 64),
+            )
+            for access in reads(addresses):
+                cache.access(access)
+            return cache.stats.misses
+
+        # Note: true inclusion needs same associativity geometry; use
+        # fully-associative comparison when assoc covers all blocks.
+        small = misses(1024)
+        large = misses(4096)
+        # Set-associative caches are not strictly inclusive across sizes,
+        # but with 4x capacity at equal associativity, regressions beyond
+        # a small margin indicate a simulator bug.
+        assert large <= small + 2
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_workload_determinism(self, seed):
+        from repro.archsim.trace import materialize
+        from repro.archsim.workloads import TPCC_LIKE, synthetic_trace
+
+        a = materialize(synthetic_trace(TPCC_LIKE, 200, seed=seed))
+        b = materialize(synthetic_trace(TPCC_LIKE, 200, seed=seed))
+        assert a == b
+
+
+class TestOptimizerProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(target_ps=st.floats(min_value=1100, max_value=2200))
+    def test_optimum_monotone_in_constraint(self, tiny_cache, tiny_space,
+                                            target_ps):
+        """Loosening the delay constraint can never raise the optimum."""
+        from repro.optimize.schemes import Scheme
+        from repro.optimize.single_cache import (
+            component_tables,
+            minimize_leakage,
+        )
+
+        tables = component_tables(tiny_cache, tiny_space)
+        tight = minimize_leakage(
+            tiny_cache,
+            Scheme.UNIFORM,
+            units.ps(target_ps),
+            tables=tables,
+        )
+        loose = minimize_leakage(
+            tiny_cache,
+            Scheme.UNIFORM,
+            units.ps(target_ps * 1.3),
+            tables=tables,
+        )
+        assert loose.leakage_power <= tight.leakage_power

@@ -1,0 +1,159 @@
+"""Unit conversions, constants and numeric helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestIntoSi:
+    def test_angstrom(self):
+        assert units.angstrom(12.0) == pytest.approx(1.2e-9)
+
+    def test_nm(self):
+        assert units.nm(65.0) == pytest.approx(65e-9)
+
+    def test_um(self):
+        assert units.um(1.46) == pytest.approx(1.46e-6)
+
+    def test_ps(self):
+        assert units.ps(850.0) == pytest.approx(8.5e-10)
+
+    def test_ns(self):
+        assert units.ns(20.0) == pytest.approx(2e-8)
+
+    def test_mw(self):
+        assert units.mw(54.0) == pytest.approx(0.054)
+
+    def test_uw(self):
+        assert units.uw(10.0) == pytest.approx(1e-5)
+
+    def test_pj(self):
+        assert units.pj(400.0) == pytest.approx(4e-10)
+
+    def test_ff(self):
+        assert units.ff(20.0) == pytest.approx(2e-14)
+
+    def test_kb(self):
+        assert units.kb(16) == 16384
+
+    def test_mb(self):
+        assert units.mb(1) == 1048576
+
+    def test_kb_rounds(self):
+        assert units.kb(1.5) == 1536
+
+
+class TestOutOfSi:
+    def test_to_angstrom(self):
+        assert units.to_angstrom(1.2e-9) == pytest.approx(12.0)
+
+    def test_to_nm(self):
+        assert units.to_nm(65e-9) == pytest.approx(65.0)
+
+    def test_to_um(self):
+        assert units.to_um(1.46e-6) == pytest.approx(1.46)
+
+    def test_to_ps(self):
+        assert units.to_ps(8.5e-10) == pytest.approx(850.0)
+
+    def test_to_ns(self):
+        assert units.to_ns(2e-8) == pytest.approx(20.0)
+
+    def test_to_mw(self):
+        assert units.to_mw(0.054) == pytest.approx(54.0)
+
+    def test_to_pj(self):
+        assert units.to_pj(4e-10) == pytest.approx(400.0)
+
+    def test_to_kb(self):
+        assert units.to_kb(16384) == pytest.approx(16.0)
+
+
+class TestRoundTrips:
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_angstrom_roundtrip(self, value):
+        assert units.to_angstrom(units.angstrom(value)) == pytest.approx(value)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_ps_roundtrip(self, value):
+        assert units.to_ps(units.ps(value)) == pytest.approx(value)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_mw_roundtrip(self, value):
+        assert units.to_mw(units.mw(value)) == pytest.approx(value)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_pj_roundtrip(self, value):
+        assert units.to_pj(units.pj(value)) == pytest.approx(value)
+
+
+class TestPhysics:
+    def test_thermal_voltage_at_300k(self):
+        assert units.thermal_voltage(300.0) == pytest.approx(0.02585, abs=1e-4)
+
+    def test_thermal_voltage_scales_linearly(self):
+        assert units.thermal_voltage(600.0) == pytest.approx(
+            2 * units.thermal_voltage(300.0)
+        )
+
+    def test_oxide_capacitance_magnitude(self):
+        # ~2.9 uF/cm^2 at 12 A.
+        cox = units.oxide_capacitance_per_area(units.angstrom(12))
+        assert 2.5e-2 < cox < 3.5e-2
+
+    def test_oxide_capacitance_inverse_in_thickness(self):
+        thin = units.oxide_capacitance_per_area(units.angstrom(10))
+        thick = units.oxide_capacitance_per_area(units.angstrom(14))
+        assert thin / thick == pytest.approx(1.4)
+
+    def test_oxide_capacitance_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.oxide_capacitance_per_area(0.0)
+
+    def test_epsilon_ordering(self):
+        assert units.EPSILON_0 < units.EPSILON_SIO2 < units.EPSILON_SI
+
+
+class TestIntegerHelpers:
+    @pytest.mark.parametrize("n", [1, 2, 4, 1024, 2**30])
+    def test_powers_of_two(self, n):
+        assert units.is_power_of_two(n)
+
+    @pytest.mark.parametrize("n", [0, -2, 3, 6, 1000])
+    def test_non_powers_of_two(self, n):
+        assert not units.is_power_of_two(n)
+
+    def test_log2_int(self):
+        assert units.log2_int(1024) == 10
+
+    def test_log2_int_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            units.log2_int(1000)
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_log2_int_roundtrip(self, exponent):
+        assert units.log2_int(2**exponent) == exponent
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert units.geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert units.geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            units.geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=8))
+    def test_between_min_and_max(self, values):
+        mean = units.geometric_mean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9

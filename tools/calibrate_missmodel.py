@@ -1,0 +1,27 @@
+"""One-time calibration: measure miss-rate tables for the standard workloads.
+
+Run:  python tools/calibrate_missmodel.py
+Paste the printed CALIBRATED_TABLES body into repro/archsim/missmodel.py.
+"""
+import time
+from repro.archsim.missmodel import measure_miss_model
+from repro.archsim.workloads import STANDARD_WORKLOADS
+
+N = 2_000_000
+t0 = time.time()
+print("CALIBRATED_TABLES: Dict[str, MissRateModel] = {")
+for name, spec in STANDARD_WORKLOADS.items():
+    model = measure_miss_model(spec, n_accesses=N, seed=1)
+    print(f'    "{name}": MissRateModel(')
+    print(f'        workload="{name}",')
+    print(f'        l1_curve=(')
+    for size, rate in model.l1_curve:
+        print(f'            ({size}, {rate:.5f}),')
+    print(f'        ),')
+    print(f'        l2_curve=(')
+    for size, rate in model.l2_curve:
+        print(f'            ({size}, {rate:.5f}),')
+    print(f'        ),')
+    print(f'    ),')
+print("}")
+print(f"# measured with n_accesses={N}, seed=1, in {time.time()-t0:.0f}s")
