@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List
+from typing import List, Optional
 
 from repro import units
 from repro.cache.cache_model import CacheModel
@@ -54,7 +54,10 @@ def _build_model(arguments) -> CacheModel:
 def _cmd_experiments(arguments) -> int:
     from repro.experiments.runner import main as runner_main
 
-    return runner_main(arguments.ids)
+    argv = list(arguments.ids)
+    if arguments.jobs != 1:
+        argv += ["--jobs", str(arguments.jobs)]
+    return runner_main(argv)
 
 
 def _cmd_describe(arguments) -> int:
@@ -128,6 +131,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="run the paper's experiments"
     )
     experiments.add_argument("ids", nargs="*", help="experiment ids")
+    experiments.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="worker processes (default 1)")
     experiments.set_defaults(handler=_cmd_experiments)
 
     describe = commands.add_parser("describe", help="print cache structure")
@@ -158,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
     try:

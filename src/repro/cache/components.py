@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+import numpy as np
+
 from repro.errors import CircuitError
 from repro.technology.bptm import Technology
 from repro.technology.scaling import ToxScalingRule
@@ -71,6 +73,40 @@ class _ComponentBase:
 
     def _evaluate(self, vth: float, tox: float) -> ComponentCost:
         raise NotImplementedError
+
+    def evaluate_grid(self, vths, toxes) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch-evaluate the component over a (Vth, Tox) grid.
+
+        Parameters
+        ----------
+        vths, toxes:
+            1-D sequences of threshold voltages (V) and oxide thicknesses
+            (m) spanning the grid axes.
+
+        Returns
+        -------
+        (delays, leakages, energies):
+            Three ``(len(vths), len(toxes))`` arrays, where element
+            ``[i, j]`` equals the scalar ``evaluate(vths[i], toxes[j])``
+            result for that quantity.
+
+        The sweep vectorizes along the Vth axis: buffer-chain structure
+        and all geometry depend only on Tox, so each Tox column is one
+        broadcast evaluation of the underlying device models over the
+        whole Vth vector.
+        """
+        vths = np.atleast_1d(np.asarray(vths, dtype=float))
+        toxes = np.atleast_1d(np.asarray(toxes, dtype=float))
+        shape = (vths.size, toxes.size)
+        delays = np.empty(shape)
+        leakages = np.empty(shape)
+        energies = np.empty(shape)
+        for j in range(toxes.size):
+            cost = self._evaluate(vths, float(toxes[j]))
+            delays[:, j] = cost.delay
+            leakages[:, j] = cost.leakage_power
+            energies[:, j] = cost.dynamic_energy
+        return delays, leakages, energies
 
     # Convenience accessors.
     def delay(self, vth: float, tox: float) -> float:

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+import numpy as np
+
 from repro.errors import CircuitError
 from repro.units import is_power_of_two, log2_int
 from repro.technology.bptm import Technology
@@ -228,7 +230,7 @@ class RowDecoder:
             wordline_load
             + _delay.junction_capacitance(tech, last.total_width)
         )
-        delay += max(internal, 0.0) + wire_delay
+        delay += np.maximum(internal, 0.0) + wire_delay
 
         # ---- leakage: predecode banks + every row NAND + every driver chain.
         leakage = 0.0

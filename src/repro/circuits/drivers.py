@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import CircuitError
 from repro.technology.bptm import Technology
 from repro.technology.scaling import ToxScalingRule
@@ -101,7 +103,7 @@ class BusDriver:
             line_load + _delay.junction_capacitance(tech, last.total_width)
         )
         wire_delay = self.wire.elmore_delay(r_last, self.far_end_load)
-        delay = max(internal, 0.0) + wire_delay
+        delay = np.maximum(internal, 0.0) + wire_delay
 
         # Leakage: every line's chain leaks whether or not it toggles.
         leakage = self.n_lines * (

@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import CircuitError
 from repro.technology.bptm import Technology
 from repro.technology.scaling import ToxScalingRule
@@ -79,11 +81,16 @@ class SenseAmplifier:
         cell_read_current:
             The cell's read (discharge) current (A).
         """
-        if bitline_capacitance < 0:
+        if np.any(np.less(bitline_capacitance, 0)):
             raise CircuitError(
                 f"bit-line capacitance must be >= 0, got {bitline_capacitance}"
             )
-        if cell_read_current <= 0:
+        if not isinstance(cell_read_current, np.ndarray):
+            if cell_read_current <= 0:
+                raise CircuitError(
+                    f"cell read current must be positive, got {cell_read_current}"
+                )
+        elif np.any(np.less_equal(cell_read_current, 0)):
             raise CircuitError(
                 f"cell read current must be positive, got {cell_read_current}"
             )
@@ -101,7 +108,7 @@ class SenseAmplifier:
         c_node = _delay.gate_capacitance(
             tech, 2.0 * latch.width, geometry.lgate_drawn, tox
         ) + _delay.junction_capacitance(tech, 2.0 * latch.width)
-        gm = latch.on_current(tech) / max(tech.vdd - vth, 1e-3)
+        gm = latch.on_current(tech) / np.maximum(tech.vdd - vth, 1e-3)
         tau = c_node / gm
         gain_needed = tech.vdd / self.required_swing()
         return tau * math.log(gain_needed)

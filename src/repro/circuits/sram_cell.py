@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import CircuitError
 from repro.technology.bptm import Technology
 from repro.technology.scaling import ToxScalingRule
@@ -141,7 +143,7 @@ class SramCell:
         d = self._devices(vth, tox)
         i_access = d["access"].on_current(tech)
         i_pull_down = d["pull_down"].on_current(tech)
-        return READ_SERIES_FACTOR * min(i_access, i_pull_down)
+        return READ_SERIES_FACTOR * np.minimum(i_access, i_pull_down)
 
     # -- loads presented to the array -------------------------------------
 

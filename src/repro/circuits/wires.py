@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import CircuitError
 from repro.technology.bptm import Technology
 from repro.circuits.logical_effort import ELMORE_LN2
@@ -77,7 +79,15 @@ class Wire:
         load_capacitance:
             Lumped load (F) at the far end.
         """
-        if driver_resistance < 0 or load_capacitance < 0:
+        if not isinstance(driver_resistance, np.ndarray) and not isinstance(load_capacitance, np.ndarray):
+            if driver_resistance < 0 or load_capacitance < 0:
+                raise CircuitError(
+                    "driver resistance and load capacitance must be >= 0, got "
+                    f"R={driver_resistance}, C={load_capacitance}"
+                )
+        elif np.any(np.less(driver_resistance, 0)) or np.any(
+            np.less(load_capacitance, 0)
+        ):
             raise CircuitError(
                 "driver resistance and load capacitance must be >= 0, got "
                 f"R={driver_resistance}, C={load_capacitance}"

@@ -23,6 +23,8 @@ exponential ``k1 * exp(k3 * Vth)``.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import DeviceModelError
 from repro.technology.bptm import Technology
 
@@ -48,16 +50,30 @@ def on_current(
     Raises :class:`DeviceModelError` if the device cannot turn on
     (``Vth >= Vdd``) — designs that high-threshold are outside the paper's
     space and would otherwise silently produce zero drive.
+
+    ``vth`` and ``tox`` may be numpy arrays; they broadcast and the drive
+    current comes back with the broadcast shape.
     """
-    if width <= 0 or leff <= 0:
-        raise DeviceModelError(
-            f"transistor geometry must be positive, got W={width}, Leff={leff}"
-        )
-    overdrive = technology.vdd - vth
-    if overdrive <= 0:
-        raise DeviceModelError(
-            f"Vth={vth} V >= Vdd={technology.vdd} V: device never turns on"
-        )
+    if not isinstance(width, np.ndarray) and not isinstance(leff, np.ndarray) and not isinstance(vth, np.ndarray):
+        if width <= 0 or leff <= 0:
+            raise DeviceModelError(
+                f"transistor geometry must be positive, got W={width}, Leff={leff}"
+            )
+        overdrive = technology.vdd - vth
+        if overdrive <= 0:
+            raise DeviceModelError(
+                f"Vth={vth} V >= Vdd={technology.vdd} V: device never turns on"
+            )
+    else:
+        if np.any(np.less_equal(width, 0)) or np.any(np.less_equal(leff, 0)):
+            raise DeviceModelError(
+                f"transistor geometry must be positive, got W={width}, Leff={leff}"
+            )
+        overdrive = technology.vdd - np.asarray(vth, dtype=float)
+        if np.any(np.less_equal(overdrive, 0)):
+            raise DeviceModelError(
+                f"Vth={vth} V >= Vdd={technology.vdd} V: device never turns on"
+            )
     mobility = technology.mobility_p if p_type else technology.mobility_n
     cox = technology.cox(tox)
     return 0.5 * mobility * cox * (width / leff) * overdrive ** technology.alpha_power
@@ -92,7 +108,12 @@ def gate_capacitance(
     reasons Tox has a weaker delay effect than its drive penalty alone
     would suggest.
     """
-    if width <= 0 or lgate <= 0:
+    if not isinstance(width, np.ndarray) and not isinstance(lgate, np.ndarray):
+        if width <= 0 or lgate <= 0:
+            raise DeviceModelError(
+                f"gate geometry must be positive, got W={width}, L={lgate}"
+            )
+    elif np.any(np.less_equal(width, 0)) or np.any(np.less_equal(lgate, 0)):
         raise DeviceModelError(
             f"gate geometry must be positive, got W={width}, L={lgate}"
         )
@@ -106,7 +127,10 @@ def junction_capacitance(technology: Technology, width: float) -> float:
     wire/junction-dominated paths (bit lines, buses) dilute the Tox delay
     sensitivity relative to gate-load-dominated paths.
     """
-    if width <= 0:
+    if not isinstance(width, np.ndarray):
+        if width <= 0:
+            raise DeviceModelError(f"width must be positive, got {width}")
+    elif np.any(np.less_equal(width, 0)):
         raise DeviceModelError(f"width must be positive, got {width}")
     return technology.junction_cap_per_width * width
 

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import DeviceModelError
 from repro.technology.bptm import Technology
 
@@ -55,24 +57,46 @@ def gate_current_density(technology: Technology, voltage: float, tox: float) -> 
         Magnitude of the oxide voltage (V); 0 returns 0.
     tox:
         Physical oxide thickness (m).
+
+    Both arguments may be numpy arrays; they broadcast and the density
+    comes back with the broadcast shape.
     """
-    if tox <= 0:
+    if not isinstance(voltage, np.ndarray) and not isinstance(tox, np.ndarray):
+        if tox <= 0:
+            raise DeviceModelError(f"tox must be positive, got {tox}")
+        if voltage < 0:
+            raise DeviceModelError(
+                f"oxide voltage magnitude must be >= 0, got {voltage}"
+            )
+        if voltage == 0.0:
+            return 0.0
+        barrier_factor = 1.0 - voltage / (4.0 * BARRIER_HEIGHT)
+        if barrier_factor <= 0:
+            raise DeviceModelError(
+                f"oxide voltage {voltage} V exceeds the model's validity (>~12 V)"
+            )
+        field_term = (voltage / tox) ** 2
+        return (
+            technology.gate_tunnel_k
+            * field_term
+            * math.exp(-technology.gate_tunnel_b * tox * barrier_factor)
+        )
+    if np.any(np.less_equal(tox, 0)):
         raise DeviceModelError(f"tox must be positive, got {tox}")
-    if voltage < 0:
+    if np.any(np.less(voltage, 0)):
         raise DeviceModelError(f"oxide voltage magnitude must be >= 0, got {voltage}")
-    if voltage == 0.0:
-        return 0.0
-    barrier_factor = 1.0 - voltage / (4.0 * BARRIER_HEIGHT)
-    if barrier_factor <= 0:
+    barrier_factor = 1.0 - np.asarray(voltage, dtype=float) / (4.0 * BARRIER_HEIGHT)
+    if np.any(np.logical_and(np.greater(voltage, 0), barrier_factor <= 0)):
         raise DeviceModelError(
             f"oxide voltage {voltage} V exceeds the model's validity (>~12 V)"
         )
     field_term = (voltage / tox) ** 2
-    return (
+    density = (
         technology.gate_tunnel_k
         * field_term
-        * math.exp(-technology.gate_tunnel_b * tox * barrier_factor)
+        * np.exp(-technology.gate_tunnel_b * tox * barrier_factor)
     )
+    return np.where(np.equal(voltage, 0.0), 0.0, density)[()]
 
 
 def gate_tunnel_current(
@@ -101,7 +125,12 @@ def gate_tunnel_current(
     p_type:
         Apply the PMOS hole-tunnelling suppression.
     """
-    if width <= 0 or lgate <= 0:
+    if not isinstance(width, np.ndarray) and not isinstance(lgate, np.ndarray):
+        if width <= 0 or lgate <= 0:
+            raise DeviceModelError(
+                f"gate geometry must be positive, got W={width}, L={lgate}"
+            )
+    elif np.any(np.less_equal(width, 0)) or np.any(np.less_equal(lgate, 0)):
         raise DeviceModelError(
             f"gate geometry must be positive, got W={width}, L={lgate}"
         )

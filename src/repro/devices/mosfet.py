@@ -12,6 +12,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.errors import DeviceModelError
 from repro.technology.bptm import Technology
 from repro.devices import subthreshold as _sub
@@ -64,9 +66,15 @@ class Mosfet:
             raise DeviceModelError(
                 f"Leff={self.leff} exceeds drawn length {self.lgate}"
             )
-        if self.vth <= 0:
+        if not isinstance(self.vth, np.ndarray):
+            if self.vth <= 0:
+                raise DeviceModelError(f"vth must be positive, got {self.vth}")
+        elif np.any(np.less_equal(self.vth, 0)):
             raise DeviceModelError(f"vth must be positive, got {self.vth}")
-        if self.tox <= 0:
+        if not isinstance(self.tox, np.ndarray):
+            if self.tox <= 0:
+                raise DeviceModelError(f"tox must be positive, got {self.tox}")
+        elif np.any(np.less_equal(self.tox, 0)):
             raise DeviceModelError(f"tox must be positive, got {self.tox}")
 
     @property

@@ -22,6 +22,10 @@ the whole (Vth, Tox) design grid.
 
 from __future__ import annotations
 
+import math
+
+import numpy as np
+
 from repro.errors import DeviceModelError
 from repro.technology.bptm import Technology
 from repro.devices.subthreshold import subthreshold_current
@@ -51,10 +55,13 @@ def _stack2_current(
     # The Vgs = -vx reverse gate bias is applied via the exponent shift:
     # subthreshold_current only accepts vgs >= 0, so fold it into the
     # threshold by evaluating with vgs=0 and adding vx to the barrier.
-    import math
-
     n_vt = technology.subthreshold_swing_n * technology.thermal_voltage
-    i_top *= math.exp(-vx / n_vt)
+    if not isinstance(vx, np.ndarray):
+        i_top = i_top * math.exp(-vx / n_vt)
+        vds_bottom = max(vx, 1e-6)
+    else:
+        i_top = i_top * np.exp(-np.asarray(vx, dtype=float) / n_vt)
+        vds_bottom = np.maximum(vx, 1e-6)
     # Bottom device: Vgs = 0, Vds = vx.
     i_bottom = subthreshold_current(
         technology,
@@ -63,7 +70,7 @@ def _stack2_current(
         vth=vth,
         tox=tox,
         vgs=0.0,
-        vds=max(vx, 1e-6),
+        vds=vds_bottom,
     )
     return i_top, i_bottom
 
@@ -80,19 +87,53 @@ def solve_intermediate_node(
 
     The node settles where the current sourced by the top device equals the
     current sunk by the bottom one.  The answer is a few tens of mV.
+
+    ``vth`` and ``tox`` may be numpy arrays; the bisection then runs on
+    every lane simultaneously, freezing each lane at the iteration where
+    the scalar algorithm would have returned, so the vectorized answer is
+    lane-for-lane identical to the scalar one.
     """
-    lo, hi = 0.0, technology.vdd / 2.0
+    if not isinstance(vth, np.ndarray) and not isinstance(tox, np.ndarray):
+        lo, hi = 0.0, technology.vdd / 2.0
+        for _ in range(max_iterations):
+            mid = 0.5 * (lo + hi)
+            i_top, i_bottom = _stack2_current(technology, vth, tox, leff, mid)
+            if abs(i_top - i_bottom) <= tolerance * max(i_top, i_bottom, 1e-30):
+                return mid
+            if i_top > i_bottom:
+                # Node charges up -> raise vx.
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    vth_b, tox_b = np.broadcast_arrays(
+        np.atleast_1d(np.asarray(vth, dtype=float)),
+        np.atleast_1d(np.asarray(tox, dtype=float)),
+    )
+    shape = vth_b.shape
+    lo = np.zeros(shape)
+    hi = np.full(shape, technology.vdd / 2.0)
+    result = np.zeros(shape)
+    done = np.zeros(shape, dtype=bool)
     for _ in range(max_iterations):
         mid = 0.5 * (lo + hi)
-        i_top, i_bottom = _stack2_current(technology, vth, tox, leff, mid)
-        if abs(i_top - i_bottom) <= tolerance * max(i_top, i_bottom, 1e-30):
-            return mid
-        if i_top > i_bottom:
-            # Node charges up -> raise vx.
-            lo = mid
-        else:
-            hi = mid
-    return 0.5 * (lo + hi)
+        i_top, i_bottom = _stack2_current(technology, vth_b, tox_b, leff, mid)
+        converged = np.abs(i_top - i_bottom) <= tolerance * np.maximum(
+            np.maximum(i_top, i_bottom), 1e-30
+        )
+        newly = converged & ~done
+        result[newly] = mid[newly]
+        done |= newly
+        if done.all():
+            break
+        # Node charges up -> raise vx; otherwise lower it.  Frozen lanes
+        # keep their brackets untouched.
+        charges_up = i_top > i_bottom
+        lo = np.where(~done & charges_up, mid, lo)
+        hi = np.where(~done & ~charges_up, mid, hi)
+    result = np.where(done, result, 0.5 * (lo + hi))
+    return result.reshape(np.broadcast_shapes(np.shape(vth), np.shape(tox)))
 
 
 def stack_leakage_factor(

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro import units
 from repro.errors import DeviceModelError
 from repro.technology.bptm import Technology
@@ -49,9 +51,17 @@ def effective_threshold(
         Actual drain-source bias (V); lower bias raises the barrier.
     vsb:
         Source-body reverse bias (V); used by the stack model.
+
+    Every bias argument may be a scalar or a numpy array; arrays
+    broadcast through and the adjusted threshold comes back with the
+    broadcast shape.
     """
-    dibl_recovery = technology.dibl * max(technology.vdd - vds, 0.0)
-    body = technology.body_effect_gamma * max(vsb, 0.0)
+    if not isinstance(vth, np.ndarray) and not isinstance(vds, np.ndarray) and not isinstance(vsb, np.ndarray):
+        dibl_recovery = technology.dibl * max(technology.vdd - vds, 0.0)
+        body = technology.body_effect_gamma * max(vsb, 0.0)
+        return vth + dibl_recovery + body
+    dibl_recovery = technology.dibl * np.maximum(technology.vdd - vds, 0.0)
+    body = technology.body_effect_gamma * np.maximum(vsb, 0.0)
     return vth + dibl_recovery + body
 
 
@@ -95,6 +105,10 @@ def subthreshold_current(
     p_type:
         Use hole mobility for the pre-exponential.
 
+    ``vth``, ``tox`` and the biases may be numpy arrays; they broadcast
+    and the current comes back with the broadcast shape.  Validation is
+    applied element-wise (any offending element raises).
+
     Raises
     ------
     DeviceModelError
@@ -102,21 +116,52 @@ def subthreshold_current(
         strong inversion (``vgs >= vth_eff``), where this weak-inversion
         model is not valid.
     """
-    if width <= 0 or leff <= 0:
+    if vds is None:
+        vds = technology.vdd
+    scalar = (
+        not isinstance(width, np.ndarray)
+        and not isinstance(leff, np.ndarray)
+        and not isinstance(vth, np.ndarray)
+        and not isinstance(tox, np.ndarray)
+        and not isinstance(vgs, np.ndarray)
+        and not isinstance(vds, np.ndarray)
+        and not isinstance(vsb, np.ndarray)
+    )
+    if scalar:
+        if width <= 0 or leff <= 0:
+            raise DeviceModelError(
+                f"transistor geometry must be positive, got W={width}, Leff={leff}"
+            )
+        if vds < 0 or vgs < 0:
+            raise DeviceModelError(
+                f"bias magnitudes must be non-negative, got Vgs={vgs}, Vds={vds}"
+            )
+        vth_eff = effective_threshold(technology, vth, vds, vsb)
+        if vgs >= vth_eff:
+            raise DeviceModelError(
+                f"Vgs={vgs:.3f} V >= effective Vth={vth_eff:.3f} V: device is in "
+                "strong inversion; use repro.devices.delay.on_current instead"
+            )
+        vt = technology.thermal_voltage
+        n = technology.subthreshold_swing_n
+        i0 = subthreshold_prefactor(technology, tox, p_type=p_type)
+        exponent = (vgs - vth_eff) / (n * vt)
+        drain_term = 1.0 - math.exp(-vds / vt) if vds > 0 else 0.0
+        return i0 * (width / leff) * math.exp(exponent) * drain_term
+
+    if np.any(np.less_equal(width, 0)) or np.any(np.less_equal(leff, 0)):
         raise DeviceModelError(
             f"transistor geometry must be positive, got W={width}, Leff={leff}"
         )
-    if vds is None:
-        vds = technology.vdd
-    if vds < 0 or vgs < 0:
+    if np.any(np.less(vds, 0)) or np.any(np.less(vgs, 0)):
         raise DeviceModelError(
             f"bias magnitudes must be non-negative, got Vgs={vgs}, Vds={vds}"
         )
 
     vth_eff = effective_threshold(technology, vth, vds, vsb)
-    if vgs >= vth_eff:
+    if np.any(np.greater_equal(vgs, vth_eff)):
         raise DeviceModelError(
-            f"Vgs={vgs:.3f} V >= effective Vth={vth_eff:.3f} V: device is in "
+            f"Vgs={vgs} V >= effective Vth={vth_eff} V: device is in "
             "strong inversion; use repro.devices.delay.on_current instead"
         )
 
@@ -124,8 +169,8 @@ def subthreshold_current(
     n = technology.subthreshold_swing_n
     i0 = subthreshold_prefactor(technology, tox, p_type=p_type)
     exponent = (vgs - vth_eff) / (n * vt)
-    drain_term = 1.0 - math.exp(-vds / vt) if vds > 0 else 0.0
-    return i0 * (width / leff) * math.exp(exponent) * drain_term
+    drain_term = np.where(np.greater(vds, 0), 1.0 - np.exp(-np.divide(vds, vt)), 0.0)
+    return i0 * (width / leff) * np.exp(exponent) * drain_term
 
 
 def off_current_per_width(
@@ -177,7 +222,7 @@ def leakage_temperature_scale(
     vt_new = units.thermal_voltage(temperature_k)
     n = technology.subthreshold_swing_n
     # Standby bias: Vgs = 0, Vds = Vdd -> exponent is -Vth / (n vT).
-    ratio = (vt_new / vt_ref) ** 2 * math.exp(
+    ratio = (vt_new / vt_ref) ** 2 * np.exp(
         (-vth / (n * vt_new)) - (-vth / (n * vt_ref))
     )
     return ratio

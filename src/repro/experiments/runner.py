@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.experiments.runner            # run all experiments
     python -m repro.experiments.runner E2 E6      # run a subset
+    python -m repro.experiments.runner --jobs 4   # run in 4 processes
     python -m repro.experiments.runner --list     # list ids
 """
 
@@ -12,7 +13,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.experiments.report import ExperimentResult
@@ -51,12 +52,53 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
     return runner()
 
 
-def run_all() -> List[ExperimentResult]:
+def run_all(jobs: int = 1) -> List[ExperimentResult]:
     """Run every registered experiment in id order."""
-    return [run_experiment(experiment_id) for experiment_id in sorted(REGISTRY)]
+    return run_many(sorted(REGISTRY), jobs=jobs)
 
 
-def main(argv: List[str] = None) -> int:
+def _timed_run(experiment_id: str) -> Tuple[str, ExperimentResult, float]:
+    """Worker: run one experiment and report its wall time (picklable)."""
+    start = time.time()
+    result = run_experiment(experiment_id)
+    return experiment_id, result, time.time() - start
+
+
+def _iter_timed(
+    ids: List[str], jobs: int
+) -> Iterator[Tuple[str, ExperimentResult, float]]:
+    """Yield (id, result, seconds) in the order of ``ids``.
+
+    ``jobs > 1`` fans the experiments out over worker processes;
+    ``ProcessPoolExecutor.map`` preserves input order, so the output is
+    deterministic regardless of which worker finishes first.
+    """
+    if jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {jobs}")
+    for experiment_id in ids:
+        if experiment_id not in REGISTRY:
+            raise ReproError(
+                f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
+            )
+    if jobs == 1 or len(ids) <= 1:
+        for experiment_id in ids:
+            yield _timed_run(experiment_id)
+        return
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
+        yield from pool.map(_timed_run, ids)
+
+
+def run_many(ids: Iterable[str], jobs: int = 1) -> List[ExperimentResult]:
+    """Run the given experiments, optionally in parallel.
+
+    Results come back in the order of ``ids`` whatever ``jobs`` is.
+    """
+    return [result for _, result, _ in _iter_timed(list(ids), jobs)]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Reproduce the paper's tables and figures."
     )
@@ -73,15 +115,20 @@ def main(argv: List[str] = None) -> int:
         metavar="DIR",
         help="also write each experiment's figure as DIR/<id>.svg",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments in N worker processes (default 1: in-process)",
+    )
     arguments = parser.parse_args(argv)
     if arguments.list:
         for experiment_id in sorted(REGISTRY):
             print(experiment_id)
         return 0
     ids = arguments.experiments or sorted(REGISTRY)
-    for experiment_id in ids:
-        start = time.time()
-        result = run_experiment(experiment_id)
+    for experiment_id, result, seconds in _iter_timed(ids, arguments.jobs):
         print(result.render())
         if arguments.svg and result.series:
             import os
@@ -98,7 +145,7 @@ def main(argv: List[str] = None) -> int:
             path = os.path.join(arguments.svg, f"{experiment_id}.svg")
             chart.save(path)
             print(f"[figure written to {path}]")
-        print(f"[{experiment_id} completed in {time.time() - start:.1f} s]\n")
+        print(f"[{experiment_id} completed in {seconds:.1f} s]\n")
     return 0
 
 

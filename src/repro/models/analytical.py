@@ -13,7 +13,9 @@ optimiser in :mod:`repro.optimize` runs unchanged on either substrate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro import units
 from repro.cache.assignment import Assignment, Knobs
@@ -52,6 +54,29 @@ class FittedComponent:
             transistor_count=0,
         )
 
+    def evaluate_grid(
+        self, vths, toxes
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Evaluate the fitted forms over the (vths x toxes[m]) grid.
+
+        Returns ``(delays, leakages, energies)`` arrays of shape
+        ``(len(vths), len(toxes))`` where element ``[i, j]`` equals the
+        scalar ``evaluate(vths[i], toxes[j])`` result.
+        """
+        vths = np.atleast_1d(np.asarray(vths, dtype=float))
+        toxes_a = units.to_angstrom(np.atleast_1d(np.asarray(toxes, dtype=float)))
+        vth_col = vths[:, None]
+        tox_row = toxes_a[None, :]
+        shape = (vths.size, toxes_a.size)
+        delays = np.broadcast_to(self.delay_form(vth_col, tox_row), shape)
+        leakages = np.broadcast_to(self.leakage_form(vth_col, tox_row), shape)
+        energies = np.broadcast_to(self.energy_form(vth_col, tox_row), shape)
+        return (
+            np.ascontiguousarray(delays),
+            np.ascontiguousarray(leakages),
+            np.ascontiguousarray(energies),
+        )
+
     def delay(self, vth: float, tox: float) -> float:
         return self.evaluate(vth, tox).delay
 
@@ -60,6 +85,11 @@ class FittedComponent:
 
     def dynamic_energy(self, vth: float, tox: float) -> float:
         return self.evaluate(vth, tox).dynamic_energy
+
+
+#: The paper calls the fitted substrate the "analytical model"; expose the
+#: class under that name too so callers can use either vocabulary.
+AnalyticalComponent = FittedComponent
 
 
 class FittedCacheModel:

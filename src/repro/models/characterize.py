@@ -120,15 +120,9 @@ def characterize_component(
     toxes_angstrom = np.asarray(toxes_angstrom, dtype=float)
 
     block = model.components[component]
-    leakage = np.empty((len(vths), len(toxes_angstrom)))
-    delay = np.empty_like(leakage)
-    energy = np.empty_like(leakage)
-    for i, vth in enumerate(vths):
-        for j, tox_a in enumerate(toxes_angstrom):
-            cost = block.evaluate(float(vth), units.angstrom(float(tox_a)))
-            leakage[i, j] = cost.leakage_power
-            delay[i, j] = cost.delay
-            energy[i, j] = cost.dynamic_energy
+    delay, leakage, energy = block.evaluate_grid(
+        vths, units.angstrom(toxes_angstrom)
+    )
     return ComponentSamples(
         component=component,
         vths=vths,

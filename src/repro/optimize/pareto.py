@@ -19,8 +19,9 @@ def pareto_indices_2d(costs: np.ndarray) -> np.ndarray:
     """Fast exact Pareto-minimal indices for 2-column costs.
 
     Sort by the first column (ties: second column), then keep rows whose
-    second column is a strict running minimum.  O(n log n); used for the
-    large (AMAT, energy) clouds of the tuple problem.
+    second column strictly improves on the running minimum.  Fully
+    vectorised O(n log n); used for the large (AMAT, energy) clouds of
+    the tuple problem.
     """
     costs = np.asarray(costs, dtype=float)
     if costs.ndim != 2 or costs.shape[1] != 2:
@@ -31,18 +32,15 @@ def pareto_indices_2d(costs: np.ndarray) -> np.ndarray:
     if n == 0:
         return np.empty(0, dtype=int)
     order = np.lexsort((costs[:, 1], costs[:, 0]))
-    kept: List[int] = []
-    best_second = np.inf
-    last_kept_row = None
-    for index in order:
-        first, second = costs[index]
-        if second < best_second:
-            kept.append(index)
-            best_second = second
-            last_kept_row = (first, second)
-        elif last_kept_row is not None and (first, second) == last_kept_row:
-            continue  # exact duplicate of the kept point
-    return np.array(sorted(kept), dtype=int)
+    seconds = costs[order, 1]
+    keep = np.empty(n, dtype=bool)
+    keep[0] = True
+    if n > 1:
+        # A sorted row survives iff its second column beats every earlier
+        # row's; ties and duplicates lose to the first occurrence (lexsort
+        # is stable, so that is the smallest original index).
+        keep[1:] = seconds[1:] < np.minimum.accumulate(seconds)[:-1]
+    return np.sort(order[keep])
 
 
 def pareto_indices(costs: np.ndarray) -> np.ndarray:
@@ -65,37 +63,34 @@ def pareto_indices(costs: np.ndarray) -> np.ndarray:
         return pareto_indices_2d(costs)
     if n <= 4096:
         # Vectorised pairwise dominance: dominated[i] iff some j has
-        # costs[j] <= costs[i] everywhere and < somewhere.
-        less_equal = np.all(costs[:, None, :] <= costs[None, :, :], axis=2)
-        strictly_less = np.any(costs[:, None, :] < costs[None, :, :], axis=2)
-        dominates = less_equal & strictly_less  # [j, i]
-        dominated = np.any(dominates, axis=0)
-        keep = np.flatnonzero(~dominated)
-        # Collapse exact duplicates to the first occurrence.
-        seen = set()
-        unique_keep = []
-        for index in keep:
-            key = tuple(costs[index])
-            if key in seen:
-                continue
-            seen.add(key)
-            unique_keep.append(index)
-        return np.array(unique_keep, dtype=int)
-    # Large high-dimensional inputs: incremental scan.
+        # costs[j] <= costs[i] everywhere and < somewhere.  The strict
+        # part needs no second comparison: any(a < b) == not all(b <= a),
+        # i.e. the transpose of the <= matrix.
+        less_equal = (costs[:, None, :] <= costs[None, :, :]).all(axis=2)
+        dominates = less_equal & ~less_equal.T  # [j, i]
+        keep = np.flatnonzero(~dominates.any(axis=0))
+        if len(keep) > 1:
+            # Collapse exact duplicates to the first occurrence.
+            _, first = np.unique(costs[keep], axis=0, return_index=True)
+            keep = keep[np.sort(first)]
+        return keep
+    # Large high-dimensional inputs: sort-based scan.  After a stable
+    # lexsort (first column primary) every dominator or duplicate of a row
+    # sorts before it, so each row needs checking only against the rows
+    # kept so far — and a kept row that is <= everywhere either dominates
+    # (skip) or is an exact duplicate (also skip), so one vectorised
+    # comparison per row decides it.
     order = np.lexsort(costs.T[::-1])
+    kept_rows = np.empty_like(costs)
     kept: List[int] = []
+    count = 0
     for index in order:
         row = costs[index]
-        dominated = False
-        for kept_index in kept:
-            kept_row = costs[kept_index]
-            if np.all(kept_row <= row) and np.any(kept_row < row):
-                dominated = True
-                break
-        if not dominated:
-            if any(np.array_equal(costs[k], row) for k in kept):
-                continue
-            kept.append(index)
+        if count and np.any(np.all(kept_rows[:count] <= row, axis=1)):
+            continue
+        kept_rows[count] = row
+        kept.append(index)
+        count += 1
     return np.array(sorted(kept), dtype=int)
 
 

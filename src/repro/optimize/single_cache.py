@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import units
 from repro.errors import InfeasibleConstraintError, OptimizationError
 from repro.cache.assignment import (
     Assignment,
@@ -81,24 +82,34 @@ class _ComponentTable:
         )
 
 
-def component_tables(
-    model, space: Optional[DesignSpace] = None
+def _compute_component_tables(
+    model, space: DesignSpace
 ) -> Dict[str, _ComponentTable]:
-    """Evaluate every component of ``model`` over the whole grid."""
-    if space is None:
-        space = default_space()
+    """Evaluate every component of ``model`` over the whole grid (uncached)."""
     points = space.point_list()
+    vths = np.asarray(space.vth_values, dtype=float)
+    toxes = np.array([units.angstrom(a) for a in space.tox_values_angstrom])
     tables: Dict[str, _ComponentTable] = {}
     for name in COMPONENT_NAMES:
         component = model.components[name]
-        delays = np.empty(len(points))
-        leakages = np.empty(len(points))
-        energies = np.empty(len(points))
-        for index, point in enumerate(points):
-            cost = component.evaluate(point.vth, point.tox)
-            delays[index] = cost.delay
-            leakages[index] = cost.leakage_power
-            energies[index] = cost.dynamic_energy
+        if hasattr(component, "evaluate_grid"):
+            # point_list() iterates Vth-major, so the (n_vth, n_tox) grids
+            # ravel straight into flat-index order i_vth * n_tox + j_tox.
+            delay_grid, leak_grid, energy_grid = component.evaluate_grid(
+                vths, toxes
+            )
+            delays = np.ascontiguousarray(delay_grid.ravel())
+            leakages = np.ascontiguousarray(leak_grid.ravel())
+            energies = np.ascontiguousarray(energy_grid.ravel())
+        else:
+            delays = np.empty(len(points))
+            leakages = np.empty(len(points))
+            energies = np.empty(len(points))
+            for index, point in enumerate(points):
+                cost = component.evaluate(point.vth, point.tox)
+                delays[index] = cost.delay
+                leakages[index] = cost.leakage_power
+                energies[index] = cost.dynamic_energy
         tables[name] = _ComponentTable(
             name=name,
             points=points,
@@ -107,6 +118,24 @@ def component_tables(
             energies=energies,
         )
     return tables
+
+
+def component_tables(
+    model, space: Optional[DesignSpace] = None, use_cache: bool = True
+) -> Dict[str, _ComponentTable]:
+    """Evaluate every component of ``model`` over the whole grid.
+
+    Results are memoised process-wide by the structural fingerprint of
+    (model, space) — see :mod:`repro.perf.table_cache`.  Pass
+    ``use_cache=False`` to force a fresh evaluation.
+    """
+    from repro.perf.table_cache import cached_tables
+
+    if space is None:
+        space = default_space()
+    return cached_tables(
+        model, space, _compute_component_tables, use_cache=use_cache
+    )
 
 
 class _LazyAssignments:

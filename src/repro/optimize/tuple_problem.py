@@ -112,41 +112,59 @@ class _CacheOptions:
     energies: np.ndarray
 
 
-def _cache_options_for_pairs(
-    tables: Dict[str, object], pair_indices: Sequence[int]
-) -> _CacheOptions:
-    """Enumerate and prune all pair-per-component assignments of one cache.
+def _stacked_costs(tables: Dict[str, object]) -> List[np.ndarray]:
+    """Stack each component's (delay, leakage, energy) columns once.
 
-    ``pair_indices`` index into the grid tables' point list.
+    Returns one ``(n_points, 3)`` contiguous matrix per component, in
+    :data:`COMPONENT_NAMES` order, so the per-pair-set enumeration slices
+    rows instead of re-gathering three columns per component every time.
     """
-    indices = np.asarray(pair_indices, dtype=int)
-    per_component = [
-        (
-            tables[name].delays[indices],
-            tables[name].leakages[indices],
-            tables[name].energies[indices],
+    return [
+        np.ascontiguousarray(
+            np.column_stack(
+                [tables[name].delays, tables[name].leakages, tables[name].energies]
+            )
         )
         for name in COMPONENT_NAMES
     ]
-    n = len(indices)
-    shape_axes = []
-    for axis in range(4):
-        shape = [1, 1, 1, 1]
-        shape[axis] = n
-        shape_axes.append(tuple(shape))
-    delay = np.zeros((n, n, n, n))
-    leak = np.zeros((n, n, n, n))
-    energy = np.zeros((n, n, n, n))
-    for axis, (d, p, e) in enumerate(per_component):
-        delay = delay + d.reshape(shape_axes[axis])
-        leak = leak + p.reshape(shape_axes[axis])
-        energy = energy + e.reshape(shape_axes[axis])
-    costs = np.column_stack([delay.ravel(), leak.ravel(), energy.ravel()])
-    keep = pareto_indices(costs)
+
+
+def _cache_options_for_pairs(
+    tables: Dict[str, object],
+    pair_indices: Sequence[int],
+    stacked: Optional[List[np.ndarray]] = None,
+) -> _CacheOptions:
+    """Enumerate and prune all pair-per-component assignments of one cache.
+
+    ``pair_indices`` index into the grid tables' point list.  Each
+    component's candidates are first pruned to their own (delay, leakage,
+    energy) Pareto set *within the pair set* — exact, because all three
+    whole-cache costs are additive over components, so an assignment using
+    a dominated component choice is itself dominated by the one using the
+    dominator.  That typically collapses the 4-axis product from
+    ``n^4`` to a few dozen rows before the final prune.
+    """
+    if stacked is None:
+        stacked = _stacked_costs(tables)
+    indices = np.asarray(pair_indices, dtype=int)
+    # Combine components one at a time, pruning the partial sums after
+    # each step.  Exact for the same additive reason: a dominated partial
+    # sum stays dominated whatever the remaining components add.  The
+    # intermediate fronts stay small, so this never materialises the full
+    # n^4 product.
+    costs = None
+    for component_costs in stacked:
+        subset = component_costs[indices]
+        subset = subset[pareto_indices(subset)]
+        if costs is None:
+            costs = subset
+        else:
+            costs = (costs[:, None, :] + subset[None, :, :]).reshape(-1, 3)
+        costs = costs[pareto_indices(costs)]
     return _CacheOptions(
-        delays=costs[keep, 0],
-        leakages=costs[keep, 1],
-        energies=costs[keep, 2],
+        delays=np.ascontiguousarray(costs[:, 0]),
+        leakages=np.ascontiguousarray(costs[:, 1]),
+        energies=np.ascontiguousarray(costs[:, 2]),
     )
 
 
@@ -194,6 +212,13 @@ def solve_tuple_problem(
 
     l1_tables = component_tables(l1_model, space)
     l2_tables = component_tables(l2_model, space)
+    l1_stacked = _stacked_costs(l1_tables)
+    l2_stacked = _stacked_costs(l2_tables)
+    # Budgets can revisit the same pair subset (and callers can pass
+    # duplicated budgets); the enumeration is pure in the subset, so the
+    # options are memoised by pair-index tuple per cache.
+    l1_memo: Dict[Tuple[int, ...], _CacheOptions] = {}
+    l2_memo: Dict[Tuple[int, ...], _CacheOptions] = {}
 
     curves: Dict[TupleBudget, TupleCurve] = {}
     for budget in budgets:
@@ -207,11 +232,21 @@ def solve_tuple_problem(
             for tox_ids in combinations(range(n_tox), budget.n_tox):
                 # Point index layout from DesignSpace.points():
                 # index = i_vth * n_tox + j_tox.
-                pair_indices = [
+                pair_indices = tuple(
                     i * n_tox + j for i in vth_ids for j in tox_ids
-                ]
-                l1_options = _cache_options_for_pairs(l1_tables, pair_indices)
-                l2_options = _cache_options_for_pairs(l2_tables, pair_indices)
+                )
+                l1_options = l1_memo.get(pair_indices)
+                if l1_options is None:
+                    l1_options = _cache_options_for_pairs(
+                        l1_tables, pair_indices, stacked=l1_stacked
+                    )
+                    l1_memo[pair_indices] = l1_options
+                l2_options = l2_memo.get(pair_indices)
+                if l2_options is None:
+                    l2_options = _cache_options_for_pairs(
+                        l2_tables, pair_indices, stacked=l2_stacked
+                    )
+                    l2_memo[pair_indices] = l2_options
                 points = _combine_system(
                     l1_options, l2_options, m1, m2, memory, fill_factor
                 )

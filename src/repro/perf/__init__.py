@@ -1,0 +1,23 @@
+"""Performance infrastructure: evaluation-table caching and observability.
+
+The optimisers re-derive per-component evaluation tables constantly — the
+capacity-exploration experiments build a fresh :class:`CacheModel` for every
+candidate size, and the tuple problem revisits the same (cache, grid) pair
+for every budget.  :mod:`repro.perf.table_cache` memoises those tables
+process-wide, keyed by a structural fingerprint of the model and the design
+space, so repeated sweeps pay for each grid exactly once.
+"""
+
+from repro.perf.table_cache import (
+    TableCacheInfo,
+    cache_info,
+    cached_tables,
+    clear_cache,
+)
+
+__all__ = [
+    "TableCacheInfo",
+    "cache_info",
+    "cached_tables",
+    "clear_cache",
+]

@@ -1,0 +1,189 @@
+"""Process-wide memo for per-component evaluation tables.
+
+The cache key is a *structural fingerprint*: every input that determines a
+table's numbers is folded into a string — cache configuration, technology
+node, array organisation, the Tox co-scaling rule, the ablation switches,
+and (for fitted models) the fitted form parameters — plus the design-space
+axes.  Two models built independently from identical inputs therefore share
+one cache entry, which is exactly the pattern the capacity-exploration
+experiments produce (a fresh ``CacheModel`` per candidate size, many of
+them revisited across experiments).
+
+Models whose structure this module does not understand are never cached:
+``cached_tables`` silently falls through to a fresh computation, so exotic
+duck-typed models stay correct at the cost of speed.
+
+This module deliberately does not import :mod:`repro.optimize.single_cache`
+(which imports it); the table-computing callback is injected instead.
+
+Thread-safety: a single lock guards the table dict and the hit/miss
+counters.  Entries are evicted least-recently-used beyond ``MAX_ENTRIES``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+#: Eviction threshold — a table for the default 117-point grid holds four
+#: components x three 117-float arrays, so 128 entries stay well under a
+#: few megabytes.
+MAX_ENTRIES = 128
+
+_lock = threading.Lock()
+_tables: "OrderedDict[str, object]" = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+@dataclass(frozen=True)
+class TableCacheInfo:
+    """Snapshot of the cache's observability counters."""
+
+    hits: int
+    misses: int
+    entries: int
+    max_entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _fingerprint_forms(component) -> Optional[str]:
+    """Fingerprint a fitted component via its form parameters."""
+    try:
+        parts = (
+            component.name,
+            component.leakage_form.parameters(),
+            component.delay_form.parameters(),
+            component.energy_form.parameters(),
+        )
+    except AttributeError:
+        return None
+    return repr(parts)
+
+
+def fingerprint_model(model) -> Optional[str]:
+    """Return a structural fingerprint of ``model``, or None if unknown.
+
+    Structural models are keyed by the frozen inputs the component
+    constructors consume; fitted models by their form parameters.  A
+    ``None`` return means "do not cache this model".
+    """
+    try:
+        base = (
+            type(model).__name__,
+            repr(model.config),
+            repr(model.technology),
+            repr(model.organization),
+        )
+    except AttributeError:
+        return None
+    if hasattr(model, "rule"):
+        # Structural CacheModel: components are rebuilt deterministically
+        # from these inputs, so they need no fingerprint of their own.
+        try:
+            extra = (
+                model.rule.length_exponent,
+                model.stack_enabled,
+                model.gate_enabled,
+            )
+        except AttributeError:
+            return None
+        return repr((base, extra))
+    # Fitted (analytical) model: the forms carry all the physics.
+    try:
+        names = sorted(model.components)
+    except (AttributeError, TypeError):
+        return None
+    form_prints = []
+    for name in names:
+        printed = _fingerprint_forms(model.components[name])
+        if printed is None:
+            return None
+        form_prints.append(printed)
+    return repr((base, tuple(form_prints)))
+
+
+def fingerprint_space(space) -> Optional[str]:
+    """Return a fingerprint of a design space's sweep axes."""
+    try:
+        return repr(
+            (
+                tuple(float(v) for v in space.vth_values),
+                tuple(float(t) for t in space.tox_values_angstrom),
+            )
+        )
+    except AttributeError:
+        return None
+
+
+def cached_tables(
+    model,
+    space,
+    compute: Callable[[object, object], object],
+    use_cache: bool = True,
+):
+    """Return ``compute(model, space)``, memoised by structural fingerprint.
+
+    Parameters
+    ----------
+    model / space:
+        The inputs whose fingerprints form the key.
+    compute:
+        Callback evaluating the tables on a miss (injected to avoid a
+        circular import with the optimiser layer).
+    use_cache:
+        False bypasses both lookup and insertion.
+    """
+    global _hits, _misses
+    if not use_cache:
+        return compute(model, space)
+    model_print = fingerprint_model(model)
+    space_print = fingerprint_space(space)
+    if model_print is None or space_print is None:
+        return compute(model, space)
+    key = model_print + "|" + space_print
+    with _lock:
+        if key in _tables:
+            _hits += 1
+            _tables.move_to_end(key)
+            return _tables[key]
+    tables = compute(model, space)
+    with _lock:
+        if key not in _tables:
+            _misses += 1
+            _tables[key] = tables
+            while len(_tables) > MAX_ENTRIES:
+                _tables.popitem(last=False)
+        else:
+            # Raced with another thread; count our work as the miss it was
+            # and serve the incumbent entry so callers share one object.
+            _misses += 1
+            _tables.move_to_end(key)
+            tables = _tables[key]
+    return tables
+
+
+def cache_info() -> TableCacheInfo:
+    """Return the current hit/miss/entry counters."""
+    with _lock:
+        return TableCacheInfo(
+            hits=_hits,
+            misses=_misses,
+            entries=len(_tables),
+            max_entries=MAX_ENTRIES,
+        )
+
+
+def clear_cache() -> None:
+    """Drop all entries and reset the counters."""
+    global _hits, _misses
+    with _lock:
+        _tables.clear()
+        _hits = 0
+        _misses = 0

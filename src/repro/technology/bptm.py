@@ -19,6 +19,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+import numpy as _np
+
 from repro import units
 from repro.errors import TechnologyError
 
@@ -150,8 +152,14 @@ class Technology:
         return self.subthreshold_swing_n * self.thermal_voltage * math.log(10) * 1e3
 
     def cox(self, tox: float) -> float:
-        """Gate-oxide capacitance per unit area (F/m^2) for thickness ``tox`` (m)."""
-        if tox <= 0:
+        """Gate-oxide capacitance per unit area (F/m^2) for thickness ``tox`` (m).
+
+        ``tox`` may be a numpy array; the capacitance broadcasts with it.
+        """
+        if not isinstance(tox, _np.ndarray):
+            if tox <= 0:
+                raise TechnologyError(f"tox must be positive, got {tox}")
+        elif _np.any(_np.less_equal(tox, 0)):
             raise TechnologyError(f"tox must be positive, got {tox}")
         return units.oxide_capacitance_per_area(tox)
 

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import TechnologyError
 from repro.technology.bptm import Technology
 
@@ -78,8 +80,14 @@ class ToxScalingRule:
     length_exponent: float = 0.6
 
     def length_scale(self, tox: float) -> float:
-        """Return the drawn-length multiplier for oxide thickness ``tox`` (m)."""
-        if tox <= 0:
+        """Return the drawn-length multiplier for oxide thickness ``tox`` (m).
+
+        ``tox`` may be a numpy array; the multiplier broadcasts with it.
+        """
+        if not isinstance(tox, np.ndarray):
+            if tox <= 0:
+                raise TechnologyError(f"tox must be positive, got {tox}")
+        elif np.any(np.less_equal(tox, 0)):
             raise TechnologyError(f"tox must be positive, got {tox}")
         return (tox / self.technology.tox_ref) ** self.length_exponent
 

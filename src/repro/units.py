@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 # ---------------------------------------------------------------------------
 # Scale factors
 # ---------------------------------------------------------------------------
@@ -224,9 +226,13 @@ def oxide_capacitance_per_area(tox_m: float) -> float:
     """Return SiO2 gate capacitance per unit area (F/m^2) for thickness ``tox_m``.
 
     Cox = eps_SiO2 / Tox.  For Tox = 12 Å this is ~2.9e-2 F/m^2
-    (2.9 µF/cm^2), consistent with 65 nm-era devices.
+    (2.9 µF/cm^2), consistent with 65 nm-era devices.  ``tox_m`` may be a
+    numpy array, in which case the result has the same shape.
     """
-    if tox_m <= 0.0:
+    if not isinstance(tox_m, np.ndarray):
+        if tox_m <= 0.0:
+            raise ValueError(f"oxide thickness must be positive, got {tox_m!r}")
+    elif np.any(np.less_equal(tox_m, 0.0)):
         raise ValueError(f"oxide thickness must be positive, got {tox_m!r}")
     return EPSILON_SIO2 / tox_m
 

@@ -1,0 +1,68 @@
+"""The batch evaluate_grid API must agree with scalar evaluate exactly.
+
+Acceptance bar: every grid element within 1e-9 relative tolerance of the
+point-by-point scalar evaluation, for all four structural components and
+for the fitted (analytical) components.
+"""
+
+import numpy as np
+
+from repro import units
+
+RTOL = 1e-9
+
+
+def _assert_grid_matches_scalar(block, vths, toxes):
+    delays, leakages, energies = block.evaluate_grid(vths, toxes)
+    assert delays.shape == (len(vths), len(toxes))
+    assert leakages.shape == delays.shape and energies.shape == delays.shape
+    for i, vth in enumerate(vths):
+        for j, tox in enumerate(toxes):
+            cost = block.evaluate(float(vth), float(tox))
+            np.testing.assert_allclose(delays[i, j], cost.delay, rtol=RTOL)
+            np.testing.assert_allclose(
+                leakages[i, j], cost.leakage_power, rtol=RTOL
+            )
+            np.testing.assert_allclose(
+                energies[i, j], cost.dynamic_energy, rtol=RTOL
+            )
+
+
+class TestStructuralComponents:
+    def test_all_components_match_scalar(self, tiny_cache, tiny_space):
+        vths = np.asarray(tiny_space.vth_values)
+        toxes = np.array(
+            [units.angstrom(a) for a in tiny_space.tox_values_angstrom]
+        )
+        for block in tiny_cache.components.values():
+            _assert_grid_matches_scalar(block, vths, toxes)
+
+    def test_scalar_inputs_accepted(self, tiny_cache):
+        block = tiny_cache.components["array"]
+        delays, leakages, energies = block.evaluate_grid(
+            0.35, units.angstrom(12.0)
+        )
+        cost = block.evaluate(0.35, units.angstrom(12.0))
+        assert delays.shape == (1, 1)
+        np.testing.assert_allclose(delays[0, 0], cost.delay, rtol=RTOL)
+        np.testing.assert_allclose(
+            leakages[0, 0], cost.leakage_power, rtol=RTOL
+        )
+        np.testing.assert_allclose(
+            energies[0, 0], cost.dynamic_energy, rtol=RTOL
+        )
+
+
+class TestFittedComponents:
+    def test_fitted_components_match_scalar(self, fitted_16k, tiny_space):
+        vths = np.asarray(tiny_space.vth_values)
+        toxes = np.array(
+            [units.angstrom(a) for a in tiny_space.tox_values_angstrom]
+        )
+        for block in fitted_16k.components.values():
+            _assert_grid_matches_scalar(block, vths, toxes)
+
+    def test_analytical_alias(self):
+        from repro.models.analytical import AnalyticalComponent, FittedComponent
+
+        assert AnalyticalComponent is FittedComponent

@@ -1,0 +1,45 @@
+"""The parallel experiment runner must be a pure speed knob.
+
+E1 and E2 are the two cheapest registered experiments; the suite compares
+their rendered reports serial vs parallel so the assertion covers every
+number that reaches the user.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.runner import REGISTRY, main, run_many
+
+
+class TestRunMany:
+    def test_parallel_matches_serial(self):
+        ids = ["E1", "E2"]
+        serial = run_many(ids, jobs=1)
+        parallel = run_many(ids, jobs=2)
+        assert [r.experiment_id for r in serial] == ids
+        assert [r.experiment_id for r in parallel] == ids
+        for a, b in zip(serial, parallel):
+            assert a.render() == b.render()
+
+    def test_results_in_input_order(self):
+        results = run_many(["E2", "E1"], jobs=2)
+        assert [r.experiment_id for r in results] == ["E2", "E1"]
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ReproError):
+            run_many(["E2"], jobs=0)
+
+    def test_rejects_unknown_id_before_spawning(self):
+        with pytest.raises(ReproError):
+            run_many(["E2", "nope"], jobs=2)
+
+
+class TestMain:
+    def test_jobs_flag(self, capsys):
+        assert main(["E2", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "E2" in out and "completed in" in out
+
+    def test_list_still_works(self, capsys):
+        assert main(["--list"]) == 0
+        assert capsys.readouterr().out.split() == sorted(REGISTRY)

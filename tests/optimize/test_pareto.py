@@ -87,6 +87,90 @@ class Test2dFastPath:
         assert fast == brute
 
 
+class Test2dAgainstGenericPairwise:
+    """The vectorised 2-D fast path must match the generic pairwise check."""
+
+    @staticmethod
+    def _pairwise_reference(costs):
+        """Generic dominance check with first-occurrence duplicate collapse
+        (the same semantics as the small-n branch of pareto_indices)."""
+        kept = []
+        seen = set()
+        for i, row in enumerate(costs):
+            dominated = any(
+                np.all(other <= row) and np.any(other < row) for other in costs
+            )
+            if dominated or tuple(row) in seen:
+                continue
+            seen.add(tuple(row))
+            kept.append(i)
+        return kept
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(
+                    min_value=0, max_value=100, allow_nan=False
+                ),
+                st.floats(
+                    min_value=0, max_value=100, allow_nan=False
+                ),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_matches_generic_on_random_floats(self, points):
+        costs = np.array(points, dtype=float)
+        assert list(pareto_indices_2d(costs)) == self._pairwise_reference(costs)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=6),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_matches_generic_with_heavy_ties(self, points):
+        # A tiny integer alphabet forces many duplicates and axis ties —
+        # exactly the cases the old scalar loop special-cased.
+        costs = np.array(points, dtype=float)
+        assert list(pareto_indices_2d(costs)) == self._pairwise_reference(costs)
+
+    def test_dispatch_consistent_with_generic_entry_point(self):
+        rng = np.random.default_rng(7)
+        costs = rng.random((500, 2))
+        assert np.array_equal(pareto_indices(costs), pareto_indices_2d(costs))
+
+
+class TestLargeHighDimScan:
+    def test_large_input_matches_pairwise_semantics(self):
+        # Push past the pairwise-path threshold to exercise the sort-based
+        # scan, with quantised values so duplicates and dominance both occur.
+        rng = np.random.default_rng(11)
+        costs = np.round(rng.random((5000, 3)) * 8) / 8.0
+        keep = pareto_indices(costs)
+        front = costs[keep]
+        # Mutually non-dominating and duplicate-free ...
+        for i in range(len(front)):
+            le = np.all(front <= front[i], axis=1)
+            lt = np.any(front < front[i], axis=1)
+            assert not np.any(le & lt)
+        assert len({tuple(row) for row in front}) == len(front)
+        # ... and nothing outside the front survives undominated.
+        sample = costs[rng.choice(len(costs), size=200, replace=False)]
+        for row in sample:
+            dominated_or_dup = np.any(np.all(front <= row, axis=1))
+            assert dominated_or_dup or any(
+                np.array_equal(row, kept_row) for kept_row in front
+            )
+
+
 class TestHelpers:
     def test_pareto_front_filters_points(self):
         points = ["a", "b", "c"]

@@ -1,0 +1,161 @@
+"""Timing bench for the vectorized sweep engine PR.
+
+Run:  PYTHONPATH=src python tools/bench.py [--output BENCH_1.json] [--jobs N]
+
+Times every registered experiment (E1..E7, serially, warm table cache
+cleared first so each experiment pays its own grids), the coarse-grid
+tuple problem, and the cold/warm component-table build, then writes the
+measurements plus the speedups against the recorded pre-PR baselines to a
+JSON report.
+
+The baselines were measured on this machine at the seed commit, with the
+same interpreter, before any vectorization: they are the denominator of
+the PR's acceptance criteria (>= 5x on solve_tuple_problem, >= 3x on
+run_all()).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.archsim.missmodel import calibrated_miss_model
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import l1_config, l2_config
+from repro.experiments.runner import REGISTRY, run_experiment, run_many
+from repro.optimize.single_cache import component_tables
+from repro.optimize.space import coarse_space, default_space
+from repro.optimize.tuple_problem import solve_tuple_problem
+from repro.perf import cache_info, clear_cache
+
+#: Pre-PR wall times (seconds), measured at the seed commit.
+BASELINE = {
+    "experiments": {
+        "E1": 0.21,
+        "E2": 0.04,
+        "E3": 2.63,
+        "E4": 2.17,
+        "E5": 1.38,
+        "E6": 7.90,
+        "E7": 0.44,
+    },
+    "run_all": 14.77,
+    "solve_tuple_problem_coarse": 108.94,
+    "component_tables_default": 0.2008,
+    "component_tables_coarse": 0.0865,
+}
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def bench_experiments() -> dict:
+    times = {}
+    for experiment_id in sorted(REGISTRY):
+        clear_cache()
+        seconds, _ = _timed(lambda eid=experiment_id: run_experiment(eid))
+        times[experiment_id] = seconds
+        print(f"  {experiment_id}: {seconds:.2f} s "
+              f"(baseline {BASELINE['experiments'][experiment_id]:.2f} s)")
+    return times
+
+
+def bench_tuple_problem() -> float:
+    clear_cache()
+    l1 = CacheModel(l1_config(16))
+    l2 = CacheModel(l2_config(1024))
+    miss_model = calibrated_miss_model("spec2000")
+    seconds, _ = _timed(
+        lambda: solve_tuple_problem(l1, l2, miss_model, space=coarse_space())
+    )
+    print(f"  solve_tuple_problem (coarse): {seconds:.2f} s "
+          f"(baseline {BASELINE['solve_tuple_problem_coarse']:.2f} s)")
+    return seconds
+
+
+def bench_tables() -> dict:
+    model = CacheModel(l1_config(16))
+    out = {}
+    for label, space in (("default", default_space()), ("coarse", coarse_space())):
+        clear_cache()
+        cold, _ = _timed(lambda: component_tables(model, space))
+        warm, _ = _timed(lambda: component_tables(model, space))
+        out[f"component_tables_{label}_cold"] = cold
+        out[f"component_tables_{label}_warm"] = warm
+        print(f"  component_tables ({label}): cold {cold:.4f} s, "
+              f"warm {warm * 1e6:.0f} us")
+    return out
+
+
+def bench_run_all(jobs: int) -> dict:
+    """Time run_all() serially (one process, shared warm table cache, as
+    run_all really executes) and fanned out over workers."""
+    ids = sorted(REGISTRY)
+    clear_cache()
+    serial, _ = _timed(lambda: run_many(ids, jobs=1))
+    parallel, _ = _timed(lambda: run_many(ids, jobs=jobs))
+    print(f"  run_all serial {serial:.2f} s "
+          f"(baseline {BASELINE['run_all']:.2f} s), "
+          f"--jobs {jobs} {parallel:.2f} s")
+    return {"run_all": serial, f"run_all_jobs{jobs}": parallel}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_1.json",
+                        help="JSON report path (default BENCH_1.json)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker count for the parallel-runner bench")
+    arguments = parser.parse_args(argv)
+
+    print("experiments (isolated: cache cleared per experiment):")
+    experiment_times = bench_experiments()
+    print("tuple problem:")
+    tuple_time = bench_tuple_problem()
+    print("evaluation tables:")
+    table_times = bench_tables()
+    print("run_all:")
+    run_all_times = bench_run_all(arguments.jobs)
+    run_all_time = run_all_times["run_all"]
+
+    report = {
+        "baseline": BASELINE,
+        "measured": {
+            "experiments": experiment_times,
+            "solve_tuple_problem_coarse": tuple_time,
+            **table_times,
+            **run_all_times,
+        },
+        "speedup": {
+            "run_all": BASELINE["run_all"] / run_all_time,
+            "solve_tuple_problem_coarse": (
+                BASELINE["solve_tuple_problem_coarse"] / tuple_time
+            ),
+            "component_tables_default_cold": (
+                BASELINE["component_tables_default"]
+                / table_times["component_tables_default_cold"]
+            ),
+        },
+        "table_cache": {
+            "hits": cache_info().hits,
+            "misses": cache_info().misses,
+        },
+    }
+    with open(arguments.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nrun_all: {run_all_time:.2f} s "
+          f"({report['speedup']['run_all']:.1f}x vs baseline)")
+    print(f"tuple problem: {tuple_time:.2f} s "
+          f"({report['speedup']['solve_tuple_problem_coarse']:.1f}x vs baseline)")
+    print(f"report written to {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
