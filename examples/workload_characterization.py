@@ -14,10 +14,10 @@ Run:  python examples/workload_characterization.py
 
 from repro.archsim import (
     STANDARD_WORKLOADS,
-    TwoLevelHierarchy,
     amat_two_level,
     calibrated_miss_model,
-    synthetic_trace,
+    simulate_hierarchy,
+    synthetic_trace_buffer,
 )
 from repro.cache.config import l1_config, l2_config
 from repro.experiments.report import format_table
@@ -32,11 +32,11 @@ MEMORY_LATENCY = ns(20)
 def main() -> None:
     rows = []
     for name, spec in STANDARD_WORKLOADS.items():
-        hierarchy = TwoLevelHierarchy(
-            l1_config(16), l2_config(1024), policy="lru"
-        )
-        result = hierarchy.run(
-            synthetic_trace(spec, N_ACCESSES, seed=7)
+        result = simulate_hierarchy(
+            l1_config(16),
+            l2_config(1024),
+            synthetic_trace_buffer(spec, N_ACCESSES, seed=7),
+            policy="lru",
         )
         calibrated = calibrated_miss_model(name)
         amat = amat_two_level(

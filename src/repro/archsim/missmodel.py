@@ -13,6 +13,14 @@ L2 64 B blocks / 8-way, the L2 curve measured behind a 16 KB L1).  The
 test suite re-measures them against a live simulation with a tolerance,
 so the table cannot silently drift from the simulator.
 
+Calibration itself is engineered for scale: the default ``engine="array"``
+path generates traces with the vectorized workload generators and
+simulates them on the chunked array hierarchy, the (level, size) grid
+points can fan out over a ``ProcessPoolExecutor`` (``jobs=N``), and the
+measured curves are memoised on disk keyed by a fingerprint of every
+input (workload spec, trace length, seed, grids, reference shapes,
+engine) — a warm re-calibration is a file read.
+
 Note the L2 *local* miss-rate convention: misses over L2 accesses.  The
 curves bake in the reference L1's filtering; Section 5's experiments vary
 one level at a time around that reference point, matching the paper's
@@ -22,13 +30,20 @@ methodology of per-combination architectural runs.
 from __future__ import annotations
 
 import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
-from repro.archsim.hierarchy import TwoLevelHierarchy
-from repro.archsim.workloads import STANDARD_WORKLOADS, WorkloadSpec, synthetic_trace
+from repro.archsim.hierarchy import ArrayTwoLevelHierarchy, TwoLevelHierarchy
+from repro.archsim.workloads import (
+    STANDARD_WORKLOADS,
+    WorkloadSpec,
+    synthetic_trace,
+    synthetic_trace_buffer,
+)
 from repro.cache.config import CacheConfig
+from repro.perf.disk_cache import DiskCache
 
 #: Reference shapes used for calibration.
 REFERENCE_L1_BLOCK = 32
@@ -90,126 +105,254 @@ class MissRateModel:
         return _interpolate_log2(dict(self.l2_curve), size_bytes)
 
 
+#: Bump when measurement semantics change: it is folded into the disk
+#: fingerprint, so stale cached curves can never be served.
+_CALIBRATION_FORMAT = 2
+
+
+def _point_configs(level: str, kb: int) -> Tuple[CacheConfig, CacheConfig]:
+    """L1/L2 shapes for one calibration point (vary one level at a time)."""
+    l1_kb = kb if level == "l1" else REFERENCE_L1_KB
+    l2_kb = kb if level == "l2" else REFERENCE_L2_KB
+    return (
+        CacheConfig(
+            size_bytes=l1_kb * 1024,
+            block_bytes=REFERENCE_L1_BLOCK,
+            associativity=REFERENCE_L1_ASSOC,
+            name="L1",
+        ),
+        CacheConfig(
+            size_bytes=l2_kb * 1024,
+            block_bytes=REFERENCE_L2_BLOCK,
+            associativity=REFERENCE_L2_ASSOC,
+            name="L2",
+        ),
+    )
+
+
+def _measure_point(
+    spec: WorkloadSpec,
+    level: str,
+    kb: int,
+    n_accesses: int,
+    seed: int,
+    engine: str,
+) -> float:
+    """Simulate one (level, size) point; returns its local miss rate.
+
+    Module-level so :class:`ProcessPoolExecutor` workers can pickle it.
+    """
+    l1_config, l2_config = _point_configs(level, kb)
+    if engine == "array":
+        result = ArrayTwoLevelHierarchy(l1_config, l2_config).run(
+            synthetic_trace_buffer(spec, n_accesses, seed=seed, block_bytes=64)
+        )
+    else:
+        result = TwoLevelHierarchy(l1_config, l2_config).run(
+            synthetic_trace(spec, n_accesses, seed=seed, block_bytes=64)
+        )
+    return result.l1_miss_rate if level == "l1" else result.l2_local_miss_rate
+
+
+def _calibration_fingerprint(
+    spec: WorkloadSpec,
+    n_accesses: int,
+    seed: int,
+    l1_grid_kb: Sequence[int],
+    l2_grid_kb: Sequence[int],
+    engine: str,
+) -> str:
+    """Fold every input that determines the curves into one string."""
+    return repr(
+        (
+            _CALIBRATION_FORMAT,
+            spec,
+            n_accesses,
+            seed,
+            tuple(l1_grid_kb),
+            tuple(l2_grid_kb),
+            (REFERENCE_L1_BLOCK, REFERENCE_L1_ASSOC, REFERENCE_L1_KB),
+            (REFERENCE_L2_BLOCK, REFERENCE_L2_ASSOC, REFERENCE_L2_KB),
+            engine,
+        )
+    )
+
+
 def measure_miss_model(
     spec: WorkloadSpec,
     n_accesses: int = 300_000,
     seed: int = 1,
     l1_grid_kb: Sequence[int] = L1_GRID_KB,
     l2_grid_kb: Sequence[int] = L2_GRID_KB,
+    jobs: Optional[int] = None,
+    use_disk_cache: bool = True,
+    cache_dir=None,
+    engine: str = "array",
 ) -> MissRateModel:
     """Measure a fresh :class:`MissRateModel` by simulation.
 
     The L1 curve is measured with the reference L2; the L2 curve with the
     reference L1 (the paper's one-variable-at-a-time methodology).
+
+    Parameters beyond the grids:
+
+    jobs:
+        Fan the (level, size) points over a ``ProcessPoolExecutor`` with
+        this many workers; ``None`` (default) runs serially in-process,
+        where the trace buffer is generated once and shared by every
+        point.
+    use_disk_cache / cache_dir:
+        Memoise the measured curves on disk
+        (:class:`repro.perf.DiskCache`, namespace ``missmodel``), keyed
+        by a fingerprint of the workload spec, trace length, seed,
+        grids, reference cache shapes, and engine.  A warm call is a
+        file read.
+    engine:
+        ``"array"`` (default) uses the vectorized trace generator and
+        chunked array hierarchy; ``"object"`` keeps the original
+        per-record generator/simulator pair (the cross-validation path).
     """
-    l1_curve = []
-    for kb in l1_grid_kb:
-        hierarchy = TwoLevelHierarchy(
-            CacheConfig(
-                size_bytes=kb * 1024,
-                block_bytes=REFERENCE_L1_BLOCK,
-                associativity=REFERENCE_L1_ASSOC,
-                name="L1",
-            ),
-            CacheConfig(
-                size_bytes=REFERENCE_L2_KB * 1024,
-                block_bytes=REFERENCE_L2_BLOCK,
-                associativity=REFERENCE_L2_ASSOC,
-                name="L2",
-            ),
+    if engine not in ("array", "object"):
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected 'array' or 'object'"
         )
-        result = hierarchy.run(
-            synthetic_trace(spec, n_accesses, seed=seed, block_bytes=64)
-        )
-        l1_curve.append((kb * 1024, result.l1_miss_rate))
-
-    l2_curve = []
-    for kb in l2_grid_kb:
-        hierarchy = TwoLevelHierarchy(
-            CacheConfig(
-                size_bytes=REFERENCE_L1_KB * 1024,
-                block_bytes=REFERENCE_L1_BLOCK,
-                associativity=REFERENCE_L1_ASSOC,
-                name="L1",
-            ),
-            CacheConfig(
-                size_bytes=kb * 1024,
-                block_bytes=REFERENCE_L2_BLOCK,
-                associativity=REFERENCE_L2_ASSOC,
-                name="L2",
-            ),
-        )
-        result = hierarchy.run(
-            synthetic_trace(spec, n_accesses, seed=seed, block_bytes=64)
-        )
-        l2_curve.append((kb * 1024, result.l2_local_miss_rate))
-
-    return MissRateModel(
-        workload=spec.name,
-        l1_curve=tuple(l1_curve),
-        l2_curve=tuple(l2_curve),
+    fingerprint = _calibration_fingerprint(
+        spec, n_accesses, seed, l1_grid_kb, l2_grid_kb, engine
     )
+    cache = (
+        DiskCache("missmodel", directory=cache_dir) if use_disk_cache else None
+    )
+    if cache is not None:
+        payload = cache.load(fingerprint)
+        if payload is not None:
+            return MissRateModel(
+                workload=payload["workload"],
+                l1_curve=tuple(
+                    (int(size), float(rate))
+                    for size, rate in payload["l1_curve"]
+                ),
+                l2_curve=tuple(
+                    (int(size), float(rate))
+                    for size, rate in payload["l2_curve"]
+                ),
+            )
+
+    points: List[Tuple[str, int]] = [("l1", kb) for kb in l1_grid_kb]
+    points += [("l2", kb) for kb in l2_grid_kb]
+    if jobs is not None and jobs > 1 and len(points) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            rates = list(
+                pool.map(
+                    _measure_point,
+                    [spec] * len(points),
+                    [level for level, _ in points],
+                    [kb for _, kb in points],
+                    [n_accesses] * len(points),
+                    [seed] * len(points),
+                    [engine] * len(points),
+                )
+            )
+    elif engine == "array":
+        # Serial fast path: one trace buffer feeds every point.
+        buffer = synthetic_trace_buffer(
+            spec, n_accesses, seed=seed, block_bytes=64
+        )
+        rates = []
+        for level, kb in points:
+            l1_config, l2_config = _point_configs(level, kb)
+            result = ArrayTwoLevelHierarchy(l1_config, l2_config).run(buffer)
+            rates.append(
+                result.l1_miss_rate
+                if level == "l1"
+                else result.l2_local_miss_rate
+            )
+    else:
+        rates = [
+            _measure_point(spec, level, kb, n_accesses, seed, engine)
+            for level, kb in points
+        ]
+
+    curves = dict(zip(points, rates))
+    model = MissRateModel(
+        workload=spec.name,
+        l1_curve=tuple(
+            (kb * 1024, curves[("l1", kb)]) for kb in l1_grid_kb
+        ),
+        l2_curve=tuple(
+            (kb * 1024, curves[("l2", kb)]) for kb in l2_grid_kb
+        ),
+    )
+    if cache is not None:
+        cache.store(
+            fingerprint,
+            {
+                "workload": model.workload,
+                "l1_curve": [list(point) for point in model.l1_curve],
+                "l2_curve": [list(point) for point in model.l2_curve],
+            },
+        )
+    return model
 
 
-#: Pre-measured curves (2,000,000 accesses, seed 1; see module docstring
-#: for the reference shapes).  Regenerate with
-#: ``python tools/calibrate_missmodel.py``.
+#: Pre-measured curves (2,000,000 accesses, seed 1, the vectorized
+#: ``engine="array"`` path; see module docstring for the reference
+#: shapes).  Regenerate with ``python tools/calibrate_missmodel.py``.
 CALIBRATED_TABLES: Dict[str, MissRateModel] = {
     "spec2000": MissRateModel(
         workload="spec2000",
         l1_curve=(
-            (4096, 0.06104),
-            (8192, 0.05870),
-            (16384, 0.05704),
-            (32768, 0.05573),
-            (65536, 0.05469),
+            (4096, 0.06122),
+            (8192, 0.05882),
+            (16384, 0.05713),
+            (32768, 0.05590),
+            (65536, 0.05482),
         ),
         l2_curve=(
-            (131072, 0.55718),
-            (262144, 0.52964),
-            (524288, 0.48001),
-            (1048576, 0.39601),
-            (2097152, 0.29803),
-            (4194304, 0.27988),
-            (8388608, 0.27986),
+            (131072, 0.55752),
+            (262144, 0.53061),
+            (524288, 0.47999),
+            (1048576, 0.39603),
+            (2097152, 0.29746),
+            (4194304, 0.27942),
+            (8388608, 0.27941),
         ),
     ),
     "specweb": MissRateModel(
         workload="specweb",
         l1_curve=(
-            (4096, 0.08273),
-            (8192, 0.08008),
-            (16384, 0.07823),
-            (32768, 0.07692),
-            (65536, 0.07584),
+            (4096, 0.08263),
+            (8192, 0.07994),
+            (16384, 0.07811),
+            (32768, 0.07679),
+            (65536, 0.07570),
         ),
         l2_curve=(
-            (131072, 0.54397),
-            (262144, 0.53274),
-            (524288, 0.51434),
-            (1048576, 0.48206),
-            (2097152, 0.43059),
-            (4194304, 0.37623),
-            (8388608, 0.36628),
+            (131072, 0.54294),
+            (262144, 0.53175),
+            (524288, 0.51353),
+            (1048576, 0.48146),
+            (2097152, 0.43048),
+            (4194304, 0.37503),
+            (8388608, 0.36520),
         ),
     ),
     "tpcc": MissRateModel(
         workload="tpcc",
         l1_curve=(
-            (4096, 0.11692),
-            (8192, 0.11361),
-            (16384, 0.11133),
-            (32768, 0.10975),
-            (65536, 0.10848),
+            (4096, 0.11729),
+            (8192, 0.11395),
+            (16384, 0.11172),
+            (32768, 0.11009),
+            (65536, 0.10884),
         ),
         l2_curve=(
-            (131072, 0.69447),
-            (262144, 0.68569),
-            (524288, 0.67317),
-            (1048576, 0.65165),
-            (2097152, 0.61260),
-            (4194304, 0.55133),
-            (8388608, 0.49478),
+            (131072, 0.69424),
+            (262144, 0.68555),
+            (524288, 0.67365),
+            (1048576, 0.65223),
+            (2097152, 0.61349),
+            (4194304, 0.55284),
+            (8388608, 0.49570),
         ),
     ),
 }

@@ -1,15 +1,34 @@
-"""Write-back, write-allocate set-associative cache simulator."""
+"""Write-back, write-allocate set-associative cache simulators.
+
+Two implementations of the same semantics:
+
+* :class:`SetAssociativeCache` — the original per-record simulator with
+  pluggable replacement policies; one :class:`AccessResult` per access.
+* :class:`ArraySetAssociativeCache` — the high-throughput engine: LRU
+  only, consumes address/write arrays chunk-wise, does the block/set
+  arithmetic as numpy vector ops and runs a tight per-set ordered-dict
+  LRU core.  Statistics are bit-identical to the per-record simulator
+  with :class:`~repro.archsim.replacement.LruPolicy` on the same trace
+  (the property suite locks this in).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.units import is_power_of_two
 from repro.archsim.replacement import ReplacementPolicy, LruPolicy
 from repro.archsim.stats import CacheStats
-from repro.archsim.trace import MemoryAccess
+from repro.archsim.trace import (
+    DEFAULT_CHUNK,
+    MemoryAccess,
+    TraceLike,
+    as_buffer,
+)
 
 
 @dataclass(frozen=True)
@@ -103,12 +122,16 @@ class SetAssociativeCache:
         evicted_dirty = False
         if len(resident) >= self.associativity:
             victim = self.policy.choose_victim(index, list(resident))
-            if victim not in resident:
+            # pop() doubles as the residency check: validating membership
+            # up front would cost every miss for a condition only a buggy
+            # policy can produce.
+            try:
+                evicted_dirty = resident.pop(victim)
+            except KeyError:
                 raise SimulationError(
                     f"{self.name}: policy chose non-resident victim {victim}"
                 )
             evicted_block = victim
-            evicted_dirty = resident.pop(victim)
             self.policy.on_evict(index, victim)
             self.stats.record_eviction(evicted_dirty)
         resident[block] = access.is_write
@@ -148,4 +171,145 @@ class SetAssociativeCache:
             if is_dirty
         )
         self._sets.clear()
+        return dirty
+
+
+def _validate_shape(
+    size_bytes: int, block_bytes: int, associativity: int, name: str
+) -> int:
+    """Shared shape validation; returns the set count."""
+    for label, value in (
+        ("size_bytes", size_bytes),
+        ("block_bytes", block_bytes),
+        ("associativity", associativity),
+    ):
+        if not is_power_of_two(value):
+            raise SimulationError(
+                f"{name}: {label} must be a power of two, got {value}"
+            )
+    n_blocks = size_bytes // block_bytes
+    if associativity > n_blocks:
+        raise SimulationError(
+            f"{name}: associativity {associativity} exceeds "
+            f"{n_blocks} blocks"
+        )
+    return n_blocks // associativity
+
+
+class ArraySetAssociativeCache:
+    """Chunk-wise LRU set-associative simulator (write-back, write-alloc).
+
+    Each set is a plain dict mapping block address -> dirty bit whose
+    insertion order *is* the LRU order: hits pop and re-insert, fills
+    append, and the victim is the first key.  That is exactly the
+    stamp-ordering :class:`~repro.archsim.replacement.LruPolicy`
+    maintains, so hits/misses/evictions/write-backs match the per-record
+    simulator count for count.
+
+    Per-access validation is hoisted to the chunk boundary: the numpy
+    coercion in :func:`~repro.archsim.trace.as_buffer` (or the
+    :class:`~repro.archsim.trace.TraceBuffer` constructor) is the only
+    input check, and the inner loop runs on Python ints from
+    ``ndarray.tolist()``.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        block_bytes: int,
+        associativity: int,
+        name: str = "cache",
+    ) -> None:
+        self.n_sets = _validate_shape(
+            size_bytes, block_bytes, associativity, name
+        )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.block_bytes = block_bytes
+        self.associativity = associativity
+        self.stats = CacheStats()
+        self._sets: List[Dict[int, bool]] = [
+            {} for _ in range(self.n_sets)
+        ]
+        self._block_shift = block_bytes.bit_length() - 1
+
+    # -- addressing -----------------------------------------------------
+
+    def set_index(self, block_address: int) -> int:
+        """Return the set an aligned block address maps to."""
+        return (block_address >> self._block_shift) & (self.n_sets - 1)
+
+    # -- main entry -----------------------------------------------------
+
+    def access_chunk(
+        self, addresses: np.ndarray, is_write: np.ndarray
+    ) -> None:
+        """Simulate one chunk of accesses, updating ``self.stats``."""
+        blocks = (addresses & -self.block_bytes).tolist()
+        set_indices = (
+            (addresses >> self._block_shift) & (self.n_sets - 1)
+        ).tolist()
+        writes = is_write.tolist()
+
+        sets = self._sets
+        associativity = self.associativity
+        hits = misses = read_misses = write_misses = 0
+        evictions = writebacks = 0
+        for block, index, write in zip(blocks, set_indices, writes):
+            resident = sets[index]
+            if block in resident:
+                hits += 1
+                dirty = resident.pop(block)
+                resident[block] = dirty or write
+                continue
+            misses += 1
+            if write:
+                write_misses += 1
+            else:
+                read_misses += 1
+            if len(resident) >= associativity:
+                victim = next(iter(resident))
+                if resident.pop(victim):
+                    writebacks += 1
+                evictions += 1
+            resident[block] = write
+
+        stats = self.stats
+        stats.accesses += hits + misses
+        stats.hits += hits
+        stats.misses += misses
+        stats.read_misses += read_misses
+        stats.write_misses += write_misses
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+
+    def run(
+        self, trace: TraceLike, chunk_size: int = DEFAULT_CHUNK
+    ) -> CacheStats:
+        """Simulate a whole trace; returns the accumulated stats."""
+        for chunk in as_buffer(trace).iter_chunks(chunk_size):
+            self.access_chunk(chunk.addresses, np.asarray(chunk.is_write))
+        return self.stats
+
+    # -- introspection --------------------------------------------------
+
+    def contains(self, address: int) -> bool:
+        """Return True if the block holding ``address`` is resident."""
+        block = address & -self.block_bytes
+        return block in self._sets[self.set_index(block)]
+
+    def resident_blocks(self) -> int:
+        """Return the number of blocks currently resident."""
+        return sum(len(blocks) for blocks in self._sets)
+
+    def flush(self) -> int:
+        """Empty the cache; return how many dirty blocks were dropped."""
+        dirty = sum(
+            1
+            for blocks in self._sets
+            for is_dirty in blocks.values()
+            if is_dirty
+        )
+        for blocks in self._sets:
+            blocks.clear()
         return dirty

@@ -1,16 +1,35 @@
-"""Memory-access records and trace streams.
+"""Memory-access records, trace streams, and array trace buffers.
 
-A trace is any iterable of :class:`MemoryAccess` records.  Generators from
-:mod:`repro.archsim.workloads` produce them lazily so multi-million-access
-runs never materialise a list.
+Two representations of the same thing:
+
+* a *stream* — any iterable of :class:`MemoryAccess` records.  Generators
+  from :mod:`repro.archsim.workloads` produce them lazily so
+  multi-million-access runs never materialise a list.  This is the
+  original, fully general interface; every simulator still accepts it.
+* a :class:`TraceBuffer` — a struct-of-arrays view (numpy ``addresses``
+  + ``is_write``) of a trace segment.  The high-throughput engines
+  (:class:`~repro.archsim.setassoc.ArraySetAssociativeCache`,
+  :class:`~repro.archsim.hierarchy.ArrayTwoLevelHierarchy`, the
+  offline stack-distance profiler) consume buffers chunk-wise and do all
+  per-access address arithmetic as vector operations, so no
+  ``MemoryAccess`` object is ever allocated on the hot path.
+
+Validation happens at the buffer/stream boundary (construction or
+``from_stream``), never per access inside a simulator loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.errors import SimulationError
+
+#: Default number of accesses per chunk for chunked iteration.  Large
+#: enough to amortise numpy call overhead, small enough to stay in cache.
+DEFAULT_CHUNK = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -39,6 +58,159 @@ class MemoryAccess:
 
 #: Anything yielding MemoryAccess records.
 TraceStream = Iterable[MemoryAccess]
+
+
+class TraceBuffer:
+    """Struct-of-arrays trace segment: parallel address / is-write arrays.
+
+    Parameters
+    ----------
+    addresses:
+        1-D array-like of non-negative byte addresses (stored as int64).
+    is_write:
+        1-D boolean array-like of the same length; defaults to all-reads.
+
+    Buffers are immutable by convention (the arrays are flagged
+    non-writeable) so chunk views can alias the parent storage safely.
+    """
+
+    __slots__ = ("addresses", "is_write")
+
+    def __init__(
+        self,
+        addresses,
+        is_write=None,
+    ) -> None:
+        address_array = np.asarray(addresses, dtype=np.int64)
+        if address_array.ndim != 1:
+            raise SimulationError(
+                f"addresses must be 1-D, got shape {address_array.shape}"
+            )
+        if address_array.size and int(address_array.min()) < 0:
+            raise SimulationError("addresses must be >= 0")
+        if is_write is None:
+            write_array = np.zeros(address_array.size, dtype=bool)
+        else:
+            write_array = np.asarray(is_write, dtype=bool)
+            if write_array.shape != address_array.shape:
+                raise SimulationError(
+                    f"is_write shape {write_array.shape} does not match "
+                    f"addresses shape {address_array.shape}"
+                )
+        address_array.flags.writeable = False
+        write_array.flags.writeable = False
+        object.__setattr__(self, "addresses", address_array)
+        object.__setattr__(self, "is_write", write_array)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard rail
+        raise AttributeError("TraceBuffer is immutable")
+
+    def __len__(self) -> int:
+        return int(self.addresses.size)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TraceBuffer):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.addresses, other.addresses)
+            and np.array_equal(self.is_write, other.is_write)
+        )
+
+    def __repr__(self) -> str:
+        return f"TraceBuffer(n={len(self)})"
+
+    # -- views ----------------------------------------------------------
+
+    def slice(self, start: int, stop: int) -> "TraceBuffer":
+        """Return a zero-copy view of accesses [start, stop)."""
+        view = object.__new__(TraceBuffer)
+        object.__setattr__(view, "addresses", self.addresses[start:stop])
+        object.__setattr__(view, "is_write", self.is_write[start:stop])
+        return view
+
+    def iter_chunks(
+        self, chunk_size: int = DEFAULT_CHUNK
+    ) -> Iterator["TraceBuffer"]:
+        """Yield successive zero-copy chunk views of at most ``chunk_size``."""
+        if chunk_size <= 0:
+            raise SimulationError(
+                f"chunk_size must be positive, got {chunk_size}"
+            )
+        for start in range(0, len(self), chunk_size):
+            yield self.slice(start, start + chunk_size)
+
+    def block_addresses(self, block_bytes: int) -> np.ndarray:
+        """Vectorized ``MemoryAccess.block_address`` over the buffer."""
+        return self.addresses - (self.addresses % block_bytes)
+
+    # -- conversion -----------------------------------------------------
+
+    def iter_accesses(self) -> Iterator[MemoryAccess]:
+        """Yield the buffer as ``MemoryAccess`` records (compat shim)."""
+        for address, write in zip(
+            self.addresses.tolist(), self.is_write.tolist()
+        ):
+            yield MemoryAccess(address=address, is_write=write)
+
+    # Buffers double as streams: iterating one yields MemoryAccess.
+    __iter__ = iter_accesses
+
+    @classmethod
+    def from_stream(
+        cls, trace: TraceStream, limit: Optional[int] = None
+    ) -> "TraceBuffer":
+        """Materialise a record stream into one buffer.
+
+        Record validation (the per-access ``isinstance`` that used to sit
+        inside the profiler hot loop) happens once per record here, at
+        the boundary — downstream array engines then trust the arrays.
+        """
+        if limit is not None and limit < 0:
+            raise SimulationError(f"limit must be >= 0, got {limit}")
+        addresses: List[int] = []
+        writes: List[bool] = []
+        for access in trace:
+            if limit is not None and len(addresses) >= limit:
+                break
+            if not isinstance(access, MemoryAccess):
+                raise SimulationError(
+                    f"trace must yield MemoryAccess records, "
+                    f"got {type(access)}"
+                )
+            addresses.append(access.address)
+            writes.append(access.is_write)
+        return cls(
+            np.array(addresses, dtype=np.int64),
+            np.array(writes, dtype=bool),
+        )
+
+    @staticmethod
+    def concat(buffers: Sequence["TraceBuffer"]) -> "TraceBuffer":
+        """Concatenate buffers into one (copies)."""
+        buffers = list(buffers)
+        if not buffers:
+            return TraceBuffer(np.empty(0, dtype=np.int64))
+        return TraceBuffer(
+            np.concatenate([b.addresses for b in buffers]),
+            np.concatenate([b.is_write for b in buffers]),
+        )
+
+
+#: Any trace representation the simulators accept.
+TraceLike = Union[TraceStream, TraceBuffer]
+
+
+def as_buffer(trace: TraceLike) -> TraceBuffer:
+    """Coerce any trace representation to a :class:`TraceBuffer`.
+
+    Accepts a buffer (returned as-is), a raw address array (reads), or a
+    record stream (materialised with boundary validation).
+    """
+    if isinstance(trace, TraceBuffer):
+        return trace
+    if isinstance(trace, np.ndarray):
+        return TraceBuffer(trace)
+    return TraceBuffer.from_stream(trace)
 
 
 def reads(addresses: Iterable[int]) -> Iterator[MemoryAccess]:

@@ -1,4 +1,4 @@
-"""Performance infrastructure: evaluation-table caching and observability.
+"""Performance infrastructure: caching tiers and observability.
 
 The optimisers re-derive per-component evaluation tables constantly — the
 capacity-exploration experiments build a fresh :class:`CacheModel` for every
@@ -6,6 +6,11 @@ candidate size, and the tuple problem revisits the same (cache, grid) pair
 for every budget.  :mod:`repro.perf.table_cache` memoises those tables
 process-wide, keyed by a structural fingerprint of the model and the design
 space, so repeated sweeps pay for each grid exactly once.
+
+:mod:`repro.perf.disk_cache` is the persistent tier: fingerprint-keyed
+JSON entries that survive the process, used by
+:func:`repro.archsim.missmodel.measure_miss_model` to make re-calibration
+against multi-million-access traces a file read.
 """
 
 from repro.perf.table_cache import (
@@ -14,10 +19,13 @@ from repro.perf.table_cache import (
     cached_tables,
     clear_cache,
 )
+from repro.perf.disk_cache import DiskCache, default_cache_dir
 
 __all__ = [
     "TableCacheInfo",
     "cache_info",
     "cached_tables",
     "clear_cache",
+    "DiskCache",
+    "default_cache_dir",
 ]

@@ -1,0 +1,116 @@
+"""Fingerprint-keyed JSON disk memo (the persistent tier of repro.perf.
+
+The in-memory table cache (:mod:`repro.perf.table_cache`) makes repeated
+work free *within* a process; this module makes expensive calibrations
+free *across* processes and runs.  Entries are small JSON documents named
+by the SHA-256 of a caller-supplied fingerprint string, so the same
+invalidation contract applies: fold every input that determines the
+payload into the fingerprint and stale reads become impossible.
+
+The directory defaults to ``$REPRO_CACHE_DIR`` (or
+``~/.cache/repro``) and is namespaced per consumer.  Writes are atomic
+(temp file + ``os.replace``) so concurrent calibration workers can race
+on the same key safely — last writer wins with identical content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import SimulationError
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+class DiskCache:
+    """One namespace of fingerprint-keyed JSON entries.
+
+    Parameters
+    ----------
+    namespace:
+        Subdirectory name (one per consumer, e.g. ``"missmodel"``).
+    directory:
+        Cache root override; defaults to :func:`default_cache_dir`.
+    """
+
+    def __init__(
+        self, namespace: str, directory: Optional[os.PathLike] = None
+    ) -> None:
+        if not namespace or "/" in namespace:
+            raise SimulationError(
+                f"namespace must be a simple name, got {namespace!r}"
+            )
+        root = Path(directory) if directory is not None else default_cache_dir()
+        self.directory = root / namespace
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Return the entry path for a fingerprint."""
+        digest = hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
+        return self.directory / f"{digest[:32]}.json"
+
+    def load(self, fingerprint: str):
+        """Return the stored payload, or None on a miss.
+
+        Unreadable or corrupt entries count as misses (the caller simply
+        recomputes and overwrites them).
+        """
+        path = self.path_for(fingerprint)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        # Guard against (astronomically unlikely) digest collisions and
+        # format drift: the full fingerprint is stored alongside.
+        if entry.get("fingerprint") != fingerprint:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def store(self, fingerprint: str, payload) -> Path:
+        """Persist a JSON-serialisable payload atomically; returns the path."""
+        path = self.path_for(fingerprint)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump(
+                    {"fingerprint": fingerprint, "payload": payload}, handle
+                )
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry in this namespace; returns the count."""
+        removed = 0
+        if self.directory.is_dir():
+            for entry in self.directory.glob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,183 @@
+"""The array engines must match the per-record simulators *exactly*.
+
+Property tests feeding identical randomized traces through both
+implementations: every statistic (hits, misses, read/write misses,
+evictions, write-backs, memory accesses) must be equal, the full
+stack-distance histograms must be equal across all three profiler
+engines, and chunk size must never change any result.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.archsim.hierarchy import (
+    ArrayTwoLevelHierarchy,
+    TwoLevelHierarchy,
+    simulate_hierarchy,
+)
+from repro.archsim.setassoc import ArraySetAssociativeCache, SetAssociativeCache
+from repro.archsim.stackdist import stack_distance_profile
+from repro.archsim.trace import MemoryAccess, TraceBuffer
+from repro.archsim.workloads import SPEC2000_LIKE, synthetic_trace
+from repro.cache.config import CacheConfig
+from repro.errors import SimulationError
+
+traces = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1 << 15),
+        st.booleans(),
+    ),
+    min_size=0,
+    max_size=400,
+)
+
+shapes = st.sampled_from(
+    [(512, 64, 1), (1024, 64, 2), (2048, 32, 4), (4096, 64, 8), (256, 32, 8)]
+)
+
+chunk_sizes = st.sampled_from([1, 3, 64, 1000])
+
+
+def _buffer(records):
+    return TraceBuffer(
+        np.array([address for address, _ in records], dtype=np.int64),
+        np.array([write for _, write in records], dtype=bool),
+    )
+
+
+class TestSetAssociativeEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(records=traces, shape=shapes, chunk_size=chunk_sizes)
+    def test_stats_bit_identical(self, records, shape, chunk_size):
+        size, block, associativity = shape
+        reference = SetAssociativeCache(size, block, associativity)
+        for address, write in records:
+            reference.access(MemoryAccess(address, write))
+        array = ArraySetAssociativeCache(size, block, associativity)
+        array.run(_buffer(records), chunk_size=chunk_size)
+        assert array.stats == reference.stats
+        assert array.resident_blocks() == reference.resident_blocks()
+
+    @settings(max_examples=20, deadline=None)
+    @given(records=traces, shape=shapes)
+    def test_chunk_size_never_changes_stats(self, records, shape):
+        size, block, associativity = shape
+        outcomes = []
+        for chunk_size in (1, 7, 128, 10_000):
+            cache = ArraySetAssociativeCache(size, block, associativity)
+            cache.run(_buffer(records), chunk_size=chunk_size)
+            outcomes.append(cache.stats)
+        assert all(stats == outcomes[0] for stats in outcomes)
+
+    @settings(max_examples=40, deadline=None)
+    @given(records=traces, shape=shapes)
+    def test_residency_matches(self, records, shape):
+        size, block, associativity = shape
+        reference = SetAssociativeCache(size, block, associativity)
+        for address, write in records:
+            reference.access(MemoryAccess(address, write))
+        array = ArraySetAssociativeCache(size, block, associativity)
+        array.run(_buffer(records))
+        for address, _ in records:
+            assert array.contains(address) == reference.contains(address)
+        assert array.flush() == reference.flush()
+
+
+class TestHierarchyEquivalence:
+    L1 = CacheConfig(size_bytes=512, block_bytes=32, associativity=2,
+                     name="L1")
+    L2 = CacheConfig(size_bytes=4096, block_bytes=64, associativity=4,
+                     name="L2")
+
+    @settings(max_examples=40, deadline=None)
+    @given(records=traces, chunk_size=chunk_sizes)
+    def test_full_result_bit_identical(self, records, chunk_size):
+        reference = TwoLevelHierarchy(self.L1, self.L2)
+        for address, write in records:
+            reference.access(MemoryAccess(address, write))
+        expected = reference.result()
+        array = ArrayTwoLevelHierarchy(self.L1, self.L2)
+        actual = array.run(_buffer(records), chunk_size=chunk_size)
+        assert actual.l1 == expected.l1
+        assert actual.l2 == expected.l2
+        assert actual.memory_accesses == expected.memory_accesses
+
+    def test_synthetic_workload_agreement(self):
+        trace = list(synthetic_trace(SPEC2000_LIKE, 4000, seed=7))
+        reference = TwoLevelHierarchy(self.L1, self.L2).run(iter(trace))
+        array = ArrayTwoLevelHierarchy(self.L1, self.L2).run(
+            TraceBuffer.from_stream(iter(trace))
+        )
+        assert array.l1 == reference.l1
+        assert array.l2 == reference.l2
+        assert array.memory_accesses == reference.memory_accesses
+
+    def test_rejects_non_lru_policy(self):
+        with pytest.raises(SimulationError):
+            ArrayTwoLevelHierarchy(self.L1, self.L2, policy="fifo")
+
+    def test_simulate_hierarchy_dispatch(self):
+        records = [(index * 32, index % 3 == 0) for index in range(200)]
+        fast = simulate_hierarchy(self.L1, self.L2, _buffer(records))
+        slow = simulate_hierarchy(
+            self.L1, self.L2, _buffer(records), policy="fifo"
+        )
+        assert fast.l1.accesses == slow.l1.accesses == 200
+        reference = TwoLevelHierarchy(self.L1, self.L2)
+        for address, write in records:
+            reference.access(MemoryAccess(address, write))
+        assert fast.l1 == reference.result().l1
+
+
+class TestProfilerEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=4096), min_size=0, max_size=300
+        ),
+        block_bytes=st.sampled_from([32, 64, 128]),
+    )
+    def test_three_engines_identical(self, addresses, block_bytes):
+        records = [(address, False) for address in addresses]
+        buffer = _buffer(records)
+        reference = stack_distance_profile(
+            buffer, block_bytes=block_bytes, engine="list"
+        )
+        offline = stack_distance_profile(buffer, block_bytes=block_bytes)
+        fenwick = stack_distance_profile(
+            buffer, block_bytes=block_bytes, engine="fenwick"
+        )
+        for profile in (offline, fenwick):
+            assert profile.histogram == reference.histogram
+            assert profile.cold_accesses == reference.cold_accesses
+            assert profile.total_accesses == reference.total_accesses
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=4096), min_size=1, max_size=300
+        )
+    )
+    def test_chunked_fenwick_feed_matches(self, addresses):
+        from repro.archsim.stackdist import OlkenProfiler
+
+        buffer = _buffer([(address, False) for address in addresses])
+        whole = stack_distance_profile(buffer, engine="fenwick")
+        profiler = OlkenProfiler(block_bytes=64, capacity_hint=16)
+        for chunk in buffer.iter_chunks(17):
+            profiler.feed(chunk)
+        chunked = profiler.profile()
+        assert chunked.histogram == whole.histogram
+        assert chunked.cold_accesses == whole.cold_accesses
+
+    def test_synthetic_workload_identical(self):
+        trace = list(synthetic_trace(SPEC2000_LIKE, 3000, seed=11))
+        reference = stack_distance_profile(iter(trace), engine="list")
+        offline = stack_distance_profile(TraceBuffer.from_stream(iter(trace)))
+        assert offline.histogram == reference.histogram
+        assert offline.cold_accesses == reference.cold_accesses
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SimulationError):
+            stack_distance_profile(_buffer([]), engine="quantum")

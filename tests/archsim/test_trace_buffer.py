@@ -1,0 +1,163 @@
+"""TraceBuffer and the vectorized workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.archsim.trace import (
+    DEFAULT_CHUNK,
+    MemoryAccess,
+    TraceBuffer,
+    as_buffer,
+    reads,
+)
+from repro.archsim.workloads import (
+    SPEC2000_LIKE,
+    SPECWEB_LIKE,
+    TPCC_LIKE,
+    synthetic_trace_buffer,
+    synthetic_trace_chunks,
+)
+from repro.errors import SimulationError
+
+
+class TestTraceBuffer:
+    def test_from_arrays(self):
+        buffer = TraceBuffer([0, 64, 128], [False, True, False])
+        assert len(buffer) == 3
+        assert buffer.addresses.dtype == np.int64
+        assert buffer.is_write.dtype == np.bool_
+
+    def test_default_all_reads(self):
+        buffer = TraceBuffer([0, 8])
+        assert not buffer.is_write.any()
+
+    def test_rejects_negative_addresses(self):
+        with pytest.raises(SimulationError):
+            TraceBuffer([0, -8])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(SimulationError):
+            TraceBuffer([0, 8], [True])
+
+    def test_rejects_2d(self):
+        with pytest.raises(SimulationError):
+            TraceBuffer(np.zeros((2, 2), dtype=np.int64))
+
+    def test_arrays_immutable(self):
+        buffer = TraceBuffer([0, 64])
+        with pytest.raises(ValueError):
+            buffer.addresses[0] = 1
+
+    def test_iter_yields_records(self):
+        buffer = TraceBuffer([0, 64], [False, True])
+        records = list(buffer)
+        assert records == [
+            MemoryAccess(0, False),
+            MemoryAccess(64, True),
+        ]
+
+    def test_chunks_cover_everything_in_order(self):
+        buffer = TraceBuffer(np.arange(10, dtype=np.int64) * 8)
+        chunks = list(buffer.iter_chunks(4))
+        assert [len(chunk) for chunk in chunks] == [4, 4, 2]
+        assert TraceBuffer.concat(chunks) == buffer
+
+    def test_chunks_are_views(self):
+        buffer = TraceBuffer(np.arange(10, dtype=np.int64))
+        chunk = next(buffer.iter_chunks(4))
+        assert chunk.addresses.base is not None
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(SimulationError):
+            list(TraceBuffer([0]).iter_chunks(0))
+
+    def test_block_addresses(self):
+        buffer = TraceBuffer([0, 65, 130])
+        assert buffer.block_addresses(64).tolist() == [0, 64, 128]
+
+    def test_from_stream_roundtrip(self):
+        buffer = TraceBuffer.from_stream(reads([0, 64, 128]))
+        assert buffer.addresses.tolist() == [0, 64, 128]
+
+    def test_from_stream_limit(self):
+        buffer = TraceBuffer.from_stream(reads(range(100)), limit=5)
+        assert len(buffer) == 5
+
+    def test_from_stream_validates_records(self):
+        with pytest.raises(SimulationError):
+            TraceBuffer.from_stream([MemoryAccess(0), "not-an-access"])
+
+    def test_as_buffer_passthrough(self):
+        buffer = TraceBuffer([0])
+        assert as_buffer(buffer) is buffer
+
+    def test_as_buffer_from_ndarray(self):
+        buffer = as_buffer(np.array([0, 64], dtype=np.int64))
+        assert isinstance(buffer, TraceBuffer)
+        assert not buffer.is_write.any()
+
+
+class TestVectorizedGenerators:
+    def test_deterministic_for_seed(self):
+        a = synthetic_trace_buffer(SPEC2000_LIKE, 2000, seed=3)
+        b = synthetic_trace_buffer(SPEC2000_LIKE, 2000, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = synthetic_trace_buffer(SPEC2000_LIKE, 2000, seed=3)
+        b = synthetic_trace_buffer(SPEC2000_LIKE, 2000, seed=4)
+        assert a != b
+
+    def test_exact_count_and_zero(self):
+        assert len(synthetic_trace_buffer(SPEC2000_LIKE, 123)) == 123
+        assert len(synthetic_trace_buffer(SPEC2000_LIKE, 0)) == 0
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(SimulationError):
+            synthetic_trace_buffer(SPEC2000_LIKE, -1)
+
+    def test_addresses_within_footprint(self):
+        buffer = synthetic_trace_buffer(SPECWEB_LIKE, 20_000, seed=5)
+        assert int(buffer.addresses.min()) >= 0
+        assert int(buffer.addresses.max()) < SPECWEB_LIKE.footprint_bytes
+
+    @pytest.mark.parametrize("spec", [SPEC2000_LIKE, SPECWEB_LIKE, TPCC_LIKE])
+    def test_mix_fractions_match_spec(self, spec):
+        buffer = synthetic_trace_buffer(spec, 50_000, seed=9)
+        hot = float((buffer.addresses < spec.hot_bytes).mean())
+        writes = float(buffer.is_write.mean())
+        assert abs(hot - spec.hot_fraction) < 0.02
+        assert abs(writes - spec.write_fraction) < 0.02
+
+    def test_chunks_equal_buffer(self):
+        buffer = synthetic_trace_buffer(SPEC2000_LIKE, 5000, seed=2)
+        for chunk_size in (64, 999, DEFAULT_CHUNK):
+            chunks = list(
+                synthetic_trace_chunks(
+                    SPEC2000_LIKE, 5000, seed=2, chunk_size=chunk_size
+                )
+            )
+            assert TraceBuffer.concat(chunks) == buffer
+
+    def test_statistically_matches_per_record_generator(self):
+        """Both generator paths must land on the same miss statistics."""
+        from repro.archsim.hierarchy import ArrayTwoLevelHierarchy
+        from repro.archsim.trace import TraceBuffer
+        from repro.archsim.workloads import synthetic_trace
+        from repro.cache.config import l1_config, l2_config
+
+        n = 60_000
+        record_buffer = TraceBuffer.from_stream(
+            synthetic_trace(SPEC2000_LIKE, n, seed=1)
+        )
+        array_buffer = synthetic_trace_buffer(SPEC2000_LIKE, n, seed=1)
+        results = [
+            ArrayTwoLevelHierarchy(l1_config(16), l2_config(1024)).run(trace)
+            for trace in (record_buffer, array_buffer)
+        ]
+        assert results[0].l1_miss_rate == pytest.approx(
+            results[1].l1_miss_rate, abs=0.01
+        )
+        assert results[0].l2_local_miss_rate == pytest.approx(
+            results[1].l2_local_miss_rate, abs=0.05
+        )

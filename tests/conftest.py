@@ -10,6 +10,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+@pytest.fixture(autouse=True)
+def _isolated_disk_cache(tmp_path, monkeypatch):
+    """Point the repro disk cache at a per-test directory.
+
+    Keeps the suite hermetic: tests never read calibration curves cached
+    by earlier runs (or other checkouts) and never pollute the user's
+    ``~/.cache/repro``.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
 from repro.cache.cache_model import CacheModel
 from repro.cache.config import CacheConfig
 from repro.models.analytical import fit_cache_model

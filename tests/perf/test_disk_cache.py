@@ -1,0 +1,98 @@
+"""The fingerprint-keyed JSON disk cache."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perf.disk_cache import DiskCache, default_cache_dir
+
+
+class TestDiskCache:
+    def test_roundtrip(self, tmp_path):
+        cache = DiskCache("unit", directory=tmp_path)
+        assert cache.load("key-1") is None
+        cache.store("key-1", {"value": [1, 2, 3]})
+        assert cache.load("key-1") == {"value": [1, 2, 3]}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_namespaces_are_disjoint(self, tmp_path):
+        a = DiskCache("alpha", directory=tmp_path)
+        b = DiskCache("beta", directory=tmp_path)
+        a.store("key", "from-a")
+        assert b.load("key") is None
+        assert a.load("key") == "from-a"
+
+    def test_fingerprint_mismatch_is_a_miss(self, tmp_path):
+        cache = DiskCache("unit", directory=tmp_path)
+        path = cache.store("original", 42)
+        # Simulate a (hash-collision / format-drift) entry whose stored
+        # fingerprint disagrees with the lookup key.
+        entry = json.loads(path.read_text())
+        entry["fingerprint"] = "something-else"
+        path.write_text(json.dumps(entry))
+        assert cache.load("original") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = DiskCache("unit", directory=tmp_path)
+        path = cache.store("key", 1)
+        path.write_text("{not json")
+        assert cache.load("key") is None
+        cache.store("key", 2)
+        assert cache.load("key") == 2
+
+    def test_clear(self, tmp_path):
+        cache = DiskCache("unit", directory=tmp_path)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        assert cache.clear() == 2
+        assert cache.load("a") is None
+
+    def test_clear_on_missing_directory(self, tmp_path):
+        assert DiskCache("never-written", directory=tmp_path).clear() == 0
+
+    def test_rejects_bad_namespace(self, tmp_path):
+        with pytest.raises(SimulationError):
+            DiskCache("", directory=tmp_path)
+        with pytest.raises(SimulationError):
+            DiskCache("a/b", directory=tmp_path)
+
+    def test_env_override_controls_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+        cache = DiskCache("unit")
+        cache.store("key", "value")
+        assert (tmp_path / "custom" / "unit").is_dir()
+
+
+class TestMissModelMemoization:
+    def test_cold_then_warm(self, tmp_path):
+        from repro.archsim.missmodel import measure_miss_model
+        from repro.archsim.workloads import SPEC2000_LIKE
+
+        kwargs = dict(
+            n_accesses=20_000,
+            seed=1,
+            l1_grid_kb=(4, 8),
+            l2_grid_kb=(256,),
+            cache_dir=tmp_path,
+        )
+        cold = measure_miss_model(SPEC2000_LIKE, **kwargs)
+        warm = measure_miss_model(SPEC2000_LIKE, **kwargs)
+        assert warm == cold
+
+    def test_fingerprint_sensitivity(self, tmp_path):
+        from repro.archsim.missmodel import measure_miss_model
+        from repro.archsim.workloads import SPEC2000_LIKE
+
+        kwargs = dict(
+            n_accesses=20_000,
+            l1_grid_kb=(4,),
+            l2_grid_kb=(256,),
+            cache_dir=tmp_path,
+        )
+        seed1 = measure_miss_model(SPEC2000_LIKE, seed=1, **kwargs)
+        seed2 = measure_miss_model(SPEC2000_LIKE, seed=2, **kwargs)
+        assert seed1 != seed2
+        # And the seed=1 entry is still intact.
+        assert measure_miss_model(SPEC2000_LIKE, seed=1, **kwargs) == seed1

@@ -1,17 +1,26 @@
-"""Timing bench for the vectorized sweep engine PR.
+"""Timing bench for the repro performance PRs.
 
-Run:  PYTHONPATH=src python tools/bench.py [--output BENCH_1.json] [--jobs N]
+Run:  PYTHONPATH=src python tools/bench.py --suite archsim   # -> BENCH_2.json
+      PYTHONPATH=src python tools/bench.py --suite sweep     # -> BENCH_1.json
+      PYTHONPATH=src python tools/bench.py --smoke           # CI regression gate
 
-Times every registered experiment (E1..E7, serially, warm table cache
-cleared first so each experiment pays its own grids), the coarse-grid
-tuple problem, and the cold/warm component-table build, then writes the
-measurements plus the speedups against the recorded pre-PR baselines to a
-JSON report.
+Two suites, one per performance PR:
 
-The baselines were measured on this machine at the seed commit, with the
-same interpreter, before any vectorization: they are the denominator of
-the PR's acceptance criteria (>= 5x on solve_tuple_problem, >= 3x on
-run_all()).
+* ``sweep`` (PR 1) — times every registered experiment, the coarse-grid
+  tuple problem, and the cold/warm component-table build.
+* ``archsim`` (PR 2) — times the trace engine: vectorized trace
+  generation, the array set-associative simulator, stack-distance
+  profiling, and the cold/warm disk-memoized ``measure_miss_model``.
+
+Each suite writes measurements plus speedups against recorded pre-PR
+baselines to a JSON report.  Baselines were measured on this machine at
+the respective pre-PR commits with the same interpreter; they are the
+denominators of the acceptance criteria.
+
+``--smoke`` is the CI gate: it profiles a 200k-access trace and exits
+non-zero if the wall time regresses beyond 3x the recorded pre-PR
+baseline (generous enough to absorb shared-runner noise while still
+catching an accidental return to the O(n*d) path).
 """
 
 from __future__ import annotations
@@ -19,19 +28,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 
-from repro.archsim.missmodel import calibrated_miss_model
-from repro.cache.cache_model import CacheModel
-from repro.cache.config import l1_config, l2_config
-from repro.experiments.runner import REGISTRY, run_experiment, run_many
-from repro.optimize.single_cache import component_tables
-from repro.optimize.space import coarse_space, default_space
-from repro.optimize.tuple_problem import solve_tuple_problem
-from repro.perf import cache_info, clear_cache
-
-#: Pre-PR wall times (seconds), measured at the seed commit.
-BASELINE = {
+#: Pre-PR-1 wall times (seconds), measured at the seed commit.
+SWEEP_BASELINE = {
     "experiments": {
         "E1": 0.21,
         "E2": 0.04,
@@ -47,6 +48,22 @@ BASELINE = {
     "component_tables_coarse": 0.0865,
 }
 
+#: Pre-PR-2 wall times (seconds), measured at the PR-1 commit: per-record
+#: synthetic_trace generation, the object SetAssociativeCache, the
+#: O(n*d) list stack-distance scan, and the serial uncached
+#: measure_miss_model (300k accesses, default grids).
+ARCHSIM_BASELINE = {
+    "trace_gen_2m": 4.2127,
+    "setassoc_2m": 9.8954,
+    "stackdist_200k": 1.7054,
+    "stackdist_2m": 46.4826,
+    "measure_miss_model_cold": 19.0443,
+}
+
+#: CI smoke gate: fail if the 200k-access profile exceeds this multiple
+#: of the pre-PR baseline.
+SMOKE_FACTOR = 3.0
+
 
 def _timed(fn):
     start = time.perf_counter()
@@ -54,18 +71,32 @@ def _timed(fn):
     return time.perf_counter() - start, result
 
 
+# --------------------------------------------------------------------------
+# sweep suite (PR 1)
+# --------------------------------------------------------------------------
+
 def bench_experiments() -> dict:
+    from repro.experiments.runner import REGISTRY, run_experiment
+    from repro.perf import clear_cache
+
     times = {}
     for experiment_id in sorted(REGISTRY):
         clear_cache()
         seconds, _ = _timed(lambda eid=experiment_id: run_experiment(eid))
         times[experiment_id] = seconds
-        print(f"  {experiment_id}: {seconds:.2f} s "
-              f"(baseline {BASELINE['experiments'][experiment_id]:.2f} s)")
+        print(f"  {experiment_id}: {seconds:.2f} s (baseline "
+              f"{SWEEP_BASELINE['experiments'][experiment_id]:.2f} s)")
     return times
 
 
 def bench_tuple_problem() -> float:
+    from repro.archsim.missmodel import calibrated_miss_model
+    from repro.cache.cache_model import CacheModel
+    from repro.cache.config import l1_config, l2_config
+    from repro.optimize.space import coarse_space
+    from repro.optimize.tuple_problem import solve_tuple_problem
+    from repro.perf import clear_cache
+
     clear_cache()
     l1 = CacheModel(l1_config(16))
     l2 = CacheModel(l2_config(1024))
@@ -73,15 +104,22 @@ def bench_tuple_problem() -> float:
     seconds, _ = _timed(
         lambda: solve_tuple_problem(l1, l2, miss_model, space=coarse_space())
     )
-    print(f"  solve_tuple_problem (coarse): {seconds:.2f} s "
-          f"(baseline {BASELINE['solve_tuple_problem_coarse']:.2f} s)")
+    print(f"  solve_tuple_problem (coarse): {seconds:.2f} s (baseline "
+          f"{SWEEP_BASELINE['solve_tuple_problem_coarse']:.2f} s)")
     return seconds
 
 
 def bench_tables() -> dict:
+    from repro.cache.cache_model import CacheModel
+    from repro.cache.config import l1_config
+    from repro.optimize.single_cache import component_tables
+    from repro.optimize.space import coarse_space, default_space
+    from repro.perf import clear_cache
+
     model = CacheModel(l1_config(16))
     out = {}
-    for label, space in (("default", default_space()), ("coarse", coarse_space())):
+    for label, space in (("default", default_space()),
+                         ("coarse", coarse_space())):
         clear_cache()
         cold, _ = _timed(lambda: component_tables(model, space))
         warm, _ = _timed(lambda: component_tables(model, space))
@@ -93,25 +131,21 @@ def bench_tables() -> dict:
 
 
 def bench_run_all(jobs: int) -> dict:
-    """Time run_all() serially (one process, shared warm table cache, as
-    run_all really executes) and fanned out over workers."""
+    from repro.experiments.runner import REGISTRY, run_many
+    from repro.perf import clear_cache
+
     ids = sorted(REGISTRY)
     clear_cache()
     serial, _ = _timed(lambda: run_many(ids, jobs=1))
     parallel, _ = _timed(lambda: run_many(ids, jobs=jobs))
     print(f"  run_all serial {serial:.2f} s "
-          f"(baseline {BASELINE['run_all']:.2f} s), "
+          f"(baseline {SWEEP_BASELINE['run_all']:.2f} s), "
           f"--jobs {jobs} {parallel:.2f} s")
     return {"run_all": serial, f"run_all_jobs{jobs}": parallel}
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_1.json",
-                        help="JSON report path (default BENCH_1.json)")
-    parser.add_argument("--jobs", type=int, default=2,
-                        help="worker count for the parallel-runner bench")
-    arguments = parser.parse_args(argv)
+def run_sweep_suite(output: str, jobs: int) -> int:
+    from repro.perf import cache_info
 
     print("experiments (isolated: cache cleared per experiment):")
     experiment_times = bench_experiments()
@@ -120,11 +154,11 @@ def main(argv=None) -> int:
     print("evaluation tables:")
     table_times = bench_tables()
     print("run_all:")
-    run_all_times = bench_run_all(arguments.jobs)
+    run_all_times = bench_run_all(jobs)
     run_all_time = run_all_times["run_all"]
 
     report = {
-        "baseline": BASELINE,
+        "baseline": SWEEP_BASELINE,
         "measured": {
             "experiments": experiment_times,
             "solve_tuple_problem_coarse": tuple_time,
@@ -132,12 +166,12 @@ def main(argv=None) -> int:
             **run_all_times,
         },
         "speedup": {
-            "run_all": BASELINE["run_all"] / run_all_time,
+            "run_all": SWEEP_BASELINE["run_all"] / run_all_time,
             "solve_tuple_problem_coarse": (
-                BASELINE["solve_tuple_problem_coarse"] / tuple_time
+                SWEEP_BASELINE["solve_tuple_problem_coarse"] / tuple_time
             ),
             "component_tables_default_cold": (
-                BASELINE["component_tables_default"]
+                SWEEP_BASELINE["component_tables_default"]
                 / table_times["component_tables_default_cold"]
             ),
         },
@@ -146,15 +180,144 @@ def main(argv=None) -> int:
             "misses": cache_info().misses,
         },
     }
-    with open(arguments.output, "w") as handle:
+    with open(output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(f"\nrun_all: {run_all_time:.2f} s "
           f"({report['speedup']['run_all']:.1f}x vs baseline)")
     print(f"tuple problem: {tuple_time:.2f} s "
-          f"({report['speedup']['solve_tuple_problem_coarse']:.1f}x vs baseline)")
-    print(f"report written to {arguments.output}")
+          f"({report['speedup']['solve_tuple_problem_coarse']:.1f}x)")
+    print(f"report written to {output}")
     return 0
+
+
+# --------------------------------------------------------------------------
+# archsim suite (PR 2)
+# --------------------------------------------------------------------------
+
+def bench_archsim(n: int = 2_000_000) -> dict:
+    from repro.archsim.missmodel import measure_miss_model
+    from repro.archsim.setassoc import ArraySetAssociativeCache
+    from repro.archsim.stackdist import stack_distance_profile
+    from repro.archsim.workloads import SPEC2000_LIKE, synthetic_trace_buffer
+
+    measured = {}
+
+    gen_seconds, trace = _timed(
+        lambda: synthetic_trace_buffer(SPEC2000_LIKE, n, seed=1)
+    )
+    measured["trace_gen_2m"] = gen_seconds
+    print(f"  trace generation ({n:,}): {gen_seconds:.3f} s "
+          f"({n / gen_seconds / 1e6:.1f} M acc/s, baseline "
+          f"{ARCHSIM_BASELINE['trace_gen_2m']:.2f} s)")
+
+    cache = ArraySetAssociativeCache(32 * 1024, 64, 4)
+    sim_seconds, _ = _timed(lambda: cache.run(trace))
+    measured["setassoc_2m"] = sim_seconds
+    print(f"  set-assoc sim ({n:,}, 32KB/64B/4-way): {sim_seconds:.3f} s "
+          f"({n / sim_seconds / 1e6:.1f} M acc/s, baseline "
+          f"{ARCHSIM_BASELINE['setassoc_2m']:.2f} s)")
+
+    small = trace.slice(0, 200_000)
+    small_seconds, _ = _timed(lambda: stack_distance_profile(small))
+    measured["stackdist_200k"] = small_seconds
+    dist_seconds, _ = _timed(lambda: stack_distance_profile(trace))
+    measured["stackdist_2m"] = dist_seconds
+    print(f"  stack distance (200k): {small_seconds:.3f} s (baseline "
+          f"{ARCHSIM_BASELINE['stackdist_200k']:.2f} s)")
+    print(f"  stack distance ({n:,}): {dist_seconds:.3f} s "
+          f"({n / dist_seconds / 1e6:.1f} M acc/s, baseline "
+          f"{ARCHSIM_BASELINE['stackdist_2m']:.2f} s)")
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_seconds, cold = _timed(
+            lambda: measure_miss_model(SPEC2000_LIKE, cache_dir=cache_dir)
+        )
+        warm_seconds, warm = _timed(
+            lambda: measure_miss_model(SPEC2000_LIKE, cache_dir=cache_dir)
+        )
+    assert warm == cold
+    measured["measure_miss_model_cold"] = cold_seconds
+    measured["measure_miss_model_warm"] = warm_seconds
+    print(f"  measure_miss_model: cold {cold_seconds:.3f} s (baseline "
+          f"{ARCHSIM_BASELINE['measure_miss_model_cold']:.2f} s), "
+          f"warm {warm_seconds * 1e3:.1f} ms")
+    return measured
+
+
+def run_archsim_suite(output: str) -> int:
+    print("trace engine:")
+    measured = bench_archsim()
+    speedup = {
+        key: ARCHSIM_BASELINE[key] / measured[key]
+        for key in ARCHSIM_BASELINE
+    }
+    speedup["measure_miss_model_warm"] = (
+        ARCHSIM_BASELINE["measure_miss_model_cold"]
+        / measured["measure_miss_model_warm"]
+    )
+    report = {
+        "baseline": ARCHSIM_BASELINE,
+        "measured": measured,
+        "speedup": speedup,
+        "throughput_accesses_per_second": {
+            "trace_gen": 2_000_000 / measured["trace_gen_2m"],
+            "setassoc_sim": 2_000_000 / measured["setassoc_2m"],
+            "stackdist": 2_000_000 / measured["stackdist_2m"],
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nstack distance 2M: {speedup['stackdist_2m']:.1f}x vs baseline")
+    print(f"measure_miss_model: cold "
+          f"{speedup['measure_miss_model_cold']:.1f}x, warm "
+          f"{speedup['measure_miss_model_warm']:.0f}x vs baseline")
+    print(f"report written to {output}")
+    return 0
+
+
+def run_smoke() -> int:
+    """CI regression gate: 200k-access stack-distance profile."""
+    from repro.archsim.stackdist import stack_distance_profile
+    from repro.archsim.workloads import SPEC2000_LIKE, synthetic_trace_buffer
+
+    trace = synthetic_trace_buffer(SPEC2000_LIKE, 200_000, seed=1)
+    seconds, profile = _timed(lambda: stack_distance_profile(trace))
+    limit = SMOKE_FACTOR * ARCHSIM_BASELINE["stackdist_200k"]
+    print(f"smoke: stack_distance_profile(200k) = {seconds:.3f} s "
+          f"(limit {limit:.2f} s), {profile.total_accesses:,} accesses")
+    if seconds > limit:
+        print(f"FAIL: exceeded {SMOKE_FACTOR:.0f}x the recorded "
+              f"{ARCHSIM_BASELINE['stackdist_200k']:.2f} s baseline",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", default="archsim",
+                        choices=("archsim", "sweep"),
+                        help="which benchmark suite to run")
+    parser.add_argument("--output", default=None,
+                        help="JSON report path (default BENCH_2.json for "
+                             "archsim, BENCH_1.json for sweep)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker count for the sweep parallel-runner "
+                             "bench")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI regression gate; exits non-zero on "
+                             "a >3x stack-distance regression")
+    arguments = parser.parse_args(argv)
+
+    if arguments.smoke:
+        return run_smoke()
+    if arguments.suite == "sweep":
+        return run_sweep_suite(arguments.output or "BENCH_1.json",
+                               arguments.jobs)
+    return run_archsim_suite(arguments.output or "BENCH_2.json")
 
 
 if __name__ == "__main__":
