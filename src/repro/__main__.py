@@ -12,6 +12,8 @@ Commands
     Run the Section 4 optimiser for a scheme and delay target.
 ``fit``
     Characterise a cache, fit the Section 3 forms, optionally save JSON.
+``serve``
+    Start the batched sweep/calibration HTTP daemon (docs/SERVICE.md).
 """
 
 from __future__ import annotations
@@ -116,6 +118,22 @@ def _cmd_fit(arguments) -> int:
     return 0
 
 
+def _cmd_serve(arguments) -> int:
+    from repro.service import ServiceConfig, run
+
+    config = ServiceConfig(
+        host=arguments.host,
+        port=arguments.port,
+        batch_window_seconds=arguments.batch_window_ms / 1000.0,
+        job_workers=arguments.job_workers,
+        job_queue=arguments.job_queue,
+        job_timeout_seconds=arguments.job_timeout,
+        cache_dir=arguments.cache_dir,
+        quiet=not arguments.verbose,
+    )
+    return run(config, port_file=arguments.port_file)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -159,6 +177,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_arguments(fit)
     fit.add_argument("--output", help="write the fit to this JSON path")
     fit.set_defaults(handler=_cmd_fit)
+
+    serve = commands.add_parser(
+        "serve", help="start the HTTP service daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="port to listen on; 0 picks an ephemeral port")
+    serve.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write the bound port to this file on startup")
+    serve.add_argument("--batch-window-ms", type=float, default=5.0,
+                       help="sweep coalescing window in ms (default 5)")
+    serve.add_argument("--job-workers", type=int, default=2,
+                       help="calibration worker processes (default 2)")
+    serve.add_argument("--job-queue", type=int, default=16,
+                       help="max queued calibration jobs (default 16)")
+    serve.add_argument("--job-timeout", type=float, default=600.0,
+                       help="per-job timeout in seconds (default 600)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="calibration disk-cache directory")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

@@ -107,7 +107,7 @@ class MissRateModel:
 
 #: Bump when measurement semantics change: it is folded into the disk
 #: fingerprint, so stale cached curves can never be served.
-_CALIBRATION_FORMAT = 2
+_CALIBRATION_FORMAT = 3
 
 
 def _point_configs(level: str, kb: int) -> Tuple[CacheConfig, CacheConfig]:
@@ -161,6 +161,7 @@ def _calibration_fingerprint(
     l1_grid_kb: Sequence[int],
     l2_grid_kb: Sequence[int],
     engine: str,
+    estimator: str,
 ) -> str:
     """Fold every input that determines the curves into one string."""
     return repr(
@@ -174,7 +175,70 @@ def _calibration_fingerprint(
             (REFERENCE_L1_BLOCK, REFERENCE_L1_ASSOC, REFERENCE_L1_KB),
             (REFERENCE_L2_BLOCK, REFERENCE_L2_ASSOC, REFERENCE_L2_KB),
             engine,
+            estimator,
         )
+    )
+
+
+def _stackdist_estimate(
+    spec: WorkloadSpec,
+    n_accesses: int,
+    seed: int,
+    l1_grid_kb: Sequence[int],
+    l2_grid_kb: Sequence[int],
+) -> MissRateModel:
+    """Estimate both curves from one stack-distance pass over the trace.
+
+    Mattson's inclusion property turns a single O(n log n) profile into
+    the miss rate of *every* fully-associative LRU capacity at once, so
+    the whole (level, size) grid costs two profiling passes (one per
+    block granularity) instead of one simulation per point.  The price is
+    a model mismatch — the grid path simulates the real set-associative
+    shapes — quantified by the test suite; it is the cheap first look,
+    not the calibration of record.
+
+    The L2 *local* rate is derived from global rates: with the reference
+    L1 as the filter, L2 accesses ≈ the reference L1's global misses, so
+    ``local(C2) = global_64B(C2) / global_32B(ref L1)`` clamped to 1.
+    Two effects are deliberately not modelled and dominate the L2 error
+    (the L1 error is negligible): the simulated L2 also serves L1 dirty
+    write-backs (denominator) and the L1 filter reorders the reference
+    stream the L2 sees.  ``tests/archsim/test_missmodel_stackdist.py``
+    pins the measured gap on a standard workload.
+    """
+    from repro.archsim.stackdist import stack_distance_profile
+
+    buffer = synthetic_trace_buffer(spec, n_accesses, seed=seed, block_bytes=64)
+    profile_l1 = stack_distance_profile(
+        buffer, block_bytes=REFERENCE_L1_BLOCK
+    )
+    l1_rates = profile_l1.miss_curve(
+        [kb * 1024 // REFERENCE_L1_BLOCK for kb in l1_grid_kb]
+    )
+    filter_rate = profile_l1.miss_rate(
+        REFERENCE_L1_KB * 1024 // REFERENCE_L1_BLOCK
+    )
+    profile_l2 = stack_distance_profile(
+        buffer, block_bytes=REFERENCE_L2_BLOCK
+    )
+    l2_global = profile_l2.miss_curve(
+        [kb * 1024 // REFERENCE_L2_BLOCK for kb in l2_grid_kb]
+    )
+    return MissRateModel(
+        workload=spec.name,
+        l1_curve=tuple(
+            (kb * 1024, l1_rates[kb * 1024 // REFERENCE_L1_BLOCK])
+            for kb in l1_grid_kb
+        ),
+        l2_curve=tuple(
+            (
+                kb * 1024,
+                min(1.0, l2_global[kb * 1024 // REFERENCE_L2_BLOCK] / filter_rate)
+                if filter_rate > 0.0
+                else 0.0,
+            )
+            for kb in l2_grid_kb
+        ),
     )
 
 
@@ -188,6 +252,7 @@ def measure_miss_model(
     use_disk_cache: bool = True,
     cache_dir=None,
     engine: str = "array",
+    estimator: str = "grid",
 ) -> MissRateModel:
     """Measure a fresh :class:`MissRateModel` by simulation.
 
@@ -211,13 +276,24 @@ def measure_miss_model(
         ``"array"`` (default) uses the vectorized trace generator and
         chunked array hierarchy; ``"object"`` keeps the original
         per-record generator/simulator pair (the cross-validation path).
+    estimator:
+        ``"grid"`` (default) simulates every (level, size) point on the
+        set-associative reference shapes; ``"stackdist"`` derives the
+        whole grid from one stack-distance profile — a fully-associative
+        approximation that is far cheaper (``engine`` and ``jobs`` are
+        then irrelevant) at a quantified accuracy cost (see
+        :func:`_stackdist_estimate`).
     """
     if engine not in ("array", "object"):
         raise SimulationError(
             f"unknown engine {engine!r}; expected 'array' or 'object'"
         )
+    if estimator not in ("grid", "stackdist"):
+        raise SimulationError(
+            f"unknown estimator {estimator!r}; expected 'grid' or 'stackdist'"
+        )
     fingerprint = _calibration_fingerprint(
-        spec, n_accesses, seed, l1_grid_kb, l2_grid_kb, engine
+        spec, n_accesses, seed, l1_grid_kb, l2_grid_kb, engine, estimator
     )
     cache = (
         DiskCache("missmodel", directory=cache_dir) if use_disk_cache else None
@@ -236,6 +312,21 @@ def measure_miss_model(
                     for size, rate in payload["l2_curve"]
                 ),
             )
+
+    if estimator == "stackdist":
+        model = _stackdist_estimate(
+            spec, n_accesses, seed, l1_grid_kb, l2_grid_kb
+        )
+        if cache is not None:
+            cache.store(
+                fingerprint,
+                {
+                    "workload": model.workload,
+                    "l1_curve": [list(point) for point in model.l1_curve],
+                    "l2_curve": [list(point) for point in model.l2_curve],
+                },
+            )
+        return model
 
     points: List[Tuple[str, int]] = [("l1", kb) for kb in l1_grid_kb]
     points += [("l2", kb) for kb in l2_grid_kb]

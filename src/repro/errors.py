@@ -44,6 +44,24 @@ class OptimizationError(ReproError):
     """No feasible point exists, or the search space is empty."""
 
 
+class ValidationError(ReproError):
+    """A service request payload is malformed or out of range.
+
+    Raised by :mod:`repro.service.schemas` while decoding client JSON;
+    the HTTP layer maps it to a structured 4xx error envelope.  Carries
+    an optional machine-readable ``status`` so oversized requests can be
+    distinguished (413) from plain bad input (400).
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceUnavailableError(ReproError):
+    """The daemon cannot take the request right now (e.g. job queue full)."""
+
+
 class InfeasibleConstraintError(OptimizationError):
     """The delay/AMAT constraint excludes every candidate design point.
 

@@ -19,7 +19,13 @@ from repro.perf.table_cache import (
     cached_tables,
     clear_cache,
 )
-from repro.perf.disk_cache import DiskCache, default_cache_dir
+from repro.perf.disk_cache import (
+    DiskCache,
+    DiskCacheInfo,
+    default_cache_dir,
+    disk_cache_info,
+    reset_disk_cache_stats,
+)
 
 __all__ = [
     "TableCacheInfo",
@@ -27,5 +33,8 @@ __all__ = [
     "cached_tables",
     "clear_cache",
     "DiskCache",
+    "DiskCacheInfo",
     "default_cache_dir",
+    "disk_cache_info",
+    "reset_disk_cache_stats",
 ]

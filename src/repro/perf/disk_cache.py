@@ -11,6 +11,13 @@ The directory defaults to ``$REPRO_CACHE_DIR`` (or
 ``~/.cache/repro``) and is namespaced per consumer.  Writes are atomic
 (temp file + ``os.replace``) so concurrent calibration workers can race
 on the same key safely — last writer wins with identical content.
+
+Thread-safety: the per-instance hit/miss counters and the process-wide
+aggregates (:func:`disk_cache_info`) are guarded by one module lock, so
+the service layer — which loads cache entries from many request threads
+at once — reports exact counts.  Consumers typically construct a fresh
+:class:`DiskCache` per call, so the aggregates are what ``/metrics``
+exposes.
 """
 
 from __future__ import annotations
@@ -19,10 +26,43 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
 from repro.errors import SimulationError
+
+_stats_lock = threading.Lock()
+_total_hits = 0
+_total_misses = 0
+
+
+@dataclass(frozen=True)
+class DiskCacheInfo:
+    """Process-wide disk-cache counters, summed over all instances."""
+
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def disk_cache_info() -> DiskCacheInfo:
+    """Return the aggregate hit/miss counters for this process."""
+    with _stats_lock:
+        return DiskCacheInfo(hits=_total_hits, misses=_total_misses)
+
+
+def reset_disk_cache_stats() -> None:
+    """Zero the process-wide aggregate counters (instances keep theirs)."""
+    global _total_hits, _total_misses
+    with _stats_lock:
+        _total_hits = 0
+        _total_misses = 0
 
 
 def default_cache_dir() -> Path:
@@ -56,6 +96,16 @@ class DiskCache:
         self.hits = 0
         self.misses = 0
 
+    def _count(self, hit: bool) -> None:
+        global _total_hits, _total_misses
+        with _stats_lock:
+            if hit:
+                self.hits += 1
+                _total_hits += 1
+            else:
+                self.misses += 1
+                _total_misses += 1
+
     def path_for(self, fingerprint: str) -> Path:
         """Return the entry path for a fingerprint."""
         digest = hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
@@ -72,14 +122,14 @@ class DiskCache:
             with open(path) as handle:
                 entry = json.load(handle)
         except (OSError, ValueError):
-            self.misses += 1
+            self._count(hit=False)
             return None
         # Guard against (astronomically unlikely) digest collisions and
         # format drift: the full fingerprint is stored alongside.
         if entry.get("fingerprint") != fingerprint:
-            self.misses += 1
+            self._count(hit=False)
             return None
-        self.hits += 1
+        self._count(hit=True)
         return entry["payload"]
 
     def store(self, fingerprint: str, payload) -> Path:

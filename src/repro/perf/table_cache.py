@@ -17,7 +17,12 @@ This module deliberately does not import :mod:`repro.optimize.single_cache`
 (which imports it); the table-computing callback is injected instead.
 
 Thread-safety: a single lock guards the table dict and the hit/miss
-counters.  Entries are evicted least-recently-used beyond ``MAX_ENTRIES``.
+counters, and concurrent misses on the same key are collapsed into one
+computation (single-flight) — followers block until the leader's tables
+land and then share the same object.  The service layer makes this the
+common case: a batched sweep and an optimise request for the same model
+arrive on different threads within microseconds of each other.  Entries
+are evicted least-recently-used beyond ``MAX_ENTRIES``.
 """
 
 from __future__ import annotations
@@ -36,6 +41,19 @@ _lock = threading.Lock()
 _tables: "OrderedDict[str, object]" = OrderedDict()
 _hits = 0
 _misses = 0
+
+
+class _InFlight:
+    """One in-progress computation other threads can wait on."""
+
+    __slots__ = ("event", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.error: Optional[BaseException] = None
+
+
+_inflight: "dict[str, _InFlight]" = {}
 
 
 @dataclass(frozen=True)
@@ -148,24 +166,39 @@ def cached_tables(
     if model_print is None or space_print is None:
         return compute(model, space)
     key = model_print + "|" + space_print
+    while True:
+        with _lock:
+            if key in _tables:
+                _hits += 1
+                _tables.move_to_end(key)
+                return _tables[key]
+            waiter = _inflight.get(key)
+            if waiter is None:
+                leader = _InFlight()
+                _inflight[key] = leader
+                break
+        # Another thread is computing this key: wait, then re-check.  On
+        # success the entry is in ``_tables`` and the re-check counts a
+        # hit; if it was evicted in between, the loop elects a new leader.
+        waiter.event.wait()
+        if waiter.error is not None:
+            raise waiter.error
+    try:
+        tables = compute(model, space)
+    except BaseException as error:
+        with _lock:
+            leader.error = error
+            _inflight.pop(key, None)
+        leader.event.set()
+        raise
     with _lock:
-        if key in _tables:
-            _hits += 1
-            _tables.move_to_end(key)
-            return _tables[key]
-    tables = compute(model, space)
-    with _lock:
-        if key not in _tables:
-            _misses += 1
-            _tables[key] = tables
-            while len(_tables) > MAX_ENTRIES:
-                _tables.popitem(last=False)
-        else:
-            # Raced with another thread; count our work as the miss it was
-            # and serve the incumbent entry so callers share one object.
-            _misses += 1
-            _tables.move_to_end(key)
-            tables = _tables[key]
+        _misses += 1
+        _tables[key] = tables
+        _tables.move_to_end(key)
+        while len(_tables) > MAX_ENTRIES:
+            _tables.popitem(last=False)
+        _inflight.pop(key, None)
+    leader.event.set()
     return tables
 
 

@@ -1,0 +1,30 @@
+"""Long-running HTTP service over the repro engines.
+
+``python -m repro serve`` starts the daemon; see ``docs/SERVICE.md`` for
+the endpoint reference and :mod:`repro.service.client` for the Python
+client.  The package splits cleanly by concern:
+
+* :mod:`repro.service.schemas`  — request validation / error envelopes
+* :mod:`repro.service.batching` — sweep coalescing over union grids
+* :mod:`repro.service.jobs`     — background calibration worker pool
+* :mod:`repro.service.metrics`  — counters / gauges / histograms
+* :mod:`repro.service.server`   — HTTP transport + endpoint handlers
+* :mod:`repro.service.client`   — stdlib keep-alive client
+"""
+
+from repro.service.server import (
+    ReproService,
+    ServiceConfig,
+    create_server,
+    run,
+)
+from repro.service.client import ServiceClient, ServiceError
+
+__all__ = [
+    "ReproService",
+    "ServiceConfig",
+    "ServiceClient",
+    "ServiceError",
+    "create_server",
+    "run",
+]

@@ -1,0 +1,136 @@
+"""Minimal stdlib client for the repro service daemon.
+
+Used by ``tools/loadgen.py``, the benchmark suite, and the tests; also a
+reasonable starting point for notebook use.  One :class:`ServiceClient`
+holds one keep-alive HTTP connection, so it is cheap to issue many
+requests from the same thread; it is NOT thread-safe — give each load
+generator thread its own client.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Optional, Sequence
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries the structured error envelope."""
+
+    def __init__(self, status: int, envelope: dict) -> None:
+        detail = envelope.get("error", {}) if isinstance(envelope, dict) else {}
+        message = detail.get("message", "service error")
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.envelope = envelope
+
+
+class ServiceClient:
+    """One persistent connection to a running repro service."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8023,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, method: str, path: str, body: Optional[dict] = None):
+        """Issue one request; returns the decoded JSON payload.
+
+        Raises :class:`ServiceError` on a non-2xx status.  Retries once
+        on a dropped keep-alive connection (the server may close idle
+        connections between calls).
+        """
+        encoded = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if encoded else {}
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=encoded,
+                                   headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        payload = json.loads(raw) if raw else {}
+        if response.status >= 400:
+            raise ServiceError(response.status, payload)
+        return payload
+
+    # -- endpoint helpers --------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def sweep(self, cache: dict, vth, tox,
+              components: Optional[Sequence[str]] = None) -> dict:
+        body = {"cache": cache, "vth": vth, "tox": tox}
+        if components is not None:
+            body["components"] = list(components)
+        return self.request("POST", "/v1/sweep", body)
+
+    def optimize(self, cache: dict, scheme, target_ps: float,
+                 vth=None, tox=None) -> dict:
+        body = {"cache": cache, "scheme": str(scheme),
+                "target_ps": target_ps}
+        if vth is not None:
+            body["vth"] = vth
+        if tox is not None:
+            body["tox"] = tox
+        return self.request("POST", "/v1/optimize", body)
+
+    def amat(self, **body) -> dict:
+        return self.request("POST", "/v1/amat", body)
+
+    def calibrate(self, **body) -> dict:
+        return self.request("POST", "/v1/calibrate", body)
+
+    def job(self, job_id: str) -> dict:
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel_job(self, job_id: str) -> dict:
+        return self.request("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait_for_job(self, job_id: str, timeout: float = 120.0,
+                     poll_interval: float = 0.25) -> dict:
+        """Poll until the job reaches a terminal state (or raise)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["status"] in ("done", "failed", "cancelled",
+                                      "timeout"):
+                return snapshot
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['status']!r} after "
+                    f"{timeout:.0f} s"
+                )
+            time.sleep(poll_interval)

@@ -1,0 +1,308 @@
+"""Bounded background-job execution for the calibration endpoint.
+
+Calibration runs are seconds-to-minutes of pure CPU — far too long to
+hold an HTTP connection open, and heavy enough that an unbounded fan-out
+would starve the sweep path.  :class:`JobManager` therefore runs them on
+a fixed-size :class:`~concurrent.futures.ProcessPoolExecutor` behind a
+bounded queue, and gives every submission a job id the client polls via
+``GET /v1/jobs/<id>``.
+
+Lifecycle: ``queued -> running -> done | failed | cancelled | timeout``.
+Cancellation is cooperative at the queue boundary: a queued job is
+withdrawn before it ever starts; a running job cannot be interrupted
+mid-simulation (POSIX offers no safe way to stop a worker mid-numpy),
+so cancelling it marks the job and discards its result on arrival.  The
+watchdog thread applies the same discard to jobs that exceed their
+timeout.  ``shutdown`` drains or cancels everything — it is the SIGTERM
+path, so it must never hang.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import ServiceUnavailableError, ValidationError
+
+from repro.service.metrics import MetricsRegistry
+
+#: States a job can be observed in.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+TIMEOUT = "timeout"
+
+_TERMINAL = (DONE, FAILED, CANCELLED, TIMEOUT)
+
+
+@dataclass
+class _Job:
+    job_id: str
+    kind: str
+    submitted_at: float
+    timeout_seconds: float
+    future: Optional[Future] = None
+    status: str = QUEUED
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[object] = None
+    error: Optional[str] = None
+    detail: dict = field(default_factory=dict)
+
+
+class JobManager:
+    """Submit, observe, cancel, and drain background jobs."""
+
+    def __init__(
+        self,
+        max_workers: int = 2,
+        max_queue: int = 16,
+        timeout_seconds: float = 600.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, _Job] = {}
+        self._ids = itertools.count(1)
+        self._max_workers = max_workers
+        self._max_queue = max_queue
+        self._timeout_seconds = timeout_seconds
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._shutdown = False
+        self._watchdog: Optional[threading.Thread] = None
+        self._metrics.register_gauge("jobs.queue_depth", self.queue_depth)
+        self._metrics.register_gauge("jobs.running", self.running_count)
+
+    # -- observability -----------------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Jobs admitted but not yet started."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values()
+                       if job.status == QUEUED)
+
+    def running_count(self) -> int:
+        with self._lock:
+            return sum(1 for job in self._jobs.values()
+                       if job.status == RUNNING)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._max_workers
+            )
+        if self._watchdog is None:
+            self._watchdog = threading.Thread(
+                target=self._watch, name="repro-job-watchdog", daemon=True
+            )
+            self._watchdog.start()
+        return self._executor
+
+    def submit(self, kind: str, fn: Callable, /, *args, **kwargs) -> str:
+        """Admit one job; returns its id or raises when saturated."""
+        with self._lock:
+            if self._shutdown:
+                raise ServiceUnavailableError(
+                    "the service is shutting down; no new jobs accepted"
+                )
+            queued = sum(1 for job in self._jobs.values()
+                         if job.status == QUEUED)
+            if queued >= self._max_queue:
+                raise ServiceUnavailableError(
+                    f"job queue is full ({queued} queued, limit "
+                    f"{self._max_queue}); retry later"
+                )
+            job_id = f"job-{next(self._ids)}"
+            job = _Job(
+                job_id=job_id,
+                kind=kind,
+                submitted_at=time.time(),
+                timeout_seconds=self._timeout_seconds,
+            )
+            self._jobs[job_id] = job
+        self._metrics.increment("jobs.submitted")
+        future = self._ensure_executor().submit(fn, *args, **kwargs)
+        with self._lock:
+            job.future = future
+        future.add_done_callback(lambda done: self._on_done(job_id, done))
+        return job_id
+
+    def _on_done(self, job_id: str, future: Future) -> None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return
+            job.finished_at = time.time()
+            if job.status in (CANCELLED, TIMEOUT):
+                return  # result arrived after the verdict: discard it
+            if future.cancelled():
+                job.status = CANCELLED
+            else:
+                error = future.exception()
+                if error is not None:
+                    job.status = FAILED
+                    job.error = f"{type(error).__name__}: {error}"
+                else:
+                    job.status = DONE
+                    job.result = future.result()
+            status = job.status
+        self._metrics.increment(f"jobs.{status}")
+        if status in (DONE, FAILED):
+            with self._lock:
+                duration = job.finished_at - job.submitted_at
+            self._metrics.observe("jobs.duration_seconds", duration)
+
+    def _watch(self) -> None:
+        """Mark RUNNING, and expire jobs past their timeout."""
+        while True:
+            time.sleep(0.2)
+            expired = []
+            with self._lock:
+                if self._shutdown:
+                    return
+                now = time.time()
+                for job in self._jobs.values():
+                    if job.status == QUEUED and job.future is not None \
+                            and job.future.running():
+                        job.status = RUNNING
+                        job.started_at = now
+                    if job.status in (QUEUED, RUNNING) \
+                            and now - job.submitted_at > job.timeout_seconds:
+                        job.status = TIMEOUT
+                        job.finished_at = now
+                        job.error = (
+                            f"job exceeded its {job.timeout_seconds:.0f} s "
+                            f"timeout"
+                        )
+                        expired.append(job.future)
+            # Future.cancel() on a still-pending future runs the done
+            # callbacks synchronously on this thread, and _on_done takes
+            # _lock — so the cancel must happen after the lock is
+            # released.  Status is already TIMEOUT, so _on_done discards.
+            for future in expired:
+                if future is not None:
+                    future.cancel()
+                self._metrics.increment("jobs.timeout")
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a job if it has not finished; returns its snapshot."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise ValidationError(f"unknown job id {job_id!r}",
+                                      status=404)
+            if job.status in _TERMINAL:
+                return self._snapshot(job)
+            # Mark terminal *before* touching the future: _on_done (which
+            # Future.cancel() may invoke synchronously on this thread once
+            # the lock is released) early-returns on CANCELLED and never
+            # double-counts or overwrites the verdict.
+            job.status = CANCELLED
+            job.finished_at = time.time()
+            future = job.future
+        # Never call Future.cancel() while holding _lock: a pending
+        # future runs its done callbacks on the cancelling thread, and
+        # _on_done acquires _lock — that is a self-deadlock.
+        withdrawn = future.cancel() if future is not None else True
+        with self._lock:
+            if not withdrawn:
+                # Already on a worker: the result is discarded on arrival.
+                job.detail["note"] = (
+                    "job was already running; its result will be discarded"
+                )
+            snapshot = self._snapshot(job)
+        self._metrics.increment("jobs.cancelled")
+        return snapshot
+
+    def get(self, job_id: str) -> dict:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise ValidationError(f"unknown job id {job_id!r}",
+                                      status=404)
+            # The watchdog polls at 5 Hz; refresh RUNNING on read so a
+            # fast poller never sees a stale QUEUED for a started job.
+            if job.status == QUEUED and job.future is not None \
+                    and job.future.running():
+                job.status = RUNNING
+                job.started_at = time.time()
+            return self._snapshot(job)
+
+    def _snapshot(self, job: _Job) -> dict:
+        payload = {
+            "job_id": job.job_id,
+            "kind": job.kind,
+            "status": job.status,
+            "submitted_at": job.submitted_at,
+            "started_at": job.started_at,
+            "finished_at": job.finished_at,
+        }
+        if job.result is not None:
+            payload["result"] = job.result
+        if job.error is not None:
+            payload["error"] = job.error
+        payload.update(job.detail)
+        return payload
+
+    def shutdown(self, wait_seconds: float = 5.0) -> dict:
+        """Drain on SIGTERM: cancel the queue, give runners a grace window.
+
+        Returns a summary of what happened to in-flight work (logged by
+        the server so an operator can see nothing was silently lost).
+        """
+        with self._lock:
+            self._shutdown = True
+            jobs = list(self._jobs.values())
+        cancelled = drained = 0
+        for job in jobs:
+            with self._lock:
+                if job.status in _TERMINAL:
+                    continue
+                future = job.future
+            if future is not None and future.cancel():
+                with self._lock:
+                    job.status = CANCELLED
+                    job.finished_at = time.time()
+                cancelled += 1
+        deadline = time.time() + wait_seconds
+        for job in jobs:
+            with self._lock:
+                future = job.future
+                status = job.status
+            if status in _TERMINAL or future is None:
+                continue
+            remaining = deadline - time.time()
+            try:
+                future.result(timeout=max(0.0, remaining))
+                drained += 1
+            except Exception:
+                with self._lock:
+                    if job.status not in _TERMINAL:
+                        job.status = CANCELLED
+                        job.finished_at = time.time()
+                cancelled += 1
+        if self._executor is not None:
+            with self._lock:
+                overstayed = any(
+                    job.future is not None and job.future.running()
+                    for job in jobs
+                )
+            if overstayed:
+                # A worker outlived the grace window; its result is
+                # already discarded, so end it rather than block exit.
+                for process in list(
+                    getattr(self._executor, "_processes", {}).values()
+                ):
+                    process.terminate()
+            # wait=True reaps the worker processes here — leaving them to
+            # the interpreter's atexit hook races its own fd teardown.
+            self._executor.shutdown(wait=True, cancel_futures=True)
+        return {"drained": drained, "cancelled": cancelled}

@@ -1,0 +1,146 @@
+"""Thread-safe service observability: counters, gauges, histograms.
+
+Everything ``GET /metrics`` reports lives in one :class:`MetricsRegistry`
+guarded by a single lock — request threads, the batching scheduler, and
+the job watchdog all write to it concurrently.  Histograms use fixed
+logarithmic bucket boundaries (Prometheus-style cumulative ``le``
+counts) so latency distributions are mergeable across scrapes without
+the server retaining per-request samples.
+
+Gauges come in two flavours: values set by the code path that owns them
+(``set_gauge``) and callables sampled at snapshot time
+(``register_gauge``) — the latter is how queue depth and the perf-cache
+counters appear without the caches having to push updates.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds): 1 ms to 10 s, roughly 1-2.5-5 per
+#: decade.  Requests beyond the last edge land in the implicit +Inf
+#: bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Buckets for batch-size distributions (requests per coalesced batch).
+SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+
+class _Histogram:
+    """Cumulative-bucket histogram (observe under the registry lock)."""
+
+    __slots__ = ("boundaries", "bucket_counts", "count", "total", "minimum",
+                 "maximum")
+
+    def __init__(self, boundaries: Sequence[float]) -> None:
+        self.boundaries = tuple(boundaries)
+        self.bucket_counts = [0] * (len(self.boundaries) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        index = 0
+        for boundary in self.boundaries:
+            if value <= boundary:
+                break
+            index += 1
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def snapshot(self) -> Dict[str, object]:
+        cumulative: List[int] = []
+        running = 0
+        for bucket_count in self.bucket_counts[:-1]:
+            running += bucket_count
+            cumulative.append(running)
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.total / self.count if self.count else 0.0,
+            "min": self.minimum,
+            "max": self.maximum,
+            "buckets": {
+                repr(boundary): cumulative_count
+                for boundary, cumulative_count in zip(
+                    self.boundaries, cumulative
+                )
+            },
+        }
+
+
+class MetricsRegistry:
+    """One lock, three metric families, one JSON-able snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._gauge_callbacks: Dict[str, Callable[[], object]] = {}
+        self._histograms: Dict[str, _Histogram] = {}
+
+    def increment(self, name: str, delta: int = 1) -> None:
+        """Add ``delta`` to a (auto-created) monotonic counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + delta
+
+    def counter(self, name: str) -> int:
+        """Read one counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time value."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def register_gauge(self, name: str, callback: Callable[[], object]) -> None:
+        """Sample ``callback()`` at snapshot time under this name."""
+        with self._lock:
+            self._gauge_callbacks[name] = callback
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        boundaries: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        """Record one sample into a (auto-created) histogram."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = _Histogram(boundaries)
+            histogram.observe(value)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Return the whole registry as one JSON-serialisable document."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            callbacks = list(self._gauge_callbacks.items())
+            histograms = {
+                name: histogram.snapshot()
+                for name, histogram in self._histograms.items()
+            }
+        # Callbacks run outside the lock: they may take other locks (the
+        # job manager's, the perf caches') and must not nest under ours.
+        for name, callback in callbacks:
+            try:
+                gauges[name] = callback()
+            except Exception as error:  # pragma: no cover - defensive
+                gauges[name] = f"error: {error}"
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }

@@ -1,0 +1,493 @@
+"""Request decoding and validation for the service endpoints.
+
+Every endpoint handler receives already-validated, typed request objects
+from this module; nothing downstream ever sees raw client JSON.  All
+failures raise :class:`repro.errors.ValidationError` carrying the HTTP
+status the transport layer should answer with (400 for bad input, 413
+for oversized grids/traces), so a malformed request can never take a
+worker thread down or surface as a 500.
+
+The limits here are the daemon's admission control: a single sweep is
+capped at :data:`MAX_GRID_POINTS` grid points and a calibration at
+:data:`MAX_TRACE_ACCESSES` accesses — enough for every legitimate use of
+the engines, small enough that one request cannot monopolise the
+process.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.archsim.workloads import STANDARD_WORKLOADS, WorkloadSpec
+from repro.cache.assignment import COMPONENT_NAMES, Knobs, knobs
+from repro.cache.config import CacheConfig
+from repro.optimize.schemes import Scheme
+from repro.technology.bptm import TOX_MAX_A, TOX_MIN_A, VTH_MAX, VTH_MIN
+
+#: Hard ceiling on (n_vth x n_tox) points in one sweep/optimize request.
+MAX_GRID_POINTS = 4096
+
+#: Hard ceiling on one axis (keeps union grids bounded too).
+MAX_AXIS_POINTS = 256
+
+#: Hard ceiling on a calibration trace length.
+MAX_TRACE_ACCESSES = 5_000_000
+
+#: Hard ceiling on a custom workload footprint (bytes).
+MAX_FOOTPRINT_BYTES = 1 << 30
+
+#: Accepted scheme spellings -> enum.
+SCHEMES: Dict[str, Scheme] = {
+    "1": Scheme.PER_COMPONENT,
+    "2": Scheme.CELL_VS_PERIPHERY,
+    "3": Scheme.UNIFORM,
+}
+
+
+def error_envelope(
+    error_type: str, message: str, status: int, **extra
+) -> Dict[str, object]:
+    """The structured error body every non-2xx response carries."""
+    payload: Dict[str, object] = {
+        "type": error_type,
+        "message": message,
+        "status": status,
+    }
+    payload.update(extra)
+    return {"error": payload}
+
+
+def _require_object(body, what: str) -> dict:
+    if not isinstance(body, dict):
+        raise ValidationError(
+            f"{what} must be a JSON object, got {type(body).__name__}"
+        )
+    return body
+
+
+def _reject_unknown_keys(body: dict, allowed: Tuple[str, ...], what: str):
+    unknown = sorted(set(body) - set(allowed))
+    if unknown:
+        raise ValidationError(
+            f"{what} has unknown field(s) {unknown}; allowed: {sorted(allowed)}"
+        )
+
+
+def _number(body: dict, key: str, what: str, default=None, minimum=None,
+            maximum=None) -> float:
+    if key not in body:
+        if default is not None:
+            return default
+        raise ValidationError(f"{what} is missing required field {key!r}")
+    value = body[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(
+            f"{what}.{key} must be a number, got {type(value).__name__}"
+        )
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValidationError(f"{what}.{key} must be finite, got {value}")
+    if minimum is not None and value < minimum:
+        raise ValidationError(
+            f"{what}.{key} = {value} is below the minimum {minimum}"
+        )
+    if maximum is not None and value > maximum:
+        raise ValidationError(
+            f"{what}.{key} = {value} is above the maximum {maximum}"
+        )
+    return value
+
+
+def _integer(body: dict, key: str, what: str, default=None, minimum=None,
+             maximum=None) -> int:
+    value = _number(body, key, what, default=default, minimum=minimum,
+                    maximum=maximum)
+    if value != int(value):
+        raise ValidationError(f"{what}.{key} must be an integer, got {value}")
+    return int(value)
+
+
+def _axis(body: dict, key: str, what: str, low: float, high: float,
+          unit: str) -> Optional[Tuple[float, ...]]:
+    """Decode one sweep axis: a list of values or {min, max, points}.
+
+    Returns the sorted, de-duplicated axis, or None when absent.
+    """
+    if key not in body:
+        return None
+    raw = body[key]
+    if isinstance(raw, dict):
+        _reject_unknown_keys(raw, ("min", "max", "points"), f"{what}.{key}")
+        lower = _number(raw, "min", f"{what}.{key}", minimum=low, maximum=high)
+        upper = _number(raw, "max", f"{what}.{key}", minimum=low, maximum=high)
+        points = _integer(raw, "points", f"{what}.{key}", minimum=2,
+                          maximum=MAX_AXIS_POINTS)
+        if upper <= lower:
+            raise ValidationError(
+                f"{what}.{key}: max ({upper}) must exceed min ({lower})"
+            )
+        step = (upper - lower) / (points - 1)
+        values = [lower + index * step for index in range(points)]
+        values[-1] = upper
+    elif isinstance(raw, list):
+        if not raw:
+            raise ValidationError(f"{what}.{key} must not be empty")
+        if len(raw) > MAX_AXIS_POINTS:
+            raise ValidationError(
+                f"{what}.{key} has {len(raw)} points; the limit is "
+                f"{MAX_AXIS_POINTS}",
+                status=413,
+            )
+        values = []
+        for value in raw:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValidationError(
+                    f"{what}.{key} entries must be numbers, got "
+                    f"{type(value).__name__}"
+                )
+            value = float(value)
+            if not math.isfinite(value):
+                raise ValidationError(f"{what}.{key} entries must be finite")
+            if not low <= value <= high:
+                raise ValidationError(
+                    f"{what}.{key} value {value} {unit} is outside the "
+                    f"paper's range [{low}, {high}] {unit}"
+                )
+            values.append(value)
+    else:
+        raise ValidationError(
+            f"{what}.{key} must be a list or a {{min, max, points}} object"
+        )
+    return tuple(sorted(set(values)))
+
+
+def _cache_config(body: dict, what: str) -> CacheConfig:
+    raw = _require_object(body.get("cache"), f"{what}.cache")
+    _reject_unknown_keys(
+        raw, ("size_kb", "block_bytes", "associativity", "output_bits",
+              "name"), f"{what}.cache"
+    )
+    size_kb = _number(raw, "size_kb", f"{what}.cache", minimum=1,
+                      maximum=64 * 1024)
+    block_bytes = _integer(raw, "block_bytes", f"{what}.cache", default=32,
+                           minimum=8, maximum=512)
+    associativity = _integer(raw, "associativity", f"{what}.cache", default=2,
+                             minimum=1, maximum=64)
+    output_bits = _integer(raw, "output_bits", f"{what}.cache", default=64,
+                           minimum=8, maximum=1024)
+    name = raw.get("name", f"cache-{size_kb:g}K")
+    if not isinstance(name, str) or len(name) > 64:
+        raise ValidationError(
+            f"{what}.cache.name must be a string of at most 64 characters"
+        )
+    # CacheConfig's own __post_init__ performs the deep geometry checks;
+    # its ConfigurationError is mapped to a 400 by the transport layer.
+    return CacheConfig(
+        size_bytes=int(size_kb * 1024),
+        block_bytes=block_bytes,
+        associativity=associativity,
+        output_bits=output_bits,
+        name=name,
+    )
+
+
+def _knobs(body: dict, key: str, what: str, default: Knobs) -> Knobs:
+    if key not in body:
+        return default
+    raw = _require_object(body[key], f"{what}.{key}")
+    _reject_unknown_keys(raw, ("vth", "tox"), f"{what}.{key}")
+    vth = _number(raw, "vth", f"{what}.{key}", minimum=VTH_MIN,
+                  maximum=VTH_MAX)
+    tox = _number(raw, "tox", f"{what}.{key}", minimum=TOX_MIN_A,
+                  maximum=TOX_MAX_A)
+    return knobs(vth, tox)
+
+
+def _check_grid_budget(vths: Tuple[float, ...], toxes: Tuple[float, ...],
+                       what: str) -> None:
+    points = len(vths) * len(toxes)
+    if points > MAX_GRID_POINTS:
+        raise ValidationError(
+            f"{what} requests {points} grid points "
+            f"({len(vths)} Vth x {len(toxes)} Tox); the limit is "
+            f"{MAX_GRID_POINTS}",
+            status=413,
+        )
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One validated ``POST /v1/sweep`` body."""
+
+    config: CacheConfig
+    vths: Tuple[float, ...]
+    toxes_angstrom: Tuple[float, ...]
+    components: Tuple[str, ...]
+
+
+def parse_sweep(body) -> SweepRequest:
+    body = _require_object(body, "sweep request")
+    _reject_unknown_keys(body, ("cache", "vth", "tox", "components"),
+                         "sweep request")
+    config = _cache_config(body, "sweep")
+    vths = _axis(body, "vth", "sweep", VTH_MIN, VTH_MAX, "V")
+    toxes = _axis(body, "tox", "sweep", TOX_MIN_A, TOX_MAX_A, "A")
+    if vths is None or toxes is None:
+        raise ValidationError(
+            "sweep requires both 'vth' and 'tox' axes (a list of values "
+            "or {min, max, points})"
+        )
+    _check_grid_budget(vths, toxes, "sweep")
+    raw_components = body.get("components")
+    if raw_components is None:
+        components = COMPONENT_NAMES
+    else:
+        if not isinstance(raw_components, list) or not raw_components:
+            raise ValidationError(
+                "sweep.components must be a non-empty list of names"
+            )
+        for name in raw_components:
+            if name not in COMPONENT_NAMES:
+                raise ValidationError(
+                    f"unknown component {name!r}; expected a subset of "
+                    f"{list(COMPONENT_NAMES)}"
+                )
+        components = tuple(
+            name for name in COMPONENT_NAMES if name in raw_components
+        )
+    return SweepRequest(
+        config=config, vths=vths, toxes_angstrom=toxes, components=components
+    )
+
+
+@dataclass(frozen=True)
+class OptimizeRequest:
+    """One validated ``POST /v1/optimize`` body."""
+
+    config: CacheConfig
+    scheme: Scheme
+    max_access_time: float
+    vths: Optional[Tuple[float, ...]]
+    toxes_angstrom: Optional[Tuple[float, ...]]
+
+
+def parse_optimize(body) -> OptimizeRequest:
+    body = _require_object(body, "optimize request")
+    _reject_unknown_keys(body, ("cache", "scheme", "target_ps", "vth", "tox"),
+                         "optimize request")
+    config = _cache_config(body, "optimize")
+    raw_scheme = body.get("scheme", "2")
+    scheme = SCHEMES.get(str(raw_scheme))
+    if scheme is None:
+        raise ValidationError(
+            f"unknown scheme {raw_scheme!r}; expected one of "
+            f"{sorted(SCHEMES)}"
+        )
+    target_ps = _number(body, "target_ps", "optimize", minimum=1.0,
+                        maximum=1e6)
+    vths = _axis(body, "vth", "optimize", VTH_MIN, VTH_MAX, "V")
+    toxes = _axis(body, "tox", "optimize", TOX_MIN_A, TOX_MAX_A, "A")
+    if (vths is None) != (toxes is None):
+        raise ValidationError(
+            "optimize needs either both 'vth' and 'tox' axes or neither "
+            "(the default design grid)"
+        )
+    if vths is not None:
+        _check_grid_budget(vths, toxes, "optimize")
+    return OptimizeRequest(
+        config=config,
+        scheme=scheme,
+        max_access_time=target_ps * 1e-12,
+        vths=vths,
+        toxes_angstrom=toxes,
+    )
+
+
+@dataclass(frozen=True)
+class AmatRequest:
+    """One validated ``POST /v1/amat`` body."""
+
+    workload: Optional[str]
+    blend_weights: Optional[Tuple[Tuple[str, float], ...]]
+    l1_size_kb: float
+    l2_size_kb: float
+    l1_knobs: Knobs
+    l2_knobs: Knobs
+    memory_latency: Optional[float]
+
+
+def parse_amat(body) -> AmatRequest:
+    from repro.optimize.two_level import DEFAULT_L1_KNOBS, DEFAULT_L2_KNOBS
+
+    body = _require_object(body, "amat request")
+    _reject_unknown_keys(
+        body, ("workload", "l1_size_kb", "l2_size_kb", "l1_knobs", "l2_knobs",
+               "memory_latency_ps"), "amat request"
+    )
+    raw_workload = body.get("workload", "spec2000")
+    workload: Optional[str] = None
+    blend: Optional[Tuple[Tuple[str, float], ...]] = None
+    if isinstance(raw_workload, str):
+        if raw_workload not in STANDARD_WORKLOADS:
+            raise ValidationError(
+                f"unknown workload {raw_workload!r}; expected one of "
+                f"{sorted(STANDARD_WORKLOADS)}"
+            )
+        workload = raw_workload
+    elif isinstance(raw_workload, dict):
+        if not raw_workload:
+            raise ValidationError("amat.workload blend must not be empty")
+        pairs = []
+        for name, weight in raw_workload.items():
+            if name not in STANDARD_WORKLOADS:
+                raise ValidationError(
+                    f"unknown workload {name!r} in blend; expected a subset "
+                    f"of {sorted(STANDARD_WORKLOADS)}"
+                )
+            if isinstance(weight, bool) or not isinstance(
+                weight, (int, float)
+            ) or not math.isfinite(float(weight)) or weight < 0:
+                raise ValidationError(
+                    f"amat.workload[{name!r}] must be a non-negative number"
+                )
+            pairs.append((name, float(weight)))
+        if sum(weight for _, weight in pairs) <= 0:
+            raise ValidationError(
+                "amat.workload blend weights must sum to a positive value"
+            )
+        blend = tuple(sorted(pairs))
+    else:
+        raise ValidationError(
+            "amat.workload must be a suite name or a {name: weight} blend"
+        )
+    l1_size_kb = _number(body, "l1_size_kb", "amat", default=16.0, minimum=1,
+                         maximum=1024)
+    l2_size_kb = _number(body, "l2_size_kb", "amat", default=1024.0,
+                         minimum=32, maximum=64 * 1024)
+    return AmatRequest(
+        workload=workload,
+        blend_weights=blend,
+        l1_size_kb=l1_size_kb,
+        l2_size_kb=l2_size_kb,
+        l1_knobs=_knobs(body, "l1_knobs", "amat", DEFAULT_L1_KNOBS),
+        l2_knobs=_knobs(body, "l2_knobs", "amat", DEFAULT_L2_KNOBS),
+        memory_latency=(
+            _number(body, "memory_latency_ps", "amat", minimum=1.0,
+                    maximum=1e7) * 1e-12
+            if "memory_latency_ps" in body
+            else None
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class CalibrateRequest:
+    """One validated ``POST /v1/calibrate`` body."""
+
+    spec: WorkloadSpec
+    n_accesses: int
+    seed: int
+    estimator: str
+    l1_grid_kb: Tuple[int, ...]
+    l2_grid_kb: Tuple[int, ...]
+
+
+def _workload_spec(raw, what: str) -> WorkloadSpec:
+    if isinstance(raw, str):
+        spec = STANDARD_WORKLOADS.get(raw)
+        if spec is None:
+            raise ValidationError(
+                f"unknown workload {raw!r}; expected one of "
+                f"{sorted(STANDARD_WORKLOADS)}"
+            )
+        return spec
+    raw = _require_object(raw, what)
+    field_names = tuple(
+        field.name for field in dataclass_fields(WorkloadSpec)
+    )
+    _reject_unknown_keys(raw, field_names, what)
+    if "name" not in raw or not isinstance(raw["name"], str):
+        raise ValidationError(f"{what}.name must be a string")
+    if len(raw["name"]) > 64:
+        raise ValidationError(f"{what}.name must be at most 64 characters")
+    arguments = {"name": raw["name"]}
+    for key in ("footprint_bytes", "hot_bytes", "warm_bytes"):
+        arguments[key] = _integer(raw, key, what, minimum=0,
+                                  maximum=MAX_FOOTPRINT_BYTES)
+    for key, default in (
+        ("hot_fraction", None), ("stream_fraction", None),
+        ("cold_fraction", None), ("hot_zipf_alpha", 1.2),
+        ("write_fraction", 0.3),
+    ):
+        arguments[key] = _number(raw, key, what, default=default, minimum=0.0,
+                                 maximum=10.0)
+    # WorkloadSpec's __post_init__ enforces the cross-field invariants;
+    # its SimulationError maps to a 400.
+    return WorkloadSpec(**arguments)
+
+
+def _grid_kb(body: dict, key: str, what: str,
+             default: Tuple[int, ...]) -> Tuple[int, ...]:
+    if key not in body:
+        return default
+    raw = body[key]
+    if not isinstance(raw, list) or not raw or len(raw) > 16:
+        raise ValidationError(
+            f"{what}.{key} must be a list of 1..16 sizes in KiB"
+        )
+    sizes = []
+    for value in raw:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValidationError(f"{what}.{key} entries must be integers")
+        if not 1 <= value <= 64 * 1024:
+            raise ValidationError(
+                f"{what}.{key} value {value} KiB is outside [1, 65536]"
+            )
+        sizes.append(value)
+    if sizes != sorted(set(sizes)):
+        raise ValidationError(
+            f"{what}.{key} must be strictly ascending without duplicates"
+        )
+    return tuple(sizes)
+
+
+def parse_calibrate(body) -> CalibrateRequest:
+    from repro.archsim.missmodel import L1_GRID_KB, L2_GRID_KB
+
+    body = _require_object(body, "calibrate request")
+    _reject_unknown_keys(
+        body, ("workload", "n_accesses", "seed", "estimator", "l1_grid_kb",
+               "l2_grid_kb"), "calibrate request"
+    )
+    if "workload" not in body:
+        raise ValidationError(
+            "calibrate requires 'workload' (a suite name or an inline "
+            "workload spec)"
+        )
+    spec = _workload_spec(body["workload"], "calibrate.workload")
+    n_accesses = _integer(body, "n_accesses", "calibrate", default=300_000,
+                          minimum=1_000)
+    if n_accesses > MAX_TRACE_ACCESSES:
+        raise ValidationError(
+            f"calibrate.n_accesses = {n_accesses} exceeds the limit of "
+            f"{MAX_TRACE_ACCESSES}",
+            status=413,
+        )
+    estimator = body.get("estimator", "grid")
+    if estimator not in ("grid", "stackdist"):
+        raise ValidationError(
+            f"unknown estimator {estimator!r}; expected 'grid' or "
+            f"'stackdist'"
+        )
+    return CalibrateRequest(
+        spec=spec,
+        n_accesses=n_accesses,
+        seed=_integer(body, "seed", "calibrate", default=1, minimum=0,
+                      maximum=2**31 - 1),
+        estimator=estimator,
+        l1_grid_kb=_grid_kb(body, "l1_grid_kb", "calibrate", L1_GRID_KB),
+        l2_grid_kb=_grid_kb(body, "l2_grid_kb", "calibrate", L2_GRID_KB),
+    )

@@ -1,0 +1,527 @@
+"""The batched sweep/calibration daemon: ``python -m repro serve``.
+
+A stdlib-only (``http.server`` + ``json``) long-running process that
+amortises the library's expensive state across requests: the component
+evaluation-table cache, the calibration disk cache, and the constructed
+:class:`~repro.cache.cache_model.CacheModel` objects all live for the
+process lifetime and are shared — thread-safely — by every request.
+
+Endpoints (see ``docs/SERVICE.md`` for the full reference):
+
+========================  ====================================================
+``GET  /healthz``         liveness + uptime
+``GET  /metrics``         counters / gauges / latency histograms (JSON)
+``POST /v1/sweep``        leakage/delay/energy grids, batched + coalesced
+``POST /v1/optimize``     Section 4 assignment optimisation for a scheme
+``POST /v1/amat``         two-level AMAT/energy against calibrated miss models
+``POST /v1/calibrate``    async trace-driven calibration -> job id
+``GET  /v1/jobs/<id>``    job status / result
+``DELETE /v1/jobs/<id>``  cancel a job
+========================  ====================================================
+
+Every request runs on its own thread (``ThreadingHTTPServer``); errors
+are answered with the structured envelope from
+:func:`repro.service.schemas.error_envelope` and can never take the
+daemon down.  SIGTERM/SIGINT shut the listener down gracefully and drain
+or cancel in-flight calibration jobs before the process exits.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro import units
+from repro.errors import (
+    InfeasibleConstraintError,
+    ReproError,
+    ServiceUnavailableError,
+    ValidationError,
+)
+from repro.archsim.amat import amat_two_level
+from repro.archsim.missmodel import (
+    blended_miss_model,
+    calibrated_miss_model,
+    measure_miss_model,
+)
+from repro.archsim.workloads import WorkloadSpec
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import CacheConfig, l1_config, l2_config
+from repro.energy.dynamic import MainMemoryModel
+from repro.optimize.single_cache import minimize_leakage
+from repro.optimize.space import DesignSpace
+from repro.perf import cache_info, disk_cache_info
+
+from repro.service import schemas
+from repro.service.batching import SweepBatcher, slice_grid
+from repro.service.jobs import JobManager
+from repro.service.metrics import MetricsRegistry
+
+#: Largest request body the daemon will read (bytes).
+MAX_BODY_BYTES = 2 * 1024 * 1024
+
+#: Oversized bodies up to this size are read and discarded so the client
+#: receives its 413 on an intact connection; anything larger gets the
+#: connection dropped instead of a multi-gigabyte drain.
+MAX_DRAIN_BYTES = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything tunable about one daemon instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8023
+    batch_window_seconds: float = 0.005
+    job_workers: int = 2
+    job_queue: int = 16
+    job_timeout_seconds: float = 600.0
+    cache_dir: Optional[str] = None
+    quiet: bool = True
+
+
+def _calibration_task(
+    spec: WorkloadSpec,
+    n_accesses: int,
+    seed: int,
+    estimator: str,
+    l1_grid_kb: Sequence[int],
+    l2_grid_kb: Sequence[int],
+    cache_dir: Optional[str],
+) -> dict:
+    """Run one calibration on a pool worker (module-level: picklable)."""
+    model = measure_miss_model(
+        spec,
+        n_accesses=n_accesses,
+        seed=seed,
+        l1_grid_kb=l1_grid_kb,
+        l2_grid_kb=l2_grid_kb,
+        cache_dir=cache_dir,
+        estimator=estimator,
+    )
+    return {
+        "workload": model.workload,
+        "estimator": estimator,
+        "n_accesses": n_accesses,
+        "seed": seed,
+        "l1_curve": [[size, rate] for size, rate in model.l1_curve],
+        "l2_curve": [[size, rate] for size, rate in model.l2_curve],
+    }
+
+
+def _grid_to_lists(grid) -> list:
+    return [[float(value) for value in row] for row in grid]
+
+
+class ReproService:
+    """The transport-independent core: validated request -> response dict.
+
+    The HTTP handler below is a thin shell over :meth:`handle`; tests can
+    drive this object directly without opening a socket.
+    """
+
+    MAX_MODELS = 32
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.started_at = time.time()
+        self.metrics = MetricsRegistry()
+        self.batcher = SweepBatcher(
+            self.metrics, window_seconds=config.batch_window_seconds
+        )
+        self.jobs = JobManager(
+            max_workers=config.job_workers,
+            max_queue=config.job_queue,
+            timeout_seconds=config.job_timeout_seconds,
+            metrics=self.metrics,
+        )
+        self._models: "OrderedDict[str, CacheModel]" = OrderedDict()
+        self._models_lock = threading.Lock()
+        self.metrics.register_gauge(
+            "uptime_seconds", lambda: time.time() - self.started_at
+        )
+        self.metrics.register_gauge(
+            "table_cache", lambda: vars(cache_info())
+        )
+        self.metrics.register_gauge(
+            "disk_cache", lambda: vars(disk_cache_info())
+        )
+
+    # -- shared model state ------------------------------------------------
+
+    def _model_for(self, config: CacheConfig) -> Tuple[str, CacheModel]:
+        """Return (structure key, shared CacheModel) for a validated config.
+
+        The key deliberately excludes ``name`` so differently-labelled
+        requests for the same structure share one model *and* one batch.
+        """
+        key = repr(
+            (
+                config.size_bytes,
+                config.block_bytes,
+                config.associativity,
+                config.output_bits,
+            )
+        )
+        with self._models_lock:
+            model = self._models.get(key)
+            if model is not None:
+                self._models.move_to_end(key)
+                return key, model
+        # Build outside the lock (construction sizes the whole circuit
+        # substrate); worst case two threads build and one wins.
+        model = CacheModel(config)
+        with self._models_lock:
+            incumbent = self._models.get(key)
+            if incumbent is not None:
+                return key, incumbent
+            self._models[key] = model
+            while len(self._models) > self.MAX_MODELS:
+                self._models.popitem(last=False)
+        return key, model
+
+    # -- endpoint implementations ------------------------------------------
+
+    def handle_sweep(self, body) -> Tuple[int, dict]:
+        request = schemas.parse_sweep(body)
+        key, model = self._model_for(request.config)
+        tables, space = self.batcher.tables_for(
+            key, model, request.vths, request.toxes_angstrom
+        )
+        components = {}
+        for name in request.components:
+            sliced = slice_grid(
+                tables, space, request.vths, request.toxes_angstrom, name
+            )
+            components[name] = {
+                "delay_ps": _grid_to_lists(units.to_ps(sliced["delay"])),
+                "leakage_mw": _grid_to_lists(
+                    units.to_mw(sliced["leakage"])
+                ),
+                "energy_pj": _grid_to_lists(units.to_pj(sliced["energy"])),
+            }
+        return 200, {
+            "cache": request.config.name,
+            "vth": list(request.vths),
+            "tox_angstrom": list(request.toxes_angstrom),
+            "components": components,
+        }
+
+    def handle_optimize(self, body) -> Tuple[int, dict]:
+        request = schemas.parse_optimize(body)
+        _, model = self._model_for(request.config)
+        space = None
+        if request.vths is not None:
+            space = DesignSpace(
+                vth_values=request.vths,
+                tox_values_angstrom=request.toxes_angstrom,
+            )
+        result = minimize_leakage(
+            model, request.scheme, request.max_access_time, space=space
+        )
+        return 200, {
+            "cache": request.config.name,
+            "scheme": result.scheme.paper_name,
+            "target_ps": units.to_ps(request.max_access_time),
+            "access_ps": units.to_ps(result.access_time),
+            "slack_ps": units.to_ps(result.slack),
+            "leakage_mw": units.to_mw(result.leakage_power),
+            "assignment": {
+                name: {"vth": point.vth,
+                       "tox_angstrom": point.tox_angstrom}
+                for name, point in result.assignment.components()
+            },
+        }
+
+    def handle_amat(self, body) -> Tuple[int, dict]:
+        request = schemas.parse_amat(body)
+        if request.workload is not None:
+            miss_model = calibrated_miss_model(request.workload)
+        else:
+            miss_model = blended_miss_model(dict(request.blend_weights))
+        l1_model = CacheModel(l1_config(request.l1_size_kb))
+        l2_model = CacheModel(l2_config(request.l2_size_kb))
+        l1_eval = l1_model.uniform(request.l1_knobs)
+        l2_eval = l2_model.uniform(request.l2_knobs)
+        memory = (
+            MainMemoryModel(latency=request.memory_latency)
+            if request.memory_latency is not None
+            else MainMemoryModel()
+        )
+        m1 = miss_model.l1_miss_rate(l1_model.config.size_bytes)
+        m2 = miss_model.l2_local_miss_rate(l2_model.config.size_bytes)
+        amat = amat_two_level(
+            l1_eval.access_time, m1, l2_eval.access_time, m2, memory.latency
+        )
+        energy = l1_eval.dynamic_read_energy + m1 * (
+            l2_eval.dynamic_read_energy + m2 * memory.energy_per_access
+        )
+        return 200, {
+            "workload": miss_model.workload,
+            "amat_ps": units.to_ps(amat),
+            "energy_per_access_pj": units.to_pj(energy),
+            "total_leakage_mw": units.to_mw(
+                l1_eval.leakage_power + l2_eval.leakage_power
+            ),
+            "memory_latency_ps": units.to_ps(memory.latency),
+            "l1": {
+                "size_kb": request.l1_size_kb,
+                "access_ps": units.to_ps(l1_eval.access_time),
+                "leakage_mw": units.to_mw(l1_eval.leakage_power),
+                "miss_rate": m1,
+            },
+            "l2": {
+                "size_kb": request.l2_size_kb,
+                "access_ps": units.to_ps(l2_eval.access_time),
+                "leakage_mw": units.to_mw(l2_eval.leakage_power),
+                "local_miss_rate": m2,
+            },
+        }
+
+    def handle_calibrate(self, body) -> Tuple[int, dict]:
+        request = schemas.parse_calibrate(body)
+        job_id = self.jobs.submit(
+            "calibrate",
+            _calibration_task,
+            request.spec,
+            request.n_accesses,
+            request.seed,
+            request.estimator,
+            request.l1_grid_kb,
+            request.l2_grid_kb,
+            self.config.cache_dir,
+        )
+        return 202, {
+            "job_id": job_id,
+            "status": "queued",
+            "poll": f"/v1/jobs/{job_id}",
+        }
+
+    def handle_healthz(self) -> Tuple[int, dict]:
+        return 200, {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_at,
+        }
+
+    def handle_metrics(self) -> Tuple[int, dict]:
+        return 200, self.metrics.snapshot()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(self, method: str, path: str, body) -> Tuple[int, dict]:
+        """Route one request; always returns (status, JSON-able payload)."""
+        endpoint = "unknown"
+        started = time.perf_counter()
+        try:
+            if path == "/healthz" and method == "GET":
+                endpoint = "healthz"
+                return self.handle_healthz()
+            if path == "/metrics" and method == "GET":
+                endpoint = "metrics"
+                return self.handle_metrics()
+            if path == "/v1/sweep" and method == "POST":
+                endpoint = "sweep"
+                return self.handle_sweep(body)
+            if path == "/v1/optimize" and method == "POST":
+                endpoint = "optimize"
+                return self.handle_optimize(body)
+            if path == "/v1/amat" and method == "POST":
+                endpoint = "amat"
+                return self.handle_amat(body)
+            if path == "/v1/calibrate" and method == "POST":
+                endpoint = "calibrate"
+                return self.handle_calibrate(body)
+            if path.startswith("/v1/jobs/"):
+                endpoint = "jobs"
+                job_id = path[len("/v1/jobs/"):]
+                if method == "GET":
+                    return 200, self.jobs.get(job_id)
+                if method == "DELETE":
+                    return 200, self.jobs.cancel(job_id)
+                raise ValidationError(
+                    f"method {method} not allowed on {path}", status=405
+                )
+            known = (
+                "/healthz", "/metrics", "/v1/sweep", "/v1/optimize",
+                "/v1/amat", "/v1/calibrate",
+            )
+            if path in known:
+                raise ValidationError(
+                    f"method {method} not allowed on {path}", status=405
+                )
+            raise ValidationError(f"no such endpoint: {path}", status=404)
+        except ValidationError as error:
+            return self._error(endpoint, error.status, error)
+        except InfeasibleConstraintError as error:
+            status, payload = self._error(endpoint, 422, error)
+            payload["error"]["best_achievable_ps"] = units.to_ps(
+                error.best_achievable
+            )
+            return status, payload
+        except ServiceUnavailableError as error:
+            return self._error(endpoint, 503, error)
+        except ReproError as error:
+            return self._error(endpoint, 400, error)
+        except Exception as error:  # noqa: BLE001 - the daemon must survive
+            return self._error(endpoint, 500, error)
+        finally:
+            self.metrics.increment(f"requests.{endpoint}")
+            self.metrics.observe(
+                f"latency.{endpoint}_seconds",
+                time.perf_counter() - started,
+            )
+
+    def _error(self, endpoint: str, status: int, error: BaseException):
+        self.metrics.increment(f"errors.{status}")
+        return status, schemas.error_envelope(
+            type(error).__name__, str(error), status
+        )
+
+    def shutdown(self) -> dict:
+        """Drain background work; returns the job-drain summary."""
+        return self.jobs.shutdown()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP shell over :meth:`ReproService.handle`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/1.0"
+    # Headers and body go out as separate writes; without TCP_NODELAY the
+    # body write waits on the peer's delayed ACK (~40 ms per request).
+    disable_nagle_algorithm = True
+
+    @property
+    def service(self) -> ReproService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.service.config.quiet:
+            super().log_message(format, *args)
+
+    def _respond(self, status: int, payload: dict) -> None:
+        encoded = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def _read_body(self):
+        length = self.headers.get("Content-Length")
+        try:
+            length = int(length) if length is not None else 0
+        except ValueError:
+            raise ValidationError("Content-Length must be an integer")
+        if length > MAX_BODY_BYTES:
+            if length <= MAX_DRAIN_BYTES:
+                # Drain so the client can finish sending and read the 413
+                # instead of hitting a broken pipe mid-request.
+                remaining = length
+                while remaining > 0:
+                    chunk = self.rfile.read(min(remaining, 65536))
+                    if not chunk:
+                        break
+                    remaining -= len(chunk)
+            else:
+                self.close_connection = True
+            raise ValidationError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+                status=413,
+            )
+        if length == 0:
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except ValueError as error:
+            raise ValidationError(f"malformed JSON body: {error}")
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            body = self._read_body()
+        except ValidationError as error:
+            self.service.metrics.increment(f"errors.{error.status}")
+            self._respond(
+                error.status,
+                schemas.error_envelope(
+                    type(error).__name__, str(error), error.status
+                ),
+            )
+            return
+        status, payload = self.service.handle(method, self.path, body)
+        self._respond(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared :class:`ReproService`."""
+
+    daemon_threads = True
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.service = ReproService(config)
+        super().__init__((config.host, config.port), _Handler)
+
+    @property
+    def bound_port(self) -> int:
+        return self.server_address[1]
+
+
+def create_server(config: Optional[ServiceConfig] = None) -> ServiceHTTPServer:
+    """Bind a server (``port=0`` picks an ephemeral port) without serving."""
+    return ServiceHTTPServer(config if config is not None else ServiceConfig())
+
+
+def run(
+    config: Optional[ServiceConfig] = None,
+    port_file: Optional[str] = None,
+    install_signal_handlers: bool = True,
+) -> int:
+    """Serve until SIGTERM/SIGINT; drain jobs; return the exit code."""
+    server = create_server(config)
+    host, port = server.server_address[0], server.bound_port
+    if port_file:
+        with open(port_file, "w") as handle:
+            handle.write(f"{port}\n")
+    print(f"repro service listening on http://{host}:{port}", flush=True)
+
+    def _request_shutdown(signum, frame):
+        print(
+            f"received signal {signum}; shutting down gracefully",
+            flush=True,
+        )
+        # shutdown() must not run on the serve_forever thread (it waits
+        # for the serve loop, which is paused inside this handler).
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    if install_signal_handlers:
+        signal.signal(signal.SIGTERM, _request_shutdown)
+        signal.signal(signal.SIGINT, _request_shutdown)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        summary = server.service.shutdown()
+        server.server_close()
+        print(
+            f"shutdown complete: {summary['drained']} job(s) drained, "
+            f"{summary['cancelled']} cancelled",
+            flush=True,
+        )
+    return 0

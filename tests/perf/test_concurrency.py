@@ -1,0 +1,144 @@
+"""Concurrent access to the perf caches — the service layer's access pattern.
+
+The daemon serves every request on its own thread, so the table cache and
+the disk cache see concurrent lookups as the *norm*.  These tests hammer
+both from thread pools and assert the invariants the service relies on:
+no lost updates in the counters, one computation per key (single-flight),
+and one shared result object.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.perf import (
+    DiskCache,
+    cache_info,
+    clear_cache,
+    disk_cache_info,
+    reset_disk_cache_stats,
+)
+from repro.perf.table_cache import cached_tables
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_cache()
+    reset_disk_cache_stats()
+    yield
+    clear_cache()
+    reset_disk_cache_stats()
+
+
+class TestTableCacheUnderThreads:
+    def test_single_flight_computes_once(self, tiny_cache, tiny_space):
+        """Concurrent misses on one key run one computation, not N."""
+        calls = []
+        started = threading.Barrier(8)
+
+        def compute(model, space):
+            calls.append(threading.get_ident())
+            time.sleep(0.05)  # hold the in-flight window open
+            return {"token": object()}
+
+        def worker():
+            started.wait()
+            return cached_tables(tiny_cache, tiny_space, compute)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = [future.result() for future in
+                       [pool.submit(worker) for _ in range(8)]]
+
+        assert len(calls) == 1
+        assert all(result is results[0] for result in results)
+        info = cache_info()
+        assert info.misses == 1
+        assert info.hits == 7
+        assert info.entries == 1
+
+    def test_counters_exact_under_contention(self, tiny_cache, tiny_space):
+        """hits + misses equals the exact number of calls."""
+        threads, rounds = 8, 25
+
+        def compute(model, space):
+            return {"token": object()}
+
+        def worker():
+            for _ in range(rounds):
+                cached_tables(tiny_cache, tiny_space, compute)
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            for future in [pool.submit(worker) for _ in range(threads)]:
+                future.result()
+
+        info = cache_info()
+        assert info.hits + info.misses == threads * rounds
+        assert info.misses == 1
+
+    def test_failed_computation_propagates_and_leaves_no_entry(
+        self, tiny_cache, tiny_space
+    ):
+        """Leader's exception reaches every waiter; a retry recomputes."""
+        started = threading.Barrier(4)
+        attempts = []
+
+        def compute(model, space):
+            attempts.append(1)
+            time.sleep(0.02)
+            raise RuntimeError("substrate exploded")
+
+        def worker():
+            started.wait()
+            cached_tables(tiny_cache, tiny_space, compute)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(worker) for _ in range(4)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="substrate exploded"):
+                    future.result()
+
+        assert cache_info().entries == 0
+        # The key is retryable: a later call computes afresh.
+        healed = cached_tables(
+            tiny_cache, tiny_space, lambda model, space: {"ok": True}
+        )
+        assert healed == {"ok": True}
+
+
+class TestDiskCacheUnderThreads:
+    def test_counters_are_exact(self, tmp_path):
+        cache = DiskCache("threaded", directory=tmp_path)
+        cache.store("warm-key", {"value": 42})
+        threads, rounds = 8, 40
+
+        def worker(index):
+            for round_number in range(rounds):
+                assert cache.load("warm-key") == {"value": 42}
+                cache.load(f"cold-{index}-{round_number}")
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            for future in [pool.submit(worker, i) for i in range(threads)]:
+                future.result()
+
+        expected = threads * rounds
+        assert cache.hits == expected
+        assert cache.misses == expected
+
+    def test_aggregate_counters_sum_over_instances(self, tmp_path):
+        first = DiskCache("agg-a", directory=tmp_path)
+        second = DiskCache("agg-b", directory=tmp_path)
+        first.store("key", {"x": 1})
+        first.load("key")
+        second.load("absent")
+        info = disk_cache_info()
+        assert info.hits == 1
+        assert info.misses == 1
+        assert info.hit_rate == pytest.approx(0.5)
+        reset_disk_cache_stats()
+        assert disk_cache_info().hits == 0
+        # Instance counters are untouched by the aggregate reset.
+        assert first.hits == 1

@@ -1,0 +1,43 @@
+"""Service-test fixtures: one in-process daemon per test module.
+
+The server binds an ephemeral port and runs ``serve_forever`` on a
+daemon thread; tests talk to it over real sockets through
+:class:`ServiceClient`, so the whole transport stack (keep-alive,
+Content-Length, envelopes) is exercised.  A short batch window keeps
+single-request tests fast while still letting the coalescing tests form
+real batches.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import ServiceConfig, ServiceClient, create_server
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    config = ServiceConfig(
+        port=0,
+        batch_window_seconds=0.01,
+        job_workers=1,
+        job_queue=2,
+        job_timeout_seconds=120.0,
+        cache_dir=str(tmp_path_factory.mktemp("service-cache")),
+    )
+    instance = create_server(config)
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    instance.service.shutdown()
+    instance.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(port=server.bound_port, timeout=60.0) as instance:
+        yield instance

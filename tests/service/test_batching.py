@@ -1,0 +1,138 @@
+"""Coalescing behaviour of the sweep batching scheduler.
+
+Driven over real sockets: concurrent requests from many client threads
+must be merged into fewer engine calls while each caller still receives
+exactly the payload a solo request would have produced.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import ServiceClient
+from repro.service.batching import SweepBatcher, slice_grid
+from repro.service.metrics import MetricsRegistry
+from repro.cache.assignment import COMPONENT_NAMES
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import CacheConfig
+from repro.optimize.single_cache import component_tables
+from repro.optimize.space import DesignSpace
+
+
+def _burst(server, bodies):
+    """Fire all bodies concurrently; returns responses in body order."""
+    results = [None] * len(bodies)
+    errors = []
+    barrier = threading.Barrier(len(bodies))
+
+    def fire(index, body):
+        client = ServiceClient(port=server.bound_port, timeout=60.0)
+        barrier.wait()
+        try:
+            results[index] = client.request("POST", "/v1/sweep", body)
+        except Exception as error:  # noqa: BLE001 - surfaced via assert
+            errors.append(error)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=fire, args=(index, body))
+        for index, body in enumerate(bodies)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+    return results
+
+
+def test_identical_concurrent_sweeps_coalesce(client, server):
+    body = {
+        "cache": {"size_kb": 32, "name": "batch-A"},
+        "vth": [0.22, 0.33, 0.44],
+        "tox": [10.5, 13.5],
+    }
+    before = client.metrics()["counters"]
+    results = _burst(server, [body] * 8)
+    after = client.metrics()["counters"]
+
+    for result in results[1:]:
+        assert result == results[0]
+    assert after["requests.sweep"] - before.get("requests.sweep", 0) == 8
+    coalesced = (after.get("sweep.coalesced_requests", 0)
+                 - before.get("sweep.coalesced_requests", 0))
+    engine = (after.get("sweep.engine_grid_evaluations", 0)
+              - before.get("sweep.engine_grid_evaluations", 0))
+    batches = (after.get("sweep.batches", 0)
+               - before.get("sweep.batches", 0))
+    assert coalesced >= 1
+    assert engine <= 1  # identical grids: at most one engine evaluation
+    assert batches >= 1
+
+
+def test_union_batch_slices_match_solo_results(client, server):
+    """Different grids in one batch: each answer equals its solo answer."""
+    cache = {"size_kb": 32, "name": "batch-B"}
+    grids = [
+        ([0.24, 0.36], [10.25, 12.25]),
+        ([0.24, 0.48], [12.25, 13.75]),
+        ([0.30], [10.25, 13.75]),
+    ]
+    bodies = [
+        {"cache": cache, "vth": vth, "tox": tox} for vth, tox in grids
+    ]
+    batched = _burst(server, bodies * 2)
+
+    # Solo ground truth, computed directly against the library.
+    model = CacheModel(
+        CacheConfig(size_bytes=32 * 1024, block_bytes=32, associativity=2,
+                    name="direct")
+    )
+    for body, result in zip(bodies * 2, batched):
+        space = DesignSpace(
+            vth_values=tuple(body["vth"]),
+            tox_values_angstrom=tuple(body["tox"]),
+        )
+        tables = component_tables(model, space)
+        for name in COMPONENT_NAMES:
+            direct = np.asarray(tables[name].delays).reshape(
+                len(body["vth"]), len(body["tox"])
+            ) * 1e12
+            np.testing.assert_allclose(
+                result["components"][name]["delay_ps"], direct, rtol=1e-12
+            )
+
+
+class TestSliceGrid:
+    def test_slice_recovers_sub_grid(self, tiny_cache):
+        union = DesignSpace(
+            vth_values=(0.2, 0.3, 0.4, 0.5),
+            tox_values_angstrom=(10.0, 12.0, 14.0),
+        )
+        tables = component_tables(tiny_cache, union)
+        sliced = slice_grid(tables, union, (0.3, 0.5), (10.0, 14.0),
+                            "array")
+        assert sliced["delay"].shape == (2, 2)
+        full = np.asarray(tables["array"].delays).reshape(4, 3)
+        np.testing.assert_allclose(
+            sliced["delay"], full[np.ix_([1, 3], [0, 2])]
+        )
+
+    def test_batcher_counts_engine_work_exactly(self, tiny_cache):
+        from repro.perf import clear_cache
+
+        clear_cache()
+        metrics = MetricsRegistry()
+        batcher = SweepBatcher(metrics, window_seconds=0.0)
+        vths, toxes = (0.2, 0.35), (10.0, 12.0)
+        tables, space = batcher.tables_for("k", tiny_cache, vths, toxes)
+        assert space.vth_values == vths
+        assert metrics.counter("sweep.engine_grid_evaluations") == 1
+        # Same grid again: table cache hit, no new engine work.
+        batcher.tables_for("k", tiny_cache, vths, toxes)
+        assert metrics.counter("sweep.engine_grid_evaluations") == 1
+        assert metrics.counter("sweep.requests") == 2

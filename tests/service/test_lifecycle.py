@@ -1,0 +1,100 @@
+"""Daemon lifecycle: real process, real signals.
+
+Spawns ``python -m repro serve`` as a subprocess on an ephemeral port
+(discovered through ``--port-file``), checks it serves, then delivers
+SIGTERM and requires a clean exit: code 0, the graceful-shutdown log
+line, and a drained job report.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import ServiceClient
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _spawn(tmp_path, extra_args=()):
+    port_file = tmp_path / "port"
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = os.path.abspath(SRC) + (
+        os.pathsep + environment["PYTHONPATH"]
+        if environment.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--port-file", str(port_file),
+         "--cache-dir", str(tmp_path / "cache"), *extra_args],
+        env=environment,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.time() + 60
+    while not port_file.exists():
+        if process.poll() is not None:
+            pytest.fail(f"daemon exited early:\n{process.stdout.read()}")
+        if time.time() > deadline:
+            process.kill()
+            pytest.fail("daemon never wrote its port file")
+        time.sleep(0.05)
+    return process, int(port_file.read_text().strip())
+
+
+def test_sigterm_is_graceful(tmp_path):
+    process, port = _spawn(tmp_path)
+    try:
+        with ServiceClient(port=port, timeout=30.0) as client:
+            assert client.healthz()["status"] == "ok"
+            sweep = client.sweep({"size_kb": 16}, [0.3, 0.4], [11.0, 13.0])
+            assert "array" in sweep["components"]
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=20)
+        output = process.stdout.read()
+        assert process.returncode == 0, output
+        assert "shutdown complete" in output
+        assert "drained" in output and "cancelled" in output
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+
+def test_sigterm_cancels_queued_jobs(tmp_path):
+    process, port = _spawn(tmp_path, ("--job-workers", "1"))
+    try:
+        with ServiceClient(port=port, timeout=30.0) as client:
+            running = client.calibrate(workload="spec2000",
+                                       n_accesses=2_000_000)
+            queued = client.calibrate(workload="tpcc", n_accesses=500_000)
+            assert running["status"] == queued["status"] == "queued"
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=30)
+        output = process.stdout.read()
+        assert process.returncode == 0, output
+        assert "shutdown complete" in output
+        # At least the queued job must have been cancelled or drained —
+        # nothing may be silently lost.
+        drained, cancelled = _parse_summary(output)
+        assert drained + cancelled == 2
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+
+def _parse_summary(output: str):
+    for line in output.splitlines():
+        if "shutdown complete" in line:
+            parts = line.replace(",", "").split()
+            drained = int(parts[parts.index("job(s)") - 1])
+            cancelled = int(parts[parts.index("cancelled") - 1])
+            return drained, cancelled
+    raise AssertionError(f"no shutdown summary in:\n{output}")

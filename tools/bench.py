@@ -2,25 +2,32 @@
 
 Run:  PYTHONPATH=src python tools/bench.py --suite archsim   # -> BENCH_2.json
       PYTHONPATH=src python tools/bench.py --suite sweep     # -> BENCH_1.json
+      PYTHONPATH=src python tools/bench.py --suite service   # -> BENCH_3.json
       PYTHONPATH=src python tools/bench.py --smoke           # CI regression gate
 
-Two suites, one per performance PR:
+Three suites, one per performance PR:
 
 * ``sweep`` (PR 1) — times every registered experiment, the coarse-grid
   tuple problem, and the cold/warm component-table build.
 * ``archsim`` (PR 2) — times the trace engine: vectorized trace
   generation, the array set-associative simulator, stack-distance
   profiling, and the cold/warm disk-memoized ``measure_miss_model``.
+* ``service`` (PR 3) — drives an in-process service daemon: cold/warm
+  single-sweep latency, a concurrency-8 closed-loop load run (the
+  batching acceptance metric is mean evaluate_grid calls per sweep
+  request < 1), and a calibration job round trip.
 
 Each suite writes measurements plus speedups against recorded pre-PR
 baselines to a JSON report.  Baselines were measured on this machine at
 the respective pre-PR commits with the same interpreter; they are the
 denominators of the acceptance criteria.
 
-``--smoke`` is the CI gate: it profiles a 200k-access trace and exits
+``--smoke`` is the CI gate: it profiles a 200k-access trace, exits
 non-zero if the wall time regresses beyond 3x the recorded pre-PR
 baseline (generous enough to absorb shared-runner noise while still
-catching an accidental return to the O(n*d) path).
+catching an accidental return to the O(n*d) path), and then runs the
+in-process service smoke (tools/service_smoke.py) so a broken daemon
+also fails the gate.
 """
 
 from __future__ import annotations
@@ -278,7 +285,7 @@ def run_archsim_suite(output: str) -> int:
 
 
 def run_smoke() -> int:
-    """CI regression gate: 200k-access stack-distance profile."""
+    """CI regression gate: stack-distance timing + service contract."""
     from repro.archsim.stackdist import stack_distance_profile
     from repro.archsim.workloads import SPEC2000_LIKE, synthetic_trace_buffer
 
@@ -292,18 +299,119 @@ def run_smoke() -> int:
               f"{ARCHSIM_BASELINE['stackdist_200k']:.2f} s baseline",
               file=sys.stderr)
         return 1
+    import service_smoke
+
+    try:
+        if service_smoke.run_in_process() != 0:
+            return 1
+    except SystemExit as stop:
+        if stop.code:
+            return int(stop.code)
     print("OK")
     return 0
+
+
+# --------------------------------------------------------------------------
+# service suite (PR 3)
+# --------------------------------------------------------------------------
+
+#: Serving the same sweep without the daemon (direct library call at the
+#: PR-2 commit): one component_tables build per request, no sharing.
+SERVICE_BASELINE = {
+    "sweep_cold": 0.2008,          # == component_tables_default cold build
+    "sweep_per_request_at_c8": 0.2008,
+}
+
+
+def run_service_suite(output: str) -> int:
+    import threading
+
+    import loadgen
+    from repro.service import ServiceConfig, ServiceClient, create_server
+
+    server = create_server(ServiceConfig(port=0))
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    port = server.bound_port
+    print(f"service daemon on port {port}:")
+    client = ServiceClient(port=port)
+    body_cache = {"size_kb": 16, "name": "L1-16K"}
+    vth = {"min": 0.2, "max": 0.5, "points": 7}
+    tox = {"min": 10, "max": 14, "points": 5}
+    try:
+        cold, _ = _timed(lambda: client.sweep(body_cache, vth, tox))
+        warm, _ = _timed(lambda: client.sweep(body_cache, vth, tox))
+        print(f"  sweep (7x5 grid): cold {cold * 1e3:.1f} ms, "
+              f"warm {warm * 1e3:.2f} ms")
+
+        print("  loadgen: concurrency 8 x 25 requests ...")
+        load = loadgen.generate_load("127.0.0.1", port, concurrency=8,
+                                     requests=25)
+        per_request = load["evaluate_grid_calls_per_request"]
+        latency = load["latency_seconds"]
+        print(f"    {load['total_requests']} requests, "
+              f"{load['throughput_rps']:.0f} rps, mean "
+              f"{latency['mean'] * 1e3:.1f} ms, p95 "
+              f"{latency['p95'] * 1e3:.1f} ms")
+        print(f"    engine work: {per_request:.3f} evaluate_grid calls "
+              f"per request ({load['coalesced_requests']} coalesced, "
+              f"{load['batches']} batches)")
+
+        job_seconds, _ = _timed(lambda: client.wait_for_job(
+            client.calibrate(workload="spec2000", n_accesses=100_000,
+                             estimator="stackdist")["job_id"],
+            timeout=300,
+        ))
+        print(f"  calibration job (100k, stackdist): "
+              f"{job_seconds:.2f} s round trip")
+        metrics = client.metrics()
+    finally:
+        client.close()
+        server.shutdown()
+        server.service.shutdown()
+        server.server_close()
+
+    report = {
+        "baseline": SERVICE_BASELINE,
+        "measured": {
+            "sweep_cold": cold,
+            "sweep_warm": warm,
+            "calibration_job_roundtrip": job_seconds,
+            "loadgen_c8": load,
+        },
+        "acceptance": {
+            "evaluate_grid_calls_per_request": per_request,
+            "target": "< 1.0 at concurrency 8",
+            "pass": per_request < 1.0,
+        },
+        "speedup": {
+            "sweep_warm_vs_direct_cold": (
+                SERVICE_BASELINE["sweep_cold"] / warm if warm else 0.0
+            ),
+            "engine_work_per_request_vs_unbatched": (
+                SERVICE_BASELINE["sweep_per_request_at_c8"]
+                / (per_request * cold) if per_request else float("inf")
+            ),
+        },
+        "latency_histograms": metrics["histograms"],
+    }
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nbatching acceptance: {per_request:.3f} evaluate_grid calls "
+          f"per request ({'PASS' if per_request < 1.0 else 'FAIL'})")
+    print(f"report written to {output}")
+    return 0 if per_request < 1.0 else 1
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite", default="archsim",
-                        choices=("archsim", "sweep"),
+                        choices=("archsim", "sweep", "service"),
                         help="which benchmark suite to run")
     parser.add_argument("--output", default=None,
                         help="JSON report path (default BENCH_2.json for "
-                             "archsim, BENCH_1.json for sweep)")
+                             "archsim, BENCH_1.json for sweep, BENCH_3.json "
+                             "for service)")
     parser.add_argument("--jobs", type=int, default=2,
                         help="worker count for the sweep parallel-runner "
                              "bench")
@@ -317,6 +425,8 @@ def main(argv=None) -> int:
     if arguments.suite == "sweep":
         return run_sweep_suite(arguments.output or "BENCH_1.json",
                                arguments.jobs)
+    if arguments.suite == "service":
+        return run_service_suite(arguments.output or "BENCH_3.json")
     return run_archsim_suite(arguments.output or "BENCH_2.json")
 
 

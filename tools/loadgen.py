@@ -1,0 +1,211 @@
+"""Closed-loop load generator for the repro service.
+
+Run against an already-running daemon:
+
+    PYTHONPATH=src python -m repro serve --port 8023 &
+    PYTHONPATH=src python tools/loadgen.py --port 8023 \
+        --concurrency 8 --requests 25
+
+or fully self-contained (spawns an in-process server on an ephemeral
+port):
+
+    PYTHONPATH=src python tools/loadgen.py --self-contained \
+        --concurrency 8 --requests 25
+
+Each worker thread owns one keep-alive :class:`ServiceClient` and issues
+``--requests`` sweep requests back to back (closed loop: the next
+request starts when the previous response lands).  Workers draw their
+grids from a small pool of realistic shapes, so concurrent requests for
+the same cache structure coalesce in the daemon's batching scheduler.
+
+The report divides the server-side engine-work counter by the request
+count — the acceptance metric for the batching PR is
+``evaluate_grid_calls_per_request < 1`` at concurrency >= 8.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+REPO_SRC = "src"
+if REPO_SRC not in sys.path:
+    sys.path.insert(0, REPO_SRC)
+
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+
+#: Cache structures the workers cycle through (same structure -> shared
+#: batches; several structures keeps the model cache honest too).
+CACHE_POOL = (
+    {"size_kb": 16, "name": "L1-16K"},
+    {"size_kb": 32, "name": "L1-32K"},
+)
+
+#: Axis shapes the workers cycle through.  All pool entries share many
+#: grid points so unions stay small and cache reuse is realistic.
+AXIS_POOL = (
+    ({"min": 0.2, "max": 0.5, "points": 7}, {"min": 10, "max": 14, "points": 5}),
+    ({"min": 0.2, "max": 0.5, "points": 7}, {"min": 10, "max": 14, "points": 3}),
+    ({"min": 0.2, "max": 0.44, "points": 5}, {"min": 10, "max": 14, "points": 5}),
+)
+
+
+def _worker(
+    index: int,
+    host: str,
+    port: int,
+    requests: int,
+    latencies: List[float],
+    errors: List[str],
+    barrier: threading.Barrier,
+) -> None:
+    client = ServiceClient(host=host, port=port)
+    samples = []
+    barrier.wait()
+    for round_index in range(requests):
+        cache = CACHE_POOL[(index + round_index) % len(CACHE_POOL)]
+        vth, tox = AXIS_POOL[round_index % len(AXIS_POOL)]
+        started = time.perf_counter()
+        try:
+            client.sweep(cache, vth, tox)
+        except ServiceError as error:
+            errors.append(f"worker {index}: {error}")
+            continue
+        samples.append(time.perf_counter() - started)
+    client.close()
+    latencies.extend(samples)
+
+
+def generate_load(
+    host: str,
+    port: int,
+    concurrency: int,
+    requests: int,
+) -> Dict[str, object]:
+    """Drive the daemon and return the measured report."""
+    probe = ServiceClient(host=host, port=port)
+    before = probe.metrics()["counters"]
+    latencies: List[float] = []
+    errors: List[str] = []
+    barrier = threading.Barrier(concurrency)
+    threads = [
+        threading.Thread(
+            target=_worker,
+            args=(index, host, port, requests, latencies, errors, barrier),
+        )
+        for index in range(concurrency)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    after = probe.metrics()["counters"]
+    probe.close()
+
+    def delta(name: str) -> int:
+        return after.get(name, 0) - before.get(name, 0)
+
+    total = delta("requests.sweep")
+    engine_calls = delta("sweep.evaluate_grid_calls")
+    latencies.sort()
+
+    def percentile(fraction: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[
+            min(len(latencies) - 1, int(fraction * len(latencies)))
+        ]
+
+    return {
+        "concurrency": concurrency,
+        "requests_per_worker": requests,
+        "total_requests": total,
+        "errors": errors,
+        "wall_seconds": wall,
+        "throughput_rps": total / wall if wall else 0.0,
+        "latency_seconds": {
+            "mean": statistics.fmean(latencies) if latencies else 0.0,
+            "p50": percentile(0.50),
+            "p95": percentile(0.95),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+        "evaluate_grid_calls": engine_calls,
+        "evaluate_grid_calls_per_request": (
+            engine_calls / total if total else 0.0
+        ),
+        "engine_grid_evaluations": delta("sweep.engine_grid_evaluations"),
+        "coalesced_requests": delta("sweep.coalesced_requests"),
+        "batches": delta("sweep.batches"),
+        "union_overflows": delta("sweep.union_overflows"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8023)
+    parser.add_argument("--concurrency", type=int, default=8,
+                        help="worker threads (default 8)")
+    parser.add_argument("--requests", type=int, default=25,
+                        help="requests per worker (default 25)")
+    parser.add_argument("--self-contained", action="store_true",
+                        help="spawn an in-process server on an ephemeral "
+                             "port instead of targeting a running daemon")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON on stdout")
+    arguments = parser.parse_args(argv)
+
+    server = None
+    host, port = arguments.host, arguments.port
+    if arguments.self_contained:
+        from repro.service import ServiceConfig, create_server
+
+        server = create_server(ServiceConfig(port=0))
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = "127.0.0.1", server.bound_port
+        print(f"self-contained server on port {port}", file=sys.stderr)
+
+    try:
+        report = generate_load(
+            host, port, arguments.concurrency, arguments.requests
+        )
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.service.shutdown()
+            server.server_close()
+
+    if arguments.json:
+        json.dump(report, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        latency = report["latency_seconds"]
+        print(f"requests: {report['total_requests']} "
+              f"({report['throughput_rps']:.0f} rps, "
+              f"{report['wall_seconds']:.2f} s wall)")
+        print(f"latency: mean {latency['mean'] * 1e3:.1f} ms, "
+              f"p50 {latency['p50'] * 1e3:.1f} ms, "
+              f"p95 {latency['p95'] * 1e3:.1f} ms")
+        print(f"engine work: {report['evaluate_grid_calls']} "
+              f"evaluate_grid calls / {report['total_requests']} requests "
+              f"= {report['evaluate_grid_calls_per_request']:.3f} per "
+              f"request")
+        print(f"coalescing: {report['coalesced_requests']} follower(s) "
+              f"across {report['batches']} batch(es)")
+        if report["errors"]:
+            print(f"errors ({len(report['errors'])}):", file=sys.stderr)
+            for line in report["errors"][:10]:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

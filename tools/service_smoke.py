@@ -1,0 +1,227 @@
+"""End-to-end smoke test of the service daemon — the CI gate.
+
+Default mode spawns the real thing as a subprocess:
+
+    PYTHONPATH=src python tools/service_smoke.py
+
+It starts ``python -m repro serve`` on an ephemeral port, waits for the
+port file, then asserts the service contract:
+
+* ``/healthz`` answers,
+* a burst of concurrent identical sweeps is coalesced into fewer engine
+  calls than requests (the ``sweep.coalesced_requests`` counter is
+  positive and ``evaluate_grid_calls_per_request < 1``),
+* malformed and out-of-range bodies get structured 4xx envelopes and the
+  daemon stays alive,
+* SIGTERM produces a graceful exit (code 0, jobs drained).
+
+``--in-process`` runs the same checks against an in-process server (no
+subprocess, no signals) — this is the variant ``tools/bench.py --smoke``
+embeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_SRC = "src"
+if REPO_SRC not in sys.path:
+    sys.path.insert(0, REPO_SRC)
+
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+
+#: Concurrent identical sweeps fired to exercise the batcher.
+BURST = 8
+
+
+def _fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_service(host: str, port: int) -> None:
+    """Assert the service contract against a live daemon."""
+    client = ServiceClient(host=host, port=port, timeout=30.0)
+
+    health = client.healthz()
+    if health.get("status") != "ok":
+        _fail(f"/healthz returned {health}")
+    print("  healthz: ok")
+
+    # Concurrent identical sweeps must coalesce into one engine call.
+    before = client.metrics()["counters"]
+    body = {
+        "cache": {"size_kb": 16},
+        "vth": {"min": 0.2, "max": 0.5, "points": 7},
+        "tox": {"min": 10, "max": 14, "points": 5},
+    }
+    results, failures = [], []
+    barrier = threading.Barrier(BURST)
+
+    def fire():
+        worker = ServiceClient(host=host, port=port, timeout=30.0)
+        barrier.wait()
+        try:
+            results.append(worker.request("POST", "/v1/sweep", body))
+        except Exception as error:  # noqa: BLE001 - report, don't die
+            failures.append(repr(error))
+        finally:
+            worker.close()
+
+    threads = [threading.Thread(target=fire) for _ in range(BURST)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        _fail(f"sweep burst had failures: {failures[:3]}")
+    first = json.dumps(results[0], sort_keys=True)
+    if any(json.dumps(result, sort_keys=True) != first
+           for result in results[1:]):
+        _fail("coalesced sweeps returned different payloads")
+    after = client.metrics()["counters"]
+    coalesced = (after.get("sweep.coalesced_requests", 0)
+                 - before.get("sweep.coalesced_requests", 0))
+    requests = (after.get("requests.sweep", 0)
+                - before.get("requests.sweep", 0))
+    calls = (after.get("sweep.evaluate_grid_calls", 0)
+             - before.get("sweep.evaluate_grid_calls", 0))
+    if requests != BURST:
+        _fail(f"expected {BURST} sweep requests, metrics saw {requests}")
+    if coalesced < 1:
+        _fail(f"no coalescing observed across {BURST} concurrent sweeps")
+    if calls >= requests:
+        _fail(f"{calls} evaluate_grid calls for {requests} requests — "
+              f"batching is not amortising engine work")
+    print(f"  batching: {requests} concurrent sweeps -> {calls} "
+          f"evaluate_grid calls ({coalesced} coalesced)")
+
+    # Malformed input: structured 4xx, daemon survives.
+    bad_bodies = [
+        ("not json at all", None),
+        ("bad vth", {"cache": {"size_kb": 16}, "vth": [9.9], "tox": [12]}),
+        ("unknown field", {"cache": {"size_kb": 16}, "vth": [0.3],
+                           "tox": [12], "surprise": 1}),
+    ]
+    for label, payload in bad_bodies:
+        try:
+            if payload is None:
+                import http.client
+
+                connection = http.client.HTTPConnection(host, port, timeout=10)
+                connection.request(
+                    "POST", "/v1/sweep", body=b"{nope",
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                status = response.status
+                envelope = json.loads(response.read())
+                connection.close()
+            else:
+                client.request("POST", "/v1/sweep", payload)
+                _fail(f"{label}: expected a 4xx, got a 2xx")
+        except ServiceError as error:
+            status, envelope = error.status, error.envelope
+        if not 400 <= status < 500:
+            _fail(f"{label}: expected 4xx, got {status}")
+        if "error" not in envelope or "message" not in envelope["error"]:
+            _fail(f"{label}: missing structured envelope: {envelope}")
+    if client.healthz().get("status") != "ok":
+        _fail("daemon unhealthy after malformed-input barrage")
+    print(f"  validation: {len(bad_bodies)} malformed bodies -> structured "
+          f"4xx, daemon alive")
+    client.close()
+
+
+def run_in_process() -> int:
+    from repro.service import ServiceConfig, create_server
+
+    server = create_server(ServiceConfig(port=0))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    print(f"service smoke (in-process, port {server.bound_port}):")
+    try:
+        check_service("127.0.0.1", server.bound_port)
+    finally:
+        server.shutdown()
+        summary = server.service.shutdown()
+        server.server_close()
+    print(f"  shutdown: drained={summary['drained']} "
+          f"cancelled={summary['cancelled']}")
+    print("OK")
+    return 0
+
+
+def run_subprocess(timeout: float = 60.0) -> int:
+    with tempfile.TemporaryDirectory() as scratch:
+        port_file = os.path.join(scratch, "port")
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = REPO_SRC + (
+            os.pathsep + environment["PYTHONPATH"]
+            if environment.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--port-file", port_file,
+             "--cache-dir", os.path.join(scratch, "cache")],
+            env=environment,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            deadline = time.time() + timeout
+            while not os.path.exists(port_file):
+                if process.poll() is not None:
+                    _fail(f"daemon exited early:\n{process.stdout.read()}")
+                if time.time() > deadline:
+                    _fail("daemon never wrote its port file")
+                time.sleep(0.05)
+            with open(port_file) as handle:
+                port = int(handle.read().strip())
+            print(f"service smoke (subprocess pid {process.pid}, "
+                  f"port {port}):")
+            check_service("127.0.0.1", port)
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                _fail("daemon did not exit within 15 s of SIGTERM")
+            output = process.stdout.read()
+            if process.returncode != 0:
+                _fail(f"daemon exited {process.returncode} on SIGTERM:\n"
+                      f"{output}")
+            if "shutdown complete" not in output:
+                _fail(f"no graceful-shutdown line in daemon output:\n"
+                      f"{output}")
+            print("  sigterm: exit 0, graceful shutdown confirmed")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--in-process", action="store_true",
+                        help="run against an in-process server (no "
+                             "subprocess, no SIGTERM check)")
+    arguments = parser.parse_args(argv)
+    if arguments.in_process:
+        return run_in_process()
+    return run_subprocess()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
