@@ -13,9 +13,14 @@ or the authors' simulator, so this package builds the equivalent pipeline:
   per-record and vectorized (:func:`synthetic_trace_buffer`) forms;
 * :mod:`~repro.archsim.replacement` — LRU / FIFO / random policies;
 * :mod:`~repro.archsim.setassoc` — write-back set-associative caches:
-  per-record with pluggable policies, and the chunked array LRU engine;
+  per-record with pluggable policies, and the chunked array engine with
+  LRU / FIFO / seeded-random fast paths;
 * :mod:`~repro.archsim.hierarchy` — the two-level L1/L2/memory system
   (per-record and array variants, statistics bit-identical);
+* :mod:`~repro.archsim.multiconfig` — the batched calibration engine:
+  simulates a whole (L1, L2) configuration grid in one trace sweep with
+  generated fused kernels, bit-identical per point to
+  :class:`ArrayTwoLevelHierarchy`;
 * :mod:`~repro.archsim.stats` — hit/miss accounting;
 * :mod:`~repro.archsim.missmodel` — an analytical miss-rate model
   calibrated against the simulator (parallel + disk-memoized), used by
@@ -59,6 +64,10 @@ from repro.archsim.workloads import (
     TPCC_LIKE,
     STANDARD_WORKLOADS,
 )
+from repro.archsim.multiconfig import (
+    MultiConfigHierarchyEngine,
+    simulate_configurations,
+)
 from repro.archsim.missmodel import (
     MissRateModel,
     blended_miss_model,
@@ -91,6 +100,8 @@ __all__ = [
     "ArrayTwoLevelHierarchy",
     "HierarchyResult",
     "simulate_hierarchy",
+    "MultiConfigHierarchyEngine",
+    "simulate_configurations",
     "WorkloadSpec",
     "synthetic_trace",
     "synthetic_trace_buffer",

@@ -9,6 +9,7 @@ on inclusion policy, and non-inclusive is the simplest faithful choice).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -133,15 +134,22 @@ class TwoLevelHierarchy:
 
 
 class ArrayTwoLevelHierarchy:
-    """Chunk-wise L1 + L2 + memory simulator (LRU only).
+    """Chunk-wise L1 + L2 + memory simulator.
 
     The array counterpart of :class:`TwoLevelHierarchy`: identical
     semantics (non-inclusive, write-back L1 evictions into L2, the
     write-back touching L2 *before* the demand miss), identical
     statistics on the same trace, but all per-access address arithmetic
-    is vectorized per chunk and the residency/LRU core is one tight loop
-    over per-set ordered dicts.  Roughly an order of magnitude faster
-    than the per-record simulator; use it wherever the policy is LRU.
+    is vectorized per chunk and the residency core is one tight loop
+    over per-set ordered dicts.  LRU keeps the dicts recency-ordered
+    (pop + re-insert on hit); FIFO and random drop the re-insert so the
+    dicts are fill-ordered, with FIFO evicting the first key and random
+    drawing victims from two seeded :class:`random.Random` instances —
+    L1 on ``seed``, L2 on ``seed + 1``, the same streams
+    :class:`TwoLevelHierarchy` hands its per-level
+    :class:`~repro.archsim.replacement.RandomPolicy` instances, so the
+    statistics stay bit-identical under every policy.  Roughly an order
+    of magnitude faster than the per-record simulator.
     """
 
     def __init__(
@@ -151,11 +159,18 @@ class ArrayTwoLevelHierarchy:
         policy: str = "lru",
         seed: int = 0,
     ) -> None:
-        if policy != "lru":
+        if policy not in ("lru", "fifo", "random"):
             raise SimulationError(
-                f"ArrayTwoLevelHierarchy supports only LRU, got {policy!r}; "
-                f"use TwoLevelHierarchy for other policies"
+                f"ArrayTwoLevelHierarchy: unknown replacement policy "
+                f"{policy!r}; expected 'lru', 'fifo' or 'random'"
             )
+        self.policy = policy
+        self._l1_rng = (
+            random.Random(seed) if policy == "random" else None
+        )
+        self._l2_rng = (
+            random.Random(seed + 1) if policy == "random" else None
+        )
         self.l1_n_sets = _validate_shape(
             l1_config.size_bytes,
             l1_config.block_bytes,
@@ -209,60 +224,134 @@ class ArrayTwoLevelHierarchy:
         l2_evictions = l2_writebacks = 0
         memory = 0
 
-        for block, l1_index, demand_block, l2_index, write in zip(
-            l1_blocks, l1_indices, l2_blocks, l2_indices, writes
-        ):
-            resident = l1_sets[l1_index]
-            if block in resident:
-                l1_hits += 1
-                resident[block] = resident.pop(block) or write
-                continue
-            l1_misses += 1
-            if write:
-                l1_write_misses += 1
-            else:
-                l1_read_misses += 1
-            if len(resident) >= l1_assoc:
-                victim = next(iter(resident))
-                victim_dirty = resident.pop(victim)
-                l1_evictions += 1
-                if victim_dirty:
-                    l1_writebacks += 1
-                    # Dirty L1 eviction writes back into L2 first.
-                    wb_block = victim & l2_neg_mask
-                    wb_set = l2_sets[(wb_block >> l2_shift) & l2_set_mask]
-                    if wb_block in wb_set:
-                        l2_hits += 1
-                        wb_set.pop(wb_block)
-                        wb_set[wb_block] = True
+        if self.policy == "lru":
+            for block, l1_index, demand_block, l2_index, write in zip(
+                l1_blocks, l1_indices, l2_blocks, l2_indices, writes
+            ):
+                resident = l1_sets[l1_index]
+                if block in resident:
+                    l1_hits += 1
+                    resident[block] = resident.pop(block) or write
+                    continue
+                l1_misses += 1
+                if write:
+                    l1_write_misses += 1
+                else:
+                    l1_read_misses += 1
+                if len(resident) >= l1_assoc:
+                    victim = next(iter(resident))
+                    victim_dirty = resident.pop(victim)
+                    l1_evictions += 1
+                    if victim_dirty:
+                        l1_writebacks += 1
+                        # Dirty L1 eviction writes back into L2 first.
+                        wb_block = victim & l2_neg_mask
+                        wb_set = l2_sets[(wb_block >> l2_shift) & l2_set_mask]
+                        if wb_block in wb_set:
+                            l2_hits += 1
+                            wb_set.pop(wb_block)
+                            wb_set[wb_block] = True
+                        else:
+                            l2_misses += 1
+                            l2_write_misses += 1
+                            memory += 1  # fill for the write-allocate
+                            if len(wb_set) >= l2_assoc:
+                                l2_victim = next(iter(wb_set))
+                                if wb_set.pop(l2_victim):
+                                    l2_writebacks += 1
+                                    memory += 1
+                                l2_evictions += 1
+                            wb_set[wb_block] = True
+                resident[block] = write
+                # The demand miss itself goes to L2 (as a read).
+                demand_set = l2_sets[l2_index]
+                if demand_block in demand_set:
+                    l2_hits += 1
+                    demand_set[demand_block] = demand_set.pop(demand_block)
+                else:
+                    l2_misses += 1
+                    l2_read_misses += 1
+                    memory += 1
+                    if len(demand_set) >= l2_assoc:
+                        l2_victim = next(iter(demand_set))
+                        if demand_set.pop(l2_victim):
+                            l2_writebacks += 1
+                            memory += 1
+                        l2_evictions += 1
+                    demand_set[demand_block] = False
+        else:
+            # FIFO/random: hits never reorder, so each set dict stays in
+            # fill order.  The per-level rngs (L1 on seed, L2 on seed+1)
+            # fire once per eviction in trace order — the same draw
+            # sequence the per-record RandomPolicy instances make.
+            l1_choice = (
+                self._l1_rng.choice if self._l1_rng is not None else None
+            )
+            l2_choice = (
+                self._l2_rng.choice if self._l2_rng is not None else None
+            )
+            for block, l1_index, demand_block, l2_index, write in zip(
+                l1_blocks, l1_indices, l2_blocks, l2_indices, writes
+            ):
+                resident = l1_sets[l1_index]
+                if block in resident:
+                    l1_hits += 1
+                    if write:
+                        resident[block] = True
+                    continue
+                l1_misses += 1
+                if write:
+                    l1_write_misses += 1
+                else:
+                    l1_read_misses += 1
+                if len(resident) >= l1_assoc:
+                    if l1_choice is not None:
+                        victim = l1_choice(list(resident))
                     else:
-                        l2_misses += 1
-                        l2_write_misses += 1
-                        memory += 1  # fill for the write-allocate
-                        if len(wb_set) >= l2_assoc:
-                            l2_victim = next(iter(wb_set))
-                            if wb_set.pop(l2_victim):
-                                l2_writebacks += 1
-                                memory += 1
-                            l2_evictions += 1
-                        wb_set[wb_block] = True
-            resident[block] = write
-            # The demand miss itself goes to L2 (as a read).
-            demand_set = l2_sets[l2_index]
-            if demand_block in demand_set:
-                l2_hits += 1
-                demand_set[demand_block] = demand_set.pop(demand_block)
-            else:
-                l2_misses += 1
-                l2_read_misses += 1
-                memory += 1
-                if len(demand_set) >= l2_assoc:
-                    l2_victim = next(iter(demand_set))
-                    if demand_set.pop(l2_victim):
-                        l2_writebacks += 1
-                        memory += 1
-                    l2_evictions += 1
-                demand_set[demand_block] = False
+                        victim = next(iter(resident))
+                    victim_dirty = resident.pop(victim)
+                    l1_evictions += 1
+                    if victim_dirty:
+                        l1_writebacks += 1
+                        # Dirty L1 eviction writes back into L2 first.
+                        wb_block = victim & l2_neg_mask
+                        wb_set = l2_sets[(wb_block >> l2_shift) & l2_set_mask]
+                        if wb_block in wb_set:
+                            l2_hits += 1
+                            wb_set[wb_block] = True
+                        else:
+                            l2_misses += 1
+                            l2_write_misses += 1
+                            memory += 1  # fill for the write-allocate
+                            if len(wb_set) >= l2_assoc:
+                                if l2_choice is not None:
+                                    l2_victim = l2_choice(list(wb_set))
+                                else:
+                                    l2_victim = next(iter(wb_set))
+                                if wb_set.pop(l2_victim):
+                                    l2_writebacks += 1
+                                    memory += 1
+                                l2_evictions += 1
+                            wb_set[wb_block] = True
+                resident[block] = write
+                # The demand miss itself goes to L2 (as a read).
+                demand_set = l2_sets[l2_index]
+                if demand_block in demand_set:
+                    l2_hits += 1
+                else:
+                    l2_misses += 1
+                    l2_read_misses += 1
+                    memory += 1
+                    if len(demand_set) >= l2_assoc:
+                        if l2_choice is not None:
+                            l2_victim = l2_choice(list(demand_set))
+                        else:
+                            l2_victim = next(iter(demand_set))
+                        if demand_set.pop(l2_victim):
+                            l2_writebacks += 1
+                            memory += 1
+                        l2_evictions += 1
+                    demand_set[demand_block] = False
 
         for stats, hits, misses, read_misses, write_misses, evictions, \
                 writebacks in (
@@ -306,11 +395,14 @@ def simulate_hierarchy(
 ) -> HierarchyResult:
     """Run a trace through the fastest hierarchy engine for the policy.
 
-    LRU traffic takes :class:`ArrayTwoLevelHierarchy`; any other policy
-    falls back to the per-record :class:`TwoLevelHierarchy`.
+    LRU, FIFO and random traffic take :class:`ArrayTwoLevelHierarchy`;
+    any other policy falls back to the per-record
+    :class:`TwoLevelHierarchy`.
     """
-    if policy == "lru":
-        return ArrayTwoLevelHierarchy(l1_config, l2_config).run(trace)
+    if policy in ("lru", "fifo", "random"):
+        return ArrayTwoLevelHierarchy(
+            l1_config, l2_config, policy, seed
+        ).run(trace)
     hierarchy = TwoLevelHierarchy(l1_config, l2_config, policy, seed)
     if isinstance(trace, np.ndarray):
         trace = as_buffer(trace)

@@ -13,13 +13,19 @@ L2 64 B blocks / 8-way, the L2 curve measured behind a 16 KB L1).  The
 test suite re-measures them against a live simulation with a tolerance,
 so the table cannot silently drift from the simulator.
 
-Calibration itself is engineered for scale: the default ``engine="array"``
-path generates traces with the vectorized workload generators and
-simulates them on the chunked array hierarchy, the (level, size) grid
-points can fan out over a ``ProcessPoolExecutor`` (``jobs=N``), and the
-measured curves are memoised on disk keyed by a fingerprint of every
-input (workload spec, trace length, seed, grids, reference shapes,
-engine) — a warm re-calibration is a file read.
+Calibration itself is engineered for scale: the default
+``engine="multiconfig"`` path simulates the *entire* (level, size) grid
+in one sweep over the trace
+(:class:`~repro.archsim.multiconfig.MultiConfigHierarchyEngine` — one
+address decode, shared set indices, the reference L1 in front of the L2
+grid simulated once), bit-identical to the per-point ``engine="array"``
+fallback at a fraction of the cost.  ``jobs=N`` fans lane-coherent
+shards of the grid over a ``ProcessPoolExecutor``, every worker
+streaming chunks of one shared memory-mapped trace (materialised once,
+never regenerated per point), and the measured curves are memoised on
+disk keyed by a fingerprint of every input (workload spec, trace
+length, seed, grids, reference shapes, engine) — a warm re-calibration
+is a file read.
 
 Note the L2 *local* miss-rate convention: misses over L2 accesses.  The
 curves bake in the reference L1's filtering; Section 5's experiments vary
@@ -30,12 +36,19 @@ methodology of per-combination architectural runs.
 from __future__ import annotations
 
 import math
+import os
+import shutil
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.archsim.hierarchy import ArrayTwoLevelHierarchy, TwoLevelHierarchy
+from repro.archsim.multiconfig import MultiConfigHierarchyEngine
+from repro.archsim.trace import TraceBuffer
 from repro.archsim.workloads import (
     STANDARD_WORKLOADS,
     WorkloadSpec,
@@ -43,7 +56,7 @@ from repro.archsim.workloads import (
     synthetic_trace_buffer,
 )
 from repro.cache.config import CacheConfig
-from repro.perf.disk_cache import DiskCache
+from repro.perf.disk_cache import DiskCache, make_fingerprint
 
 #: Reference shapes used for calibration.
 REFERENCE_L1_BLOCK = 32
@@ -106,8 +119,10 @@ class MissRateModel:
 
 
 #: Bump when measurement semantics change: it is folded into the disk
-#: fingerprint, so stale cached curves can never be served.
-_CALIBRATION_FORMAT = 3
+#: fingerprint, so stale cached curves can never be served.  Format 4:
+#: multiconfig engine added; the stackdist estimator's L2 denominator is
+#: write-back corrected.
+_CALIBRATION_FORMAT = 4
 
 
 def _point_configs(level: str, kb: int) -> Tuple[CacheConfig, CacheConfig]:
@@ -154,6 +169,89 @@ def _measure_point(
     return result.l1_miss_rate if level == "l1" else result.l2_local_miss_rate
 
 
+def _multiconfig_rates(
+    points: Sequence[Tuple[str, int]], trace
+) -> List[float]:
+    """Simulate every (level, size) point in one multi-config sweep.
+
+    L1-curve points only contribute their L1 miss rate, so their shared
+    reference L2 is elided entirely (``l2_config=None``): the engine
+    simulates each distinct L1 shape once as a lane and the reference L1
+    feeding the whole L2 grid once, instead of one full hierarchy per
+    point.  Rates are bit-identical to per-point ``engine="array"`` runs.
+    """
+    engine_points = []
+    for level, kb in points:
+        l1_config, l2_config = _point_configs(level, kb)
+        engine_points.append(
+            (l1_config, None) if level == "l1" else (l1_config, l2_config)
+        )
+    results = MultiConfigHierarchyEngine(engine_points).run(trace)
+    return [
+        result.l1_miss_rate if level == "l1" else result.l2_local_miss_rate
+        for (level, _), result in zip(points, results)
+    ]
+
+
+def _load_trace_files(addresses_path: str, writes_path: str) -> TraceBuffer:
+    """Memory-map a materialised trace (see :func:`_materialize_trace`).
+
+    ``mmap_mode="r"`` keeps the arrays backed by the page cache, so N
+    pool workers share one physical copy of the trace instead of
+    regenerating (or unpickling) it N times.
+    """
+    return TraceBuffer(
+        np.load(addresses_path, mmap_mode="r"),
+        np.load(writes_path, mmap_mode="r"),
+    )
+
+
+def _measure_shard(
+    shard: Sequence[Tuple[str, int]],
+    addresses_path: str,
+    writes_path: str,
+    engine: str,
+) -> List[float]:
+    """Worker entry: rates for one shard of the grid off the shared trace."""
+    trace = _load_trace_files(addresses_path, writes_path)
+    if engine == "multiconfig":
+        return _multiconfig_rates(shard, trace)
+    rates = []
+    for level, kb in shard:
+        l1_config, l2_config = _point_configs(level, kb)
+        result = ArrayTwoLevelHierarchy(l1_config, l2_config).run(trace)
+        rates.append(
+            result.l1_miss_rate if level == "l1"
+            else result.l2_local_miss_rate
+        )
+    return rates
+
+
+def _shard_points(
+    points: Sequence[Tuple[str, int]], jobs: int
+) -> List[List[Tuple[str, int]]]:
+    """Partition grid points into at most ``jobs`` lane-coherent shards.
+
+    Points sharing an L1 shape stay together (all L2-curve points sit
+    behind the one reference L1), so no worker re-simulates a lane
+    another worker already owns; each L2-curve point costs roughly one
+    follower, so shards are balanced greedily by point count.
+    """
+    groups: Dict[Tuple[int, int, int], List[Tuple[str, int]]] = {}
+    for level, kb in points:
+        l1_config, _ = _point_configs(level, kb)
+        key = (
+            l1_config.size_bytes,
+            l1_config.block_bytes,
+            l1_config.associativity,
+        )
+        groups.setdefault(key, []).append((level, kb))
+    shards: List[List[Tuple[str, int]]] = [[] for _ in range(jobs)]
+    for group in sorted(groups.values(), key=len, reverse=True):
+        min(shards, key=len).extend(group)
+    return [shard for shard in shards if shard]
+
+
 def _calibration_fingerprint(
     spec: WorkloadSpec,
     n_accesses: int,
@@ -163,20 +261,24 @@ def _calibration_fingerprint(
     engine: str,
     estimator: str,
 ) -> str:
-    """Fold every input that determines the curves into one string."""
-    return repr(
-        (
-            _CALIBRATION_FORMAT,
-            spec,
-            n_accesses,
-            seed,
-            tuple(l1_grid_kb),
-            tuple(l2_grid_kb),
-            (REFERENCE_L1_BLOCK, REFERENCE_L1_ASSOC, REFERENCE_L1_KB),
-            (REFERENCE_L2_BLOCK, REFERENCE_L2_ASSOC, REFERENCE_L2_KB),
-            engine,
-            estimator,
-        )
+    """Fold every input that determines the curves into one string.
+
+    The engine tag participates: ``"multiconfig"`` and ``"array"``
+    produce bit-identical curves, but keying them separately keeps the
+    invalidation contract trivial — any semantic divergence ever
+    introduced between engines can never serve a stale entry.
+    """
+    return make_fingerprint(
+        _CALIBRATION_FORMAT,
+        spec,
+        n_accesses,
+        seed,
+        tuple(l1_grid_kb),
+        tuple(l2_grid_kb),
+        (REFERENCE_L1_BLOCK, REFERENCE_L1_ASSOC, REFERENCE_L1_KB),
+        (REFERENCE_L2_BLOCK, REFERENCE_L2_ASSOC, REFERENCE_L2_KB),
+        engine,
+        estimator,
     )
 
 
@@ -198,13 +300,18 @@ def _stackdist_estimate(
     not the calibration of record.
 
     The L2 *local* rate is derived from global rates: with the reference
-    L1 as the filter, L2 accesses ≈ the reference L1's global misses, so
-    ``local(C2) = global_64B(C2) / global_32B(ref L1)`` clamped to 1.
-    Two effects are deliberately not modelled and dominate the L2 error
-    (the L1 error is negligible): the simulated L2 also serves L1 dirty
-    write-backs (denominator) and the L1 filter reorders the reference
-    stream the L2 sees.  ``tests/archsim/test_missmodel_stackdist.py``
-    pins the measured gap on a standard workload.
+    L1 as the filter, the L2 serves the reference L1's misses *plus its
+    dirty write-backs*, so
+    ``local(C2) = global_64B(C2) / (global_32B(ref L1) * (1 + wb))``
+    clamped to 1, where ``wb`` is the reference L1's measured
+    write-backs-per-miss ratio.  The write-back stream is measured
+    exactly — one L1-only lane of the multi-config engine over the same
+    trace — which removes the denominator half of the estimator's
+    historical positive bias.  The remaining error (the L1 filter
+    reorders and write-extends the stream the L2 sees, which the global
+    profile cannot model) is pinned by
+    ``tests/archsim/test_missmodel_stackdist.py``; the L1 error is
+    negligible.
     """
     from repro.archsim.stackdist import stack_distance_profile
 
@@ -224,6 +331,15 @@ def _stackdist_estimate(
     l2_global = profile_l2.miss_curve(
         [kb * 1024 // REFERENCE_L2_BLOCK for kb in l2_grid_kb]
     )
+    reference_l1, _ = _point_configs("l2", REFERENCE_L2_KB)
+    reference = MultiConfigHierarchyEngine([(reference_l1, None)]).run(
+        buffer
+    )[0]
+    writeback_ratio = (
+        reference.l1.writebacks / reference.l1.misses
+        if reference.l1.misses else 0.0
+    )
+    l2_denominator = filter_rate * (1.0 + writeback_ratio)
     return MissRateModel(
         workload=spec.name,
         l1_curve=tuple(
@@ -233,8 +349,12 @@ def _stackdist_estimate(
         l2_curve=tuple(
             (
                 kb * 1024,
-                min(1.0, l2_global[kb * 1024 // REFERENCE_L2_BLOCK] / filter_rate)
-                if filter_rate > 0.0
+                min(
+                    1.0,
+                    l2_global[kb * 1024 // REFERENCE_L2_BLOCK]
+                    / l2_denominator,
+                )
+                if l2_denominator > 0.0
                 else 0.0,
             )
             for kb in l2_grid_kb
@@ -251,7 +371,7 @@ def measure_miss_model(
     jobs: Optional[int] = None,
     use_disk_cache: bool = True,
     cache_dir=None,
-    engine: str = "array",
+    engine: str = "multiconfig",
     estimator: str = "grid",
 ) -> MissRateModel:
     """Measure a fresh :class:`MissRateModel` by simulation.
@@ -262,10 +382,15 @@ def measure_miss_model(
     Parameters beyond the grids:
 
     jobs:
-        Fan the (level, size) points over a ``ProcessPoolExecutor`` with
-        this many workers; ``None`` (default) runs serially in-process,
-        where the trace buffer is generated once and shared by every
-        point.
+        Fan lane-coherent shards of the grid over a
+        ``ProcessPoolExecutor`` with this many workers.  The trace is
+        materialised to disk once (``.npy``) and every worker streams
+        chunks of the same memory-mapped copy — nothing is regenerated
+        per point.  ``None`` (default) runs serially in-process, where
+        one in-memory buffer feeds the whole grid.  Results are
+        identical either way; serial is usually faster below ~10 M
+        accesses because the multi-config sweep already shares most of
+        the work a second worker would duplicate.
     use_disk_cache / cache_dir:
         Memoise the measured curves on disk
         (:class:`repro.perf.DiskCache`, namespace ``missmodel``), keyed
@@ -273,9 +398,13 @@ def measure_miss_model(
         grids, reference cache shapes, and engine.  A warm call is a
         file read.
     engine:
-        ``"array"`` (default) uses the vectorized trace generator and
-        chunked array hierarchy; ``"object"`` keeps the original
-        per-record generator/simulator pair (the cross-validation path).
+        ``"multiconfig"`` (default) simulates the whole grid in one
+        sweep (:class:`~repro.archsim.multiconfig.MultiConfigHierarchyEngine`);
+        ``"array"`` runs the chunked array hierarchy once per point —
+        bit-identical curves, kept as the cross-check and non-LRU
+        escape hatch; ``"object"`` keeps the original per-record
+        generator/simulator pair (the cross-validation path, serial
+        only under ``jobs``'s sharding too).
     estimator:
         ``"grid"`` (default) simulates every (level, size) point on the
         set-associative reference shapes; ``"stackdist"`` derives the
@@ -284,9 +413,10 @@ def measure_miss_model(
         then irrelevant) at a quantified accuracy cost (see
         :func:`_stackdist_estimate`).
     """
-    if engine not in ("array", "object"):
+    if engine not in ("multiconfig", "array", "object"):
         raise SimulationError(
-            f"unknown engine {engine!r}; expected 'array' or 'object'"
+            f"unknown engine {engine!r}; expected 'multiconfig', "
+            f"'array' or 'object'"
         )
     if estimator not in ("grid", "stackdist"):
         raise SimulationError(
@@ -330,21 +460,49 @@ def measure_miss_model(
 
     points: List[Tuple[str, int]] = [("l1", kb) for kb in l1_grid_kb]
     points += [("l2", kb) for kb in l2_grid_kb]
-    if jobs is not None and jobs > 1 and len(points) > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            rates = list(
-                pool.map(
-                    _measure_point,
-                    [spec] * len(points),
-                    [level for level, _ in points],
-                    [kb for _, kb in points],
-                    [n_accesses] * len(points),
-                    [seed] * len(points),
-                    [engine] * len(points),
-                )
+    if (
+        jobs is not None and jobs > 1 and len(points) > 1
+        and engine in ("multiconfig", "array")
+    ):
+        # Materialise the trace once; workers stream chunk views of the
+        # same memory-mapped arrays instead of regenerating it.
+        shards = _shard_points(points, jobs)
+        scratch = tempfile.mkdtemp(prefix="repro-missmodel-")
+        try:
+            buffer = synthetic_trace_buffer(
+                spec, n_accesses, seed=seed, block_bytes=64
             )
+            addresses_path = os.path.join(scratch, "addresses.npy")
+            writes_path = os.path.join(scratch, "writes.npy")
+            np.save(addresses_path, buffer.addresses)
+            np.save(writes_path, buffer.is_write)
+            del buffer
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                shard_rates = list(
+                    pool.map(
+                        _measure_shard,
+                        shards,
+                        [addresses_path] * len(shards),
+                        [writes_path] * len(shards),
+                        [engine] * len(shards),
+                    )
+                )
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        by_point = {
+            point: rate
+            for shard, measured in zip(shards, shard_rates)
+            for point, rate in zip(shard, measured)
+        }
+        rates = [by_point[point] for point in points]
+    elif engine == "multiconfig":
+        # Serial fast path: one sweep of one trace buffer covers the grid.
+        buffer = synthetic_trace_buffer(
+            spec, n_accesses, seed=seed, block_bytes=64
+        )
+        rates = _multiconfig_rates(points, buffer)
     elif engine == "array":
-        # Serial fast path: one trace buffer feeds every point.
+        # Per-point fallback: one trace buffer feeds every point.
         buffer = synthetic_trace_buffer(
             spec, n_accesses, seed=seed, block_bytes=64
         )
@@ -385,9 +543,11 @@ def measure_miss_model(
     return model
 
 
-#: Pre-measured curves (2,000,000 accesses, seed 1, the vectorized
-#: ``engine="array"`` path; see module docstring for the reference
-#: shapes).  Regenerate with ``python tools/calibrate_missmodel.py``.
+#: Pre-measured curves (2,000,000 accesses, seed 1; the default
+#: ``engine="multiconfig"`` sweep and the per-point ``engine="array"``
+#: path produce these bit-identically — see module docstring for the
+#: reference shapes).  Regenerate with
+#: ``python tools/calibrate_missmodel.py``.
 CALIBRATED_TABLES: Dict[str, MissRateModel] = {
     "spec2000": MissRateModel(
         workload="spec2000",

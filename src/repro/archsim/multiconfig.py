@@ -1,0 +1,553 @@
+"""Single-pass multi-configuration two-level hierarchy simulation.
+
+The grid calibration in :mod:`repro.archsim.missmodel` needs the full
+:class:`~repro.archsim.hierarchy.HierarchyResult` of ~a dozen (L1 size,
+L2 size) combinations over the *same* multi-million-access trace.
+Running :class:`~repro.archsim.hierarchy.ArrayTwoLevelHierarchy` once
+per combination repeats nearly all of the work: every pass re-decodes
+the same addresses, re-derives block/set indices, and — for the L2-curve
+points, which all sit behind the same reference L1 — re-simulates an
+identical L1 from scratch.
+
+:class:`MultiConfigHierarchyEngine` simulates *all* configurations
+concurrently in one sweep over each trace chunk, producing statistics
+**bit-identical** to independent per-point runs (the property suite in
+``tests/archsim/test_multiconfig.py`` locks this in).  Four layers of
+sharing make it fast:
+
+* **One decode.**  Points are grouped into *lanes* by their L1 shape;
+  lanes sharing a block size share one vectorized block/set-index
+  computation per chunk.  Nested power-of-two set counts need no extra
+  arrays at all — a coarser set index is a bit-prefix of a finer one, so
+  every lane masks the same shifted-block list with its own
+  ``n_sets - 1``.
+* **Run compression.**  Consecutive accesses to the same block are
+  guaranteed LRU hits on the block at the top of its set's recency
+  order, in every configuration at once (an MRU block cannot be the LRU
+  victim while associativity >= 1).  Each chunk is compressed with numpy
+  to its block-boundary events plus per-run ORed write flags; typical
+  synthetic traces shed ~50 % of their accesses before the Python loop
+  ever sees them.  The ORed flag drives the dirty bits, so write-back
+  accounting stays exact.
+* **An all-caches MRU fast path.**  Within a group, set indices refine:
+  the blocks mapping to a fine set are a subset of those mapping to the
+  coarse set it nests in, so *fewer* blocks separate a reuse in a finer
+  cache (Mattson's inclusion, per set).  In particular an MRU hit in
+  the fewest-sets cache is an MRU hit in **every** cache of the group,
+  whose only state change is ORing the write flag into the dirty bit.
+  That collapses ~80 % of events (measured, spec2000-like) to a single
+  compare — and to literally no state change when the run was clean.
+* **One L1 per lane, replayed L2s.**  Each lane advances its L1 state
+  once per event and records the resulting L2 traffic (dirty-victim
+  write-back followed by the demand fill, in simulation order).  Every
+  point sharing the lane replays that recorded stream into its own L2 —
+  the reference L1 in front of the whole L2 size grid is simulated
+  once, not once per size.  Identical (L1, L2) points collapse to a
+  single simulation entirely.
+
+The per-chunk inner loops are generated (``compile``/``exec``) from the
+lane layout at construction time: one fused loop advances every lane's
+set state with straight-line, local-variable-only code.  2-way and
+direct-mapped levels use an exact two-slot/one-slot LRU encoding (plain
+Python lists indexed by set); other associativities use the same
+insertion-ordered-dict core as
+:class:`~repro.archsim.setassoc.ArraySetAssociativeCache`.  LRU only,
+like the array engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.archsim.hierarchy import HierarchyResult
+from repro.archsim.setassoc import _validate_shape
+from repro.archsim.stats import CacheStats
+from repro.archsim.trace import DEFAULT_CHUNK, TraceLike, as_buffer
+from repro.cache.config import CacheConfig
+
+#: (size_bytes, block_bytes, associativity) — the identity of one level.
+_Shape = Tuple[int, int, int]
+
+#: Sentinel distinguishing "absent" from any dirty-bit value in the
+#: ordered-dict sets (lets the hit path run on one hash probe).
+_MISSING = object()
+
+
+def _shape(config: CacheConfig) -> _Shape:
+    return (config.size_bytes, config.block_bytes, config.associativity)
+
+
+# --------------------------------------------------------------------------
+# code generation: one fused loop per cache group
+# --------------------------------------------------------------------------
+#
+# A "group" is a list of cache states driven by the same compressed event
+# stream (all L1 lanes sharing a block size; all L2 followers of one lane
+# sharing a block size), ordered by ascending set count so index 0 is the
+# MRU-fast-path guard.  The generated function unrolls the per-cache
+# logic so each event advances every cache with local-variable code only.
+#
+# Loop variables: b = block address, sb = block address >> block shift
+# (set index before masking), x = is_write of the run's first access
+# (miss classification), aw = OR of every write flag in the run (dirty
+# bit), a = raw address of the run's first access (L2 demand traffic).
+
+_PROLOGUE = {
+    "slot2": (
+        "    u{i}=g[{i}]['mru']; v{i}=g[{i}]['lru']; "
+        "d{i}=g[{i}]['dirty_mru']; e{i}=g[{i}]['dirty_lru']; "
+        "k{i}=g[{i}]['mask']\n"
+    ),
+    "slot1": (
+        "    u{i}=g[{i}]['mru']; d{i}=g[{i}]['dirty_mru']; "
+        "k{i}=g[{i}]['mask']\n"
+    ),
+    "dict": "    S{i}=g[{i}]['sets']; k{i}=g[{i}]['mask']; A{i}=g[{i}]['assoc']\n",
+}
+
+_COUNTERS = "    h{i}=0; mi{i}=0; rm{i}=0; wm{i}=0; ev{i}=0; wb{i}=0; mem{i}=0\n"
+
+_EVENTS = (
+    "    oaap{i}=g[{i}]['ops_addr'].append; "
+    "owap{i}=g[{i}]['ops_write'].append\n"
+)
+
+_SLOT2 = """\
+{shead}
+            m = u{i}[s]
+            if b == m:
+                h{i} += 1
+                if aw:
+                    d{i}[s] = True
+            elif b == v{i}[s]:
+                h{i} += 1
+                u{i}[s] = b; v{i}[s] = m
+                t = e{i}[s]; e{i}[s] = d{i}[s]; d{i}[s] = t or aw
+            else:
+                mi{i} += 1
+                if x:
+                    wm{i} += 1
+                else:
+                    rm{i} += 1
+                victim = v{i}[s]
+                u{i}[s] = b; v{i}[s] = m
+                t = e{i}[s]; e{i}[s] = d{i}[s]; d{i}[s] = aw
+                if victim != -1:
+                    ev{i} += 1
+                    if t:
+                        wb{i} += 1
+{dirty_victim}{miss}"""
+
+_SLOT1 = """\
+{shead}
+            m = u{i}[s]
+            if b == m:
+                h{i} += 1
+                if aw:
+                    d{i}[s] = True
+            else:
+                mi{i} += 1
+                if x:
+                    wm{i} += 1
+                else:
+                    rm{i} += 1
+                t = d{i}[s]
+                u{i}[s] = b; d{i}[s] = aw
+                if m != -1:
+                    ev{i} += 1
+                    if t:
+                        wb{i} += 1
+{dirty_victim}{miss}"""
+
+_DICT = """\
+            r = S{i}[{sx}]
+            t = r.pop(b, MS)
+            if t is not MS:
+                h{i} += 1
+                r[b] = t or aw
+            else:
+                mi{i} += 1
+                if x:
+                    wm{i} += 1
+                else:
+                    rm{i} += 1
+                if len(r) >= A{i}:
+                    victim = next(iter(r))
+                    if r.pop(victim):
+                        wb{i} += 1
+{dirty_victim}                    ev{i} += 1
+{miss}                r[b] = aw
+"""
+
+_EPILOGUE = """\
+    st = g[{i}]['stats']
+    st.accesses += h{i} + mi{i} + hall
+    st.hits += h{i} + hall
+    st.misses += mi{i}
+    st.read_misses += rm{i}
+    st.write_misses += wm{i}
+    st.evictions += ev{i}
+    st.writebacks += wb{i}
+    g[{i}]['memory'] += mem{i}
+"""
+
+
+def _cache_section(i: int, kind: str, events: bool, memory: bool) -> str:
+    """One cache's per-event code block (slow path of the fused loop)."""
+    indent = " " * 24
+    # slot1 holds its victim in `m`; the other kinds bind `victim`.
+    victim_name = "m" if kind == "slot1" else "victim"
+    dirty_victim = ""
+    if events:
+        dirty_victim += f"{indent}oaap{i}({victim_name})\n"
+        dirty_victim += f"{indent}owap{i}(True)\n"
+    if memory:
+        dirty_victim += f"{indent}mem{i} += 1\n"
+    miss_indent = " " * 16
+    miss = ""
+    if memory:
+        miss += f"{miss_indent}mem{i} += 1\n"
+    if events:
+        miss += f"{miss_indent}oaap{i}(a)\n"
+        miss += f"{miss_indent}owap{i}(False)\n"
+    if kind == "dict":
+        sx = "s0" if i == 0 else f"sb & k{i}"
+        return _DICT.format(i=i, sx=sx, dirty_victim=dirty_victim, miss=miss)
+    shead = "            s = s0" if i == 0 else f"            s = sb & k{i}"
+    template = _SLOT2 if kind == "slot2" else _SLOT1
+    return template.format(i=i, shead=shead,
+                           dirty_victim=dirty_victim, miss=miss)
+
+
+def _dirty_store(i: int, kind: str) -> str:
+    """Fast-path dirty-bit update for an all-caches MRU hit."""
+    sx = "s0" if i == 0 else f"sb & k{i}"
+    if kind == "dict":
+        return f"                S{i}[{sx}][b] = True\n"
+    return f"                d{i}[{sx}] = True\n"
+
+
+def _build_group_runner(
+    kinds: Sequence[str], events: Sequence[bool], memory: bool
+):
+    """Compile the fused chunk loop for one cache group.
+
+    ``kinds[i]`` selects the state encoding of cache ``i`` (``kinds[0]``
+    is the fewest-sets guard); ``events[i]`` toggles L2-traffic
+    recording for that cache (L1 lanes with at least one follower) and
+    ``memory`` toggles main-memory counting for the whole group (L2
+    followers).
+    """
+    guard = kinds[0]
+    any_events = any(events)
+    lines: List[str] = ["def _run(bl, sbl, xl, awl, al, g):\n"]
+    for i, kind in enumerate(kinds):
+        lines.append(_PROLOGUE[kind].format(i=i))
+        lines.append(_COUNTERS.format(i=i))
+        if events[i]:
+            lines.append(_EVENTS.format(i=i))
+    guard_mru = "u0"
+    if guard == "dict":
+        guard_mru = "gm"
+        lines.append("    gm = g[0]['guard_mru']\n")
+    lines.append("    hall = 0\n")
+    if any_events:
+        lines.append("    for b, sb, x, aw, a in zip(bl, sbl, xl, awl, al):\n")
+    else:
+        lines.append("    for b, sb, x, aw in zip(bl, sbl, xl, awl):\n")
+    lines.append("        s0 = sb & k0\n")
+    lines.append(f"        if b == {guard_mru}[s0]:\n")
+    lines.append("            hall += 1\n")
+    lines.append("            if aw:\n")
+    for i, kind in enumerate(kinds):
+        lines.append(_dirty_store(i, kind))
+    lines.append("        else:\n")
+    for i, kind in enumerate(kinds):
+        lines.append(_cache_section(i, kind, events[i], memory))
+    if guard == "dict":
+        lines.append("            gm[s0] = b\n")
+    for i in range(len(kinds)):
+        lines.append(_EPILOGUE.format(i=i))
+    source = "".join(lines)
+    namespace: Dict[str, object] = {"MS": _MISSING}
+    exec(compile(source, "<multiconfig-group>", "exec"), namespace)
+    runner = namespace["_run"]
+    runner._source = source  # introspection hook for tests
+    return runner
+
+
+def _compress(blocks: np.ndarray, writes: np.ndarray):
+    """Collapse runs of consecutive equal blocks to (indices, run-OR).
+
+    Returns ``(kept_indices, run_any_write, skipped)`` where ``skipped``
+    is the number of dropped accesses — each a guaranteed MRU hit whose
+    only architectural effect (the dirty bit) is carried by the ORed
+    write flag of its run.
+    """
+    n = blocks.size
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=bool), 0
+    keep = np.empty(n, dtype=bool)
+    keep[0] = True
+    np.not_equal(blocks[1:], blocks[:-1], out=keep[1:])
+    kept = np.nonzero(keep)[0]
+    return kept, np.logical_or.reduceat(writes, kept), int(n - kept.size)
+
+
+def _state_for(shape: _Shape, name: str, events: bool) -> dict:
+    """Allocate the per-set state for one cache of the given shape."""
+    size_bytes, block_bytes, associativity = shape
+    n_sets = _validate_shape(size_bytes, block_bytes, associativity, name)
+    state: dict = {
+        "mask": n_sets - 1,
+        "assoc": associativity,
+        "stats": CacheStats(),
+        "memory": 0,
+    }
+    if associativity == 2:
+        state["kind"] = "slot2"
+        state["mru"] = [-1] * n_sets
+        state["lru"] = [-1] * n_sets
+        state["dirty_mru"] = [False] * n_sets
+        state["dirty_lru"] = [False] * n_sets
+    elif associativity == 1:
+        state["kind"] = "slot1"
+        state["mru"] = [-1] * n_sets
+        state["dirty_mru"] = [False] * n_sets
+    else:
+        state["kind"] = "dict"
+        state["sets"] = [dict() for _ in range(n_sets)]
+    if events:
+        state["ops_addr"] = []
+        state["ops_write"] = []
+    return state
+
+
+def _group_by_block(states: Sequence[dict]) -> List[Tuple[int, List[dict]]]:
+    """Partition cache states by block size, each ordered by set count.
+
+    Index 0 of every partition is the fewest-sets cache — the fast-path
+    guard — which gets an auxiliary MRU list when dict-encoded.
+    """
+    by_block: Dict[int, List[dict]] = {}
+    for state in states:
+        by_block.setdefault(state["block_bytes"], []).append(state)
+    groups = []
+    for block_bytes, members in sorted(by_block.items()):
+        members.sort(key=lambda state: state["mask"])
+        guard = members[0]
+        if guard["kind"] == "dict" and "guard_mru" not in guard:
+            guard["guard_mru"] = [-1] * (guard["mask"] + 1)
+        groups.append((block_bytes, members))
+    return groups
+
+
+class _Lane:
+    """One distinct L1 shape plus every L2 that sits behind it."""
+
+    __slots__ = ("shape", "state", "followers", "follower_groups")
+
+    def __init__(self, shape: _Shape) -> None:
+        self.shape = shape
+        self.state = _state_for(shape, "L1", events=True)
+        self.state["block_bytes"] = shape[1]
+        self.followers: Dict[_Shape, dict] = {}
+        self.follower_groups: List[tuple] = []
+
+    def follower(self, shape: _Shape) -> dict:
+        state = self.followers.get(shape)
+        if state is None:
+            state = _state_for(shape, "L2", events=False)
+            state["block_bytes"] = shape[1]
+            self.followers[shape] = state
+        return state
+
+    def compile_runners(self) -> None:
+        """Group followers by block size and build each fused loop."""
+        self.follower_groups = []
+        for block_bytes, states in _group_by_block(list(self.followers.values())):
+            runner = _build_group_runner(
+                [state["kind"] for state in states],
+                events=[False] * len(states),
+                memory=True,
+            )
+            self.follower_groups.append((block_bytes, states, runner))
+
+
+class MultiConfigHierarchyEngine:
+    """Simulate many (L1, L2) configurations in one pass over a trace.
+
+    Parameters
+    ----------
+    points:
+        Sequence of ``(l1_config, l2_config)`` pairs.  Duplicate pairs
+        (and shared L1 shapes) are simulated once and fanned back out.
+        ``l2_config`` may be ``None`` for callers that only need the L1
+        statistics of that point (the grid calibration's L1 curve):
+        the lane then records no L2 traffic at all, and the point's
+        result carries an all-zero L2 ``CacheStats`` and
+        ``memory_accesses == 0``.  The L1 statistics are unaffected —
+        the L2 is strictly downstream of the L1 in this hierarchy.
+    policy:
+        Must be ``"lru"`` — same restriction, and same semantics, as
+        :class:`~repro.archsim.hierarchy.ArrayTwoLevelHierarchy`.
+
+    :meth:`run` returns one :class:`HierarchyResult` per input point, in
+    input order, each bit-identical to an independent
+    ``ArrayTwoLevelHierarchy(l1, l2).run(trace)`` (L1-only points match
+    on the L1 statistics).
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Tuple[CacheConfig, Optional[CacheConfig]]],
+        policy: str = "lru",
+    ) -> None:
+        if policy != "lru":
+            raise SimulationError(
+                f"MultiConfigHierarchyEngine supports only LRU, got "
+                f"{policy!r}; use TwoLevelHierarchy for other policies"
+            )
+        points = list(points)
+        if not points:
+            raise SimulationError(
+                "MultiConfigHierarchyEngine needs at least one "
+                "(l1_config, l2_config) point"
+            )
+        self._lanes: Dict[_Shape, _Lane] = {}
+        self._point_map: List[Tuple[_Lane, dict]] = []
+        for l1_config, l2_config in points:
+            lane_shape = _shape(l1_config)
+            lane = self._lanes.get(lane_shape)
+            if lane is None:
+                lane = _Lane(lane_shape)
+                self._lanes[lane_shape] = lane
+            follower = (
+                lane.follower(_shape(l2_config))
+                if l2_config is not None else None
+            )
+            self._point_map.append((lane, follower))
+
+        # L1 lanes grouped by block size: shared decode + one fused
+        # loop.  Only lanes with followers record their L2 traffic.
+        self._lane_groups = []
+        for block_bytes, states in _group_by_block(
+            [lane.state for lane in self._lanes.values()]
+        ):
+            by_id = {id(lane.state): lane for lane in self._lanes.values()}
+            event_flags = [bool(by_id[id(state)].followers)
+                           for state in states]
+            runner = _build_group_runner(
+                [state["kind"] for state in states],
+                events=event_flags,
+                memory=False,
+            )
+            self._lane_groups.append(
+                (block_bytes, states, runner, any(event_flags))
+            )
+        for lane in self._lanes.values():
+            lane.compile_runners()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        return len(self._point_map)
+
+    @property
+    def n_lanes(self) -> int:
+        """Distinct L1 shapes actually simulated."""
+        return len(self._lanes)
+
+    @property
+    def n_followers(self) -> int:
+        """Distinct (L1, L2) simulations actually advanced."""
+        return sum(len(lane.followers) for lane in self._lanes.values())
+
+    # -- main entry ------------------------------------------------------
+
+    def access_chunk(
+        self, addresses: np.ndarray, is_write: np.ndarray
+    ) -> None:
+        """Advance every configuration through one chunk of accesses."""
+        for block_bytes, states, runner, wants_events in self._lane_groups:
+            shift = block_bytes.bit_length() - 1
+            blocks = addresses & -block_bytes
+            kept, any_write, skipped = _compress(blocks, is_write)
+            kept_blocks = blocks[kept]
+            runner(
+                kept_blocks.tolist(),
+                (kept_blocks >> shift).tolist(),
+                is_write[kept].tolist(),
+                any_write.tolist(),
+                addresses[kept].tolist() if wants_events else (),
+                states,
+            )
+            if skipped:
+                for state in states:
+                    stats = state["stats"]
+                    stats.accesses += skipped
+                    stats.hits += skipped
+        # Replay each lane's recorded L2 traffic into its followers.
+        for lane in self._lanes.values():
+            ops_addr = lane.state["ops_addr"]
+            if not ops_addr:
+                continue
+            ops_write = lane.state["ops_write"]
+            addr_array = np.array(ops_addr, dtype=np.int64)
+            write_array = np.array(ops_write, dtype=bool)
+            ops_addr.clear()
+            ops_write.clear()
+            for block_bytes, states, runner in lane.follower_groups:
+                shift = block_bytes.bit_length() - 1
+                blocks = addr_array & -block_bytes
+                kept, any_write, skipped = _compress(blocks, write_array)
+                kept_blocks = blocks[kept]
+                runner(
+                    kept_blocks.tolist(),
+                    (kept_blocks >> shift).tolist(),
+                    write_array[kept].tolist(),
+                    any_write.tolist(),
+                    (),
+                    states,
+                )
+                if skipped:
+                    for state in states:
+                        stats = state["stats"]
+                        stats.accesses += skipped
+                        stats.hits += skipped
+
+    def run(
+        self, trace: TraceLike, chunk_size: int = DEFAULT_CHUNK
+    ) -> List[HierarchyResult]:
+        """Simulate a whole trace; one result per point, in input order."""
+        for chunk in as_buffer(trace).iter_chunks(chunk_size):
+            self.access_chunk(chunk.addresses, np.asarray(chunk.is_write))
+        return self.results()
+
+    def results(self) -> List[HierarchyResult]:
+        """Snapshot statistics collected so far (points share nothing)."""
+        return [
+            HierarchyResult(
+                l1=replace(lane.state["stats"]),
+                l2=(replace(follower["stats"]) if follower is not None
+                    else CacheStats()),
+                memory_accesses=(follower["memory"]
+                                 if follower is not None else 0),
+            )
+            for lane, follower in self._point_map
+        ]
+
+
+def simulate_configurations(
+    points: Sequence[Tuple[CacheConfig, Optional[CacheConfig]]],
+    trace: TraceLike,
+    chunk_size: int = DEFAULT_CHUNK,
+) -> List[HierarchyResult]:
+    """One-shot convenience wrapper over :class:`MultiConfigHierarchyEngine`."""
+    return MultiConfigHierarchyEngine(points).run(trace, chunk_size=chunk_size)

@@ -4,16 +4,21 @@ Two implementations of the same semantics:
 
 * :class:`SetAssociativeCache` — the original per-record simulator with
   pluggable replacement policies; one :class:`AccessResult` per access.
-* :class:`ArraySetAssociativeCache` — the high-throughput engine: LRU
-  only, consumes address/write arrays chunk-wise, does the block/set
+* :class:`ArraySetAssociativeCache` — the high-throughput engine:
+  consumes address/write arrays chunk-wise, does the block/set
   arithmetic as numpy vector ops and runs a tight per-set ordered-dict
-  LRU core.  Statistics are bit-identical to the per-record simulator
-  with :class:`~repro.archsim.replacement.LruPolicy` on the same trace
-  (the property suite locks this in).
+  core.  LRU, FIFO and seeded-random replacement are supported — FIFO
+  is the LRU dict trick *without* the reinsert-on-hit (insertion order
+  then is fill order), and random keeps the same fill-order dict but
+  draws the victim from a seeded :class:`random.Random`.  Statistics
+  are bit-identical to the per-record simulator with the matching
+  :mod:`~repro.archsim.replacement` policy on the same trace (the
+  property suite locks this in).
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -197,14 +202,20 @@ def _validate_shape(
 
 
 class ArraySetAssociativeCache:
-    """Chunk-wise LRU set-associative simulator (write-back, write-alloc).
+    """Chunk-wise set-associative simulator (write-back, write-alloc).
 
-    Each set is a plain dict mapping block address -> dirty bit whose
-    insertion order *is* the LRU order: hits pop and re-insert, fills
-    append, and the victim is the first key.  That is exactly the
-    stamp-ordering :class:`~repro.archsim.replacement.LruPolicy`
-    maintains, so hits/misses/evictions/write-backs match the per-record
-    simulator count for count.
+    Each set is a plain dict mapping block address -> dirty bit.  Under
+    LRU the insertion order *is* the recency order: hits pop and
+    re-insert, fills append, and the victim is the first key — exactly
+    the stamp-ordering :class:`~repro.archsim.replacement.LruPolicy`
+    maintains.  Under FIFO and random the hit re-insert is dropped, so
+    insertion order is *fill* order: FIFO victimises the first key, and
+    random draws the victim from the fill-ordered keys with a seeded
+    :class:`random.Random` — the same draw sequence
+    :class:`~repro.archsim.replacement.RandomPolicy` makes, since the
+    per-record simulator's set dicts are fill-ordered too (its hits
+    assign in place).  Hits/misses/evictions/write-backs therefore match
+    the per-record simulator count for count under every policy.
 
     Per-access validation is hoisted to the chunk boundary: the numpy
     coercion in :func:`~repro.archsim.trace.as_buffer` (or the
@@ -219,15 +230,24 @@ class ArraySetAssociativeCache:
         block_bytes: int,
         associativity: int,
         name: str = "cache",
+        policy: str = "lru",
+        seed: int = 0,
     ) -> None:
         self.n_sets = _validate_shape(
             size_bytes, block_bytes, associativity, name
         )
+        if policy not in ("lru", "fifo", "random"):
+            raise SimulationError(
+                f"{name}: unknown replacement policy {policy!r}; expected "
+                f"'lru', 'fifo' or 'random'"
+            )
         self.name = name
         self.size_bytes = size_bytes
         self.block_bytes = block_bytes
         self.associativity = associativity
+        self.policy = policy
         self.stats = CacheStats()
+        self._rng = random.Random(seed) if policy == "random" else None
         self._sets: List[Dict[int, bool]] = [
             {} for _ in range(self.n_sets)
         ]
@@ -253,26 +273,55 @@ class ArraySetAssociativeCache:
 
         sets = self._sets
         associativity = self.associativity
+        rng_choice = self._rng.choice if self._rng is not None else None
+        lru = self.policy == "lru"
         hits = misses = read_misses = write_misses = 0
         evictions = writebacks = 0
-        for block, index, write in zip(blocks, set_indices, writes):
-            resident = sets[index]
-            if block in resident:
-                hits += 1
-                dirty = resident.pop(block)
-                resident[block] = dirty or write
-                continue
-            misses += 1
-            if write:
-                write_misses += 1
-            else:
-                read_misses += 1
-            if len(resident) >= associativity:
-                victim = next(iter(resident))
-                if resident.pop(victim):
-                    writebacks += 1
-                evictions += 1
-            resident[block] = write
+        if lru:
+            for block, index, write in zip(blocks, set_indices, writes):
+                resident = sets[index]
+                if block in resident:
+                    hits += 1
+                    dirty = resident.pop(block)
+                    resident[block] = dirty or write
+                    continue
+                misses += 1
+                if write:
+                    write_misses += 1
+                else:
+                    read_misses += 1
+                if len(resident) >= associativity:
+                    victim = next(iter(resident))
+                    if resident.pop(victim):
+                        writebacks += 1
+                    evictions += 1
+                resident[block] = write
+        else:
+            # FIFO/random: hits leave the dict order alone, so insertion
+            # order is fill order.  FIFO evicts the oldest fill; random
+            # draws from the fill-ordered keys exactly as RandomPolicy
+            # does from the per-record simulator's set dict.
+            for block, index, write in zip(blocks, set_indices, writes):
+                resident = sets[index]
+                if block in resident:
+                    hits += 1
+                    if write:
+                        resident[block] = True
+                    continue
+                misses += 1
+                if write:
+                    write_misses += 1
+                else:
+                    read_misses += 1
+                if len(resident) >= associativity:
+                    if rng_choice is not None:
+                        victim = rng_choice(list(resident))
+                    else:
+                        victim = next(iter(resident))
+                    if resident.pop(victim):
+                        writebacks += 1
+                    evictions += 1
+                resident[block] = write
 
         stats = self.stats
         stats.accesses += hits + misses

@@ -24,6 +24,7 @@ from repro.perf.disk_cache import (
     DiskCacheInfo,
     default_cache_dir,
     disk_cache_info,
+    make_fingerprint,
     reset_disk_cache_stats,
 )
 
@@ -36,5 +37,6 @@ __all__ = [
     "DiskCacheInfo",
     "default_cache_dir",
     "disk_cache_info",
+    "make_fingerprint",
     "reset_disk_cache_stats",
 ]

@@ -65,6 +65,19 @@ def reset_disk_cache_stats() -> None:
         _total_misses = 0
 
 
+def make_fingerprint(*parts) -> str:
+    """Fold every input that determines a cached payload into one string.
+
+    The contract mirrors :class:`DiskCache`: callers pass *all* inputs
+    (including format-version integers and engine/estimator tags) and the
+    resulting string keys the entry, so any input change — a new engine,
+    a bumped format — reads as a clean miss instead of a stale hit.
+    ``repr`` keeps the encoding deterministic for the plain tuples,
+    dataclasses, and scalars calibration fingerprints are built from.
+    """
+    return repr(parts)
+
+
 def default_cache_dir() -> Path:
     """Resolve the cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
     override = os.environ.get("REPRO_CACHE_DIR")

@@ -106,8 +106,21 @@ class JobManager:
             self._watchdog.start()
         return self._executor
 
-    def submit(self, kind: str, fn: Callable, /, *args, **kwargs) -> str:
-        """Admit one job; returns its id or raises when saturated."""
+    def submit(
+        self,
+        kind: str,
+        fn: Callable,
+        /,
+        *args,
+        detail: Optional[dict] = None,
+        **kwargs,
+    ) -> str:
+        """Admit one job; returns its id or raises when saturated.
+
+        ``detail`` entries are merged into every snapshot of the job, so
+        an endpoint can label a submission (workload, engine, …) and a
+        poller sees the labels alongside the status.
+        """
         with self._lock:
             if self._shutdown:
                 raise ServiceUnavailableError(
@@ -127,6 +140,8 @@ class JobManager:
                 submitted_at=time.time(),
                 timeout_seconds=self._timeout_seconds,
             )
+            if detail:
+                job.detail.update(detail)
             self._jobs[job_id] = job
         self._metrics.increment("jobs.submitted")
         future = self._ensure_executor().submit(fn, *args, **kwargs)

@@ -391,6 +391,7 @@ class CalibrateRequest:
     n_accesses: int
     seed: int
     estimator: str
+    engine: str
     l1_grid_kb: Tuple[int, ...]
     l2_grid_kb: Tuple[int, ...]
 
@@ -459,8 +460,8 @@ def parse_calibrate(body) -> CalibrateRequest:
 
     body = _require_object(body, "calibrate request")
     _reject_unknown_keys(
-        body, ("workload", "n_accesses", "seed", "estimator", "l1_grid_kb",
-               "l2_grid_kb"), "calibrate request"
+        body, ("workload", "n_accesses", "seed", "estimator", "engine",
+               "l1_grid_kb", "l2_grid_kb"), "calibrate request"
     )
     if "workload" not in body:
         raise ValidationError(
@@ -482,12 +483,19 @@ def parse_calibrate(body) -> CalibrateRequest:
             f"unknown estimator {estimator!r}; expected 'grid' or "
             f"'stackdist'"
         )
+    engine = body.get("engine", "multiconfig")
+    if engine not in ("multiconfig", "array", "object"):
+        raise ValidationError(
+            f"unknown engine {engine!r}; expected 'multiconfig', 'array' "
+            f"or 'object'"
+        )
     return CalibrateRequest(
         spec=spec,
         n_accesses=n_accesses,
         seed=_integer(body, "seed", "calibrate", default=1, minimum=0,
                       maximum=2**31 - 1),
         estimator=estimator,
+        engine=engine,
         l1_grid_kb=_grid_kb(body, "l1_grid_kb", "calibrate", L1_GRID_KB),
         l2_grid_kb=_grid_kb(body, "l2_grid_kb", "calibrate", L2_GRID_KB),
     )

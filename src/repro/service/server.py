@@ -92,6 +92,7 @@ def _calibration_task(
     n_accesses: int,
     seed: int,
     estimator: str,
+    engine: str,
     l1_grid_kb: Sequence[int],
     l2_grid_kb: Sequence[int],
     cache_dir: Optional[str],
@@ -105,10 +106,12 @@ def _calibration_task(
         l2_grid_kb=l2_grid_kb,
         cache_dir=cache_dir,
         estimator=estimator,
+        engine=engine,
     )
     return {
         "workload": model.workload,
         "estimator": estimator,
+        "engine": engine,
         "n_accesses": n_accesses,
         "seed": seed,
         "l1_curve": [[size, rate] for size, rate in model.l1_curve],
@@ -294,9 +297,15 @@ class ReproService:
             request.n_accesses,
             request.seed,
             request.estimator,
+            request.engine,
             request.l1_grid_kb,
             request.l2_grid_kb,
             self.config.cache_dir,
+            detail={
+                "workload": request.spec.name,
+                "estimator": request.estimator,
+                "engine": request.engine,
+            },
         )
         return 202, {
             "job_id": job_id,

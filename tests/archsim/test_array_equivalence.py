@@ -16,6 +16,7 @@ from repro.archsim.hierarchy import (
     TwoLevelHierarchy,
     simulate_hierarchy,
 )
+from repro.archsim.replacement import make_policy
 from repro.archsim.setassoc import ArraySetAssociativeCache, SetAssociativeCache
 from repro.archsim.stackdist import stack_distance_profile
 from repro.archsim.trace import MemoryAccess, TraceBuffer
@@ -38,6 +39,10 @@ shapes = st.sampled_from(
 
 chunk_sizes = st.sampled_from([1, 3, 64, 1000])
 
+policies = st.sampled_from(["lru", "fifo", "random"])
+
+seeds = st.integers(min_value=0, max_value=5)
+
 
 def _buffer(records):
     return TraceBuffer(
@@ -58,6 +63,31 @@ class TestSetAssociativeEquivalence:
         array.run(_buffer(records), chunk_size=chunk_size)
         assert array.stats == reference.stats
         assert array.resident_blocks() == reference.resident_blocks()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        records=traces, shape=shapes, chunk_size=chunk_sizes,
+        policy=policies, seed=seeds,
+    )
+    def test_policy_stats_bit_identical(
+        self, records, shape, chunk_size, policy, seed
+    ):
+        size, block, associativity = shape
+        reference = SetAssociativeCache(
+            size, block, associativity, policy=make_policy(policy, seed=seed)
+        )
+        for address, write in records:
+            reference.access(MemoryAccess(address, write))
+        array = ArraySetAssociativeCache(
+            size, block, associativity, policy=policy, seed=seed
+        )
+        array.run(_buffer(records), chunk_size=chunk_size)
+        assert array.stats == reference.stats
+        assert array.resident_blocks() == reference.resident_blocks()
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SimulationError):
+            ArraySetAssociativeCache(512, 64, 2, policy="plru")
 
     @settings(max_examples=20, deadline=None)
     @given(records=traces, shape=shapes)
@@ -113,21 +143,49 @@ class TestHierarchyEquivalence:
         assert array.l2 == reference.l2
         assert array.memory_accesses == reference.memory_accesses
 
-    def test_rejects_non_lru_policy(self):
+    @settings(max_examples=40, deadline=None)
+    @given(
+        records=traces, chunk_size=chunk_sizes, policy=policies, seed=seeds
+    )
+    def test_policy_result_bit_identical(
+        self, records, chunk_size, policy, seed
+    ):
+        reference = TwoLevelHierarchy(self.L1, self.L2, policy, seed)
+        for address, write in records:
+            reference.access(MemoryAccess(address, write))
+        expected = reference.result()
+        array = ArrayTwoLevelHierarchy(self.L1, self.L2, policy, seed)
+        actual = array.run(_buffer(records), chunk_size=chunk_size)
+        assert actual.l1 == expected.l1
+        assert actual.l2 == expected.l2
+        assert actual.memory_accesses == expected.memory_accesses
+
+    def test_rejects_unknown_policy(self):
         with pytest.raises(SimulationError):
-            ArrayTwoLevelHierarchy(self.L1, self.L2, policy="fifo")
+            ArrayTwoLevelHierarchy(self.L1, self.L2, policy="plru")
 
     def test_simulate_hierarchy_dispatch(self):
         records = [(index * 32, index % 3 == 0) for index in range(200)]
         fast = simulate_hierarchy(self.L1, self.L2, _buffer(records))
-        slow = simulate_hierarchy(
-            self.L1, self.L2, _buffer(records), policy="fifo"
-        )
-        assert fast.l1.accesses == slow.l1.accesses == 200
         reference = TwoLevelHierarchy(self.L1, self.L2)
         for address, write in records:
             reference.access(MemoryAccess(address, write))
         assert fast.l1 == reference.result().l1
+        for policy in ("fifo", "random"):
+            array_result = simulate_hierarchy(
+                self.L1, self.L2, _buffer(records), policy=policy, seed=3
+            )
+            record_reference = TwoLevelHierarchy(
+                self.L1, self.L2, policy, seed=3
+            )
+            for address, write in records:
+                record_reference.access(MemoryAccess(address, write))
+            expected = record_reference.result()
+            assert array_result.l1 == expected.l1
+            assert array_result.l2 == expected.l2
+            assert (
+                array_result.memory_accesses == expected.memory_accesses
+            )
 
 
 class TestProfilerEquivalence:

@@ -9,11 +9,14 @@ set-associative simulation grid:
 * L1 curves agree to a few tenths of a percent absolute — L1 miss rates
   are dominated by the reuse profile, which the estimator captures
   exactly;
-* L2 *local* curves carry a substantial, stable positive bias, because
-  the simulated L2 also serves L1 dirty write-backs (which inflate its
-  access count) and sees an L1-filtered, reordered stream.  The bounds
-  here document that gap rather than hide it: the estimator is the cheap
-  first look, the grid stays the calibration of record.
+* L2 *local* curves used to carry a ~0.1-0.3 positive bias because the
+  simulated L2 also serves L1 dirty write-backs, which inflate its
+  access count.  The estimator now scales its L2 access denominator by
+  the measured L1 write-back ratio (one cheap single-lane
+  `MultiConfigHierarchyEngine` run), which closes the gap to under a
+  percent; the small residual — write-back reuse distances differing
+  from demand reuse — stays positive and is bounded here.  The grid
+  stays the calibration of record.
 """
 
 from __future__ import annotations
@@ -55,11 +58,12 @@ class TestEstimatorAgainstGrid:
         grid, stackdist = curves
         grid_l2 = dict(grid.l2_curve)
         gaps = [rate - grid_l2[size] for size, rate in stackdist.l2_curve]
-        # The write-back/filtering bias inflates every estimate...
+        # The residual filtering/reordering bias inflates every estimate...
         assert all(gap > 0 for gap in gaps)
-        # ...but stays bounded well below "useless".
-        assert sum(abs(gap) for gap in gaps) / len(gaps) < 0.3
-        assert max(abs(gap) for gap in gaps) < 0.35
+        # ...but the write-back correction keeps it under a percent or
+        # two (measured ~0.006 at this trace length).
+        assert sum(abs(gap) for gap in gaps) / len(gaps) < 0.02
+        assert max(abs(gap) for gap in gaps) < 0.025
 
     def test_estimated_curves_are_valid_miss_curves(self, curves):
         _, stackdist = curves

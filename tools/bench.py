@@ -3,9 +3,10 @@
 Run:  PYTHONPATH=src python tools/bench.py --suite archsim   # -> BENCH_2.json
       PYTHONPATH=src python tools/bench.py --suite sweep     # -> BENCH_1.json
       PYTHONPATH=src python tools/bench.py --suite service   # -> BENCH_3.json
+      PYTHONPATH=src python tools/bench.py --suite calib     # -> BENCH_4.json
       PYTHONPATH=src python tools/bench.py --smoke           # CI regression gate
 
-Three suites, one per performance PR:
+Four suites, one per performance PR:
 
 * ``sweep`` (PR 1) — times every registered experiment, the coarse-grid
   tuple problem, and the cold/warm component-table build.
@@ -16,18 +17,25 @@ Three suites, one per performance PR:
   single-sweep latency, a concurrency-8 closed-loop load run (the
   batching acceptance metric is mean evaluate_grid calls per sweep
   request < 1), and a calibration job round trip.
+* ``calib`` (PR 4) — cold grid calibration at 2 M accesses with the
+  legacy one-simulation-per-point engine vs the batched multi-config
+  engine (acceptance: >= 5x, curves bit-identical), plus the warm
+  disk-cache reload.
 
 Each suite writes measurements plus speedups against recorded pre-PR
 baselines to a JSON report.  Baselines were measured on this machine at
 the respective pre-PR commits with the same interpreter; they are the
-denominators of the acceptance criteria.
+denominators of the acceptance criteria (the calib suite measures its
+per-point baseline live, so both numbers in BENCH_4.json come from the
+same run on the same machine).
 
 ``--smoke`` is the CI gate: it profiles a 200k-access trace, exits
 non-zero if the wall time regresses beyond 3x the recorded pre-PR
 baseline (generous enough to absorb shared-runner noise while still
-catching an accidental return to the O(n*d) path), and then runs the
-in-process service smoke (tools/service_smoke.py) so a broken daemon
-also fails the gate.
+catching an accidental return to the O(n*d) path), asserts the batched
+multi-config engine matches the legacy per-point engine on a small
+grid, and then runs the in-process service smoke
+(tools/service_smoke.py) so a broken daemon also fails the gate.
 """
 
 from __future__ import annotations
@@ -285,7 +293,8 @@ def run_archsim_suite(output: str) -> int:
 
 
 def run_smoke() -> int:
-    """CI regression gate: stack-distance timing + service contract."""
+    """CI regression gate: timing + engine equality + service contract."""
+    from repro.archsim.missmodel import measure_miss_model
     from repro.archsim.stackdist import stack_distance_profile
     from repro.archsim.workloads import SPEC2000_LIKE, synthetic_trace_buffer
 
@@ -299,6 +308,23 @@ def run_smoke() -> int:
               f"{ARCHSIM_BASELINE['stackdist_200k']:.2f} s baseline",
               file=sys.stderr)
         return 1
+
+    grids = {"l1_grid_kb": (4, 8), "l2_grid_kb": (128, 256)}
+    batched = measure_miss_model(
+        SPEC2000_LIKE, n_accesses=50_000, use_disk_cache=False,
+        engine="multiconfig", **grids,
+    )
+    legacy = measure_miss_model(
+        SPEC2000_LIKE, n_accesses=50_000, use_disk_cache=False,
+        engine="array", **grids,
+    )
+    if batched != legacy:
+        print("FAIL: multiconfig engine diverged from the per-point "
+              "engine on a 2x2 grid:\n"
+              f"  multiconfig: {batched}\n  per-point:   {legacy}",
+              file=sys.stderr)
+        return 1
+    print("smoke: multiconfig == per-point on the 2x2 calibration grid")
     import service_smoke
 
     try:
@@ -309,6 +335,81 @@ def run_smoke() -> int:
             return int(stop.code)
     print("OK")
     return 0
+
+
+# --------------------------------------------------------------------------
+# calib suite (PR 4)
+# --------------------------------------------------------------------------
+
+#: Acceptance floor for the batched engine: cold grid calibration must be
+#: at least this many times faster than one simulation per grid point.
+CALIB_SPEEDUP_FLOOR = 5.0
+
+
+def run_calib_suite(output: str, n: int = 2_000_000) -> int:
+    """Cold per-point vs batched grid calibration; curves must be equal."""
+    from repro.archsim.missmodel import measure_miss_model
+    from repro.archsim.workloads import SPEC2000_LIKE
+
+    print(f"grid calibration ({n:,} accesses, default grids):")
+    legacy_seconds, legacy = _timed(lambda: measure_miss_model(
+        SPEC2000_LIKE, n_accesses=n, use_disk_cache=False, engine="array"
+    ))
+    print(f"  per-point engine (legacy): {legacy_seconds:.3f} s")
+    batched_seconds, batched = _timed(lambda: measure_miss_model(
+        SPEC2000_LIKE, n_accesses=n, use_disk_cache=False,
+        engine="multiconfig",
+    ))
+    print(f"  multiconfig engine:        {batched_seconds:.3f} s")
+
+    identical = batched == legacy
+    if not identical:
+        print("FAIL: engines disagree on the calibrated curves:\n"
+              f"  multiconfig: {batched}\n  per-point:   {legacy}",
+              file=sys.stderr)
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_seconds, cold = _timed(lambda: measure_miss_model(
+            SPEC2000_LIKE, n_accesses=n, cache_dir=cache_dir
+        ))
+        warm_seconds, warm = _timed(lambda: measure_miss_model(
+            SPEC2000_LIKE, n_accesses=n, cache_dir=cache_dir
+        ))
+    assert warm == cold
+    print(f"  disk-memoized: cold {cold_seconds:.3f} s, "
+          f"warm {warm_seconds * 1e3:.1f} ms")
+
+    speedup = legacy_seconds / batched_seconds if batched_seconds else 0.0
+    passed = identical and speedup >= CALIB_SPEEDUP_FLOOR
+    report = {
+        "n_accesses": n,
+        "measured": {
+            "grid_calibration_cold_per_point": legacy_seconds,
+            "grid_calibration_cold_multiconfig": batched_seconds,
+            "grid_calibration_cold_disk_store": cold_seconds,
+            "grid_calibration_warm_disk_load": warm_seconds,
+        },
+        "speedup": {
+            "multiconfig_vs_per_point": speedup,
+            "warm_vs_per_point": (
+                legacy_seconds / warm_seconds if warm_seconds else 0.0
+            ),
+        },
+        "acceptance": {
+            "curves_bit_identical": identical,
+            "speedup_floor": CALIB_SPEEDUP_FLOOR,
+            "pass": passed,
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nmulticonfig vs per-point: {speedup:.1f}x "
+          f"(floor {CALIB_SPEEDUP_FLOOR:.0f}x, curves "
+          f"{'identical' if identical else 'DIVERGED'}, "
+          f"{'PASS' if passed else 'FAIL'})")
+    print(f"report written to {output}")
+    return 0 if passed else 1
 
 
 # --------------------------------------------------------------------------
@@ -406,12 +507,12 @@ def run_service_suite(output: str) -> int:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite", default="archsim",
-                        choices=("archsim", "sweep", "service"),
+                        choices=("archsim", "sweep", "service", "calib"),
                         help="which benchmark suite to run")
     parser.add_argument("--output", default=None,
                         help="JSON report path (default BENCH_2.json for "
                              "archsim, BENCH_1.json for sweep, BENCH_3.json "
-                             "for service)")
+                             "for service, BENCH_4.json for calib)")
     parser.add_argument("--jobs", type=int, default=2,
                         help="worker count for the sweep parallel-runner "
                              "bench")
@@ -427,6 +528,8 @@ def main(argv=None) -> int:
                                arguments.jobs)
     if arguments.suite == "service":
         return run_service_suite(arguments.output or "BENCH_3.json")
+    if arguments.suite == "calib":
+        return run_calib_suite(arguments.output or "BENCH_4.json")
     return run_archsim_suite(arguments.output or "BENCH_2.json")
 
 

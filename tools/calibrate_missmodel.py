@@ -3,9 +3,10 @@
 Run:  PYTHONPATH=src python tools/calibrate_missmodel.py
 Paste the printed CALIBRATED_TABLES body into repro/archsim/missmodel.py.
 
-Uses the vectorized trace generator + array hierarchy engine (the same
-path ``measure_miss_model`` defaults to), so a full 2 M-access
-calibration of all three suites takes seconds, not tens of minutes.
+Uses the vectorized trace generator + the batched multi-configuration
+engine (the same path ``measure_miss_model`` defaults to), which sweeps
+the whole (level, size) grid in one pass over the trace — a full
+2 M-access calibration of all three suites takes a few seconds.
 """
 import argparse
 import time
@@ -21,8 +22,8 @@ def main() -> None:
     parser.add_argument("--n-accesses", type=int, default=N)
     parser.add_argument("--jobs", type=int, default=None,
                         help="fan calibration points over N worker processes")
-    parser.add_argument("--engine", default="array",
-                        choices=("array", "object"))
+    parser.add_argument("--engine", default="multiconfig",
+                        choices=("multiconfig", "array", "object"))
     arguments = parser.parse_args()
 
     t0 = time.time()
