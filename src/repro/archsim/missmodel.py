@@ -119,10 +119,14 @@ class MissRateModel:
 
 
 #: Bump when measurement semantics change: it is folded into the disk
-#: fingerprint, so stale cached curves can never be served.  Format 4:
-#: multiconfig engine added; the stackdist estimator's L2 denominator is
-#: write-back corrected.
-_CALIBRATION_FORMAT = 4
+#: fingerprint, so stale cached curves can never be served.  Format 5:
+#: replacement policy joins the fingerprint and
+#: :func:`repro.perf.make_fingerprint` canonicalises its parts (numpy
+#: scalars no longer fork keys), both of which re-key every entry.
+_CALIBRATION_FORMAT = 5
+
+#: Replacement policies the calibration engines support.
+_POLICIES = ("lru", "fifo", "random")
 
 
 def _point_configs(level: str, kb: int) -> Tuple[CacheConfig, CacheConfig]:
@@ -152,6 +156,7 @@ def _measure_point(
     n_accesses: int,
     seed: int,
     engine: str,
+    policy: str = "lru",
 ) -> float:
     """Simulate one (level, size) point; returns its local miss rate.
 
@@ -159,18 +164,18 @@ def _measure_point(
     """
     l1_config, l2_config = _point_configs(level, kb)
     if engine == "array":
-        result = ArrayTwoLevelHierarchy(l1_config, l2_config).run(
+        result = ArrayTwoLevelHierarchy(l1_config, l2_config, policy).run(
             synthetic_trace_buffer(spec, n_accesses, seed=seed, block_bytes=64)
         )
     else:
-        result = TwoLevelHierarchy(l1_config, l2_config).run(
+        result = TwoLevelHierarchy(l1_config, l2_config, policy).run(
             synthetic_trace(spec, n_accesses, seed=seed, block_bytes=64)
         )
     return result.l1_miss_rate if level == "l1" else result.l2_local_miss_rate
 
 
 def _multiconfig_rates(
-    points: Sequence[Tuple[str, int]], trace
+    points: Sequence[Tuple[str, int]], trace, policy: str = "lru"
 ) -> List[float]:
     """Simulate every (level, size) point in one multi-config sweep.
 
@@ -178,7 +183,9 @@ def _multiconfig_rates(
     reference L2 is elided entirely (``l2_config=None``): the engine
     simulates each distinct L1 shape once as a lane and the reference L1
     feeding the whole L2 grid once, instead of one full hierarchy per
-    point.  Rates are bit-identical to per-point ``engine="array"`` runs.
+    point.  Rates are bit-identical to per-point ``engine="array"`` runs
+    under every policy: random-policy rng streams live per cache (not
+    per shard), so the sweep matches each point's own seeded draws.
     """
     engine_points = []
     for level, kb in points:
@@ -186,7 +193,7 @@ def _multiconfig_rates(
         engine_points.append(
             (l1_config, None) if level == "l1" else (l1_config, l2_config)
         )
-    results = MultiConfigHierarchyEngine(engine_points).run(trace)
+    results = MultiConfigHierarchyEngine(engine_points, policy).run(trace)
     return [
         result.l1_miss_rate if level == "l1" else result.l2_local_miss_rate
         for (level, _), result in zip(points, results)
@@ -211,15 +218,18 @@ def _measure_shard(
     addresses_path: str,
     writes_path: str,
     engine: str,
+    policy: str = "lru",
 ) -> List[float]:
     """Worker entry: rates for one shard of the grid off the shared trace."""
     trace = _load_trace_files(addresses_path, writes_path)
     if engine == "multiconfig":
-        return _multiconfig_rates(shard, trace)
+        return _multiconfig_rates(shard, trace, policy)
     rates = []
     for level, kb in shard:
         l1_config, l2_config = _point_configs(level, kb)
-        result = ArrayTwoLevelHierarchy(l1_config, l2_config).run(trace)
+        result = ArrayTwoLevelHierarchy(l1_config, l2_config, policy).run(
+            trace
+        )
         rates.append(
             result.l1_miss_rate if level == "l1"
             else result.l2_local_miss_rate
@@ -260,6 +270,7 @@ def _calibration_fingerprint(
     l2_grid_kb: Sequence[int],
     engine: str,
     estimator: str,
+    policy: str,
 ) -> str:
     """Fold every input that determines the curves into one string.
 
@@ -279,6 +290,7 @@ def _calibration_fingerprint(
         (REFERENCE_L2_BLOCK, REFERENCE_L2_ASSOC, REFERENCE_L2_KB),
         engine,
         estimator,
+        policy,
     )
 
 
@@ -373,6 +385,7 @@ def measure_miss_model(
     cache_dir=None,
     engine: str = "multiconfig",
     estimator: str = "grid",
+    policy: str = "lru",
 ) -> MissRateModel:
     """Measure a fresh :class:`MissRateModel` by simulation.
 
@@ -412,6 +425,11 @@ def measure_miss_model(
         approximation that is far cheaper (``engine`` and ``jobs`` are
         then irrelevant) at a quantified accuracy cost (see
         :func:`_stackdist_estimate`).
+    policy:
+        Replacement policy at both levels — ``"lru"`` (default),
+        ``"fifo"`` or ``"random"``; every engine produces bit-identical
+        curves per policy.  The stackdist estimator is a Mattson
+        stack-algorithm construction, which only models LRU.
     """
     if engine not in ("multiconfig", "array", "object"):
         raise SimulationError(
@@ -422,8 +440,20 @@ def measure_miss_model(
         raise SimulationError(
             f"unknown estimator {estimator!r}; expected 'grid' or 'stackdist'"
         )
+    if policy not in _POLICIES:
+        raise SimulationError(
+            f"unknown replacement policy {policy!r}; expected one of "
+            f"{_POLICIES}"
+        )
+    if estimator == "stackdist" and policy != "lru":
+        raise SimulationError(
+            "estimator='stackdist' models LRU only (Mattson stack "
+            f"distances have no meaning under {policy!r}); use the grid "
+            "estimator for non-LRU policies"
+        )
     fingerprint = _calibration_fingerprint(
-        spec, n_accesses, seed, l1_grid_kb, l2_grid_kb, engine, estimator
+        spec, n_accesses, seed, l1_grid_kb, l2_grid_kb, engine, estimator,
+        policy,
     )
     cache = (
         DiskCache("missmodel", directory=cache_dir) if use_disk_cache else None
@@ -485,6 +515,7 @@ def measure_miss_model(
                         [addresses_path] * len(shards),
                         [writes_path] * len(shards),
                         [engine] * len(shards),
+                        [policy] * len(shards),
                     )
                 )
         finally:
@@ -500,7 +531,7 @@ def measure_miss_model(
         buffer = synthetic_trace_buffer(
             spec, n_accesses, seed=seed, block_bytes=64
         )
-        rates = _multiconfig_rates(points, buffer)
+        rates = _multiconfig_rates(points, buffer, policy)
     elif engine == "array":
         # Per-point fallback: one trace buffer feeds every point.
         buffer = synthetic_trace_buffer(
@@ -509,7 +540,9 @@ def measure_miss_model(
         rates = []
         for level, kb in points:
             l1_config, l2_config = _point_configs(level, kb)
-            result = ArrayTwoLevelHierarchy(l1_config, l2_config).run(buffer)
+            result = ArrayTwoLevelHierarchy(l1_config, l2_config, policy).run(
+                buffer
+            )
             rates.append(
                 result.l1_miss_rate
                 if level == "l1"
@@ -517,7 +550,7 @@ def measure_miss_model(
             )
     else:
         rates = [
-            _measure_point(spec, level, kb, n_accesses, seed, engine)
+            _measure_point(spec, level, kb, n_accesses, seed, engine, policy)
             for level, kb in points
         ]
 
@@ -609,13 +642,17 @@ CALIBRATED_TABLES: Dict[str, MissRateModel] = {
 }
 
 
-def blended_miss_model(weights: Dict[str, float] = None) -> MissRateModel:
+def blended_miss_model(
+    weights: Dict[str, float] = None, policy: str = "lru"
+) -> MissRateModel:
     """Return a weighted blend of the calibrated workload curves.
 
     The paper aggregates "results from various benchmark suites such as
     SPEC2000, SPECWEB, TPC/C, etc."; this helper produces the aggregate
     profile.  ``weights`` maps workload name -> weight (normalised
     internally); default is an equal blend of the three standard suites.
+    Non-LRU ``policy`` blends the per-policy curves of
+    :func:`calibrated_miss_model`.
     """
     if weights is None:
         weights = {name: 1.0 for name in STANDARD_WORKLOADS}
@@ -625,7 +662,7 @@ def blended_miss_model(weights: Dict[str, float] = None) -> MissRateModel:
     if total <= 0:
         raise SimulationError("blend weights must sum to a positive value")
     models = {
-        name: calibrated_miss_model(name) for name in weights
+        name: calibrated_miss_model(name, policy) for name in weights
     }
     reference = next(iter(models.values()))
     l1_curve = tuple(
@@ -654,12 +691,48 @@ def blended_miss_model(weights: Dict[str, float] = None) -> MissRateModel:
     )
 
 
-def calibrated_miss_model(workload: str = "spec2000") -> MissRateModel:
+#: Trace length for on-demand non-LRU calibrations (the committed LRU
+#: tables were measured at 2 M; the default here keeps a cold per-policy
+#: request subsecond — curves land in the disk cache either way).
+POLICY_CALIBRATION_ACCESSES = 300_000
+
+#: In-process memo of on-demand non-LRU calibrations, keyed by
+#: (workload, policy).  LRU stays in :data:`CALIBRATED_TABLES`.
+_POLICY_TABLES: Dict[Tuple[str, str], MissRateModel] = {}
+
+
+def calibrated_miss_model(
+    workload: str = "spec2000", policy: str = "lru"
+) -> MissRateModel:
     """Return the pre-measured model for a standard workload.
 
-    Falls back to a live measurement if the table has not been populated
-    for that workload (slower, but always available).
+    LRU (the default) serves the committed :data:`CALIBRATED_TABLES`;
+    FIFO and random measure on demand at
+    :data:`POLICY_CALIBRATION_ACCESSES` accesses, memoised in-process
+    and on disk.  Falls back to a live measurement if the LRU table has
+    not been populated for that workload (slower, but always available).
     """
+    if policy not in _POLICIES:
+        raise SimulationError(
+            f"unknown replacement policy {policy!r}; expected one of "
+            f"{_POLICIES}"
+        )
+    if policy != "lru":
+        if workload not in STANDARD_WORKLOADS:
+            raise SimulationError(
+                f"unknown workload {workload!r}; expected one of "
+                f"{sorted(STANDARD_WORKLOADS)}"
+            )
+        key = (workload, policy)
+        model = _POLICY_TABLES.get(key)
+        if model is None:
+            model = measure_miss_model(
+                STANDARD_WORKLOADS[workload],
+                n_accesses=POLICY_CALIBRATION_ACCESSES,
+                policy=policy,
+            )
+            _POLICY_TABLES[key] = model
+        return model
     if workload in CALIBRATED_TABLES:
         return CALIBRATED_TABLES[workload]
     if workload not in STANDARD_WORKLOADS:

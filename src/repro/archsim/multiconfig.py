@@ -48,15 +48,28 @@ sharing make it fast:
 The per-chunk inner loops are generated (``compile``/``exec``) from the
 lane layout at construction time: one fused loop advances every lane's
 set state with straight-line, local-variable-only code.  2-way and
-direct-mapped levels use an exact two-slot/one-slot LRU encoding (plain
+direct-mapped levels use an exact two-slot/one-slot encoding (plain
 Python lists indexed by set); other associativities use the same
 insertion-ordered-dict core as
-:class:`~repro.archsim.setassoc.ArraySetAssociativeCache`.  LRU only,
-like the array engines.
+:class:`~repro.archsim.setassoc.ArraySetAssociativeCache`.
+
+All three array-engine policies are supported.  Run compression is
+policy-independent — a just-accessed block is resident under LRU, FIFO
+and random alike, and hits never touch replacement state in the
+fill-order policies — but the MRU guard fast path leans on Mattson set
+refinement (a stack-algorithm property) and is only emitted for LRU.
+FIFO swaps the slot/dict encodings for fill-order variants (no
+reinsert-on-hit; the victim is the oldest fill).  Random draws victims
+from per-cache seeded :class:`random.Random` streams — L1 on ``seed``,
+every follower L2 on ``seed + 1``, the exact streams
+:class:`~repro.archsim.hierarchy.ArrayTwoLevelHierarchy` uses per
+point — so each point's statistics stay bit-identical no matter how
+points are grouped into lanes or sharded across workers.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -75,6 +88,9 @@ _Shape = Tuple[int, int, int]
 #: Sentinel distinguishing "absent" from any dirty-bit value in the
 #: ordered-dict sets (lets the hit path run on one hash probe).
 _MISSING = object()
+
+#: Replacement policies with generated kernels (the array-engine set).
+_POLICIES = ("lru", "fifo", "random")
 
 
 def _shape(config: CacheConfig) -> _Shape:
@@ -108,6 +124,16 @@ _PROLOGUE = {
     ),
     "dict": "    S{i}=g[{i}]['sets']; k{i}=g[{i}]['mask']; A{i}=g[{i}]['assoc']\n",
 }
+
+# FIFO reuses the LRU state layouts (the slots/dicts just hold fill
+# order instead of recency order); random additionally binds the cache's
+# seeded victim chooser.
+_CHOICE = "    C{i}=g[{i}]['choice']\n"
+_PROLOGUE["fslot2"] = _PROLOGUE["slot2"]
+_PROLOGUE["fdict"] = _PROLOGUE["dict"]
+_PROLOGUE["rslot2"] = _PROLOGUE["slot2"] + _CHOICE
+_PROLOGUE["rslot1"] = _PROLOGUE["slot1"] + _CHOICE
+_PROLOGUE["rdict"] = _PROLOGUE["dict"] + _CHOICE
 
 _COUNTERS = "    h{i}=0; mi{i}=0; rm{i}=0; wm{i}=0; ev{i}=0; wb{i}=0; mem{i}=0\n"
 
@@ -183,6 +209,147 @@ _DICT = """\
 {miss}                r[b] = aw
 """
 
+# FIFO two-slot: u{i} holds the newer fill, v{i} the older.  Hits never
+# promote (the only change a hit may make is setting the dirty bit); the
+# victim is always the older fill, and a miss shifts new -> old.
+_FSLOT2 = """\
+{shead}
+            m = u{i}[s]
+            if b == m:
+                h{i} += 1
+                if aw:
+                    d{i}[s] = True
+            elif b == v{i}[s]:
+                h{i} += 1
+                if aw:
+                    e{i}[s] = True
+            else:
+                mi{i} += 1
+                if x:
+                    wm{i} += 1
+                else:
+                    rm{i} += 1
+                victim = v{i}[s]
+                u{i}[s] = b; v{i}[s] = m
+                t = e{i}[s]; e{i}[s] = d{i}[s]; d{i}[s] = aw
+                if victim != -1:
+                    ev{i} += 1
+                    if t:
+                        wb{i} += 1
+{dirty_victim}{miss}"""
+
+# Random two-slot: same fill-order slots as FIFO, but a full set's
+# victim is drawn from the seeded per-cache stream.  The candidate tuple
+# is (older, newer) — exactly ``list(resident)`` in the array engine —
+# so the rng consumes identical state and picks identical victims.  An
+# unfilled set evicts nothing and draws nothing, like the array engine.
+_RSLOT2 = """\
+{shead}
+            m = u{i}[s]
+            if b == m:
+                h{i} += 1
+                if aw:
+                    d{i}[s] = True
+            elif b == v{i}[s]:
+                h{i} += 1
+                if aw:
+                    e{i}[s] = True
+            else:
+                mi{i} += 1
+                if x:
+                    wm{i} += 1
+                else:
+                    rm{i} += 1
+                victim = v{i}[s]
+                if victim == -1:
+                    u{i}[s] = b; v{i}[s] = m
+                    e{i}[s] = d{i}[s]; d{i}[s] = aw
+                else:
+                    victim = C{i}((victim, m))
+                    ev{i} += 1
+                    if victim == m:
+                        t = d{i}[s]
+                        u{i}[s] = b; d{i}[s] = aw
+                    else:
+                        t = e{i}[s]
+                        u{i}[s] = b; v{i}[s] = m
+                        e{i}[s] = d{i}[s]; d{i}[s] = aw
+                    if t:
+                        wb{i} += 1
+{dirty_victim}{miss}"""
+
+# Random direct-mapped: the victim is forced, but the array engine still
+# calls ``choice`` on the one-element candidate list (``_randbelow(1)``
+# draws bits), so the kernel must burn the same rng state to keep later
+# draws aligned.
+_RSLOT1 = """\
+{shead}
+            m = u{i}[s]
+            if b == m:
+                h{i} += 1
+                if aw:
+                    d{i}[s] = True
+            else:
+                mi{i} += 1
+                if x:
+                    wm{i} += 1
+                else:
+                    rm{i} += 1
+                t = d{i}[s]
+                u{i}[s] = b; d{i}[s] = aw
+                if m != -1:
+                    C{i}((m,))
+                    ev{i} += 1
+                    if t:
+                        wb{i} += 1
+{dirty_victim}{miss}"""
+
+# FIFO dict: no pop-and-reinsert on hit, so insertion order *is* fill
+# order and the victim is the first key.
+_FDICT = """\
+            r = S{i}[{sx}]
+            t = r.get(b, MS)
+            if t is not MS:
+                h{i} += 1
+                if aw:
+                    r[b] = True
+            else:
+                mi{i} += 1
+                if x:
+                    wm{i} += 1
+                else:
+                    rm{i} += 1
+                if len(r) >= A{i}:
+                    victim = next(iter(r))
+                    if r.pop(victim):
+                        wb{i} += 1
+{dirty_victim}                    ev{i} += 1
+{miss}                r[b] = aw
+"""
+
+# Random dict: fill-order residency with a seeded victim draw over the
+# full set (``list(r)`` matches the array engine's candidate order).
+_RDICT = """\
+            r = S{i}[{sx}]
+            t = r.get(b, MS)
+            if t is not MS:
+                h{i} += 1
+                if aw:
+                    r[b] = True
+            else:
+                mi{i} += 1
+                if x:
+                    wm{i} += 1
+                else:
+                    rm{i} += 1
+                if len(r) >= A{i}:
+                    victim = C{i}(list(r))
+                    if r.pop(victim):
+                        wb{i} += 1
+{dirty_victim}                    ev{i} += 1
+{miss}                r[b] = aw
+"""
+
 _EPILOGUE = """\
     st = g[{i}]['stats']
     st.accesses += h{i} + mi{i} + hall
@@ -196,11 +363,22 @@ _EPILOGUE = """\
 """
 
 
+_SLOT_TEMPLATES = {
+    "slot2": _SLOT2,
+    "slot1": _SLOT1,
+    "fslot2": _FSLOT2,
+    "rslot2": _RSLOT2,
+    "rslot1": _RSLOT1,
+}
+
+_DICT_TEMPLATES = {"dict": _DICT, "fdict": _FDICT, "rdict": _RDICT}
+
+
 def _cache_section(i: int, kind: str, events: bool, memory: bool) -> str:
     """One cache's per-event code block (slow path of the fused loop)."""
     indent = " " * 24
-    # slot1 holds its victim in `m`; the other kinds bind `victim`.
-    victim_name = "m" if kind == "slot1" else "victim"
+    # The one-slot kinds hold their victim in `m`; the rest bind `victim`.
+    victim_name = "m" if kind in ("slot1", "rslot1") else "victim"
     dirty_victim = ""
     if events:
         dirty_victim += f"{indent}oaap{i}({victim_name})\n"
@@ -214,13 +392,22 @@ def _cache_section(i: int, kind: str, events: bool, memory: bool) -> str:
     if events:
         miss += f"{miss_indent}oaap{i}(a)\n"
         miss += f"{miss_indent}owap{i}(False)\n"
-    if kind == "dict":
+    if kind in _DICT_TEMPLATES:
         sx = "s0" if i == 0 else f"sb & k{i}"
-        return _DICT.format(i=i, sx=sx, dirty_victim=dirty_victim, miss=miss)
+        return _DICT_TEMPLATES[kind].format(
+            i=i, sx=sx, dirty_victim=dirty_victim, miss=miss
+        )
     shead = "            s = s0" if i == 0 else f"            s = sb & k{i}"
-    template = _SLOT2 if kind == "slot2" else _SLOT1
-    return template.format(i=i, shead=shead,
-                           dirty_victim=dirty_victim, miss=miss)
+    return _SLOT_TEMPLATES[kind].format(i=i, shead=shead,
+                                        dirty_victim=dirty_victim, miss=miss)
+
+
+def _dedent4(text: str) -> str:
+    """Lift a section generated for the guarded layout by one level."""
+    return "".join(
+        line[4:] if line.startswith("    ") else line
+        for line in text.splitlines(keepends=True)
+    )
 
 
 def _dirty_store(i: int, kind: str) -> str:
@@ -232,7 +419,8 @@ def _dirty_store(i: int, kind: str) -> str:
 
 
 def _build_group_runner(
-    kinds: Sequence[str], events: Sequence[bool], memory: bool
+    kinds: Sequence[str], events: Sequence[bool], memory: bool,
+    guarded: bool = True,
 ):
     """Compile the fused chunk loop for one cache group.
 
@@ -240,7 +428,10 @@ def _build_group_runner(
     is the fewest-sets guard); ``events[i]`` toggles L2-traffic
     recording for that cache (L1 lanes with at least one follower) and
     ``memory`` toggles main-memory counting for the whole group (L2
-    followers).
+    followers).  ``guarded`` emits the all-caches MRU fast path — valid
+    only for LRU, where Mattson set refinement makes an MRU hit in the
+    fewest-sets cache an MRU hit everywhere; FIFO/random groups run
+    every event through the per-cache sections.
     """
     guard = kinds[0]
     any_events = any(events)
@@ -251,7 +442,7 @@ def _build_group_runner(
         if events[i]:
             lines.append(_EVENTS.format(i=i))
     guard_mru = "u0"
-    if guard == "dict":
+    if guarded and guard == "dict":
         guard_mru = "gm"
         lines.append("    gm = g[0]['guard_mru']\n")
     lines.append("    hall = 0\n")
@@ -260,16 +451,20 @@ def _build_group_runner(
     else:
         lines.append("    for b, sb, x, aw in zip(bl, sbl, xl, awl):\n")
     lines.append("        s0 = sb & k0\n")
-    lines.append(f"        if b == {guard_mru}[s0]:\n")
-    lines.append("            hall += 1\n")
-    lines.append("            if aw:\n")
-    for i, kind in enumerate(kinds):
-        lines.append(_dirty_store(i, kind))
-    lines.append("        else:\n")
-    for i, kind in enumerate(kinds):
-        lines.append(_cache_section(i, kind, events[i], memory))
-    if guard == "dict":
-        lines.append("            gm[s0] = b\n")
+    if guarded:
+        lines.append(f"        if b == {guard_mru}[s0]:\n")
+        lines.append("            hall += 1\n")
+        lines.append("            if aw:\n")
+        for i, kind in enumerate(kinds):
+            lines.append(_dirty_store(i, kind))
+        lines.append("        else:\n")
+        for i, kind in enumerate(kinds):
+            lines.append(_cache_section(i, kind, events[i], memory))
+        if guard == "dict":
+            lines.append("            gm[s0] = b\n")
+    else:
+        for i, kind in enumerate(kinds):
+            lines.append(_dedent4(_cache_section(i, kind, events[i], memory)))
     for i in range(len(kinds)):
         lines.append(_EPILOGUE.format(i=i))
     source = "".join(lines)
@@ -299,29 +494,48 @@ def _compress(blocks: np.ndarray, writes: np.ndarray):
     return kept, np.logical_or.reduceat(writes, kept), int(n - kept.size)
 
 
-def _state_for(shape: _Shape, name: str, events: bool) -> dict:
-    """Allocate the per-set state for one cache of the given shape."""
+#: State encoding per (associativity class, policy).  FIFO reuses the
+#: one-slot LRU kernel — with a single way there is nothing to reorder.
+_KINDS = {
+    2: {"lru": "slot2", "fifo": "fslot2", "random": "rslot2"},
+    1: {"lru": "slot1", "fifo": "slot1", "random": "rslot1"},
+    None: {"lru": "dict", "fifo": "fdict", "random": "rdict"},
+}
+
+
+def _state_for(
+    shape: _Shape, name: str, events: bool,
+    policy: str = "lru", seed: int = 0,
+) -> dict:
+    """Allocate the per-set state for one cache of the given shape.
+
+    A random-policy cache owns its rng stream, created here from
+    ``seed`` — per cache, not per lane group or shard, so victim draws
+    depend only on the cache's own miss sequence and results are stable
+    under any point grouping or ``jobs=`` sharding.
+    """
     size_bytes, block_bytes, associativity = shape
     n_sets = _validate_shape(size_bytes, block_bytes, associativity, name)
+    kind = _KINDS.get(associativity, _KINDS[None])[policy]
     state: dict = {
+        "kind": kind,
         "mask": n_sets - 1,
         "assoc": associativity,
         "stats": CacheStats(),
         "memory": 0,
     }
-    if associativity == 2:
-        state["kind"] = "slot2"
+    if kind in ("slot2", "fslot2", "rslot2"):
         state["mru"] = [-1] * n_sets
         state["lru"] = [-1] * n_sets
         state["dirty_mru"] = [False] * n_sets
         state["dirty_lru"] = [False] * n_sets
-    elif associativity == 1:
-        state["kind"] = "slot1"
+    elif kind in ("slot1", "rslot1"):
         state["mru"] = [-1] * n_sets
         state["dirty_mru"] = [False] * n_sets
     else:
-        state["kind"] = "dict"
         state["sets"] = [dict() for _ in range(n_sets)]
+    if policy == "random":
+        state["choice"] = random.Random(seed).choice
     if events:
         state["ops_addr"] = []
         state["ops_write"] = []
@@ -350,11 +564,16 @@ def _group_by_block(states: Sequence[dict]) -> List[Tuple[int, List[dict]]]:
 class _Lane:
     """One distinct L1 shape plus every L2 that sits behind it."""
 
-    __slots__ = ("shape", "state", "followers", "follower_groups")
+    __slots__ = ("shape", "state", "followers", "follower_groups",
+                 "policy", "seed")
 
-    def __init__(self, shape: _Shape) -> None:
+    def __init__(self, shape: _Shape, policy: str = "lru",
+                 seed: int = 0) -> None:
         self.shape = shape
-        self.state = _state_for(shape, "L1", events=True)
+        self.policy = policy
+        self.seed = seed
+        self.state = _state_for(shape, "L1", events=True,
+                                policy=policy, seed=seed)
         self.state["block_bytes"] = shape[1]
         self.followers: Dict[_Shape, dict] = {}
         self.follower_groups: List[tuple] = []
@@ -362,7 +581,10 @@ class _Lane:
     def follower(self, shape: _Shape) -> dict:
         state = self.followers.get(shape)
         if state is None:
-            state = _state_for(shape, "L2", events=False)
+            # Each follower gets its own seed+1 stream — the stream an
+            # independent ArrayTwoLevelHierarchy would hand this L2.
+            state = _state_for(shape, "L2", events=False,
+                               policy=self.policy, seed=self.seed + 1)
             state["block_bytes"] = shape[1]
             self.followers[shape] = state
         return state
@@ -375,6 +597,7 @@ class _Lane:
                 [state["kind"] for state in states],
                 events=[False] * len(states),
                 memory=True,
+                guarded=self.policy == "lru",
             )
             self.follower_groups.append((block_bytes, states, runner))
 
@@ -394,25 +617,34 @@ class MultiConfigHierarchyEngine:
         ``memory_accesses == 0``.  The L1 statistics are unaffected —
         the L2 is strictly downstream of the L1 in this hierarchy.
     policy:
-        Must be ``"lru"`` — same restriction, and same semantics, as
+        ``"lru"``, ``"fifo"`` or ``"random"`` — same set, and same
+        semantics, as
         :class:`~repro.archsim.hierarchy.ArrayTwoLevelHierarchy`.
+    seed:
+        Random-policy seed: every lane L1 draws from
+        ``random.Random(seed)`` and every follower L2 from
+        ``random.Random(seed + 1)``, matching the per-point array
+        engine streams regardless of lane grouping.
 
     :meth:`run` returns one :class:`HierarchyResult` per input point, in
     input order, each bit-identical to an independent
-    ``ArrayTwoLevelHierarchy(l1, l2).run(trace)`` (L1-only points match
-    on the L1 statistics).
+    ``ArrayTwoLevelHierarchy(l1, l2, policy, seed).run(trace)`` (L1-only
+    points match on the L1 statistics).
     """
 
     def __init__(
         self,
         points: Sequence[Tuple[CacheConfig, Optional[CacheConfig]]],
         policy: str = "lru",
+        seed: int = 0,
     ) -> None:
-        if policy != "lru":
+        if policy not in _POLICIES:
             raise SimulationError(
-                f"MultiConfigHierarchyEngine supports only LRU, got "
-                f"{policy!r}; use TwoLevelHierarchy for other policies"
+                f"MultiConfigHierarchyEngine: unknown replacement policy "
+                f"{policy!r}; expected 'lru', 'fifo' or 'random'"
             )
+        self.policy = policy
+        self.seed = seed
         points = list(points)
         if not points:
             raise SimulationError(
@@ -425,7 +657,7 @@ class MultiConfigHierarchyEngine:
             lane_shape = _shape(l1_config)
             lane = self._lanes.get(lane_shape)
             if lane is None:
-                lane = _Lane(lane_shape)
+                lane = _Lane(lane_shape, policy, seed)
                 self._lanes[lane_shape] = lane
             follower = (
                 lane.follower(_shape(l2_config))
@@ -446,6 +678,7 @@ class MultiConfigHierarchyEngine:
                 [state["kind"] for state in states],
                 events=event_flags,
                 memory=False,
+                guarded=policy == "lru",
             )
             self._lane_groups.append(
                 (block_bytes, states, runner, any(event_flags))
@@ -548,6 +781,10 @@ def simulate_configurations(
     points: Sequence[Tuple[CacheConfig, Optional[CacheConfig]]],
     trace: TraceLike,
     chunk_size: int = DEFAULT_CHUNK,
+    policy: str = "lru",
+    seed: int = 0,
 ) -> List[HierarchyResult]:
     """One-shot convenience wrapper over :class:`MultiConfigHierarchyEngine`."""
-    return MultiConfigHierarchyEngine(points).run(trace, chunk_size=chunk_size)
+    return MultiConfigHierarchyEngine(points, policy, seed).run(
+        trace, chunk_size=chunk_size
+    )

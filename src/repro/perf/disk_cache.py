@@ -22,6 +22,7 @@ exposes.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -30,6 +31,8 @@ import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
+
+import numpy as np
 
 from repro.errors import SimulationError
 
@@ -65,6 +68,48 @@ def reset_disk_cache_stats() -> None:
         _total_misses = 0
 
 
+def _canonical(value) -> str:
+    """Render one fingerprint part in a representation-independent form.
+
+    ``repr`` alone forks keys on incidental representation choices:
+    ``np.float64(0.3)`` vs ``0.3``, a list vs the tuple a later caller
+    passes, dict insertion order.  This encoder strips all of that —
+    numpy scalars coerce to their Python values, ndarrays and every
+    sequence type flatten to one bracketed form, dict items sort by key,
+    dataclasses encode as class name + field map — while keeping
+    distinct *values* distinct (``1`` vs ``1.0`` vs ``True`` vs ``"1"``
+    all differ).
+    """
+    if isinstance(value, np.generic):
+        value = value.item()
+    if value is None or isinstance(value, bool):
+        return repr(value)
+    if isinstance(value, int):
+        return f"i{value}"
+    if isinstance(value, float):
+        return f"f{value!r}"
+    if isinstance(value, str):
+        return repr(value)
+    if isinstance(value, np.ndarray):
+        return "[" + ",".join(_canonical(v) for v in value.tolist()) + "]"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical(v) for v in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_canonical(v) for v in value)) + "}"
+    if isinstance(value, dict):
+        items = sorted(
+            (_canonical(k), _canonical(v)) for k, v in value.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{field.name}={_canonical(getattr(value, field.name))}"
+            for field in dataclasses.fields(value)
+        )
+        return f"{type(value).__name__}({fields})"
+    return repr(value)
+
+
 def make_fingerprint(*parts) -> str:
     """Fold every input that determines a cached payload into one string.
 
@@ -72,10 +117,11 @@ def make_fingerprint(*parts) -> str:
     (including format-version integers and engine/estimator tags) and the
     resulting string keys the entry, so any input change — a new engine,
     a bumped format — reads as a clean miss instead of a stale hit.
-    ``repr`` keeps the encoding deterministic for the plain tuples,
-    dataclasses, and scalars calibration fingerprints are built from.
+    Parts are canonicalised (see :func:`_canonical`) so equal values key
+    equally no matter how a caller spells them — a ``np.float64`` weight
+    and the plain float it equals land on the same entry.
     """
-    return repr(parts)
+    return "fp1(" + ",".join(_canonical(part) for part in parts) + ")"
 
 
 def default_cache_dir() -> Path:

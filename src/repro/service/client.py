@@ -59,14 +59,28 @@ class ServiceClient:
     def request(self, method: str, path: str, body: Optional[dict] = None):
         """Issue one request; returns the decoded JSON payload.
 
-        Raises :class:`ServiceError` on a non-2xx status.  Retries once
-        on a dropped keep-alive connection (the server may close idle
-        connections between calls).
+        Raises :class:`ServiceError` on a non-2xx status.  A dropped
+        keep-alive connection (the server may close idle connections
+        between calls) is retried once — but only where a replay cannot
+        double-apply the request: connect failures retry for every
+        method (nothing reached the wire), while failures after the
+        request was written retry for GET only.  A ``POST
+        /v1/calibrate`` whose response never arrives may still have
+        submitted its job; replaying it would submit a second one, so
+        the error propagates to the caller instead.
         """
         encoded = json.dumps(body).encode("utf-8") if body is not None else None
         headers = {"Content-Type": "application/json"} if encoded else {}
         for attempt in (0, 1):
             connection = self._connect()
+            try:
+                if connection.sock is None:
+                    connection.connect()
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+                continue
             try:
                 connection.request(method, path, body=encoded,
                                    headers=headers)
@@ -75,7 +89,7 @@ class ServiceClient:
                 break
             except (http.client.HTTPException, ConnectionError, OSError):
                 self.close()
-                if attempt:
+                if attempt or method != "GET":
                     raise
         payload = json.loads(raw) if raw else {}
         if response.status >= 400:

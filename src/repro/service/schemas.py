@@ -317,6 +317,7 @@ class AmatRequest:
     l1_knobs: Knobs
     l2_knobs: Knobs
     memory_latency: Optional[float]
+    policy: str
 
 
 def parse_amat(body) -> AmatRequest:
@@ -325,7 +326,7 @@ def parse_amat(body) -> AmatRequest:
     body = _require_object(body, "amat request")
     _reject_unknown_keys(
         body, ("workload", "l1_size_kb", "l2_size_kb", "l1_knobs", "l2_knobs",
-               "memory_latency_ps"), "amat request"
+               "memory_latency_ps", "policy"), "amat request"
     )
     raw_workload = body.get("workload", "spec2000")
     workload: Optional[str] = None
@@ -380,7 +381,18 @@ def parse_amat(body) -> AmatRequest:
             if "memory_latency_ps" in body
             else None
         ),
+        policy=_policy(body, "amat"),
     )
+
+
+def _policy(body: dict, what: str) -> str:
+    policy = body.get("policy", "lru")
+    if policy not in ("lru", "fifo", "random"):
+        raise ValidationError(
+            f"unknown replacement policy {policy!r}; expected 'lru', "
+            f"'fifo' or 'random'"
+        )
+    return policy
 
 
 @dataclass(frozen=True)
@@ -392,6 +404,7 @@ class CalibrateRequest:
     seed: int
     estimator: str
     engine: str
+    policy: str
     l1_grid_kb: Tuple[int, ...]
     l2_grid_kb: Tuple[int, ...]
 
@@ -461,7 +474,7 @@ def parse_calibrate(body) -> CalibrateRequest:
     body = _require_object(body, "calibrate request")
     _reject_unknown_keys(
         body, ("workload", "n_accesses", "seed", "estimator", "engine",
-               "l1_grid_kb", "l2_grid_kb"), "calibrate request"
+               "policy", "l1_grid_kb", "l2_grid_kb"), "calibrate request"
     )
     if "workload" not in body:
         raise ValidationError(
@@ -489,6 +502,12 @@ def parse_calibrate(body) -> CalibrateRequest:
             f"unknown engine {engine!r}; expected 'multiconfig', 'array' "
             f"or 'object'"
         )
+    policy = _policy(body, "calibrate")
+    if estimator == "stackdist" and policy != "lru":
+        raise ValidationError(
+            "estimator='stackdist' models LRU only; use the grid "
+            "estimator for non-LRU policies"
+        )
     return CalibrateRequest(
         spec=spec,
         n_accesses=n_accesses,
@@ -496,6 +515,7 @@ def parse_calibrate(body) -> CalibrateRequest:
                       maximum=2**31 - 1),
         estimator=estimator,
         engine=engine,
+        policy=policy,
         l1_grid_kb=_grid_kb(body, "l1_grid_kb", "calibrate", L1_GRID_KB),
         l2_grid_kb=_grid_kb(body, "l2_grid_kb", "calibrate", L2_GRID_KB),
     )

@@ -93,6 +93,7 @@ def _calibration_task(
     seed: int,
     estimator: str,
     engine: str,
+    policy: str,
     l1_grid_kb: Sequence[int],
     l2_grid_kb: Sequence[int],
     cache_dir: Optional[str],
@@ -107,11 +108,13 @@ def _calibration_task(
         cache_dir=cache_dir,
         estimator=estimator,
         engine=engine,
+        policy=policy,
     )
     return {
         "workload": model.workload,
         "estimator": estimator,
         "engine": engine,
+        "policy": policy,
         "n_accesses": n_accesses,
         "seed": seed,
         "l1_curve": [[size, rate] for size, rate in model.l1_curve],
@@ -246,9 +249,11 @@ class ReproService:
     def handle_amat(self, body) -> Tuple[int, dict]:
         request = schemas.parse_amat(body)
         if request.workload is not None:
-            miss_model = calibrated_miss_model(request.workload)
+            miss_model = calibrated_miss_model(request.workload,
+                                               request.policy)
         else:
-            miss_model = blended_miss_model(dict(request.blend_weights))
+            miss_model = blended_miss_model(dict(request.blend_weights),
+                                            request.policy)
         l1_model = CacheModel(l1_config(request.l1_size_kb))
         l2_model = CacheModel(l2_config(request.l2_size_kb))
         l1_eval = l1_model.uniform(request.l1_knobs)
@@ -268,6 +273,7 @@ class ReproService:
         )
         return 200, {
             "workload": miss_model.workload,
+            "policy": request.policy,
             "amat_ps": units.to_ps(amat),
             "energy_per_access_pj": units.to_pj(energy),
             "total_leakage_mw": units.to_mw(
@@ -298,6 +304,7 @@ class ReproService:
             request.seed,
             request.estimator,
             request.engine,
+            request.policy,
             request.l1_grid_kb,
             request.l2_grid_kb,
             self.config.cache_dir,
@@ -305,6 +312,7 @@ class ReproService:
                 "workload": request.spec.name,
                 "estimator": request.estimator,
                 "engine": request.engine,
+                "policy": request.policy,
             },
         )
         return 202, {

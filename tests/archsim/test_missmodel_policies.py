@@ -1,0 +1,135 @@
+"""Policy plumbing of the calibration pipeline: dispatch, caching, cleanup.
+
+Covers the PR-5 satellite guarantees: unknown policies raise
+``SimulationError`` (never ``KeyError``) from every entry point, each
+supported policy measures bit-identically through ``engine="multiconfig"``
+and ``engine="array"``, per-policy disk-cache entries never collide, and
+the ``jobs=`` scratch directory is removed even when a worker dies
+mid-shard.
+"""
+
+import os
+
+import pytest
+
+import repro.archsim.missmodel as missmodel
+from repro.archsim.hierarchy import simulate_hierarchy
+from repro.archsim.missmodel import (
+    calibrated_miss_model,
+    measure_miss_model,
+)
+from repro.archsim.workloads import SPEC2000_LIKE, synthetic_trace_buffer
+from repro.cache.config import CacheConfig
+from repro.errors import SimulationError
+
+L1 = CacheConfig(size_bytes=1024, block_bytes=32, associativity=2, name="L1")
+L2 = CacheConfig(size_bytes=8192, block_bytes=64, associativity=4, name="L2")
+
+SMALL_GRID = dict(n_accesses=20_000, l1_grid_kb=(4, 16), l2_grid_kb=(128, 512))
+
+
+class TestPolicyDispatch:
+    def test_simulate_hierarchy_unknown_policy_raises_simulation_error(self):
+        trace = synthetic_trace_buffer(SPEC2000_LIKE, 1_000, seed=3)
+        with pytest.raises(SimulationError):
+            simulate_hierarchy(L1, L2, trace, policy="plru")
+
+    def test_measure_miss_model_unknown_policy_raises_simulation_error(self):
+        with pytest.raises(SimulationError):
+            measure_miss_model(
+                SPEC2000_LIKE, n_accesses=2_000, policy="mru",
+                use_disk_cache=False,
+            )
+
+    def test_calibrated_miss_model_unknown_policy(self):
+        with pytest.raises(SimulationError):
+            calibrated_miss_model("spec2000", "plru")
+
+    def test_stackdist_estimator_rejects_non_lru(self):
+        with pytest.raises(SimulationError):
+            measure_miss_model(
+                SPEC2000_LIKE, n_accesses=2_000, policy="fifo",
+                estimator="stackdist", use_disk_cache=False,
+            )
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+    def test_multiconfig_matches_array_per_policy(self, policy):
+        batched = measure_miss_model(
+            SPEC2000_LIKE, policy=policy, engine="multiconfig",
+            use_disk_cache=False, **SMALL_GRID,
+        )
+        per_point = measure_miss_model(
+            SPEC2000_LIKE, policy=policy, engine="array",
+            use_disk_cache=False, **SMALL_GRID,
+        )
+        assert batched == per_point
+
+    def test_policies_measure_distinct_curves(self):
+        models = {
+            policy: measure_miss_model(
+                SPEC2000_LIKE, policy=policy, use_disk_cache=False,
+                **SMALL_GRID,
+            )
+            for policy in ("lru", "fifo", "random")
+        }
+        assert models["lru"] != models["fifo"]
+        assert models["lru"] != models["random"]
+
+
+class TestPolicyCaching:
+    def test_disk_cache_keys_policies_apart(self, tmp_path):
+        kwargs = dict(SMALL_GRID, cache_dir=tmp_path)
+        first = measure_miss_model(SPEC2000_LIKE, policy="fifo", **kwargs)
+        # A warm read must return the fifo curves, not another policy's.
+        assert measure_miss_model(SPEC2000_LIKE, policy="fifo",
+                                  **kwargs) == first
+        lru = measure_miss_model(SPEC2000_LIKE, policy="lru", **kwargs)
+        assert lru != first
+
+    def test_calibrated_miss_model_memoises_per_policy(self, monkeypatch):
+        monkeypatch.setattr(missmodel, "POLICY_CALIBRATION_ACCESSES", 10_000)
+        monkeypatch.setattr(missmodel, "_POLICY_TABLES", {})
+        first = calibrated_miss_model("spec2000", "random")
+        assert calibrated_miss_model("spec2000", "random") is first
+        assert first != calibrated_miss_model("spec2000")
+        assert calibrated_miss_model("spec2000", "lru") is \
+            calibrated_miss_model("spec2000")
+
+
+class _ExplodingExecutor:
+    """Stand-in pool whose map dies like a worker raising mid-shard."""
+
+    def __init__(self, max_workers):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def map(self, *args, **kwargs):
+        raise RuntimeError("worker crashed mid-shard")
+
+
+class TestScratchCleanup:
+    def test_no_temp_leak_when_worker_raises(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            missmodel, "ProcessPoolExecutor", _ExplodingExecutor
+        )
+        monkeypatch.setattr(missmodel.tempfile, "tempdir", str(tmp_path))
+        with pytest.raises(RuntimeError):
+            measure_miss_model(
+                SPEC2000_LIKE, n_accesses=5_000, jobs=2,
+                l1_grid_kb=(4,), l2_grid_kb=(128,), use_disk_cache=False,
+            )
+        assert os.listdir(tmp_path) == []
+
+    def test_no_temp_leak_on_success(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(missmodel.tempfile, "tempdir", str(tmp_path))
+        model = measure_miss_model(
+            SPEC2000_LIKE, n_accesses=5_000, jobs=2,
+            l1_grid_kb=(4,), l2_grid_kb=(128,), use_disk_cache=False,
+        )
+        assert model.l1_curve
+        assert os.listdir(tmp_path) == []

@@ -176,9 +176,9 @@ class TestEngineContract:
         assert result.memory_accesses == 0
         assert result.l1.accesses == 300
 
-    def test_rejects_non_lru_policy(self):
+    def test_rejects_unknown_policy(self):
         with pytest.raises(SimulationError):
-            MultiConfigHierarchyEngine([(self.L1, self.L2)], policy="fifo")
+            MultiConfigHierarchyEngine([(self.L1, self.L2)], policy="plru")
 
     def test_rejects_empty_points(self):
         with pytest.raises(SimulationError):

@@ -2,10 +2,11 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.perf.disk_cache import DiskCache, default_cache_dir
+from repro.perf.disk_cache import DiskCache, default_cache_dir, make_fingerprint
 
 
 class TestDiskCache:
@@ -63,6 +64,55 @@ class TestDiskCache:
         cache = DiskCache("unit")
         cache.store("key", "value")
         assert (tmp_path / "custom" / "unit").is_dir()
+
+
+class TestFingerprintStability:
+    """Equal values must key equally no matter how a caller spells them.
+
+    ``repr(parts)`` forked cache keys on incidental representation —
+    most damagingly ``np.float64(0.3)`` vs ``0.3`` when one caller
+    passed a numpy-derived weight and another the literal.
+    """
+
+    def test_numpy_scalars_match_python_scalars(self):
+        assert make_fingerprint(np.float64(0.3)) == make_fingerprint(0.3)
+        assert make_fingerprint(np.int64(7)) == make_fingerprint(7)
+        assert make_fingerprint(np.bool_(True)) == make_fingerprint(True)
+
+    def test_sequence_types_do_not_fork_keys(self):
+        assert make_fingerprint([1, 2, 3]) == make_fingerprint((1, 2, 3))
+        assert make_fingerprint(np.array([1, 2, 3])) == \
+            make_fingerprint((1, 2, 3))
+        assert make_fingerprint((np.float64(0.5), 2)) == \
+            make_fingerprint([0.5, np.int32(2)])
+
+    def test_dict_order_is_irrelevant(self):
+        assert make_fingerprint({"a": 1, "b": 2}) == \
+            make_fingerprint({"b": 2, "a": 1})
+
+    def test_distinct_values_stay_distinct(self):
+        seen = {
+            make_fingerprint(part)
+            for part in (1, 1.0, True, "1", None, (1,), 2, 0.3, "lru")
+        }
+        assert len(seen) == 9
+
+    def test_nested_structures_recurse(self):
+        nested_a = {"grid": [np.int64(4), 8], "w": {"x": np.float64(0.25)}}
+        nested_b = {"w": {"x": 0.25}, "grid": (4, 8)}
+        assert make_fingerprint(nested_a) == make_fingerprint(nested_b)
+        assert make_fingerprint(nested_a) != \
+            make_fingerprint({"grid": (4, 8), "w": {"x": 0.26}})
+
+    def test_dataclass_fields_participate(self):
+        from dataclasses import replace
+
+        from repro.archsim.workloads import SPEC2000_LIKE
+
+        base = make_fingerprint(SPEC2000_LIKE)
+        assert base == make_fingerprint(SPEC2000_LIKE)
+        changed = replace(SPEC2000_LIKE, write_fraction=0.9)
+        assert base != make_fingerprint(changed)
 
 
 class TestMissModelMemoization:

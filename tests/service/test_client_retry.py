@@ -1,0 +1,121 @@
+"""ServiceClient retry semantics through a flaky-connection fake.
+
+The regression this pins: a keep-alive connection dropped *after* the
+request bytes were written used to be retried for every method, so a
+``POST /v1/calibrate`` whose response got lost could submit its job
+twice.  Now only GETs replay after a write; non-idempotent methods
+surface the error, and only a pre-write connect failure (nothing on the
+wire) is retried for them.
+
+The fake stands in for ``http.client.HTTPConnection`` and counts every
+request that "reached the server", so the double-submit property is
+asserted directly rather than inferred from timing.
+"""
+
+import json
+
+import pytest
+
+from repro.service.client import ServiceClient
+
+
+class _Script:
+    """Shared recorder + failure schedule for one test's connections."""
+
+    def __init__(self, drop_after_write=0, fail_connect=0):
+        self.requests = []  # every request the "server" received
+        self.drop_after_write = drop_after_write
+        self.fail_connect = fail_connect
+
+
+class _FakeResponse:
+    status = 200
+
+    def __init__(self, payload):
+        self._payload = payload
+
+    def read(self):
+        return json.dumps(self._payload).encode("utf-8")
+
+
+def _fake_connection_class(script):
+    class _FakeConnection:
+        def __init__(self, host, port, timeout=None):
+            self.sock = None
+            self._dropped = False
+
+        def connect(self):
+            if script.fail_connect > 0:
+                script.fail_connect -= 1
+                raise ConnectionRefusedError("connect failed")
+            self.sock = object()
+
+        def request(self, method, path, body=None, headers=None):
+            # The bytes hit the wire here: whatever happens to the
+            # response, the server has seen (and acted on) the request.
+            script.requests.append((method, path))
+            if script.drop_after_write > 0:
+                script.drop_after_write -= 1
+                self._dropped = True
+            else:
+                self._dropped = False
+
+        def getresponse(self):
+            if self._dropped:
+                raise ConnectionResetError("peer closed connection")
+            return _FakeResponse({"job_id": "job-1", "status": "queued"})
+
+        def close(self):
+            self.sock = None
+
+    return _FakeConnection
+
+
+def _client(monkeypatch, script):
+    monkeypatch.setattr(
+        "http.client.HTTPConnection", _fake_connection_class(script)
+    )
+    return ServiceClient(port=1)
+
+
+def test_dropped_post_is_not_replayed(monkeypatch):
+    script = _Script(drop_after_write=1)
+    client = _client(monkeypatch, script)
+    with pytest.raises(ConnectionResetError):
+        client.calibrate(workload="spec2000")
+    # Exactly one submission reached the server — no double-submit.
+    assert script.requests == [("POST", "/v1/calibrate")]
+
+
+def test_dropped_get_retries_once(monkeypatch):
+    script = _Script(drop_after_write=1)
+    client = _client(monkeypatch, script)
+    payload = client.job("job-1")
+    assert payload["status"] == "queued"
+    assert script.requests == [("GET", "/v1/jobs/job-1")] * 2
+
+
+def test_get_gives_up_after_second_drop(monkeypatch):
+    script = _Script(drop_after_write=2)
+    client = _client(monkeypatch, script)
+    with pytest.raises(ConnectionResetError):
+        client.job("job-1")
+    assert len(script.requests) == 2
+
+
+def test_connect_failure_retries_post_without_submitting_twice(monkeypatch):
+    # A refused/reset connect happens before anything reaches the wire,
+    # so even a POST may retry — and the server still sees it once.
+    script = _Script(fail_connect=1)
+    client = _client(monkeypatch, script)
+    payload = client.calibrate(workload="spec2000")
+    assert payload["job_id"] == "job-1"
+    assert script.requests == [("POST", "/v1/calibrate")]
+
+
+def test_persistent_connect_failure_raises(monkeypatch):
+    script = _Script(fail_connect=2)
+    client = _client(monkeypatch, script)
+    with pytest.raises(ConnectionRefusedError):
+        client.calibrate(workload="spec2000")
+    assert script.requests == []

@@ -149,6 +149,45 @@ def test_amat_honours_custom_knobs_and_memory(client):
 def test_amat_blend(client):
     response = client.amat(workload={"spec2000": 1.0, "tpcc": 1.0})
     assert response["workload"] == "blend(spec2000+tpcc)"
+    assert response["policy"] == "lru"
+
+
+def test_amat_policy_swaps_the_miss_curves(client):
+    import repro.archsim.missmodel as missmodel
+
+    # The service runs in-process (module-scoped fixture), so shrinking
+    # the on-demand policy calibration keeps this endpoint test fast.
+    saved = missmodel.POLICY_CALIBRATION_ACCESSES
+    missmodel.POLICY_CALIBRATION_ACCESSES = 20_000
+    try:
+        response = client.amat(workload="spec2000", policy="fifo")
+        miss_model = calibrated_miss_model("spec2000", "fifo")
+        assert response["policy"] == "fifo"
+        assert response["l1"]["miss_rate"] == pytest.approx(
+            miss_model.l1_miss_rate(16 * 1024)
+        )
+        lru = client.amat(workload="spec2000")
+        assert response["l1"]["miss_rate"] != lru["l1"]["miss_rate"]
+    finally:
+        missmodel.POLICY_CALIBRATION_ACCESSES = saved
+
+
+def test_calibrate_job_carries_policy(client, server):
+    job = client.calibrate(workload="spec2000", n_accesses=20_000,
+                           policy="fifo", l1_grid_kb=[4, 8],
+                           l2_grid_kb=[128])
+    done = client.wait_for_job(job["job_id"], timeout=180)
+    assert done["status"] == "done"
+    assert done["policy"] == "fifo"  # job detail labels the policy
+    assert done["result"]["policy"] == "fifo"
+    direct = measure_miss_model(
+        STANDARD_WORKLOADS["spec2000"], n_accesses=20_000, policy="fifo",
+        l1_grid_kb=(4, 8), l2_grid_kb=(128,),
+        cache_dir=server.service.config.cache_dir,
+    )
+    served_l1 = {int(size): rate for size, rate in done["result"]["l1_curve"]}
+    for size, rate in direct.l1_curve:
+        assert served_l1[int(size)] == pytest.approx(rate)
 
 
 def test_calibrate_job_matches_direct_measurement(client, server):

@@ -155,6 +155,24 @@ class TestOtherEndpointValidation:
             client.calibrate(workload="spec2000", estimator="oracle")
         _assert_envelope(caught.value.status, caught.value.envelope, 400)
 
+    def test_calibrate_unknown_policy(self, client):
+        with pytest.raises(ServiceError) as caught:
+            client.calibrate(workload="spec2000", policy="plru")
+        _assert_envelope(caught.value.status, caught.value.envelope, 400)
+        assert "policy" in caught.value.envelope["error"]["message"]
+
+    def test_calibrate_stackdist_rejects_non_lru_policy(self, client):
+        with pytest.raises(ServiceError) as caught:
+            client.calibrate(workload="spec2000", estimator="stackdist",
+                             policy="fifo")
+        _assert_envelope(caught.value.status, caught.value.envelope, 400)
+
+    def test_amat_unknown_policy(self, client):
+        with pytest.raises(ServiceError) as caught:
+            client.amat(workload="spec2000", policy="mru")
+        _assert_envelope(caught.value.status, caught.value.envelope, 400)
+        assert "policy" in caught.value.envelope["error"]["message"]
+
     def test_unknown_job_is_404(self, client):
         with pytest.raises(ServiceError) as caught:
             client.job("job-999999")

@@ -3,7 +3,7 @@
 Run:  PYTHONPATH=src python tools/bench.py --suite archsim   # -> BENCH_2.json
       PYTHONPATH=src python tools/bench.py --suite sweep     # -> BENCH_1.json
       PYTHONPATH=src python tools/bench.py --suite service   # -> BENCH_3.json
-      PYTHONPATH=src python tools/bench.py --suite calib     # -> BENCH_4.json
+      PYTHONPATH=src python tools/bench.py --suite calib     # -> BENCH_5.json
       PYTHONPATH=src python tools/bench.py --smoke           # CI regression gate
 
 Four suites, one per performance PR:
@@ -17,10 +17,12 @@ Four suites, one per performance PR:
   single-sweep latency, a concurrency-8 closed-loop load run (the
   batching acceptance metric is mean evaluate_grid calls per sweep
   request < 1), and a calibration job round trip.
-* ``calib`` (PR 4) — cold grid calibration at 2 M accesses with the
+* ``calib`` (PRs 4/5) — cold grid calibration at 2 M accesses with the
   legacy one-simulation-per-point engine vs the batched multi-config
-  engine (acceptance: >= 5x, curves bit-identical), plus the warm
-  disk-cache reload.
+  engine, once per replacement policy (acceptance: >= 5x for LRU,
+  >= 3x for FIFO and random — the non-LRU kernels give up the
+  all-caches MRU guard — curves bit-identical in every case), plus the
+  warm disk-cache reload.
 
 Each suite writes measurements plus speedups against recorded pre-PR
 baselines to a JSON report.  Baselines were measured on this machine at
@@ -34,8 +36,9 @@ non-zero if the wall time regresses beyond 3x the recorded pre-PR
 baseline (generous enough to absorb shared-runner noise while still
 catching an accidental return to the O(n*d) path), asserts the batched
 multi-config engine matches the legacy per-point engine on a small
-grid, and then runs the in-process service smoke
-(tools/service_smoke.py) so a broken daemon also fails the gate.
+grid for every replacement policy (lru, fifo, random), and then runs
+the in-process service smoke (tools/service_smoke.py) so a broken
+daemon also fails the gate.
 """
 
 from __future__ import annotations
@@ -310,21 +313,23 @@ def run_smoke() -> int:
         return 1
 
     grids = {"l1_grid_kb": (4, 8), "l2_grid_kb": (128, 256)}
-    batched = measure_miss_model(
-        SPEC2000_LIKE, n_accesses=50_000, use_disk_cache=False,
-        engine="multiconfig", **grids,
-    )
-    legacy = measure_miss_model(
-        SPEC2000_LIKE, n_accesses=50_000, use_disk_cache=False,
-        engine="array", **grids,
-    )
-    if batched != legacy:
-        print("FAIL: multiconfig engine diverged from the per-point "
-              "engine on a 2x2 grid:\n"
-              f"  multiconfig: {batched}\n  per-point:   {legacy}",
-              file=sys.stderr)
-        return 1
-    print("smoke: multiconfig == per-point on the 2x2 calibration grid")
+    for policy in ("lru", "fifo", "random"):
+        batched = measure_miss_model(
+            SPEC2000_LIKE, n_accesses=50_000, use_disk_cache=False,
+            engine="multiconfig", policy=policy, **grids,
+        )
+        legacy = measure_miss_model(
+            SPEC2000_LIKE, n_accesses=50_000, use_disk_cache=False,
+            engine="array", policy=policy, **grids,
+        )
+        if batched != legacy:
+            print(f"FAIL: multiconfig engine diverged from the per-point "
+                  f"engine on a 2x2 grid (policy={policy}):\n"
+                  f"  multiconfig: {batched}\n  per-point:   {legacy}",
+                  file=sys.stderr)
+            return 1
+    print("smoke: multiconfig == per-point on the 2x2 calibration grid "
+          "for lru, fifo and random")
     import service_smoke
 
     try:
@@ -338,35 +343,66 @@ def run_smoke() -> int:
 
 
 # --------------------------------------------------------------------------
-# calib suite (PR 4)
+# calib suite (PRs 4/5)
 # --------------------------------------------------------------------------
 
-#: Acceptance floor for the batched engine: cold grid calibration must be
-#: at least this many times faster than one simulation per grid point.
+#: Acceptance floor for the batched LRU engine: cold grid calibration
+#: must be at least this many times faster than one simulation per grid
+#: point.
 CALIB_SPEEDUP_FLOOR = 5.0
+
+#: Floor for the FIFO and random kernels: the non-LRU policies cannot use
+#: the all-caches MRU guard (Mattson set refinement holds only for stack
+#: algorithms), so their batched sweep amortises less per access.
+NONLRU_CALIB_SPEEDUP_FLOOR = 3.0
 
 
 def run_calib_suite(output: str, n: int = 2_000_000) -> int:
-    """Cold per-point vs batched grid calibration; curves must be equal."""
+    """Cold per-point vs batched calibration per policy; equal curves."""
     from repro.archsim.missmodel import measure_miss_model
     from repro.archsim.workloads import SPEC2000_LIKE
 
-    print(f"grid calibration ({n:,} accesses, default grids):")
-    legacy_seconds, legacy = _timed(lambda: measure_miss_model(
-        SPEC2000_LIKE, n_accesses=n, use_disk_cache=False, engine="array"
-    ))
-    print(f"  per-point engine (legacy): {legacy_seconds:.3f} s")
-    batched_seconds, batched = _timed(lambda: measure_miss_model(
-        SPEC2000_LIKE, n_accesses=n, use_disk_cache=False,
-        engine="multiconfig",
-    ))
-    print(f"  multiconfig engine:        {batched_seconds:.3f} s")
+    floors = {
+        "lru": CALIB_SPEEDUP_FLOOR,
+        "fifo": NONLRU_CALIB_SPEEDUP_FLOOR,
+        "random": NONLRU_CALIB_SPEEDUP_FLOOR,
+    }
+    policies = {}
+    passed = True
+    for policy, floor in floors.items():
+        print(f"grid calibration ({n:,} accesses, default grids, "
+              f"policy={policy}):")
+        legacy_seconds, legacy = _timed(lambda p=policy: measure_miss_model(
+            SPEC2000_LIKE, n_accesses=n, use_disk_cache=False,
+            engine="array", policy=p,
+        ))
+        print(f"  per-point engine (legacy): {legacy_seconds:.3f} s")
+        batched_seconds, batched = _timed(lambda p=policy: measure_miss_model(
+            SPEC2000_LIKE, n_accesses=n, use_disk_cache=False,
+            engine="multiconfig", policy=p,
+        ))
+        print(f"  multiconfig engine:        {batched_seconds:.3f} s")
 
-    identical = batched == legacy
-    if not identical:
-        print("FAIL: engines disagree on the calibrated curves:\n"
-              f"  multiconfig: {batched}\n  per-point:   {legacy}",
-              file=sys.stderr)
+        identical = batched == legacy
+        if not identical:
+            print(f"FAIL: engines disagree on the calibrated curves "
+                  f"(policy={policy}):\n"
+                  f"  multiconfig: {batched}\n  per-point:   {legacy}",
+                  file=sys.stderr)
+        speedup = legacy_seconds / batched_seconds if batched_seconds else 0.0
+        policy_pass = identical and speedup >= floor
+        passed = passed and policy_pass
+        print(f"  speedup: {speedup:.1f}x (floor {floor:.0f}x, curves "
+              f"{'identical' if identical else 'DIVERGED'}, "
+              f"{'PASS' if policy_pass else 'FAIL'})")
+        policies[policy] = {
+            "cold_per_point_seconds": legacy_seconds,
+            "cold_multiconfig_seconds": batched_seconds,
+            "speedup_multiconfig_vs_per_point": speedup,
+            "speedup_floor": floor,
+            "curves_bit_identical": identical,
+            "pass": policy_pass,
+        }
 
     with tempfile.TemporaryDirectory() as cache_dir:
         cold_seconds, cold = _timed(lambda: measure_miss_model(
@@ -376,38 +412,33 @@ def run_calib_suite(output: str, n: int = 2_000_000) -> int:
             SPEC2000_LIKE, n_accesses=n, cache_dir=cache_dir
         ))
     assert warm == cold
-    print(f"  disk-memoized: cold {cold_seconds:.3f} s, "
+    print(f"disk-memoized (lru): cold {cold_seconds:.3f} s, "
           f"warm {warm_seconds * 1e3:.1f} ms")
 
-    speedup = legacy_seconds / batched_seconds if batched_seconds else 0.0
-    passed = identical and speedup >= CALIB_SPEEDUP_FLOOR
+    lru_legacy = policies["lru"]["cold_per_point_seconds"]
     report = {
         "n_accesses": n,
+        "policies": policies,
         "measured": {
-            "grid_calibration_cold_per_point": legacy_seconds,
-            "grid_calibration_cold_multiconfig": batched_seconds,
             "grid_calibration_cold_disk_store": cold_seconds,
             "grid_calibration_warm_disk_load": warm_seconds,
         },
         "speedup": {
-            "multiconfig_vs_per_point": speedup,
             "warm_vs_per_point": (
-                legacy_seconds / warm_seconds if warm_seconds else 0.0
+                lru_legacy / warm_seconds if warm_seconds else 0.0
             ),
         },
         "acceptance": {
-            "curves_bit_identical": identical,
-            "speedup_floor": CALIB_SPEEDUP_FLOOR,
             "pass": passed,
         },
     }
     with open(output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
-    print(f"\nmulticonfig vs per-point: {speedup:.1f}x "
-          f"(floor {CALIB_SPEEDUP_FLOOR:.0f}x, curves "
-          f"{'identical' if identical else 'DIVERGED'}, "
-          f"{'PASS' if passed else 'FAIL'})")
+    print(f"\ncalib suite: {'PASS' if passed else 'FAIL'} "
+          f"(" + ", ".join(
+              f"{policy} {entry['speedup_multiconfig_vs_per_point']:.1f}x"
+              for policy, entry in policies.items()) + ")")
     print(f"report written to {output}")
     return 0 if passed else 1
 
@@ -512,7 +543,7 @@ def main(argv=None) -> int:
     parser.add_argument("--output", default=None,
                         help="JSON report path (default BENCH_2.json for "
                              "archsim, BENCH_1.json for sweep, BENCH_3.json "
-                             "for service, BENCH_4.json for calib)")
+                             "for service, BENCH_5.json for calib)")
     parser.add_argument("--jobs", type=int, default=2,
                         help="worker count for the sweep parallel-runner "
                              "bench")
@@ -529,7 +560,7 @@ def main(argv=None) -> int:
     if arguments.suite == "service":
         return run_service_suite(arguments.output or "BENCH_3.json")
     if arguments.suite == "calib":
-        return run_calib_suite(arguments.output or "BENCH_4.json")
+        return run_calib_suite(arguments.output or "BENCH_5.json")
     return run_archsim_suite(arguments.output or "BENCH_2.json")
 
 

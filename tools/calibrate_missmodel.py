@@ -24,6 +24,10 @@ def main() -> None:
                         help="fan calibration points over N worker processes")
     parser.add_argument("--engine", default="multiconfig",
                         choices=("multiconfig", "array", "object"))
+    parser.add_argument("--policy", default="lru",
+                        choices=("lru", "fifo", "random"),
+                        help="replacement policy at both levels (the "
+                             "committed tables are LRU)")
     arguments = parser.parse_args()
 
     t0 = time.time()
@@ -35,6 +39,7 @@ def main() -> None:
             seed=1,
             jobs=arguments.jobs,
             engine=arguments.engine,
+            policy=arguments.policy,
             use_disk_cache=False,
         )
         print(f'    "{name}": MissRateModel(')
@@ -50,7 +55,8 @@ def main() -> None:
         print(f'    ),')
     print("}")
     print(f"# measured with n_accesses={arguments.n_accesses}, seed=1, "
-          f"engine={arguments.engine}, in {time.time()-t0:.0f}s")
+          f"engine={arguments.engine}, policy={arguments.policy}, "
+          f"in {time.time()-t0:.0f}s")
 
 
 if __name__ == "__main__":

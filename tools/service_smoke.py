@@ -13,6 +13,8 @@ port file, then asserts the service contract:
   positive and ``evaluate_grid_calls_per_request < 1``),
 * malformed and out-of-range bodies get structured 4xx envelopes and the
   daemon stays alive,
+* a small FIFO-policy calibration job round-trips: the snapshot and
+  result carry the policy label and the curves come back non-empty,
 * SIGTERM produces a graceful exit (code 0, jobs drained).
 
 ``--in-process`` runs the same checks against an in-process server (no
@@ -138,6 +140,23 @@ def check_service(host: str, port: int) -> None:
         _fail("daemon unhealthy after malformed-input barrage")
     print(f"  validation: {len(bad_bodies)} malformed bodies -> structured "
           f"4xx, daemon alive")
+
+    # A non-LRU calibration job must round-trip with its policy label.
+    job = client.calibrate(workload="spec2000", n_accesses=20_000,
+                           policy="fifo", l1_grid_kb=[4, 8],
+                           l2_grid_kb=[128])
+    done = client.wait_for_job(job["job_id"], timeout=120)
+    if done.get("status") != "done":
+        _fail(f"fifo calibration job ended {done.get('status')!r}: {done}")
+    if done.get("policy") != "fifo":
+        _fail(f"job snapshot lost its policy label: {done}")
+    result = done.get("result", {})
+    if result.get("policy") != "fifo":
+        _fail(f"calibration result lost its policy label: {result}")
+    if not result.get("l1_curve") or not result.get("l2_curve"):
+        _fail(f"fifo calibration returned empty curves: {result}")
+    print(f"  calibrate: fifo job done, policy label on snapshot and "
+          f"result, {len(result['l1_curve'])}-point L1 curve")
     client.close()
 
 
