@@ -29,6 +29,10 @@ or the authors' simulator, so this package builds the equivalent pipeline:
 * :mod:`~repro.archsim.stackdist` — Mattson stack-distance profiling in
   O(n log n) (vectorized offline + streaming Fenwick engines; one pass
   predicts the whole miss-rate-vs-size curve);
+* :mod:`~repro.archsim.setdist` — the per-set generalisation: one
+  contraction-cascade pass answers every set-associative (size, assoc)
+  LRU point exactly, the engine behind ``estimator="setdist"``
+  calibration;
 * :mod:`~repro.archsim.amat` — average memory access time.
 """
 
@@ -74,6 +78,11 @@ from repro.archsim.missmodel import (
     calibrated_miss_model,
     measure_miss_model,
 )
+from repro.archsim.setdist import (
+    SetDistanceProfile,
+    per_set_profiles,
+    two_level_profiles,
+)
 from repro.archsim.stackdist import (
     FenwickTree,
     OlkenProfiler,
@@ -118,5 +127,8 @@ __all__ = [
     "stack_distance_profile",
     "FenwickTree",
     "OlkenProfiler",
+    "SetDistanceProfile",
+    "per_set_profiles",
+    "two_level_profiles",
     "amat_two_level",
 ]

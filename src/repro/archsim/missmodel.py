@@ -119,11 +119,12 @@ class MissRateModel:
 
 
 #: Bump when measurement semantics change: it is folded into the disk
-#: fingerprint, so stale cached curves can never be served.  Format 5:
-#: replacement policy joins the fingerprint and
-#: :func:`repro.perf.make_fingerprint` canonicalises its parts (numpy
-#: scalars no longer fork keys), both of which re-key every entry.
-_CALIBRATION_FORMAT = 5
+#: fingerprint, so stale cached curves can never be served.  Format 6:
+#: the ``"setdist"`` estimator joins the estimator axis (exact per-set
+#: Mattson profiling, bit-identical to the grid path for LRU), re-keying
+#: every entry.  Format 5 added the replacement policy and canonical
+#: fingerprint parts.
+_CALIBRATION_FORMAT = 6
 
 #: Replacement policies the calibration engines support.
 _POLICIES = ("lru", "fifo", "random")
@@ -374,6 +375,98 @@ def _stackdist_estimate(
     )
 
 
+def _reference_sets(level: str, kb: int) -> int:
+    """Set count of one grid point on its level's reference shape."""
+    block, assoc = (
+        (REFERENCE_L1_BLOCK, REFERENCE_L1_ASSOC)
+        if level == "l1"
+        else (REFERENCE_L2_BLOCK, REFERENCE_L2_ASSOC)
+    )
+    size_bytes = kb * 1024
+    sets = size_bytes // (block * assoc)
+    if sets < 1 or sets * block * assoc != size_bytes:
+        raise SimulationError(
+            f"{level} size {kb} KiB does not divide into {assoc}-way "
+            f"{block}-byte sets"
+        )
+    return sets
+
+
+def _setdist_rates(
+    points: Sequence[Tuple[str, int]], trace
+) -> List[float]:
+    """Exact LRU rates for every (level, size) point in one per-set pass.
+
+    The per-set Mattson profiler (:mod:`repro.archsim.setdist`) turns
+    each point into a ``(n_sets, assoc)`` lookup on its level's
+    reference shape: one contraction cascade over the trace covers the
+    whole L1 grid, the reference L1's miss + dirty write-back stream is
+    replayed exactly through a second cascade for the L2 grid, and every
+    rate is bit-identical to :func:`_multiconfig_rates` under LRU — at a
+    cost that is independent of how many grid points are requested.
+    """
+    from repro.archsim.setdist import two_level_profiles
+
+    sets_for = {point: _reference_sets(*point) for point in points}
+    l1_set_counts = sorted(
+        {sets for (level, _), sets in sets_for.items() if level == "l1"}
+    )
+    l2_set_counts = sorted(
+        {sets for (level, _), sets in sets_for.items() if level == "l2"}
+    )
+    l1_profiles, l2_profiles = two_level_profiles(
+        trace,
+        l1_set_counts=l1_set_counts,
+        l2_set_counts=l2_set_counts,
+        ref_sets=_reference_sets("l1", REFERENCE_L1_KB),
+        ref_assoc=REFERENCE_L1_ASSOC,
+        l1_block_bytes=REFERENCE_L1_BLOCK,
+        l2_block_bytes=REFERENCE_L2_BLOCK,
+        l1_depth_cap=REFERENCE_L1_ASSOC,
+        l2_depth_cap=REFERENCE_L2_ASSOC,
+        l1_min_assoc=REFERENCE_L1_ASSOC,
+        l2_min_assoc=REFERENCE_L2_ASSOC,
+    )
+    return [
+        l1_profiles[sets_for[point]].miss_rate(REFERENCE_L1_ASSOC)
+        if point[0] == "l1"
+        else l2_profiles[sets_for[point]].miss_rate(REFERENCE_L2_ASSOC)
+        for point in points
+    ]
+
+
+def _setdist_estimate(
+    spec: WorkloadSpec,
+    n_accesses: int,
+    seed: int,
+    l1_grid_kb: Sequence[int],
+    l2_grid_kb: Sequence[int],
+) -> MissRateModel:
+    """Measure both curves exactly with the per-set Mattson profiler.
+
+    Unlike :func:`_stackdist_estimate` this is not an approximation:
+    per-set stack distances answer the real set-associative reference
+    shapes, so the curves are bit-identical to the grid estimator under
+    LRU while the trace pass costs the same whether the grids hold 12
+    points or 200 (see ``docs/PERFORMANCE.md``).
+    """
+    buffer = synthetic_trace_buffer(
+        spec, n_accesses, seed=seed, block_bytes=64
+    )
+    points: List[Tuple[str, int]] = [("l1", kb) for kb in l1_grid_kb]
+    points += [("l2", kb) for kb in l2_grid_kb]
+    rates = dict(zip(points, _setdist_rates(points, buffer)))
+    return MissRateModel(
+        workload=spec.name,
+        l1_curve=tuple(
+            (kb * 1024, rates[("l1", kb)]) for kb in l1_grid_kb
+        ),
+        l2_curve=tuple(
+            (kb * 1024, rates[("l2", kb)]) for kb in l2_grid_kb
+        ),
+    )
+
+
 def measure_miss_model(
     spec: WorkloadSpec,
     n_accesses: int = 300_000,
@@ -420,34 +513,38 @@ def measure_miss_model(
         only under ``jobs``'s sharding too).
     estimator:
         ``"grid"`` (default) simulates every (level, size) point on the
-        set-associative reference shapes; ``"stackdist"`` derives the
-        whole grid from one stack-distance profile — a fully-associative
-        approximation that is far cheaper (``engine`` and ``jobs`` are
-        then irrelevant) at a quantified accuracy cost (see
-        :func:`_stackdist_estimate`).
+        set-associative reference shapes; ``"setdist"`` answers the same
+        grid exactly — bit-identical curves — from one per-set
+        stack-distance pass whose cost does not grow with the grid (see
+        :func:`_setdist_estimate`); ``"stackdist"`` derives the grid
+        from one fully-associative profile — cheaper still, but an
+        approximation with a quantified accuracy cost (see
+        :func:`_stackdist_estimate`).  ``engine`` and ``jobs`` are
+        irrelevant to both profiling estimators.
     policy:
         Replacement policy at both levels — ``"lru"`` (default),
         ``"fifo"`` or ``"random"``; every engine produces bit-identical
-        curves per policy.  The stackdist estimator is a Mattson
-        stack-algorithm construction, which only models LRU.
+        curves per policy.  The stackdist and setdist estimators are
+        Mattson stack-algorithm constructions, which only model LRU.
     """
     if engine not in ("multiconfig", "array", "object"):
         raise SimulationError(
             f"unknown engine {engine!r}; expected 'multiconfig', "
             f"'array' or 'object'"
         )
-    if estimator not in ("grid", "stackdist"):
+    if estimator not in ("grid", "stackdist", "setdist"):
         raise SimulationError(
-            f"unknown estimator {estimator!r}; expected 'grid' or 'stackdist'"
+            f"unknown estimator {estimator!r}; expected 'grid', "
+            f"'stackdist' or 'setdist'"
         )
     if policy not in _POLICIES:
         raise SimulationError(
             f"unknown replacement policy {policy!r}; expected one of "
             f"{_POLICIES}"
         )
-    if estimator == "stackdist" and policy != "lru":
+    if estimator != "grid" and policy != "lru":
         raise SimulationError(
-            "estimator='stackdist' models LRU only (Mattson stack "
+            f"estimator={estimator!r} models LRU only (Mattson stack "
             f"distances have no meaning under {policy!r}); use the grid "
             "estimator for non-LRU policies"
         )
@@ -473,8 +570,12 @@ def measure_miss_model(
                 ),
             )
 
-    if estimator == "stackdist":
-        model = _stackdist_estimate(
+    if estimator in ("stackdist", "setdist"):
+        estimate = (
+            _stackdist_estimate if estimator == "stackdist"
+            else _setdist_estimate
+        )
+        model = estimate(
             spec, n_accesses, seed, l1_grid_kb, l2_grid_kb
         )
         if cache is not None:
@@ -700,16 +801,33 @@ POLICY_CALIBRATION_ACCESSES = 300_000
 #: (workload, policy).  LRU stays in :data:`CALIBRATED_TABLES`.
 _POLICY_TABLES: Dict[Tuple[str, str], MissRateModel] = {}
 
+#: Trace length for on-demand non-grid-estimator calibrations — matches
+#: the committed tables' provenance (2 M accesses, seed 1), so the
+#: setdist curves are the exact unrounded values behind
+#: :data:`CALIBRATED_TABLES`.
+ESTIMATOR_CALIBRATION_ACCESSES = 2_000_000
+
+#: In-process memo of on-demand estimator calibrations, keyed by
+#: (workload, estimator).  The grid estimator stays in
+#: :data:`CALIBRATED_TABLES`.
+_ESTIMATOR_TABLES: Dict[Tuple[str, str], MissRateModel] = {}
+
 
 def calibrated_miss_model(
-    workload: str = "spec2000", policy: str = "lru"
+    workload: str = "spec2000",
+    policy: str = "lru",
+    estimator: str = "grid",
 ) -> MissRateModel:
     """Return the pre-measured model for a standard workload.
 
-    LRU (the default) serves the committed :data:`CALIBRATED_TABLES`;
-    FIFO and random measure on demand at
+    LRU with the grid estimator (the default) serves the committed
+    :data:`CALIBRATED_TABLES`; FIFO and random measure on demand at
     :data:`POLICY_CALIBRATION_ACCESSES` accesses, memoised in-process
-    and on disk.  Falls back to a live measurement if the LRU table has
+    and on disk.  ``estimator="setdist"`` (or ``"stackdist"``) measures
+    on demand with that estimator at
+    :data:`ESTIMATOR_CALIBRATION_ACCESSES` accesses (LRU only; setdist
+    matches the grid tables bit-for-bit before their 5-decimal
+    rounding).  Falls back to a live measurement if the LRU table has
     not been populated for that workload (slower, but always available).
     """
     if policy not in _POLICIES:
@@ -717,6 +835,32 @@ def calibrated_miss_model(
             f"unknown replacement policy {policy!r}; expected one of "
             f"{_POLICIES}"
         )
+    if estimator not in ("grid", "stackdist", "setdist"):
+        raise SimulationError(
+            f"unknown estimator {estimator!r}; expected 'grid', "
+            f"'stackdist' or 'setdist'"
+        )
+    if estimator != "grid":
+        if policy != "lru":
+            raise SimulationError(
+                f"estimator={estimator!r} models LRU only; use the grid "
+                "estimator for non-LRU policies"
+            )
+        if workload not in STANDARD_WORKLOADS:
+            raise SimulationError(
+                f"unknown workload {workload!r}; expected one of "
+                f"{sorted(STANDARD_WORKLOADS)}"
+            )
+        key = (workload, estimator)
+        model = _ESTIMATOR_TABLES.get(key)
+        if model is None:
+            model = measure_miss_model(
+                STANDARD_WORKLOADS[workload],
+                n_accesses=ESTIMATOR_CALIBRATION_ACCESSES,
+                estimator=estimator,
+            )
+            _ESTIMATOR_TABLES[key] = model
+        return model
     if policy != "lru":
         if workload not in STANDARD_WORKLOADS:
             raise SimulationError(

@@ -1,0 +1,717 @@
+"""Per-set Mattson profiling: exact LRU grids from one trace pass.
+
+Mattson's inclusion property holds *per cache set*: under LRU, an access
+hits a ``(n_sets, associativity)`` cache iff its reuse distance measured
+inside its own set is below the associativity.  One pass that maintains
+per-set LRU depth histograms therefore answers every ``(size, assoc)``
+point sharing a set geometry exactly — no fully-associative
+approximation, miss counts bit-identical to
+:class:`~repro.archsim.setassoc.ArraySetAssociativeCache`.
+
+The sweep is organised as a *contraction cascade* over the requested set
+counts (ascending powers of two, i.e. successive refinements of the set
+partition):
+
+* Each level re-sorts the surviving events into set-major order (stable
+  sort by set index) and *contracts* runs of the same block: an event
+  adjacent to its own block in set-major order has per-set depth 0 at
+  this and every finer level, so it is merged away (write flags OR into
+  the run head).  Event counts shrink monotonically as sets refine, so
+  the marginal cost of an extra grid level decays — a dense ~200-point
+  grid costs barely more than the 12-point reference grid.
+* Depth histograms are then evaluated *fine -> coarse* with a backward
+  overflow carry: per-set depth is monotone non-decreasing as sets
+  coarsen, so an event that already saturated the depth cap at a finer
+  level is binned at the cap without rescanning.  In practice >99% of
+  deep windows stay saturated, which removes almost all wide scans at
+  the coarse levels.
+* Residual window scans run on contiguous rows of a
+  ``sliding_window_view`` over the (padded) predecessor array with a
+  doubling width schedule — no per-lane index matrices.
+
+Two-level grids replay the reference L1 exactly: the L1 miss and dirty
+write-back event stream at the reference geometry is reconstructed in
+closed form from the per-set predecessor structure (valid for reference
+associativity 1 or 2, where hit depth has a closed form on contracted
+streams) and pushed through a second cascade at the L2 block size.
+
+Entry points: :func:`per_set_profiles` (one level, one block size) and
+:func:`two_level_profiles` (L1 grid + L2 grid behind the reference L1).
+Results come back as :class:`SetDistanceProfile` objects whose
+``miss_count``/``miss_rate`` answer any associativity in the profiled
+range from a cached cumulative tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.units import is_power_of_two
+from repro.archsim.trace import TraceLike, as_buffer
+
+__all__ = [
+    "SetDistanceProfile",
+    "per_set_profiles",
+    "two_level_profiles",
+]
+
+#: Width of the first residual-scan round (lanes per query).
+_SCAN_WIDTH = 16
+
+#: Maximum scan width; doubling rounds stop growing here.
+_MAX_SCAN_WIDTH = 512
+
+#: Padding past the layout end so sliding-window rows of exhausting
+#: queries stay in bounds (>= the maximum scan width).
+_PAD = _MAX_SCAN_WIDTH + 8
+
+#: Depth histograms are stored as int8 during evaluation.
+_DEPTH_CAP_LIMIT = 127
+
+
+# --------------------------------------------------------------------------
+# results
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SetDistanceProfile:
+    """Exact per-set LRU depth histogram for one (block_bytes, n_sets).
+
+    ``depth_counts[k]`` counts accesses whose per-set LRU stack depth is
+    exactly ``k`` for ``k < depth_cap``; ``depth_counts[depth_cap]``
+    lumps every depth >= ``depth_cap``; cold (first-touch) accesses are
+    tracked separately.  When the profile was built with ``min_assoc >
+    1`` the profiler skips windows that provably hit at every requested
+    associativity, so counts below ``min_assoc`` are partial and miss
+    counts are only defined for associativities in
+    ``[min_assoc, depth_cap]``.
+    """
+
+    block_bytes: int
+    n_sets: int
+    depth_cap: int
+    min_assoc: int
+    cold_misses: int
+    total_accesses: int
+    depth_counts: Tuple[int, ...]
+
+    def _tail(self) -> np.ndarray:
+        """tail[k] = number of accesses with depth >= k (cached)."""
+        cache = getattr(self, "_tail_cache", None)
+        if cache is None:
+            counts = np.asarray(self.depth_counts[::-1], dtype=np.int64)
+            cache = np.cumsum(counts)[::-1]
+            object.__setattr__(self, "_tail_cache", cache)
+        return cache
+
+    def miss_count(self, associativity: int) -> int:
+        """Exact LRU miss count at ``(n_sets, associativity)``."""
+        if not self.min_assoc <= associativity <= self.depth_cap:
+            raise SimulationError(
+                f"associativity {associativity} outside the profiled "
+                f"range [{self.min_assoc}, {self.depth_cap}] "
+                f"(n_sets={self.n_sets})"
+            )
+        return self.cold_misses + int(self._tail()[associativity])
+
+    def miss_rate(self, associativity: int) -> float:
+        """Exact LRU miss rate at ``(n_sets, associativity)``."""
+        if self.total_accesses == 0:
+            return 0.0
+        return self.miss_count(associativity) / self.total_accesses
+
+    def size_bytes(self, associativity: int) -> int:
+        """Capacity of the cache this (n_sets, assoc) point describes."""
+        return self.n_sets * associativity * self.block_bytes
+
+
+# --------------------------------------------------------------------------
+# validation
+# --------------------------------------------------------------------------
+
+
+def _require_power_of_two(value, label: str) -> int:
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise SimulationError(f"{label} must be an int, got {value!r}")
+    value = int(value)
+    if not is_power_of_two(value):
+        raise SimulationError(
+            f"{label} must be a positive power of two, got {value}"
+        )
+    return value
+
+
+def _normalize_set_counts(set_counts, label: str) -> List[int]:
+    levels = sorted({
+        _require_power_of_two(count, f"{label} entry") for count in set_counts
+    })
+    if not levels:
+        raise SimulationError(f"{label} must name at least one set count")
+    return levels
+
+
+def _validate_depths(depth_cap: int, min_assoc: int, label: str) -> None:
+    if not 1 <= depth_cap <= _DEPTH_CAP_LIMIT:
+        raise SimulationError(
+            f"{label} depth_cap must be in [1, {_DEPTH_CAP_LIMIT}], "
+            f"got {depth_cap}"
+        )
+    if not 1 <= min_assoc <= depth_cap:
+        raise SimulationError(
+            f"{label} min_assoc must be in [1, depth_cap={depth_cap}], "
+            f"got {min_assoc}"
+        )
+
+
+# --------------------------------------------------------------------------
+# kernels
+# --------------------------------------------------------------------------
+
+
+def _argsort2(x: np.ndarray) -> np.ndarray:
+    """Stable argsort of non-negative int32 via two 16-bit radix passes."""
+    lo = (x & np.int32(0xFFFF)).astype(np.uint16)
+    o1 = np.argsort(lo, kind="stable").astype(np.int32)
+    hi = (x >> np.int32(16)).astype(np.uint16)[o1]
+    o2 = np.argsort(hi, kind="stable").astype(np.int32)
+    return o1[o2]
+
+
+def _set_key(blocks: np.ndarray, n_sets: int) -> np.ndarray:
+    """Per-level sort key: the set index, in the narrowest useful dtype."""
+    if n_sets == 1:
+        return np.zeros(blocks.size, np.uint8)
+    if blocks.dtype == np.uint16:
+        # carry is already masked to the finest geometry's set bits
+        return blocks & np.uint16(n_sets - 1)
+    sets = blocks & blocks.dtype.type(n_sets - 1)
+    if n_sets <= 256:
+        return sets.astype(np.uint8)
+    if n_sets <= 65536:
+        return sets.astype(np.uint16)
+    return sets.astype(np.int32)
+
+
+def _contract(bb: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Run-start mask + indices for a set-major layout."""
+    rs = np.empty(bb.size, bool)
+    rs[0] = True
+    np.not_equal(bb[1:], bb[:-1], out=rs[1:])
+    starts = np.flatnonzero(rs).astype(np.int32)
+    return rs, starts
+
+
+def _scan(prev_padded, pm, wm, cap, width):
+    """Capped window-first counts via contiguous sliding windows.
+
+    Window lanes are contiguous in the layout, so each round gathers
+    *rows* of a sliding_window_view — no per-lane index matrix.  Rows
+    that cannot exhaust their window this round need no validity mask;
+    exhausting rows read into the pad / foreign lanes, which the mask
+    discards.
+    """
+    nq = pm.size
+    cnt = np.zeros(nq, np.int32)
+    live = np.arange(nq, dtype=np.int32)
+    out = np.empty(nq, np.int32)
+    base = pm + np.int32(1)
+    start = 0  # uniform: every survivor has scanned the same widths
+    while live.size:
+        swv = np.lib.stride_tricks.sliding_window_view(prev_padded, width)
+        rows = swv[base + np.int32(start)]
+        hit = rows <= pm[:, None]
+        exhaust = wm <= np.int32(start + width)
+        if exhaust.any():
+            # lanes past the window read pad/foreign values: mask them
+            ex = np.flatnonzero(exhaust)
+            offs = np.arange(start, start + width, dtype=np.int32)
+            hit[ex] &= offs[None, :] < wm[ex, None]
+        cnt = cnt + hit.sum(axis=1, dtype=np.int32)
+        start += width
+        done = (cnt >= cap) | exhaust
+        out[live[done]] = cnt[done]
+        keep = ~done
+        live = live[keep]
+        pm = pm[keep]
+        wm = wm[keep]
+        base = base[keep]
+        cnt = cnt[keep]
+        width = min(width * 2, _MAX_SCAN_WIDTH)
+    return np.minimum(out, np.int32(cap)).astype(np.int8)
+
+
+def _level_bins(prev, prev_padded, hints, amin, cap):
+    """Depth histogram for one level with backward overflow carry.
+
+    ``hints`` marks events whose depth at the next-finer set count
+    already reached ``cap``; depth only grows as sets coarsen, so those
+    are binned at ``cap`` without rescanning.  Returns ``(bins,
+    overflow)`` where ``bins[k]`` counts evaluated queries of depth
+    exactly ``k`` (k < cap) and ``bins[cap]`` counts depth >= cap;
+    ``overflow`` flags events with depth >= cap for the next-coarser
+    level.
+    """
+    q = np.flatnonzero(prev >= 0).astype(np.int32)
+    ov = np.zeros(prev.size, bool)
+    n_ov = 0
+    if hints is not None:
+        hq = hints[q]
+        if hq.any():
+            qo = q[hq]
+            ov[qo] = True
+            n_ov = qo.size
+            q = q[~hq]
+    p = prev[q]
+    w = q - p - np.int32(1)
+    if amin > 1:
+        # w < amin proves depth < amin: a hit at every requested assoc
+        keepm = w >= np.int32(amin)
+        q = q[keepm]
+        p = p[keepm]
+        w = w[keepm]
+    d = np.empty(q.size, np.int8)
+    if cap == 1:
+        # every surviving (non-contracted) reuse has depth >= 1
+        d[:] = 1
+    elif cap == 2:
+        # contracted stream: w == 1 <=> d == 1, w >= 2 => d >= 2
+        d[:] = 1
+        d[w >= 2] = 2
+    else:
+        d[:] = 1
+        d[w == 2] = 2
+        m3 = np.flatnonzero(w == 3)
+        if m3.size:
+            d[m3] = np.int8(2) + (prev[q[m3] - 1] <= p[m3]).view(np.int8)
+        mg = np.flatnonzero(w >= 4)
+        if mg.size:
+            if cap > 8:
+                # shallow windows exhaust in one 16-wide round; only
+                # windows wider than that need the doubled schedule
+                sm = w[mg] <= np.int32(_SCAN_WIDTH)
+                for sel, width in (
+                    (mg[sm], _SCAN_WIDTH),
+                    (mg[~sm], 2 * _SCAN_WIDTH),
+                ):
+                    if sel.size:
+                        d[sel] = _scan(prev_padded, p[sel], w[sel], cap, width)
+            else:
+                d[mg] = _scan(prev_padded, p[mg], w[mg], cap, _SCAN_WIDTH)
+    bins = np.bincount(d.astype(np.int64), minlength=cap + 1)
+    bins[cap] += n_ov
+    ov[q[d == np.int8(cap)]] = True
+    return bins, ov
+
+
+class _Cascade:
+    """Contraction cascade over one block size.
+
+    ``advance()`` refines the set-major layout level by level (coarse ->
+    fine) and snapshots each level; ``grid_bins()`` then walks the
+    snapshots fine -> coarse so overflow carries backward (depth is
+    monotone non-decreasing under set coarsening).
+    """
+
+    def __init__(self, blocks, n_total, *, aw=None, t=None, rank=None,
+                 ref_sets=None):
+        self.b = blocks          # true block ids (set bits live here)
+        self.rank = rank         # dense equality key (or None -> use b)
+        self.aw = aw             # uint8 run-ORed write flags
+        self.t = t               # original positions (for event ordering)
+        self.prev = None
+        self._pbuf = None
+        self.ob = None           # block-grouped order (kept to ref level)
+        self.n_total = n_total   # raw accesses incl. contracted-away
+        self.cold = 0
+        self.ref_sets = ref_sets
+        self.ref = None          # (b, aw, t, prev, ob) at the ref level
+        self.states = []         # (n_sets, prev, pbuf, osel-into-parent)
+
+    def _eq(self):
+        return self.b if self.rank is None else self.rank
+
+    def advance(self, n_sets):
+        """Refine the layout to ``n_sets``, contract, maintain prev."""
+        key = _set_key(self.b, n_sets)
+        order = np.argsort(key, kind="stable").astype(np.int32)
+        eq = self._eq()
+        bb = eq[order]
+        rs, starts = _contract(bb)
+        osel = order[starts]
+        first = self.prev is None
+        n_new = starts.size
+        if not first:
+            n_old = order.size
+            # sentinel slot: po == -1 gathers inv[-1] -> n_old -> rid[-1] == -1
+            inv = np.empty(n_old + 1, np.int32)
+            inv[order] = np.arange(n_old, dtype=np.int32)
+            inv[n_old] = n_old
+            rid = np.empty(n_old + 1, np.int32)
+            np.cumsum(rs, dtype=np.int32, out=rid[:n_old])
+            rid[:n_old] -= np.int32(1)
+            rid[n_old] = -1
+            po = self.prev[osel]
+            pbuf = np.empty(n_new + _PAD, np.int32)
+            pbuf[n_new:] = n_new  # pad lanes are masked; value is arbitrary
+            pbuf[:n_new] = rid[inv[po]]
+            prev2 = pbuf[:n_new]
+            if self.ob is not None:
+                sm = np.zeros(order.size, bool)
+                sm[osel] = True
+                ni = np.empty(order.size, np.int32)
+                ni[osel] = np.arange(n_new, dtype=np.int32)
+                self.ob = ni[self.ob[sm[self.ob]]]
+        self.b = self.b[osel]
+        if self.rank is not None:
+            self.rank = bb[starts]
+        if self.aw is not None:
+            self.aw = np.maximum.reduceat(self.aw[order], starts)
+        if self.t is not None:
+            self.t = self.t[osel]
+        if first:
+            eq2 = self._eq()
+            if eq2.dtype == np.int32:
+                ob = _argsort2(eq2)
+            else:
+                ob = np.argsort(eq2, kind="stable").astype(np.int32)
+            same = eq2[ob[1:]] == eq2[ob[:-1]]
+            pbuf = np.full(n_new + _PAD, -1, np.int32)
+            pbuf[n_new:] = n_new
+            prev2 = pbuf[:n_new]
+            prev2[ob[1:][same]] = ob[:-1][same]
+            self.ob = ob
+            self.cold = int((prev2 < 0).sum())
+        self.prev = prev2
+        self._pbuf = pbuf
+        self.states.append((n_sets, prev2, pbuf, None if first else osel))
+        if self.ref_sets == n_sets:
+            self.ref = (self.b, self.aw, self.t, self.prev, self.ob)
+            self.aw = None
+            self.t = None
+            self.ob = None
+
+    def grid_bins(self, amin, cap):
+        """Per-level depth histograms, evaluated fine -> coarse."""
+        out = {}
+        child_ov = None
+        states = self.states
+        for i in range(len(states) - 1, -1, -1):
+            level, prev, pbuf, _ = states[i]
+            hints = None
+            if child_ov is not None:
+                cosel = states[i + 1][3]
+                hints = np.zeros(prev.size, bool)
+                hints[cosel] = child_ov
+            bins, child_ov = _level_bins(prev, pbuf, hints, amin, cap)
+            out[level] = bins
+        return out
+
+
+# --------------------------------------------------------------------------
+# trace plumbing
+# --------------------------------------------------------------------------
+
+
+def _compress(addresses, is_write, block_bytes):
+    """Block-align + drop adjacent same-block repeats (depth-0 reuses).
+
+    Returns ``(blocks, any_write, positions)`` where ``any_write`` is
+    the run-OR of write flags (uint8, None when ``is_write`` is None)
+    and ``positions`` indexes the run heads in the raw trace.
+    """
+    shift = block_bytes.bit_length() - 1
+    b_all = addresses >> np.int64(shift)
+    if int(b_all.max()) <= np.iinfo(np.int32).max:
+        b_all = b_all.astype(np.int32)
+    keep = np.empty(b_all.size, bool)
+    keep[0] = True
+    np.not_equal(b_all[1:], b_all[:-1], out=keep[1:])
+    kept = np.flatnonzero(keep).astype(np.int32)
+    b = b_all[kept]
+    if is_write is None:
+        return b, None, kept
+    wr = np.asarray(is_write)
+    # run-OR of write flags: one cumsum gather yields both run boundaries
+    # (int32 is safe: the engine indexes the trace with int32 throughout)
+    cw = np.cumsum(wr, dtype=np.int32)
+    g = np.empty(kept.size + 1, np.int32)
+    g[0] = 0
+    g[1:-1] = cw[kept[1:] - np.int32(1)]
+    g[-1] = cw[-1]
+    aw = (np.diff(g) > 0).view(np.uint8)
+    return b, aw, kept
+
+
+def _empty_profile(block_bytes, n_sets, depth_cap, min_assoc):
+    return SetDistanceProfile(
+        block_bytes=block_bytes,
+        n_sets=n_sets,
+        depth_cap=depth_cap,
+        min_assoc=min_assoc,
+        cold_misses=0,
+        total_accesses=0,
+        depth_counts=(0,) * (depth_cap + 1),
+    )
+
+
+def _profiles_from_cascade(cascade, bins_by_level, block_bytes, depth_cap,
+                           min_assoc):
+    events = {level: prev.size for level, prev, _, _ in cascade.states}
+    profiles = {}
+    for level, bins in bins_by_level.items():
+        counts = [0] * (depth_cap + 1)
+        # events contracted away at (or before) this level have depth 0
+        counts[0] = cascade.n_total - events[level]
+        for k in range(1, depth_cap + 1):
+            counts[k] = int(bins[k])
+        profiles[level] = SetDistanceProfile(
+            block_bytes=block_bytes,
+            n_sets=level,
+            depth_cap=depth_cap,
+            min_assoc=min_assoc,
+            cold_misses=cascade.cold,
+            total_accesses=cascade.n_total,
+            depth_counts=tuple(counts),
+        )
+    return profiles
+
+
+# --------------------------------------------------------------------------
+# public entry points
+# --------------------------------------------------------------------------
+
+
+def per_set_profiles(
+    trace: TraceLike,
+    *,
+    set_counts: Sequence[int],
+    block_bytes: int = 64,
+    depth_cap: int,
+    min_assoc: int = 1,
+) -> Dict[int, SetDistanceProfile]:
+    """Per-set LRU depth profiles for every requested set count.
+
+    One pass over the trace answers the exact LRU miss count of every
+    ``(n_sets, associativity)`` cache with ``n_sets`` in ``set_counts``
+    and associativity in ``[min_assoc, depth_cap]`` — bit-identical to
+    simulating each point.  ``set_counts`` entries must be powers of two
+    (``1`` profiles a fully-associative cache); ``min_assoc > 1``
+    skips provably-hitting windows for speed at the cost of the shallow
+    histogram entries.
+    """
+    block_bytes = _require_power_of_two(block_bytes, "block_bytes")
+    levels = _normalize_set_counts(set_counts, "set_counts")
+    _validate_depths(depth_cap, min_assoc, "per_set_profiles")
+    buffer = as_buffer(trace)
+    n = buffer.addresses.size
+    if n == 0:
+        return {
+            level: _empty_profile(block_bytes, level, depth_cap, min_assoc)
+            for level in levels
+        }
+    blocks, _, _ = _compress(buffer.addresses, None, block_bytes)
+    cascade = _Cascade(blocks, n)
+    for level in levels:
+        cascade.advance(level)
+    bins = cascade.grid_bins(min_assoc, depth_cap)
+    return _profiles_from_cascade(
+        cascade, bins, block_bytes, depth_cap, min_assoc
+    )
+
+
+def _ref_event_stream(cascade, ref_sets, ref_assoc, ratio_shift):
+    """Reconstruct the reference-L1 miss + write-back stream in order.
+
+    Works on the snapshot captured at the reference level.  On a
+    contracted stream the reference hit/miss outcome has a closed form
+    for associativity 1 (every surviving reuse misses) and 2 (window
+    width >= 2 iff depth >= 2); the victim of a miss in a full set is
+    the block of the event ``ref_assoc`` positions back in set-major
+    order, and its dirtiness at eviction is the per-block dirty state
+    after that event.  Returns ``(stream_blocks, stream_ranks, total)``
+    where blocks are L2-sized (shifted by ``ratio_shift``) and ranks
+    are a dense equality key.
+    """
+    b2, aw2, t2, prev2, ob = cascade.ref
+    n2 = b2.size
+    dt = b2.dtype.type
+    q = np.flatnonzero(prev2 >= 0).astype(np.int32)
+    w = q - prev2[q] - np.int32(1)
+    miss_mask = prev2 < 0
+    miss_mask[q[w >= np.int32(ref_assoc)]] = True
+    # per-set occupancy before each event == colds seen so far in the set
+    sets2 = b2 & dt(ref_sets - 1)
+    newset = np.empty(n2, bool)
+    newset[0] = True
+    np.not_equal(sets2[1:], sets2[:-1], out=newset[1:])
+    colds = prev2 < 0
+    cs = np.cumsum(colds, dtype=np.int32)
+    set_starts = np.flatnonzero(newset).astype(np.int32)
+    base = cs[set_starts] - colds[set_starts]
+    sizes = np.diff(np.append(set_starts, np.int32(n2)))
+    occ_before = cs - colds.view(np.int8) - np.repeat(base, sizes)
+    # per-block dirty-after: segmented running max of 2*fills + writes
+    seg = np.cumsum(miss_mask[ob], dtype=np.int32)
+    val = seg * np.int32(2) + aw2[ob]
+    acc = np.maximum.accumulate(val)
+    dirty_after = np.empty(n2, bool)
+    dirty_after[ob] = (acc & 1).astype(bool)
+    # dense L2-block ranks from the block-grouped order
+    b64s = b2[ob] >> dt(ratio_shift)
+    nb = np.empty(n2, bool)
+    nb[0] = True
+    np.not_equal(b64s[1:], b64s[:-1], out=nb[1:])
+    r64 = np.empty(n2, np.int32)
+    r64[ob] = np.cumsum(nb, dtype=np.int32) - np.int32(1)
+    n64 = int(r64.max()) + 1
+
+    miss_idx = np.flatnonzero(miss_mask).astype(np.int32)
+    evict = occ_before[miss_idx] >= np.int32(ref_assoc)
+    wb_flag = np.zeros(miss_idx.size, bool)
+    ev = miss_idx[evict]
+    wb_flag[evict] = dirty_after[ev - np.int32(ref_assoc)]
+    order = _argsort2(t2[miss_idx])
+    miss_sorted = miss_idx[order]
+    wb_sorted = wb_flag[order]
+    nmiss = miss_sorted.size
+    shift = np.cumsum(wb_sorted, dtype=np.int32)
+    # each write-back lands immediately before the miss that evicts it
+    pos_demand = np.arange(nmiss, dtype=np.int32) + shift
+    total = nmiss + int(shift[-1]) if nmiss else 0
+    stream_b = np.empty(total, b2.dtype)
+    stream_r = np.empty(total, np.int32)
+    stream_b[pos_demand] = b2[miss_sorted] >> dt(ratio_shift)
+    stream_r[pos_demand] = r64[miss_sorted]
+    wb_pos = pos_demand[wb_sorted] - 1
+    victims = miss_sorted[wb_sorted] - np.int32(ref_assoc)
+    stream_b[wb_pos] = b2[victims] >> dt(ratio_shift)
+    stream_r[wb_pos] = r64[victims]
+    if n64 <= 65535:
+        stream_r = stream_r.astype(np.uint16)
+    return stream_b, stream_r, total
+
+
+def two_level_profiles(
+    trace: TraceLike,
+    *,
+    l1_set_counts: Sequence[int],
+    l2_set_counts: Sequence[int],
+    ref_sets: int,
+    ref_assoc: int = 2,
+    l1_block_bytes: int = 32,
+    l2_block_bytes: int = 64,
+    l1_depth_cap: int,
+    l2_depth_cap: int,
+    l1_min_assoc: int = 1,
+    l2_min_assoc: int = 1,
+) -> Tuple[Dict[int, SetDistanceProfile], Dict[int, SetDistanceProfile]]:
+    """L1 grid profiles plus L2 grid profiles behind a reference L1.
+
+    The L1 cascade runs at ``l1_block_bytes`` over ``l1_set_counts``
+    (``ref_sets`` is profiled too, whether or not it was requested); the
+    miss + dirty write-back event stream of the reference
+    ``(ref_sets, ref_assoc)`` L1 is then reconstructed exactly and
+    pushed through a second cascade at ``l2_block_bytes`` over
+    ``l2_set_counts``.  L2 profile totals count L2 accesses (demand
+    misses + write-backs), so their ``miss_rate`` is the local L2 miss
+    rate — bit-identical to
+    :class:`~repro.archsim.hierarchy.ArrayTwoLevelHierarchy` under LRU.
+
+    ``ref_assoc`` must be 1 or 2: the replay leans on the closed-form
+    hit depth of contracted streams, which stops at depth 2.
+    """
+    l1_block_bytes = _require_power_of_two(l1_block_bytes, "l1_block_bytes")
+    l2_block_bytes = _require_power_of_two(l2_block_bytes, "l2_block_bytes")
+    if l2_block_bytes < l1_block_bytes:
+        raise SimulationError(
+            f"l2_block_bytes {l2_block_bytes} must be >= l1_block_bytes "
+            f"{l1_block_bytes}"
+        )
+    ref_sets = _require_power_of_two(ref_sets, "ref_sets")
+    if ref_assoc not in (1, 2):
+        raise SimulationError(
+            f"two_level_profiles supports reference associativity 1 or 2 "
+            f"(closed-form replay), got {ref_assoc}"
+        )
+    l1_levels = _normalize_set_counts(
+        list(l1_set_counts) + [ref_sets], "l1_set_counts"
+    )
+    l2_requested = list(l2_set_counts)
+    l2_levels = (
+        _normalize_set_counts(l2_requested, "l2_set_counts")
+        if l2_requested else []
+    )
+    _validate_depths(l1_depth_cap, l1_min_assoc, "l1")
+    _validate_depths(l2_depth_cap, l2_min_assoc, "l2")
+    if l1_min_assoc > ref_assoc or ref_assoc > l1_depth_cap:
+        raise SimulationError(
+            f"ref_assoc {ref_assoc} must lie inside the profiled L1 "
+            f"range [{l1_min_assoc}, {l1_depth_cap}]"
+        )
+    ratio_shift = (l2_block_bytes // l1_block_bytes).bit_length() - 1
+
+    buffer = as_buffer(trace)
+    n = buffer.addresses.size
+    if n == 0:
+        l1_profiles = {
+            level: _empty_profile(
+                l1_block_bytes, level, l1_depth_cap, l1_min_assoc
+            )
+            for level in l1_levels
+        }
+        l2_profiles = {
+            level: _empty_profile(
+                l2_block_bytes, level, l2_depth_cap, l2_min_assoc
+            )
+            for level in l2_levels
+        }
+        return l1_profiles, l2_profiles
+
+    blocks, aw, kept = _compress(
+        buffer.addresses, buffer.is_write, l1_block_bytes
+    )
+    cascade = _Cascade(blocks, n, aw=aw, t=kept, ref_sets=ref_sets)
+    for level in l1_levels:
+        cascade.advance(level)
+    l1_bins = cascade.grid_bins(l1_min_assoc, l1_depth_cap)
+    l1_profiles = _profiles_from_cascade(
+        cascade, l1_bins, l1_block_bytes, l1_depth_cap, l1_min_assoc
+    )
+    if not l2_levels:
+        return l1_profiles, {}
+
+    stream_b, stream_r, total = _ref_event_stream(
+        cascade, ref_sets, ref_assoc, ratio_shift
+    )
+    if total == 0:
+        return l1_profiles, {
+            level: _empty_profile(
+                l2_block_bytes, level, l2_depth_cap, l2_min_assoc
+            )
+            for level in l2_levels
+        }
+    # contract the event stream once, mask block ids down to the finest
+    # requested set bits (narrow carry), and rank-key equality
+    keep2 = np.empty(total, bool)
+    keep2[0] = True
+    np.not_equal(stream_r[1:], stream_r[:-1], out=keep2[1:])
+    kept2 = np.flatnonzero(keep2).astype(np.int32)
+    max_sets = l2_levels[-1]
+    masked = stream_b[kept2] & stream_b.dtype.type(max_sets - 1)
+    if max_sets <= 65536:
+        carry = masked.astype(np.uint16)
+    else:
+        carry = masked.astype(np.int32)
+    cascade2 = _Cascade(carry, total, rank=stream_r[kept2])
+    for level in l2_levels:
+        cascade2.advance(level)
+    l2_bins = cascade2.grid_bins(l2_min_assoc, l2_depth_cap)
+    l2_profiles = _profiles_from_cascade(
+        cascade2, l2_bins, l2_block_bytes, l2_depth_cap, l2_min_assoc
+    )
+    return l1_profiles, l2_profiles

@@ -35,6 +35,12 @@ Three engines compute the same histogram:
 * ``engine="list"`` — the original O(n·d) LRU-stack scan, kept as the
   independent reference implementation the equivalence tests (and the
   benchmark baseline) run against.
+
+The *per-set* generalisation lives in :mod:`repro.archsim.setdist`
+(re-exported here): Mattson inclusion holds inside each cache set, so
+one contraction-cascade pass keyed by ``(block_bytes, n_sets)`` answers
+every set-associative ``(size, assoc)`` LRU point exactly — the engine
+behind ``estimator="setdist"`` calibration.
 """
 
 from __future__ import annotations
@@ -45,6 +51,11 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.archsim.setdist import (
+    SetDistanceProfile,
+    per_set_profiles,
+    two_level_profiles,
+)
 from repro.archsim.trace import MemoryAccess, TraceLike, as_buffer
 
 
@@ -200,13 +211,25 @@ class OlkenProfiler:
         self._time = 0
 
     def _grow(self, needed: int) -> None:
-        capacity = self._tree.capacity
+        """Grow geometrically; rebuild the tree in O(capacity).
+
+        Capacity at least doubles per overflow, so the total rebuild
+        work over any stream is a geometric series in the final
+        capacity — O(n) — instead of one O(log n) point-add per
+        surviving mark per overflow.  The rebuild seeds the leaf slots
+        with the mark vector and pushes each node's partial sum to its
+        Fenwick parent once.
+        """
+        capacity = max(self._tree.capacity * 2, 16)
         while capacity < needed:
             capacity *= 2
         tree = FenwickTree(capacity)
-        for position, marked in enumerate(self._marks):
-            if marked:
-                tree.add(position, 1)
+        nodes = tree._nodes
+        nodes[1:len(self._marks) + 1] = self._marks
+        for position in range(1, capacity + 1):
+            parent = position + (position & -position)
+            if parent <= capacity:
+                nodes[parent] += nodes[position]
         self._tree = tree
 
     def feed(self, trace: TraceLike) -> "OlkenProfiler":

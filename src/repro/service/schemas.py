@@ -491,10 +491,10 @@ def parse_calibrate(body) -> CalibrateRequest:
             status=413,
         )
     estimator = body.get("estimator", "grid")
-    if estimator not in ("grid", "stackdist"):
+    if estimator not in ("grid", "stackdist", "setdist"):
         raise ValidationError(
-            f"unknown estimator {estimator!r}; expected 'grid' or "
-            f"'stackdist'"
+            f"unknown estimator {estimator!r}; expected 'grid', "
+            f"'stackdist' or 'setdist'"
         )
     engine = body.get("engine", "multiconfig")
     if engine not in ("multiconfig", "array", "object"):
@@ -503,9 +503,9 @@ def parse_calibrate(body) -> CalibrateRequest:
             f"or 'object'"
         )
     policy = _policy(body, "calibrate")
-    if estimator == "stackdist" and policy != "lru":
+    if estimator != "grid" and policy != "lru":
         raise ValidationError(
-            "estimator='stackdist' models LRU only; use the grid "
+            f"estimator={estimator!r} models LRU only; use the grid "
             "estimator for non-LRU policies"
         )
     return CalibrateRequest(

@@ -126,3 +126,49 @@ class TestOracleAgainstSimulator:
         assert cache.stats.miss_rate == pytest.approx(
             profile.miss_rate(capacity_blocks)
         )
+
+
+class TestOlkenGrowth:
+    def test_million_distinct_blocks_grow_geometrically(self, monkeypatch):
+        """A tiny capacity_hint must not make growth quadratic.
+
+        Each overflow at least doubles the Fenwick tree and rebuilds it
+        in O(capacity), so 1M distinct blocks starting from a 16-slot
+        tree cost a geometric series of rebuilds — O(n) total leaf work
+        over ~log2(n/16) reallocations — keeping the whole stream at
+        O(n log n).
+        """
+        import numpy as np
+
+        import repro.archsim.stackdist as stackdist
+
+        build_capacities = []
+        real_tree = stackdist.FenwickTree
+
+        class CountingTree(real_tree):
+            def __init__(self, capacity):
+                build_capacities.append(capacity)
+                super().__init__(capacity)
+
+        monkeypatch.setattr(stackdist, "FenwickTree", CountingTree)
+
+        n = 1 << 20
+        profiler = stackdist.OlkenProfiler(block_bytes=64, capacity_hint=16)
+        chunk = 1 << 17
+        for start in range(0, n, chunk):
+            addresses = np.arange(start, start + chunk, dtype=np.int64) * 64
+            profiler.feed(addresses)
+
+        profile = profiler.profile()
+        assert profile.cold_accesses == n
+        assert profile.total_accesses == n
+        assert profile.histogram == {}
+
+        # One build in __init__, then at-least-doubling growth: the
+        # capacity schedule is strictly geometric and short.
+        grown = build_capacities[1:]
+        assert all(b >= 2 * a for a, b in zip(build_capacities, grown))
+        assert len(grown) <= 17  # log2(n / 16) + slack
+        # Total rebuild work is a geometric series in the final
+        # capacity: O(n), not O(n * rebuilds).
+        assert sum(grown) <= 4 * n

@@ -210,6 +210,26 @@ def test_calibrate_job_matches_direct_measurement(client, server):
         assert served_l2[int(size)] == pytest.approx(rate)
 
 
+def test_calibrate_setdist_estimator_matches_grid(client, server):
+    # The per-set Mattson estimator is exact for LRU: the served curves
+    # must be *identical* to the grid estimator's, not just close.
+    job = client.calibrate(workload="tpcc", n_accesses=20_000, seed=3,
+                           estimator="setdist")
+    done = client.wait_for_job(job["job_id"], timeout=180)
+    assert done["status"] == "done"
+    direct = measure_miss_model(
+        STANDARD_WORKLOADS["tpcc"], n_accesses=20_000, seed=3,
+        estimator="grid",
+        cache_dir=server.service.config.cache_dir,
+    )
+    served_l1 = {int(size): rate for size, rate in done["result"]["l1_curve"]}
+    for size, rate in direct.l1_curve:
+        assert served_l1[int(size)] == rate
+    served_l2 = {int(size): rate for size, rate in done["result"]["l2_curve"]}
+    for size, rate in direct.l2_curve:
+        assert served_l2[int(size)] == rate
+
+
 def test_metrics_shape(client):
     client.healthz()
     payload = client.metrics()

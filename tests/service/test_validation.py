@@ -167,6 +167,17 @@ class TestOtherEndpointValidation:
                              policy="fifo")
         _assert_envelope(caught.value.status, caught.value.envelope, 400)
 
+    def test_calibrate_setdist_rejects_non_lru_policy(self, client):
+        # Per-set Mattson distances have no meaning under non-LRU
+        # replacement: the schema layer must refuse before a job is
+        # queued, for every non-LRU policy.
+        for policy in ("fifo", "random"):
+            with pytest.raises(ServiceError) as caught:
+                client.calibrate(workload="spec2000", estimator="setdist",
+                                 policy=policy)
+            _assert_envelope(caught.value.status, caught.value.envelope, 400)
+            assert "lru" in caught.value.envelope["error"]["message"].lower()
+
     def test_amat_unknown_policy(self, client):
         with pytest.raises(ServiceError) as caught:
             client.amat(workload="spec2000", policy="mru")

@@ -3,7 +3,7 @@
 Run:  PYTHONPATH=src python tools/bench.py --suite archsim   # -> BENCH_2.json
       PYTHONPATH=src python tools/bench.py --suite sweep     # -> BENCH_1.json
       PYTHONPATH=src python tools/bench.py --suite service   # -> BENCH_3.json
-      PYTHONPATH=src python tools/bench.py --suite calib     # -> BENCH_5.json
+      PYTHONPATH=src python tools/bench.py --suite calib     # -> BENCH_6.json
       PYTHONPATH=src python tools/bench.py --smoke           # CI regression gate
 
 Four suites, one per performance PR:
@@ -17,12 +17,17 @@ Four suites, one per performance PR:
   single-sweep latency, a concurrency-8 closed-loop load run (the
   batching acceptance metric is mean evaluate_grid calls per sweep
   request < 1), and a calibration job round trip.
-* ``calib`` (PRs 4/5) — cold grid calibration at 2 M accesses with the
+* ``calib`` (PRs 4/5/6) — cold grid calibration at 2 M accesses with the
   legacy one-simulation-per-point engine vs the batched multi-config
   engine, once per replacement policy (acceptance: >= 5x for LRU,
   >= 3x for FIFO and random — the non-LRU kernels give up the
   all-caches MRU guard — curves bit-identical in every case), plus the
-  warm disk-cache reload.
+  warm disk-cache reload, plus the per-set Mattson profiler
+  (``estimator="setdist"``): engine-only best-of-N timings on one
+  shared 2 M-access trace for the 12-point default grid vs the batched
+  multi-config engine (acceptance: >= 5x, rates bit-identical) and for
+  a dense ~200-point (size, assoc) grid (acceptance: <= 1.2x the
+  12-point trace pass — the cascade's cost is grid-size independent).
 
 Each suite writes measurements plus speedups against recorded pre-PR
 baselines to a JSON report.  Baselines were measured on this machine at
@@ -36,9 +41,11 @@ non-zero if the wall time regresses beyond 3x the recorded pre-PR
 baseline (generous enough to absorb shared-runner noise while still
 catching an accidental return to the O(n*d) path), asserts the batched
 multi-config engine matches the legacy per-point engine on a small
-grid for every replacement policy (lru, fifo, random), and then runs
-the in-process service smoke (tools/service_smoke.py) so a broken
-daemon also fails the gate.
+grid for every replacement policy (lru, fifo, random), asserts the
+per-set Mattson estimator (``estimator="setdist"``) reproduces the
+multi-config LRU curves bit-identically, and then runs the in-process
+service smoke (tools/service_smoke.py) so a broken daemon also fails
+the gate.
 """
 
 from __future__ import annotations
@@ -330,6 +337,22 @@ def run_smoke() -> int:
             return 1
     print("smoke: multiconfig == per-point on the 2x2 calibration grid "
           "for lru, fifo and random")
+
+    setdist = measure_miss_model(
+        SPEC2000_LIKE, n_accesses=50_000, use_disk_cache=False,
+        estimator="setdist", **grids,
+    )
+    grid = measure_miss_model(
+        SPEC2000_LIKE, n_accesses=50_000, use_disk_cache=False,
+        engine="multiconfig", policy="lru", **grids,
+    )
+    if setdist != grid:
+        print(f"FAIL: setdist estimator diverged from the multiconfig "
+              f"grid estimator (both must be exact for LRU):\n"
+              f"  setdist:     {setdist}\n  multiconfig: {grid}",
+              file=sys.stderr)
+        return 1
+    print("smoke: setdist estimator == multiconfig grid curves (lru)")
     import service_smoke
 
     try:
@@ -355,6 +378,128 @@ CALIB_SPEEDUP_FLOOR = 5.0
 #: the all-caches MRU guard (Mattson set refinement holds only for stack
 #: algorithms), so their batched sweep amortises less per access.
 NONLRU_CALIB_SPEEDUP_FLOOR = 3.0
+
+#: Acceptance floor for the per-set Mattson profiler: one contraction
+#: cascade over a cold 2 M-access LRU trace must beat the batched
+#: multi-config sweep of the same 12-point grid by at least this much,
+#: engine-only, bit-identical rates.
+SETDIST_SPEEDUP_FLOOR = 5.0
+
+#: Grid-size-independence ceiling: profiling a dense ~200-point
+#: (size, assoc) grid may cost at most this multiple of the 12-point
+#: pass over the same trace.
+SETDIST_GRID_RATIO_CEIL = 1.2
+
+
+def _best_of(repeats: int, fn):
+    """Best-of-N wall time (engine-only benches: takes the min, not the
+    mean, so one scheduler hiccup does not sink an acceptance ratio)."""
+    best_seconds, result = _timed(fn)
+    for _ in range(repeats - 1):
+        seconds, result = _timed(fn)
+        best_seconds = min(best_seconds, seconds)
+    return best_seconds, result
+
+
+def bench_setdist(n: int = 2_000_000) -> dict:
+    """Per-set Mattson profiler vs the multi-config engine, engine-only.
+
+    All timings share one pre-materialised trace so trace generation
+    (which both estimators pay identically inside
+    ``measure_miss_model``) cannot dilute the engine ratio.  The dense
+    grid covers every associativity 1..16 at each default L1 set count
+    and 1..17 at each L2 set count — every (size, assoc) pair on the
+    reference block sizes, ~200 points — to show the cascade's cost
+    depends on the trace, not on how many points are read off it.
+    """
+    from repro.archsim import missmodel
+    from repro.archsim.setdist import two_level_profiles
+    from repro.archsim.workloads import SPEC2000_LIKE, synthetic_trace_buffer
+
+    trace = synthetic_trace_buffer(SPEC2000_LIKE, n, seed=1)
+    points = ([("l1", kb) for kb in missmodel.L1_GRID_KB]
+              + [("l2", kb) for kb in missmodel.L2_GRID_KB])
+    print(f"setdist estimator ({n:,} accesses, shared trace, "
+          f"engine-only):")
+
+    setdist_seconds, setdist_rates = _best_of(
+        3, lambda: missmodel._setdist_rates(points, trace))
+    print(f"  per-set cascade, {len(points)}-point default grid: "
+          f"{setdist_seconds:.3f} s (best of 3)")
+    multi_seconds, multi_rates = _best_of(
+        2, lambda: missmodel._multiconfig_rates(points, trace))
+    print(f"  multiconfig sweep, same grid:          "
+          f"{multi_seconds:.3f} s (best of 2)")
+
+    identical = setdist_rates == multi_rates
+    if not identical:
+        print("FAIL: setdist rates diverged from the multiconfig sweep:\n"
+              f"  setdist:     {setdist_rates}\n"
+              f"  multiconfig: {multi_rates}", file=sys.stderr)
+    speedup = multi_seconds / setdist_seconds if setdist_seconds else 0.0
+
+    l1_sets = [missmodel._reference_sets("l1", kb)
+               for kb in missmodel.L1_GRID_KB]
+    l2_sets = [missmodel._reference_sets("l2", kb)
+               for kb in missmodel.L2_GRID_KB]
+    l1_assocs, l2_assocs = 16, 17
+    dense_points = len(l1_sets) * l1_assocs + len(l2_sets) * l2_assocs
+
+    def dense_pass():
+        return two_level_profiles(
+            trace,
+            l1_set_counts=l1_sets,
+            l2_set_counts=l2_sets,
+            ref_sets=missmodel._reference_sets(
+                "l1", missmodel.REFERENCE_L1_KB),
+            ref_assoc=missmodel.REFERENCE_L1_ASSOC,
+            l1_block_bytes=missmodel.REFERENCE_L1_BLOCK,
+            l2_block_bytes=missmodel.REFERENCE_L2_BLOCK,
+            l1_depth_cap=l1_assocs,
+            l2_depth_cap=l2_assocs,
+        )
+
+    dense_seconds, (l1_profiles, l2_profiles) = _best_of(3, dense_pass)
+    ratio = dense_seconds / setdist_seconds if setdist_seconds else 0.0
+    print(f"  per-set cascade, dense {dense_points}-point grid:   "
+          f"{dense_seconds:.3f} s (best of 3, {ratio:.2f}x the "
+          f"{len(points)}-point pass)")
+
+    # The dense pass subsumes the default grid: reading the 12 default
+    # points off its profiles must reproduce the 12-point rates exactly.
+    dense_rates = (
+        [l1_profiles[s].miss_rate(missmodel.REFERENCE_L1_ASSOC)
+         for s in l1_sets]
+        + [l2_profiles[s].miss_rate(missmodel.REFERENCE_L2_ASSOC)
+           for s in l2_sets]
+    )
+    contains = dense_rates == setdist_rates
+    if not contains:
+        print("FAIL: dense-grid profiles disagree with the 12-point pass "
+              "at the default points", file=sys.stderr)
+
+    ok = (identical and contains
+          and speedup >= SETDIST_SPEEDUP_FLOOR
+          and ratio <= SETDIST_GRID_RATIO_CEIL)
+    print(f"  speedup vs multiconfig: {speedup:.1f}x (floor "
+          f"{SETDIST_SPEEDUP_FLOOR:.0f}x), dense/default ratio "
+          f"{ratio:.2f}x (ceiling {SETDIST_GRID_RATIO_CEIL:.1f}x), "
+          f"rates {'identical' if identical and contains else 'DIVERGED'}"
+          f" -> {'PASS' if ok else 'FAIL'}")
+    return {
+        "default_grid_points": len(points),
+        "dense_grid_points": dense_points,
+        "setdist_default_grid_seconds": setdist_seconds,
+        "setdist_dense_grid_seconds": dense_seconds,
+        "multiconfig_default_grid_seconds": multi_seconds,
+        "speedup_setdist_vs_multiconfig": speedup,
+        "speedup_floor": SETDIST_SPEEDUP_FLOOR,
+        "dense_vs_default_ratio": ratio,
+        "dense_ratio_ceiling": SETDIST_GRID_RATIO_CEIL,
+        "rates_bit_identical_to_multiconfig": identical,
+        "dense_grid_contains_default_points": contains,
+        "pass": ok,
+    }
 
 
 def run_calib_suite(output: str, n: int = 2_000_000) -> int:
@@ -415,10 +560,14 @@ def run_calib_suite(output: str, n: int = 2_000_000) -> int:
     print(f"disk-memoized (lru): cold {cold_seconds:.3f} s, "
           f"warm {warm_seconds * 1e3:.1f} ms")
 
+    setdist = bench_setdist(n)
+    passed = passed and setdist["pass"]
+
     lru_legacy = policies["lru"]["cold_per_point_seconds"]
     report = {
         "n_accesses": n,
         "policies": policies,
+        "setdist": setdist,
         "measured": {
             "grid_calibration_cold_disk_store": cold_seconds,
             "grid_calibration_warm_disk_load": warm_seconds,
@@ -426,6 +575,13 @@ def run_calib_suite(output: str, n: int = 2_000_000) -> int:
         "speedup": {
             "warm_vs_per_point": (
                 lru_legacy / warm_seconds if warm_seconds else 0.0
+            ),
+            # Context only (the engine-only setdist numbers above are
+            # the acceptance metric): full cold per-point calibration,
+            # trace generation included, vs the per-set cascade.
+            "per_point_vs_setdist_engine": (
+                lru_legacy / setdist["setdist_default_grid_seconds"]
+                if setdist["setdist_default_grid_seconds"] else 0.0
             ),
         },
         "acceptance": {
@@ -438,7 +594,9 @@ def run_calib_suite(output: str, n: int = 2_000_000) -> int:
     print(f"\ncalib suite: {'PASS' if passed else 'FAIL'} "
           f"(" + ", ".join(
               f"{policy} {entry['speedup_multiconfig_vs_per_point']:.1f}x"
-              for policy, entry in policies.items()) + ")")
+              for policy, entry in policies.items())
+          + f", setdist {setdist['speedup_setdist_vs_multiconfig']:.1f}x"
+          f" @ {setdist['dense_vs_default_ratio']:.2f}x dense ratio)")
     print(f"report written to {output}")
     return 0 if passed else 1
 
@@ -543,7 +701,7 @@ def main(argv=None) -> int:
     parser.add_argument("--output", default=None,
                         help="JSON report path (default BENCH_2.json for "
                              "archsim, BENCH_1.json for sweep, BENCH_3.json "
-                             "for service, BENCH_5.json for calib)")
+                             "for service, BENCH_6.json for calib)")
     parser.add_argument("--jobs", type=int, default=2,
                         help="worker count for the sweep parallel-runner "
                              "bench")
@@ -560,7 +718,7 @@ def main(argv=None) -> int:
     if arguments.suite == "service":
         return run_service_suite(arguments.output or "BENCH_3.json")
     if arguments.suite == "calib":
-        return run_calib_suite(arguments.output or "BENCH_5.json")
+        return run_calib_suite(arguments.output or "BENCH_6.json")
     return run_archsim_suite(arguments.output or "BENCH_2.json")
 
 

@@ -24,6 +24,13 @@ def main() -> None:
                         help="fan calibration points over N worker processes")
     parser.add_argument("--engine", default="multiconfig",
                         choices=("multiconfig", "array", "object"))
+    parser.add_argument("--estimator", default="grid",
+                        choices=("grid", "stackdist", "setdist"),
+                        help="'grid' simulates every point; 'setdist' "
+                             "answers the whole LRU grid bit-identically "
+                             "from one per-set stack-distance pass; "
+                             "'stackdist' is the fully-associative "
+                             "approximation")
     parser.add_argument("--policy", default="lru",
                         choices=("lru", "fifo", "random"),
                         help="replacement policy at both levels (the "
@@ -39,6 +46,7 @@ def main() -> None:
             seed=1,
             jobs=arguments.jobs,
             engine=arguments.engine,
+            estimator=arguments.estimator,
             policy=arguments.policy,
             use_disk_cache=False,
         )
@@ -55,8 +63,8 @@ def main() -> None:
         print(f'    ),')
     print("}")
     print(f"# measured with n_accesses={arguments.n_accesses}, seed=1, "
-          f"engine={arguments.engine}, policy={arguments.policy}, "
-          f"in {time.time()-t0:.0f}s")
+          f"engine={arguments.engine}, estimator={arguments.estimator}, "
+          f"policy={arguments.policy}, in {time.time()-t0:.0f}s")
 
 
 if __name__ == "__main__":
