@@ -121,6 +121,11 @@ def _cmd_fit(arguments) -> int:
 def _cmd_serve(arguments) -> int:
     from repro.service import ServiceConfig, run
 
+    warm_profiles = tuple(
+        name.strip()
+        for name in (arguments.warm_profiles or "").split(",")
+        if name.strip()
+    )
     config = ServiceConfig(
         host=arguments.host,
         port=arguments.port,
@@ -130,6 +135,7 @@ def _cmd_serve(arguments) -> int:
         job_timeout_seconds=arguments.job_timeout,
         cache_dir=arguments.cache_dir,
         quiet=not arguments.verbose,
+        warm_profiles=warm_profiles,
     )
     return run(config, port_file=arguments.port_file)
 
@@ -197,6 +203,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-job timeout in seconds (default 600)")
     serve.add_argument("--cache-dir", default=None,
                        help="calibration disk-cache directory")
+    serve.add_argument("--warm-profiles", default=None, metavar="NAMES",
+                       help="comma-separated workloads whose profile "
+                            "surfaces are computed at startup "
+                            "(e.g. spec2000,tpcc)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
     serve.set_defaults(handler=_cmd_serve)

@@ -31,6 +31,18 @@ Note the L2 *local* miss-rate convention: misses over L2 accesses.  The
 curves bake in the reference L1's filtering; Section 5's experiments vary
 one level at a time around that reference point, matching the paper's
 methodology of per-combination architectural runs.
+
+Two axes beyond the original calibration contract:
+
+* **Associativity** is a first-class grid axis: ``l1_assocs`` /
+  ``l2_assocs`` measure each size at several set-associativities (the
+  reference shape is always included so the plain curves keep their
+  meaning), and :meth:`MissRateModel.l1_miss_rate` takes an optional
+  ``associativity``.
+* The **profile store** (:mod:`repro.perf.profile_store`) serves
+  covered grids by slicing a precomputed dense (size, assoc) surface —
+  bit-identical to direct simulation — so a warmed workload answers any
+  sub-grid with zero trace passes.
 """
 
 from __future__ import annotations
@@ -102,49 +114,114 @@ class MissRateModel:
     workload:
         Suite name.
     l1_curve / l2_curve:
-        size-bytes -> local miss rate measurement grids.
+        size-bytes -> local miss rate measurement grids at the reference
+        associativities (2-way L1, 8-way L2).
+    l1_assoc_curves / l2_assoc_curves:
+        Optional associativity -> curve maps for calibrations that swept
+        the assoc axis; empty for reference-shape-only calibrations, so
+        existing models compare equal to their pre-axis selves.
     """
 
     workload: str
     l1_curve: Tuple[Tuple[int, float], ...]
     l2_curve: Tuple[Tuple[int, float], ...]
+    l1_assoc_curves: Tuple[
+        Tuple[int, Tuple[Tuple[int, float], ...]], ...
+    ] = ()
+    l2_assoc_curves: Tuple[
+        Tuple[int, Tuple[Tuple[int, float], ...]], ...
+    ] = ()
 
-    def l1_miss_rate(self, size_bytes: int) -> float:
-        """Local L1 miss rate at the given capacity."""
-        return _interpolate_log2(dict(self.l1_curve), size_bytes)
+    def _curve(
+        self, level: str, associativity: Optional[int]
+    ) -> Tuple[Tuple[int, float], ...]:
+        base = self.l1_curve if level == "l1" else self.l2_curve
+        if associativity is None:
+            return base
+        curves = dict(
+            self.l1_assoc_curves if level == "l1" else self.l2_assoc_curves
+        )
+        if associativity in curves:
+            return curves[associativity]
+        reference = (
+            REFERENCE_L1_ASSOC if level == "l1" else REFERENCE_L2_ASSOC
+        )
+        if associativity == reference:
+            return base
+        raise SimulationError(
+            f"{level} associativity {associativity} was not measured for "
+            f"workload {self.workload!r}; measured: "
+            f"{sorted(curves) or [reference]}"
+        )
 
-    def l2_local_miss_rate(self, size_bytes: int) -> float:
+    def l1_miss_rate(
+        self, size_bytes: int, associativity: Optional[int] = None
+    ) -> float:
+        """Local L1 miss rate at the given capacity (and associativity)."""
+        return _interpolate_log2(
+            dict(self._curve("l1", associativity)), size_bytes
+        )
+
+    def l2_local_miss_rate(
+        self, size_bytes: int, associativity: Optional[int] = None
+    ) -> float:
         """Local L2 miss rate at the given capacity (behind the ref L1)."""
-        return _interpolate_log2(dict(self.l2_curve), size_bytes)
+        return _interpolate_log2(
+            dict(self._curve("l2", associativity)), size_bytes
+        )
 
 
 #: Bump when measurement semantics change: it is folded into the disk
-#: fingerprint, so stale cached curves can never be served.  Format 6:
-#: the ``"setdist"`` estimator joins the estimator axis (exact per-set
-#: Mattson profiling, bit-identical to the grid path for LRU), re-keying
-#: every entry.  Format 5 added the replacement policy and canonical
-#: fingerprint parts.
-_CALIBRATION_FORMAT = 6
+#: fingerprint, so stale cached curves can never be served.  Format 7:
+#: associativity joins the grid as a real axis (``l1_assocs`` /
+#: ``l2_assocs``), re-keying every entry.  Format 6 added the
+#: ``"setdist"`` estimator; format 5 the replacement policy and
+#: canonical fingerprint parts.
+_CALIBRATION_FORMAT = 7
 
 #: Replacement policies the calibration engines support.
 _POLICIES = ("lru", "fifo", "random")
 
 
-def _point_configs(level: str, kb: int) -> Tuple[CacheConfig, CacheConfig]:
+def _point_assoc(level: str, assoc: Optional[int]) -> int:
+    """Associativity of one grid point (reference shape when unspecified)."""
+    if assoc is not None:
+        return assoc
+    return REFERENCE_L1_ASSOC if level == "l1" else REFERENCE_L2_ASSOC
+
+
+def _normalize_point(point) -> Tuple[str, int, int]:
+    """Accept ``(level, kb)`` or ``(level, kb, assoc)``; return the latter."""
+    if len(point) == 2:
+        level, kb = point
+        assoc = None
+    else:
+        level, kb, assoc = point
+    return level, kb, _point_assoc(level, assoc)
+
+
+def _point_configs(
+    level: str, kb: int, assoc: Optional[int] = None
+) -> Tuple[CacheConfig, CacheConfig]:
     """L1/L2 shapes for one calibration point (vary one level at a time)."""
-    l1_kb = kb if level == "l1" else REFERENCE_L1_KB
-    l2_kb = kb if level == "l2" else REFERENCE_L2_KB
+    assoc = _point_assoc(level, assoc)
+    l1_kb, l1_assoc = (
+        (kb, assoc) if level == "l1" else (REFERENCE_L1_KB, REFERENCE_L1_ASSOC)
+    )
+    l2_kb, l2_assoc = (
+        (kb, assoc) if level == "l2" else (REFERENCE_L2_KB, REFERENCE_L2_ASSOC)
+    )
     return (
         CacheConfig(
             size_bytes=l1_kb * 1024,
             block_bytes=REFERENCE_L1_BLOCK,
-            associativity=REFERENCE_L1_ASSOC,
+            associativity=l1_assoc,
             name="L1",
         ),
         CacheConfig(
             size_bytes=l2_kb * 1024,
             block_bytes=REFERENCE_L2_BLOCK,
-            associativity=REFERENCE_L2_ASSOC,
+            associativity=l2_assoc,
             name="L2",
         ),
     )
@@ -158,12 +235,13 @@ def _measure_point(
     seed: int,
     engine: str,
     policy: str = "lru",
+    assoc: Optional[int] = None,
 ) -> float:
     """Simulate one (level, size) point; returns its local miss rate.
 
     Module-level so :class:`ProcessPoolExecutor` workers can pickle it.
     """
-    l1_config, l2_config = _point_configs(level, kb)
+    l1_config, l2_config = _point_configs(level, kb, assoc)
     if engine == "array":
         result = ArrayTwoLevelHierarchy(l1_config, l2_config, policy).run(
             synthetic_trace_buffer(spec, n_accesses, seed=seed, block_bytes=64)
@@ -176,9 +254,9 @@ def _measure_point(
 
 
 def _multiconfig_rates(
-    points: Sequence[Tuple[str, int]], trace, policy: str = "lru"
+    points: Sequence[Tuple], trace, policy: str = "lru"
 ) -> List[float]:
-    """Simulate every (level, size) point in one multi-config sweep.
+    """Simulate every (level, size[, assoc]) point in one sweep.
 
     L1-curve points only contribute their L1 miss rate, so their shared
     reference L2 is elided entirely (``l2_config=None``): the engine
@@ -188,16 +266,17 @@ def _multiconfig_rates(
     under every policy: random-policy rng streams live per cache (not
     per shard), so the sweep matches each point's own seeded draws.
     """
+    normalized = [_normalize_point(point) for point in points]
     engine_points = []
-    for level, kb in points:
-        l1_config, l2_config = _point_configs(level, kb)
+    for level, kb, assoc in normalized:
+        l1_config, l2_config = _point_configs(level, kb, assoc)
         engine_points.append(
             (l1_config, None) if level == "l1" else (l1_config, l2_config)
         )
     results = MultiConfigHierarchyEngine(engine_points, policy).run(trace)
     return [
         result.l1_miss_rate if level == "l1" else result.l2_local_miss_rate
-        for (level, _), result in zip(points, results)
+        for (level, _, _), result in zip(normalized, results)
     ]
 
 
@@ -215,7 +294,7 @@ def _load_trace_files(addresses_path: str, writes_path: str) -> TraceBuffer:
 
 
 def _measure_shard(
-    shard: Sequence[Tuple[str, int]],
+    shard: Sequence[Tuple],
     addresses_path: str,
     writes_path: str,
     engine: str,
@@ -226,8 +305,9 @@ def _measure_shard(
     if engine == "multiconfig":
         return _multiconfig_rates(shard, trace, policy)
     rates = []
-    for level, kb in shard:
-        l1_config, l2_config = _point_configs(level, kb)
+    for point in shard:
+        level, kb, assoc = _normalize_point(point)
+        l1_config, l2_config = _point_configs(level, kb, assoc)
         result = ArrayTwoLevelHierarchy(l1_config, l2_config, policy).run(
             trace
         )
@@ -239,8 +319,8 @@ def _measure_shard(
 
 
 def _shard_points(
-    points: Sequence[Tuple[str, int]], jobs: int
-) -> List[List[Tuple[str, int]]]:
+    points: Sequence[Tuple], jobs: int
+) -> List[List[Tuple]]:
     """Partition grid points into at most ``jobs`` lane-coherent shards.
 
     Points sharing an L1 shape stay together (all L2-curve points sit
@@ -248,16 +328,17 @@ def _shard_points(
     another worker already owns; each L2-curve point costs roughly one
     follower, so shards are balanced greedily by point count.
     """
-    groups: Dict[Tuple[int, int, int], List[Tuple[str, int]]] = {}
-    for level, kb in points:
-        l1_config, _ = _point_configs(level, kb)
+    groups: Dict[Tuple[int, int, int], List[Tuple]] = {}
+    for point in points:
+        level, kb, assoc = _normalize_point(point)
+        l1_config, _ = _point_configs(level, kb, assoc)
         key = (
             l1_config.size_bytes,
             l1_config.block_bytes,
             l1_config.associativity,
         )
-        groups.setdefault(key, []).append((level, kb))
-    shards: List[List[Tuple[str, int]]] = [[] for _ in range(jobs)]
+        groups.setdefault(key, []).append(point)
+    shards: List[List[Tuple]] = [[] for _ in range(jobs)]
     for group in sorted(groups.values(), key=len, reverse=True):
         min(shards, key=len).extend(group)
     return [shard for shard in shards if shard]
@@ -272,6 +353,8 @@ def _calibration_fingerprint(
     engine: str,
     estimator: str,
     policy: str,
+    l1_assocs: Sequence[int],
+    l2_assocs: Sequence[int],
 ) -> str:
     """Fold every input that determines the curves into one string.
 
@@ -292,6 +375,8 @@ def _calibration_fingerprint(
         engine,
         estimator,
         policy,
+        tuple(l1_assocs),
+        tuple(l2_assocs),
     )
 
 
@@ -375,13 +460,10 @@ def _stackdist_estimate(
     )
 
 
-def _reference_sets(level: str, kb: int) -> int:
-    """Set count of one grid point on its level's reference shape."""
-    block, assoc = (
-        (REFERENCE_L1_BLOCK, REFERENCE_L1_ASSOC)
-        if level == "l1"
-        else (REFERENCE_L2_BLOCK, REFERENCE_L2_ASSOC)
-    )
+def _point_sets(level: str, kb: int, assoc: Optional[int] = None) -> int:
+    """Set count of one grid point on its level's block size."""
+    block = REFERENCE_L1_BLOCK if level == "l1" else REFERENCE_L2_BLOCK
+    assoc = _point_assoc(level, assoc)
     size_bytes = kb * 1024
     sets = size_bytes // (block * assoc)
     if sets < 1 or sets * block * assoc != size_bytes:
@@ -393,77 +475,189 @@ def _reference_sets(level: str, kb: int) -> int:
 
 
 def _setdist_rates(
-    points: Sequence[Tuple[str, int]], trace
+    points: Sequence[Tuple], trace
 ) -> List[float]:
-    """Exact LRU rates for every (level, size) point in one per-set pass.
+    """Exact LRU rates for every (level, size[, assoc]) point in one pass.
 
     The per-set Mattson profiler (:mod:`repro.archsim.setdist`) turns
-    each point into a ``(n_sets, assoc)`` lookup on its level's
-    reference shape: one contraction cascade over the trace covers the
-    whole L1 grid, the reference L1's miss + dirty write-back stream is
-    replayed exactly through a second cascade for the L2 grid, and every
-    rate is bit-identical to :func:`_multiconfig_rates` under LRU — at a
-    cost that is independent of how many grid points are requested.
+    each point into a ``(n_sets, assoc)`` lookup on its level's block
+    size: one contraction cascade over the trace covers the whole L1
+    grid, the reference L1's miss + dirty write-back stream is replayed
+    exactly through a second cascade for the L2 grid, and every rate is
+    bit-identical to :func:`_multiconfig_rates` under LRU — at a cost
+    that is independent of how many grid points are requested.  Depth
+    histograms are exact per (set count, depth), so the profiled
+    depth-cap/min-assoc window never changes any rate.
     """
     from repro.archsim.setdist import two_level_profiles
 
-    sets_for = {point: _reference_sets(*point) for point in points}
+    normalized = [_normalize_point(point) for point in points]
+    sets_for = {
+        point: _point_sets(*point) for point in set(normalized)
+    }
     l1_set_counts = sorted(
-        {sets for (level, _), sets in sets_for.items() if level == "l1"}
+        {sets for (level, _, _), sets in sets_for.items() if level == "l1"}
     )
     l2_set_counts = sorted(
-        {sets for (level, _), sets in sets_for.items() if level == "l2"}
+        {sets for (level, _, _), sets in sets_for.items() if level == "l2"}
     )
+    # The reference L1 replay needs its own associativity inside the L1
+    # profiling window, so the window spans the requested assocs plus
+    # the reference shape.
+    l1_assocs = [a for level, _, a in normalized if level == "l1"]
+    l1_assocs.append(REFERENCE_L1_ASSOC)
+    l2_assocs = [a for level, _, a in normalized if level == "l2"]
+    l2_assocs = l2_assocs or [REFERENCE_L2_ASSOC]
     l1_profiles, l2_profiles = two_level_profiles(
         trace,
         l1_set_counts=l1_set_counts,
         l2_set_counts=l2_set_counts,
-        ref_sets=_reference_sets("l1", REFERENCE_L1_KB),
+        ref_sets=_point_sets("l1", REFERENCE_L1_KB),
         ref_assoc=REFERENCE_L1_ASSOC,
         l1_block_bytes=REFERENCE_L1_BLOCK,
         l2_block_bytes=REFERENCE_L2_BLOCK,
-        l1_depth_cap=REFERENCE_L1_ASSOC,
-        l2_depth_cap=REFERENCE_L2_ASSOC,
-        l1_min_assoc=REFERENCE_L1_ASSOC,
-        l2_min_assoc=REFERENCE_L2_ASSOC,
+        l1_depth_cap=max(l1_assocs),
+        l2_depth_cap=max(l2_assocs),
+        l1_min_assoc=min(l1_assocs),
+        l2_min_assoc=min(l2_assocs),
     )
     return [
-        l1_profiles[sets_for[point]].miss_rate(REFERENCE_L1_ASSOC)
+        l1_profiles[sets_for[point]].miss_rate(point[2])
         if point[0] == "l1"
-        else l2_profiles[sets_for[point]].miss_rate(REFERENCE_L2_ASSOC)
-        for point in points
+        else l2_profiles[sets_for[point]].miss_rate(point[2])
+        for point in normalized
     ]
 
 
-def _setdist_estimate(
-    spec: WorkloadSpec,
-    n_accesses: int,
-    seed: int,
+def _validate_assocs(
+    assocs: Optional[Sequence[int]], level: str
+) -> Optional[Tuple[int, ...]]:
+    """Validate a requested associativity axis (None passes through)."""
+    if assocs is None:
+        return None
+    validated: List[int] = []
+    for assoc in assocs:
+        if (
+            not isinstance(assoc, (int, np.integer))
+            or isinstance(assoc, bool)
+            or assoc < 1
+            or (int(assoc) & (int(assoc) - 1))
+        ):
+            raise SimulationError(
+                f"{level}_assocs entries must be positive power-of-two "
+                f"ints, got {assoc!r}"
+            )
+        validated.append(int(assoc))
+    if not validated:
+        raise SimulationError(f"{level}_assocs must not be empty")
+    if len(set(validated)) != len(validated):
+        raise SimulationError(
+            f"{level}_assocs must not repeat values, got {list(assocs)}"
+        )
+    return tuple(validated)
+
+
+def _grid_points(
     l1_grid_kb: Sequence[int],
     l2_grid_kb: Sequence[int],
-) -> MissRateModel:
-    """Measure both curves exactly with the per-set Mattson profiler.
+    l1_assocs: Sequence[int],
+    l2_assocs: Sequence[int],
+) -> List[Tuple[str, int, int]]:
+    """The full (level, kb, assoc) calibration grid, L1 block then L2."""
+    points = [
+        ("l1", kb, assoc) for assoc in l1_assocs for kb in l1_grid_kb
+    ]
+    points += [
+        ("l2", kb, assoc) for assoc in l2_assocs for kb in l2_grid_kb
+    ]
+    return points
 
-    Unlike :func:`_stackdist_estimate` this is not an approximation:
-    per-set stack distances answer the real set-associative reference
-    shapes, so the curves are bit-identical to the grid estimator under
-    LRU while the trace pass costs the same whether the grids hold 12
-    points or 200 (see ``docs/PERFORMANCE.md``).
-    """
-    buffer = synthetic_trace_buffer(
-        spec, n_accesses, seed=seed, block_bytes=64
-    )
-    points: List[Tuple[str, int]] = [("l1", kb) for kb in l1_grid_kb]
-    points += [("l2", kb) for kb in l2_grid_kb]
-    rates = dict(zip(points, _setdist_rates(points, buffer)))
+
+def _build_model(
+    spec_name: str,
+    rates: Sequence[float],
+    points: Sequence[Tuple[str, int, int]],
+    l1_grid_kb: Sequence[int],
+    l2_grid_kb: Sequence[int],
+    l1_assocs: Sequence[int],
+    l2_assocs: Sequence[int],
+    with_l1_axis: bool,
+    with_l2_axis: bool,
+) -> MissRateModel:
+    """Assemble a model from per-point rates (assoc curves on demand)."""
+    curves = dict(zip(points, rates))
     return MissRateModel(
-        workload=spec.name,
+        workload=spec_name,
         l1_curve=tuple(
-            (kb * 1024, rates[("l1", kb)]) for kb in l1_grid_kb
+            (kb * 1024, curves[("l1", kb, REFERENCE_L1_ASSOC)])
+            for kb in l1_grid_kb
         ),
         l2_curve=tuple(
-            (kb * 1024, rates[("l2", kb)]) for kb in l2_grid_kb
+            (kb * 1024, curves[("l2", kb, REFERENCE_L2_ASSOC)])
+            for kb in l2_grid_kb
         ),
+        l1_assoc_curves=tuple(
+            (
+                assoc,
+                tuple(
+                    (kb * 1024, curves[("l1", kb, assoc)])
+                    for kb in l1_grid_kb
+                ),
+            )
+            for assoc in l1_assocs
+        )
+        if with_l1_axis
+        else (),
+        l2_assoc_curves=tuple(
+            (
+                assoc,
+                tuple(
+                    (kb * 1024, curves[("l2", kb, assoc)])
+                    for kb in l2_grid_kb
+                ),
+            )
+            for assoc in l2_assocs
+        )
+        if with_l2_axis
+        else (),
+    )
+
+
+def _model_payload(model: MissRateModel) -> dict:
+    """JSON-serialisable disk-cache payload for one model."""
+    payload = {
+        "workload": model.workload,
+        "l1_curve": [list(point) for point in model.l1_curve],
+        "l2_curve": [list(point) for point in model.l2_curve],
+    }
+    if model.l1_assoc_curves:
+        payload["l1_assoc_curves"] = [
+            [assoc, [list(point) for point in curve]]
+            for assoc, curve in model.l1_assoc_curves
+        ]
+    if model.l2_assoc_curves:
+        payload["l2_assoc_curves"] = [
+            [assoc, [list(point) for point in curve]]
+            for assoc, curve in model.l2_assoc_curves
+        ]
+    return payload
+
+
+def _model_from_payload(payload: dict) -> MissRateModel:
+    """Reconstruct a model from its disk-cache payload."""
+
+    def curve(points) -> Tuple[Tuple[int, float], ...]:
+        return tuple((int(size), float(rate)) for size, rate in points)
+
+    def assoc_curves(entries) -> Tuple:
+        return tuple((int(assoc), curve(points)) for assoc, points in entries)
+
+    return MissRateModel(
+        workload=payload["workload"],
+        l1_curve=curve(payload["l1_curve"]),
+        l2_curve=curve(payload["l2_curve"]),
+        l1_assoc_curves=assoc_curves(payload.get("l1_assoc_curves", ())),
+        l2_assoc_curves=assoc_curves(payload.get("l2_assoc_curves", ())),
     )
 
 
@@ -479,6 +673,9 @@ def measure_miss_model(
     engine: str = "multiconfig",
     estimator: str = "grid",
     policy: str = "lru",
+    l1_assocs: Optional[Sequence[int]] = None,
+    l2_assocs: Optional[Sequence[int]] = None,
+    profile_store: str = "auto",
 ) -> MissRateModel:
     """Measure a fresh :class:`MissRateModel` by simulation.
 
@@ -516,7 +713,7 @@ def measure_miss_model(
         set-associative reference shapes; ``"setdist"`` answers the same
         grid exactly — bit-identical curves — from one per-set
         stack-distance pass whose cost does not grow with the grid (see
-        :func:`_setdist_estimate`); ``"stackdist"`` derives the grid
+        :func:`_setdist_rates`); ``"stackdist"`` derives the grid
         from one fully-associative profile — cheaper still, but an
         approximation with a quantified accuracy cost (see
         :func:`_stackdist_estimate`).  ``engine`` and ``jobs`` are
@@ -526,6 +723,27 @@ def measure_miss_model(
         ``"fifo"`` or ``"random"``; every engine produces bit-identical
         curves per policy.  The stackdist and setdist estimators are
         Mattson stack-algorithm constructions, which only model LRU.
+    l1_assocs / l2_assocs:
+        Optional associativity axes (positive power-of-two ints).  Each
+        level's grid becomes sizes x assocs; the reference
+        associativity is always measured too, so ``l1_curve`` /
+        ``l2_curve`` keep their reference-shape meaning and the
+        requested axes land in ``l1_assoc_curves`` / ``l2_assoc_curves``.
+        ``None`` (default) measures the reference shape only and leaves
+        the assoc curves empty.  Not supported by the (fully
+        associative) stackdist estimator.
+    profile_store:
+        ``"auto"`` (default) serves the requested grid by slicing a
+        dense precomputed (size, assoc) surface
+        (:mod:`repro.perf.profile_store`) when one is already resident
+        in memory or on disk — bit-identical to direct simulation, zero
+        trace passes — and otherwise measures exactly as before.
+        ``"always"`` computes the dense surface on a miss (one trace
+        pass answers *every* future sub-grid); ``"off"`` never consults
+        the store.  Only grids covered by the surface (4–64 KB L1,
+        128 KB–8 MB L2, power-of-two assocs up to 16) and exact
+        configurations (``estimator`` setdist, or grid with the
+        multiconfig engine) are eligible.
     """
     if engine not in ("multiconfig", "array", "object"):
         raise SimulationError(
@@ -548,9 +766,36 @@ def measure_miss_model(
             f"distances have no meaning under {policy!r}); use the grid "
             "estimator for non-LRU policies"
         )
+    if profile_store not in ("auto", "always", "off"):
+        raise SimulationError(
+            f"unknown profile_store mode {profile_store!r}; expected "
+            f"'auto', 'always' or 'off'"
+        )
+    l1_axis = _validate_assocs(l1_assocs, "l1")
+    l2_axis = _validate_assocs(l2_assocs, "l2")
+    if estimator == "stackdist" and (l1_axis or l2_axis):
+        raise SimulationError(
+            "the stackdist estimator is fully associative and cannot "
+            "measure an associativity axis; use estimator='grid' or "
+            "'setdist'"
+        )
+    measured_l1 = (
+        tuple(sorted(set(l1_axis) | {REFERENCE_L1_ASSOC}))
+        if l1_axis
+        else (REFERENCE_L1_ASSOC,)
+    )
+    measured_l2 = (
+        tuple(sorted(set(l2_axis) | {REFERENCE_L2_ASSOC}))
+        if l2_axis
+        else (REFERENCE_L2_ASSOC,)
+    )
+    points = _grid_points(l1_grid_kb, l2_grid_kb, measured_l1, measured_l2)
+    if l1_axis or l2_axis:
+        for level, kb, assoc in points:
+            _point_sets(level, kb, assoc)  # raises on bad geometry
     fingerprint = _calibration_fingerprint(
         spec, n_accesses, seed, l1_grid_kb, l2_grid_kb, engine, estimator,
-        policy,
+        policy, measured_l1, measured_l2,
     )
     cache = (
         DiskCache("missmodel", directory=cache_dir) if use_disk_cache else None
@@ -558,39 +803,75 @@ def measure_miss_model(
     if cache is not None:
         payload = cache.load(fingerprint)
         if payload is not None:
-            return MissRateModel(
-                workload=payload["workload"],
-                l1_curve=tuple(
-                    (int(size), float(rate))
-                    for size, rate in payload["l1_curve"]
-                ),
-                l2_curve=tuple(
-                    (int(size), float(rate))
-                    for size, rate in payload["l2_curve"]
-                ),
-            )
+            return _model_from_payload(payload)
 
-    if estimator in ("stackdist", "setdist"):
-        estimate = (
-            _stackdist_estimate if estimator == "stackdist"
-            else _setdist_estimate
+    # Profile-store serving tier: slice a dense precomputed surface
+    # instead of sweeping the trace.  Only configurations whose direct
+    # path the surface reproduces bit-for-bit are eligible (setdist, or
+    # the grid estimator on the multiconfig engine — the surface itself
+    # is one setdist cascade for LRU, one multiconfig union pass
+    # otherwise).
+    store_eligible = profile_store != "off" and (
+        estimator == "setdist"
+        or (estimator == "grid" and engine == "multiconfig")
+    )
+    if store_eligible:
+        from repro.perf import profile_store as profile_store_tier
+
+        block = {
+            "l1": REFERENCE_L1_BLOCK,
+            "l2": REFERENCE_L2_BLOCK,
+        }
+        covered = all(
+            profile_store_tier.covers_point(
+                level, kb * 1024, assoc, block_bytes=block[level]
+            )
+            for level, kb, assoc in points
         )
-        model = estimate(
+        if covered:
+            surface = profile_store_tier.get_store(cache_dir).surface(
+                spec,
+                policy=policy,
+                n_accesses=n_accesses,
+                seed=seed,
+                compute=profile_store == "always",
+            )
+            if surface is not None:
+                rates = [
+                    surface.miss_rate(level, kb * 1024, assoc)
+                    for level, kb, assoc in points
+                ]
+                model = _build_model(
+                    spec.name, rates, points, l1_grid_kb, l2_grid_kb,
+                    measured_l1, measured_l2,
+                    l1_axis is not None, l2_axis is not None,
+                )
+                if cache is not None:
+                    cache.store(fingerprint, _model_payload(model))
+                return model
+
+    if estimator == "stackdist":
+        model = _stackdist_estimate(
             spec, n_accesses, seed, l1_grid_kb, l2_grid_kb
         )
         if cache is not None:
-            cache.store(
-                fingerprint,
-                {
-                    "workload": model.workload,
-                    "l1_curve": [list(point) for point in model.l1_curve],
-                    "l2_curve": [list(point) for point in model.l2_curve],
-                },
-            )
+            cache.store(fingerprint, _model_payload(model))
         return model
 
-    points: List[Tuple[str, int]] = [("l1", kb) for kb in l1_grid_kb]
-    points += [("l2", kb) for kb in l2_grid_kb]
+    if estimator == "setdist":
+        buffer = synthetic_trace_buffer(
+            spec, n_accesses, seed=seed, block_bytes=64
+        )
+        rates = _setdist_rates(points, buffer)
+        model = _build_model(
+            spec.name, rates, points, l1_grid_kb, l2_grid_kb,
+            measured_l1, measured_l2,
+            l1_axis is not None, l2_axis is not None,
+        )
+        if cache is not None:
+            cache.store(fingerprint, _model_payload(model))
+        return model
+
     if (
         jobs is not None and jobs > 1 and len(points) > 1
         and engine in ("multiconfig", "array")
@@ -639,8 +920,8 @@ def measure_miss_model(
             spec, n_accesses, seed=seed, block_bytes=64
         )
         rates = []
-        for level, kb in points:
-            l1_config, l2_config = _point_configs(level, kb)
+        for level, kb, assoc in points:
+            l1_config, l2_config = _point_configs(level, kb, assoc)
             result = ArrayTwoLevelHierarchy(l1_config, l2_config, policy).run(
                 buffer
             )
@@ -651,29 +932,96 @@ def measure_miss_model(
             )
     else:
         rates = [
-            _measure_point(spec, level, kb, n_accesses, seed, engine, policy)
-            for level, kb in points
+            _measure_point(
+                spec, level, kb, n_accesses, seed, engine, policy, assoc
+            )
+            for level, kb, assoc in points
         ]
 
-    curves = dict(zip(points, rates))
-    model = MissRateModel(
-        workload=spec.name,
-        l1_curve=tuple(
-            (kb * 1024, curves[("l1", kb)]) for kb in l1_grid_kb
-        ),
-        l2_curve=tuple(
-            (kb * 1024, curves[("l2", kb)]) for kb in l2_grid_kb
-        ),
+    model = _build_model(
+        spec.name, rates, points, l1_grid_kb, l2_grid_kb,
+        measured_l1, measured_l2, l1_axis is not None, l2_axis is not None,
     )
     if cache is not None:
-        cache.store(
-            fingerprint,
-            {
-                "workload": model.workload,
-                "l1_curve": [list(point) for point in model.l1_curve],
-                "l2_curve": [list(point) for point in model.l2_curve],
-            },
+        cache.store(fingerprint, _model_payload(model))
+    return model
+
+
+def peek_miss_model(
+    spec: WorkloadSpec,
+    n_accesses: int = 300_000,
+    seed: int = 1,
+    l1_grid_kb: Sequence[int] = L1_GRID_KB,
+    l2_grid_kb: Sequence[int] = L2_GRID_KB,
+    cache_dir=None,
+    engine: str = "multiconfig",
+    estimator: str = "grid",
+    policy: str = "lru",
+    l1_assocs: Optional[Sequence[int]] = None,
+    l2_assocs: Optional[Sequence[int]] = None,
+) -> Optional[MissRateModel]:
+    """Serve a model without ever computing, or return ``None``.
+
+    The serving tiers of :func:`measure_miss_model` only: the missmodel
+    disk cache (exact-fingerprint hit) and the profile store's memory /
+    disk tiers (dense-surface slice).  A surface computation in flight
+    on another thread is *not* awaited — this is the service daemon's
+    "can I answer synchronously?" probe, and it must never block on a
+    trace pass.  Arguments mirror :func:`measure_miss_model`; a request
+    this function cannot serve should be measured there.
+    """
+    l1_axis = _validate_assocs(l1_assocs, "l1")
+    l2_axis = _validate_assocs(l2_assocs, "l2")
+    if estimator == "stackdist" and (l1_axis or l2_axis):
+        return None
+    measured_l1 = (
+        tuple(sorted(set(l1_axis) | {REFERENCE_L1_ASSOC}))
+        if l1_axis
+        else (REFERENCE_L1_ASSOC,)
+    )
+    measured_l2 = (
+        tuple(sorted(set(l2_axis) | {REFERENCE_L2_ASSOC}))
+        if l2_axis
+        else (REFERENCE_L2_ASSOC,)
+    )
+    points = _grid_points(l1_grid_kb, l2_grid_kb, measured_l1, measured_l2)
+    fingerprint = _calibration_fingerprint(
+        spec, n_accesses, seed, l1_grid_kb, l2_grid_kb, engine, estimator,
+        policy, measured_l1, measured_l2,
+    )
+    cache = DiskCache("missmodel", directory=cache_dir)
+    payload = cache.load(fingerprint)
+    if payload is not None:
+        return _model_from_payload(payload)
+    if not (
+        estimator == "setdist"
+        or (estimator == "grid" and engine == "multiconfig")
+    ):
+        return None
+    from repro.perf import profile_store as profile_store_tier
+
+    block = {"l1": REFERENCE_L1_BLOCK, "l2": REFERENCE_L2_BLOCK}
+    if not all(
+        profile_store_tier.covers_point(
+            level, kb * 1024, assoc, block_bytes=block[level]
         )
+        for level, kb, assoc in points
+    ):
+        return None
+    surface = profile_store_tier.get_store(cache_dir).peek(
+        spec, policy=policy, n_accesses=n_accesses, seed=seed
+    )
+    if surface is None:
+        return None
+    rates = [
+        surface.miss_rate(level, kb * 1024, assoc)
+        for level, kb, assoc in points
+    ]
+    model = _build_model(
+        spec.name, rates, points, l1_grid_kb, l2_grid_kb,
+        measured_l1, measured_l2, l1_axis is not None, l2_axis is not None,
+    )
+    cache.store(fingerprint, _model_payload(model))
     return model
 
 
@@ -744,7 +1092,10 @@ CALIBRATED_TABLES: Dict[str, MissRateModel] = {
 
 
 def blended_miss_model(
-    weights: Dict[str, float] = None, policy: str = "lru"
+    weights: Dict[str, float] = None,
+    policy: str = "lru",
+    surface: bool = False,
+    cache_dir=None,
 ) -> MissRateModel:
     """Return a weighted blend of the calibrated workload curves.
 
@@ -753,7 +1104,9 @@ def blended_miss_model(
     profile.  ``weights`` maps workload name -> weight (normalised
     internally); default is an equal blend of the three standard suites.
     Non-LRU ``policy`` blends the per-policy curves of
-    :func:`calibrated_miss_model`.
+    :func:`calibrated_miss_model`.  ``surface=True`` blends the
+    associativity-complete models of :func:`calibrated_miss_surface`
+    instead, so the blend too answers non-reference shapes.
     """
     if weights is None:
         weights = {name: 1.0 for name in STANDARD_WORKLOADS}
@@ -762,9 +1115,15 @@ def blended_miss_model(
     total = sum(weights.values())
     if total <= 0:
         raise SimulationError("blend weights must sum to a positive value")
-    models = {
-        name: calibrated_miss_model(name, policy) for name in weights
-    }
+    if surface:
+        models = {
+            name: calibrated_miss_surface(name, policy, cache_dir=cache_dir)
+            for name in weights
+        }
+    else:
+        models = {
+            name: calibrated_miss_model(name, policy) for name in weights
+        }
     reference = next(iter(models.values()))
     l1_curve = tuple(
         (
@@ -786,9 +1145,49 @@ def blended_miss_model(
         )
         for size, _ in reference.l2_curve
     )
+    l1_assoc_curves = tuple(
+        (
+            assoc,
+            tuple(
+                (
+                    size,
+                    sum(
+                        weights[name]
+                        / total
+                        * models[name].l1_miss_rate(size, assoc)
+                        for name in weights
+                    ),
+                )
+                for size, _ in curve
+            ),
+        )
+        for assoc, curve in reference.l1_assoc_curves
+    )
+    l2_assoc_curves = tuple(
+        (
+            assoc,
+            tuple(
+                (
+                    size,
+                    sum(
+                        weights[name]
+                        / total
+                        * models[name].l2_local_miss_rate(size, assoc)
+                        for name in weights
+                    ),
+                )
+                for size, _ in curve
+            ),
+        )
+        for assoc, curve in reference.l2_assoc_curves
+    )
     label = "+".join(sorted(weights))
     return MissRateModel(
-        workload=f"blend({label})", l1_curve=l1_curve, l2_curve=l2_curve
+        workload=f"blend({label})",
+        l1_curve=l1_curve,
+        l2_curve=l2_curve,
+        l1_assoc_curves=l1_assoc_curves,
+        l2_assoc_curves=l2_assoc_curves,
     )
 
 
@@ -886,4 +1285,93 @@ def calibrated_miss_model(
         )
     model = measure_miss_model(STANDARD_WORKLOADS[workload])
     CALIBRATED_TABLES[workload] = model
+    return model
+
+
+#: In-process memo of surface-backed models, keyed by (workload, policy).
+_SURFACE_TABLES: Dict[Tuple[str, str], MissRateModel] = {}
+
+
+def calibrated_miss_surface(
+    workload: str = "spec2000", policy: str = "lru", cache_dir=None
+) -> MissRateModel:
+    """Return an associativity-complete model for a standard workload.
+
+    Where :func:`calibrated_miss_model` serves the committed
+    reference-shape tables, this serves the workload's dense profile
+    surface (:mod:`repro.perf.profile_store`): every curve of
+    :data:`L1_GRID_KB` / :data:`L2_GRID_KB` at every surface
+    associativity (1–16, powers of two), so
+    ``model.l1_miss_rate(size, assoc)`` prices any shape the optimisers
+    can build.  LRU surfaces are measured at
+    :data:`ESTIMATOR_CALIBRATION_ACCESSES` accesses (the committed
+    tables' provenance — the reference-assoc curves match the tables up
+    to their 5-decimal rounding); non-LRU at
+    :data:`POLICY_CALIBRATION_ACCESSES`, matching
+    :func:`calibrated_miss_model`'s per-policy convention.  Memoised
+    in-process, single-flighted and disk-cached by the store.
+    """
+    if policy not in _POLICIES:
+        raise SimulationError(
+            f"unknown replacement policy {policy!r}; expected one of "
+            f"{_POLICIES}"
+        )
+    if workload not in STANDARD_WORKLOADS:
+        raise SimulationError(
+            f"unknown workload {workload!r}; expected one of "
+            f"{sorted(STANDARD_WORKLOADS)}"
+        )
+    key = (workload, policy)
+    model = _SURFACE_TABLES.get(key)
+    if model is not None:
+        return model
+    from repro.perf import profile_store as profile_store_tier
+
+    n_accesses = (
+        ESTIMATOR_CALIBRATION_ACCESSES
+        if policy == "lru"
+        else POLICY_CALIBRATION_ACCESSES
+    )
+    surface = profile_store_tier.get_store(cache_dir).surface(
+        STANDARD_WORKLOADS[workload],
+        policy=policy,
+        n_accesses=n_accesses,
+        seed=1,
+    )
+    assocs = profile_store_tier.SURFACE_ASSOCS
+    model = MissRateModel(
+        workload=workload,
+        l1_curve=tuple(
+            (kb * 1024, surface.l1_miss_rate(kb * 1024, REFERENCE_L1_ASSOC))
+            for kb in L1_GRID_KB
+        ),
+        l2_curve=tuple(
+            (
+                kb * 1024,
+                surface.l2_local_miss_rate(kb * 1024, REFERENCE_L2_ASSOC),
+            )
+            for kb in L2_GRID_KB
+        ),
+        l1_assoc_curves=tuple(
+            (
+                assoc,
+                tuple(
+                    (kb * 1024, surface.l1_miss_rate(kb * 1024, assoc))
+                    for kb in L1_GRID_KB
+                ),
+            )
+            for assoc in assocs
+        ),
+        l2_assoc_curves=tuple(
+            (
+                assoc,
+                tuple(
+                    (kb * 1024, surface.l2_local_miss_rate(kb * 1024, assoc))
+                    for kb in L2_GRID_KB
+                ),
+            )
+            for assoc in assocs
+        ),
+    )
+    _SURFACE_TABLES[key] = model
     return model

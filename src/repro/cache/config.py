@@ -127,23 +127,27 @@ class CacheConfig:
         )
 
 
-def l1_config(size_kb: float = 16, name: str = "L1") -> CacheConfig:
+def l1_config(
+    size_kb: float = 16, name: str = "L1", associativity: int = 2
+) -> CacheConfig:
     """Return a typical L1 configuration at the given capacity."""
     return CacheConfig(
         size_bytes=int(size_kb * 1024),
         block_bytes=32,
-        associativity=2,
+        associativity=associativity,
         output_bits=64,
         name=name,
     )
 
 
-def l2_config(size_kb: float = 1024, name: str = "L2") -> CacheConfig:
+def l2_config(
+    size_kb: float = 1024, name: str = "L2", associativity: int = 8
+) -> CacheConfig:
     """Return a typical unified-L2 configuration at the given capacity."""
     return CacheConfig(
         size_bytes=int(size_kb * 1024),
         block_bytes=64,
-        associativity=8,
+        associativity=associativity,
         output_bits=256,
         name=name,
     )

@@ -6,6 +6,11 @@ reasoning: local L1 miss rates are already very low and barely vary from
 4 K to 64 K, so nothing architectural is gained by a big L1 — while a
 small L1 both leaks less (fewer cells) and is faster (shorter lines).
 Hence the small L1 is the optimum.
+
+With the profile store the sweep is no longer pinned to the paper's
+2-way reference shape: ``l1_assocs`` sweeps associativity alongside
+capacity (miss curves sliced from the workload's dense surface), and the
+"vs size" series reports each capacity's best point over the assoc axis.
 """
 
 from __future__ import annotations
@@ -13,7 +18,11 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro import units
-from repro.archsim.missmodel import calibrated_miss_model
+from repro.archsim.missmodel import (
+    REFERENCE_L1_ASSOC,
+    calibrated_miss_model,
+    calibrated_miss_surface,
+)
 from repro.energy.dynamic import MainMemoryModel
 from repro.experiments.report import ExperimentResult
 from repro.optimize.space import DesignSpace
@@ -21,6 +30,10 @@ from repro.optimize.two_level import explore_l1_sizes
 from repro.technology.bptm import Technology
 
 DEFAULT_L1_SIZES_KB = (4, 8, 16, 32, 64)
+
+#: Associativities swept alongside capacity (reference 2-way included so
+#: the paper's shape stays in the comparison).
+DEFAULT_L1_ASSOCS = (1, 2, 4)
 
 #: Budget multiplier on the slowest per-capacity fastest AMAT, so every
 #: capacity is feasible and the comparison is apples-to-apples.
@@ -35,9 +48,13 @@ def run_l1_exploration(
     technology: Optional[Technology] = None,
     space: Optional[DesignSpace] = None,
     memory: MainMemoryModel = MainMemoryModel(),
+    l1_assocs: Sequence[int] = DEFAULT_L1_ASSOCS,
 ) -> ExperimentResult:
-    """Sweep L1 capacity under a fixed 1 MB L2."""
-    miss_model = calibrated_miss_model(workload)
+    """Sweep L1 capacity (and associativity) under a fixed 1 MB L2."""
+    if tuple(l1_assocs) == (REFERENCE_L1_ASSOC,):
+        miss_model = calibrated_miss_model(workload)
+    else:
+        miss_model = calibrated_miss_surface(workload)
     # Probe pass at an unbounded budget: the optimiser then picks each
     # capacity's least-leaky (slowest) point, whose AMAT anchors a taut
     # but attainable budget for the real pass.
@@ -49,6 +66,7 @@ def run_l1_exploration(
         technology=technology,
         space=space,
         memory=memory,
+        l1_assocs=l1_assocs,
     )
     budget = budget_factor * min(point.amat for point in probe)
     points = explore_l1_sizes(
@@ -59,14 +77,15 @@ def run_l1_exploration(
         technology=technology,
         space=space,
         memory=memory,
+        l1_assocs=l1_assocs,
     )
 
     rows = []
-    series_x, series_y = [], []
     for point in points:
         rows.append(
             [
                 f"{point.size_kb:.0f}",
+                f"{point.associativity}",
                 f"{point.l1_miss_rate:.4f}",
                 "yes" if point.feasible else "NO",
                 f"{units.to_ps(point.amat):.0f}",
@@ -78,9 +97,21 @@ def run_l1_exploration(
                 else "-",
             ]
         )
-        if point.feasible:
-            series_x.append(point.size_kb)
-            series_y.append(units.to_mw(point.total_leakage))
+
+    # "vs size" series: collapse the assoc axis to each capacity's best
+    # (least total leakage among feasible shapes).
+    series_x, series_y = [], []
+    for size_kb in l1_sizes_kb:
+        candidates = [
+            p
+            for p in points
+            if p.feasible and p.size_bytes == int(size_kb * 1024)
+        ]
+        if candidates:
+            series_x.append(float(size_kb))
+            series_y.append(
+                units.to_mw(min(p.total_leakage for p in candidates))
+            )
 
     feasible = [p for p in points if p.feasible]
     findings = [
@@ -104,11 +135,17 @@ def run_l1_exploration(
             if best.size_bytes == smallest.size_bytes
             else f"UNEXPECTED: optimum at {best.size_kb:.0f}K"
         )
+        if len(set(l1_assocs)) > 1:
+            findings.append(
+                f"optimum shape: {best.size_kb:.0f}K "
+                f"{best.associativity}-way"
+            )
     return ExperimentResult(
         experiment_id="E5",
         title=f"Section 5 L1 exploration ({workload}, L2={l2_size_kb}K fixed)",
         headers=[
             "L1 (KB)",
+            "assoc",
             "m_L1",
             "feasible",
             "AMAT (ps)",

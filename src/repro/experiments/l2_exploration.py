@@ -17,6 +17,9 @@ the core array much more conservatively than the periphery.
 The iso-AMAT budget is self-calibrating: a multiplier on the fastest AMAT
 achievable anywhere in the sweep (the paper picks fixed targets; a
 multiplier keeps the experiment meaningful for any workload/technology).
+The budget anchor always probes the reference 8-way shape, so sweeping
+``l2_assocs`` (dense-surface miss curves from the profile store) only
+adds candidate shapes without moving the budget.
 """
 
 from __future__ import annotations
@@ -25,7 +28,12 @@ from typing import Optional, Sequence
 
 
 from repro import units
-from repro.archsim.missmodel import MissRateModel, calibrated_miss_model
+from repro.archsim.missmodel import (
+    REFERENCE_L2_ASSOC,
+    MissRateModel,
+    calibrated_miss_model,
+    calibrated_miss_surface,
+)
 from repro.cache.cache_model import CacheModel
 from repro.cache.config import l1_config, l2_config
 from repro.energy.dynamic import MainMemoryModel
@@ -40,6 +48,10 @@ from repro.optimize.two_level import (
 from repro.technology.bptm import Technology, bptm65
 
 DEFAULT_L2_SIZES_KB = (128, 256, 512, 1024, 2048, 4096)
+
+#: Associativities swept alongside capacity (reference 8-way included so
+#: the paper's shape stays in the comparison).
+DEFAULT_L2_ASSOCS = (4, 8, 16)
 
 #: Budget multipliers on the fastest achievable AMAT (see module docstring).
 SINGLE_PAIR_BUDGET_FACTOR = 1.07
@@ -80,9 +92,13 @@ def run_l2_exploration(
     technology: Optional[Technology] = None,
     space: Optional[DesignSpace] = None,
     memory: MainMemoryModel = MainMemoryModel(),
+    l2_assocs: Sequence[int] = DEFAULT_L2_ASSOCS,
 ) -> ExperimentResult:
     """Run E3 (``split=False``) or E4 (``split=True``)."""
-    miss_model = calibrated_miss_model(workload)
+    if tuple(l2_assocs) == (REFERENCE_L2_ASSOC,):
+        miss_model = calibrated_miss_model(workload)
+    else:
+        miss_model = calibrated_miss_surface(workload)
     if budget_factor is None:
         budget_factor = (
             SPLIT_BUDGET_FACTOR if split else SINGLE_PAIR_BUDGET_FACTOR
@@ -100,11 +116,10 @@ def run_l2_exploration(
         technology=technology,
         space=space,
         memory=memory,
+        l2_assocs=l2_assocs,
     )
 
     rows = []
-    series_x = []
-    series_y = []
     for point in points:
         label = "yes" if point.feasible else "NO"
         array_knobs = (
@@ -116,6 +131,7 @@ def run_l2_exploration(
         rows.append(
             [
                 f"{point.size_kb:.0f}",
+                f"{point.associativity}",
                 f"{point.l2_local_miss_rate:.3f}",
                 label,
                 f"{units.to_ps(point.amat):.0f}",
@@ -126,9 +142,22 @@ def run_l2_exploration(
                 periph_knobs,
             ]
         )
-        if point.feasible:
-            series_x.append(point.size_kb)
-            series_y.append(units.to_mw(point.varied_leakage))
+
+    # "vs size" series: collapse the assoc axis to each capacity's best
+    # (least L2 leakage among feasible shapes).
+    series_x = []
+    series_y = []
+    for size_kb in l2_sizes_kb:
+        candidates = [
+            p
+            for p in points
+            if p.feasible and p.size_bytes == int(size_kb * 1024)
+        ]
+        if candidates:
+            series_x.append(float(size_kb))
+            series_y.append(
+                units.to_mw(min(p.varied_leakage for p in candidates))
+            )
 
     feasible = [p for p in points if p.feasible]
     findings = [
@@ -137,7 +166,10 @@ def run_l2_exploration(
     ]
     if feasible:
         best = min(feasible, key=lambda p: p.varied_leakage)
-        largest = max(points, key=lambda p: p.size_bytes)
+        largest_bytes = max(p.size_bytes for p in points)
+        largest_feasible = [
+            p for p in feasible if p.size_bytes == largest_bytes
+        ]
         if split:
             smallest_feasible = min(feasible, key=lambda p: p.size_bytes)
             findings.append(
@@ -164,8 +196,9 @@ def run_l2_exploration(
             findings.append(
                 "largest L2 is not the optimum (leakage outweighs "
                 "miss-rate benefit)"
-                if (not largest.feasible)
-                or largest.varied_leakage > best.varied_leakage
+                if (not largest_feasible)
+                or min(p.varied_leakage for p in largest_feasible)
+                > best.varied_leakage
                 else "UNEXPECTED: largest L2 is optimal"
             )
             smallest = min(feasible, key=lambda p: p.size_bytes)
@@ -174,6 +207,11 @@ def run_l2_exploration(
                     "a bigger L2 beats the smallest feasible one "
                     "(miss-rate headroom buys conservative knobs)"
                 )
+        if len(set(l2_assocs)) > 1:
+            findings.append(
+                f"optimum shape: {best.size_kb:.0f}K "
+                f"{best.associativity}-way"
+            )
     else:
         findings.append("UNEXPECTED: no feasible capacity at this budget")
 
@@ -186,6 +224,7 @@ def run_l2_exploration(
         ),
         headers=[
             "L2 (KB)",
+            "assoc",
             "m_L2",
             "feasible",
             "AMAT (ps)",

@@ -14,6 +14,13 @@ Two explorations, matching the paper's two experiments:
   minimise *total* (L1 + L2) leakage under the same budget.  L1 local
   miss rates barely move between 4 K and 64 K, so the smaller, faster,
   less leaky L1 wins.
+
+Both sweeps optionally take an associativity axis (``l1_assocs`` /
+``l2_assocs``) and then emit one design point per (capacity, assoc)
+combination; the defaults keep the paper's fixed reference shapes.
+Non-reference associativities need a miss model that measured them —
+:func:`repro.archsim.missmodel.calibrated_miss_surface` provides dense
+curves for every shape the profile store covers.
 """
 
 from __future__ import annotations
@@ -63,6 +70,7 @@ class TwoLevelDesignPoint:
     assignment: Optional[Assignment]
     l1_miss_rate: float
     l2_local_miss_rate: float
+    associativity: Optional[int] = None
 
     @property
     def size_kb(self) -> float:
@@ -83,6 +91,7 @@ def explore_l2_sizes(
     technology: Optional[Technology] = None,
     space: Optional[DesignSpace] = None,
     memory: MainMemoryModel = MainMemoryModel(),
+    l2_assocs: Sequence[int] = (8,),
 ) -> List[TwoLevelDesignPoint]:
     """Sweep L2 capacity, optimising L2 knobs at an AMAT budget.
 
@@ -96,6 +105,10 @@ def explore_l2_sizes(
         False: one (Vth, Tox) pair for the whole L2 (the paper's first
         experiment).  True: separate pairs for the L2 cell array and its
         periphery (the second experiment).
+    l2_assocs:
+        Associativities to evaluate at every capacity; one design point
+        per (size, assoc) combination.  Non-reference values require
+        ``miss_model`` to carry the matching assoc curves.
     """
     technology = technology if technology is not None else bptm65()
     if space is None:
@@ -108,42 +121,49 @@ def explore_l2_sizes(
 
     results: List[TwoLevelDesignPoint] = []
     for size_kb in l2_sizes_kb:
-        l2_model = CacheModel(l2_config(size_kb), technology=technology)
-        m2 = miss_model.l2_local_miss_rate(l2_model.config.size_bytes)
-        assignments, delays, leaks = enumerate_candidates(
-            l2_model, _scheme_for(split), space
-        )
-        amats = l1_time + m1 * (delays + m2 * memory.latency)
-        feasible = amats <= amat_budget
-        if not np.any(feasible):
-            fastest = int(np.argmin(amats))
+        for assoc in l2_assocs:
+            l2_model = CacheModel(
+                l2_config(size_kb, associativity=assoc), technology=technology
+            )
+            m2 = miss_model.l2_local_miss_rate(
+                l2_model.config.size_bytes, associativity=assoc
+            )
+            assignments, delays, leaks = enumerate_candidates(
+                l2_model, _scheme_for(split), space
+            )
+            amats = l1_time + m1 * (delays + m2 * memory.latency)
+            feasible = amats <= amat_budget
+            if not np.any(feasible):
+                fastest = int(np.argmin(amats))
+                results.append(
+                    TwoLevelDesignPoint(
+                        size_bytes=l2_model.config.size_bytes,
+                        feasible=False,
+                        amat=float(amats[fastest]),
+                        varied_leakage=float(leaks[fastest]),
+                        total_leakage=float(leaks[fastest] + l1_leak),
+                        assignment=None,
+                        l1_miss_rate=m1,
+                        l2_local_miss_rate=m2,
+                        associativity=assoc,
+                    )
+                )
+                continue
+            masked = np.where(feasible, leaks, np.inf)
+            best = int(np.argmin(masked))
             results.append(
                 TwoLevelDesignPoint(
                     size_bytes=l2_model.config.size_bytes,
-                    feasible=False,
-                    amat=float(amats[fastest]),
-                    varied_leakage=float(leaks[fastest]),
-                    total_leakage=float(leaks[fastest] + l1_leak),
-                    assignment=None,
+                    feasible=True,
+                    amat=float(amats[best]),
+                    varied_leakage=float(leaks[best]),
+                    total_leakage=float(leaks[best] + l1_leak),
+                    assignment=assignments[best],
                     l1_miss_rate=m1,
                     l2_local_miss_rate=m2,
+                    associativity=assoc,
                 )
             )
-            continue
-        masked = np.where(feasible, leaks, np.inf)
-        best = int(np.argmin(masked))
-        results.append(
-            TwoLevelDesignPoint(
-                size_bytes=l2_model.config.size_bytes,
-                feasible=True,
-                amat=float(amats[best]),
-                varied_leakage=float(leaks[best]),
-                total_leakage=float(leaks[best] + l1_leak),
-                assignment=assignments[best],
-                l1_miss_rate=m1,
-                l2_local_miss_rate=m2,
-            )
-        )
     return results
 
 
@@ -157,11 +177,14 @@ def explore_l1_sizes(
     technology: Optional[Technology] = None,
     space: Optional[DesignSpace] = None,
     memory: MainMemoryModel = MainMemoryModel(),
+    l1_assocs: Sequence[int] = (2,),
 ) -> List[TwoLevelDesignPoint]:
     """Sweep L1 capacity under a fixed L2, minimising total leakage.
 
     The L1's own knobs are optimised per capacity (``split`` chooses
     Scheme II vs Scheme III freedom); the L2 stays at ``l2_knobs``.
+    ``l1_assocs`` adds an associativity axis: one design point per
+    (size, assoc) combination, using the miss model's assoc curves.
     """
     technology = technology if technology is not None else bptm65()
     if space is None:
@@ -176,42 +199,49 @@ def explore_l1_sizes(
 
     results: List[TwoLevelDesignPoint] = []
     for size_kb in l1_sizes_kb:
-        l1_model = CacheModel(l1_config(size_kb), technology=technology)
-        m1 = miss_model.l1_miss_rate(l1_model.config.size_bytes)
-        assignments, delays, leaks = enumerate_candidates(
-            l1_model, _scheme_for(split), space
-        )
-        amats = delays + m1 * (l2_time + m2 * memory.latency)
-        feasible = amats <= amat_budget
-        if not np.any(feasible):
-            fastest = int(np.argmin(amats))
+        for assoc in l1_assocs:
+            l1_model = CacheModel(
+                l1_config(size_kb, associativity=assoc), technology=technology
+            )
+            m1 = miss_model.l1_miss_rate(
+                l1_model.config.size_bytes, associativity=assoc
+            )
+            assignments, delays, leaks = enumerate_candidates(
+                l1_model, _scheme_for(split), space
+            )
+            amats = delays + m1 * (l2_time + m2 * memory.latency)
+            feasible = amats <= amat_budget
+            if not np.any(feasible):
+                fastest = int(np.argmin(amats))
+                results.append(
+                    TwoLevelDesignPoint(
+                        size_bytes=l1_model.config.size_bytes,
+                        feasible=False,
+                        amat=float(amats[fastest]),
+                        varied_leakage=float(leaks[fastest]),
+                        total_leakage=float(leaks[fastest] + l2_leak),
+                        assignment=None,
+                        l1_miss_rate=m1,
+                        l2_local_miss_rate=m2,
+                        associativity=assoc,
+                    )
+                )
+                continue
+            masked = np.where(feasible, leaks, np.inf)
+            best = int(np.argmin(masked))
             results.append(
                 TwoLevelDesignPoint(
                     size_bytes=l1_model.config.size_bytes,
-                    feasible=False,
-                    amat=float(amats[fastest]),
-                    varied_leakage=float(leaks[fastest]),
-                    total_leakage=float(leaks[fastest] + l2_leak),
-                    assignment=None,
+                    feasible=True,
+                    amat=float(amats[best]),
+                    varied_leakage=float(leaks[best]),
+                    total_leakage=float(leaks[best] + l2_leak),
+                    assignment=assignments[best],
                     l1_miss_rate=m1,
                     l2_local_miss_rate=m2,
+                    associativity=assoc,
                 )
             )
-            continue
-        masked = np.where(feasible, leaks, np.inf)
-        best = int(np.argmin(masked))
-        results.append(
-            TwoLevelDesignPoint(
-                size_bytes=l1_model.config.size_bytes,
-                feasible=True,
-                amat=float(amats[best]),
-                varied_leakage=float(leaks[best]),
-                total_leakage=float(leaks[best] + l2_leak),
-                assignment=assignments[best],
-                l1_miss_rate=m1,
-                l2_local_miss_rate=m2,
-            )
-        )
     return results
 
 

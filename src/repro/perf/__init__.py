@@ -11,6 +11,11 @@ space, so repeated sweeps pay for each grid exactly once.
 JSON entries that survive the process, used by
 :func:`repro.archsim.missmodel.measure_miss_model` to make re-calibration
 against multi-million-access traces a file read.
+
+:mod:`repro.perf.profile_store` combines both tiers (plus single-flight
+computation) around dense per-workload (size, assoc) miss surfaces, so
+every calibration grid after the first is a slice instead of a trace
+pass.
 """
 
 from repro.perf.table_cache import (
@@ -27,6 +32,15 @@ from repro.perf.disk_cache import (
     make_fingerprint,
     reset_disk_cache_stats,
 )
+from repro.perf.profile_store import (
+    MissSurface,
+    ProfileStore,
+    ProfileStoreInfo,
+    clear_profile_stores,
+    get_store,
+    profile_store_info,
+    reset_profile_store_stats,
+)
 
 __all__ = [
     "TableCacheInfo",
@@ -39,4 +53,11 @@ __all__ = [
     "disk_cache_info",
     "make_fingerprint",
     "reset_disk_cache_stats",
+    "MissSurface",
+    "ProfileStore",
+    "ProfileStoreInfo",
+    "clear_profile_stores",
+    "get_store",
+    "profile_store_info",
+    "reset_profile_store_stats",
 ]

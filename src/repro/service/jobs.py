@@ -150,6 +150,45 @@ class JobManager:
         future.add_done_callback(lambda done: self._on_done(job_id, done))
         return job_id
 
+    def submit_completed(
+        self,
+        kind: str,
+        result: object,
+        detail: Optional[dict] = None,
+    ) -> str:
+        """Record a job that was answered synchronously (already done).
+
+        The profile-store hit path on ``/v1/calibrate`` computes nothing:
+        the result exists before a worker could even be scheduled.  It
+        still gets a job id — the polling contract is uniform — but the
+        job is born DONE, skips the executor entirely, and never counts
+        against the queue budget.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise ServiceUnavailableError(
+                    "the service is shutting down; no new jobs accepted"
+                )
+            job_id = f"job-{next(self._ids)}"
+            now = time.time()
+            job = _Job(
+                job_id=job_id,
+                kind=kind,
+                submitted_at=now,
+                timeout_seconds=self._timeout_seconds,
+                status=DONE,
+                started_at=now,
+                finished_at=now,
+                result=result,
+            )
+            if detail:
+                job.detail.update(detail)
+            self._jobs[job_id] = job
+        self._metrics.increment("jobs.submitted")
+        self._metrics.increment("jobs.done")
+        self._metrics.observe("jobs.duration_seconds", 0.0)
+        return job_id
+
     def _on_done(self, job_id: str, future: Future) -> None:
         with self._lock:
             job = self._jobs.get(job_id)

@@ -25,6 +25,7 @@ from repro.archsim.workloads import STANDARD_WORKLOADS, WorkloadSpec
 from repro.cache.assignment import COMPONENT_NAMES, Knobs, knobs
 from repro.cache.config import CacheConfig
 from repro.optimize.schemes import Scheme
+from repro.perf.profile_store import SURFACE_ASSOCS
 from repro.technology.bptm import TOX_MAX_A, TOX_MIN_A, VTH_MAX, VTH_MIN
 
 #: Hard ceiling on (n_vth x n_tox) points in one sweep/optimize request.
@@ -206,6 +207,53 @@ def _knobs(body: dict, key: str, what: str, default: Knobs) -> Knobs:
     return knobs(vth, tox)
 
 
+def _assoc(body: dict, key: str, what: str) -> Optional[int]:
+    """Decode one optional associativity field (a surface power of two)."""
+    if key not in body:
+        return None
+    value = body[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(
+            f"{what}.{key} must be an integer, got {type(value).__name__}"
+        )
+    if value not in SURFACE_ASSOCS:
+        raise ValidationError(
+            f"{what}.{key} = {value} is not a profiled associativity; "
+            f"expected one of {list(SURFACE_ASSOCS)}"
+        )
+    return value
+
+
+def _assoc_list(body: dict, key: str, what: str) -> Optional[Tuple[int, ...]]:
+    """Decode one optional associativity axis (ascending, no duplicates)."""
+    if key not in body:
+        return None
+    raw = body[key]
+    if not isinstance(raw, list) or not raw or len(raw) > len(SURFACE_ASSOCS):
+        raise ValidationError(
+            f"{what}.{key} must be a list of 1..{len(SURFACE_ASSOCS)} "
+            f"associativities"
+        )
+    values = []
+    for value in raw:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValidationError(
+                f"{what}.{key} entries must be integers, got "
+                f"{type(value).__name__}"
+            )
+        if value not in SURFACE_ASSOCS:
+            raise ValidationError(
+                f"{what}.{key} value {value} is not a profiled "
+                f"associativity; expected a subset of {list(SURFACE_ASSOCS)}"
+            )
+        values.append(value)
+    if values != sorted(set(values)):
+        raise ValidationError(
+            f"{what}.{key} must be strictly ascending without duplicates"
+        )
+    return tuple(values)
+
+
 def _check_grid_budget(vths: Tuple[float, ...], toxes: Tuple[float, ...],
                        what: str) -> None:
     points = len(vths) * len(toxes)
@@ -318,6 +366,8 @@ class AmatRequest:
     l2_knobs: Knobs
     memory_latency: Optional[float]
     policy: str
+    l1_assoc: Optional[int] = None
+    l2_assoc: Optional[int] = None
 
 
 def parse_amat(body) -> AmatRequest:
@@ -326,7 +376,8 @@ def parse_amat(body) -> AmatRequest:
     body = _require_object(body, "amat request")
     _reject_unknown_keys(
         body, ("workload", "l1_size_kb", "l2_size_kb", "l1_knobs", "l2_knobs",
-               "memory_latency_ps", "policy"), "amat request"
+               "memory_latency_ps", "policy", "l1_assoc", "l2_assoc"),
+        "amat request"
     )
     raw_workload = body.get("workload", "spec2000")
     workload: Optional[str] = None
@@ -382,6 +433,8 @@ def parse_amat(body) -> AmatRequest:
             else None
         ),
         policy=_policy(body, "amat"),
+        l1_assoc=_assoc(body, "l1_assoc", "amat"),
+        l2_assoc=_assoc(body, "l2_assoc", "amat"),
     )
 
 
@@ -407,6 +460,8 @@ class CalibrateRequest:
     policy: str
     l1_grid_kb: Tuple[int, ...]
     l2_grid_kb: Tuple[int, ...]
+    l1_assocs: Optional[Tuple[int, ...]] = None
+    l2_assocs: Optional[Tuple[int, ...]] = None
 
 
 def _workload_spec(raw, what: str) -> WorkloadSpec:
@@ -474,7 +529,8 @@ def parse_calibrate(body) -> CalibrateRequest:
     body = _require_object(body, "calibrate request")
     _reject_unknown_keys(
         body, ("workload", "n_accesses", "seed", "estimator", "engine",
-               "policy", "l1_grid_kb", "l2_grid_kb"), "calibrate request"
+               "policy", "l1_grid_kb", "l2_grid_kb", "l1_assocs",
+               "l2_assocs"), "calibrate request"
     )
     if "workload" not in body:
         raise ValidationError(
@@ -508,6 +564,13 @@ def parse_calibrate(body) -> CalibrateRequest:
             f"estimator={estimator!r} models LRU only; use the grid "
             "estimator for non-LRU policies"
         )
+    l1_assocs = _assoc_list(body, "l1_assocs", "calibrate")
+    l2_assocs = _assoc_list(body, "l2_assocs", "calibrate")
+    if estimator == "stackdist" and (l1_assocs or l2_assocs):
+        raise ValidationError(
+            "estimator='stackdist' is fully-associative and cannot take "
+            "an associativity axis; use 'grid' or 'setdist'"
+        )
     return CalibrateRequest(
         spec=spec,
         n_accesses=n_accesses,
@@ -518,4 +581,6 @@ def parse_calibrate(body) -> CalibrateRequest:
         policy=policy,
         l1_grid_kb=_grid_kb(body, "l1_grid_kb", "calibrate", L1_GRID_KB),
         l2_grid_kb=_grid_kb(body, "l2_grid_kb", "calibrate", L2_GRID_KB),
+        l1_assocs=l1_assocs,
+        l2_assocs=l2_assocs,
     )

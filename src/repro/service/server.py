@@ -47,17 +47,24 @@ from repro.errors import (
 )
 from repro.archsim.amat import amat_two_level
 from repro.archsim.missmodel import (
+    ESTIMATOR_CALIBRATION_ACCESSES,
+    REFERENCE_L1_ASSOC,
+    REFERENCE_L2_ASSOC,
+    MissRateModel,
     blended_miss_model,
     calibrated_miss_model,
+    calibrated_miss_surface,
     measure_miss_model,
+    peek_miss_model,
 )
-from repro.archsim.workloads import WorkloadSpec
+from repro.archsim.workloads import STANDARD_WORKLOADS, WorkloadSpec
 from repro.cache.cache_model import CacheModel
 from repro.cache.config import CacheConfig, l1_config, l2_config
 from repro.energy.dynamic import MainMemoryModel
 from repro.optimize.single_cache import minimize_leakage
 from repro.optimize.space import DesignSpace
-from repro.perf import cache_info, disk_cache_info
+from repro.perf import cache_info, disk_cache_info, profile_store_info
+from repro.perf.profile_store import get_store
 
 from repro.service import schemas
 from repro.service.batching import SweepBatcher, slice_grid
@@ -85,6 +92,42 @@ class ServiceConfig:
     job_timeout_seconds: float = 600.0
     cache_dir: Optional[str] = None
     quiet: bool = True
+    #: Workload names whose dense profile surfaces a background thread
+    #: computes at startup, so the first /v1/calibrate and /v1/amat for
+    #: them is already a warm slice.
+    warm_profiles: Tuple[str, ...] = ()
+
+
+def _calibration_result(
+    model: MissRateModel,
+    n_accesses: int,
+    seed: int,
+    estimator: str,
+    engine: str,
+    policy: str,
+) -> dict:
+    """The /v1/calibrate result payload for one measured/served model."""
+    result = {
+        "workload": model.workload,
+        "estimator": estimator,
+        "engine": engine,
+        "policy": policy,
+        "n_accesses": n_accesses,
+        "seed": seed,
+        "l1_curve": [[size, rate] for size, rate in model.l1_curve],
+        "l2_curve": [[size, rate] for size, rate in model.l2_curve],
+    }
+    if model.l1_assoc_curves:
+        result["l1_assoc_curves"] = [
+            [assoc, [[size, rate] for size, rate in curve]]
+            for assoc, curve in model.l1_assoc_curves
+        ]
+    if model.l2_assoc_curves:
+        result["l2_assoc_curves"] = [
+            [assoc, [[size, rate] for size, rate in curve]]
+            for assoc, curve in model.l2_assoc_curves
+        ]
+    return result
 
 
 def _calibration_task(
@@ -97,8 +140,16 @@ def _calibration_task(
     l1_grid_kb: Sequence[int],
     l2_grid_kb: Sequence[int],
     cache_dir: Optional[str],
+    l1_assocs: Optional[Sequence[int]] = None,
+    l2_assocs: Optional[Sequence[int]] = None,
 ) -> dict:
-    """Run one calibration on a pool worker (module-level: picklable)."""
+    """Run one calibration on a pool worker (module-level: picklable).
+
+    ``profile_store="always"``: a store-eligible request computes the
+    workload's whole dense surface in one pass and persists it to the
+    shared disk tier, so the daemon answers every later sub-grid
+    synchronously without touching this pool again.
+    """
     model = measure_miss_model(
         spec,
         n_accesses=n_accesses,
@@ -109,17 +160,13 @@ def _calibration_task(
         estimator=estimator,
         engine=engine,
         policy=policy,
+        l1_assocs=l1_assocs,
+        l2_assocs=l2_assocs,
+        profile_store="always",
     )
-    return {
-        "workload": model.workload,
-        "estimator": estimator,
-        "engine": engine,
-        "policy": policy,
-        "n_accesses": n_accesses,
-        "seed": seed,
-        "l1_curve": [[size, rate] for size, rate in model.l1_curve],
-        "l2_curve": [[size, rate] for size, rate in model.l2_curve],
-    }
+    return _calibration_result(
+        model, n_accesses, seed, estimator, engine, policy
+    )
 
 
 def _grid_to_lists(grid) -> list:
@@ -159,6 +206,55 @@ class ReproService:
         self.metrics.register_gauge(
             "disk_cache", lambda: vars(disk_cache_info())
         )
+        self.metrics.register_gauge(
+            "profile_store", lambda: vars(profile_store_info())
+        )
+        self.metrics.register_gauge(
+            "profile_store.warm_workloads",
+            lambda: len(get_store(self.config.cache_dir).warm_workloads()),
+        )
+        unknown = sorted(
+            set(config.warm_profiles) - set(STANDARD_WORKLOADS)
+        )
+        if unknown:
+            raise ValidationError(
+                f"unknown warm_profiles workload(s) {unknown}; expected a "
+                f"subset of {sorted(STANDARD_WORKLOADS)}"
+            )
+        self._warm_lock = threading.Lock()
+        self._warm_state: Dict[str, str] = {
+            name: "pending" for name in config.warm_profiles
+        }
+        if config.warm_profiles:
+            threading.Thread(
+                target=self._warm_profiles,
+                name="repro-profile-warmer",
+                daemon=True,
+            ).start()
+
+    def _warm_profiles(self) -> None:
+        """Compute configured workloads' surfaces (background, startup).
+
+        Both trace lengths a warm daemon serves from: the /v1/calibrate
+        default (300 k accesses) and the committed-table provenance
+        /v1/amat surfaces read (2 M).  Failures are recorded, never
+        raised — a bad warm leaves the daemon serving cold.
+        """
+        store = get_store(self.config.cache_dir)
+        for name in self.config.warm_profiles:
+            try:
+                for n_accesses in (300_000, ESTIMATOR_CALIBRATION_ACCESSES):
+                    store.surface(
+                        STANDARD_WORKLOADS[name],
+                        policy="lru",
+                        n_accesses=n_accesses,
+                        seed=1,
+                    )
+                verdict = "warm"
+            except Exception as error:  # noqa: BLE001 - warming is advisory
+                verdict = f"failed: {type(error).__name__}: {error}"
+            with self._warm_lock:
+                self._warm_state[name] = verdict
 
     # -- shared model state ------------------------------------------------
 
@@ -248,14 +344,44 @@ class ReproService:
 
     def handle_amat(self, body) -> Tuple[int, dict]:
         request = schemas.parse_amat(body)
+        l1_assoc = (
+            request.l1_assoc
+            if request.l1_assoc is not None
+            else REFERENCE_L1_ASSOC
+        )
+        l2_assoc = (
+            request.l2_assoc
+            if request.l2_assoc is not None
+            else REFERENCE_L2_ASSOC
+        )
+        # Non-reference shapes need the associativity-complete surface
+        # models; reference requests keep the committed tables.
+        need_surface = (
+            l1_assoc != REFERENCE_L1_ASSOC or l2_assoc != REFERENCE_L2_ASSOC
+        )
         if request.workload is not None:
-            miss_model = calibrated_miss_model(request.workload,
-                                               request.policy)
+            miss_model = (
+                calibrated_miss_surface(
+                    request.workload,
+                    request.policy,
+                    cache_dir=self.config.cache_dir,
+                )
+                if need_surface
+                else calibrated_miss_model(request.workload, request.policy)
+            )
         else:
-            miss_model = blended_miss_model(dict(request.blend_weights),
-                                            request.policy)
-        l1_model = CacheModel(l1_config(request.l1_size_kb))
-        l2_model = CacheModel(l2_config(request.l2_size_kb))
+            miss_model = blended_miss_model(
+                dict(request.blend_weights),
+                request.policy,
+                surface=need_surface,
+                cache_dir=self.config.cache_dir,
+            )
+        l1_model = CacheModel(
+            l1_config(request.l1_size_kb, associativity=l1_assoc)
+        )
+        l2_model = CacheModel(
+            l2_config(request.l2_size_kb, associativity=l2_assoc)
+        )
         l1_eval = l1_model.uniform(request.l1_knobs)
         l2_eval = l2_model.uniform(request.l2_knobs)
         memory = (
@@ -263,8 +389,12 @@ class ReproService:
             if request.memory_latency is not None
             else MainMemoryModel()
         )
-        m1 = miss_model.l1_miss_rate(l1_model.config.size_bytes)
-        m2 = miss_model.l2_local_miss_rate(l2_model.config.size_bytes)
+        m1 = miss_model.l1_miss_rate(
+            l1_model.config.size_bytes, associativity=request.l1_assoc
+        )
+        m2 = miss_model.l2_local_miss_rate(
+            l2_model.config.size_bytes, associativity=request.l2_assoc
+        )
         amat = amat_two_level(
             l1_eval.access_time, m1, l2_eval.access_time, m2, memory.latency
         )
@@ -282,12 +412,14 @@ class ReproService:
             "memory_latency_ps": units.to_ps(memory.latency),
             "l1": {
                 "size_kb": request.l1_size_kb,
+                "associativity": l1_assoc,
                 "access_ps": units.to_ps(l1_eval.access_time),
                 "leakage_mw": units.to_mw(l1_eval.leakage_power),
                 "miss_rate": m1,
             },
             "l2": {
                 "size_kb": request.l2_size_kb,
+                "associativity": l2_assoc,
                 "access_ps": units.to_ps(l2_eval.access_time),
                 "leakage_mw": units.to_mw(l2_eval.leakage_power),
                 "local_miss_rate": m2,
@@ -296,6 +428,50 @@ class ReproService:
 
     def handle_calibrate(self, body) -> Tuple[int, dict]:
         request = schemas.parse_calibrate(body)
+        detail = {
+            "workload": request.spec.name,
+            "estimator": request.estimator,
+            "engine": request.engine,
+            "policy": request.policy,
+        }
+        # Serving tier first: an already-profiled workload (dense surface
+        # resident, or the exact curves disk-cached) answers without a
+        # single trace pass — the job is born done and the client's very
+        # first poll (or this response) carries the result.
+        model = peek_miss_model(
+            request.spec,
+            n_accesses=request.n_accesses,
+            seed=request.seed,
+            l1_grid_kb=request.l1_grid_kb,
+            l2_grid_kb=request.l2_grid_kb,
+            cache_dir=self.config.cache_dir,
+            engine=request.engine,
+            estimator=request.estimator,
+            policy=request.policy,
+            l1_assocs=request.l1_assocs,
+            l2_assocs=request.l2_assocs,
+        )
+        if model is not None:
+            self.metrics.increment("calibrate.profile_store_hits")
+            result = _calibration_result(
+                model,
+                request.n_accesses,
+                request.seed,
+                request.estimator,
+                request.engine,
+                request.policy,
+            )
+            job_id = self.jobs.submit_completed(
+                "calibrate",
+                result,
+                detail={**detail, "served_from": "profile_store"},
+            )
+            return 202, {
+                "job_id": job_id,
+                "status": "done",
+                "poll": f"/v1/jobs/{job_id}",
+            }
+        self.metrics.increment("calibrate.profile_store_misses")
         job_id = self.jobs.submit(
             "calibrate",
             _calibration_task,
@@ -308,12 +484,9 @@ class ReproService:
             request.l1_grid_kb,
             request.l2_grid_kb,
             self.config.cache_dir,
-            detail={
-                "workload": request.spec.name,
-                "estimator": request.estimator,
-                "engine": request.engine,
-                "policy": request.policy,
-            },
+            request.l1_assocs,
+            request.l2_assocs,
+            detail={**detail, "served_from": "engine"},
         )
         return 202, {
             "job_id": job_id,
@@ -322,10 +495,18 @@ class ReproService:
         }
 
     def handle_healthz(self) -> Tuple[int, dict]:
-        return 200, {
+        payload = {
             "status": "ok",
             "uptime_seconds": time.time() - self.started_at,
         }
+        if self.config.warm_profiles:
+            with self._warm_lock:
+                state = dict(self._warm_state)
+            payload["profile_store"] = {
+                "warm_profiles": state,
+                "warming": any(v == "pending" for v in state.values()),
+            }
+        return 200, payload
 
     def handle_metrics(self) -> Tuple[int, dict]:
         return 200, self.metrics.snapshot()

@@ -40,8 +40,11 @@ def test_job_runs_to_done_with_poll_transitions(client):
 
 def test_cancel_queued_job_never_runs(client):
     # 1 worker: the slow occupier pins it, so the victim stays queued.
+    # The victim needs a fresh seed: a request whose curves are already
+    # disk-cached (or profile-store resident) is born done and there is
+    # nothing left to cancel.
     occupier = client.calibrate(**CALIBRATE_SLOW)
-    victim = client.calibrate(**CALIBRATE_FAST)
+    victim = client.calibrate(seed=31, **CALIBRATE_FAST)
     verdict = client.cancel_job(victim["job_id"])
     assert verdict["status"] == "cancelled"
     assert verdict.get("started_at") is None

@@ -4,6 +4,7 @@ Run:  PYTHONPATH=src python tools/bench.py --suite archsim   # -> BENCH_2.json
       PYTHONPATH=src python tools/bench.py --suite sweep     # -> BENCH_1.json
       PYTHONPATH=src python tools/bench.py --suite service   # -> BENCH_3.json
       PYTHONPATH=src python tools/bench.py --suite calib     # -> BENCH_6.json
+                                                             #  + BENCH_7.json
       PYTHONPATH=src python tools/bench.py --smoke           # CI regression gate
 
 Four suites, one per performance PR:
@@ -28,6 +29,13 @@ Four suites, one per performance PR:
   multi-config engine (acceptance: >= 5x, rates bit-identical) and for
   a dense ~200-point (size, assoc) grid (acceptance: <= 1.2x the
   12-point trace pass — the cascade's cost is grid-size independent).
+  The calib suite also times the workload profile store (PR 7): a cold
+  ``profile_store="always"`` calibration that computes the dense
+  (size, assoc) surface, then the warm repeat served entirely from the
+  resident surface with zero trace passes (acceptance: >= 50x for the
+  12-point default grid, rates bit-identical to a direct multiconfig
+  run, compute counter flat on the warm serve).  The profile-store
+  section is written to its own report, ``BENCH_7.json``.
 
 Each suite writes measurements plus speedups against recorded pre-PR
 baselines to a JSON report.  Baselines were measured on this machine at
@@ -390,6 +398,11 @@ SETDIST_SPEEDUP_FLOOR = 5.0
 #: pass over the same trace.
 SETDIST_GRID_RATIO_CEIL = 1.2
 
+#: Acceptance floor for the profile store (BENCH_7): serving the
+#: 12-point default grid from a warm dense surface must beat the cold
+#: compute-the-surface pass by at least this much.
+PROFILE_STORE_WARM_SPEEDUP_FLOOR = 50.0
+
 
 def _best_of(repeats: int, fn):
     """Best-of-N wall time (engine-only benches: takes the min, not the
@@ -399,6 +412,76 @@ def _best_of(repeats: int, fn):
         seconds, result = _timed(fn)
         best_seconds = min(best_seconds, seconds)
     return best_seconds, result
+
+
+def bench_profile_store(n: int = 2_000_000) -> dict:
+    """Cold dense-surface pass vs warm store serve on the default grid.
+
+    Cold: ``profile_store="always"`` into an empty store — one trace
+    pass computes the whole (size, assoc) surface, then slices the
+    12-point default grid off it.  Warm: the identical call again — the
+    surface is resident in the memory tier, so the grid is a pure slice
+    and the store's compute counter must stay flat.  Both are compared
+    against ``profile_store="off"`` (direct multiconfig sweep) for
+    bit-identity.  The missmodel disk cache is disabled throughout so
+    the timings isolate the store tiers.
+    """
+    from repro.archsim.missmodel import measure_miss_model
+    from repro.archsim.workloads import SPEC2000_LIKE
+    from repro.perf import clear_profile_stores, profile_store_info
+
+    print(f"profile store ({n:,} accesses, default 12-point grid):")
+    clear_profile_stores()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_seconds, cold = _timed(lambda: measure_miss_model(
+            SPEC2000_LIKE, n_accesses=n, use_disk_cache=False,
+            cache_dir=cache_dir, profile_store="always",
+        ))
+        print(f"  cold (compute dense surface + slice): "
+              f"{cold_seconds:.3f} s")
+        before = profile_store_info()
+        warm_seconds, warm = _timed(lambda: measure_miss_model(
+            SPEC2000_LIKE, n_accesses=n, use_disk_cache=False,
+            cache_dir=cache_dir, profile_store="always",
+        ))
+        after = profile_store_info()
+        print(f"  warm (memory-tier slice):             "
+              f"{warm_seconds * 1e3:.2f} ms")
+    direct_seconds, direct = _timed(lambda: measure_miss_model(
+        SPEC2000_LIKE, n_accesses=n, use_disk_cache=False,
+        profile_store="off",
+    ))
+    print(f"  direct (store off, multiconfig sweep):  "
+          f"{direct_seconds:.3f} s")
+
+    identical = cold == warm == direct
+    if not identical:
+        print("FAIL: store-served curves diverged from the direct sweep",
+              file=sys.stderr)
+    computes_flat = after.misses == before.misses
+    if not computes_flat:
+        print("FAIL: the warm serve recomputed the surface",
+              file=sys.stderr)
+    speedup = cold_seconds / warm_seconds if warm_seconds else 0.0
+    ok = (identical and computes_flat
+          and speedup >= PROFILE_STORE_WARM_SPEEDUP_FLOOR)
+    print(f"  warm vs cold: {speedup:.0f}x (floor "
+          f"{PROFILE_STORE_WARM_SPEEDUP_FLOOR:.0f}x), curves "
+          f"{'identical' if identical else 'DIVERGED'}, computes "
+          f"{'flat' if computes_flat else 'GREW'} -> "
+          f"{'PASS' if ok else 'FAIL'}")
+    return {
+        "n_accesses": n,
+        "grid_points": 12,
+        "cold_surface_pass_seconds": cold_seconds,
+        "warm_store_serve_seconds": warm_seconds,
+        "direct_multiconfig_seconds": direct_seconds,
+        "speedup_warm_vs_cold": speedup,
+        "speedup_floor": PROFILE_STORE_WARM_SPEEDUP_FLOOR,
+        "rates_bit_identical_to_direct": identical,
+        "warm_serve_computes_flat": computes_flat,
+        "pass": ok,
+    }
 
 
 def bench_setdist(n: int = 2_000_000) -> dict:
@@ -438,9 +521,9 @@ def bench_setdist(n: int = 2_000_000) -> dict:
               f"  multiconfig: {multi_rates}", file=sys.stderr)
     speedup = multi_seconds / setdist_seconds if setdist_seconds else 0.0
 
-    l1_sets = [missmodel._reference_sets("l1", kb)
+    l1_sets = [missmodel._point_sets("l1", kb)
                for kb in missmodel.L1_GRID_KB]
-    l2_sets = [missmodel._reference_sets("l2", kb)
+    l2_sets = [missmodel._point_sets("l2", kb)
                for kb in missmodel.L2_GRID_KB]
     l1_assocs, l2_assocs = 16, 17
     dense_points = len(l1_sets) * l1_assocs + len(l2_sets) * l2_assocs
@@ -450,7 +533,7 @@ def bench_setdist(n: int = 2_000_000) -> dict:
             trace,
             l1_set_counts=l1_sets,
             l2_set_counts=l2_sets,
-            ref_sets=missmodel._reference_sets(
+            ref_sets=missmodel._point_sets(
                 "l1", missmodel.REFERENCE_L1_KB),
             ref_assoc=missmodel.REFERENCE_L1_ASSOC,
             l1_block_bytes=missmodel.REFERENCE_L1_BLOCK,
@@ -502,7 +585,9 @@ def bench_setdist(n: int = 2_000_000) -> dict:
     }
 
 
-def run_calib_suite(output: str, n: int = 2_000_000) -> int:
+def run_calib_suite(
+    output: str, n: int = 2_000_000, profile_output: str = "BENCH_7.json"
+) -> int:
     """Cold per-point vs batched calibration per policy; equal curves."""
     from repro.archsim.missmodel import measure_miss_model
     from repro.archsim.workloads import SPEC2000_LIKE
@@ -517,14 +602,17 @@ def run_calib_suite(output: str, n: int = 2_000_000) -> int:
     for policy, floor in floors.items():
         print(f"grid calibration ({n:,} accesses, default grids, "
               f"policy={policy}):")
+        # profile_store="off" keeps this an engine measurement — a
+        # resident surface would otherwise answer the multiconfig call
+        # by slicing (that serving tier is benched separately, BENCH_7).
         legacy_seconds, legacy = _timed(lambda p=policy: measure_miss_model(
             SPEC2000_LIKE, n_accesses=n, use_disk_cache=False,
-            engine="array", policy=p,
+            engine="array", policy=p, profile_store="off",
         ))
         print(f"  per-point engine (legacy): {legacy_seconds:.3f} s")
         batched_seconds, batched = _timed(lambda p=policy: measure_miss_model(
             SPEC2000_LIKE, n_accesses=n, use_disk_cache=False,
-            engine="multiconfig", policy=p,
+            engine="multiconfig", policy=p, profile_store="off",
         ))
         print(f"  multiconfig engine:        {batched_seconds:.3f} s")
 
@@ -563,11 +651,19 @@ def run_calib_suite(output: str, n: int = 2_000_000) -> int:
     setdist = bench_setdist(n)
     passed = passed and setdist["pass"]
 
+    profile = bench_profile_store(n)
+    passed = passed and profile["pass"]
+    with open(profile_output, "w") as handle:
+        json.dump(profile, handle, indent=2)
+        handle.write("\n")
+    print(f"profile-store report written to {profile_output}")
+
     lru_legacy = policies["lru"]["cold_per_point_seconds"]
     report = {
         "n_accesses": n,
         "policies": policies,
         "setdist": setdist,
+        "profile_store": profile,
         "measured": {
             "grid_calibration_cold_disk_store": cold_seconds,
             "grid_calibration_warm_disk_load": warm_seconds,
@@ -596,7 +692,8 @@ def run_calib_suite(output: str, n: int = 2_000_000) -> int:
               f"{policy} {entry['speedup_multiconfig_vs_per_point']:.1f}x"
               for policy, entry in policies.items())
           + f", setdist {setdist['speedup_setdist_vs_multiconfig']:.1f}x"
-          f" @ {setdist['dense_vs_default_ratio']:.2f}x dense ratio)")
+          f" @ {setdist['dense_vs_default_ratio']:.2f}x dense ratio, "
+          f"profile store {profile['speedup_warm_vs_cold']:.0f}x warm)")
     print(f"report written to {output}")
     return 0 if passed else 1
 

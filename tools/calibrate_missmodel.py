@@ -35,7 +35,21 @@ def main() -> None:
                         choices=("lru", "fifo", "random"),
                         help="replacement policy at both levels (the "
                              "committed tables are LRU)")
+    parser.add_argument("--l1-assocs", default=None, metavar="A,A,...",
+                        help="comma-separated L1 associativities to measure "
+                             "alongside the reference shape (powers of two)")
+    parser.add_argument("--l2-assocs", default=None, metavar="A,A,...",
+                        help="comma-separated L2 associativities to measure "
+                             "alongside the reference shape (powers of two)")
     arguments = parser.parse_args()
+
+    def _assoc_axis(raw):
+        if raw is None:
+            return None
+        return tuple(int(value) for value in raw.split(",") if value.strip())
+
+    l1_assocs = _assoc_axis(arguments.l1_assocs)
+    l2_assocs = _assoc_axis(arguments.l2_assocs)
 
     t0 = time.time()
     print("CALIBRATED_TABLES: Dict[str, MissRateModel] = {")
@@ -48,6 +62,8 @@ def main() -> None:
             engine=arguments.engine,
             estimator=arguments.estimator,
             policy=arguments.policy,
+            l1_assocs=l1_assocs,
+            l2_assocs=l2_assocs,
             use_disk_cache=False,
         )
         print(f'    "{name}": MissRateModel(')
@@ -60,11 +76,26 @@ def main() -> None:
         for size, rate in model.l2_curve:
             print(f'            ({size}, {rate:.5f}),')
         print(f'        ),')
+        for label, curves in (
+            ("l1_assoc_curves", model.l1_assoc_curves),
+            ("l2_assoc_curves", model.l2_assoc_curves),
+        ):
+            if not curves:
+                continue
+            print(f'        {label}=(')
+            for assoc, curve in curves:
+                print(f'            ({assoc}, (')
+                for size, rate in curve:
+                    print(f'                ({size}, {rate:.5f}),')
+                print(f'            )),')
+            print(f'        ),')
         print(f'    ),')
     print("}")
     print(f"# measured with n_accesses={arguments.n_accesses}, seed=1, "
           f"engine={arguments.engine}, estimator={arguments.estimator}, "
-          f"policy={arguments.policy}, in {time.time()-t0:.0f}s")
+          f"policy={arguments.policy}, "
+          f"l1_assocs={l1_assocs}, l2_assocs={l2_assocs}, "
+          f"in {time.time()-t0:.0f}s")
 
 
 if __name__ == "__main__":

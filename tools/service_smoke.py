@@ -15,6 +15,11 @@ port file, then asserts the service contract:
   daemon stays alive,
 * a small FIFO-policy calibration job round-trips: the snapshot and
   result carry the policy label and the curves come back non-empty,
+* a calibrate carrying an associativity axis computes the dense profile
+  surface once (``served_from: "engine"``); a repeat over a sub-grid is
+  answered synchronously from the profile store (``"status": "done"``
+  on submission, ``served_from: "profile_store"``) with bit-identical
+  rates,
 * SIGTERM produces a graceful exit (code 0, jobs drained).
 
 ``--in-process`` runs the same checks against an in-process server (no
@@ -157,22 +162,63 @@ def check_service(host: str, port: int) -> None:
         _fail(f"fifo calibration returned empty curves: {result}")
     print(f"  calibrate: fifo job done, policy label on snapshot and "
           f"result, {len(result['l1_curve'])}-point L1 curve")
+
+    # Profile store: a calibrate with an assoc axis computes the dense
+    # (size, assoc) surface once; a repeat over any sub-grid must then
+    # be served synchronously from the store with identical rates.
+    first = client.calibrate(workload="spec2000", n_accesses=20_000,
+                             l1_grid_kb=[4, 8], l2_grid_kb=[128, 256],
+                             l1_assocs=[1, 2], l2_assocs=[8])
+    first_done = client.wait_for_job(first["job_id"], timeout=120)
+    if first_done.get("status") != "done":
+        _fail(f"assoc calibration job ended "
+              f"{first_done.get('status')!r}: {first_done}")
+    if first_done.get("served_from") != "engine":
+        _fail(f"first assoc calibrate should have run the engine: "
+              f"{first_done}")
+    second = client.calibrate(workload="spec2000", n_accesses=20_000,
+                              l1_grid_kb=[8], l2_grid_kb=[256],
+                              l1_assocs=[1], l2_assocs=[8])
+    if second.get("status") != "done":
+        _fail(f"warm-store calibrate was not served synchronously: "
+              f"{second}")
+    second_done = client.job(second["job_id"])
+    if second_done.get("served_from") != "profile_store":
+        _fail(f"warm-store calibrate not labelled as store-served: "
+              f"{second_done}")
+    warm = second_done.get("result", {})
+    if not warm.get("l1_assoc_curves"):
+        _fail(f"store-served result lost its assoc curves: {warm}")
+    cold_l1 = {size: rate
+               for size, rate in first_done["result"]["l1_curve"]}
+    for size, rate in warm.get("l1_curve", []):
+        if cold_l1.get(size) != rate:
+            _fail(f"store-served L1 rate diverged at {size} B: "
+                  f"{rate} != {cold_l1.get(size)}")
+    print("  profile store: assoc calibrate ran the engine once; repeat "
+          "sub-grid served synchronously, rates identical")
     client.close()
 
 
 def run_in_process() -> int:
     from repro.service import ServiceConfig, create_server
 
-    server = create_server(ServiceConfig(port=0))
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    print(f"service smoke (in-process, port {server.bound_port}):")
-    try:
-        check_service("127.0.0.1", server.bound_port)
-    finally:
-        server.shutdown()
-        summary = server.service.shutdown()
-        server.server_close()
+    # A scratch cache dir keeps the fresh-then-served profile-store
+    # assertions deterministic: the default disk cache would hand the
+    # first assoc calibrate a surface left over from an earlier run.
+    with tempfile.TemporaryDirectory() as scratch:
+        server = create_server(ServiceConfig(
+            port=0, cache_dir=os.path.join(scratch, "cache")
+        ))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        print(f"service smoke (in-process, port {server.bound_port}):")
+        try:
+            check_service("127.0.0.1", server.bound_port)
+        finally:
+            server.shutdown()
+            summary = server.service.shutdown()
+            server.server_close()
     print(f"  shutdown: drained={summary['drained']} "
           f"cancelled={summary['cancelled']}")
     print("OK")
