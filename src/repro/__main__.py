@@ -136,6 +136,8 @@ def _cmd_serve(arguments) -> int:
         cache_dir=arguments.cache_dir,
         quiet=not arguments.verbose,
         warm_profiles=warm_profiles,
+        campaign_max_units=arguments.campaign_max_units,
+        campaign_fanout=arguments.campaign_fanout,
     )
     return run(config, port_file=arguments.port_file)
 
@@ -207,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated workloads whose profile "
                             "surfaces are computed at startup "
                             "(e.g. spec2000,tpcc)")
+    serve.add_argument("--campaign-max-units", type=int, default=2048,
+                       help="expansion budget for one campaign "
+                            "(default 2048 units)")
+    serve.add_argument("--campaign-fanout", type=int, default=4,
+                       help="concurrent heavy campaign units in flight "
+                            "(default 4)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
     serve.set_defaults(handler=_cmd_serve)

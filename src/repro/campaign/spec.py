@@ -1,0 +1,129 @@
+"""Typed campaign specifications (the declarative DSE entry point).
+
+A campaign is one declarative document describing a whole design-space
+exploration: which workloads and replacement policies to calibrate,
+which (size, associativity) matrix to read off the dense miss surfaces,
+which AMAT configurations to price under which knob assignments and
+constraints, which (Vth, Tox) sweeps to evaluate, and which scheme
+optimisations to run.  The planner (:mod:`repro.campaign.planner`)
+expands one :class:`CampaignSpec` into canonical unit work items; this
+module only holds the validated, immutable spec types the service
+schema layer (:func:`repro.service.schemas.parse_campaign`) produces.
+
+Import discipline: this package is *below* :mod:`repro.service` — the
+service imports campaign types, never the reverse at module level — so
+these dataclasses depend only on the core library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.archsim.workloads import WorkloadSpec
+from repro.cache.assignment import Knobs
+from repro.cache.config import CacheConfig
+
+#: Bump when unit semantics change: folded into every unit fingerprint,
+#: so old checkpoints read as clean misses instead of stale hits.
+CAMPAIGN_FORMAT = 1
+
+#: Unit kinds the planner can emit, in result-report order.
+UNIT_KINDS = ("profile", "point", "amat", "sweep", "optimize")
+
+
+@dataclass(frozen=True)
+class CampaignCalibration:
+    """Shared trace parameters for every surface the campaign touches."""
+
+    n_accesses: int = 300_000
+    seed: int = 1
+
+
+@dataclass(frozen=True)
+class MatrixBlock:
+    """A (size, assoc) calibration-point matrix read off the surfaces.
+
+    Expands to one ``point`` unit per (workload, policy, level, size,
+    assoc); every point must lie on the dense profile surface so the
+    whole matrix costs one trace pass per (workload, policy).
+    """
+
+    l1_sizes_kb: Tuple[int, ...]
+    l1_assocs: Tuple[int, ...]
+    l2_sizes_kb: Tuple[int, ...]
+    l2_assocs: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class AmatBlock:
+    """A two-level AMAT/energy/leakage pricing matrix.
+
+    Expands to one ``amat`` unit per (workload, policy, L1 shape, L2
+    shape); miss rates come from the campaign's own calibration
+    surfaces, so the block shares trace passes with the matrix block.
+    """
+
+    l1_sizes_kb: Tuple[int, ...]
+    l1_assocs: Tuple[int, ...]
+    l2_sizes_kb: Tuple[int, ...]
+    l2_assocs: Tuple[int, ...]
+    l1_knobs: Knobs
+    l2_knobs: Knobs
+    memory_latency_ps: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class SweepBlock:
+    """One (Vth, Tox) grid evaluation of a cache structure.
+
+    Same shape as a ``POST /v1/sweep`` body; the planner coalesces
+    same-structure sweep blocks into union-grid groups.
+    """
+
+    config: CacheConfig
+    vths: Tuple[float, ...]
+    toxes_angstrom: Tuple[float, ...]
+    components: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class OptimizeBlock:
+    """The Scheme I-III comparison: caches x schemes x delay targets."""
+
+    configs: Tuple[CacheConfig, ...]
+    schemes: Tuple[str, ...]
+    targets_ps: Tuple[float, ...]
+    vths: Optional[Tuple[float, ...]] = None
+    toxes_angstrom: Optional[Tuple[float, ...]] = None
+
+
+@dataclass(frozen=True)
+class CampaignConstraints:
+    """Feasibility bounds annotated onto every ``amat`` unit result."""
+
+    max_amat_ps: Optional[float] = None
+    max_leakage_mw: Optional[float] = None
+
+    def active(self) -> bool:
+        return self.max_amat_ps is not None or self.max_leakage_mw is not None
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One validated campaign document."""
+
+    name: str
+    workloads: Tuple[WorkloadSpec, ...]
+    policies: Tuple[str, ...]
+    calibration: CampaignCalibration
+    matrix: Optional[MatrixBlock] = None
+    amat: Optional[AmatBlock] = None
+    sweeps: Tuple[SweepBlock, ...] = ()
+    optimize: Optional[OptimizeBlock] = None
+    constraints: CampaignConstraints = CampaignConstraints()
+
+    @property
+    def needs_surfaces(self) -> bool:
+        """True when the campaign calibrates (matrix or amat present)."""
+        return self.matrix is not None or self.amat is not None

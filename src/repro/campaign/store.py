@@ -1,0 +1,38 @@
+"""Content-addressed campaign checkpoints (DiskCache namespace
+``campaigns``).
+
+Every completed unit of every campaign is persisted here, keyed by the
+unit's canonical fingerprint — *not* by campaign id.  That makes
+checkpoints shareable: a resubmitted identical spec (after a crash, a
+cancel, or from a different campaign that happens to contain the same
+unit) reuses finished work without recomputing it, and a kill -9 mid
+campaign loses at most the units that had not finished (writes are
+atomic per entry).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.perf.disk_cache import DiskCache
+
+
+class CampaignStore:
+    """Thin fingerprint-keyed JSON store for completed unit results."""
+
+    NAMESPACE = "campaigns"
+
+    def __init__(self, directory=None) -> None:
+        self._disk = DiskCache(self.NAMESPACE, directory=directory)
+
+    def load(self, fingerprint: str) -> Optional[dict]:
+        """Return a checkpointed unit result, or None."""
+        return self._disk.load(fingerprint)
+
+    def store(self, fingerprint: str, result: dict) -> None:
+        """Persist one completed unit result (atomic, last writer wins)."""
+        self._disk.store(fingerprint, result)
+
+    def clear(self) -> int:
+        """Drop every checkpoint (tests); returns the count removed."""
+        return self._disk.clear()

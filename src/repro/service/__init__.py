@@ -10,6 +10,9 @@ client.  The package splits cleanly by concern:
 * :mod:`repro.service.metrics`  — counters / gauges / histograms
 * :mod:`repro.service.server`   — HTTP transport + endpoint handlers
 * :mod:`repro.service.client`   — stdlib keep-alive client
+
+Declarative DSE campaigns (``POST /v1/campaigns``) are executed by
+:mod:`repro.campaign`, which the server wires onto its job pool.
 """
 
 from repro.service.server import (

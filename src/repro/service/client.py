@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Optional, Sequence
 
@@ -37,6 +38,7 @@ class ServiceClient:
         self.port = port
         self.timeout = timeout
         self._connection: Optional[http.client.HTTPConnection] = None
+        self._random = random.Random()
 
     def _connect(self) -> http.client.HTTPConnection:
         if self._connection is None:
@@ -127,24 +129,110 @@ class ServiceClient:
     def calibrate(self, **body) -> dict:
         return self.request("POST", "/v1/calibrate", body)
 
-    def job(self, job_id: str) -> dict:
-        return self.request("GET", f"/v1/jobs/{job_id}")
+    def job(self, job_id: str, wait: Optional[float] = None) -> dict:
+        path = f"/v1/jobs/{job_id}"
+        if wait is not None and wait > 0:
+            path += f"?wait={wait:g}"
+        return self.request("GET", path)
 
     def cancel_job(self, job_id: str) -> dict:
         return self.request("DELETE", f"/v1/jobs/{job_id}")
 
-    def wait_for_job(self, job_id: str, timeout: float = 120.0,
-                     poll_interval: float = 0.25) -> dict:
-        """Poll until the job reaches a terminal state (or raise)."""
+    def _poll(self, fetch, describe, timeout: float,
+              poll_interval: Optional[float], long_poll: bool) -> dict:
+        """Shared wait loop for jobs and campaigns.
+
+        ``fetch(wait_seconds)`` issues one status read; with ``long_poll``
+        the server blocks up to 20 s per read, so the loop mostly sleeps
+        inside the daemon.  Between reads (a long poll that expired, or a
+        server too old for ``?wait=``) the delay backs off exponentially
+        with +/-50% jitter so a fan-out of pollers cannot phase-lock into
+        request bursts the way the old fixed 0.25 s cadence did.
+        """
         deadline = time.monotonic() + timeout
+        delay = poll_interval if poll_interval is not None else 0.05
         while True:
-            snapshot = self.job(job_id)
+            remaining = deadline - time.monotonic()
+            wait = min(20.0, max(0.0, remaining)) if long_poll else 0.0
+            snapshot = fetch(wait)
             if snapshot["status"] in ("done", "failed", "cancelled",
                                       "timeout"):
                 return snapshot
-            if time.monotonic() > deadline:
+            if time.monotonic() >= deadline:
                 raise TimeoutError(
-                    f"job {job_id} still {snapshot['status']!r} after "
+                    f"{describe} still {snapshot['status']!r} after "
                     f"{timeout:.0f} s"
                 )
-            time.sleep(poll_interval)
+            if poll_interval is not None:
+                pause = poll_interval
+            else:
+                pause = delay * (0.5 + self._random.random())
+                delay = min(delay * 2.0, 2.0)
+            time.sleep(min(pause, max(0.0, deadline - time.monotonic())))
+
+    def wait_for_job(self, job_id: str, timeout: float = 120.0,
+                     poll_interval: Optional[float] = None,
+                     long_poll: bool = True) -> dict:
+        """Block until the job is terminal (or raise TimeoutError).
+
+        By default each poll long-polls the server (``?wait=``) and any
+        client-side pauses use jittered exponential backoff.  Passing an
+        explicit ``poll_interval`` restores a fixed cadence.
+        """
+        return self._poll(
+            lambda wait: self.job(job_id, wait=wait or None),
+            f"job {job_id}", timeout, poll_interval, long_poll,
+        )
+
+    # -- campaigns ---------------------------------------------------------
+
+    def submit_campaign(self, spec: dict) -> dict:
+        return self.request("POST", "/v1/campaigns", spec)
+
+    def campaign(self, campaign_id: str, wait: Optional[float] = None,
+                 results: bool = True) -> dict:
+        params = []
+        if wait is not None and wait > 0:
+            params.append(f"wait={wait:g}")
+        if not results:
+            params.append("results=0")
+        path = f"/v1/campaigns/{campaign_id}"
+        if params:
+            path += "?" + "&".join(params)
+        return self.request("GET", path)
+
+    def cancel_campaign(self, campaign_id: str) -> dict:
+        return self.request("DELETE", f"/v1/campaigns/{campaign_id}")
+
+    def wait_for_campaign(self, campaign_id: str, timeout: float = 600.0,
+                          poll_interval: Optional[float] = None,
+                          long_poll: bool = True,
+                          results: bool = True) -> dict:
+        """Block until the campaign is terminal (or raise TimeoutError)."""
+        return self._poll(
+            # Progress polls skip the (possibly large) results payload;
+            # one final read below carries it.
+            lambda wait: self.campaign(campaign_id, wait=wait or None,
+                                       results=False),
+            f"campaign {campaign_id}", timeout, poll_interval, long_poll,
+        ) if not results else self._poll_campaign_with_results(
+            campaign_id, timeout, poll_interval, long_poll
+        )
+
+    def _poll_campaign_with_results(self, campaign_id, timeout,
+                                    poll_interval, long_poll) -> dict:
+        self._poll(
+            lambda wait: self.campaign(campaign_id, wait=wait or None,
+                                       results=False),
+            f"campaign {campaign_id}", timeout, poll_interval, long_poll,
+        )
+        return self.campaign(campaign_id)
+
+    def run_campaign(self, spec: dict, timeout: float = 600.0) -> dict:
+        """Submit a campaign and block until its final snapshot."""
+        submitted = self.submit_campaign(spec)
+        if submitted["status"] in ("done", "failed", "cancelled"):
+            return self.campaign(submitted["campaign_id"])
+        return self.wait_for_campaign(
+            submitted["campaign_id"], timeout=timeout
+        )

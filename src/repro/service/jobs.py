@@ -67,6 +67,9 @@ class JobManager:
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._lock = threading.Lock()
+        # Long-pollers (wait_for) sleep on this; every terminal
+        # transition notifies it.  Shares _lock, so any holder may notify.
+        self._cond = threading.Condition(self._lock)
         self._jobs: Dict[str, _Job] = {}
         self._ids = itertools.count(1)
         self._max_workers = max_workers
@@ -184,6 +187,7 @@ class JobManager:
             if detail:
                 job.detail.update(detail)
             self._jobs[job_id] = job
+            self._cond.notify_all()
         self._metrics.increment("jobs.submitted")
         self._metrics.increment("jobs.done")
         self._metrics.observe("jobs.duration_seconds", 0.0)
@@ -208,6 +212,7 @@ class JobManager:
                     job.status = DONE
                     job.result = future.result()
             status = job.status
+            self._cond.notify_all()
         self._metrics.increment(f"jobs.{status}")
         if status in (DONE, FAILED):
             with self._lock:
@@ -237,6 +242,8 @@ class JobManager:
                             f"timeout"
                         )
                         expired.append(job.future)
+                if expired:
+                    self._cond.notify_all()
             # Future.cancel() on a still-pending future runs the done
             # callbacks synchronously on this thread, and _on_done takes
             # _lock — so the cancel must happen after the lock is
@@ -262,6 +269,7 @@ class JobManager:
             job.status = CANCELLED
             job.finished_at = time.time()
             future = job.future
+            self._cond.notify_all()
         # Never call Future.cancel() while holding _lock: a pending
         # future runs its done callbacks on the cancelling thread, and
         # _on_done acquires _lock — that is a self-deadlock.
@@ -288,6 +296,35 @@ class JobManager:
                     and job.future.running():
                 job.status = RUNNING
                 job.started_at = time.time()
+            return self._snapshot(job)
+
+    def wait_for(self, job_id: str, seconds: float) -> dict:
+        """Block until the job is terminal or ``seconds`` elapse.
+
+        The long-poll behind ``GET /v1/jobs/<id>?wait=<seconds>``: one
+        blocked handler thread instead of a client hammering ``get``.
+        Returns the job's snapshot either way — the caller checks
+        ``status`` to tell a finished job from an expired wait.
+        """
+        deadline = time.monotonic() + max(0.0, seconds)
+        with self._cond:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    raise ValidationError(f"unknown job id {job_id!r}",
+                                          status=404)
+                if job.status == QUEUED and job.future is not None \
+                        and job.future.running():
+                    job.status = RUNNING
+                    job.started_at = time.time()
+                if job.status in _TERMINAL:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                # Chunked waits double as a liveness poll: the QUEUED ->
+                # RUNNING refresh above still happens while blocked.
+                self._cond.wait(min(remaining, 0.25))
             return self._snapshot(job)
 
     def _snapshot(self, job: _Job) -> dict:
@@ -325,6 +362,7 @@ class JobManager:
                 with self._lock:
                     job.status = CANCELLED
                     job.finished_at = time.time()
+                    self._cond.notify_all()
                 cancelled += 1
         deadline = time.time() + wait_seconds
         for job in jobs:
@@ -342,6 +380,7 @@ class JobManager:
                     if job.status not in _TERMINAL:
                         job.status = CANCELLED
                         job.finished_at = time.time()
+                        self._cond.notify_all()
                 cancelled += 1
         if self._executor is not None:
             with self._lock:

@@ -40,6 +40,14 @@ MAX_TRACE_ACCESSES = 5_000_000
 #: Hard ceiling on a custom workload footprint (bytes).
 MAX_FOOTPRINT_BYTES = 1 << 30
 
+#: Default ceiling on the units one campaign may expand to (a daemon can
+#: lower it via ``ServiceConfig.campaign_max_units``; a spec can lower —
+#: never raise — it via its own ``max_units`` field).
+MAX_CAMPAIGN_UNITS = 2048
+
+#: Longest server-side block a ``?wait=`` query may request (seconds).
+MAX_WAIT_SECONDS = 30.0
+
 #: Accepted scheme spellings -> enum.
 SCHEMES: Dict[str, Scheme] = {
     "1": Scheme.PER_COMPONENT,
@@ -254,16 +262,39 @@ def _assoc_list(body: dict, key: str, what: str) -> Optional[Tuple[int, ...]]:
     return tuple(values)
 
 
+def _check_expansion_budget(
+    factors: Tuple[Tuple[int, str], ...],
+    limit: int,
+    what: str,
+    verb: str = "requests",
+    unit_label: str = "grid points",
+    status: int = 413,
+) -> int:
+    """Reject an axis product past ``limit``, naming every factor.
+
+    The one admission-control primitive behind both the sweep/optimize
+    grid budget and the campaign expansion budget: the error names the
+    offending axis product (``3 workloads x 2 policies x ...``) so a
+    client can see exactly which axis to shrink.  Returns the product.
+    """
+    total = 1
+    for count, _ in factors:
+        total *= count
+    if total > limit:
+        product = " x ".join(f"{count} {label}" for count, label in factors)
+        raise ValidationError(
+            f"{what} {verb} {total} {unit_label} ({product}); "
+            f"the limit is {limit}",
+            status=status,
+        )
+    return total
+
+
 def _check_grid_budget(vths: Tuple[float, ...], toxes: Tuple[float, ...],
                        what: str) -> None:
-    points = len(vths) * len(toxes)
-    if points > MAX_GRID_POINTS:
-        raise ValidationError(
-            f"{what} requests {points} grid points "
-            f"({len(vths)} Vth x {len(toxes)} Tox); the limit is "
-            f"{MAX_GRID_POINTS}",
-            status=413,
-        )
+    _check_expansion_budget(
+        ((len(vths), "Vth"), (len(toxes), "Tox")), MAX_GRID_POINTS, what
+    )
 
 
 @dataclass(frozen=True)
@@ -583,4 +614,412 @@ def parse_calibrate(body) -> CalibrateRequest:
         l2_grid_kb=_grid_kb(body, "l2_grid_kb", "calibrate", L2_GRID_KB),
         l1_assocs=l1_assocs,
         l2_assocs=l2_assocs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Query strings
+# ---------------------------------------------------------------------------
+
+def parse_wait(query: Dict[str, list], what: str) -> float:
+    """Decode an optional ``?wait=<seconds>`` long-poll parameter.
+
+    Returns 0.0 when absent; the value is capped at
+    :data:`MAX_WAIT_SECONDS` so a client cannot pin a handler thread
+    indefinitely.
+    """
+    raw = query.get("wait")
+    if not raw:
+        return 0.0
+    value = raw[-1]
+    try:
+        seconds = float(value)
+    except ValueError:
+        raise ValidationError(
+            f"{what}: query parameter 'wait' must be a number of seconds, "
+            f"got {value!r}"
+        )
+    if not math.isfinite(seconds) or seconds < 0:
+        raise ValidationError(
+            f"{what}: query parameter 'wait' must be a finite non-negative "
+            f"number of seconds, got {value!r}"
+        )
+    return min(seconds, MAX_WAIT_SECONDS)
+
+
+def parse_flag(query: Dict[str, list], key: str, what: str,
+               default: bool = True) -> bool:
+    """Decode an optional boolean query parameter (``0/1/true/false``)."""
+    raw = query.get(key)
+    if not raw:
+        return default
+    value = raw[-1].lower()
+    if value in ("1", "true", "yes"):
+        return True
+    if value in ("0", "false", "no"):
+        return False
+    raise ValidationError(
+        f"{what}: query parameter {key!r} must be a boolean "
+        f"(0/1/true/false), got {raw[-1]!r}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Campaigns
+# ---------------------------------------------------------------------------
+
+def _campaign_shape_axes(raw: dict, what: str):
+    """Decode the (size, assoc) axes of a matrix/amat block.
+
+    Every point must lie on the dense profile surfaces — that is what
+    makes the whole block cost one trace pass per (workload, policy).
+    """
+    from repro.archsim.missmodel import (
+        L1_GRID_KB,
+        L2_GRID_KB,
+        REFERENCE_L1_ASSOC,
+        REFERENCE_L1_BLOCK,
+        REFERENCE_L2_ASSOC,
+        REFERENCE_L2_BLOCK,
+    )
+    from repro.perf.profile_store import covers_point
+
+    l1_sizes = _grid_kb(raw, "l1_sizes_kb", what, L1_GRID_KB)
+    l2_sizes = _grid_kb(raw, "l2_sizes_kb", what, L2_GRID_KB)
+    l1_assocs = _assoc_list(raw, "l1_assocs", what) or (REFERENCE_L1_ASSOC,)
+    l2_assocs = _assoc_list(raw, "l2_assocs", what) or (REFERENCE_L2_ASSOC,)
+    for level, sizes, assocs, block in (
+        ("l1", l1_sizes, l1_assocs, REFERENCE_L1_BLOCK),
+        ("l2", l2_sizes, l2_assocs, REFERENCE_L2_BLOCK),
+    ):
+        for size_kb in sizes:
+            for assoc in assocs:
+                if not covers_point(level, size_kb * 1024, assoc,
+                                    block_bytes=block):
+                    raise ValidationError(
+                        f"{what}: ({level}, {size_kb} KiB, {assoc}-way) is "
+                        f"not on the profiled surface grid (sizes must "
+                        f"divide into a profiled power-of-two set count)"
+                    )
+    return l1_sizes, l1_assocs, l2_sizes, l2_assocs
+
+
+def parse_campaign(body, max_units: int = MAX_CAMPAIGN_UNITS):
+    """Validate one ``POST /v1/campaigns`` body into a CampaignSpec.
+
+    Enforces the expansion budget: every block's unit count and the
+    campaign total are checked against ``max_units``, and an over-budget
+    spec gets a structured 400 naming the offending axis product.
+    """
+    from repro.campaign.spec import (
+        AmatBlock,
+        CampaignCalibration,
+        CampaignConstraints,
+        CampaignSpec,
+        MatrixBlock,
+        OptimizeBlock,
+        SweepBlock,
+    )
+    from repro.optimize.two_level import DEFAULT_L1_KNOBS, DEFAULT_L2_KNOBS
+
+    body = _require_object(body, "campaign request")
+    _reject_unknown_keys(
+        body, ("name", "workloads", "policies", "calibration", "matrix",
+               "amat", "sweeps", "optimize", "constraints", "max_units"),
+        "campaign request"
+    )
+    name = body.get("name", "campaign")
+    if not isinstance(name, str) or not name or len(name) > 64:
+        raise ValidationError(
+            "campaign.name must be a non-empty string of at most "
+            "64 characters"
+        )
+    limit = max_units
+    if "max_units" in body:
+        # A spec may tighten the budget for itself, never loosen the
+        # daemon's own cap.
+        limit = min(limit, _integer(body, "max_units", "campaign",
+                                    minimum=1))
+
+    raw_workloads = body.get("workloads", ["spec2000"])
+    if not isinstance(raw_workloads, list) or not raw_workloads \
+            or len(raw_workloads) > 8:
+        raise ValidationError(
+            "campaign.workloads must be a list of 1..8 workloads (suite "
+            "names or inline specs)"
+        )
+    workloads = []
+    seen_names = set()
+    for index, raw in enumerate(raw_workloads):
+        spec = _workload_spec(raw, f"campaign.workloads[{index}]")
+        if spec.name in seen_names:
+            raise ValidationError(
+                f"campaign.workloads has duplicate workload name "
+                f"{spec.name!r}"
+            )
+        seen_names.add(spec.name)
+        workloads.append(spec)
+
+    raw_policies = body.get("policies", ["lru"])
+    if not isinstance(raw_policies, list) or not raw_policies:
+        raise ValidationError(
+            "campaign.policies must be a non-empty list of policies"
+        )
+    policies = []
+    for policy in raw_policies:
+        if policy not in ("lru", "fifo", "random"):
+            raise ValidationError(
+                f"unknown replacement policy {policy!r} in "
+                f"campaign.policies; expected 'lru', 'fifo' or 'random'"
+            )
+        if policy in policies:
+            raise ValidationError(
+                f"campaign.policies has duplicate policy {policy!r}"
+            )
+        policies.append(policy)
+
+    raw_calibration = _require_object(
+        body.get("calibration", {}), "campaign.calibration"
+    )
+    _reject_unknown_keys(raw_calibration, ("n_accesses", "seed"),
+                         "campaign.calibration")
+    n_accesses = _integer(raw_calibration, "n_accesses",
+                          "campaign.calibration", default=300_000,
+                          minimum=1_000)
+    if n_accesses > MAX_TRACE_ACCESSES:
+        raise ValidationError(
+            f"campaign.calibration.n_accesses = {n_accesses} exceeds the "
+            f"limit of {MAX_TRACE_ACCESSES}",
+            status=413,
+        )
+    calibration = CampaignCalibration(
+        n_accesses=n_accesses,
+        seed=_integer(raw_calibration, "seed", "campaign.calibration",
+                      default=1, minimum=0, maximum=2**31 - 1),
+    )
+
+    matrix = None
+    if "matrix" in body:
+        raw = _require_object(body["matrix"], "campaign.matrix")
+        _reject_unknown_keys(
+            raw, ("l1_sizes_kb", "l1_assocs", "l2_sizes_kb", "l2_assocs"),
+            "campaign.matrix"
+        )
+        l1_sizes, l1_assocs, l2_sizes, l2_assocs = _campaign_shape_axes(
+            raw, "campaign.matrix"
+        )
+        matrix = MatrixBlock(
+            l1_sizes_kb=l1_sizes, l1_assocs=l1_assocs,
+            l2_sizes_kb=l2_sizes, l2_assocs=l2_assocs,
+        )
+
+    amat = None
+    if "amat" in body:
+        raw = _require_object(body["amat"], "campaign.amat")
+        _reject_unknown_keys(
+            raw, ("l1_sizes_kb", "l1_assocs", "l2_sizes_kb", "l2_assocs",
+                  "l1_knobs", "l2_knobs", "memory_latency_ps"),
+            "campaign.amat"
+        )
+        l1_sizes, l1_assocs, l2_sizes, l2_assocs = _campaign_shape_axes(
+            raw, "campaign.amat"
+        )
+        amat = AmatBlock(
+            l1_sizes_kb=l1_sizes, l1_assocs=l1_assocs,
+            l2_sizes_kb=l2_sizes, l2_assocs=l2_assocs,
+            l1_knobs=_knobs(raw, "l1_knobs", "campaign.amat",
+                            DEFAULT_L1_KNOBS),
+            l2_knobs=_knobs(raw, "l2_knobs", "campaign.amat",
+                            DEFAULT_L2_KNOBS),
+            memory_latency_ps=(
+                _number(raw, "memory_latency_ps", "campaign.amat",
+                        minimum=1.0, maximum=1e7)
+                if "memory_latency_ps" in raw
+                else None
+            ),
+        )
+
+    raw_sweeps = body.get("sweeps", [])
+    if not isinstance(raw_sweeps, list) or len(raw_sweeps) > 64:
+        raise ValidationError(
+            "campaign.sweeps must be a list of at most 64 sweep blocks"
+        )
+    sweeps = []
+    for index, raw in enumerate(raw_sweeps):
+        try:
+            request = parse_sweep(raw)
+        except ValidationError as error:
+            raise ValidationError(
+                f"campaign.sweeps[{index}]: {error}", status=error.status
+            )
+        sweeps.append(SweepBlock(
+            config=request.config,
+            vths=request.vths,
+            toxes_angstrom=request.toxes_angstrom,
+            components=request.components,
+        ))
+
+    optimize = None
+    if "optimize" in body:
+        raw = _require_object(body["optimize"], "campaign.optimize")
+        _reject_unknown_keys(
+            raw, ("caches", "schemes", "target_ps", "vth", "tox"),
+            "campaign.optimize"
+        )
+        raw_caches = raw.get("caches")
+        if not isinstance(raw_caches, list) or not raw_caches \
+                or len(raw_caches) > 16:
+            raise ValidationError(
+                "campaign.optimize.caches must be a list of 1..16 cache "
+                "configurations"
+            )
+        configs = tuple(
+            _cache_config({"cache": entry},
+                          f"campaign.optimize.caches[{index}]")
+            for index, entry in enumerate(raw_caches)
+        )
+        raw_schemes = raw.get("schemes", ["1", "2", "3"])
+        if not isinstance(raw_schemes, list) or not raw_schemes:
+            raise ValidationError(
+                "campaign.optimize.schemes must be a non-empty list of "
+                "scheme codes"
+            )
+        schemes = []
+        for raw_scheme in raw_schemes:
+            code = str(raw_scheme)
+            if code not in SCHEMES:
+                raise ValidationError(
+                    f"unknown scheme {raw_scheme!r} in "
+                    f"campaign.optimize.schemes; expected one of "
+                    f"{sorted(SCHEMES)}"
+                )
+            if code in schemes:
+                raise ValidationError(
+                    f"campaign.optimize.schemes has duplicate scheme "
+                    f"{code!r}"
+                )
+            schemes.append(code)
+        raw_targets = raw.get("target_ps")
+        if raw_targets is None:
+            raise ValidationError(
+                "campaign.optimize requires 'target_ps' (a number or a "
+                "list of numbers)"
+            )
+        if not isinstance(raw_targets, list):
+            raw_targets = [raw_targets]
+        if not raw_targets or len(raw_targets) > 16:
+            raise ValidationError(
+                "campaign.optimize.target_ps must be 1..16 delay targets"
+            )
+        targets = tuple(
+            _number({"target_ps": value}, "target_ps",
+                    f"campaign.optimize.target_ps[{index}]",
+                    minimum=1.0, maximum=1e6)
+            for index, value in enumerate(raw_targets)
+        )
+        vths = _axis(raw, "vth", "campaign.optimize", VTH_MIN, VTH_MAX, "V")
+        toxes = _axis(raw, "tox", "campaign.optimize", TOX_MIN_A, TOX_MAX_A,
+                      "A")
+        if (vths is None) != (toxes is None):
+            raise ValidationError(
+                "campaign.optimize needs either both 'vth' and 'tox' axes "
+                "or neither (the default design grid)"
+            )
+        if vths is not None:
+            _check_grid_budget(vths, toxes, "campaign.optimize")
+        optimize = OptimizeBlock(
+            configs=configs, schemes=tuple(schemes), targets_ps=targets,
+            vths=vths, toxes_angstrom=toxes,
+        )
+
+    constraints = CampaignConstraints()
+    if "constraints" in body:
+        raw = _require_object(body["constraints"], "campaign.constraints")
+        _reject_unknown_keys(raw, ("max_amat_ps", "max_leakage_mw"),
+                             "campaign.constraints")
+        constraints = CampaignConstraints(
+            max_amat_ps=(
+                _number(raw, "max_amat_ps", "campaign.constraints",
+                        minimum=1.0, maximum=1e7)
+                if "max_amat_ps" in raw else None
+            ),
+            max_leakage_mw=(
+                _number(raw, "max_leakage_mw", "campaign.constraints",
+                        minimum=0.0, maximum=1e6)
+                if "max_leakage_mw" in raw else None
+            ),
+        )
+        if constraints.max_amat_ps is not None \
+                or constraints.max_leakage_mw is not None:
+            if amat is None:
+                raise ValidationError(
+                    "campaign.constraints only applies to an 'amat' block"
+                )
+
+    if matrix is None and amat is None and not sweeps and optimize is None:
+        raise ValidationError(
+            "campaign needs at least one of 'matrix', 'amat', 'sweeps' or "
+            "'optimize'"
+        )
+
+    # -- expansion budget: per block, then the campaign total --------------
+    n_workloads, n_policies = len(workloads), len(policies)
+    block_counts = []
+    if matrix is not None or amat is not None:
+        block_counts.append(("profile", n_workloads * n_policies))
+    if matrix is not None:
+        shape_points = (
+            len(matrix.l1_sizes_kb) * len(matrix.l1_assocs)
+            + len(matrix.l2_sizes_kb) * len(matrix.l2_assocs)
+        )
+        count = _check_expansion_budget(
+            ((n_workloads, "workloads"), (n_policies, "policies"),
+             (shape_points, "(level, size, assoc) points")),
+            limit, "campaign.matrix", verb="expands to",
+            unit_label="units", status=400,
+        )
+        block_counts.append(("matrix", count))
+    if amat is not None:
+        count = _check_expansion_budget(
+            ((n_workloads, "workloads"), (n_policies, "policies"),
+             (len(amat.l1_sizes_kb), "l1_sizes_kb"),
+             (len(amat.l1_assocs), "l1_assocs"),
+             (len(amat.l2_sizes_kb), "l2_sizes_kb"),
+             (len(amat.l2_assocs), "l2_assocs")),
+            limit, "campaign.amat", verb="expands to",
+            unit_label="units", status=400,
+        )
+        block_counts.append(("amat", count))
+    if sweeps:
+        block_counts.append(("sweeps", len(sweeps)))
+    if optimize is not None:
+        count = _check_expansion_budget(
+            ((len(optimize.configs), "caches"),
+             (len(optimize.schemes), "schemes"),
+             (len(optimize.targets_ps), "delay targets")),
+            limit, "campaign.optimize", verb="expands to",
+            unit_label="units", status=400,
+        )
+        block_counts.append(("optimize", count))
+    total = sum(count for _, count in block_counts)
+    if total > limit:
+        parts = " + ".join(
+            f"{count} {label}" for label, count in block_counts
+        )
+        raise ValidationError(
+            f"campaign expands to {total} units ({parts}); the limit is "
+            f"{limit}",
+            status=400,
+        )
+
+    return CampaignSpec(
+        name=name,
+        workloads=tuple(workloads),
+        policies=tuple(policies),
+        calibration=calibration,
+        matrix=matrix,
+        amat=amat,
+        sweeps=tuple(sweeps),
+        optimize=optimize,
+        constraints=constraints,
     )

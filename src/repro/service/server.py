@@ -15,8 +15,11 @@ Endpoints (see ``docs/SERVICE.md`` for the full reference):
 ``POST /v1/optimize``     Section 4 assignment optimisation for a scheme
 ``POST /v1/amat``         two-level AMAT/energy against calibrated miss models
 ``POST /v1/calibrate``    async trace-driven calibration -> job id
-``GET  /v1/jobs/<id>``    job status / result
+``GET  /v1/jobs/<id>``    job status / result (``?wait=<s>`` long-polls)
 ``DELETE /v1/jobs/<id>``  cancel a job
+``POST /v1/campaigns``    declarative DSE campaign -> campaign id
+``GET  /v1/campaigns/<id>``  progress + results (``?wait=``, ``?results=0``)
+``DELETE /v1/campaigns/<id>``  cancel a campaign and its child jobs
 ========================  ====================================================
 
 Every request runs on its own thread (``ThreadingHTTPServer``); errors
@@ -33,6 +36,7 @@ import signal
 import sys
 import threading
 import time
+import urllib.parse
 from collections import OrderedDict
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -59,6 +63,7 @@ from repro.archsim.missmodel import (
 )
 from repro.archsim.workloads import STANDARD_WORKLOADS, WorkloadSpec
 from repro.cache.cache_model import CacheModel
+from repro.campaign.runner import CampaignManager
 from repro.cache.config import CacheConfig, l1_config, l2_config
 from repro.energy.dynamic import MainMemoryModel
 from repro.optimize.single_cache import minimize_leakage
@@ -96,6 +101,13 @@ class ServiceConfig:
     #: computes at startup, so the first /v1/calibrate and /v1/amat for
     #: them is already a warm slice.
     warm_profiles: Tuple[str, ...] = ()
+    #: Ceiling on the units one campaign may expand to (per-instance
+    #: tightening of :data:`repro.service.schemas.MAX_CAMPAIGN_UNITS`).
+    campaign_max_units: int = schemas.MAX_CAMPAIGN_UNITS
+    #: Concurrent heavy campaign units in flight on the job pool.
+    campaign_fanout: int = 4
+    #: Extra attempts a failing campaign unit gets before it is failed.
+    campaign_unit_retries: int = 1
 
 
 def _calibration_result(
@@ -197,6 +209,14 @@ class ReproService:
         )
         self._models: "OrderedDict[str, CacheModel]" = OrderedDict()
         self._models_lock = threading.Lock()
+        self.campaigns = CampaignManager(
+            jobs=self.jobs,
+            metrics=self.metrics,
+            cache_dir=config.cache_dir,
+            model_for=lambda cache_config: self._model_for(cache_config)[1],
+            max_inflight=config.campaign_fanout,
+            unit_retries=config.campaign_unit_retries,
+        )
         self.metrics.register_gauge(
             "uptime_seconds", lambda: time.time() - self.started_at
         )
@@ -513,10 +533,19 @@ class ReproService:
 
     # -- dispatch ----------------------------------------------------------
 
+    def handle_campaign_submit(self, body) -> Tuple[int, dict]:
+        spec = schemas.parse_campaign(
+            body, max_units=self.config.campaign_max_units
+        )
+        snapshot = self.campaigns.submit(spec)
+        return 202, snapshot
+
     def handle(self, method: str, path: str, body) -> Tuple[int, dict]:
         """Route one request; always returns (status, JSON-able payload)."""
         endpoint = "unknown"
         started = time.perf_counter()
+        path, _, query_string = path.partition("?")
+        query = urllib.parse.parse_qs(query_string) if query_string else {}
         try:
             if path == "/healthz" and method == "GET":
                 endpoint = "healthz"
@@ -536,10 +565,36 @@ class ReproService:
             if path == "/v1/calibrate" and method == "POST":
                 endpoint = "calibrate"
                 return self.handle_calibrate(body)
+            if path == "/v1/campaigns" and method == "POST":
+                endpoint = "campaigns"
+                return self.handle_campaign_submit(body)
+            if path.startswith("/v1/campaigns/"):
+                endpoint = "campaigns"
+                campaign_id = path[len("/v1/campaigns/"):]
+                if method == "GET":
+                    wait = schemas.parse_wait(query, "campaigns")
+                    results = schemas.parse_flag(
+                        query, "results", "campaigns"
+                    )
+                    if wait > 0:
+                        return 200, self.campaigns.wait(
+                            campaign_id, wait, include_results=results
+                        )
+                    return 200, self.campaigns.get(
+                        campaign_id, include_results=results
+                    )
+                if method == "DELETE":
+                    return 200, self.campaigns.cancel(campaign_id)
+                raise ValidationError(
+                    f"method {method} not allowed on {path}", status=405
+                )
             if path.startswith("/v1/jobs/"):
                 endpoint = "jobs"
                 job_id = path[len("/v1/jobs/"):]
                 if method == "GET":
+                    wait = schemas.parse_wait(query, "jobs")
+                    if wait > 0:
+                        return 200, self.jobs.wait_for(job_id, wait)
                     return 200, self.jobs.get(job_id)
                 if method == "DELETE":
                     return 200, self.jobs.cancel(job_id)
@@ -548,7 +603,7 @@ class ReproService:
                 )
             known = (
                 "/healthz", "/metrics", "/v1/sweep", "/v1/optimize",
-                "/v1/amat", "/v1/calibrate",
+                "/v1/amat", "/v1/calibrate", "/v1/campaigns",
             )
             if path in known:
                 raise ValidationError(
@@ -583,8 +638,16 @@ class ReproService:
         )
 
     def shutdown(self) -> dict:
-        """Drain background work; returns the job-drain summary."""
-        return self.jobs.shutdown()
+        """Drain background work; returns the job-drain summary.
+
+        Campaign coordinators stop first — they are the job submitters,
+        so stopping them before the pool guarantees the drain below sees
+        the final set of child jobs.
+        """
+        campaigns = self.campaigns.shutdown()
+        summary = self.jobs.shutdown()
+        summary["campaigns_cancelled"] = campaigns["cancelled"]
+        return summary
 
 
 class _Handler(BaseHTTPRequestHandler):

@@ -5,6 +5,7 @@ Run:  PYTHONPATH=src python tools/bench.py --suite archsim   # -> BENCH_2.json
       PYTHONPATH=src python tools/bench.py --suite service   # -> BENCH_3.json
       PYTHONPATH=src python tools/bench.py --suite calib     # -> BENCH_6.json
                                                              #  + BENCH_7.json
+      PYTHONPATH=src python tools/bench.py --suite campaign  # -> BENCH_8.json
       PYTHONPATH=src python tools/bench.py --smoke           # CI regression gate
 
 Four suites, one per performance PR:
@@ -36,6 +37,11 @@ Four suites, one per performance PR:
   12-point default grid, rates bit-identical to a direct multiconfig
   run, compute counter flat on the warm serve).  The profile-store
   section is written to its own report, ``BENCH_7.json``.
+* ``campaign`` (PR 8) — runs one >=200-unit declarative campaign on a
+  fresh in-process daemon and the same work as a naive serial per-unit
+  client loop (fixed 0.25 s job polling) on a second fresh daemon.
+  Acceptance: the campaign needs far fewer engine passes than units
+  (the dedup ratio in BENCH_8.json) and finishes >= 3x faster.
 
 Each suite writes measurements plus speedups against recorded pre-PR
 baselines to a JSON report.  Baselines were measured on this machine at
@@ -790,10 +796,248 @@ def run_service_suite(output: str) -> int:
     return 0 if per_request < 1.0 else 1
 
 
+# --------------------------------------------------------------------------
+# campaign suite (PR 8)
+# --------------------------------------------------------------------------
+
+#: Acceptance floor for the campaign subsystem: one declarative campaign
+#: must finish at least this many times faster than the same work issued
+#: as a naive serial per-unit client loop with fixed 0.25 s job polling.
+CAMPAIGN_SPEEDUP_FLOOR = 3.0
+
+#: Fixed polling cadence of the naive loop — the pre-campaign client
+#: default that the jittered long-poll replaced.
+NAIVE_POLL_SECONDS = 0.25
+
+#: Calibration depth of the campaign bench.
+CAMPAIGN_N_ACCESSES = 100_000
+
+
+def _campaign_bench_spec() -> dict:
+    """A >=200-unit campaign covering every unit kind.
+
+    3 workloads x 2 policies over a 22-point (size, assoc) matrix plus
+    an AMAT block, 20 knob sweeps over two structures, and a 36-cell
+    optimiser block: 230 units total, of which only the profiles, the
+    sweep union-grid groups and the optimiser cells cost engine passes.
+    """
+    base_vths = [0.20, 0.225, 0.25, 0.275, 0.30,
+                 0.325, 0.35, 0.375, 0.40, 0.425]
+    sweeps = []
+    for size_kb in (16, 32):
+        for start in range(10):
+            sweeps.append({
+                "cache": {"size_kb": size_kb},
+                "vth": base_vths[start:start + 3] or base_vths[-3:],
+                "tox": [10.0, 12.0, 14.0],
+                "components": ["array", "decoder"],
+            })
+    return {
+        "name": "bench-campaign",
+        "workloads": ["spec2000", "specweb", "tpcc"],
+        "policies": ["lru", "fifo"],
+        "calibration": {"n_accesses": CAMPAIGN_N_ACCESSES},
+        "matrix": {
+            "l1_sizes_kb": [4, 8, 16, 32, 64], "l1_assocs": [1, 2, 4],
+            "l2_sizes_kb": [128, 256, 512, 1024, 2048, 4096, 8192],
+            "l2_assocs": [8],
+        },
+        "amat": {
+            "l1_sizes_kb": [4, 8, 16], "l1_assocs": [1, 2],
+            "l2_sizes_kb": [1024], "l2_assocs": [8],
+        },
+        "constraints": {"max_amat_ps": 6000.0},
+        "sweeps": sweeps,
+        "optimize": {
+            "caches": [{"size_kb": kb} for kb in (8, 16, 32, 64)],
+            "schemes": ["1", "2", "3"],
+            "target_ps": [900.0, 1200.0, 1500.0],
+        },
+    }
+
+
+def _naive_campaign_loop(client, spec: dict) -> int:
+    """Issue the campaign's units one request at a time, serially.
+
+    This is the client loop the campaign subsystem replaces: every
+    matrix point is its own calibrate job polled at a fixed 0.25 s
+    cadence (no long-poll), every sweep and optimiser cell its own
+    synchronous request.  Returns the number of requests issued.
+    """
+    requests = 0
+    matrix = spec["matrix"]
+    amat = spec["amat"]
+    for workload in spec["workloads"]:
+        for policy in spec["policies"]:
+            for l1_kb in matrix["l1_sizes_kb"]:
+                for l1_assoc in matrix["l1_assocs"]:
+                    job = client.calibrate(
+                        workload=workload, policy=policy,
+                        n_accesses=CAMPAIGN_N_ACCESSES,
+                        l1_grid_kb=[l1_kb], l1_assocs=[l1_assoc],
+                        l2_grid_kb=[matrix["l2_sizes_kb"][0]],
+                        l2_assocs=[matrix["l2_assocs"][0]],
+                    )
+                    requests += 1
+                    if job["status"] != "done":
+                        client.wait_for_job(
+                            job["job_id"], timeout=600.0,
+                            poll_interval=NAIVE_POLL_SECONDS,
+                            long_poll=False,
+                        )
+            for l2_kb in matrix["l2_sizes_kb"]:
+                for l2_assoc in matrix["l2_assocs"]:
+                    job = client.calibrate(
+                        workload=workload, policy=policy,
+                        n_accesses=CAMPAIGN_N_ACCESSES,
+                        l1_grid_kb=[matrix["l1_sizes_kb"][0]],
+                        l1_assocs=[matrix["l1_assocs"][0]],
+                        l2_grid_kb=[l2_kb], l2_assocs=[l2_assoc],
+                    )
+                    requests += 1
+                    if job["status"] != "done":
+                        client.wait_for_job(
+                            job["job_id"], timeout=600.0,
+                            poll_interval=NAIVE_POLL_SECONDS,
+                            long_poll=False,
+                        )
+            for l1_kb in amat["l1_sizes_kb"]:
+                for l1_assoc in amat["l1_assocs"]:
+                    for l2_kb in amat["l2_sizes_kb"]:
+                        for l2_assoc in amat["l2_assocs"]:
+                            client.amat(
+                                workload=workload, policy=policy,
+                                l1_size_kb=l1_kb, l1_assoc=l1_assoc,
+                                l2_size_kb=l2_kb, l2_assoc=l2_assoc,
+                            )
+                            requests += 1
+    for sweep in spec["sweeps"]:
+        client.sweep(sweep["cache"], sweep["vth"], sweep["tox"],
+                     components=sweep["components"])
+        requests += 1
+    optimize = spec["optimize"]
+    for cache in optimize["caches"]:
+        for scheme in optimize["schemes"]:
+            for target_ps in optimize["target_ps"]:
+                client.optimize(cache, scheme, target_ps)
+                requests += 1
+    return requests
+
+
+def _fresh_service(cache_dir: str):
+    import threading
+
+    from repro.service import ServiceConfig, create_server
+
+    server = create_server(ServiceConfig(
+        port=0, cache_dir=cache_dir, batch_window_seconds=0.005,
+    ))
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server
+
+
+def run_campaign_suite(output: str) -> int:
+    """One declarative campaign vs the naive per-unit client loop.
+
+    Both sides get their own in-process daemon with a fresh cache
+    directory, so neither inherits calibration state from the other.
+    """
+    import os
+
+    from repro.service import ServiceClient
+
+    spec = _campaign_bench_spec()
+    print("campaign suite (fresh daemon + cache dir per side):")
+
+    with tempfile.TemporaryDirectory() as scratch:
+        server = _fresh_service(os.path.join(scratch, "campaign"))
+        client = ServiceClient(port=server.bound_port, timeout=120.0)
+        try:
+            before = client.metrics()["counters"]
+            campaign_seconds, final = _timed(
+                lambda: client.run_campaign(spec, timeout=1200.0))
+            after = client.metrics()["counters"]
+        finally:
+            client.close()
+            server.shutdown()
+            server.service.shutdown()
+            server.server_close()
+        if final["status"] != "done":
+            print(f"FAIL: campaign ended {final['status']!r}: "
+                  f"{final.get('failures')}", file=sys.stderr)
+            return 1
+        units = final["units"]
+        engine_passes = final["engine_passes"]
+        checkpoint_hits = (after.get("campaigns.checkpoint_hits", 0)
+                           - before.get("campaigns.checkpoint_hits", 0))
+        dedup_ratio = (units["total"] / engine_passes
+                       if engine_passes else float("inf"))
+        print(f"  campaign: {units['total']} units -> {engine_passes} "
+              f"engine passes ({dedup_ratio:.1f} units per pass) in "
+              f"{campaign_seconds:.2f} s")
+
+        server = _fresh_service(os.path.join(scratch, "naive"))
+        client = ServiceClient(port=server.bound_port, timeout=120.0)
+        try:
+            naive_seconds, naive_requests = _timed(
+                lambda: _naive_campaign_loop(client, spec))
+        finally:
+            client.close()
+            server.shutdown()
+            server.service.shutdown()
+            server.server_close()
+        print(f"  naive loop: {naive_requests} serial requests "
+              f"(fixed {NAIVE_POLL_SECONDS:.2f} s polling) in "
+              f"{naive_seconds:.2f} s")
+
+    speedup = naive_seconds / campaign_seconds if campaign_seconds else 0.0
+    units_ok = units["total"] >= 200
+    dedup_ok = engine_passes < units["total"]
+    speed_ok = speedup >= CAMPAIGN_SPEEDUP_FLOOR
+    passed = units_ok and dedup_ok and speed_ok
+    print(f"  speedup: {speedup:.1f}x vs naive "
+          f"(floor {CAMPAIGN_SPEEDUP_FLOOR:.0f}x) -> "
+          f"{'PASS' if passed else 'FAIL'}")
+
+    report = {
+        "spec_name": spec["name"],
+        "n_accesses": CAMPAIGN_N_ACCESSES,
+        "units_total": units["total"],
+        "units_done": units["done"],
+        "units_failed": units["failed"],
+        "units_reused": units["reused"],
+        "units_deduped_in_spec": units["deduped"],
+        "checkpoint_hits": checkpoint_hits,
+        "engine_passes": engine_passes,
+        "dedup_ratio_units_per_engine_pass": dedup_ratio,
+        "campaign_wall_seconds": campaign_seconds,
+        "naive_requests": naive_requests,
+        "naive_poll_seconds": NAIVE_POLL_SECONDS,
+        "naive_wall_seconds": naive_seconds,
+        "speedup_campaign_vs_naive": speedup,
+        "speedup_floor": CAMPAIGN_SPEEDUP_FLOOR,
+        "acceptance": {
+            "at_least_200_units": units_ok,
+            "engine_passes_below_unit_count": dedup_ok,
+            "speedup_at_floor": speed_ok,
+            "pass": passed,
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\ncampaign acceptance: {units['total']} units, "
+          f"{engine_passes} engine passes, {speedup:.1f}x vs naive "
+          f"({'PASS' if passed else 'FAIL'})")
+    print(f"report written to {output}")
+    return 0 if passed else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite", default="archsim",
-                        choices=("archsim", "sweep", "service", "calib"),
+                        choices=("archsim", "sweep", "service", "calib",
+                                 "campaign"),
                         help="which benchmark suite to run")
     parser.add_argument("--output", default=None,
                         help="JSON report path (default BENCH_2.json for "
@@ -816,6 +1060,8 @@ def main(argv=None) -> int:
         return run_service_suite(arguments.output or "BENCH_3.json")
     if arguments.suite == "calib":
         return run_calib_suite(arguments.output or "BENCH_6.json")
+    if arguments.suite == "campaign":
+        return run_campaign_suite(arguments.output or "BENCH_8.json")
     return run_archsim_suite(arguments.output or "BENCH_2.json")
 
 

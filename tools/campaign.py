@@ -1,0 +1,300 @@
+"""Submit, watch and cancel declarative DSE campaigns from the shell.
+
+Run against an already-running daemon:
+
+    PYTHONPATH=src python -m repro serve --port 8023 &
+    PYTHONPATH=src python tools/campaign.py examples/campaign.yaml \
+        --port 8023
+
+or fully self-contained (spawns an in-process server on an ephemeral
+port, runs the campaign, and shuts the server down):
+
+    PYTHONPATH=src python tools/campaign.py spec.json --self-contained
+
+The spec file may be JSON or a small YAML subset (see
+``parse_spec_text``): indentation-based mappings, ``- `` list items
+(list-item mappings continue two columns past the dash), inline
+``[a, b, c]`` lists, JSON scalars, and full-line ``#`` comments.  Other
+modes:
+
+    tools/campaign.py --status <id>    one progress snapshot
+    tools/campaign.py --cancel <id>    cancel and print the snapshot
+
+While waiting, the tool long-polls ``GET /v1/campaigns/<id>?wait=`` and
+prints a progress line whenever the unit counts move.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional, Tuple
+
+REPO_SRC = "src"
+if REPO_SRC not in sys.path:
+    sys.path.insert(0, REPO_SRC)
+
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+
+
+# --------------------------------------------------------------------------
+# YAML-subset parsing (no external dependencies)
+# --------------------------------------------------------------------------
+
+def parse_spec_text(text: str) -> dict:
+    """Parse a campaign spec: JSON, or an indentation-based YAML subset.
+
+    The subset covers what campaign specs need and nothing more:
+    ``key: value`` mappings nested by indentation, ``- item`` lists
+    (a ``- key: value`` item opens a mapping whose further keys sit two
+    columns past the dash), inline ``[a, b, c]`` lists, JSON scalars
+    (numbers, ``true``/``false``/``null``, quoted strings), bare strings,
+    and full-line ``#`` comments.  Tabs and inline comments are not
+    supported.
+    """
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValueError("empty spec file")
+    if stripped.startswith("{"):
+        return json.loads(text)
+    lines: List[Tuple[int, str]] = []
+    for raw in text.splitlines():
+        if not raw.strip() or raw.lstrip().startswith("#"):
+            continue
+        if "\t" in raw:
+            raise ValueError("tabs are not supported; indent with spaces")
+        lines.append((len(raw) - len(raw.lstrip(" ")), raw.strip()))
+    value, index = _parse_block(lines, 0)
+    if index != len(lines):
+        raise ValueError(f"could not parse line: {lines[index][1]!r}")
+    if not isinstance(value, dict):
+        raise ValueError("a campaign spec must be a mapping at top level")
+    return value
+
+
+def _parse_block(lines, index):
+    indent = lines[index][0]
+    if lines[index][1] == "-" or lines[index][1].startswith("- "):
+        return _parse_list(lines, index, indent)
+    return _parse_dict(lines, index, indent)
+
+
+def _parse_list(lines, index, indent):
+    items = []
+    while index < len(lines) and lines[index][0] == indent:
+        text = lines[index][1]
+        if not (text == "-" or text.startswith("- ")):
+            break
+        rest = text[1:].strip()
+        if not rest:
+            index += 1
+            if index < len(lines) and lines[index][0] > indent:
+                value, index = _parse_block(lines, index)
+            else:
+                value = None
+            items.append(value)
+        elif ":" in rest and not rest.startswith(("[", "{", '"', "'")):
+            # "- key: ..." opens a mapping; splice the remainder back in
+            # as a virtual line two columns deeper and parse it there.
+            lines[index] = (indent + 2, rest)
+            value, index = _parse_dict(lines, index, indent + 2)
+            items.append(value)
+        else:
+            items.append(_parse_scalar(rest))
+            index += 1
+    return items, index
+
+
+def _parse_dict(lines, index, indent):
+    out = {}
+    while index < len(lines) and lines[index][0] == indent:
+        text = lines[index][1]
+        if text == "-" or text.startswith("- "):
+            break
+        key, sep, value_text = text.partition(":")
+        if not sep:
+            raise ValueError(f"expected 'key: value', got {text!r}")
+        key = key.strip().strip("'\"")
+        value_text = value_text.strip()
+        index += 1
+        if value_text:
+            out[key] = _parse_scalar(value_text)
+        elif index < len(lines) and lines[index][0] > indent:
+            out[key], index = _parse_block(lines, index)
+        else:
+            out[key] = None
+    return out, index
+
+
+def _parse_scalar(token: str):
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_scalar(part.strip()) for part in inner.split(",")]
+    try:
+        return json.loads(token)
+    except ValueError:
+        return token.strip("'\"")
+
+
+# --------------------------------------------------------------------------
+# progress / report rendering
+# --------------------------------------------------------------------------
+
+def _progress_line(snapshot: dict) -> str:
+    units = snapshot["units"]
+    return (f"  [{snapshot['status']}] "
+            f"{units['done']}/{units['total']} units done "
+            f"({units['reused']} reused, {units['running']} running, "
+            f"{units['failed']} failed), "
+            f"{snapshot['engine_passes']} engine passes")
+
+
+def print_report(snapshot: dict) -> None:
+    units = snapshot["units"]
+    passes = snapshot["engine_passes"]
+    print(f"campaign {snapshot['campaign_id']} ({snapshot['name']}): "
+          f"{snapshot['status']}")
+    print(f"  units: {units['total']} total, {units['done']} done, "
+          f"{units['failed']} failed, {units['cancelled']} cancelled")
+    print(f"  reuse: {units['reused']} from checkpoints, "
+          f"{units['deduped']} deduplicated in-spec")
+    if passes:
+        print(f"  engine passes: {passes} "
+              f"({units['total'] / passes:.1f} units per pass)")
+    else:
+        print("  engine passes: 0 (served entirely from checkpoints)")
+    summary = snapshot.get("summary") or {}
+    best = summary.get("best_amat")
+    if best:
+        print(f"  best AMAT: {best['amat_ps']:.1f} ps at "
+              f"L1 {best['l1_size_kb']:g}K/{best['l1_assoc']}-way, "
+              f"L2 {best['l2_size_kb']:g}K/{best['l2_assoc']}-way "
+              f"({best['workload']}/{best['policy']}, "
+              f"{best['total_leakage_mw']:.3f} mW leakage)")
+    for kind, entries in sorted((snapshot.get("results") or {}).items()):
+        print(f"  results[{kind}]: {len(entries)} entries")
+    for unit_id, message in sorted(
+            (snapshot.get("failures") or {}).items()):
+        print(f"  FAILED {unit_id}: {message}", file=sys.stderr)
+
+
+def watch(client: ServiceClient, campaign_id: str, timeout: float) -> dict:
+    """Long-poll until terminal, printing a line whenever counts move."""
+    deadline = time.monotonic() + timeout
+    last = None
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError(
+                f"campaign {campaign_id} still running after "
+                f"{timeout:.0f} s")
+        snapshot = client.campaign(
+            campaign_id, wait=min(10.0, remaining), results=False)
+        line = _progress_line(snapshot)
+        if line != last:
+            print(line)
+            last = line
+        if snapshot["status"] in ("done", "failed", "cancelled"):
+            return client.campaign(campaign_id)
+
+
+# --------------------------------------------------------------------------
+# entry point
+# --------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("spec", nargs="?",
+                        help="campaign spec file (JSON or YAML subset); "
+                             "'-' reads stdin")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8023)
+    parser.add_argument("--self-contained", action="store_true",
+                        help="spawn an in-process server on an ephemeral "
+                             "port instead of targeting a running daemon")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="seconds to wait for completion (default 600)")
+    parser.add_argument("--no-wait", action="store_true",
+                        help="submit and print the campaign id, don't wait")
+    parser.add_argument("--status", metavar="ID",
+                        help="print one progress snapshot and exit")
+    parser.add_argument("--cancel", metavar="ID",
+                        help="cancel a campaign and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the final snapshot as JSON on stdout")
+    arguments = parser.parse_args(argv)
+
+    modes = [bool(arguments.spec), bool(arguments.status),
+             bool(arguments.cancel)]
+    if sum(modes) != 1:
+        parser.error("give exactly one of: a spec file, --status, --cancel")
+    if arguments.self_contained and not arguments.spec:
+        parser.error("--self-contained only makes sense with a spec file")
+
+    server = None
+    host, port = arguments.host, arguments.port
+    if arguments.self_contained:
+        import tempfile
+        import threading
+
+        from repro.service import ServiceConfig, create_server
+
+        scratch = tempfile.mkdtemp(prefix="repro-campaign-")
+        server = create_server(ServiceConfig(port=0, cache_dir=scratch))
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = "127.0.0.1", server.bound_port
+        print(f"self-contained server on port {port}", file=sys.stderr)
+
+    client = ServiceClient(host=host, port=port, timeout=60.0)
+    try:
+        if arguments.status:
+            snapshot = client.campaign(arguments.status)
+        elif arguments.cancel:
+            snapshot = client.cancel_campaign(arguments.cancel)
+        else:
+            if arguments.spec == "-":
+                text = sys.stdin.read()
+            else:
+                with open(arguments.spec) as handle:
+                    text = handle.read()
+            spec = parse_spec_text(text)
+            submitted = client.submit_campaign(spec)
+            print(f"submitted {submitted['campaign_id']}: "
+                  f"{submitted['units']['total']} units "
+                  f"({submitted['units']['reused']} already checkpointed)",
+                  file=sys.stderr)
+            if arguments.no_wait and not arguments.self_contained:
+                snapshot = submitted
+            elif submitted["status"] in ("done", "failed", "cancelled"):
+                snapshot = client.campaign(submitted["campaign_id"])
+            else:
+                snapshot = watch(client, submitted["campaign_id"],
+                                 arguments.timeout)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        detail = error.envelope.get("error", {})
+        if detail.get("type"):
+            print(f"  type: {detail['type']}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+        if server is not None:
+            server.shutdown()
+            server.service.shutdown()
+            server.server_close()
+
+    if arguments.json:
+        json.dump(snapshot, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print_report(snapshot)
+    return 0 if snapshot.get("status") in ("done", "running", "queued",
+                                           "cancelled") else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,10 @@ the same cache structure coalesce in the daemon's batching scheduler.
 The report divides the server-side engine-work counter by the request
 count — the acceptance metric for the batching PR is
 ``evaluate_grid_calls_per_request < 1`` at concurrency >= 8.
+
+``--campaign`` switches the workers to whole-campaign submissions drawn
+from a pool of overlapping specs; the report then shows fleet-wide unit
+dedup (units served per engine pass) instead of sweep batching.
 """
 
 from __future__ import annotations
@@ -38,6 +42,45 @@ if REPO_SRC not in sys.path:
     sys.path.insert(0, REPO_SRC)
 
 from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+
+#: Campaign specs the ``--campaign`` workers cycle through.  They share
+#: calibration settings and cache structures on purpose: units repeated
+#: across campaigns are answered from checkpoints, so the fleet-wide
+#: engine-pass counter grows much more slowly than the unit counter.
+CAMPAIGN_POOL = (
+    {
+        "name": "loadgen-matrix",
+        "workloads": ["spec2000"],
+        "policies": ["lru"],
+        "calibration": {"n_accesses": 30_000},
+        "matrix": {"l1_sizes_kb": [4, 8, 16], "l1_assocs": [1, 2],
+                   "l2_sizes_kb": [256], "l2_assocs": [8]},
+    },
+    {
+        "name": "loadgen-sweeps",
+        "workloads": ["spec2000"],
+        "policies": ["lru"],
+        "calibration": {"n_accesses": 30_000},
+        "matrix": {"l1_sizes_kb": [4, 8], "l1_assocs": [2],
+                   "l2_sizes_kb": [256], "l2_assocs": [8]},
+        "sweeps": [
+            {"cache": {"size_kb": 16}, "vth": [0.25, 0.3, 0.35],
+             "tox": [10.0, 12.0], "components": ["array"]},
+            {"cache": {"size_kb": 16}, "vth": [0.3, 0.35, 0.4],
+             "tox": [12.0, 14.0], "components": ["array"]},
+        ],
+    },
+    {
+        "name": "loadgen-optimize",
+        "workloads": ["spec2000"],
+        "policies": ["lru"],
+        "calibration": {"n_accesses": 30_000},
+        "matrix": {"l1_sizes_kb": [4, 8], "l1_assocs": [1],
+                   "l2_sizes_kb": [256], "l2_assocs": [8]},
+        "optimize": {"caches": [{"size_kb": 16}], "schemes": ["1", "3"],
+                     "target_ps": [900.0, 1100.0]},
+    },
+)
 
 #: Cache structures the workers cycle through (same structure -> shared
 #: batches; several structures keeps the model cache honest too).
@@ -147,6 +190,94 @@ def generate_load(
     }
 
 
+def _campaign_worker(
+    index: int,
+    host: str,
+    port: int,
+    campaigns: int,
+    latencies: List[float],
+    errors: List[str],
+    barrier: threading.Barrier,
+) -> None:
+    client = ServiceClient(host=host, port=port, timeout=60.0)
+    samples = []
+    barrier.wait()
+    for round_index in range(campaigns):
+        spec = CAMPAIGN_POOL[(index + round_index) % len(CAMPAIGN_POOL)]
+        started = time.perf_counter()
+        try:
+            final = client.run_campaign(spec, timeout=300.0)
+            if final["status"] != "done":
+                errors.append(
+                    f"worker {index}: campaign ended {final['status']!r}"
+                )
+                continue
+        except (ServiceError, TimeoutError) as error:
+            errors.append(f"worker {index}: {error}")
+            continue
+        samples.append(time.perf_counter() - started)
+    client.close()
+    latencies.extend(samples)
+
+
+def generate_campaign_load(
+    host: str,
+    port: int,
+    concurrency: int,
+    campaigns: int,
+) -> Dict[str, object]:
+    """Drive the daemon with concurrent campaigns; return the report."""
+    probe = ServiceClient(host=host, port=port)
+    before = probe.metrics()["counters"]
+    latencies: List[float] = []
+    errors: List[str] = []
+    barrier = threading.Barrier(concurrency)
+    threads = [
+        threading.Thread(
+            target=_campaign_worker,
+            args=(index, host, port, campaigns, latencies, errors, barrier),
+        )
+        for index in range(concurrency)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    after = probe.metrics()["counters"]
+    probe.close()
+
+    def delta(name: str) -> int:
+        return after.get(name, 0) - before.get(name, 0)
+
+    units_done = delta("campaigns.units_done")
+    checkpoint_hits = delta("campaigns.checkpoint_hits")
+    engine_passes = delta("campaigns.engine_passes")
+    total_units = units_done + checkpoint_hits
+    latencies.sort()
+    return {
+        "concurrency": concurrency,
+        "campaigns_per_worker": campaigns,
+        "campaigns_completed": delta("campaigns.completed"),
+        "campaigns_submitted": delta("campaigns.submitted"),
+        "errors": errors,
+        "wall_seconds": wall,
+        "campaign_seconds": {
+            "mean": statistics.fmean(latencies) if latencies else 0.0,
+            "max": latencies[-1] if latencies else 0.0,
+        },
+        "units_total": total_units,
+        "units_executed": units_done,
+        "units_from_checkpoints": checkpoint_hits,
+        "units_failed": delta("campaigns.units_failed"),
+        "engine_passes": engine_passes,
+        "units_per_engine_pass": (
+            total_units / engine_passes if engine_passes else float("inf")
+        ),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--host", default="127.0.0.1")
@@ -154,7 +285,13 @@ def main(argv=None) -> int:
     parser.add_argument("--concurrency", type=int, default=8,
                         help="worker threads (default 8)")
     parser.add_argument("--requests", type=int, default=25,
-                        help="requests per worker (default 25)")
+                        help="requests per worker (default 25); in "
+                             "--campaign mode, campaigns per worker "
+                             "(consider 2-3)")
+    parser.add_argument("--campaign", action="store_true",
+                        help="submit whole campaigns instead of single "
+                             "sweeps; the report shows fleet-wide unit "
+                             "dedup instead of sweep batching")
     parser.add_argument("--self-contained", action="store_true",
                         help="spawn an in-process server on an ephemeral "
                              "port instead of targeting a running daemon")
@@ -173,9 +310,14 @@ def main(argv=None) -> int:
         print(f"self-contained server on port {port}", file=sys.stderr)
 
     try:
-        report = generate_load(
-            host, port, arguments.concurrency, arguments.requests
-        )
+        if arguments.campaign:
+            report = generate_campaign_load(
+                host, port, arguments.concurrency, arguments.requests
+            )
+        else:
+            report = generate_load(
+                host, port, arguments.concurrency, arguments.requests
+            )
     finally:
         if server is not None:
             server.shutdown()
@@ -185,6 +327,23 @@ def main(argv=None) -> int:
     if arguments.json:
         json.dump(report, sys.stdout, indent=2)
         sys.stdout.write("\n")
+    elif arguments.campaign:
+        print(f"campaigns: {report['campaigns_completed']} completed "
+              f"of {report['campaigns_submitted']} submitted "
+              f"({report['wall_seconds']:.2f} s wall, mean "
+              f"{report['campaign_seconds']['mean']:.2f} s each)")
+        print(f"units: {report['units_total']} total = "
+              f"{report['units_executed']} executed + "
+              f"{report['units_from_checkpoints']} from checkpoints "
+              f"({report['units_failed']} failed)")
+        print(f"dedup: {report['engine_passes']} engine passes for "
+              f"{report['units_total']} units "
+              f"({report['units_per_engine_pass']:.1f} units per pass)")
+        if report["errors"]:
+            print(f"errors ({len(report['errors'])}):", file=sys.stderr)
+            for line in report["errors"][:10]:
+                print(f"  {line}", file=sys.stderr)
+            return 1
     else:
         latency = report["latency_seconds"]
         print(f"requests: {report['total_requests']} "

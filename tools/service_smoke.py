@@ -20,6 +20,12 @@ port file, then asserts the service contract:
   answered synchronously from the profile store (``"status": "done"``
   on submission, ``served_from: "profile_store"``) with bit-identical
   rates,
+* a campaign round-trips: submit -> long-poll progress -> cancel ->
+  resubmit; the resubmission resumes from the cancelled run's
+  checkpoints (``units.reused`` covers everything the first run
+  completed) and finishes, an over-budget spec gets a structured 400
+  naming the offending axis product, and the campaign counters appear
+  in ``/metrics``,
 * SIGTERM produces a graceful exit (code 0, jobs drained).
 
 ``--in-process`` runs the same checks against an in-process server (no
@@ -197,7 +203,78 @@ def check_service(host: str, port: int) -> None:
                   f"{rate} != {cold_l1.get(size)}")
     print("  profile store: assoc calibrate ran the engine once; repeat "
           "sub-grid served synchronously, rates identical")
+
+    check_campaigns(client)
     client.close()
+
+
+def check_campaigns(client: ServiceClient) -> None:
+    """Campaign round trip: submit -> progress -> cancel -> resume."""
+    # An over-budget spec must be rejected up front with a structured
+    # 400 naming the axis product, before any work is scheduled.
+    fat = {
+        "workloads": ["spec2000", "specweb", "tpcc"],
+        "policies": ["lru", "fifo", "random"],
+        "matrix": {},  # defaults: full L1/L2 grids
+        "max_units": 50,
+    }
+    try:
+        client.submit_campaign(fat)
+        _fail("over-budget campaign was accepted")
+    except ServiceError as error:
+        if error.status != 400:
+            _fail(f"over-budget campaign: expected 400, got {error.status}")
+        message = error.envelope.get("error", {}).get("message", "")
+        if "expands to" not in message or "limit" not in message:
+            _fail(f"budget 400 does not name the expansion: {message!r}")
+
+    spec = {
+        "name": "smoke-campaign",
+        "workloads": ["spec2000", "specweb"],
+        "policies": ["lru"],
+        "calibration": {"n_accesses": 60_000},
+        "matrix": {"l1_sizes_kb": [4, 8, 16], "l1_assocs": [1, 2],
+                   "l2_sizes_kb": [256], "l2_assocs": [8]},
+        "optimize": {"caches": [{"size_kb": 16}], "schemes": ["1", "3"],
+                     "target_ps": [900.0, 1100.0]},
+    }
+    first = client.submit_campaign(spec)
+    campaign_id = first["campaign_id"]
+    total = first["units"]["total"]
+    if first["status"] not in ("running", "done"):
+        _fail(f"campaign submission returned {first['status']!r}")
+    # One long-poll progress read, then cancel mid-flight.
+    progress = client.campaign(campaign_id, wait=0.2, results=False)
+    if "units" not in progress or "results" in progress:
+        _fail(f"progress snapshot malformed: {sorted(progress)}")
+    cancelled = client.cancel_campaign(campaign_id)
+    if cancelled["status"] not in ("cancelled", "done"):
+        _fail(f"cancel left the campaign {cancelled['status']!r}")
+    finished = cancelled["units"]["done"]
+
+    # The resubmitted identical spec must resume from the cancelled
+    # run's checkpoints: everything the first run completed comes back
+    # as a reused unit, and the campaign runs to done.
+    second = client.submit_campaign(spec)
+    final = client.wait_for_campaign(second["campaign_id"], timeout=180.0)
+    if final["status"] != "done":
+        _fail(f"resubmitted campaign ended {final['status']!r}: "
+              f"{final.get('failures')}")
+    if final["units"]["total"] != total:
+        _fail(f"resubmission changed the unit count: "
+              f"{final['units']['total']} != {total}")
+    if final["units"]["reused"] < finished:
+        _fail(f"resubmission reused {final['units']['reused']} units but "
+              f"the cancelled run had checkpointed {finished}")
+    counters = client.metrics()["counters"]
+    for name in ("campaigns.submitted", "campaigns.units_done",
+                 "campaigns.engine_passes"):
+        if counters.get(name, 0) < 1:
+            _fail(f"campaign counter {name} missing from /metrics")
+    print(f"  campaigns: over-budget spec rejected with a structured 400; "
+          f"cancel after {finished}/{total} units; resubmission reused "
+          f"{final['units']['reused']} checkpointed units and finished "
+          f"with {final['engine_passes']} engine passes")
 
 
 def run_in_process() -> int:
