@@ -139,6 +139,12 @@ def _cmd_serve(arguments) -> int:
         campaign_max_units=arguments.campaign_max_units,
         campaign_fanout=arguments.campaign_fanout,
     )
+    if arguments.workers > 1:
+        from repro.service.supervisor import run_supervised
+
+        return run_supervised(
+            config, arguments.workers, port_file=arguments.port_file
+        )
     return run(config, port_file=arguments.port_file)
 
 
@@ -195,6 +201,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="port to listen on; 0 picks an ephemeral port")
     serve.add_argument("--port-file", default=None, metavar="PATH",
                        help="write the bound port to this file on startup")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes behind one shared listen "
+                            "socket; >1 starts the fork supervisor with "
+                            "crash restart (default 1: single process)")
     serve.add_argument("--batch-window-ms", type=float, default=5.0,
                        help="sweep coalescing window in ms (default 5)")
     serve.add_argument("--job-workers", type=int, default=2,

@@ -26,6 +26,7 @@ injection.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -88,6 +89,24 @@ SCHEMES = {
 
 def _grid_to_lists(grid) -> list:
     return [[float(value) for value in row] for row in grid]
+
+
+def _pid_alive(pid) -> bool:
+    """True when a process with this pid exists on this host.
+
+    Mirrors :func:`repro.service.jobstore.pid_alive`; duplicated here
+    because this package sits *below* the service layer and must not
+    import it at module level.
+    """
+    if not isinstance(pid, int) or pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # pragma: no cover - exists / not ours / defensive
+        return True
+    return True
 
 
 # ---------------------------------------------------------------------------
@@ -367,6 +386,13 @@ class _Campaign:
     engine_passes: int = 0
     cancel_requested: bool = False
     thread: Optional[threading.Thread] = None
+    #: The raw spec document as submitted (JSON-able); persisted with
+    #: the state record so any worker can rebuild the plan and adopt
+    #: this campaign after its owner dies.
+    spec_body: Optional[dict] = None
+    #: True when this manager resumed the campaign from a persisted
+    #: state record rather than a fresh client submission.
+    adopted: bool = False
 
 
 class CampaignManager:
@@ -381,6 +407,8 @@ class CampaignManager:
         max_inflight: int = 4,
         unit_retries: int = 1,
         poll_interval: float = 0.02,
+        spec_parser: Optional[Callable[[dict], CampaignSpec]] = None,
+        worker_id: Optional[str] = None,
     ) -> None:
         self._jobs = jobs
         self._metrics = metrics if metrics is not None else _NullMetrics()
@@ -390,10 +418,20 @@ class CampaignManager:
         self._unit_retries = max(0, unit_retries)
         self._poll_interval = poll_interval
         self._store = CampaignStore(cache_dir)
+        # Injected by the service layer (import discipline: this
+        # package cannot import repro.service.schemas itself).  Without
+        # it, campaigns of dead workers are reported from their state
+        # records but cannot be adopted.
+        self._spec_parser = spec_parser
+        self._worker_id = worker_id
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._campaigns: Dict[str, _Campaign] = {}
         self._ids = itertools.count(1)
+        # Campaign ids must be unique across every worker sharing one
+        # campaign store (and across restarts): namespace the counter
+        # with a per-instance random token.
+        self._instance = os.urandom(4).hex()
         self._shutdown = False
         self._metrics.register_gauge("campaigns.active", self.active_count)
         self._metrics.register_gauge(
@@ -415,8 +453,21 @@ class CampaignManager:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def submit(self, spec: CampaignSpec) -> dict:
-        """Plan and start one campaign; returns its first snapshot."""
+    def submit(
+        self,
+        spec: CampaignSpec,
+        spec_body: Optional[dict] = None,
+        campaign_id: Optional[str] = None,
+    ) -> dict:
+        """Plan and start one campaign; returns its first snapshot.
+
+        ``spec_body`` is the raw (JSON-able) document the spec was
+        parsed from; persisting it with the state record is what makes
+        the campaign adoptable by other workers.  ``campaign_id``
+        overrides id generation — the adoption path resumes an orphaned
+        campaign *under its original id* so clients polling it never
+        see a rename.
+        """
         with self._lock:
             if self._shutdown:
                 raise ServiceUnavailableError(
@@ -424,14 +475,23 @@ class CampaignManager:
                 )
         plan = build_plan(spec, cache_dir=self._cache_dir, store=self._store)
         now = time.time()
+        adopted = campaign_id is not None
         with self._lock:
             if self._shutdown:
                 raise ServiceUnavailableError(
                     "the service is shutting down; no new campaigns accepted"
                 )
-            campaign_id = f"campaign-{next(self._ids)}"
+            if campaign_id is None:
+                campaign_id = f"campaign-{self._instance}-{next(self._ids)}"
+            elif campaign_id in self._campaigns:
+                # Two threads raced to adopt the same orphan: first one
+                # in wins, the loser serves the incumbent.
+                return self._snapshot(
+                    self._campaigns[campaign_id], include_results=False
+                )
             campaign = _Campaign(
-                campaign_id=campaign_id, plan=plan, created_at=now
+                campaign_id=campaign_id, plan=plan, created_at=now,
+                spec_body=spec_body, adopted=adopted,
             )
             for unit in plan.units:
                 if unit.unit_id in plan.reused:
@@ -448,12 +508,15 @@ class CampaignManager:
                 campaign.finished_at = now
             self._campaigns[campaign_id] = campaign
         self._metrics.increment("campaigns.submitted")
+        if adopted:
+            self._metrics.increment("campaigns.adopted")
         if plan.reused:
             self._metrics.increment(
                 "campaigns.checkpoint_hits", len(plan.reused)
             )
         if plan.deduped:
             self._metrics.increment("campaigns.units_deduped", plan.deduped)
+        self._persist_state(campaign)
         if born_done:
             self._metrics.increment("campaigns.completed")
         else:
@@ -466,14 +529,90 @@ class CampaignManager:
             campaign.thread.start()
         return self.get(campaign_id, include_results=False)
 
+    # -- shared-state recovery ---------------------------------------------
+
+    def _persist_state(self, campaign: _Campaign) -> None:
+        """Write this campaign's shared state record (best-effort)."""
+        with self._lock:
+            record = self._snapshot(campaign, include_results=False)
+            record["spec_body"] = campaign.spec_body
+        record["owner_pid"] = os.getpid()
+        record["owner_worker"] = self._worker_id
+        record["persisted_at"] = time.time()
+        self._store.store_state(campaign.campaign_id, record)
+
+    @staticmethod
+    def _remote_snapshot(record: dict, note: Optional[str] = None) -> dict:
+        snapshot = {
+            key: value
+            for key, value in record.items()
+            if key not in ("spec_body", "owner_pid", "persisted_at")
+        }
+        owner = record.get("owner_worker")
+        if owner is not None:
+            snapshot.setdefault("served_by", owner)
+        if note:
+            snapshot["note"] = note
+        return snapshot
+
+    def _recover(self, campaign_id: str) -> Optional[dict]:
+        """Resolve a locally-unknown campaign id via the shared store.
+
+        Returns a snapshot, or ``None`` for a genuinely unknown id.
+        Three cases:
+
+        * the owner is alive — serve its persisted progress record
+          (slightly stale, refreshed on every unit completion);
+        * the owner is dead, or the record is terminal — **adopt**: re-
+          parse the persisted spec, rebuild the plan, and resume under
+          the original id.  Finished units come back born-``reused``
+          from their checkpoints; in-flight work at the moment of death
+          is re-run.  A terminal campaign re-assembles entirely from
+          checkpoints and is served bit-identically;
+        * no spec parser was injected (or the record carries no spec) —
+          serve the record as-is; adoption is impossible.
+        """
+        record = self._store.load_state(campaign_id)
+        if record is None:
+            return None
+        self._metrics.increment("campaigns.store_serves")
+        owner = record.get("owner_pid")
+        if (
+            record.get("status") == RUNNING
+            and isinstance(owner, int)
+            and owner != os.getpid()
+            and _pid_alive(owner)
+        ):
+            return self._remote_snapshot(
+                record,
+                note="campaign is owned by another worker; this is its "
+                     "latest persisted progress",
+            )
+        body = record.get("spec_body")
+        if body is None or self._spec_parser is None:
+            return self._remote_snapshot(record)
+        try:
+            spec = self._spec_parser(body)
+        except Exception:  # noqa: BLE001 - unparsable old record
+            return self._remote_snapshot(record)
+        self.submit(spec, spec_body=body, campaign_id=campaign_id)
+        return self.get(campaign_id, include_results=False)
+
     def get(self, campaign_id: str, include_results: bool = True) -> dict:
         with self._lock:
             campaign = self._campaigns.get(campaign_id)
-            if campaign is None:
-                raise ValidationError(
-                    f"unknown campaign id {campaign_id!r}", status=404
-                )
-            return self._snapshot(campaign, include_results)
+            if campaign is not None:
+                return self._snapshot(campaign, include_results)
+        recovered = self._recover(campaign_id)
+        if recovered is None:
+            raise ValidationError(
+                f"unknown campaign id {campaign_id!r}", status=404
+            )
+        with self._lock:
+            campaign = self._campaigns.get(campaign_id)
+            if campaign is not None:  # adopted: serve it locally now
+                return self._snapshot(campaign, include_results)
+        return recovered
 
     def wait(
         self,
@@ -481,22 +620,50 @@ class CampaignManager:
         seconds: float,
         include_results: bool = True,
     ) -> dict:
-        """Block until the campaign is terminal or the wait elapses."""
+        """Block until the campaign is terminal or the wait elapses.
+
+        A campaign owned by another (live) worker is long-polled
+        against the shared state record instead of the local condition
+        variable.
+        """
         deadline = time.monotonic() + max(0.0, seconds)
         with self._cond:
-            while True:
-                campaign = self._campaigns.get(campaign_id)
-                if campaign is None:
-                    raise ValidationError(
-                        f"unknown campaign id {campaign_id!r}", status=404
+            if campaign_id in self._campaigns:
+                return self._wait_local(
+                    campaign_id, deadline, include_results
+                )
+        while True:
+            recovered = self._recover(campaign_id)
+            if recovered is None:
+                raise ValidationError(
+                    f"unknown campaign id {campaign_id!r}", status=404
+                )
+            with self._cond:
+                if campaign_id in self._campaigns:  # adopted
+                    return self._wait_local(
+                        campaign_id, deadline, include_results
                     )
-                if campaign.status in TERMINAL:
-                    break
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    break
-                self._cond.wait(min(remaining, 0.25))
-            return self._snapshot(campaign, include_results)
+            remaining = deadline - time.monotonic()
+            if recovered.get("status") in TERMINAL or remaining <= 0:
+                return recovered
+            time.sleep(min(remaining, 0.25))
+
+    def _wait_local(
+        self, campaign_id: str, deadline: float, include_results: bool
+    ) -> dict:
+        """Condition-variable wait for a locally-owned campaign.
+
+        Caller must hold ``self._cond``.
+        """
+        while True:
+            campaign = self._campaigns[campaign_id]
+            if campaign.status in TERMINAL:
+                break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            self._cond.wait(min(remaining, 0.25))
+        return self._snapshot(campaign, include_results)
 
     def cancel(self, campaign_id: str) -> dict:
         """Cancel a campaign and all its outstanding child jobs.
@@ -507,9 +674,18 @@ class CampaignManager:
         with self._cond:
             campaign = self._campaigns.get(campaign_id)
             if campaign is None:
-                raise ValidationError(
-                    f"unknown campaign id {campaign_id!r}", status=404
-                )
+                record = self._store.load_state(campaign_id)
+                if record is None:
+                    raise ValidationError(
+                        f"unknown campaign id {campaign_id!r}", status=404
+                    )
+                note = None
+                if record.get("status") not in TERMINAL:
+                    note = (
+                        "campaign is owned by another worker; cancel it "
+                        "there or wait for its verdict"
+                    )
+                return self._remote_snapshot(record, note)
             if campaign.status in TERMINAL:
                 return self._snapshot(campaign, include_results=False)
             campaign.cancel_requested = True
@@ -531,6 +707,7 @@ class CampaignManager:
                 campaign.finished_at = time.time()
             self._cond.notify_all()
             snapshot = self._snapshot(campaign, include_results=False)
+        self._persist_state(campaign)
         self._metrics.increment("campaigns.cancelled")
         return snapshot
 
@@ -555,6 +732,10 @@ class CampaignManager:
                 campaign.thread.join(
                     timeout=max(0.0, deadline - time.monotonic())
                 )
+        for campaign in active:
+            # Record the cancelled verdict so a sibling (or a restarted
+            # daemon) can adopt and resume from the checkpoints.
+            self._persist_state(campaign)
         return {"cancelled": len(active)}
 
     # -- the coordinator ---------------------------------------------------
@@ -568,8 +749,13 @@ class CampaignManager:
                 progressed = self._collect(campaign)
                 progressed = self._launch(campaign) or progressed
                 if self._finalize_if_complete(campaign):
+                    self._persist_state(campaign)
                     return
-                if not progressed:
+                if progressed:
+                    # Progress checkpoints make the shared record a live
+                    # progress view for siblings answering polls.
+                    self._persist_state(campaign)
+                else:
                     time.sleep(self._poll_interval)
         except Exception as error:  # noqa: BLE001 - coordinator must not die
             with self._cond:
@@ -580,6 +766,7 @@ class CampaignManager:
                         f"{type(error).__name__}: {error}"
                     )
                     self._cond.notify_all()
+            self._persist_state(campaign)
             self._metrics.increment("campaigns.failed")
 
     def _targets(self, campaign: _Campaign, target: str) -> List[Unit]:
@@ -847,6 +1034,8 @@ class CampaignManager:
             "child_jobs": list(campaign.child_jobs),
             "poll": f"/v1/campaigns/{campaign.campaign_id}",
         }
+        if campaign.adopted:
+            payload["adopted"] = True
         if campaign.errors:
             payload["failures"] = dict(campaign.errors)
         if include_results:

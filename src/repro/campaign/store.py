@@ -8,6 +8,15 @@ cancel, or from a different campaign that happens to contain the same
 unit) reuses finished work without recomputing it, and a kill -9 mid
 campaign loses at most the units that had not finished (writes are
 atomic per entry).
+
+Alongside the per-unit checkpoints the store keeps one **state record
+per campaign id** (``campaign-state:<id>``): the raw spec document, the
+owning worker's pid, and a progress snapshot.  That record is what lets
+*any* worker in a multi-worker deployment answer
+``GET /v1/campaigns/<id>`` for a campaign another process is running —
+and what lets a surviving worker adopt a campaign whose owner was
+killed: re-parse the persisted spec, rebuild the plan, and resume from
+the unit checkpoints under the same campaign id.
 """
 
 from __future__ import annotations
@@ -32,6 +41,30 @@ class CampaignStore:
     def store(self, fingerprint: str, result: dict) -> None:
         """Persist one completed unit result (atomic, last writer wins)."""
         self._disk.store(fingerprint, result)
+
+    # -- per-campaign state records -----------------------------------------
+
+    @staticmethod
+    def _state_fingerprint(campaign_id: str) -> str:
+        return f"campaign-state:{campaign_id}"
+
+    def load_state(self, campaign_id: str) -> Optional[dict]:
+        """Return the shared state record for a campaign id, or None."""
+        record = self._disk.load(self._state_fingerprint(campaign_id))
+        if not isinstance(record, dict) or "campaign_id" not in record:
+            return None
+        return record
+
+    def store_state(self, campaign_id: str, record: dict) -> None:
+        """Persist one campaign state record (atomic, last writer wins).
+
+        Best-effort by design: campaign execution must never fail
+        because the observability/recovery record could not be written.
+        """
+        try:
+            self._disk.store(self._state_fingerprint(campaign_id), record)
+        except (TypeError, OSError):  # pragma: no cover - defensive
+            pass
 
     def clear(self) -> int:
         """Drop every checkpoint (tests); returns the count removed."""

@@ -10,7 +10,15 @@ payload into the fingerprint and stale reads become impossible.
 The directory defaults to ``$REPRO_CACHE_DIR`` (or
 ``~/.cache/repro``) and is namespaced per consumer.  Writes are atomic
 (temp file + ``os.replace``) so concurrent calibration workers can race
-on the same key safely — last writer wins with identical content.
+on the same key safely — last writer wins with identical content.  On
+top of that, each ``store()`` holds an fcntl advisory lock on a per-key
+sidecar file for the duration of the write, so two *processes* finishing
+the same fingerprint serialise instead of interleaving, and the same
+lock (:meth:`DiskCache.lock`) is what cross-process single-flight
+consumers — the profile store's compute tier — take around their
+compute-then-store step.  Corrupted entries (a torn write from a
+``kill -9``, a bad disk) are deleted on load and reported as misses, so
+the caller recomputes instead of raising forever.
 
 Thread-safety: the per-instance hit/miss counters and the process-wide
 aggregates (:func:`disk_cache_info`) are guarded by one module lock, so
@@ -22,6 +30,7 @@ exposes.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -30,7 +39,12 @@ import tempfile
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Iterator, Optional
+
+try:  # pragma: no cover - always present on POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 import numpy as np
 
@@ -39,6 +53,14 @@ from repro.errors import SimulationError
 _stats_lock = threading.Lock()
 _total_hits = 0
 _total_misses = 0
+
+#: Advisory-lock sidecar paths currently held by this process.  flock
+#: treats a second descriptor on the same file as an independent holder,
+#: so without this registry a consumer holding :meth:`DiskCache.lock`
+#: around a compute step would self-deadlock the moment its ``store()``
+#: call tried to take the same lock again.
+_held_locks_guard = threading.Lock()
+_held_locks: set = set()
 
 
 @dataclass(frozen=True)
@@ -173,43 +195,110 @@ class DiskCache:
     def load(self, fingerprint: str):
         """Return the stored payload, or None on a miss.
 
-        Unreadable or corrupt entries count as misses (the caller simply
-        recomputes and overwrites them).
+        Unreadable entries count as misses; *corrupt* entries (present
+        but undecodable — a torn write from a ``kill -9``, disk damage)
+        are deleted before the miss is reported, so the caller's
+        recompute-and-store replaces them instead of tripping over the
+        same bad bytes on every future load.
         """
         path = self.path_for(fingerprint)
         try:
             with open(path) as handle:
                 entry = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
+            self._count(hit=False)
+            return None
+        except ValueError:
+            # The file exists but does not decode: delete-and-recompute.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             self._count(hit=False)
             return None
         # Guard against (astronomically unlikely) digest collisions and
-        # format drift: the full fingerprint is stored alongside.
+        # format drift: the full fingerprint is stored alongside.  A
+        # decodable entry of the wrong shape is corruption too.
+        if not isinstance(entry, dict) or "payload" not in entry:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self._count(hit=False)
+            return None
         if entry.get("fingerprint") != fingerprint:
             self._count(hit=False)
             return None
         self._count(hit=True)
         return entry["payload"]
 
+    @contextlib.contextmanager
+    def lock(self, fingerprint: str) -> Iterator[None]:
+        """Hold the cross-process advisory lock for one fingerprint.
+
+        Blocks until the lock is granted (fcntl ``LOCK_EX`` on a per-key
+        sidecar file), so N processes racing to produce the same entry
+        serialise: the winner computes and stores; the rest wake up,
+        re-check :meth:`load`, and find the finished entry.  Advisory
+        only — plain :meth:`store`/:meth:`load` calls remain safe via
+        the atomic-rename discipline; the lock adds *waiting*, which is
+        what single-flight needs.  On platforms without ``fcntl`` the
+        context degrades to a no-op (atomic last-writer-wins survives).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            yield
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = str(self.path_for(fingerprint).with_suffix(".lock"))
+        with _held_locks_guard:
+            reentrant = path in _held_locks
+            if not reentrant:
+                _held_locks.add(path)
+        if reentrant:
+            # This process already holds the flock (e.g. store() inside
+            # a single-flight compute section): don't re-acquire — a
+            # second descriptor counts as a *different* holder and
+            # would deadlock against ourselves.
+            yield
+            return
+        descriptor = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(descriptor, fcntl.LOCK_EX)
+            yield
+        finally:
+            # Closing drops the flock; the sidecar file is left behind
+            # (unlinking it would race a fresh locker on the same name).
+            os.close(descriptor)
+            with _held_locks_guard:
+                _held_locks.discard(path)
+
     def store(self, fingerprint: str, payload) -> Path:
-        """Persist a JSON-serialisable payload atomically; returns the path."""
+        """Persist a JSON-serialisable payload atomically; returns the path.
+
+        The write happens under the per-key advisory lock, so two
+        workers finishing the same fingerprint serialise their
+        temp-write + rename instead of interleaving; the rename keeps
+        readers safe even against writers that bypass the lock.
+        """
         path = self.path_for(fingerprint)
         self.directory.mkdir(parents=True, exist_ok=True)
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=self.directory, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(descriptor, "w") as handle:
-                json.dump(
-                    {"fingerprint": fingerprint, "payload": payload}, handle
-                )
-            os.replace(temp_name, path)
-        except BaseException:
+        with self.lock(fingerprint):
+            descriptor, temp_name = tempfile.mkstemp(
+                dir=self.directory, suffix=".tmp"
+            )
             try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(descriptor, "w") as handle:
+                    json.dump(
+                        {"fingerprint": fingerprint, "payload": payload},
+                        handle,
+                    )
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
         return path
 
     def clear(self) -> int:

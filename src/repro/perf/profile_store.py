@@ -14,7 +14,10 @@ Three tiers, mirroring the rest of ``repro.perf``:
 * an in-process memory tier with **single-flight** semantics (concurrent
   requests for the same surface elect one computing leader; everyone
   else blocks on an event and shares the result — the
-  :mod:`repro.perf.table_cache` pattern);
+  :mod:`repro.perf.table_cache` pattern), extended **across processes**
+  by a per-key fcntl advisory lock around the compute step: N service
+  workers warming the same (workload, policy, n, seed) run exactly one
+  cascade, the rest wait-and-load from the disk tier;
 * a :class:`repro.perf.DiskCache` persistent tier (namespace
   ``profiles``), so a restarted process — or the service daemon after
   a pool worker computed the surface — re-serves without recomputation;
@@ -430,9 +433,25 @@ class ProfileStore:
                 surface = _surface_from_payload(payload)
                 _count("disk")
             elif compute:
-                surface = _compute_surface(spec, policy, n_accesses, seed)
-                _count("compute")
-                self._disk.store(fingerprint, _surface_payload(surface))
+                # Cross-process single-flight: the in-process leader
+                # election above only covers *threads*; N worker
+                # processes warming the same surface would still run N
+                # identical cascades.  The per-key advisory lock makes
+                # exactly one process compute while the rest block here,
+                # wake, and load what the winner stored.
+                with self._disk.lock(fingerprint):
+                    payload = self._disk.load(fingerprint)
+                    if payload is not None:
+                        surface = _surface_from_payload(payload)
+                        _count("disk")
+                    else:
+                        surface = _compute_surface(
+                            spec, policy, n_accesses, seed
+                        )
+                        _count("compute")
+                        self._disk.store(
+                            fingerprint, _surface_payload(surface)
+                        )
             else:
                 return None
         except BaseException as error:

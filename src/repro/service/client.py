@@ -5,6 +5,24 @@ reasonable starting point for notebook use.  One :class:`ServiceClient`
 holds one keep-alive HTTP connection, so it is cheap to issue many
 requests from the same thread; it is NOT thread-safe — give each load
 generator thread its own client.
+
+Multi-worker deployments need two extra behaviours, both handled here:
+
+* **Stale keep-alives.** When the worker on the other end of an idle
+  keep-alive connection dies (crash, restart, drain), the next request
+  used to fail opaquely after being written to a half-closed socket.
+  The client now probes the socket *before* writing — a readable idle
+  keep-alive connection means EOF or stray bytes, either of which
+  disqualifies it — and transparently reconnects.  The probe happens
+  pre-write, so it is safe for every method and never weakens the
+  idempotent-GET-only post-write replay rule.
+* **Restart windows.** A refused connect (the single worker of a
+  ``--workers 1`` supervisor is mid-restart) can be retried with
+  jittered exponential backoff: pass ``connect_retries`` > 1.  With a
+  multi-address deployment (``addresses=[...]``, e.g. several
+  single-process daemons behind no load balancer), reconnects rotate
+  round-robin across the addresses, spreading load and skipping a dead
+  worker on the next rotation.
 """
 
 from __future__ import annotations
@@ -12,8 +30,9 @@ from __future__ import annotations
 import http.client
 import json
 import random
+import select
 import time
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 
 class ServiceError(RuntimeError):
@@ -33,19 +52,53 @@ class ServiceClient:
     def __init__(
         self, host: str = "127.0.0.1", port: int = 8023,
         timeout: float = 60.0,
+        addresses: Optional[Sequence[Tuple[str, int]]] = None,
+        connect_retries: int = 1,
     ) -> None:
-        self.host = host
-        self.port = port
+        if addresses:
+            self.addresses = [
+                (str(address_host), int(address_port))
+                for address_host, address_port in addresses
+            ]
+        else:
+            self.addresses = [(host, port)]
+        self.host, self.port = self.addresses[0]
         self.timeout = timeout
+        self.connect_retries = max(0, connect_retries)
         self._connection: Optional[http.client.HTTPConnection] = None
+        self._address_index = 0
         self._random = random.Random()
 
     def _connect(self) -> http.client.HTTPConnection:
         if self._connection is None:
+            host, port = self.addresses[
+                self._address_index % len(self.addresses)
+            ]
+            self._address_index += 1
             self._connection = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
+                host, port, timeout=self.timeout
             )
         return self._connection
+
+    @staticmethod
+    def _is_stale(connection: http.client.HTTPConnection) -> bool:
+        """True when an idle keep-alive connection is unusable.
+
+        Nothing should be waiting to be read on an idle keep-alive
+        connection; a readable socket therefore means the peer sent EOF
+        (a dead/restarted worker) or garbage.  Either way, writing a
+        request to it can only fail — reconnect first.
+        """
+        sock = connection.sock
+        if sock is None:
+            return False
+        try:
+            readable, _, _ = select.select([sock], [], [], 0)
+        except (OSError, ValueError, TypeError):
+            # Unselectable socket (closed out from under us, or a test
+            # fake): let the write path decide.
+            return False
+        return bool(readable)
 
     def close(self) -> None:
         if self._connection is not None:
@@ -61,26 +114,46 @@ class ServiceClient:
     def request(self, method: str, path: str, body: Optional[dict] = None):
         """Issue one request; returns the decoded JSON payload.
 
-        Raises :class:`ServiceError` on a non-2xx status.  A dropped
-        keep-alive connection (the server may close idle connections
-        between calls) is retried once — but only where a replay cannot
-        double-apply the request: connect failures retry for every
-        method (nothing reached the wire), while failures after the
-        request was written retry for GET only.  A ``POST
-        /v1/calibrate`` whose response never arrives may still have
-        submitted its job; replaying it would submit a second one, so
-        the error propagates to the caller instead.
+        Raises :class:`ServiceError` on a non-2xx status.  Failure
+        handling preserves the replay discipline: anything that happens
+        *before* the request bytes reach the wire — a refused connect
+        (retried ``connect_retries`` times with jittered backoff,
+        rotating across ``addresses``), any other connect failure
+        (retried once), a stale keep-alive detected by the pre-write
+        probe (reconnected transparently) — is retryable for every
+        method.  A failure *after* the request was written is retried
+        for GET only: a ``POST /v1/calibrate`` whose response never
+        arrives may still have submitted its job, and replaying it
+        would submit a second one, so the error propagates instead.
         """
         encoded = json.dumps(body).encode("utf-8") if body is not None else None
         headers = {"Content-Type": "application/json"} if encoded else {}
-        for attempt in (0, 1):
+        refused = 0
+        connect_failures = 0
+        write_failures = 0
+        while True:
             connection = self._connect()
             try:
                 if connection.sock is None:
                     connection.connect()
+                elif self._is_stale(connection):
+                    self.close()
+                    connection = self._connect()
+                    connection.connect()
+            except ConnectionRefusedError:
+                self.close()
+                refused += 1
+                if refused > self.connect_retries:
+                    raise
+                # A restarting worker needs a beat to start accepting;
+                # jitter keeps a fan-out of clients from stampeding it.
+                delay = min(0.05 * (2 ** (refused - 1)), 0.5)
+                time.sleep(delay * (0.5 + self._random.random()))
+                continue
             except (http.client.HTTPException, ConnectionError, OSError):
                 self.close()
-                if attempt:
+                connect_failures += 1
+                if connect_failures > 1:
                     raise
                 continue
             try:
@@ -91,7 +164,8 @@ class ServiceClient:
                 break
             except (http.client.HTTPException, ConnectionError, OSError):
                 self.close()
-                if attempt or method != "GET":
+                write_failures += 1
+                if write_failures > 1 or method != "GET":
                     raise
         payload = json.loads(raw) if raw else {}
         if response.status >= 400:
@@ -103,8 +177,12 @@ class ServiceClient:
     def healthz(self) -> dict:
         return self.request("GET", "/healthz")
 
-    def metrics(self) -> dict:
-        return self.request("GET", "/metrics")
+    def metrics(self, scope: Optional[str] = None) -> dict:
+        """Fetch /metrics; ``scope='cluster'`` merges across workers."""
+        path = "/metrics"
+        if scope:
+            path += f"?scope={scope}"
+        return self.request("GET", path)
 
     def sweep(self, cache: dict, vth, tox,
               components: Optional[Sequence[str]] = None) -> dict:

@@ -15,11 +15,21 @@ so cancelling it marks the job and discards its result on arrival.  The
 watchdog thread applies the same discard to jobs that exceed their
 timeout.  ``shutdown`` drains or cancels everything — it is the SIGTERM
 path, so it must never hang.
+
+Durability: every submission is mirrored into the shared
+:class:`~repro.service.jobstore.JobStore` (written at submit, atomically
+rewritten at every terminal transition), and ``get``/``wait_for``
+consult that store on a local miss.  In a multi-worker deployment any
+worker therefore answers ``GET /v1/jobs/<id>`` for work another process
+finished — including after the owning worker (or the whole daemon) was
+killed — and a job that died in flight with its worker resurfaces as a
+retryable failure instead of a 404.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
@@ -28,6 +38,7 @@ from typing import Callable, Dict, Optional
 
 from repro.errors import ServiceUnavailableError, ValidationError
 
+from repro.service.jobstore import JobStore, snapshot_from_record
 from repro.service.metrics import MetricsRegistry
 
 #: States a job can be observed in.
@@ -65,6 +76,9 @@ class JobManager:
         max_queue: int = 16,
         timeout_seconds: float = 600.0,
         metrics: Optional[MetricsRegistry] = None,
+        cache_dir: Optional[str] = None,
+        worker_id: Optional[str] = None,
+        durable: bool = True,
     ) -> None:
         self._lock = threading.Lock()
         # Long-pollers (wait_for) sleep on this; every terminal
@@ -72,10 +86,19 @@ class JobManager:
         self._cond = threading.Condition(self._lock)
         self._jobs: Dict[str, _Job] = {}
         self._ids = itertools.count(1)
+        # Job ids must be unique across every worker process (and every
+        # restart) that shares one job store: a per-instance random
+        # token namespaces the sequential counter.
+        self._instance = os.urandom(4).hex()
         self._max_workers = max_workers
         self._max_queue = max_queue
         self._timeout_seconds = timeout_seconds
         self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._store: Optional[JobStore] = (
+            JobStore(cache_dir, worker_id=worker_id,
+                     instance=self._instance)
+            if durable else None
+        )
         self._executor: Optional[ProcessPoolExecutor] = None
         self._shutdown = False
         self._watchdog: Optional[threading.Thread] = None
@@ -96,6 +119,18 @@ class JobManager:
                        if job.status == RUNNING)
 
     # -- lifecycle ---------------------------------------------------------
+
+    def _next_id(self) -> str:
+        """A job id unique across workers, restarts, and processes."""
+        return f"job-{self._instance}-{next(self._ids)}"
+
+    def _persist(self, job: _Job) -> None:
+        """Mirror one job's current snapshot into the shared store."""
+        if self._store is None:
+            return
+        with self._lock:
+            snapshot = self._snapshot(job)
+        self._store.write(snapshot)
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -136,7 +171,7 @@ class JobManager:
                     f"job queue is full ({queued} queued, limit "
                     f"{self._max_queue}); retry later"
                 )
-            job_id = f"job-{next(self._ids)}"
+            job_id = self._next_id()
             job = _Job(
                 job_id=job_id,
                 kind=kind,
@@ -147,6 +182,10 @@ class JobManager:
                 job.detail.update(detail)
             self._jobs[job_id] = job
         self._metrics.increment("jobs.submitted")
+        # Persist the admission before any work starts: if this worker
+        # dies mid-job, any reader of the shared store sees an orphaned
+        # in-flight record (-> failed/retryable), never a missing one.
+        self._persist(job)
         future = self._ensure_executor().submit(fn, *args, **kwargs)
         with self._lock:
             job.future = future
@@ -172,7 +211,7 @@ class JobManager:
                 raise ServiceUnavailableError(
                     "the service is shutting down; no new jobs accepted"
                 )
-            job_id = f"job-{next(self._ids)}"
+            job_id = self._next_id()
             now = time.time()
             job = _Job(
                 job_id=job_id,
@@ -186,6 +225,11 @@ class JobManager:
             )
             if detail:
                 job.detail.update(detail)
+        # Durability before visibility (as in _on_done): the born-done
+        # record reaches the store before the id is ever handed out.
+        if self._store is not None:
+            self._store.write(self._snapshot(job))
+        with self._lock:
             self._jobs[job_id] = job
             self._cond.notify_all()
         self._metrics.increment("jobs.submitted")
@@ -198,25 +242,49 @@ class JobManager:
             job = self._jobs.get(job_id)
             if job is None:
                 return
-            job.finished_at = time.time()
             if job.status in (CANCELLED, TIMEOUT):
+                job.finished_at = time.time()
                 return  # result arrived after the verdict: discard it
-            if future.cancelled():
-                job.status = CANCELLED
+            # Resolve the verdict on a private copy first: the terminal
+            # state must reach the shared store *before* any poller can
+            # observe it, or a kill -9 in the gap turns a job a client
+            # already saw as done into an orphaned in-flight record
+            # (-> failed/retryable) on re-read.
+            pending = _Job(**{f: getattr(job, f)
+                              for f in job.__dataclass_fields__})
+        pending.finished_at = time.time()
+        if future.cancelled():
+            pending.status = CANCELLED
+        else:
+            error = future.exception()
+            if error is not None:
+                pending.status = FAILED
+                pending.error = f"{type(error).__name__}: {error}"
             else:
-                error = future.exception()
-                if error is not None:
-                    job.status = FAILED
-                    job.error = f"{type(error).__name__}: {error}"
-                else:
-                    job.status = DONE
-                    job.result = future.result()
+                pending.status = DONE
+                pending.result = future.result()
+        if self._store is not None:
+            self._store.write(self._snapshot(pending))
+        with self._lock:
+            if job.status in (CANCELLED, TIMEOUT):
+                # A cancel/timeout verdict landed while we persisted;
+                # its snapshot must win on disk too.
+                job.finished_at = pending.finished_at
+                persist_verdict = True
+            else:
+                job.status = pending.status
+                job.result = pending.result
+                job.error = pending.error
+                job.finished_at = pending.finished_at
+                persist_verdict = False
             status = job.status
+            duration = job.finished_at - job.submitted_at
             self._cond.notify_all()
+        if persist_verdict:
+            self._persist(job)
+            return
         self._metrics.increment(f"jobs.{status}")
         if status in (DONE, FAILED):
-            with self._lock:
-                duration = job.finished_at - job.submitted_at
             self._metrics.observe("jobs.duration_seconds", duration)
 
     def _watch(self) -> None:
@@ -241,25 +309,43 @@ class JobManager:
                             f"job exceeded its {job.timeout_seconds:.0f} s "
                             f"timeout"
                         )
-                        expired.append(job.future)
+                        expired.append(job)
                 if expired:
                     self._cond.notify_all()
             # Future.cancel() on a still-pending future runs the done
             # callbacks synchronously on this thread, and _on_done takes
             # _lock — so the cancel must happen after the lock is
             # released.  Status is already TIMEOUT, so _on_done discards.
-            for future in expired:
-                if future is not None:
-                    future.cancel()
+            for job in expired:
+                if job.future is not None:
+                    job.future.cancel()
+                self._persist(job)
                 self._metrics.increment("jobs.timeout")
 
     def cancel(self, job_id: str) -> dict:
-        """Cancel a job if it has not finished; returns its snapshot."""
+        """Cancel a job if it has not finished; returns its snapshot.
+
+        Cancellation is a local act: a job owned by *another* worker
+        cannot be interrupted from here (there is no cross-process job
+        control), so for remote records the snapshot comes back with a
+        note instead of an effect — unless the record is already
+        terminal, in which case the verdict is simply served.
+        """
         with self._lock:
             job = self._jobs.get(job_id)
-            if job is None:
+        if job is None:
+            record = self._shared_record(job_id)
+            if record is None:
                 raise ValidationError(f"unknown job id {job_id!r}",
                                       status=404)
+            snapshot = snapshot_from_record(record)
+            if snapshot.get("status") not in _TERMINAL:
+                snapshot["note"] = (
+                    "job is owned by another worker; cancel it there "
+                    "or wait for its verdict"
+                )
+            return snapshot
+        with self._lock:
             if job.status in _TERMINAL:
                 return self._snapshot(job)
             # Mark terminal *before* touching the future: _on_done (which
@@ -281,22 +367,41 @@ class JobManager:
                     "job was already running; its result will be discarded"
                 )
             snapshot = self._snapshot(job)
+        self._persist(job)
         self._metrics.increment("jobs.cancelled")
         return snapshot
+
+    def _shared_record(self, job_id: str) -> Optional[dict]:
+        """Look a locally-unknown job up in the shared store."""
+        if self._store is None:
+            return None
+        record = self._store.load(job_id)
+        if record is None:
+            return None
+        self._metrics.increment("jobs.store_serves")
+        return record
 
     def get(self, job_id: str) -> dict:
         with self._lock:
             job = self._jobs.get(job_id)
-            if job is None:
-                raise ValidationError(f"unknown job id {job_id!r}",
-                                      status=404)
-            # The watchdog polls at 5 Hz; refresh RUNNING on read so a
-            # fast poller never sees a stale QUEUED for a started job.
-            if job.status == QUEUED and job.future is not None \
-                    and job.future.running():
-                job.status = RUNNING
-                job.started_at = time.time()
-            return self._snapshot(job)
+            if job is not None:
+                # The watchdog polls at 5 Hz; refresh RUNNING on read so
+                # a fast poller never sees a stale QUEUED for a started
+                # job.
+                if job.status == QUEUED and job.future is not None \
+                        and job.future.running():
+                    job.status = RUNNING
+                    job.started_at = time.time()
+                return self._snapshot(job)
+        # Not ours: another worker may own (or have finished) it.  The
+        # shared store serves completed work from any process — the
+        # durability contract — and flips orphaned in-flight records to
+        # failed/retryable on read.
+        record = self._shared_record(job_id)
+        if record is None:
+            raise ValidationError(f"unknown job id {job_id!r}",
+                                  status=404)
+        return snapshot_from_record(record)
 
     def wait_for(self, job_id: str, seconds: float) -> dict:
         """Block until the job is terminal or ``seconds`` elapse.
@@ -304,28 +409,38 @@ class JobManager:
         The long-poll behind ``GET /v1/jobs/<id>?wait=<seconds>``: one
         blocked handler thread instead of a client hammering ``get``.
         Returns the job's snapshot either way — the caller checks
-        ``status`` to tell a finished job from an expired wait.
+        ``status`` to tell a finished job from an expired wait.  A job
+        owned by another worker is long-polled against the shared store
+        (re-read every 0.25 s) instead of the local condition variable.
         """
         deadline = time.monotonic() + max(0.0, seconds)
         with self._cond:
             while True:
                 job = self._jobs.get(job_id)
                 if job is None:
-                    raise ValidationError(f"unknown job id {job_id!r}",
-                                          status=404)
+                    break
                 if job.status == QUEUED and job.future is not None \
                         and job.future.running():
                     job.status = RUNNING
                     job.started_at = time.time()
                 if job.status in _TERMINAL:
-                    break
+                    return self._snapshot(job)
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
-                    break
+                    return self._snapshot(job)
                 # Chunked waits double as a liveness poll: the QUEUED ->
                 # RUNNING refresh above still happens while blocked.
                 self._cond.wait(min(remaining, 0.25))
-            return self._snapshot(job)
+        # Remote job: poll the shared store until terminal or expired.
+        while True:
+            record = self._shared_record(job_id)
+            if record is None:
+                raise ValidationError(f"unknown job id {job_id!r}",
+                                      status=404)
+            remaining = deadline - time.monotonic()
+            if record.get("status") in _TERMINAL or remaining <= 0:
+                return snapshot_from_record(record)
+            time.sleep(min(remaining, 0.25))
 
     def _snapshot(self, job: _Job) -> dict:
         payload = {
@@ -363,6 +478,7 @@ class JobManager:
                     job.status = CANCELLED
                     job.finished_at = time.time()
                     self._cond.notify_all()
+                self._persist(job)
                 cancelled += 1
         deadline = time.time() + wait_seconds
         for job in jobs:
@@ -381,6 +497,7 @@ class JobManager:
                         job.status = CANCELLED
                         job.finished_at = time.time()
                         self._cond.notify_all()
+                self._persist(job)
                 cancelled += 1
         if self._executor is not None:
             with self._lock:

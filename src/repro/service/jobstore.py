@@ -1,0 +1,151 @@
+"""Durable, worker-agnostic job records (DiskCache namespace ``jobs``).
+
+One process used to be the only place a finished calibration existed:
+``GET /v1/jobs/<id>`` could be answered solely by the worker that ran
+the job, and every result died with the daemon.  This module is the
+shared tier behind the multi-worker front: every
+:class:`~repro.service.jobs.JobManager` writes a small JSON record at
+submit time and atomically rewrites it when the job reaches a terminal
+state, so **any** worker — including a freshly restarted daemon — can
+answer a poll for work another process finished.
+
+Records are keyed by the (globally unique) job id and carry the owning
+worker's pid + instance token.  Liveness is judged by the pid: a
+non-terminal record whose owner is dead is an *orphan* — the worker was
+killed with the job in flight — and is rewritten as ``failed`` with
+``retryable: true`` the first time any reader trips over it.  In-flight
+work therefore resurfaces as a retryable failure instead of silently
+vanishing, while completed work survives any number of ``kill -9``s
+bit-identically (the full result payload is in the record).
+
+Writes go through :class:`repro.perf.DiskCache`, inheriting its atomic
+rename + per-key advisory lock discipline, so a record is never read
+half-written even when the writer dies mid-store.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.perf.disk_cache import DiskCache
+
+#: Statuses that end a job's lifecycle (mirrors repro.service.jobs).
+TERMINAL_STATUSES = ("done", "failed", "cancelled", "timeout")
+
+
+def pid_alive(pid: int) -> bool:
+    """True when a process with this pid exists on this host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    except OSError:  # pragma: no cover - defensive
+        return False
+    return True
+
+
+class JobStore:
+    """Fingerprint-keyed job records shared by every worker process."""
+
+    NAMESPACE = "jobs"
+
+    def __init__(self, directory=None, worker_id: Optional[str] = None,
+                 instance: Optional[str] = None) -> None:
+        self._disk = DiskCache(self.NAMESPACE, directory=directory)
+        self.worker_id = worker_id
+        self.instance = instance or ""
+
+    @staticmethod
+    def _fingerprint(job_id: str) -> str:
+        return f"job-record:{job_id}"
+
+    # -- writes ------------------------------------------------------------
+
+    def write(self, snapshot: dict) -> None:
+        """Persist one job snapshot (atomic; last writer wins).
+
+        Results that do not serialise to JSON are stored without their
+        payload (flagged) — the job store must never be the reason a
+        submission fails.
+        """
+        record = dict(snapshot)
+        record.setdefault("owner_pid", os.getpid())
+        record.setdefault("owner_worker", self.worker_id)
+        record.setdefault("owner_instance", self.instance)
+        record["persisted_at"] = time.time()
+        try:
+            self._disk.store(self._fingerprint(record["job_id"]), record)
+        except TypeError:
+            record.pop("result", None)
+            record["result_unserializable"] = True
+            self._disk.store(self._fingerprint(record["job_id"]), record)
+        except OSError:  # pragma: no cover - disk full / unwritable dir
+            pass
+
+    # -- reads -------------------------------------------------------------
+
+    def load(self, job_id: str) -> Optional[dict]:
+        """Return the shared record for a job id, resolving orphans.
+
+        A non-terminal record whose owner process is dead is rewritten
+        in place as a retryable failure before being returned — the
+        worker took the in-flight job down with it, and every future
+        reader (on any worker) must see that verdict rather than an
+        eternally ``running`` ghost.
+        """
+        record = self._disk.load(self._fingerprint(job_id))
+        if not isinstance(record, dict) or "job_id" not in record:
+            return None
+        if record.get("status") in TERMINAL_STATUSES:
+            return record
+        owner = record.get("owner_pid")
+        if isinstance(owner, int) and not pid_alive(owner):
+            record["status"] = "failed"
+            record["error"] = (
+                f"worker (pid {owner}) died with the job in flight"
+            )
+            record["retryable"] = True
+            record["finished_at"] = time.time()
+            self.write(record)
+        return record
+
+    def owned_here(self, record: dict) -> bool:
+        """True when this exact process wrote the record."""
+        return (
+            record.get("owner_pid") == os.getpid()
+            and record.get("owner_instance") == self.instance
+        )
+
+
+def snapshot_from_record(record: dict) -> dict:
+    """Strip the store's bookkeeping fields from a record for clients.
+
+    The remaining document is shaped exactly like a local
+    ``JobManager`` snapshot plus a ``served_by`` label naming the
+    worker that ran the job — useful when debugging a fleet.
+    """
+    snapshot = {
+        key: value
+        for key, value in record.items()
+        if key not in ("owner_pid", "owner_instance", "persisted_at")
+    }
+    owner = record.get("owner_worker")
+    if owner is not None:
+        snapshot.setdefault("served_by", owner)
+    return snapshot
+
+
+def merge_worker_records(records: Iterable[dict]) -> Dict[str, List[dict]]:
+    """Group records by owning worker id (metrics/debug helper)."""
+    grouped: Dict[str, List[dict]] = {}
+    for record in records:
+        grouped.setdefault(
+            str(record.get("owner_worker")), []
+        ).append(record)
+    return grouped

@@ -11,6 +11,12 @@ Gauges come in two flavours: values set by the code path that owns them
 (``set_gauge``) and callables sampled at snapshot time
 (``register_gauge``) — the latter is how queue depth and the perf-cache
 counters appear without the caches having to push updates.
+
+Multi-worker deployments publish each worker's snapshot to a shared
+disk board (:mod:`repro.service.cluster`); :func:`merge_snapshots` is
+the aggregation those cumulative-bucket histograms were designed for —
+counters sum, buckets sum boundary-wise, min/max fold — producing one
+fleet-wide view that is exact, not sampled.
 """
 
 from __future__ import annotations
@@ -144,3 +150,79 @@ class MetricsRegistry:
             "gauges": gauges,
             "histograms": histograms,
         }
+
+
+# ---------------------------------------------------------------------------
+# Cross-worker aggregation
+# ---------------------------------------------------------------------------
+
+def _merge_histogram_snapshots(snapshots: List[dict]) -> dict:
+    """Fold N histogram snapshots (same metric, different workers) into one.
+
+    Bucket counts are cumulative per boundary, so they sum boundary-wise;
+    workers that never observed a given boundary (histogram families can
+    differ by bucket layout) contribute their nearest coverage — in
+    practice every worker uses the same fixed layouts, so boundaries
+    align exactly.
+    """
+    merged: dict = {
+        "count": 0,
+        "sum": 0.0,
+        "min": None,
+        "max": None,
+        "buckets": {},
+    }
+    for snapshot in snapshots:
+        merged["count"] += int(snapshot.get("count", 0))
+        merged["sum"] += float(snapshot.get("sum", 0.0))
+        low = snapshot.get("min")
+        if low is not None and (merged["min"] is None or low < merged["min"]):
+            merged["min"] = low
+        high = snapshot.get("max")
+        if high is not None and (merged["max"] is None
+                                 or high > merged["max"]):
+            merged["max"] = high
+        for boundary, cumulative in (snapshot.get("buckets") or {}).items():
+            merged["buckets"][boundary] = (
+                merged["buckets"].get(boundary, 0) + int(cumulative)
+            )
+    merged["mean"] = merged["sum"] / merged["count"] if merged["count"] else 0.0
+    return merged
+
+
+def merge_snapshots(per_worker: Dict[str, dict]) -> dict:
+    """Merge ``{worker_id: registry snapshot}`` into one cluster view.
+
+    Counters sum; histograms merge exactly (see
+    :func:`_merge_histogram_snapshots`); *numeric* gauges sum as well
+    (queue depths and running counts add meaningfully across workers)
+    while structured gauges — the cache-info dicts — are left to the
+    per-worker views, where they remain inspectable without inventing
+    merge semantics for every shape.
+    """
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    histogram_parts: Dict[str, List[dict]] = {}
+    for snapshot in per_worker.values():
+        if not isinstance(snapshot, dict):
+            continue
+        for name, value in (snapshot.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            gauges[name] = gauges.get(name, 0) + value
+        for name, histogram in (snapshot.get("histograms") or {}).items():
+            if isinstance(histogram, dict):
+                histogram_parts.setdefault(name, []).append(histogram)
+    return {
+        "workers": len(per_worker),
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": {
+            name: _merge_histogram_snapshots(parts)
+            for name, parts in histogram_parts.items()
+        },
+    }

@@ -32,7 +32,9 @@ or cancel in-flight calibration jobs before the process exits.
 from __future__ import annotations
 
 import json
+import os
 import signal
+import socket as socket_module
 import sys
 import threading
 import time
@@ -73,6 +75,7 @@ from repro.perf.profile_store import get_store
 
 from repro.service import schemas
 from repro.service.batching import SweepBatcher, slice_grid
+from repro.service.cluster import WorkerMetricsBoard, cluster_view
 from repro.service.jobs import JobManager
 from repro.service.metrics import MetricsRegistry
 
@@ -97,6 +100,16 @@ class ServiceConfig:
     job_timeout_seconds: float = 600.0
     cache_dir: Optional[str] = None
     quiet: bool = True
+    #: Stable label for this worker in a multi-worker deployment (set by
+    #: the supervisor, e.g. ``"w0"``); ``None`` means single-process.
+    worker_id: Optional[str] = None
+    #: Identical repeated ``POST /v1/sweep`` bodies are answered from an
+    #: in-memory LRU of finished 200 responses of this many entries
+    #: (0 disables).  Metrics still count every request.
+    sweep_cache_entries: int = 256
+    #: Cadence at which a worker publishes its metrics snapshot to the
+    #: shared cluster board (only when ``worker_id`` is set).
+    metrics_flush_seconds: float = 0.25
     #: Workload names whose dense profile surfaces a background thread
     #: computes at startup, so the first /v1/calibrate and /v1/amat for
     #: them is already a warm slice.
@@ -201,12 +214,39 @@ class ReproService:
         self.batcher = SweepBatcher(
             self.metrics, window_seconds=config.batch_window_seconds
         )
+        # The worker label every shared-store record carries; a
+        # single-process daemon is a cluster of one.
+        self.worker_label = (
+            config.worker_id
+            if config.worker_id is not None
+            else f"worker-{os.getpid()}"
+        )
         self.jobs = JobManager(
             max_workers=config.job_workers,
             max_queue=config.job_queue,
             timeout_seconds=config.job_timeout_seconds,
             metrics=self.metrics,
+            cache_dir=config.cache_dir,
+            worker_id=self.worker_label,
         )
+        # Finished /v1/sweep responses keyed by their canonicalised
+        # request body: under multi-tenant load the same few grids are
+        # requested over and over, and a hit skips parsing, table
+        # slicing, and unit conversion entirely.
+        self._sweep_cache: "OrderedDict[str, Tuple[int, dict]]" = (
+            OrderedDict()
+        )
+        self._sweep_cache_lock = threading.Lock()
+        self._metrics_board = WorkerMetricsBoard(config.cache_dir)
+        self._flusher_stop = threading.Event()
+        if config.worker_id is not None:
+            # Workers push their snapshot to the shared board so any
+            # sibling can answer /metrics?scope=cluster for the fleet.
+            threading.Thread(
+                target=self._flush_metrics,
+                name="repro-metrics-flusher",
+                daemon=True,
+            ).start()
         self._models: "OrderedDict[str, CacheModel]" = OrderedDict()
         self._models_lock = threading.Lock()
         self.campaigns = CampaignManager(
@@ -216,6 +256,12 @@ class ReproService:
             model_for=lambda cache_config: self._model_for(cache_config)[1],
             max_inflight=config.campaign_fanout,
             unit_retries=config.campaign_unit_retries,
+            # The recovery hook: lets any worker re-parse a persisted
+            # campaign spec and adopt an orphan under its original id.
+            spec_parser=lambda body: schemas.parse_campaign(
+                body, max_units=config.campaign_max_units
+            ),
+            worker_id=self.worker_label,
         )
         self.metrics.register_gauge(
             "uptime_seconds", lambda: time.time() - self.started_at
@@ -251,6 +297,14 @@ class ReproService:
                 name="repro-profile-warmer",
                 daemon=True,
             ).start()
+
+    def _flush_metrics(self) -> None:
+        """Periodically publish this worker's snapshot (worker mode)."""
+        interval = max(0.05, self.config.metrics_flush_seconds)
+        while not self._flusher_stop.wait(interval):
+            self._metrics_board.publish(
+                self.worker_label, self.metrics.snapshot()
+            )
 
     def _warm_profiles(self) -> None:
         """Compute configured workloads' surfaces (background, startup).
@@ -528,8 +582,57 @@ class ReproService:
             }
         return 200, payload
 
-    def handle_metrics(self) -> Tuple[int, dict]:
-        return 200, self.metrics.snapshot()
+    def handle_metrics(self, query: Optional[dict] = None) -> Tuple[int, dict]:
+        scope = (query or {}).get("scope", ["self"])[-1]
+        if scope == "cluster":
+            # Publish ourselves first (fresh), then merge every worker's
+            # published record into one fleet view.
+            snapshot = self.metrics.snapshot()
+            self._metrics_board.publish(self.worker_label, snapshot)
+            return 200, cluster_view(
+                self._metrics_board, self.worker_label, snapshot
+            )
+        if scope != "self":
+            raise ValidationError(
+                f"scope must be 'self' or 'cluster', got {scope!r}"
+            )
+        payload = self.metrics.snapshot()
+        payload["worker_id"] = self.worker_label
+        return 200, payload
+
+    # -- sweep response cache ----------------------------------------------
+
+    @staticmethod
+    def _sweep_cache_key(body) -> Optional[str]:
+        try:
+            return json.dumps(body, sort_keys=True)
+        except (TypeError, ValueError):
+            return None
+
+    def _cached_sweep(self, body) -> Tuple[Optional[str], Optional[dict]]:
+        """Look one sweep body up in the response cache."""
+        if self.config.sweep_cache_entries <= 0:
+            return None, None
+        key = self._sweep_cache_key(body)
+        if key is None:
+            return None, None
+        with self._sweep_cache_lock:
+            hit = self._sweep_cache.get(key)
+            if hit is None:
+                return key, None
+            self._sweep_cache.move_to_end(key)
+        self.metrics.increment("sweep.response_cache_hits")
+        return key, hit
+
+    def _remember_sweep(self, key: Optional[str],
+                        status: int, payload: dict) -> None:
+        if key is None or status != 200:
+            return
+        with self._sweep_cache_lock:
+            self._sweep_cache[key] = (status, payload)
+            self._sweep_cache.move_to_end(key)
+            while len(self._sweep_cache) > self.config.sweep_cache_entries:
+                self._sweep_cache.popitem(last=False)
 
     # -- dispatch ----------------------------------------------------------
 
@@ -537,7 +640,7 @@ class ReproService:
         spec = schemas.parse_campaign(
             body, max_units=self.config.campaign_max_units
         )
-        snapshot = self.campaigns.submit(spec)
+        snapshot = self.campaigns.submit(spec, spec_body=body)
         return 202, snapshot
 
     def handle(self, method: str, path: str, body) -> Tuple[int, dict]:
@@ -552,10 +655,15 @@ class ReproService:
                 return self.handle_healthz()
             if path == "/metrics" and method == "GET":
                 endpoint = "metrics"
-                return self.handle_metrics()
+                return self.handle_metrics(query)
             if path == "/v1/sweep" and method == "POST":
                 endpoint = "sweep"
-                return self.handle_sweep(body)
+                key, cached = self._cached_sweep(body)
+                if cached is not None:
+                    return cached
+                status, payload = self.handle_sweep(body)
+                self._remember_sweep(key, status, payload)
+                return status, payload
             if path == "/v1/optimize" and method == "POST":
                 endpoint = "optimize"
                 return self.handle_optimize(body)
@@ -647,6 +755,14 @@ class ReproService:
         campaigns = self.campaigns.shutdown()
         summary = self.jobs.shutdown()
         summary["campaigns_cancelled"] = campaigns["cancelled"]
+        self._flusher_stop.set()
+        if self.config.worker_id is not None:
+            # One final publish so the fleet view keeps this worker's
+            # counters after it is gone (a drained worker's traffic
+            # still happened).
+            self._metrics_board.publish(
+                self.worker_label, self.metrics.snapshot()
+            )
         return summary
 
 
@@ -732,36 +848,79 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the shared :class:`ReproService`."""
+    """ThreadingHTTPServer carrying the shared :class:`ReproService`.
+
+    ``listen_socket`` lets a supervisor bind (and listen on) the socket
+    once and hand each forked worker the inherited descriptor: the
+    worker serves accepts off the shared socket — the kernel balances
+    connections across workers — without ever binding itself.
+    """
 
     daemon_threads = True
 
-    def __init__(self, config: ServiceConfig) -> None:
+    def __init__(
+        self,
+        config: ServiceConfig,
+        listen_socket: Optional[socket_module.socket] = None,
+    ) -> None:
         self.service = ReproService(config)
-        super().__init__((config.host, config.port), _Handler)
+        if listen_socket is None:
+            super().__init__((config.host, config.port), _Handler)
+            return
+        super().__init__(
+            (config.host, config.port), _Handler, bind_and_activate=False
+        )
+        # Replace the unbound socket the base class made with the
+        # inherited, already-listening one; skip bind/activate entirely.
+        # Non-blocking accept matters with siblings: when the selector
+        # wakes several workers for one connection, the losers get
+        # BlockingIOError (swallowed by socketserver) and return to
+        # their poll loop instead of blocking inside accept().
+        listen_socket.setblocking(False)
+        self.socket.close()
+        self.socket = listen_socket
+        self.server_address = listen_socket.getsockname()
+        host, port = self.server_address[:2]
+        self.server_name = host
+        self.server_port = port
 
     @property
     def bound_port(self) -> int:
         return self.server_address[1]
 
 
-def create_server(config: Optional[ServiceConfig] = None) -> ServiceHTTPServer:
+def create_server(
+    config: Optional[ServiceConfig] = None,
+    listen_socket: Optional[socket_module.socket] = None,
+) -> ServiceHTTPServer:
     """Bind a server (``port=0`` picks an ephemeral port) without serving."""
-    return ServiceHTTPServer(config if config is not None else ServiceConfig())
+    return ServiceHTTPServer(
+        config if config is not None else ServiceConfig(),
+        listen_socket=listen_socket,
+    )
 
 
 def run(
     config: Optional[ServiceConfig] = None,
     port_file: Optional[str] = None,
     install_signal_handlers: bool = True,
+    listen_socket: Optional[socket_module.socket] = None,
 ) -> int:
     """Serve until SIGTERM/SIGINT; drain jobs; return the exit code."""
-    server = create_server(config)
+    server = create_server(config, listen_socket=listen_socket)
     host, port = server.server_address[0], server.bound_port
     if port_file:
         with open(port_file, "w") as handle:
             handle.write(f"{port}\n")
-    print(f"repro service listening on http://{host}:{port}", flush=True)
+    label = (
+        f" [{config.worker_id}]"
+        if config is not None and config.worker_id is not None
+        else ""
+    )
+    print(
+        f"repro service{label} listening on http://{host}:{port}",
+        flush=True,
+    )
 
     def _request_shutdown(signum, frame):
         print(

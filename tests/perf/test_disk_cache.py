@@ -1,12 +1,28 @@
 """The fingerprint-keyed JSON disk cache."""
 
 import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
 
 import numpy as np
 import pytest
 
+import repro
 from repro.errors import SimulationError
 from repro.perf.disk_cache import DiskCache, default_cache_dir, make_fingerprint
+
+
+def _child_env() -> dict:
+    """Environment for subprocesses that must import :mod:`repro`."""
+    env = dict(os.environ)
+    source_root = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (source_root, env.get("PYTHONPATH")) if part
+    )
+    return env
 
 
 class TestDiskCache:
@@ -42,6 +58,37 @@ class TestDiskCache:
         cache.store("key", 2)
         assert cache.load("key") == 2
 
+    def test_corrupt_entry_is_deleted_not_just_skipped(self, tmp_path):
+        # A torn write (kill -9 mid-store, bad disk) must not leave the
+        # bad bytes behind to trip every future reader: the first load
+        # deletes the entry so the recompute-and-store path replaces it.
+        cache = DiskCache("unit", directory=tmp_path)
+        path = cache.store("key", 1)
+        path.write_text("\x00garbage")
+        assert cache.load("key") is None
+        assert not path.exists()
+
+    def test_wrong_shape_entry_is_deleted(self, tmp_path):
+        # Decodable JSON of the wrong shape (format drift, a stray file)
+        # is corruption too.
+        cache = DiskCache("unit", directory=tmp_path)
+        path = cache.store("key", 1)
+        path.write_text(json.dumps([1, 2, 3]))
+        assert cache.load("key") is None
+        assert not path.exists()
+
+    def test_fingerprint_mismatch_is_not_deleted(self, tmp_path):
+        # A well-formed entry whose stored fingerprint disagrees with the
+        # lookup key is someone else's data (hash collision), not
+        # corruption — it must survive the miss.
+        cache = DiskCache("unit", directory=tmp_path)
+        path = cache.store("original", 42)
+        entry = json.loads(path.read_text())
+        entry["fingerprint"] = "something-else"
+        path.write_text(json.dumps(entry))
+        assert cache.load("original") is None
+        assert path.exists()
+
     def test_clear(self, tmp_path):
         cache = DiskCache("unit", directory=tmp_path)
         cache.store("a", 1)
@@ -64,6 +111,62 @@ class TestDiskCache:
         cache = DiskCache("unit")
         cache.store("key", "value")
         assert (tmp_path / "custom" / "unit").is_dir()
+
+
+class TestAdvisoryLock:
+    """The per-key cross-process lock behind single-flight consumers."""
+
+    def test_lock_is_reentrant_within_a_process(self, tmp_path):
+        # flock counts a second descriptor on the same file as an
+        # independent holder; the registry must prevent the consequent
+        # self-deadlock when store() runs inside a lock()ed section.
+        cache = DiskCache("unit", directory=tmp_path)
+        with cache.lock("key"):
+            with cache.lock("key"):
+                cache.store("key", "written-under-nested-lock")
+        assert cache.load("key") == "written-under-nested-lock"
+
+    def test_distinct_keys_do_not_contend(self, tmp_path):
+        cache = DiskCache("unit", directory=tmp_path)
+        with cache.lock("key-a"):
+            with cache.lock("key-b"):
+                pass
+
+    def test_lock_excludes_another_process(self, tmp_path):
+        # A child process grabs the lock, signals readiness, and holds
+        # it briefly; our acquisition must block until the child lets
+        # go.  This is the wait that turns N racing processes into one
+        # compute + (N-1) disk loads.
+        cache = DiskCache("unit", directory=tmp_path)
+        ready = tmp_path / "ready"
+        hold_seconds = 1.0
+        child = subprocess.Popen(
+            [
+                sys.executable, "-c",
+                "import pathlib, sys, time\n"
+                "from repro.perf.disk_cache import DiskCache\n"
+                "cache = DiskCache('unit', directory=sys.argv[1])\n"
+                "with cache.lock('key'):\n"
+                "    pathlib.Path(sys.argv[2]).touch()\n"
+                "    time.sleep(float(sys.argv[3]))\n",
+                str(tmp_path), str(ready), str(hold_seconds),
+            ],
+            env=_child_env(),
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            while not ready.exists():
+                assert child.poll() is None, "lock-holder child died"
+                assert time.monotonic() < deadline, "child never locked"
+                time.sleep(0.01)
+            start = time.monotonic()
+            with cache.lock("key"):
+                waited = time.monotonic() - start
+            # Allow slack for child startup scheduling, but the wait
+            # must clearly show we blocked on the child's hold.
+            assert waited > 0.2, f"lock did not exclude (waited {waited:.3f}s)"
+        finally:
+            child.wait(timeout=30)
 
 
 class TestFingerprintStability:

@@ -1,0 +1,92 @@
+"""Cross-process single-flight on the profile store.
+
+The in-process single-flight (leader election between threads) is
+covered in ``tests/perf/test_profile_store.py``; what it cannot cover is
+N *worker processes* warming the same surface — each process has its own
+memory tier and inflight table, so without the per-key advisory lock all
+N would run identical contraction cascades.  Here four real interpreter
+processes race the same (workload, policy, n, seed) against one shared
+cache directory and we count computes across the fleet: the lock must
+elect exactly one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import repro
+
+#: One racer: compute (or wait-and-load) the surface, then report this
+#: process's tier counters and a result sample on stdout.
+_RACER = """\
+import json, sys, time
+from repro.archsim.workloads import STANDARD_WORKLOADS
+from repro.perf import profile_store
+
+go_path, cache_dir = sys.argv[1], sys.argv[2]
+# Spin until the starter drops the go-file, so every racer hits the
+# store at (nearly) the same instant instead of serialising on startup.
+deadline = time.monotonic() + 60.0
+while True:
+    try:
+        with open(go_path):
+            break
+    except OSError:
+        if time.monotonic() > deadline:
+            raise SystemExit("go-file never appeared")
+        time.sleep(0.005)
+
+store = profile_store.ProfileStore(cache_dir)
+surface = store.surface(
+    STANDARD_WORKLOADS["tpcc"], policy="lru", n_accesses=30_000, seed=7
+)
+info = profile_store.profile_store_info()
+print(json.dumps({
+    "computes": info.misses,
+    "disk_hits": info.disk_hits,
+    "sample": surface.l1_rates[:3],
+}))
+"""
+
+
+def _child_env() -> dict:
+    env = dict(os.environ)
+    source_root = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (source_root, env.get("PYTHONPATH")) if part
+    )
+    return env
+
+
+def test_four_processes_run_exactly_one_cascade(tmp_path):
+    cache_dir = tmp_path / "cache"
+    go_path = tmp_path / "go"
+    racers = [
+        subprocess.Popen(
+            [sys.executable, "-c", _RACER, str(go_path), str(cache_dir)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=_child_env(),
+        )
+        for _ in range(4)
+    ]
+    go_path.touch()
+    reports = []
+    for racer in racers:
+        out, err = racer.communicate(timeout=120)
+        assert racer.returncode == 0, f"racer failed: {err}"
+        reports.append(json.loads(out))
+
+    computes = sum(report["computes"] for report in reports)
+    disk_hits = sum(report["disk_hits"] for report in reports)
+    assert computes == 1, (
+        f"single-flight broken: {computes} processes computed the surface"
+    )
+    # Everyone else loaded the winner's entry from the disk tier.
+    assert disk_hits == len(reports) - 1
+    # And every process saw the same surface, bit-identically.
+    samples = {json.dumps(report["sample"]) for report in reports}
+    assert len(samples) == 1

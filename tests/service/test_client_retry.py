@@ -9,10 +9,14 @@ wire) is retried for them.
 
 The fake stands in for ``http.client.HTTPConnection`` and counts every
 request that "reached the server", so the double-submit property is
-asserted directly rather than inferred from timing.
+asserted directly rather than inferred from timing.  The stale
+keep-alive probe is tested against *real* sockets further down — a
+half-closed socket only looks half-closed to ``select``.
 """
 
 import json
+import socket
+import threading
 
 import pytest
 
@@ -24,6 +28,7 @@ class _Script:
 
     def __init__(self, drop_after_write=0, fail_connect=0):
         self.requests = []  # every request the "server" received
+        self.connections = []  # (host, port) of every connection object
         self.drop_after_write = drop_after_write
         self.fail_connect = fail_connect
 
@@ -41,6 +46,7 @@ class _FakeResponse:
 def _fake_connection_class(script):
     class _FakeConnection:
         def __init__(self, host, port, timeout=None):
+            script.connections.append((host, port))
             self.sock = None
             self._dropped = False
 
@@ -119,3 +125,135 @@ def test_persistent_connect_failure_raises(monkeypatch):
     with pytest.raises(ConnectionRefusedError):
         client.calibrate(workload="spec2000")
     assert script.requests == []
+
+
+def test_connect_retries_widen_the_refused_budget(monkeypatch):
+    # A worker mid-restart refuses connects for a moment; a client that
+    # opted into more retries rides it out — and the server still sees
+    # the POST exactly once.
+    script = _Script(fail_connect=2)
+    monkeypatch.setattr(
+        "http.client.HTTPConnection", _fake_connection_class(script)
+    )
+    client = ServiceClient(port=1, connect_retries=3)
+    payload = client.calibrate(workload="spec2000")
+    assert payload["job_id"] == "job-1"
+    assert script.requests == [("POST", "/v1/calibrate")]
+
+
+def test_addresses_rotate_round_robin_on_new_connections(monkeypatch):
+    script = _Script()
+    monkeypatch.setattr(
+        "http.client.HTTPConnection", _fake_connection_class(script)
+    )
+    client = ServiceClient(addresses=[("a", 1), ("b", 2)])
+    client.healthz()
+    client.close()
+    client.healthz()
+    client.close()
+    client.healthz()
+    assert script.connections == [("a", 1), ("b", 2), ("a", 1)]
+
+
+# -- stale keep-alive detection (real sockets) ----------------------------
+
+_RESPONSE = (
+    b"HTTP/1.1 200 OK\r\n"
+    b"Content-Type: application/json\r\n"
+    b"Content-Length: 15\r\n"
+    b"\r\n"
+    b'{"status":"ok"}'
+)
+
+
+def _one_shot_server(connection_count):
+    """Accept loop that closes every connection after one response.
+
+    Each accept simulates a worker that dies right after answering: the
+    next request on that keep-alive connection can only succeed if the
+    client notices the half-closed socket *before* writing.
+    """
+    listener = socket.create_server(("127.0.0.1", 0))
+    listener.settimeout(30.0)
+
+    def serve():
+        while True:
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return
+            connection_count.append(1)
+            with conn:
+                conn.settimeout(10.0)
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    chunk = conn.recv(65536)
+                    if not chunk:
+                        break
+                    data += chunk
+                if b"\r\n\r\n" in data:
+                    head = data.split(b"\r\n\r\n", 1)
+                    for line in head[0].split(b"\r\n"):
+                        if line.lower().startswith(b"content-length:"):
+                            need = int(line.split(b":", 1)[1])
+                            body = head[1]
+                            while len(body) < need:
+                                body += conn.recv(65536)
+                    conn.sendall(_RESPONSE)
+            # with-block exit closed the socket: the worker "died".
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return listener
+
+
+def test_stale_keepalive_post_reconnects_instead_of_failing():
+    # POSTs must survive a worker restart *without* any replay: the
+    # pre-write probe sees the dead worker's FIN and reconnects before
+    # anything reaches the wire.
+    connections = []
+    listener = _one_shot_server(connections)
+    try:
+        with ServiceClient(port=listener.getsockname()[1],
+                           timeout=10.0) as client:
+            assert client.healthz()["status"] == "ok"
+            deadline = _wait_for_fin(client)
+            assert deadline, "server FIN never arrived"
+            # Old behaviour: this POST died on the half-closed socket.
+            assert client.request("POST", "/v1/x", {"k": 1})["status"] == "ok"
+        assert sum(connections) == 2
+    finally:
+        listener.close()
+
+
+def _wait_for_fin(client, timeout=5.0):
+    """Wait until the peer's FIN is visible to the staleness probe."""
+    import time as _time
+    deadline = _time.monotonic() + timeout
+    while _time.monotonic() < deadline:
+        connection = client._connection
+        if connection is not None and ServiceClient._is_stale(connection):
+            return True
+        _time.sleep(0.01)
+    return False
+
+
+def test_is_stale_reads_real_socket_states():
+    left, right = socket.socketpair()
+    try:
+        class _Shell:
+            sock = left
+
+        # Idle healthy keep-alive: nothing to read, not stale.
+        assert ServiceClient._is_stale(_Shell) is False
+        # Peer closed: EOF is readable, the connection is dead.
+        right.close()
+        assert ServiceClient._is_stale(_Shell) is True
+    finally:
+        left.close()
+
+    # Unselectable sock (the in-memory fakes above): never stale.
+    class _FakeShell:
+        sock = object()
+
+    assert ServiceClient._is_stale(_FakeShell) is False

@@ -1,0 +1,84 @@
+"""Cross-worker metrics: snapshot merging and the publish/collect board.
+
+The subprocess end of this (a real ``/metrics?scope=cluster`` against a
+forked deployment) lives in ``test_multiworker.py``; here the merge
+arithmetic and the disk board are pinned deterministically.
+"""
+
+from __future__ import annotations
+
+from repro.service.cluster import WorkerMetricsBoard, cluster_view
+from repro.service.metrics import MetricsRegistry, merge_snapshots
+
+
+def _registry(healthz: int, latencies) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.increment("requests.healthz", healthz)
+    registry.set_gauge("jobs.queued", healthz)  # any numeric gauge
+    for value in latencies:
+        registry.observe("latency.sweep", value, boundaries=(1.0, 10.0))
+    return registry
+
+
+class TestMergeSnapshots:
+    def test_counters_and_numeric_gauges_sum(self):
+        merged = merge_snapshots({
+            "w0": _registry(3, [0.5]).snapshot(),
+            "w1": _registry(4, [5.0]).snapshot(),
+        })
+        assert merged["workers"] == 2
+        assert merged["counters"]["requests.healthz"] == 7
+        assert merged["gauges"]["jobs.queued"] == 7
+
+    def test_histograms_merge_exactly(self):
+        merged = merge_snapshots({
+            "w0": _registry(1, [0.5, 2.0]).snapshot(),
+            "w1": _registry(1, [20.0]).snapshot(),
+        })
+        histogram = merged["histograms"]["latency.sweep"]
+        assert histogram["count"] == 3
+        assert histogram["sum"] == 22.5
+        assert histogram["min"] == 0.5
+        assert histogram["max"] == 20.0
+        # Cumulative buckets: <=1.0 holds one sample, <=10.0 holds two.
+        assert histogram["buckets"]["1.0"] == 1
+        assert histogram["buckets"]["10.0"] == 2
+
+    def test_disjoint_metrics_survive(self):
+        left = MetricsRegistry()
+        left.increment("only.left")
+        right = MetricsRegistry()
+        right.increment("only.right", 2)
+        merged = merge_snapshots(
+            {"w0": left.snapshot(), "w1": right.snapshot()}
+        )
+        assert merged["counters"] == {"only.left": 1, "only.right": 2}
+
+
+class TestWorkerMetricsBoard:
+    def test_publish_collect_roundtrip(self, tmp_path):
+        board = WorkerMetricsBoard(str(tmp_path))
+        board.publish("w0", _registry(2, []).snapshot())
+        board.publish("w1", _registry(5, []).snapshot())
+        records = board.collect()
+        assert set(records) == {"w0", "w1"}
+        # Published by this (live) process.
+        assert all(record["alive"] for record in records.values())
+        assert records["w1"]["snapshot"]["counters"]["requests.healthz"] == 5
+
+    def test_cluster_view_prefers_fresh_self(self, tmp_path):
+        board = WorkerMetricsBoard(str(tmp_path))
+        board.publish("w0", _registry(1, []).snapshot())  # stale flush
+        fresh = _registry(9, []).snapshot()
+        view = cluster_view(board, "w0", fresh)
+        assert view["scope"] == "cluster"
+        assert view["served_by"] == "w0"
+        assert view["merged"]["counters"]["requests.healthz"] == 9
+
+    def test_republish_overwrites(self, tmp_path):
+        board = WorkerMetricsBoard(str(tmp_path))
+        board.publish("w0", _registry(1, []).snapshot())
+        board.publish("w0", _registry(6, []).snapshot())
+        records = board.collect()
+        assert len(records) == 1
+        assert records["w0"]["snapshot"]["counters"]["requests.healthz"] == 6

@@ -73,6 +73,23 @@ def test_sweep_component_subset(client):
     assert len(response["components"]["array"]["delay_ps"]) == 1
 
 
+def test_identical_sweep_is_served_from_the_response_cache(client):
+    body = ({"size_kb": 32}, [0.3, 0.35], [14.0])
+    first = client.sweep(*body)
+    hits_before = client.metrics()["counters"].get(
+        "sweep.response_cache_hits", 0
+    )
+    second = client.sweep(*body)
+    hits_after = client.metrics()["counters"].get(
+        "sweep.response_cache_hits", 0
+    )
+    assert second == first
+    assert hits_after == hits_before + 1
+    # The cached serve still counts as a request (loadgen's throughput
+    # accounting reads these deltas).
+    assert client.metrics()["counters"]["requests.sweep"] >= 2
+
+
 @pytest.mark.parametrize("scheme_id, scheme", [
     ("1", Scheme.PER_COMPONENT),
     ("2", Scheme.CELL_VS_PERIPHERY),
@@ -233,7 +250,8 @@ def test_calibrate_setdist_estimator_matches_grid(client, server):
 def test_metrics_shape(client):
     client.healthz()
     payload = client.metrics()
-    assert set(payload) == {"counters", "gauges", "histograms"}
+    assert set(payload) == {"counters", "gauges", "histograms",
+                            "worker_id"}
     assert payload["counters"]["requests.healthz"] >= 1
     assert "uptime_seconds" in payload["gauges"]
     table_cache = payload["gauges"]["table_cache"]

@@ -111,7 +111,10 @@ class TestJobManagerUnit:
         manager.shutdown(wait_seconds=5.0)
 
     def test_shutdown_cancels_queued_and_reports(self):
-        manager = JobManager(max_workers=1, max_queue=8)
+        # durable=False: the persist-at-submit disk write would give the
+        # pool's management thread time to prefetch a second work item,
+        # and this test pins the queue-withdrawal timing, not the store.
+        manager = JobManager(max_workers=1, max_queue=8, durable=False)
         manager.submit("nap", time.sleep, 1.0)
         queued = [manager.submit("nap", time.sleep, 1.0)
                   for _ in range(3)]

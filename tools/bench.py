@@ -6,6 +6,7 @@ Run:  PYTHONPATH=src python tools/bench.py --suite archsim   # -> BENCH_2.json
       PYTHONPATH=src python tools/bench.py --suite calib     # -> BENCH_6.json
                                                              #  + BENCH_7.json
       PYTHONPATH=src python tools/bench.py --suite campaign  # -> BENCH_8.json
+      PYTHONPATH=src python tools/bench.py --suite scale     # -> BENCH_9.json
       PYTHONPATH=src python tools/bench.py --smoke           # CI regression gate
 
 Four suites, one per performance PR:
@@ -1033,11 +1034,215 @@ def run_campaign_suite(output: str) -> int:
     return 0 if passed else 1
 
 
+# --------------------------------------------------------------------------
+# scale suite (PR 9)
+# --------------------------------------------------------------------------
+
+#: Single-process service throughput at concurrency 8 recorded in
+#: BENCH_3.json at the PR-3 commit — the rate the multi-worker
+#: deployment must beat.
+SCALE_BASELINE = {
+    "single_process_rps": 169.7583,
+    "source": "BENCH_3.json loadgen_c8 (PR 3, c8 x 25 sweep mix)",
+}
+
+#: Acceptance floor: the 4-worker deployment's steady-state rate on the
+#: same closed-loop sweep mix must be at least this multiple of the
+#: recorded single-process baseline.
+SCALE_SPEEDUP_FLOOR = 2.5
+
+#: Deployment sizes the full suite measures.
+SCALE_WORKER_COUNTS = (1, 2, 4)
+
+
+def _spawn_deployment(workers: int, scratch: str, timeout: float = 60.0):
+    """Start ``serve --workers N`` as a subprocess; return (process, port)."""
+    import os
+    import subprocess
+
+    port_file = os.path.join(scratch, f"port-{workers}")
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = "src" + (
+        os.pathsep + environment["PYTHONPATH"]
+        if environment.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--workers", str(workers), "--port", "0",
+         "--port-file", port_file,
+         "--cache-dir", os.path.join(scratch, f"cache-{workers}")],
+        env=environment,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.time() + timeout
+    while not os.path.exists(port_file):
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"deployment exited early:\n{process.stdout.read()}"
+            )
+        if time.time() > deadline:
+            process.kill()
+            process.wait()
+            raise RuntimeError("deployment never wrote its port file")
+        time.sleep(0.05)
+    with open(port_file) as handle:
+        return process, int(handle.read().strip())
+
+
+def _drain_deployment(process) -> bool:
+    """SIGTERM the deployment; True iff it drained to exit code 0."""
+    import signal
+    import subprocess
+
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=20)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait()
+        return False
+    return process.returncode == 0
+
+
+def run_scale_suite(output: str, smoke: bool = False) -> int:
+    """Forked multi-worker deployments vs the recorded single process.
+
+    For each worker count the suite spawns the real supervisor
+    (``serve --workers N``), runs the BENCH_3 sweep mix once cold (each
+    worker pays its own in-memory table builds — the price of process
+    isolation) and once at steady state, reading the merged
+    ``/metrics?scope=cluster`` counters so work is counted no matter
+    which worker served it, then SIGTERMs the fleet and requires a
+    clean coordinated drain.
+
+    This box has one core, so the headline is *not* CPU parallelism.
+    It is (a) the sweep response cache — identical sweeps at steady
+    state never re-enter the batcher — and (b) sidestepping the
+    single-process handler-thread convoy: one worker serves the fully
+    cached mix at ~190 rps while two forked workers serve it at
+    ~1000 rps on the same core.  Both rates are reported honestly
+    against the recorded single-process baseline.
+    """
+    import loadgen
+    from repro.service.client import ServiceClient
+
+    worker_counts = (2,) if smoke else SCALE_WORKER_COUNTS
+    concurrency = 4 if smoke else 8
+    requests = 5 if smoke else 25
+    label = "scale smoke" if smoke else "scale suite"
+    print(f"{label}: worker counts {worker_counts}, closed loop "
+          f"c{concurrency} x {requests} per pass (cold + steady state):")
+
+    measurements = {}
+    drains_clean = True
+    with tempfile.TemporaryDirectory() as scratch:
+        for workers in worker_counts:
+            process, port = _spawn_deployment(workers, scratch)
+            probe = ServiceClient(port=port, timeout=30.0,
+                                  connect_retries=8)
+            probe.healthz()
+            probe.close()
+            cluster = workers > 1
+            cold = loadgen.generate_load(
+                "127.0.0.1", port, concurrency, requests, cluster=cluster
+            )
+            steady = loadgen.generate_load(
+                "127.0.0.1", port, concurrency, requests, cluster=cluster
+            )
+            drained = _drain_deployment(process)
+            drains_clean = drains_clean and drained
+            measurements[workers] = {
+                "cold": cold,
+                "steady": steady,
+                "drained_clean": drained,
+            }
+            print(f"  {workers} worker(s): cold "
+                  f"{cold['throughput_rps']:.0f} rps "
+                  f"({cold['evaluate_grid_calls_per_request']:.2f} "
+                  f"engine calls/request), steady "
+                  f"{steady['throughput_rps']:.0f} rps "
+                  f"({steady['evaluate_grid_calls_per_request']:.2f} "
+                  f"calls/request), drain "
+                  f"{'clean' if drained else 'DIRTY'}")
+            if cold["errors"] or steady["errors"]:
+                print(f"FAIL: loadgen errors at {workers} workers: "
+                      f"{(cold['errors'] + steady['errors'])[:3]}",
+                      file=sys.stderr)
+                return 1
+
+    headline_workers = max(worker_counts)
+    headline = measurements[headline_workers]
+    expected = concurrency * requests
+    complete = all(
+        m[pass_name]["total_requests"] == expected
+        for m in measurements.values()
+        for pass_name in ("cold", "steady")
+    )
+    # Cold, every worker pays the engine once per unique body, so the
+    # per-request rate only drops below 1.0 once the run is long enough
+    # to amortise it (the full c8 x 25 shape is; the smoke shape is
+    # not).  Steady state must be amortised at any shape.
+    engine_ok = headline["steady"]["evaluate_grid_calls_per_request"] < 1.0
+    if not smoke:
+        engine_ok = (engine_ok and
+                     headline["cold"]["evaluate_grid_calls_per_request"]
+                     < 1.0)
+    speedup = (headline["steady"]["throughput_rps"]
+               / SCALE_BASELINE["single_process_rps"])
+
+    if smoke:
+        passed = complete and engine_ok and drains_clean
+        print(f"scale smoke: {headline_workers}-worker round trip "
+              f"{'PASS' if passed else 'FAIL'} "
+              f"(requests complete: {complete}, engine amortised: "
+              f"{engine_ok}, drains clean: {drains_clean})")
+        if passed:
+            print("OK")
+        return 0 if passed else 1
+
+    speed_ok = speedup >= SCALE_SPEEDUP_FLOOR
+    passed = complete and engine_ok and drains_clean and speed_ok
+    report = {
+        "baseline": SCALE_BASELINE,
+        "speedup_floor": SCALE_SPEEDUP_FLOOR,
+        "load_shape": {"concurrency": concurrency,
+                       "requests_per_worker_thread": requests,
+                       "mix": "loadgen CACHE_POOL x AXIS_POOL sweeps"},
+        "measured": {
+            str(workers): measurement
+            for workers, measurement in measurements.items()
+        },
+        "acceptance": {
+            "headline_workers": headline_workers,
+            "steady_rps": headline["steady"]["throughput_rps"],
+            "speedup_vs_single_process": speedup,
+            "speedup_at_floor": speed_ok,
+            "engine_calls_per_request_below_one": engine_ok,
+            "all_requests_served": complete,
+            "drains_clean": drains_clean,
+            "pass": passed,
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nscale acceptance: {headline_workers} workers steady at "
+          f"{headline['steady']['throughput_rps']:.0f} rps = "
+          f"{speedup:.1f}x the recorded single-process "
+          f"{SCALE_BASELINE['single_process_rps']:.0f} rps "
+          f"(floor {SCALE_SPEEDUP_FLOOR:.1f}x) -> "
+          f"{'PASS' if passed else 'FAIL'}")
+    print(f"report written to {output}")
+    return 0 if passed else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite", default="archsim",
                         choices=("archsim", "sweep", "service", "calib",
-                                 "campaign"),
+                                 "campaign", "scale"),
                         help="which benchmark suite to run")
     parser.add_argument("--output", default=None,
                         help="JSON report path (default BENCH_2.json for "
@@ -1048,11 +1253,18 @@ def main(argv=None) -> int:
                              "bench")
     parser.add_argument("--smoke", action="store_true",
                         help="fast CI regression gate; exits non-zero on "
-                             "a >3x stack-distance regression")
+                             "a >3x stack-distance regression.  With "
+                             "--suite scale, runs the quick 2-worker "
+                             "deployment round trip instead")
     arguments = parser.parse_args(argv)
 
     if arguments.smoke:
+        if arguments.suite == "scale":
+            return run_scale_suite(arguments.output or "BENCH_9.json",
+                                   smoke=True)
         return run_smoke()
+    if arguments.suite == "scale":
+        return run_scale_suite(arguments.output or "BENCH_9.json")
     if arguments.suite == "sweep":
         return run_sweep_suite(arguments.output or "BENCH_1.json",
                                arguments.jobs)

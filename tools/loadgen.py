@@ -25,6 +25,12 @@ count — the acceptance metric for the batching PR is
 ``--campaign`` switches the workers to whole-campaign submissions drawn
 from a pool of overlapping specs; the report then shows fleet-wide unit
 dedup (units served per engine pass) instead of sweep batching.
+
+``--cluster`` reads the counters from ``/metrics?scope=cluster`` — the
+merged view across every worker of a ``serve --workers N`` deployment —
+instead of whichever single worker happens to answer the probe.  Without
+it, a multi-worker run under-counts: each request lands on one worker
+but the probe only sees one worker's registry.
 """
 
 from __future__ import annotations
@@ -98,6 +104,26 @@ AXIS_POOL = (
 )
 
 
+#: Workers flush their metrics snapshot to the shared board every
+#: 0.25 s; waiting two flush periods before the final cluster scrape
+#: guarantees every worker's post-run counters have landed.
+CLUSTER_FLUSH_WAIT_SECONDS = 0.6
+
+
+def _scrape_counters(probe: ServiceClient, cluster: bool) -> Dict[str, int]:
+    """Read request counters from one worker or the merged fleet view.
+
+    The cluster scrape sleeps out the flush period first so every
+    worker's latest snapshot is on the board — both for the *before*
+    read (or deltas would over-count traffic still in flight at probe
+    time) and for the *after* read (or they would under-count it).
+    """
+    if cluster:
+        time.sleep(CLUSTER_FLUSH_WAIT_SECONDS)
+        return probe.metrics(scope="cluster")["merged"]["counters"]
+    return probe.metrics()["counters"]
+
+
 def _worker(
     index: int,
     host: str,
@@ -129,10 +155,11 @@ def generate_load(
     port: int,
     concurrency: int,
     requests: int,
+    cluster: bool = False,
 ) -> Dict[str, object]:
     """Drive the daemon and return the measured report."""
     probe = ServiceClient(host=host, port=port)
-    before = probe.metrics()["counters"]
+    before = _scrape_counters(probe, cluster)
     latencies: List[float] = []
     errors: List[str] = []
     barrier = threading.Barrier(concurrency)
@@ -149,7 +176,7 @@ def generate_load(
     for thread in threads:
         thread.join()
     wall = time.perf_counter() - started
-    after = probe.metrics()["counters"]
+    after = _scrape_counters(probe, cluster)
     probe.close()
 
     def delta(name: str) -> int:
@@ -225,10 +252,11 @@ def generate_campaign_load(
     port: int,
     concurrency: int,
     campaigns: int,
+    cluster: bool = False,
 ) -> Dict[str, object]:
     """Drive the daemon with concurrent campaigns; return the report."""
     probe = ServiceClient(host=host, port=port)
-    before = probe.metrics()["counters"]
+    before = _scrape_counters(probe, cluster)
     latencies: List[float] = []
     errors: List[str] = []
     barrier = threading.Barrier(concurrency)
@@ -245,7 +273,7 @@ def generate_campaign_load(
     for thread in threads:
         thread.join()
     wall = time.perf_counter() - started
-    after = probe.metrics()["counters"]
+    after = _scrape_counters(probe, cluster)
     probe.close()
 
     def delta(name: str) -> int:
@@ -292,6 +320,10 @@ def main(argv=None) -> int:
                         help="submit whole campaigns instead of single "
                              "sweeps; the report shows fleet-wide unit "
                              "dedup instead of sweep batching")
+    parser.add_argument("--cluster", action="store_true",
+                        help="measure via /metrics?scope=cluster (merged "
+                             "across all workers of a --workers N "
+                             "deployment) instead of one worker's view")
     parser.add_argument("--self-contained", action="store_true",
                         help="spawn an in-process server on an ephemeral "
                              "port instead of targeting a running daemon")
@@ -312,11 +344,13 @@ def main(argv=None) -> int:
     try:
         if arguments.campaign:
             report = generate_campaign_load(
-                host, port, arguments.concurrency, arguments.requests
+                host, port, arguments.concurrency, arguments.requests,
+                cluster=arguments.cluster,
             )
         else:
             report = generate_load(
-                host, port, arguments.concurrency, arguments.requests
+                host, port, arguments.concurrency, arguments.requests,
+                cluster=arguments.cluster,
             )
     finally:
         if server is not None:
