@@ -62,6 +62,7 @@ from repro.campaign.planner import (
 )
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import CampaignStore
+from repro.procutil import owner_alive, proc_start_ticks
 
 #: Campaign statuses.
 RUNNING = "running"
@@ -89,24 +90,6 @@ SCHEMES = {
 
 def _grid_to_lists(grid) -> list:
     return [[float(value) for value in row] for row in grid]
-
-
-def _pid_alive(pid) -> bool:
-    """True when a process with this pid exists on this host.
-
-    Mirrors :func:`repro.service.jobstore.pid_alive`; duplicated here
-    because this package sits *below* the service layer and must not
-    import it at module level.
-    """
-    if not isinstance(pid, int) or pid <= 0:
-        return False
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except OSError:  # pragma: no cover - exists / not ours / defensive
-        return True
-    return True
 
 
 # ---------------------------------------------------------------------------
@@ -385,6 +368,10 @@ class _Campaign:
     child_jobs: List[str] = field(default_factory=list)
     engine_passes: int = 0
     cancel_requested: bool = False
+    #: Who cancelled: "client" (explicit ``DELETE``; the verdict is
+    #: final everywhere) or "shutdown" (graceful drain interrupted the
+    #: run; a sibling may adopt and resume from checkpoints).
+    cancel_source: Optional[str] = None
     thread: Optional[threading.Thread] = None
     #: The raw spec document as submitted (JSON-able); persisted with
     #: the state record so any worker can rebuild the plan and adopt
@@ -426,6 +413,10 @@ class CampaignManager:
         self._worker_id = worker_id
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
+        # Serialises state-record persists (snapshot + disk write as
+        # one unit) so a coordinator's stale pre-cancel snapshot can
+        # never land *after* the cancel verdict and resurrect it.
+        self._persist_lock = threading.Lock()
         self._campaigns: Dict[str, _Campaign] = {}
         self._ids = itertools.count(1)
         # Campaign ids must be unique across every worker sharing one
@@ -532,21 +523,35 @@ class CampaignManager:
     # -- shared-state recovery ---------------------------------------------
 
     def _persist_state(self, campaign: _Campaign) -> None:
-        """Write this campaign's shared state record (best-effort)."""
-        with self._lock:
-            record = self._snapshot(campaign, include_results=False)
-            record["spec_body"] = campaign.spec_body
-        record["owner_pid"] = os.getpid()
-        record["owner_worker"] = self._worker_id
-        record["persisted_at"] = time.time()
-        self._store.store_state(campaign.campaign_id, record)
+        """Write this campaign's shared state record (best-effort).
+
+        The snapshot and the disk write are one serialised unit: two
+        racing persisters (the coordinator's progress checkpoint and a
+        cancel/shutdown verdict) must commit in snapshot order, or the
+        stale snapshot would win the disk and e.g. report a cancelled
+        campaign as ``running`` forever.
+        """
+        with self._persist_lock:
+            with self._lock:
+                record = self._snapshot(campaign, include_results=False)
+                record["spec_body"] = campaign.spec_body
+                if campaign.cancel_source is not None:
+                    record["cancelled_by"] = campaign.cancel_source
+            record["owner_pid"] = os.getpid()
+            record["owner_start_ticks"] = proc_start_ticks(os.getpid())
+            record["owner_worker"] = self._worker_id
+            record["persisted_at"] = time.time()
+            self._store.store_state(campaign.campaign_id, record)
 
     @staticmethod
     def _remote_snapshot(record: dict, note: Optional[str] = None) -> dict:
         snapshot = {
             key: value
             for key, value in record.items()
-            if key not in ("spec_body", "owner_pid", "persisted_at")
+            if key not in (
+                "spec_body", "owner_pid", "owner_start_ticks",
+                "persisted_at",
+            )
         }
         owner = record.get("owner_worker")
         if owner is not None:
@@ -559,16 +564,22 @@ class CampaignManager:
         """Resolve a locally-unknown campaign id via the shared store.
 
         Returns a snapshot, or ``None`` for a genuinely unknown id.
-        Three cases:
+        The cases:
 
         * the owner is alive — serve its persisted progress record
           (slightly stale, refreshed on every unit completion);
-        * the owner is dead, or the record is terminal — **adopt**: re-
-          parse the persisted spec, rebuild the plan, and resume under
-          the original id.  Finished units come back born-``reused``
-          from their checkpoints; in-flight work at the moment of death
-          is re-run.  A terminal campaign re-assembles entirely from
-          checkpoints and is served bit-identically;
+        * the record is client-``cancelled`` or ``failed`` — serve the
+          verdict as-is.  Those are final: adopting would silently
+          resurrect the campaign and flip its status back to running
+          on a mere GET;
+        * the owner died mid-run (orphaned ``running``, a shutdown
+          drain's ``cancelled``) or the record is ``done`` — **adopt**:
+          re-parse the persisted spec, rebuild the plan, and resume
+          under the original id.  Finished units come back
+          born-``reused`` from their checkpoints; in-flight work at
+          the moment of death is re-run.  A ``done`` campaign
+          re-assembles entirely from checkpoints and is served
+          bit-identically;
         * no spec parser was injected (or the record carries no spec) —
           serve the record as-is; adoption is impossible.
         """
@@ -576,18 +587,25 @@ class CampaignManager:
         if record is None:
             return None
         self._metrics.increment("campaigns.store_serves")
+        status = record.get("status")
         owner = record.get("owner_pid")
         if (
-            record.get("status") == RUNNING
+            status == RUNNING
             and isinstance(owner, int)
             and owner != os.getpid()
-            and _pid_alive(owner)
+            and owner_alive(owner, record.get("owner_start_ticks"))
         ):
             return self._remote_snapshot(
                 record,
                 note="campaign is owned by another worker; this is its "
                      "latest persisted progress",
             )
+        if status == FAILED or (
+            status == CANCELLED and record.get("cancelled_by") != "shutdown"
+        ):
+            # A client cancelled it, or the run earned its failure:
+            # the verdict is final on every worker.
+            return self._remote_snapshot(record)
         body = record.get("spec_body")
         if body is None or self._spec_parser is None:
             return self._remote_snapshot(record)
@@ -704,6 +722,7 @@ class CampaignManager:
             campaign.jobs.clear()
             if campaign.status not in TERMINAL:
                 campaign.status = CANCELLED
+                campaign.cancel_source = "client"
                 campaign.finished_at = time.time()
             self._cond.notify_all()
             snapshot = self._snapshot(campaign, include_results=False)
@@ -724,6 +743,7 @@ class CampaignManager:
                     if status in (UNIT_PENDING, UNIT_RUNNING):
                         campaign.unit_status[unit_id] = UNIT_CANCELLED
                 campaign.status = CANCELLED
+                campaign.cancel_source = "shutdown"
                 campaign.finished_at = time.time()
             self._cond.notify_all()
         deadline = time.monotonic() + wait_seconds

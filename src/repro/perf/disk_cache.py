@@ -54,11 +54,16 @@ _stats_lock = threading.Lock()
 _total_hits = 0
 _total_misses = 0
 
-#: Advisory-lock sidecar paths currently held by this process.  flock
-#: treats a second descriptor on the same file as an independent holder,
-#: so without this registry a consumer holding :meth:`DiskCache.lock`
-#: around a compute step would self-deadlock the moment its ``store()``
-#: call tried to take the same lock again.
+#: Advisory-lock sidecar paths currently held, keyed by
+#: ``(thread id, path)``.  flock treats a second descriptor on the same
+#: file as an independent holder, so without this registry a consumer
+#: holding :meth:`DiskCache.lock` around a compute step would
+#: self-deadlock the moment its ``store()`` call tried to take the same
+#: lock again.  The thread id matters: only the *same thread* re-taking
+#: the lock is reentrant — a sibling thread must open its own
+#: descriptor and genuinely wait (same-process flocks on separate
+#: descriptors do contend), or single-flight would be silently defeated
+#: within one process.
 _held_locks_guard = threading.Lock()
 _held_locks: set = set()
 
@@ -250,12 +255,13 @@ class DiskCache:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
         path = str(self.path_for(fingerprint).with_suffix(".lock"))
+        holder = (threading.get_ident(), path)
         with _held_locks_guard:
-            reentrant = path in _held_locks
+            reentrant = holder in _held_locks
             if not reentrant:
-                _held_locks.add(path)
+                _held_locks.add(holder)
         if reentrant:
-            # This process already holds the flock (e.g. store() inside
+            # This thread already holds the flock (e.g. store() inside
             # a single-flight compute section): don't re-acquire — a
             # second descriptor counts as a *different* holder and
             # would deadlock against ourselves.
@@ -270,7 +276,7 @@ class DiskCache:
             # (unlinking it would race a fresh locker on the same name).
             os.close(descriptor)
             with _held_locks_guard:
-                _held_locks.discard(path)
+                _held_locks.discard(holder)
 
     def store(self, fingerprint: str, payload) -> Path:
         """Persist a JSON-serialisable payload atomically; returns the path.

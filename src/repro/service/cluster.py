@@ -10,11 +10,15 @@ fleet totals no matter which worker the kernel handed its connection
 to.  A single-process daemon publishes itself at scrape time and
 answers as a cluster of one.
 
-Records from dead workers are kept (their counters still happened —
-loadgen computes deltas over the merged view across a run, and a
-worker crash mid-run must not make traffic vanish) but carry an
+Records from *recently* dead workers are kept (their counters still
+happened — loadgen computes deltas over the merged view across a run,
+and a worker crash mid-run must not make traffic vanish) but carry an
 ``alive: false`` flag so operators can tell a drained worker from a
-live one.
+live one.  A dead record older than :data:`STALE_RECORD_SECONDS` is
+expired from the board view: without the cutoff, cache directories
+shared across many deployments would accumulate one record per past
+worker id and the merged totals would double-count every previous
+instance forever.
 """
 
 from __future__ import annotations
@@ -25,11 +29,15 @@ import time
 from typing import Dict, Optional
 
 from repro.perf.disk_cache import DiskCache
-
-from repro.service.jobstore import pid_alive
+from repro.procutil import owner_alive, proc_start_ticks
 
 #: Fingerprint prefix for per-worker metrics records.
 _PREFIX = "worker-metrics:"
+
+#: How long a dead worker's record stays in the board view.  Long
+#: enough for any realistic bench/loadgen run to keep its deltas exact
+#: across a mid-run crash; short enough that stale deployments age out.
+STALE_RECORD_SECONDS = 900.0
 
 
 class WorkerMetricsBoard:
@@ -45,6 +53,7 @@ class WorkerMetricsBoard:
         record = {
             "worker_id": worker_id,
             "pid": os.getpid(),
+            "start_ticks": proc_start_ticks(os.getpid()),
             "published_at": time.time(),
             "snapshot": snapshot,
         }
@@ -60,7 +69,9 @@ class WorkerMetricsBoard:
         its fingerprint in clear, so the namespace directory is scanned
         and filtered on the ``worker-metrics:`` prefix.  Unreadable or
         torn entries are skipped — the board is observability, never a
-        correctness dependency.
+        correctness dependency.  Dead workers' records are served with
+        ``alive: false`` until they are :data:`STALE_RECORD_SECONDS`
+        old, then dropped from the view (and best-effort deleted).
         """
         records: Dict[str, dict] = {}
         directory = self._disk.directory
@@ -83,8 +94,23 @@ class WorkerMetricsBoard:
             ):
                 continue
             record = dict(record)
-            pid = record.get("pid")
-            record["alive"] = isinstance(pid, int) and pid_alive(pid)
+            alive = owner_alive(
+                record.get("pid"), record.get("start_ticks")
+            )
+            record["alive"] = alive
+            if not alive:
+                published = record.get("published_at")
+                if (
+                    not isinstance(published, (int, float))
+                    or time.time() - published > STALE_RECORD_SECONDS
+                ):
+                    # Long-dead incarnation: expire it from the board
+                    # so merged totals stop double-counting it.
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                    continue
             records[fingerprint[len(_PREFIX):]] = record
         return records
 
@@ -111,6 +137,7 @@ def cluster_view(
         records[self_id] = {
             "worker_id": self_id,
             "pid": os.getpid(),
+            "start_ticks": proc_start_ticks(os.getpid()),
             "published_at": time.time(),
             "alive": True,
             "snapshot": self_snapshot,

@@ -10,13 +10,16 @@ state, so **any** worker — including a freshly restarted daemon — can
 answer a poll for work another process finished.
 
 Records are keyed by the (globally unique) job id and carry the owning
-worker's pid + instance token.  Liveness is judged by the pid: a
-non-terminal record whose owner is dead is an *orphan* — the worker was
-killed with the job in flight — and is rewritten as ``failed`` with
-``retryable: true`` the first time any reader trips over it.  In-flight
-work therefore resurfaces as a retryable failure instead of silently
-vanishing, while completed work survives any number of ``kill -9``s
-bit-identically (the full result payload is in the record).
+worker's pid + instance token + kernel start-time stamp.  Liveness is
+judged by the pid *and* its incarnation (:func:`repro.procutil
+.owner_alive` compares the persisted ``/proc`` start ticks, so a
+recycled pid never masks an orphan): a non-terminal record whose owner
+is dead is an *orphan* — the worker was killed with the job in flight —
+and is rewritten as ``failed`` with ``retryable: true`` the first time
+any reader trips over it.  In-flight work therefore resurfaces as a
+retryable failure instead of silently vanishing, while completed work
+survives any number of ``kill -9``s bit-identically (the full result
+payload is in the record).
 
 Writes go through :class:`repro.perf.DiskCache`, inheriting its atomic
 rename + per-key advisory lock discipline, so a record is never read
@@ -30,24 +33,15 @@ import time
 from typing import Dict, Iterable, List, Optional
 
 from repro.perf.disk_cache import DiskCache
+from repro.procutil import owner_alive, pid_alive, proc_start_ticks
+
+__all__ = [
+    "JobStore", "TERMINAL_STATUSES", "pid_alive",
+    "snapshot_from_record", "merge_worker_records",
+]
 
 #: Statuses that end a job's lifecycle (mirrors repro.service.jobs).
 TERMINAL_STATUSES = ("done", "failed", "cancelled", "timeout")
-
-
-def pid_alive(pid: int) -> bool:
-    """True when a process with this pid exists on this host."""
-    if pid <= 0:
-        return False
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except PermissionError:  # pragma: no cover - exists, not ours
-        return True
-    except OSError:  # pragma: no cover - defensive
-        return False
-    return True
 
 
 class JobStore:
@@ -78,6 +72,9 @@ class JobStore:
         record.setdefault("owner_pid", os.getpid())
         record.setdefault("owner_worker", self.worker_id)
         record.setdefault("owner_instance", self.instance)
+        record.setdefault(
+            "owner_start_ticks", proc_start_ticks(record["owner_pid"])
+        )
         record["persisted_at"] = time.time()
         try:
             self._disk.store(self._fingerprint(record["job_id"]), record)
@@ -97,7 +94,10 @@ class JobStore:
         in place as a retryable failure before being returned — the
         worker took the in-flight job down with it, and every future
         reader (on any worker) must see that verdict rather than an
-        eternally ``running`` ghost.
+        eternally ``running`` ghost.  Liveness requires the same pid
+        *incarnation* (persisted start-ticks stamp), so a recycled pid
+        — or a foreign process squatting on the number — cannot keep
+        an orphan ``running`` forever.
         """
         record = self._disk.load(self._fingerprint(job_id))
         if not isinstance(record, dict) or "job_id" not in record:
@@ -105,7 +105,9 @@ class JobStore:
         if record.get("status") in TERMINAL_STATUSES:
             return record
         owner = record.get("owner_pid")
-        if isinstance(owner, int) and not pid_alive(owner):
+        if isinstance(owner, int) and not owner_alive(
+            owner, record.get("owner_start_ticks")
+        ):
             record["status"] = "failed"
             record["error"] = (
                 f"worker (pid {owner}) died with the job in flight"
@@ -133,7 +135,10 @@ def snapshot_from_record(record: dict) -> dict:
     snapshot = {
         key: value
         for key, value in record.items()
-        if key not in ("owner_pid", "owner_instance", "persisted_at")
+        if key not in (
+            "owner_pid", "owner_instance", "owner_start_ticks",
+            "persisted_at",
+        )
     }
     owner = record.get("owner_worker")
     if owner is not None:

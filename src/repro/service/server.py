@@ -215,11 +215,14 @@ class ReproService:
             self.metrics, window_seconds=config.batch_window_seconds
         )
         # The worker label every shared-store record carries; a
-        # single-process daemon is a cluster of one.
+        # single-process daemon is a cluster of one.  The label must be
+        # stable across restarts: a pid-derived id would leave one
+        # metrics-board record per past incarnation, and the cluster
+        # view's merged totals would double-count them forever.
         self.worker_label = (
             config.worker_id
             if config.worker_id is not None
-            else f"worker-{os.getpid()}"
+            else "standalone"
         )
         self.jobs = JobManager(
             max_workers=config.job_workers,

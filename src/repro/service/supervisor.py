@@ -161,16 +161,17 @@ class Supervisor:
         if self._shutdown:
             return
         clean = os.WIFEXITED(status) and os.WEXITSTATUS(status) == 0
-        if clean:
-            # A worker exiting 0 outside shutdown is unusual but not a
-            # crash; restart it without penalty.
-            slot.crashes = 0
-        elif uptime >= BACKOFF_RESET_SECONDS:
-            slot.crashes = 1
+        if uptime >= BACKOFF_RESET_SECONDS:
+            # A long-lived worker exiting 0 outside shutdown is unusual
+            # but not a crash; restart it without penalty.
+            slot.crashes = 0 if clean else 1
         else:
+            # Any rapid exit — clean included — counts toward the
+            # streak: a misconfiguration that makes workers exit 0
+            # immediately must back off, not fork-loop.
             slot.crashes += 1
         delay = 0.0
-        if not clean:
+        if slot.crashes:
             delay = min(
                 BACKOFF_BASE_SECONDS * (2 ** (slot.crashes - 1)),
                 BACKOFF_MAX_SECONDS,

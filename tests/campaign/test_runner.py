@@ -26,6 +26,7 @@ from repro.campaign.spec import (
     SweepBlock,
 )
 from repro.campaign.store import CampaignStore
+from repro.procutil import proc_start_ticks
 
 CALIBRATION = CampaignCalibration(n_accesses=5_000, seed=1)
 
@@ -391,6 +392,79 @@ class TestRecovery:
         survivor.shutdown()
         abandoned.shutdown()
 
+    def test_client_cancelled_campaign_is_not_resurrected(self, tmp_path):
+        """A cancel verdict is final everywhere: no worker may adopt
+        and silently re-run a campaign the client killed."""
+        spec = make_spec(matrix=MATRIX)
+        jobs = ManualJobs()
+        first = manager(jobs, tmp_path, spec_parser=self._parser(spec))
+        campaign_id = first.submit(
+            spec, spec_body=self.SPEC_BODY
+        )["campaign_id"]
+        wait_until(lambda: jobs.pending)
+        assert first.cancel(campaign_id)["status"] == "cancelled"
+
+        second = manager(InlineJobs(), tmp_path,
+                         spec_parser=self._parser(spec))
+        snapshot = second.get(campaign_id)
+        assert snapshot["status"] == "cancelled"
+        assert "adopted" not in snapshot
+        # wait() must not resurrect it either, and repeat polls agree.
+        assert second.wait(campaign_id, seconds=0.5)["status"] == "cancelled"
+        assert second.get(campaign_id)["status"] == "cancelled"
+        second.shutdown()
+        first.shutdown()
+
+    def test_drain_cancelled_campaign_is_adopted_and_resumed(self, tmp_path):
+        """A graceful-shutdown cancel is an interruption, not a client
+        verdict: a sibling resumes it from checkpoints."""
+        spec = make_spec(matrix=MATRIX)
+        jobs = ManualJobs()
+        first = manager(jobs, tmp_path, spec_parser=self._parser(spec))
+        campaign_id = first.submit(
+            spec, spec_body=self.SPEC_BODY
+        )["campaign_id"]
+        wait_until(lambda: jobs.pending)
+        first.shutdown()  # persists the record with cancelled_by=shutdown
+
+        second = manager(InlineJobs(), tmp_path,
+                         spec_parser=self._parser(spec))
+        final = second.wait(campaign_id, seconds=30.0)
+        assert final["status"] == "done"
+        assert final["adopted"] is True
+        second.shutdown()
+
+    def test_recycled_owner_pid_counts_as_dead(self, tmp_path):
+        """A running record whose pid was recycled by another process
+        (start-ticks mismatch) is an orphan and gets adopted."""
+        spec = make_spec(matrix=MATRIX)
+        jobs = ManualJobs()
+        abandoned = manager(jobs, tmp_path, spec_parser=self._parser(spec))
+        campaign_id = abandoned.submit(
+            spec, spec_body=self.SPEC_BODY
+        )["campaign_id"]
+        wait_until(lambda: jobs.pending)
+
+        store = CampaignStore(str(tmp_path))
+
+        def _repaint_owner():
+            record = store.load_state(campaign_id)
+            record["owner_pid"] = 1  # alive, but a different incarnation
+            record["owner_start_ticks"] = 123456789
+            store.store_state(campaign_id, record)
+            time.sleep(0.05)
+            return store.load_state(campaign_id)["owner_pid"] == 1
+
+        wait_until(_repaint_owner)
+
+        survivor = manager(InlineJobs(), tmp_path,
+                           spec_parser=self._parser(spec))
+        final = survivor.wait(campaign_id, seconds=30.0)
+        assert final["status"] == "done"
+        assert final["adopted"] is True
+        survivor.shutdown()
+        abandoned.shutdown()
+
     def test_live_foreign_owner_is_served_from_store(self, tmp_path):
         spec = make_spec(matrix=MATRIX)
         jobs = ManualJobs()
@@ -409,6 +483,10 @@ class TestRecovery:
         def _repaint_owner():
             record = store.load_state(campaign_id)
             record["owner_pid"] = 1
+            # Liveness now checks the pid *incarnation* too: stamp the
+            # record with pid 1's real start ticks so it reads as a
+            # live foreign owner rather than a recycled pid.
+            record["owner_start_ticks"] = proc_start_ticks(1)
             store.store_state(campaign_id, record)
             time.sleep(0.05)
             return store.load_state(campaign_id)["owner_pid"] == 1

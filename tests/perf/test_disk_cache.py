@@ -132,6 +132,41 @@ class TestAdvisoryLock:
             with cache.lock("key-b"):
                 pass
 
+    def test_lock_excludes_a_sibling_thread(self, tmp_path):
+        # Reentrancy is per-*thread*, not per-process: a second thread
+        # in the same process is a genuine competitor and must wait,
+        # or single-flight would be silently defeated in-process.
+        import threading
+
+        cache = DiskCache("unit", directory=tmp_path)
+        holder_has_lock = threading.Event()
+        release_holder = threading.Event()
+        acquired_at = {}
+
+        def _holder():
+            with cache.lock("key"):
+                holder_has_lock.set()
+                release_holder.wait(timeout=30.0)
+
+        def _contender():
+            with cache.lock("key"):
+                acquired_at["t"] = time.monotonic()
+
+        holder = threading.Thread(target=_holder)
+        holder.start()
+        assert holder_has_lock.wait(timeout=30.0)
+        contender = threading.Thread(target=_contender)
+        contender.start()
+        contender.join(timeout=0.3)
+        # Still held by the first thread: the contender must be blocked.
+        assert contender.is_alive(), "sibling thread bypassed the lock"
+        released_at = time.monotonic()
+        release_holder.set()
+        holder.join(timeout=30.0)
+        contender.join(timeout=30.0)
+        assert not contender.is_alive()
+        assert acquired_at["t"] >= released_at - 0.01
+
     def test_lock_excludes_another_process(self, tmp_path):
         # A child process grabs the lock, signals readiness, and holds
         # it briefly; our acquisition must block until the child lets

@@ -7,6 +7,8 @@ arithmetic and the disk board are pinned deterministically.
 
 from __future__ import annotations
 
+import time
+
 from repro.service.cluster import WorkerMetricsBoard, cluster_view
 from repro.service.metrics import MetricsRegistry, merge_snapshots
 
@@ -82,3 +84,51 @@ class TestWorkerMetricsBoard:
         records = board.collect()
         assert len(records) == 1
         assert records["w0"]["snapshot"]["counters"]["requests.healthz"] == 6
+
+    def _publish_dead(self, board, worker_id, snapshot, age_seconds):
+        """Publish a record, then repaint it as a dead worker's."""
+        import json
+        import subprocess
+        import sys
+
+        board.publish(worker_id, snapshot)
+        from repro.service.cluster import _PREFIX
+
+        corpse = subprocess.Popen([sys.executable, "-c", "pass"])
+        corpse.wait()
+        path = board._disk.path_for(_PREFIX + worker_id)
+        entry = json.loads(path.read_text())
+        record = entry["payload"]
+        record["pid"] = corpse.pid
+        record["published_at"] = time.time() - age_seconds
+        path.write_text(json.dumps(entry))
+
+    def test_recently_dead_worker_stays_on_the_board(self, tmp_path):
+        from repro.service.cluster import cluster_view
+
+        board = WorkerMetricsBoard(str(tmp_path))
+        self._publish_dead(
+            board, "w-old", _registry(3, []).snapshot(), age_seconds=1.0
+        )
+        records = board.collect()
+        # Mid-run crash: the counters still happened and must not
+        # vanish from the merged totals...
+        assert records["w-old"]["alive"] is False
+        view = cluster_view(board, "w1", _registry(4, []).snapshot())
+        assert view["merged"]["counters"]["requests.healthz"] == 7
+
+    def test_stale_dead_worker_is_expired(self, tmp_path):
+        from repro.service.cluster import STALE_RECORD_SECONDS, cluster_view
+
+        board = WorkerMetricsBoard(str(tmp_path))
+        self._publish_dead(
+            board, "w-old", _registry(3, []).snapshot(),
+            age_seconds=STALE_RECORD_SECONDS + 60.0,
+        )
+        # ...but a long-dead incarnation (a previous daemon sharing the
+        # cache dir) is expired, so it cannot double-count forever.
+        assert "w-old" not in board.collect()
+        view = cluster_view(board, "w1", _registry(4, []).snapshot())
+        assert view["merged"]["counters"]["requests.healthz"] == 4
+        # The backing record file was deleted, not just skipped.
+        assert "w-old" not in board.collect()

@@ -1,0 +1,99 @@
+"""Supervisor restart-policy unit tests (no forking).
+
+The subprocess end — real workers, real ``kill -9``, real respawn —
+lives in ``test_multiworker.py``; here :meth:`Supervisor._handle_exit`
+is driven directly with crafted ``waitpid`` statuses so the backoff
+arithmetic is pinned deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.service.server import ServiceConfig
+from repro.service.supervisor import (
+    BACKOFF_BASE_SECONDS,
+    BACKOFF_MAX_SECONDS,
+    BACKOFF_RESET_SECONDS,
+    Supervisor,
+)
+
+
+def _exit_status(code: int) -> int:
+    """Encode a normal-exit waitpid status (POSIX: code in byte 1)."""
+    return code << 8
+
+
+def _signal_status(signum: int) -> int:
+    return signum
+
+
+def _supervisor() -> Supervisor:
+    return Supervisor(ServiceConfig(), workers=1, listen_socket=None)
+
+
+def _exit_after(supervisor, uptime: float, status: int) -> float:
+    """Run one exit through _handle_exit; returns the restart delay."""
+    slot = supervisor.slots[0]
+    slot.pid = 12345
+    slot.started_at = time.monotonic() - uptime
+    supervisor._handle_exit(slot, status)
+    return slot.not_before - time.monotonic()
+
+
+class TestRestartBackoff:
+    def test_crash_backs_off_and_doubles(self):
+        supervisor = _supervisor()
+        first = _exit_after(supervisor, uptime=1.0, status=_signal_status(9))
+        second = _exit_after(supervisor, uptime=1.0, status=_signal_status(9))
+        assert abs(first - BACKOFF_BASE_SECONDS) < 0.05
+        assert abs(second - 2 * BACKOFF_BASE_SECONDS) < 0.05
+
+    def test_backoff_is_capped(self):
+        supervisor = _supervisor()
+        for _ in range(20):
+            delay = _exit_after(
+                supervisor, uptime=1.0, status=_signal_status(9)
+            )
+        assert delay <= BACKOFF_MAX_SECONDS + 0.05
+
+    def test_long_lived_clean_exit_restarts_immediately(self):
+        supervisor = _supervisor()
+        delay = _exit_after(
+            supervisor,
+            uptime=BACKOFF_RESET_SECONDS + 1.0,
+            status=_exit_status(0),
+        )
+        assert delay <= 0.05
+        assert supervisor.slots[0].crashes == 0
+
+    def test_rapid_clean_exit_still_backs_off(self):
+        # A misconfiguration that makes workers exit 0 immediately must
+        # not produce a zero-delay fork loop: rapid exits count toward
+        # the streak even when they are clean.
+        supervisor = _supervisor()
+        first = _exit_after(supervisor, uptime=0.01, status=_exit_status(0))
+        second = _exit_after(supervisor, uptime=0.01, status=_exit_status(0))
+        assert first >= BACKOFF_BASE_SECONDS - 0.05
+        assert second >= 2 * BACKOFF_BASE_SECONDS - 0.05
+
+    def test_good_uptime_forgives_the_streak(self):
+        supervisor = _supervisor()
+        _exit_after(supervisor, uptime=1.0, status=_signal_status(9))
+        _exit_after(supervisor, uptime=1.0, status=_signal_status(9))
+        delay = _exit_after(
+            supervisor,
+            uptime=BACKOFF_RESET_SECONDS + 1.0,
+            status=_signal_status(9),
+        )
+        assert abs(delay - BACKOFF_BASE_SECONDS) < 0.05
+
+    def test_shutdown_exits_are_not_restarted(self):
+        supervisor = _supervisor()
+        supervisor._shutdown = True
+        slot = supervisor.slots[0]
+        slot.pid = 12345
+        slot.started_at = time.monotonic()
+        supervisor._handle_exit(slot, _exit_status(0))
+        assert slot.pid is None
+        assert slot.restarts == 0
