@@ -1,4 +1,4 @@
-"""E9 (extension) — process-corner robustness of the optimised design.
+"""E11 (extension) — process-corner robustness of the optimised design.
 
 The paper signs off at the typical corner.  This bench re-evaluates the
 Section 4 Scheme II optimum across the standard five corners: leakage is
@@ -58,7 +58,7 @@ def test_bench_e9_corners(benchmark):
         return table, leakage_by_corner
 
     table, leakage = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    print("\n=== E9: Scheme II optimum across process corners ===\n")
+    print("\n=== E11: Scheme II optimum across process corners ===\n")
     print(table)
 
     typical = leakage[CornerName.TYPICAL]

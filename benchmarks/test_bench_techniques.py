@@ -1,4 +1,4 @@
-"""E8 (extension) — knob assignment vs prior-work leakage techniques.
+"""E10 (extension) — knob assignment vs prior-work leakage techniques.
 
 The paper positions total-leakage-aware Vth/Tox assignment against a
 literature of subthreshold-only techniques ([1-7]).  This bench runs the
@@ -69,7 +69,7 @@ def test_bench_e8_techniques(benchmark):
         return table, results
 
     table, results = benchmark.pedantic(compare, rounds=1, iterations=1)
-    print("\n=== E8: knob assignment vs leakage-reduction techniques ===\n")
+    print("\n=== E10: knob assignment vs leakage-reduction techniques ===\n")
     print(table)
 
     baseline = results["mid-grid, no technique"].leakage_power

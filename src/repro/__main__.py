@@ -29,6 +29,7 @@ from repro.cache.assignment import knobs
 from repro.errors import ReproError
 from repro.optimize.schemes import Scheme
 from repro.optimize.single_cache import minimize_leakage
+from repro.technology.nodes import NODES, SCALING_STYLES, node_technology
 
 _SCHEMES = {"1": Scheme.PER_COMPONENT, "2": Scheme.CELL_VS_PERIPHERY,
             "3": Scheme.UNIFORM}
@@ -41,6 +42,13 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
                         help="line size (default 32)")
     parser.add_argument("--associativity", type=int, default=2,
                         help="ways (default 2)")
+    parser.add_argument("--node", type=int, default=65,
+                        choices=NODES, metavar="NM",
+                        help="technology node in nm (default 65; one of "
+                             f"{', '.join(str(n) for n in NODES)})")
+    parser.add_argument("--scaling-style", default="itrs",
+                        choices=SCALING_STYLES,
+                        help="node scaling style (default itrs)")
 
 
 def _build_model(arguments) -> CacheModel:
@@ -50,7 +58,8 @@ def _build_model(arguments) -> CacheModel:
         associativity=arguments.associativity,
         name=f"cache-{arguments.size_kb:g}K",
     )
-    return CacheModel(config)
+    technology = node_technology(arguments.node, arguments.scaling_style)
+    return CacheModel(config, technology=technology)
 
 
 def _cmd_experiments(arguments) -> int:
@@ -64,19 +73,45 @@ def _cmd_experiments(arguments) -> int:
 
 def _cmd_describe(arguments) -> int:
     model = _build_model(arguments)
+    technology = model.technology
     print(model.describe())
     print(f"cell-array area at nominal Tox: {model.area() * 1e6:.3f} mm^2")
-    evaluation = model.uniform(knobs(0.35, 12.0))
+    evaluation = model.uniform(
+        knobs(technology.vth_ref, units.to_angstrom(technology.tox_ref))
+    )
     print(f"transistors: {evaluation.transistor_count}")
     return 0
 
 
+def _resolve_point(arguments, technology):
+    """The (Vth, Tox) to evaluate: explicit flags, else the node nominal.
+
+    The historical defaults (0.35 V, 12 Å) are kept at 65 nm; a scaled
+    node's box may not contain them, so there the node's own nominal
+    point is the default instead.
+    """
+    vth = arguments.vth
+    tox_a = arguments.tox
+    if vth is None:
+        vth = 0.35 if arguments.node == 65 else technology.vth_ref
+    if tox_a is None:
+        tox_a = (
+            12.0 if arguments.node == 65
+            else units.to_angstrom(technology.tox_ref)
+        )
+    return knobs(vth, tox_a).validate(technology=technology)
+
+
 def _cmd_evaluate(arguments) -> int:
     model = _build_model(arguments)
-    point = knobs(arguments.vth, arguments.tox).validate()
+    point = _resolve_point(arguments, model.technology)
     evaluation = model.uniform(point)
     print(model.config.describe())
-    print(f"assignment: uniform ({arguments.vth} V, {arguments.tox} A)")
+    print(
+        f"assignment: uniform ({point.vth:g} V, "
+        f"{point.tox_angstrom:g} A) at {arguments.node} nm "
+        f"({arguments.scaling_style})"
+    )
     print(f"access time:    {units.to_ps(evaluation.access_time):9.1f} ps")
     print(f"leakage power:  {units.to_mw(evaluation.leakage_power):9.4f} mW")
     print(
@@ -173,10 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     evaluate = commands.add_parser("evaluate", help="evaluate one knob point")
     _add_cache_arguments(evaluate)
-    evaluate.add_argument("--vth", type=float, default=0.35,
-                          help="threshold voltage in V")
-    evaluate.add_argument("--tox", type=float, default=12.0,
-                          help="oxide thickness in A")
+    evaluate.add_argument("--vth", type=float, default=None,
+                          help="threshold voltage in V (default 0.35 at "
+                               "65 nm, the node's nominal elsewhere)")
+    evaluate.add_argument("--tox", type=float, default=None,
+                          help="oxide thickness in A (default 12 at "
+                               "65 nm, the node's nominal elsewhere)")
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     optimize = commands.add_parser("optimize", help="Section 4 optimiser")

@@ -172,12 +172,14 @@ class MissRateModel:
 
 
 #: Bump when measurement semantics change: it is folded into the disk
-#: fingerprint, so stale cached curves can never be served.  Format 7:
-#: associativity joins the grid as a real axis (``l1_assocs`` /
-#: ``l2_assocs``), re-keying every entry.  Format 6 added the
-#: ``"setdist"`` estimator; format 5 the replacement policy and
-#: canonical fingerprint parts.
-_CALIBRATION_FORMAT = 7
+#: fingerprint, so stale cached curves can never be served.  Format 8:
+#: the ``"stackdist"`` estimator derives its L2 curve from the
+#: reconstructed write-back event stream (exact, replacing the
+#: denominator-scaled demand approximation).  Format 7 made
+#: associativity a real grid axis (``l1_assocs`` / ``l2_assocs``);
+#: format 6 added the ``"setdist"`` estimator; format 5 the replacement
+#: policy and canonical fingerprint parts.
+_CALIBRATION_FORMAT = 8
 
 #: Replacement policies the calibration engines support.
 _POLICIES = ("lru", "fifo", "random")
@@ -391,26 +393,24 @@ def _stackdist_estimate(
 
     Mattson's inclusion property turns a single O(n log n) profile into
     the miss rate of *every* fully-associative LRU capacity at once, so
-    the whole (level, size) grid costs two profiling passes (one per
-    block granularity) instead of one simulation per point.  The price is
-    a model mismatch — the grid path simulates the real set-associative
-    shapes — quantified by the test suite; it is the cheap first look,
-    not the calibration of record.
+    the L1 grid costs one profiling pass instead of one simulation per
+    point.  The price at L1 is a model mismatch — the grid path
+    simulates the real set-associative shapes — quantified by the test
+    suite; it is the cheap first look, not the calibration of record.
 
-    The L2 *local* rate is derived from global rates: with the reference
-    L1 as the filter, the L2 serves the reference L1's misses *plus its
-    dirty write-backs*, so
-    ``local(C2) = global_64B(C2) / (global_32B(ref L1) * (1 + wb))``
-    clamped to 1, where ``wb`` is the reference L1's measured
-    write-backs-per-miss ratio.  The write-back stream is measured
-    exactly — one L1-only lane of the multi-config engine over the same
-    trace — which removes the denominator half of the estimator's
-    historical positive bias.  The remaining error (the L1 filter
-    reorders and write-extends the stream the L2 sees, which the global
-    profile cannot model) is pinned by
-    ``tests/archsim/test_missmodel_stackdist.py``; the L1 error is
-    negligible.
+    The L2 *local* curve no longer approximates: the reference L1's
+    demand-miss + dirty-write-back event stream is reconstructed
+    exactly (:func:`~repro.archsim.setdist.reference_event_stream`) and
+    that stream's *own* reuse distances are profiled per set at the
+    reference L2 shape, so the write-back stream's distinct reuse
+    behaviour is modelled directly instead of scaling the demand
+    denominator by a measured write-back ratio.  The stream is a small
+    fraction of the trace, so the extra cascade is cheap; the resulting
+    curve matches the simulation grid bit-for-bit (the historical
+    ~0.006 positive bias is closed), pinned by
+    ``tests/archsim/test_missmodel_stackdist.py``.
     """
+    from repro.archsim.setdist import per_set_profiles, reference_event_stream
     from repro.archsim.stackdist import stack_distance_profile
 
     buffer = synthetic_trace_buffer(spec, n_accesses, seed=seed, block_bytes=64)
@@ -420,43 +420,43 @@ def _stackdist_estimate(
     l1_rates = profile_l1.miss_curve(
         [kb * 1024 // REFERENCE_L1_BLOCK for kb in l1_grid_kb]
     )
-    filter_rate = profile_l1.miss_rate(
-        REFERENCE_L1_KB * 1024 // REFERENCE_L1_BLOCK
+    ref_sets = REFERENCE_L1_KB * 1024 // (
+        REFERENCE_L1_BLOCK * REFERENCE_L1_ASSOC
     )
-    profile_l2 = stack_distance_profile(
-        buffer, block_bytes=REFERENCE_L2_BLOCK
+    stream, total = reference_event_stream(
+        buffer,
+        ref_sets=ref_sets,
+        ref_assoc=REFERENCE_L1_ASSOC,
+        l1_block_bytes=REFERENCE_L1_BLOCK,
+        l2_block_bytes=REFERENCE_L2_BLOCK,
     )
-    l2_global = profile_l2.miss_curve(
-        [kb * 1024 // REFERENCE_L2_BLOCK for kb in l2_grid_kb]
-    )
-    reference_l1, _ = _point_configs("l2", REFERENCE_L2_KB)
-    reference = MultiConfigHierarchyEngine([(reference_l1, None)]).run(
-        buffer
-    )[0]
-    writeback_ratio = (
-        reference.l1.writebacks / reference.l1.misses
-        if reference.l1.misses else 0.0
-    )
-    l2_denominator = filter_rate * (1.0 + writeback_ratio)
+    l2_sets = {
+        kb: kb * 1024 // (REFERENCE_L2_BLOCK * REFERENCE_L2_ASSOC)
+        for kb in l2_grid_kb
+    }
+    if total:
+        stream_profiles = per_set_profiles(
+            stream * REFERENCE_L2_BLOCK,
+            set_counts=sorted(set(l2_sets.values())),
+            block_bytes=REFERENCE_L2_BLOCK,
+            depth_cap=REFERENCE_L2_ASSOC,
+        )
+        l2_curve = tuple(
+            (
+                kb * 1024,
+                stream_profiles[l2_sets[kb]].miss_rate(REFERENCE_L2_ASSOC),
+            )
+            for kb in l2_grid_kb
+        )
+    else:
+        l2_curve = tuple((kb * 1024, 0.0) for kb in l2_grid_kb)
     return MissRateModel(
         workload=spec.name,
         l1_curve=tuple(
             (kb * 1024, l1_rates[kb * 1024 // REFERENCE_L1_BLOCK])
             for kb in l1_grid_kb
         ),
-        l2_curve=tuple(
-            (
-                kb * 1024,
-                min(
-                    1.0,
-                    l2_global[kb * 1024 // REFERENCE_L2_BLOCK]
-                    / l2_denominator,
-                )
-                if l2_denominator > 0.0
-                else 0.0,
-            )
-            for kb in l2_grid_kb
-        ),
+        l2_curve=l2_curve,
     )
 
 

@@ -56,6 +56,7 @@ from repro.archsim.trace import TraceLike, as_buffer
 __all__ = [
     "SetDistanceProfile",
     "per_set_profiles",
+    "reference_event_stream",
     "two_level_profiles",
 ]
 
@@ -594,6 +595,55 @@ def _ref_event_stream(cascade, ref_sets, ref_assoc, ratio_shift):
     if n64 <= 65535:
         stream_r = stream_r.astype(np.uint16)
     return stream_b, stream_r, total
+
+
+def reference_event_stream(
+    trace: TraceLike,
+    *,
+    ref_sets: int,
+    ref_assoc: int = 2,
+    l1_block_bytes: int = 32,
+    l2_block_bytes: int = 64,
+) -> Tuple[np.ndarray, int]:
+    """The exact L2 access stream behind one reference L1, in order.
+
+    Replays the ``(ref_sets, ref_assoc)`` L1 in closed form (see
+    :func:`two_level_profiles`) and returns ``(blocks, total)``: the
+    demand-miss + dirty-write-back event stream the L2 serves, as
+    ``l2_block_bytes``-granular block ids in stream order, each
+    write-back placed immediately before the miss that evicts it.
+    ``total`` equals ``blocks.size``.  Profiling this stream directly —
+    e.g. with :func:`~repro.archsim.stackdist.stack_distance_profile`
+    machinery — models the write-back stream's *own* reuse distances
+    instead of approximating them from the demand profile.
+    """
+    l1_block_bytes = _require_power_of_two(l1_block_bytes, "l1_block_bytes")
+    l2_block_bytes = _require_power_of_two(l2_block_bytes, "l2_block_bytes")
+    if l2_block_bytes < l1_block_bytes:
+        raise SimulationError(
+            f"l2_block_bytes {l2_block_bytes} must be >= l1_block_bytes "
+            f"{l1_block_bytes}"
+        )
+    ref_sets = _require_power_of_two(ref_sets, "ref_sets")
+    if ref_assoc not in (1, 2):
+        raise SimulationError(
+            f"reference_event_stream supports reference associativity 1 "
+            f"or 2 (closed-form replay), got {ref_assoc}"
+        )
+    ratio_shift = (l2_block_bytes // l1_block_bytes).bit_length() - 1
+    buffer = as_buffer(trace)
+    n = buffer.addresses.size
+    if n == 0:
+        return np.empty(0, np.int64), 0
+    blocks, aw, kept = _compress(
+        buffer.addresses, buffer.is_write, l1_block_bytes
+    )
+    cascade = _Cascade(blocks, n, aw=aw, t=kept, ref_sets=ref_sets)
+    cascade.advance(ref_sets)
+    stream_b, _, total = _ref_event_stream(
+        cascade, ref_sets, ref_assoc, ratio_shift
+    )
+    return stream_b.astype(np.int64), total
 
 
 def two_level_profiles(

@@ -55,16 +55,26 @@ class Knobs(NamedTuple):
         """Oxide thickness in ångströms (the paper's unit)."""
         return units.to_angstrom(self.tox)
 
-    def validate(self) -> "Knobs":
-        """Return self if inside the paper's design box, else raise."""
-        if not VTH_MIN <= self.vth <= VTH_MAX:
+    def validate(self, technology=None) -> "Knobs":
+        """Return self if inside the design box, else raise.
+
+        Without a ``technology`` the box is the paper's 65 nm range
+        (the module constants); with one, the node's own bounds.
+        """
+        if technology is None:
+            vth_min, vth_max = VTH_MIN, VTH_MAX
+            tox_min_a, tox_max_a = TOX_MIN_A, TOX_MAX_A
+        else:
+            vth_min, vth_max = technology.vth_min, technology.vth_max
+            tox_min_a, tox_max_a = technology.tox_min_a, technology.tox_max_a
+        if not vth_min <= self.vth <= vth_max:
             raise ConfigurationError(
-                f"Vth={self.vth} V outside [{VTH_MIN}, {VTH_MAX}] V"
+                f"Vth={self.vth} V outside [{vth_min:g}, {vth_max:g}] V"
             )
         tox_a = self.tox_angstrom
-        if not TOX_MIN_A - 1e-9 <= tox_a <= TOX_MAX_A + 1e-9:
+        if not tox_min_a - 1e-9 <= tox_a <= tox_max_a + 1e-9:
             raise ConfigurationError(
-                f"Tox={tox_a:.2f} Å outside [{TOX_MIN_A}, {TOX_MAX_A}] Å"
+                f"Tox={tox_a:.2f} Å outside [{tox_min_a:g}, {tox_max_a:g}] Å"
             )
         return self
 

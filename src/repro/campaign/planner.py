@@ -35,7 +35,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.archsim.workloads import WorkloadSpec
 from repro.cache.assignment import Knobs
 from repro.cache.config import CacheConfig
+from repro.optimize.two_level import default_l1_knobs, default_l2_knobs
 from repro.perf.disk_cache import make_fingerprint
+from repro.technology.nodes import node_technology
 from repro.perf.profile_store import (
     L1_SURFACE_SET_COUNTS,
     L2_SURFACE_SET_COUNTS,
@@ -256,6 +258,13 @@ def build_plan(
                             }, after=dep)
                             reuse_from_checkpoint(unit)
 
+    # The technology axis: circuit-level units (amat, sweep, optimize)
+    # expand once per (node, style) and carry it in their fingerprints —
+    # the same shape at two nodes is two different results.
+    tech_axis = tuple(
+        (node, spec.scaling_style) for node in spec.nodes
+    )
+
     # -- amat units --------------------------------------------------------
     if spec.amat is not None:
         amat = spec.amat
@@ -267,50 +276,72 @@ def build_plan(
         for workload in spec.workloads:
             for policy in spec.policies:
                 dep = (profile_ids[(workload.name, policy)],)
-                for l1_size_kb in amat.l1_sizes_kb:
-                    for l1_assoc in amat.l1_assocs:
-                        for l2_size_kb in amat.l2_sizes_kb:
-                            for l2_assoc in amat.l2_assocs:
-                                shape = {
-                                    "l1_size_kb": l1_size_kb,
-                                    "l1_assoc": l1_assoc,
-                                    "l2_size_kb": l2_size_kb,
-                                    "l2_assoc": l2_assoc,
-                                    "l1_knobs": knobs_payload(amat.l1_knobs),
-                                    "l2_knobs": knobs_payload(amat.l2_knobs),
-                                    "memory_latency_ps":
-                                        amat.memory_latency_ps,
-                                    "constraints": constraints,
-                                }
-                                fingerprint = unit_fingerprint(
-                                    "amat", surface_key(workload, policy),
-                                    shape,
-                                )
-                                unit = add("amat", fingerprint, {
-                                    "workload": workload_payload(workload),
-                                    "policy": policy,
-                                    "n_accesses": calibration.n_accesses,
-                                    "seed": calibration.seed,
-                                    **shape,
-                                }, after=dep)
-                                reuse_from_checkpoint(unit)
+                for node, style in tech_axis:
+                    technology = node_technology(node, style)
+                    l1_point = (
+                        amat.l1_knobs
+                        if amat.l1_knobs is not None
+                        else default_l1_knobs(technology)
+                    )
+                    l2_point = (
+                        amat.l2_knobs
+                        if amat.l2_knobs is not None
+                        else default_l2_knobs(technology)
+                    )
+                    for l1_size_kb in amat.l1_sizes_kb:
+                        for l1_assoc in amat.l1_assocs:
+                            for l2_size_kb in amat.l2_sizes_kb:
+                                for l2_assoc in amat.l2_assocs:
+                                    shape = {
+                                        "node": node,
+                                        "scaling_style": style,
+                                        "l1_size_kb": l1_size_kb,
+                                        "l1_assoc": l1_assoc,
+                                        "l2_size_kb": l2_size_kb,
+                                        "l2_assoc": l2_assoc,
+                                        "l1_knobs":
+                                            knobs_payload(l1_point),
+                                        "l2_knobs":
+                                            knobs_payload(l2_point),
+                                        "memory_latency_ps":
+                                            amat.memory_latency_ps,
+                                        "constraints": constraints,
+                                    }
+                                    fingerprint = unit_fingerprint(
+                                        "amat",
+                                        surface_key(workload, policy),
+                                        shape,
+                                    )
+                                    unit = add("amat", fingerprint, {
+                                        "workload":
+                                            workload_payload(workload),
+                                        "policy": policy,
+                                        "n_accesses":
+                                            calibration.n_accesses,
+                                        "seed": calibration.seed,
+                                        **shape,
+                                    }, after=dep)
+                                    reuse_from_checkpoint(unit)
 
     # -- sweep units -------------------------------------------------------
     sweep_units: List[Unit] = []
     for block in spec.sweeps:
-        fingerprint = unit_fingerprint(
-            "sweep", _structure_key(block.config), block.vths,
-            block.toxes_angstrom, block.components,
-        )
-        unit = add("sweep", fingerprint, {
-            "cache": cache_payload(block.config),
-            "vth": list(block.vths),
-            "tox_angstrom": list(block.toxes_angstrom),
-            "components": list(block.components),
-        })
-        reuse_from_checkpoint(unit)
-        if unit not in sweep_units:
-            sweep_units.append(unit)
+        for node, style in tech_axis:
+            fingerprint = unit_fingerprint(
+                "sweep", _structure_key(block.config), node, style,
+                block.vths, block.toxes_angstrom, block.components,
+            )
+            unit = add("sweep", fingerprint, {
+                "cache": cache_payload(block.config),
+                "node": node,
+                "scaling_style": style,
+                "vth": list(block.vths),
+                "tox_angstrom": list(block.toxes_angstrom),
+                "components": list(block.components),
+            })
+            reuse_from_checkpoint(unit)
+            if unit not in sweep_units:
+                sweep_units.append(unit)
 
     # -- optimize units ----------------------------------------------------
     if spec.optimize is not None:
@@ -318,24 +349,28 @@ def build_plan(
         for config in block.configs:
             for scheme in block.schemes:
                 for target_ps in block.targets_ps:
-                    fingerprint = unit_fingerprint(
-                        "optimize", _structure_key(config), scheme,
-                        target_ps, block.vths, block.toxes_angstrom,
-                    )
-                    unit = add("optimize", fingerprint, {
-                        "cache": cache_payload(config),
-                        "scheme": scheme,
-                        "target_ps": target_ps,
-                        "vth": (
-                            list(block.vths)
-                            if block.vths is not None else None
-                        ),
-                        "tox_angstrom": (
-                            list(block.toxes_angstrom)
-                            if block.toxes_angstrom is not None else None
-                        ),
-                    })
-                    reuse_from_checkpoint(unit)
+                    for node, style in tech_axis:
+                        fingerprint = unit_fingerprint(
+                            "optimize", _structure_key(config), node, style,
+                            scheme, target_ps, block.vths,
+                            block.toxes_angstrom,
+                        )
+                        unit = add("optimize", fingerprint, {
+                            "cache": cache_payload(config),
+                            "node": node,
+                            "scaling_style": style,
+                            "scheme": scheme,
+                            "target_ps": target_ps,
+                            "vth": (
+                                list(block.vths)
+                                if block.vths is not None else None
+                            ),
+                            "tox_angstrom": (
+                                list(block.toxes_angstrom)
+                                if block.toxes_angstrom is not None else None
+                            ),
+                        })
+                        reuse_from_checkpoint(unit)
 
     _group_sweeps(plan, sweep_units)
     return plan
@@ -347,7 +382,10 @@ def _group_sweeps(plan: Plan, sweep_units: List[Unit]) -> None:
     # imports (the service layer imports campaign types at load time).
     from repro.service.batching import MAX_UNION_POINTS
 
-    by_structure: Dict[Tuple[int, int, int, int], List[Unit]] = {}
+    # Grouping identity = structure + technology: a union grid is one
+    # engine pass over one model, and the model is (structure, node,
+    # style) — grids at different nodes can never share tables.
+    by_structure: Dict[Tuple, List[Unit]] = {}
     for unit in sweep_units:
         if unit.unit_id in plan.reused:
             continue
@@ -356,6 +394,8 @@ def _group_sweeps(plan: Plan, sweep_units: List[Unit]) -> None:
             unit.payload["cache"]["block_bytes"],
             unit.payload["cache"]["associativity"],
             unit.payload["cache"]["output_bits"],
+            unit.payload.get("node", 65),
+            unit.payload.get("scaling_style", "itrs"),
         )
         by_structure.setdefault(key, []).append(unit)
 

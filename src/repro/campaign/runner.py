@@ -51,6 +51,7 @@ from repro.optimize.single_cache import (
 from repro.optimize.space import DesignSpace
 from repro.perf.profile_store import get_store
 from repro.perf.table_cache import cached_tables
+from repro.technology.nodes import node_technology
 
 from repro.campaign.planner import (
     Plan,
@@ -119,20 +120,28 @@ def _profile_task(
 def _sweep_group_task(
     members: Sequence[Tuple[str, dict]],
     cache_payload: dict,
+    node: int = 65,
+    scaling_style: str = "itrs",
 ) -> dict:
     """Evaluate one union (Vth, Tox) grid; slice every member out of it.
 
     This is the leader/follower batching discipline applied ahead of
     time: N same-structure sweep units cost one engine grid evaluation.
-    Returns ``{unit_id: sweep-response dict}``.
+    Grouping guarantees every member shares one (node, style), so one
+    technology covers the whole union.  Returns ``{unit_id:
+    sweep-response dict}``.
     """
     # Lazy: repro.campaign must not import repro.service at module level.
     from repro.service.batching import slice_grid
 
-    model = CacheModel(cache_from_payload(cache_payload))
+    technology = node_technology(node, scaling_style)
+    model = CacheModel(
+        cache_from_payload(cache_payload), technology=technology
+    )
     union_vths = sorted({v for _, p in members for v in p["vth"]})
     union_toxes = sorted({t for _, p in members for t in p["tox_angstrom"]})
-    space = DesignSpace(
+    space = DesignSpace.for_technology(
+        technology,
         vth_values=tuple(union_vths),
         tox_values_angstrom=tuple(union_toxes),
     )
@@ -155,6 +164,8 @@ def _sweep_group_task(
             }
         results[unit_id] = {
             "cache": payload["cache"]["name"],
+            "node": node,
+            "scaling_style": scaling_style,
             "vth": list(vths),
             "tox_angstrom": list(toxes),
             "components": components,
@@ -170,16 +181,24 @@ def _optimize_task(payload: dict) -> dict:
     comparing Schemes I–III across targets wants the frontier, not an
     error.
     """
-    model = CacheModel(cache_from_payload(payload["cache"]))
+    node = int(payload.get("node", 65))
+    style = str(payload.get("scaling_style", "itrs"))
+    technology = node_technology(node, style)
+    model = CacheModel(
+        cache_from_payload(payload["cache"]), technology=technology
+    )
     scheme = SCHEMES[payload["scheme"]]
     space = None
     if payload.get("vth") is not None:
-        space = DesignSpace(
+        space = DesignSpace.for_technology(
+            technology,
             vth_values=tuple(payload["vth"]),
             tox_values_angstrom=tuple(payload["tox_angstrom"]),
         )
     base = {
         "cache": payload["cache"]["name"],
+        "node": node,
+        "scaling_style": style,
         "scheme": scheme.paper_name,
         "target_ps": payload["target_ps"],
     }
@@ -242,13 +261,16 @@ def run_point_unit(payload: dict, cache_dir: Optional[str] = None) -> dict:
 def run_amat_unit(
     payload: dict,
     cache_dir: Optional[str] = None,
-    model_for: Optional[Callable[[CacheConfig], CacheModel]] = None,
+    model_for: Optional[
+        Callable[[CacheConfig, int, str], CacheModel]
+    ] = None,
 ) -> dict:
     """Price one two-level shape (mirrors ``POST /v1/amat``).
 
     Miss rates come from the campaign's own calibration surface; the
     circuit models come from ``model_for`` (the daemon's shared LRU of
-    constructed :class:`CacheModel` objects) when injected.
+    constructed :class:`CacheModel` objects, keyed by structure *and*
+    technology node) when injected.
     """
     spec = workload_from_payload(payload["workload"])
     surface = get_store(cache_dir).surface(
@@ -257,13 +279,21 @@ def run_amat_unit(
         n_accesses=payload["n_accesses"],
         seed=payload["seed"],
     )
-    build = model_for if model_for is not None else CacheModel
-    l1_model = build(
-        l1_config(payload["l1_size_kb"], associativity=payload["l1_assoc"])
+    node = int(payload.get("node", 65))
+    style = str(payload.get("scaling_style", "itrs"))
+    l1_shape = l1_config(
+        payload["l1_size_kb"], associativity=payload["l1_assoc"]
     )
-    l2_model = build(
-        l2_config(payload["l2_size_kb"], associativity=payload["l2_assoc"])
+    l2_shape = l2_config(
+        payload["l2_size_kb"], associativity=payload["l2_assoc"]
     )
+    if model_for is not None:
+        l1_model = model_for(l1_shape, node, style)
+        l2_model = model_for(l2_shape, node, style)
+    else:
+        technology = node_technology(node, style)
+        l1_model = CacheModel(l1_shape, technology=technology)
+        l2_model = CacheModel(l2_shape, technology=technology)
     l1_eval = l1_model.uniform(
         knobs(payload["l1_knobs"]["vth"], payload["l1_knobs"]["tox"])
     )
@@ -290,6 +320,8 @@ def run_amat_unit(
     result = {
         "workload": spec.name,
         "policy": payload["policy"],
+        "node": node,
+        "scaling_style": style,
         # float() everywhere a numpy scalar could leak through: results
         # are checkpointed as JSON and must round-trip bit-identically.
         "amat_ps": float(siunits.to_ps(amat)),
@@ -390,7 +422,9 @@ class CampaignManager:
         jobs,
         metrics=None,
         cache_dir: Optional[str] = None,
-        model_for: Optional[Callable[[CacheConfig], CacheModel]] = None,
+        model_for: Optional[
+            Callable[[CacheConfig, int, str], CacheModel]
+        ] = None,
         max_inflight: int = 4,
         unit_retries: int = 1,
         poll_interval: float = 0.02,
@@ -937,6 +971,8 @@ class CampaignManager:
             args = (
                 [(m.unit_id, m.payload) for m in member_units],
                 unit.payload["cache"],
+                unit.payload.get("node", 65),
+                unit.payload.get("scaling_style", "itrs"),
             )
             fn = _sweep_group_task
         else:
@@ -1092,6 +1128,7 @@ class CampaignManager:
                 "unit_id": best["unit_id"],
                 "workload": best["workload"],
                 "policy": best["policy"],
+                "node": best.get("node", 65),
                 "l1_size_kb": best["l1"]["size_kb"],
                 "l1_assoc": best["l1"]["associativity"],
                 "l2_size_kb": best["l2"]["size_kb"],

@@ -26,7 +26,10 @@ from repro.cache.config import CacheConfig
 
 #: Bump when unit semantics change: folded into every unit fingerprint,
 #: so old checkpoints read as clean misses instead of stale hits.
-CAMPAIGN_FORMAT = 1
+#: 2: sweep/amat/optimize units carry a technology node + scaling style
+#: (profile and point units stay node-free — miss rates are purely
+#: architectural).
+CAMPAIGN_FORMAT = 2
 
 #: Unit kinds the planner can emit, in result-report order.
 UNIT_KINDS = ("profile", "point", "amat", "sweep", "optimize")
@@ -68,8 +71,11 @@ class AmatBlock:
     l1_assocs: Tuple[int, ...]
     l2_sizes_kb: Tuple[int, ...]
     l2_assocs: Tuple[int, ...]
-    l1_knobs: Knobs
-    l2_knobs: Knobs
+    #: ``None`` means "each node's own default knobs" — resolved per
+    #: node at plan time, so a multi-node campaign prices every node at
+    #: its equivalent point inside its own design box.
+    l1_knobs: Optional[Knobs] = None
+    l2_knobs: Optional[Knobs] = None
     memory_latency_ps: Optional[float] = None
 
 
@@ -122,6 +128,11 @@ class CampaignSpec:
     sweeps: Tuple[SweepBlock, ...] = ()
     optimize: Optional[OptimizeBlock] = None
     constraints: CampaignConstraints = CampaignConstraints()
+    #: Technology-node axis: the circuit-level blocks (amat, sweeps,
+    #: optimize) expand once per node; the architectural blocks
+    #: (profile, matrix points) are node-free and never multiply.
+    nodes: Tuple[int, ...] = (65,)
+    scaling_style: str = "itrs"
 
     @property
     def needs_surfaces(self) -> bool:

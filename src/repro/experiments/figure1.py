@@ -27,11 +27,41 @@ from repro.cache.config import CacheConfig
 from repro.experiments.report import ExperimentResult
 from repro.optimize.single_cache import fixed_knob_sweep
 from repro.optimize.space import DesignSpace, default_space
-from repro.technology.bptm import Technology
+from repro.technology.bptm import (
+    TOX_MAX_A,
+    TOX_MIN_A,
+    VTH_MAX,
+    VTH_MIN,
+    Technology,
+)
 
-#: The fixed values the paper's four curves use.
+#: The fixed values the paper's four curves use (65 nm).
 FIXED_TOX_CURVES = (10.0, 14.0)
 FIXED_VTH_CURVES = (0.2, 0.4)
+
+
+def fixed_curves(technology: Optional[Technology] = None):
+    """The (fixed Tox, fixed Vth) curve values for one node's box.
+
+    The paper fixes Tox at the two box edges and Vth at the floor and
+    two-thirds up the range — exactly ``(10, 14) Å`` / ``(0.2, 0.4) V``
+    inside the 65 nm box, the same relative positions inside a scaled
+    node's own box.
+    """
+    if technology is None or (
+        technology.vth_min,
+        technology.vth_max,
+        technology.tox_min_a,
+        technology.tox_max_a,
+    ) == (VTH_MIN, VTH_MAX, TOX_MIN_A, TOX_MAX_A):
+        return FIXED_TOX_CURVES, FIXED_VTH_CURVES
+    tox_curves = (technology.tox_min_a, technology.tox_max_a)
+    vth_curves = (
+        technology.vth_min,
+        technology.vth_min
+        + (technology.vth_max - technology.vth_min) * 2.0 / 3.0,
+    )
+    return tox_curves, vth_curves
 
 
 def figure1_model(
@@ -57,12 +87,13 @@ def run_figure1(
     """Generate the Figure 1 curves and check the paper's three findings."""
     model = figure1_model(size_kb, technology)
     if space is None:
-        space = default_space()
+        space = default_space(technology=model.technology)
+    fixed_tox_curves, fixed_vth_curves = fixed_curves(model.technology)
 
     series = {}
     rows = []
     ranges = {}
-    for tox_a in FIXED_TOX_CURVES:
+    for tox_a in fixed_tox_curves:
         times, leaks, _ = fixed_knob_sweep(
             model, fixed_tox_angstrom=tox_a, space=space
         )
@@ -72,7 +103,7 @@ def run_figure1(
             [units.to_mw(p) for p in leaks],
         )
         ranges[name] = (times.min(), times.max(), leaks.min(), leaks.max())
-    for vth in FIXED_VTH_CURVES:
+    for vth in fixed_vth_curves:
         times, leaks, _ = fixed_knob_sweep(model, fixed_vth=vth, space=space)
         name = f"Vth={vth * 1000:.0f}mV"
         series[name] = (
@@ -96,11 +127,13 @@ def run_figure1(
 
     findings = []
     # Finding 1: Tox sets the leakage floor.
-    floor_thin = ranges["Tox=10A"][2]
-    floor_thick = ranges["Tox=14A"][2]
+    thin_name = f"Tox={fixed_tox_curves[0]:.0f}A"
+    thick_name = f"Tox={fixed_tox_curves[1]:.0f}A"
+    floor_thin = ranges[thin_name][2]
+    floor_thick = ranges[thick_name][2]
     findings.append(
-        "leakage floor at Tox=10A is "
-        f"{floor_thin / floor_thick:.0f}x the Tox=14A floor "
+        f"leakage floor at {thin_name} is "
+        f"{floor_thin / floor_thick:.0f}x the {thick_name} floor "
         "(gate tunnelling is the floor; only Tox moves it)"
         if floor_thin > floor_thick
         else "UNEXPECTED: thin-oxide floor not above thick-oxide floor"
@@ -108,11 +141,11 @@ def run_figure1(
     # Finding 2: delay range wider when Vth varies.
     vth_span = max(
         ranges[f"Tox={t:.0f}A"][1] - ranges[f"Tox={t:.0f}A"][0]
-        for t in FIXED_TOX_CURVES
+        for t in fixed_tox_curves
     )
     tox_span = max(
         ranges[f"Vth={v * 1000:.0f}mV"][1] - ranges[f"Vth={v * 1000:.0f}mV"][0]
-        for v in FIXED_VTH_CURVES
+        for v in fixed_vth_curves
     )
     findings.append(
         f"delay span varying Vth ({units.to_ps(vth_span):.0f} ps) "
@@ -123,11 +156,11 @@ def run_figure1(
     # Finding 3: max leakage ratio across Tox beats across Vth.
     tox_leak_ratio = max(
         ranges[f"Vth={v * 1000:.0f}mV"][3] / ranges[f"Vth={v * 1000:.0f}mV"][2]
-        for v in FIXED_VTH_CURVES
+        for v in fixed_vth_curves
     )
     vth_leak_ratio = max(
         ranges[f"Tox={t:.0f}A"][3] / ranges[f"Tox={t:.0f}A"][2]
-        for t in FIXED_TOX_CURVES
+        for t in fixed_tox_curves
     )
     findings.append(
         f"leakage ratio across Tox ({tox_leak_ratio:.0f}x) "

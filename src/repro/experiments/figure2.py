@@ -37,16 +37,27 @@ from repro.technology.bptm import TOX_MAX_A, TOX_MIN_A, VTH_MAX, VTH_MIN
 from repro.technology.bptm import Technology
 
 
-def fast_space() -> DesignSpace:
+def fast_space(technology: Optional[Technology] = None) -> DesignSpace:
     """A trimmed grid (5 Vth x 3 Tox) for quick tuple-problem runs.
 
     The full :func:`~repro.optimize.space.coarse_space` enumeration is
     exact but takes minutes; this grid preserves every ordering finding
-    and runs in seconds.
+    and runs in seconds.  With a ``technology`` the grid spans that
+    node's own design box.
     """
+    if technology is None:
+        vth_min, vth_max = VTH_MIN, VTH_MAX
+        tox_min_a, tox_max_a = TOX_MIN_A, TOX_MAX_A
+    else:
+        vth_min, vth_max = technology.vth_min, technology.vth_max
+        tox_min_a, tox_max_a = technology.tox_min_a, technology.tox_max_a
     return DesignSpace(
-        vth_values=tuple(np.linspace(VTH_MIN, VTH_MAX, 5)),
-        tox_values_angstrom=tuple(np.linspace(TOX_MIN_A, TOX_MAX_A, 3)),
+        vth_values=tuple(np.linspace(vth_min, vth_max, 5)),
+        tox_values_angstrom=tuple(np.linspace(tox_min_a, tox_max_a, 3)),
+        vth_min=vth_min,
+        vth_max=vth_max,
+        tox_min_a=tox_min_a,
+        tox_max_a=tox_max_a,
     )
 
 
@@ -69,7 +80,11 @@ def run_figure2(
     l1_model = CacheModel(l1_config(l1_size_kb), technology=technology)
     l2_model = CacheModel(l2_config(l2_size_kb), technology=technology)
     if space is None:
-        space = fast_space() if fast else coarse_space()
+        space = (
+            fast_space(l1_model.technology)
+            if fast
+            else coarse_space(technology=l1_model.technology)
+        )
     curves: Dict[TupleBudget, TupleCurve] = solve_tuple_problem(
         l1_model, l2_model, miss_model, budgets=budgets, space=space,
         memory=memory,

@@ -42,7 +42,7 @@ from repro.optimize.single_cache import enumerate_candidates
 from repro.optimize.schemes import Scheme
 from repro.optimize.space import DesignSpace, default_space
 from repro.optimize.two_level import (
-    DEFAULT_L1_KNOBS,
+    default_l1_knobs,
     explore_l2_sizes,
 )
 from repro.technology.bptm import Technology, bptm65
@@ -69,9 +69,9 @@ def fastest_achievable_amat(
     """Fastest AMAT (s) over all capacities with all-aggressive L2 knobs."""
     technology = technology if technology is not None else bptm65()
     if space is None:
-        space = default_space()
+        space = default_space(technology=technology)
     l1_model = CacheModel(l1_config(l1_size_kb), technology=technology)
-    l1_time = l1_model.uniform(DEFAULT_L1_KNOBS).access_time
+    l1_time = l1_model.uniform(default_l1_knobs(technology)).access_time
     m1 = miss_model.l1_miss_rate(l1_model.config.size_bytes)
     best = float("inf")
     for size_kb in l2_sizes_kb:

@@ -1,0 +1,338 @@
+"""E8/E9 — Figures 1 and 2 regenerated as technology-node sweeps.
+
+The paper's headline prescription — set Tox conservatively thick and use
+Vth as the delay knob — is read off Figure 1 (component level) and
+Figure 2 (system level) at a single node, BPTM 65 nm.  These experiments
+rerun both figures at every node of the scaled family
+(:mod:`repro.technology.nodes`, 65 → 8 nm) under both scaling styles and
+ask whether the prescription *survives scaling*, where gate tunnelling
+explodes as the oxide thins and the Vth box loses headroom against the
+falling supply.
+
+* **E8** replays the Figure 1 sensitivity study per node: the delay span
+  available by tuning Vth (at thick Tox) versus by tuning Tox (at the
+  Vth floor), and the leakage ratio each knob commands, plus a per-node
+  *fitted* analytical model (:func:`repro.models.analytical
+  .fit_cache_model`) whose exponents corroborate the structural sweeps
+  — the leakage-Vth exponent ``a1`` tracks subthreshold sensitivity and
+  the gate decades/Å track tunnelling sensitivity at each node.
+* **E9** resolves the (Tox, Vth) tuple problem of Figure 2 per node and
+  checks the ordering claims (three-value budgets best, dual/dual
+  sufficient, 1 Tox + 2 Vth beats 2 Tox + 1 Vth) at every node.
+
+Both experiments assert the 65 nm slice is *bit-identical* to the plain
+single-node E2/E6 runs — ``node_technology(65, style)`` is exactly the
+anchor ``bptm65()``, so the node sweep is a strict superset of the
+original study, not a reinterpretation of it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro import units
+from repro.archsim.missmodel import calibrated_miss_model
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import l1_config, l2_config
+from repro.experiments.figure1 import figure1_model, fixed_curves, run_figure1
+from repro.experiments.figure2 import fast_space, run_figure2
+from repro.experiments.report import ExperimentResult
+from repro.models.analytical import fit_cache_model
+from repro.optimize.single_cache import fixed_knob_sweep
+from repro.optimize.space import default_space
+from repro.optimize.tuple_problem import TupleBudget, solve_tuple_problem
+from repro.technology.nodes import NODES, SCALING_STYLES, node_technology
+
+#: Nodes strictly below the 22 nm pivot the acceptance question names.
+_DEEP_NODES = tuple(node for node in NODES if node < 22)
+
+
+def _series_equal(a: dict, b: dict) -> bool:
+    """True when two ExperimentResult series dicts match bit-for-bit."""
+    if set(a) != set(b):
+        return False
+    return all(
+        list(a[name][0]) == list(b[name][0])
+        and list(a[name][1]) == list(b[name][1])
+        for name in a
+    )
+
+
+def run_figure1_nodes(
+    size_kb: int = 16,
+    nodes: Sequence[int] = NODES,
+    styles: Sequence[str] = SCALING_STYLES,
+) -> ExperimentResult:
+    """E8: the Figure 1 sensitivity study swept across the node family."""
+    anchor = run_figure1(size_kb)
+    anchor_identical = all(
+        _series_equal(
+            anchor.series,
+            run_figure1(size_kb, technology=node_technology(65, style)).series,
+        )
+        for style in styles
+    )
+
+    rows = []
+    series = {}
+    # Per (style, node): does Vth keep the wider delay span, does Tox
+    # keep the bigger leakage lever, and what do the fitted forms say?
+    verdicts = {}
+    for style in styles:
+        floors_mw = []
+        span_ratios = []
+        for node in nodes:
+            technology = node_technology(node, style)
+            model = figure1_model(size_kb, technology)
+            space = default_space(technology=technology)
+            tox_curves, vth_curves = fixed_curves(technology)
+
+            # The four Figure 1 curves at this node: Vth sweeps at the
+            # two fixed oxides, Tox sweeps at the two fixed thresholds.
+            vth_sweeps = [
+                fixed_knob_sweep(model, fixed_tox_angstrom=tox_a, space=space)
+                for tox_a in tox_curves
+            ]
+            tox_sweeps = [
+                fixed_knob_sweep(model, fixed_vth=vth, space=space)
+                for vth in vth_curves
+            ]
+
+            # E2's findings, recomputed per node: the widest delay span
+            # and the biggest leakage ratio each knob commands across
+            # *both* of its curves (at high fixed Vth the subthreshold
+            # term is quenched, so the Tox curve there exposes the full
+            # gate-tunnelling leverage).
+            vth_delay_span = max(
+                float(times.max() - times.min()) for times, _, _ in vth_sweeps
+            )
+            tox_delay_span = max(
+                float(times.max() - times.min()) for times, _, _ in tox_sweeps
+            )
+            vth_leak_ratio = max(
+                float(leaks.max() / leaks.min()) for _, leaks, _ in vth_sweeps
+            )
+            tox_leak_ratio = max(
+                float(leaks.max() / leaks.min()) for _, leaks, _ in tox_sweeps
+            )
+            leaks_v = vth_sweeps[1][1]  # thick-oxide Vth curve
+            vth_is_delay_knob = vth_delay_span > tox_delay_span
+            tox_is_leak_lever = tox_leak_ratio > vth_leak_ratio
+            verdicts[(style, node)] = (vth_is_delay_knob, tox_is_leak_lever)
+
+            fitted = fit_cache_model(
+                model,
+                vths=space.vth_values,
+                toxes_angstrom=space.tox_values_angstrom,
+            )
+            sample = next(iter(fitted.components.values()))
+
+            span_ratio = vth_delay_span / tox_delay_span
+            floors_mw.append(units.to_mw(float(leaks_v.min())))
+            span_ratios.append(span_ratio)
+            rows.append(
+                [
+                    style,
+                    node,
+                    f"{technology.vdd:.2f}",
+                    f"{span_ratio:.2f}",
+                    f"{tox_leak_ratio / vth_leak_ratio:.2f}",
+                    f"{sample.leakage_form.a1_exp:.1f}",
+                    f"{sample.leakage_form.gate_decades_per_angstrom:.2f}",
+                    f"{sample.delay_form.k3:.2f}",
+                    f"{fitted.worst_fit_r_squared():.3f}",
+                    "Vth-knob"
+                    if vth_is_delay_knob and tox_is_leak_lever
+                    else "INVERTED",
+                ]
+            )
+        series[f"{style}: leakage floor (mW)"] = (list(nodes), floors_mw)
+        series[f"{style}: Vth/Tox delay-span ratio"] = (
+            list(nodes),
+            span_ratios,
+        )
+
+    findings = [
+        "65 nm slice is bit-identical to the single-node E2 run"
+        if anchor_identical
+        else "UNEXPECTED: 65 nm slice differs from the single-node E2 run"
+    ]
+    deep = [
+        (style, node)
+        for style in styles
+        for node in nodes
+        if node in _DEEP_NODES
+    ]
+    if deep:
+        delay_holds = all(verdicts[key][0] for key in deep)
+        leak_broken = [key for key in deep if not verdicts[key][1]]
+        if delay_holds and not leak_broken:
+            findings.append(
+                "'fix Tox thick, tune Vth' SURVIVES below 22 nm: Vth still "
+                "commands the wider delay span and Tox the bigger leakage "
+                "ratio at every deep node in both styles"
+            )
+        elif delay_holds:
+            findings.append(
+                "'fix Tox thick, tune Vth' HALF-SURVIVES below 22 nm: Vth "
+                "keeps the wider delay span everywhere (tune Vth stands), "
+                "but Tox loses leakage dominance at "
+                + ", ".join(f"{n} nm ({s})" for s, n in leak_broken)
+                + " — the scaled Tox box is too narrow for tunnelling to "
+                "outswing the subthreshold lever of the Vth box"
+            )
+        else:
+            broken = [key for key in deep if not all(verdicts[key])]
+            findings.append(
+                "'fix Tox thick, tune Vth' BREAKS below 22 nm at "
+                + ", ".join(f"{n} nm ({s})" for s, n in broken)
+            )
+    return ExperimentResult(
+        experiment_id="E8",
+        title=f"Figure 1 node sweep - {size_kb} KB cache, 65-8 nm",
+        headers=[
+            "style",
+            "node",
+            "Vdd(V)",
+            "dT(Vth)/dT(Tox)",
+            "Pratio Tox/Vth",
+            "fit a1(/V)",
+            "fit dec/A",
+            "fit k3",
+            "fit R2",
+            "verdict",
+        ],
+        rows=rows,
+        findings=findings,
+        series=series,
+        x_label="node (nm)",
+        y_label="leakage floor (mW) / span ratio",
+    )
+
+
+#: The ordering-relevant budgets of Figure 2.
+_E9_BUDGETS = (
+    TupleBudget(n_tox=1, n_vth=2),
+    TupleBudget(n_tox=2, n_vth=1),
+    TupleBudget(n_tox=2, n_vth=2),
+    TupleBudget(n_tox=2, n_vth=3),
+)
+
+
+def run_figure2_nodes(
+    workload: str = "spec2000",
+    l1_size_kb: int = 16,
+    l2_size_kb: int = 1024,
+    nodes: Sequence[int] = NODES,
+    styles: Sequence[str] = SCALING_STYLES,
+) -> ExperimentResult:
+    """E9: the Figure 2 tuple problem resolved at every node."""
+    anchor = run_figure2(workload, l1_size_kb, l2_size_kb)
+    anchor_identical = all(
+        _series_equal(
+            anchor.series,
+            run_figure2(
+                workload,
+                l1_size_kb,
+                l2_size_kb,
+                technology=node_technology(65, style),
+            ).series,
+        )
+        for style in styles
+    )
+
+    miss_model = calibrated_miss_model(workload)
+    rows = []
+    series = {}
+    vth_verdicts = {}
+    for style in styles:
+        best_energies_pj = []
+        for node in nodes:
+            technology = node_technology(node, style)
+            l1_model = CacheModel(
+                l1_config(l1_size_kb), technology=technology
+            )
+            l2_model = CacheModel(
+                l2_config(l2_size_kb), technology=technology
+            )
+            curves = solve_tuple_problem(
+                l1_model,
+                l2_model,
+                miss_model,
+                budgets=_E9_BUDGETS,
+                space=fast_space(technology),
+            )
+            # The laxest AMAT every curve reaches: energy_at() there is
+            # each budget's floor, the same reference E6 reads off.
+            reference = max(
+                float(curve.amats[-1]) for curve in curves.values()
+            )
+
+            def energy(n_tox: int, n_vth: int) -> float:
+                return curves[
+                    TupleBudget(n_tox=n_tox, n_vth=n_vth)
+                ].energy_at(reference)
+
+            vth_wins = energy(1, 2) < energy(2, 1)
+            dual_gap = energy(2, 2) / energy(2, 3) - 1.0
+            vth_verdicts[(style, node)] = vth_wins
+            best_energies_pj.append(units.to_pj(energy(2, 3)))
+            rows.append(
+                [
+                    style,
+                    node,
+                    f"{units.to_pj(energy(1, 2)):.1f}",
+                    f"{units.to_pj(energy(2, 1)):.1f}",
+                    f"{units.to_pj(energy(2, 2)):.1f}",
+                    f"{units.to_pj(energy(2, 3)):.1f}",
+                    f"{100 * dual_gap:.1f}%",
+                    "Vth" if vth_wins else "Tox",
+                ]
+            )
+        series[f"{style}: E(2T+3V) floor (pJ)"] = (
+            list(nodes),
+            best_energies_pj,
+        )
+
+    findings = [
+        "65 nm slice is bit-identical to the single-node E6 run"
+        if anchor_identical
+        else "UNEXPECTED: 65 nm slice differs from the single-node E6 run"
+    ]
+    deep = [
+        (style, node)
+        for style in styles
+        for node in nodes
+        if node in _DEEP_NODES
+    ]
+    if deep and all(vth_verdicts[key] for key in deep):
+        findings.append(
+            "system level agrees below 22 nm: 1 Tox + 2 Vth still beats "
+            "2 Tox + 1 Vth at every deep node in both styles"
+        )
+    elif deep:
+        broken = [key for key in deep if not vth_verdicts[key]]
+        findings.append(
+            "system-level ordering FLIPS below 22 nm at "
+            + ", ".join(f"{n} nm ({s})" for s, n in broken)
+            + ": extra Tox values beat extra Vth values there"
+        )
+    return ExperimentResult(
+        experiment_id="E9",
+        title=f"Figure 2 node sweep - tuple problem ({workload}), 65-8 nm",
+        headers=[
+            "style",
+            "node",
+            "E(1T+2V)",
+            "E(2T+1V)",
+            "E(2T+2V)",
+            "E(2T+3V)",
+            "dual gap",
+            "better knob",
+        ],
+        rows=rows,
+        findings=findings,
+        series=series,
+        x_label="node (nm)",
+        y_label="energy floor (pJ)",
+    )

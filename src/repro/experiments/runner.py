@@ -23,6 +23,7 @@ from repro.experiments.l2_exploration import run_l2_exploration
 from repro.experiments.l1_exploration import run_l1_exploration
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.model_fit import run_model_fit
+from repro.experiments.node_sweep import run_figure1_nodes, run_figure2_nodes
 
 
 def _run_e4() -> ExperimentResult:
@@ -38,6 +39,8 @@ REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {
     "E5": run_l1_exploration,
     "E6": run_figure2,
     "E7": run_model_fit,
+    "E8": run_figure1_nodes,
+    "E9": run_figure2_nodes,
 }
 
 

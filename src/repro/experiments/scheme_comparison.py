@@ -35,7 +35,7 @@ def run_scheme_comparison(
     """Compare the three schemes over a delay-constraint sweep."""
     model = figure1_model(size_kb, technology)
     if space is None:
-        space = default_space()
+        space = default_space(technology=model.technology)
     tables = component_tables(model, space)
 
     rows = []

@@ -16,7 +16,13 @@ import numpy as np
 
 from repro import units
 from repro.errors import FittingError
-from repro.technology.bptm import TOX_MAX_A, TOX_MIN_A, VTH_MAX, VTH_MIN
+from repro.technology.bptm import (
+    TOX_MAX_A,
+    TOX_MIN_A,
+    VTH_MAX,
+    VTH_MIN,
+    Technology,
+)
 from repro.cache.cache_model import CacheModel
 
 #: Default grid density (the paper: "discrete values with small step size").
@@ -27,14 +33,25 @@ DEFAULT_TOX_POINTS = 9
 def default_grid(
     vth_points: int = DEFAULT_VTH_POINTS,
     tox_points: int = DEFAULT_TOX_POINTS,
+    technology: "Technology" = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Return the default (vth_values, tox_values_angstrom) sweep axes."""
+    """Return the default (vth_values, tox_values_angstrom) sweep axes.
+
+    Without a ``technology`` the axes span the paper's 65 nm design box;
+    with one, they span that node's own bounds.
+    """
     if vth_points < 2 or tox_points < 2:
         raise FittingError(
             f"grid needs >= 2 points per axis, got {vth_points}x{tox_points}"
         )
-    vths = np.linspace(VTH_MIN, VTH_MAX, vth_points)
-    toxes = np.linspace(TOX_MIN_A, TOX_MAX_A, tox_points)
+    if technology is None:
+        vth_min, vth_max = VTH_MIN, VTH_MAX
+        tox_min_a, tox_max_a = TOX_MIN_A, TOX_MAX_A
+    else:
+        vth_min, vth_max = technology.vth_min, technology.vth_max
+        tox_min_a, tox_max_a = technology.tox_min_a, technology.tox_max_a
+    vths = np.linspace(vth_min, vth_max, vth_points)
+    toxes = np.linspace(tox_min_a, tox_max_a, tox_points)
     return vths, toxes
 
 
@@ -101,7 +118,8 @@ def characterize_component(
     component:
         Component name, e.g. ``"array"``.
     vths / toxes_angstrom:
-        Sweep axes; default to :func:`default_grid`.
+        Sweep axes; default to :func:`default_grid` over the design box
+        of ``model``'s technology.
     """
     if component not in model.components:
         raise FittingError(
@@ -109,7 +127,9 @@ def characterize_component(
             f"{sorted(model.components)}"
         )
     if vths is None or toxes_angstrom is None:
-        default_vths, default_toxes = default_grid()
+        default_vths, default_toxes = default_grid(
+            technology=model.technology
+        )
         vths = default_vths if vths is None else np.asarray(vths, dtype=float)
         toxes_angstrom = (
             default_toxes

@@ -16,7 +16,6 @@ from typing import List
 from repro import units
 from repro.cache.assignment import Assignment
 from repro.errors import OptimizationError
-from repro.technology.bptm import TOX_MAX_A, TOX_MIN_A, VTH_MAX, VTH_MIN
 
 
 @dataclass(frozen=True)
@@ -51,16 +50,17 @@ def knob_sensitivities(
 ) -> List[KnobSensitivity]:
     """Return per-component sensitivities of raising each knob one step.
 
-    Moves that would leave the paper's design box are skipped (the report
-    covers the feasible moves only).
+    Moves that would leave the design box of ``model``'s technology are
+    skipped (the report covers the feasible moves only).
     """
     if vth_step <= 0 or tox_step_angstrom <= 0:
         raise OptimizationError("sensitivity steps must be positive")
+    technology = model.technology
     results: List[KnobSensitivity] = []
     for name, point in assignment.components():
         component = model.components[name]
         base = component.evaluate(point.vth, point.tox)
-        if point.vth + vth_step <= VTH_MAX + 1e-12:
+        if point.vth + vth_step <= technology.vth_max + 1e-12:
             up = component.evaluate(point.vth + vth_step, point.tox)
             results.append(
                 KnobSensitivity(
@@ -72,7 +72,7 @@ def knob_sensitivities(
                 )
             )
         tox_a = units.to_angstrom(point.tox)
-        if tox_a + tox_step_angstrom <= TOX_MAX_A + 1e-9:
+        if tox_a + tox_step_angstrom <= technology.tox_max_a + 1e-9:
             up = component.evaluate(
                 point.vth, units.angstrom(tox_a + tox_step_angstrom)
             )

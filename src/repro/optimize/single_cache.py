@@ -132,7 +132,7 @@ def component_tables(
     from repro.perf.table_cache import cached_tables
 
     if space is None:
-        space = default_space()
+        space = default_space(technology=model.technology)
     return cached_tables(
         model, space, _compute_component_tables, use_cache=use_cache
     )
@@ -328,7 +328,7 @@ def fixed_knob_sweep(
             "fix exactly one of Vth / Tox for a Figure 1 sweep"
         )
     if space is None:
-        space = default_space()
+        space = default_space(technology=model.technology)
     if fixed_vth is not None:
         points = [
             Knobs(vth=fixed_vth, tox=units.angstrom(tox_a))

@@ -2,20 +2,30 @@
 
 Section 4: "we have chosen Vth and Tox to take on discrete values with
 small step size".  A :class:`DesignSpace` is the cross product of a Vth
-axis and a Tox axis, clamped to the paper's bounds (0.2-0.5 V,
-10-14 Å).
+axis and a Tox axis, clamped to a (Vth, Tox) box.  The box defaults to
+the paper's 65 nm bounds (0.2-0.5 V, 10-14 Å) and, for scaled nodes,
+comes from the :class:`~repro.technology.bptm.Technology` instance
+(:meth:`DesignSpace.for_technology`, or the ``technology=`` argument of
+:func:`default_space` / :func:`coarse_space`) so every node is clamped
+to *its own* design range.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import units
 from repro.errors import OptimizationError
-from repro.technology.bptm import TOX_MAX_A, TOX_MIN_A, VTH_MAX, VTH_MIN
+from repro.technology.bptm import (
+    TOX_MAX_A,
+    TOX_MIN_A,
+    VTH_MAX,
+    VTH_MIN,
+    Technology,
+)
 from repro.cache.assignment import Knobs
 
 
@@ -29,10 +39,18 @@ class DesignSpace:
         Ascending Vth candidates (V).
     tox_values_angstrom:
         Ascending Tox candidates (Å).
+    vth_min / vth_max / tox_min_a / tox_max_a:
+        The clamping box the axes must lie inside; defaults are the
+        paper's 65 nm bounds.  The box does not participate in table
+        caching (tables depend only on the axes and the model).
     """
 
     vth_values: Tuple[float, ...]
     tox_values_angstrom: Tuple[float, ...]
+    vth_min: float = VTH_MIN
+    vth_max: float = VTH_MAX
+    tox_min_a: float = TOX_MIN_A
+    tox_max_a: float = TOX_MAX_A
 
     def __post_init__(self) -> None:
         if not self.vth_values or not self.tox_values_angstrom:
@@ -42,17 +60,34 @@ class DesignSpace:
         if list(self.tox_values_angstrom) != sorted(self.tox_values_angstrom):
             raise OptimizationError("tox_values_angstrom must be ascending")
         for vth in self.vth_values:
-            if not VTH_MIN - 1e-12 <= vth <= VTH_MAX + 1e-12:
+            if not self.vth_min - 1e-12 <= vth <= self.vth_max + 1e-12:
                 raise OptimizationError(
-                    f"Vth={vth} outside the paper's range "
-                    f"[{VTH_MIN}, {VTH_MAX}] V"
+                    f"Vth={vth} outside the design range "
+                    f"[{self.vth_min:g}, {self.vth_max:g}] V"
                 )
         for tox in self.tox_values_angstrom:
-            if not TOX_MIN_A - 1e-9 <= tox <= TOX_MAX_A + 1e-9:
+            if not self.tox_min_a - 1e-9 <= tox <= self.tox_max_a + 1e-9:
                 raise OptimizationError(
-                    f"Tox={tox} outside the paper's range "
-                    f"[{TOX_MIN_A}, {TOX_MAX_A}] Å"
+                    f"Tox={tox} outside the design range "
+                    f"[{self.tox_min_a:g}, {self.tox_max_a:g}] Å"
                 )
+
+    @classmethod
+    def for_technology(
+        cls,
+        technology: Technology,
+        vth_values: Sequence[float],
+        tox_values_angstrom: Sequence[float],
+    ) -> "DesignSpace":
+        """A space over explicit axes, clamped to ``technology``'s box."""
+        return cls(
+            vth_values=tuple(vth_values),
+            tox_values_angstrom=tuple(tox_values_angstrom),
+            vth_min=technology.vth_min,
+            vth_max=technology.vth_max,
+            tox_min_a=technology.tox_min_a,
+            tox_max_a=technology.tox_max_a,
+        )
 
     @property
     def n_points(self) -> int:
@@ -76,19 +111,50 @@ class DesignSpace:
         )
 
 
-def default_space(vth_step: float = 0.025, tox_step: float = 0.5) -> DesignSpace:
-    """The paper's fine grid: 25 mV Vth steps, 0.5 Å Tox steps."""
-    n_vth = int(round((VTH_MAX - VTH_MIN) / vth_step)) + 1
-    n_tox = int(round((TOX_MAX_A - TOX_MIN_A) / tox_step)) + 1
-    return DesignSpace(
-        vth_values=tuple(np.linspace(VTH_MIN, VTH_MAX, n_vth)),
-        tox_values_angstrom=tuple(np.linspace(TOX_MIN_A, TOX_MAX_A, n_tox)),
+def _box(technology: Optional[Technology]) -> Tuple[float, float, float, float]:
+    if technology is None:
+        return VTH_MIN, VTH_MAX, TOX_MIN_A, TOX_MAX_A
+    return (
+        technology.vth_min,
+        technology.vth_max,
+        technology.tox_min_a,
+        technology.tox_max_a,
     )
 
 
-def coarse_space() -> DesignSpace:
-    """A coarse grid (50 mV / 1 Å) for the combinatorial tuple problem."""
+def default_space(
+    vth_step: float = 0.025,
+    tox_step: float = 0.5,
+    technology: Optional[Technology] = None,
+) -> DesignSpace:
+    """The paper's fine grid: 25 mV Vth steps, 0.5 Å Tox steps at 65 nm.
+
+    The steps set the *point counts* against the 65 nm box (13 x 9 at
+    the defaults); with a ``technology``, the same counts span that
+    node's own (smaller) box, so grids stay shape-compatible across
+    nodes while the step sizes scale with the node's design range.
+    """
+    vth_min, vth_max, tox_min_a, tox_max_a = _box(technology)
+    n_vth = int(round((VTH_MAX - VTH_MIN) / vth_step)) + 1
+    n_tox = int(round((TOX_MAX_A - TOX_MIN_A) / tox_step)) + 1
     return DesignSpace(
-        vth_values=tuple(np.linspace(VTH_MIN, VTH_MAX, 7)),
-        tox_values_angstrom=tuple(np.linspace(TOX_MIN_A, TOX_MAX_A, 5)),
+        vth_values=tuple(np.linspace(vth_min, vth_max, n_vth)),
+        tox_values_angstrom=tuple(np.linspace(tox_min_a, tox_max_a, n_tox)),
+        vth_min=vth_min,
+        vth_max=vth_max,
+        tox_min_a=tox_min_a,
+        tox_max_a=tox_max_a,
+    )
+
+
+def coarse_space(technology: Optional[Technology] = None) -> DesignSpace:
+    """A coarse grid (50 mV / 1 Å at 65 nm) for the tuple problem."""
+    vth_min, vth_max, tox_min_a, tox_max_a = _box(technology)
+    return DesignSpace(
+        vth_values=tuple(np.linspace(vth_min, vth_max, 7)),
+        tox_values_angstrom=tuple(np.linspace(tox_min_a, tox_max_a, 5)),
+        vth_min=vth_min,
+        vth_max=vth_max,
+        tox_min_a=tox_min_a,
+        tox_max_a=tox_max_a,
     )

@@ -204,7 +204,7 @@ def solve_tuple_problem(
     combinatorial in the axis lengths.
     """
     if space is None:
-        space = coarse_space()
+        space = coarse_space(technology=l1_model.technology)
     n_vth = len(space.vth_values)
     n_tox = len(space.tox_values_angstrom)
     m1 = miss_model.l1_miss_rate(l1_model.config.size_bytes)

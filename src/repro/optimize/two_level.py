@@ -40,15 +40,71 @@ from repro.energy.dynamic import MainMemoryModel
 from repro.optimize.schemes import Scheme
 from repro.optimize.single_cache import enumerate_candidates
 from repro.optimize.space import DesignSpace, default_space
-from repro.technology.bptm import Technology, bptm65
+from repro.technology.bptm import (
+    TOX_MAX_A,
+    TOX_MIN_A,
+    VTH_MAX,
+    VTH_MIN,
+    Technology,
+    bptm65,
+)
 
 #: The "default Vth and Tox" the paper assigns to the fixed L1 in the L2
-#: exploration: mid-grid, mildly conservative.
+#: exploration: mid-grid, mildly conservative (the 65 nm values; see
+#: :func:`default_l1_knobs` for scaled nodes).
 DEFAULT_L1_KNOBS = knobs(0.30, 12.0)
 
 #: Default knob pair for a fixed L2 in the L1 exploration: conservative
-#: (an L2 is latency-tolerant and leakage-dominated).
+#: (an L2 is latency-tolerant and leakage-dominated); 65 nm values, see
+#: :func:`default_l2_knobs`.
 DEFAULT_L2_KNOBS = knobs(0.40, 13.0)
+
+#: The 65 nm design box the constants above sit in (for detecting it).
+_ANCHOR_BOX = (VTH_MIN, VTH_MAX, TOX_MIN_A, TOX_MAX_A)
+
+
+def _tech_box(technology: Optional[Technology]):
+    if technology is None:
+        return _ANCHOR_BOX
+    return (
+        technology.vth_min,
+        technology.vth_max,
+        technology.tox_min_a,
+        technology.tox_max_a,
+    )
+
+
+def default_l1_knobs(technology: Optional[Technology] = None) -> Knobs:
+    """Node-correct default L1 knobs: 1/3 up the Vth range, mid Tox.
+
+    Exactly ``DEFAULT_L1_KNOBS`` (0.30 V, 12 Å) inside the 65 nm box;
+    for a scaled node the same *relative* position inside that node's
+    own design box.
+    """
+    box = _tech_box(technology)
+    if box == _ANCHOR_BOX:
+        return DEFAULT_L1_KNOBS
+    vth_min, vth_max, tox_min_a, tox_max_a = box
+    return knobs(
+        vth_min + (vth_max - vth_min) / 3.0,
+        tox_min_a + (tox_max_a - tox_min_a) * 0.5,
+    )
+
+
+def default_l2_knobs(technology: Optional[Technology] = None) -> Knobs:
+    """Node-correct default L2 knobs: 2/3 up the Vth range, 3/4 Tox.
+
+    Exactly ``DEFAULT_L2_KNOBS`` (0.40 V, 13 Å) inside the 65 nm box;
+    conservative in every node's own design box.
+    """
+    box = _tech_box(technology)
+    if box == _ANCHOR_BOX:
+        return DEFAULT_L2_KNOBS
+    vth_min, vth_max, tox_min_a, tox_max_a = box
+    return knobs(
+        vth_min + (vth_max - vth_min) * 2.0 / 3.0,
+        tox_min_a + (tox_max_a - tox_min_a) * 0.75,
+    )
 
 
 @dataclass(frozen=True)
@@ -86,7 +142,7 @@ def explore_l2_sizes(
     amat_budget: float,
     l2_sizes_kb: Sequence[int] = (128, 256, 512, 1024, 2048, 4096),
     l1_size_kb: int = 16,
-    l1_knobs: Knobs = DEFAULT_L1_KNOBS,
+    l1_knobs: Optional[Knobs] = None,
     split: bool = False,
     technology: Optional[Technology] = None,
     space: Optional[DesignSpace] = None,
@@ -112,7 +168,9 @@ def explore_l2_sizes(
     """
     technology = technology if technology is not None else bptm65()
     if space is None:
-        space = default_space()
+        space = default_space(technology=technology)
+    if l1_knobs is None:
+        l1_knobs = default_l1_knobs(technology)
     l1_model = CacheModel(l1_config(l1_size_kb), technology=technology)
     l1_eval = l1_model.uniform(l1_knobs)
     l1_time = l1_eval.access_time
@@ -172,7 +230,7 @@ def explore_l1_sizes(
     amat_budget: float,
     l1_sizes_kb: Sequence[int] = (4, 8, 16, 32, 64),
     l2_size_kb: int = 1024,
-    l2_knobs: Knobs = DEFAULT_L2_KNOBS,
+    l2_knobs: Optional[Knobs] = None,
     split: bool = True,
     technology: Optional[Technology] = None,
     space: Optional[DesignSpace] = None,
@@ -188,10 +246,12 @@ def explore_l1_sizes(
     """
     technology = technology if technology is not None else bptm65()
     if space is None:
-        space = default_space()
+        space = default_space(technology=technology)
+    if l2_knobs is None:
+        l2_knobs = default_l2_knobs(technology)
     l2_model = CacheModel(l2_config(l2_size_kb), technology=technology)
     l2_eval = l2_model.evaluate(
-        Assignment.split(cell=l2_knobs, periphery=DEFAULT_L1_KNOBS)
+        Assignment.split(cell=l2_knobs, periphery=default_l1_knobs(technology))
     )
     l2_time = l2_eval.access_time
     l2_leak = l2_eval.leakage_power

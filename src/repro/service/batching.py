@@ -136,13 +136,18 @@ class SweepBatcher:
                 # rather than building a gigantic union grid.
                 self._metrics.increment("sweep.union_overflows")
                 for member in batch:
-                    member.space = DesignSpace(
+                    member.space = DesignSpace.for_technology(
+                        model.technology,
                         vth_values=member.vths,
                         tox_values_angstrom=member.toxes,
                     )
                     member.tables = self._evaluate(model, member.space)
             else:
-                space = DesignSpace(
+                # The space's bounds come from the model's own node: a
+                # non-65 nm request's axes live in that node's box and
+                # would fail the 65 nm-default validation.
+                space = DesignSpace.for_technology(
+                    model.technology,
                     vth_values=union_vths,
                     tox_values_angstrom=union_toxes,
                 )

@@ -26,7 +26,8 @@ from repro.cache.assignment import COMPONENT_NAMES, Knobs, knobs
 from repro.cache.config import CacheConfig
 from repro.optimize.schemes import Scheme
 from repro.perf.profile_store import SURFACE_ASSOCS
-from repro.technology.bptm import TOX_MAX_A, TOX_MIN_A, VTH_MAX, VTH_MIN
+from repro.technology.bptm import Technology
+from repro.technology.nodes import NODES, SCALING_STYLES, node_technology
 
 #: Hard ceiling on (n_vth x n_tox) points in one sweep/optimize request.
 MAX_GRID_POINTS = 4096
@@ -119,6 +120,34 @@ def _integer(body: dict, key: str, what: str, default=None, minimum=None,
     return int(value)
 
 
+def _technology(body: dict, what: str) -> Tuple[int, str, Technology]:
+    """Decode the optional ``node``/``scaling_style`` fields.
+
+    Returns ``(node, scaling_style, Technology)``; the default is the
+    paper's 65 nm anchor under the "itrs" style (at 65 nm both styles
+    are the identical anchor).  Unknown nodes and styles are structured
+    400s naming the supported values.
+    """
+    raw_node = body.get("node", 65)
+    if isinstance(raw_node, bool) or not isinstance(raw_node, int):
+        raise ValidationError(
+            f"{what}.node must be an integer nanometre node, got "
+            f"{type(raw_node).__name__}"
+        )
+    if raw_node not in NODES:
+        raise ValidationError(
+            f"{what}.node = {raw_node} nm is not a supported technology "
+            f"node; expected one of {list(NODES)}"
+        )
+    style = body.get("scaling_style", "itrs")
+    if not isinstance(style, str) or style not in SCALING_STYLES:
+        raise ValidationError(
+            f"{what}.scaling_style must be one of {list(SCALING_STYLES)}, "
+            f"got {style!r}"
+        )
+    return raw_node, style, node_technology(raw_node, style)
+
+
 def _axis(body: dict, key: str, what: str, low: float, high: float,
           unit: str) -> Optional[Tuple[float, ...]]:
     """Decode one sweep axis: a list of values or {min, max, points}.
@@ -163,7 +192,7 @@ def _axis(body: dict, key: str, what: str, low: float, high: float,
             if not low <= value <= high:
                 raise ValidationError(
                     f"{what}.{key} value {value} {unit} is outside the "
-                    f"paper's range [{low}, {high}] {unit}"
+                    f"node's design box [{low:g}, {high:g}] {unit}"
                 )
             values.append(value)
     else:
@@ -203,15 +232,17 @@ def _cache_config(body: dict, what: str) -> CacheConfig:
     )
 
 
-def _knobs(body: dict, key: str, what: str, default: Knobs) -> Knobs:
+def _knobs(body: dict, key: str, what: str, default: Optional[Knobs],
+           technology: Optional[Technology] = None) -> Optional[Knobs]:
     if key not in body:
         return default
+    box = technology if technology is not None else node_technology(65)
     raw = _require_object(body[key], f"{what}.{key}")
     _reject_unknown_keys(raw, ("vth", "tox"), f"{what}.{key}")
-    vth = _number(raw, "vth", f"{what}.{key}", minimum=VTH_MIN,
-                  maximum=VTH_MAX)
-    tox = _number(raw, "tox", f"{what}.{key}", minimum=TOX_MIN_A,
-                  maximum=TOX_MAX_A)
+    vth = _number(raw, "vth", f"{what}.{key}", minimum=box.vth_min,
+                  maximum=box.vth_max)
+    tox = _number(raw, "tox", f"{what}.{key}", minimum=box.tox_min_a,
+                  maximum=box.tox_max_a)
     return knobs(vth, tox)
 
 
@@ -305,15 +336,18 @@ class SweepRequest:
     vths: Tuple[float, ...]
     toxes_angstrom: Tuple[float, ...]
     components: Tuple[str, ...]
+    node: int = 65
+    scaling_style: str = "itrs"
 
 
 def parse_sweep(body) -> SweepRequest:
     body = _require_object(body, "sweep request")
-    _reject_unknown_keys(body, ("cache", "vth", "tox", "components"),
-                         "sweep request")
+    _reject_unknown_keys(body, ("cache", "vth", "tox", "components", "node",
+                                "scaling_style"), "sweep request")
     config = _cache_config(body, "sweep")
-    vths = _axis(body, "vth", "sweep", VTH_MIN, VTH_MAX, "V")
-    toxes = _axis(body, "tox", "sweep", TOX_MIN_A, TOX_MAX_A, "A")
+    node, style, tech = _technology(body, "sweep")
+    vths = _axis(body, "vth", "sweep", tech.vth_min, tech.vth_max, "V")
+    toxes = _axis(body, "tox", "sweep", tech.tox_min_a, tech.tox_max_a, "A")
     if vths is None or toxes is None:
         raise ValidationError(
             "sweep requires both 'vth' and 'tox' axes (a list of values "
@@ -338,7 +372,8 @@ def parse_sweep(body) -> SweepRequest:
             name for name in COMPONENT_NAMES if name in raw_components
         )
     return SweepRequest(
-        config=config, vths=vths, toxes_angstrom=toxes, components=components
+        config=config, vths=vths, toxes_angstrom=toxes,
+        components=components, node=node, scaling_style=style,
     )
 
 
@@ -351,13 +386,16 @@ class OptimizeRequest:
     max_access_time: float
     vths: Optional[Tuple[float, ...]]
     toxes_angstrom: Optional[Tuple[float, ...]]
+    node: int = 65
+    scaling_style: str = "itrs"
 
 
 def parse_optimize(body) -> OptimizeRequest:
     body = _require_object(body, "optimize request")
-    _reject_unknown_keys(body, ("cache", "scheme", "target_ps", "vth", "tox"),
-                         "optimize request")
+    _reject_unknown_keys(body, ("cache", "scheme", "target_ps", "vth", "tox",
+                                "node", "scaling_style"), "optimize request")
     config = _cache_config(body, "optimize")
+    node, style, tech = _technology(body, "optimize")
     raw_scheme = body.get("scheme", "2")
     scheme = SCHEMES.get(str(raw_scheme))
     if scheme is None:
@@ -367,8 +405,9 @@ def parse_optimize(body) -> OptimizeRequest:
         )
     target_ps = _number(body, "target_ps", "optimize", minimum=1.0,
                         maximum=1e6)
-    vths = _axis(body, "vth", "optimize", VTH_MIN, VTH_MAX, "V")
-    toxes = _axis(body, "tox", "optimize", TOX_MIN_A, TOX_MAX_A, "A")
+    vths = _axis(body, "vth", "optimize", tech.vth_min, tech.vth_max, "V")
+    toxes = _axis(body, "tox", "optimize", tech.tox_min_a, tech.tox_max_a,
+                  "A")
     if (vths is None) != (toxes is None):
         raise ValidationError(
             "optimize needs either both 'vth' and 'tox' axes or neither "
@@ -382,6 +421,8 @@ def parse_optimize(body) -> OptimizeRequest:
         max_access_time=target_ps * 1e-12,
         vths=vths,
         toxes_angstrom=toxes,
+        node=node,
+        scaling_style=style,
     )
 
 
@@ -399,17 +440,21 @@ class AmatRequest:
     policy: str
     l1_assoc: Optional[int] = None
     l2_assoc: Optional[int] = None
+    node: int = 65
+    scaling_style: str = "itrs"
 
 
 def parse_amat(body) -> AmatRequest:
-    from repro.optimize.two_level import DEFAULT_L1_KNOBS, DEFAULT_L2_KNOBS
+    from repro.optimize.two_level import default_l1_knobs, default_l2_knobs
 
     body = _require_object(body, "amat request")
     _reject_unknown_keys(
         body, ("workload", "l1_size_kb", "l2_size_kb", "l1_knobs", "l2_knobs",
-               "memory_latency_ps", "policy", "l1_assoc", "l2_assoc"),
+               "memory_latency_ps", "policy", "l1_assoc", "l2_assoc", "node",
+               "scaling_style"),
         "amat request"
     )
+    node, style, tech = _technology(body, "amat")
     raw_workload = body.get("workload", "spec2000")
     workload: Optional[str] = None
     blend: Optional[Tuple[Tuple[str, float], ...]] = None
@@ -455,8 +500,10 @@ def parse_amat(body) -> AmatRequest:
         blend_weights=blend,
         l1_size_kb=l1_size_kb,
         l2_size_kb=l2_size_kb,
-        l1_knobs=_knobs(body, "l1_knobs", "amat", DEFAULT_L1_KNOBS),
-        l2_knobs=_knobs(body, "l2_knobs", "amat", DEFAULT_L2_KNOBS),
+        l1_knobs=_knobs(body, "l1_knobs", "amat", default_l1_knobs(tech),
+                        technology=tech),
+        l2_knobs=_knobs(body, "l2_knobs", "amat", default_l2_knobs(tech),
+                        technology=tech),
         memory_latency=(
             _number(body, "memory_latency_ps", "amat", minimum=1.0,
                     maximum=1e7) * 1e-12
@@ -466,6 +513,8 @@ def parse_amat(body) -> AmatRequest:
         policy=_policy(body, "amat"),
         l1_assoc=_assoc(body, "l1_assoc", "amat"),
         l2_assoc=_assoc(body, "l2_assoc", "amat"),
+        node=node,
+        scaling_style=style,
     )
 
 
@@ -720,12 +769,12 @@ def parse_campaign(body, max_units: int = MAX_CAMPAIGN_UNITS):
         OptimizeBlock,
         SweepBlock,
     )
-    from repro.optimize.two_level import DEFAULT_L1_KNOBS, DEFAULT_L2_KNOBS
 
     body = _require_object(body, "campaign request")
     _reject_unknown_keys(
         body, ("name", "workloads", "policies", "calibration", "matrix",
-               "amat", "sweeps", "optimize", "constraints", "max_units"),
+               "amat", "sweeps", "optimize", "constraints", "max_units",
+               "nodes", "scaling_style"),
         "campaign request"
     )
     name = body.get("name", "campaign")
@@ -778,6 +827,56 @@ def parse_campaign(body, max_units: int = MAX_CAMPAIGN_UNITS):
             )
         policies.append(policy)
 
+    # The technology axis: one scaling style, 1..N nodes.  Circuit-level
+    # blocks (amat, sweeps, optimize) expand once per node; shared axes
+    # and knobs must sit inside *every* listed node's design box.
+    raw_nodes = body.get("nodes", [65])
+    if not isinstance(raw_nodes, list) or not raw_nodes \
+            or len(raw_nodes) > len(NODES):
+        raise ValidationError(
+            f"campaign.nodes must be a list of 1..{len(NODES)} technology "
+            f"nodes (a subset of {list(NODES)})"
+        )
+    nodes: list = []
+    for value in raw_nodes:
+        if isinstance(value, bool) or not isinstance(value, int) \
+                or value not in NODES:
+            raise ValidationError(
+                f"campaign.nodes value {value!r} is not a supported "
+                f"technology node; expected a subset of {list(NODES)}"
+            )
+        if value in nodes:
+            raise ValidationError(
+                f"campaign.nodes has duplicate node {value}"
+            )
+        nodes.append(value)
+    style = body.get("scaling_style", "itrs")
+    if not isinstance(style, str) or style not in SCALING_STYLES:
+        raise ValidationError(
+            f"campaign.scaling_style must be one of "
+            f"{list(SCALING_STYLES)}, got {style!r}"
+        )
+    lead_tech = node_technology(nodes[0], style)
+
+    def _check_node_boxes(vths, toxes_a, what: str) -> None:
+        """Axes shared across the node axis must fit every node's box."""
+        for node in nodes[1:]:
+            tech = node_technology(node, style)
+            for value in vths:
+                if not tech.vth_min <= value <= tech.vth_max:
+                    raise ValidationError(
+                        f"{what}: Vth {value:g} V is outside the {node} nm "
+                        f"design box [{tech.vth_min:g}, {tech.vth_max:g}] V"
+                    )
+            for value in toxes_a:
+                if not (tech.tox_min_a - 1e-9 <= value
+                        <= tech.tox_max_a + 1e-9):
+                    raise ValidationError(
+                        f"{what}: Tox {value:g} A is outside the {node} nm "
+                        f"design box [{tech.tox_min_a:g}, "
+                        f"{tech.tox_max_a:g}] A"
+                    )
+
     raw_calibration = _require_object(
         body.get("calibration", {}), "campaign.calibration"
     )
@@ -827,10 +926,13 @@ def parse_campaign(body, max_units: int = MAX_CAMPAIGN_UNITS):
         amat = AmatBlock(
             l1_sizes_kb=l1_sizes, l1_assocs=l1_assocs,
             l2_sizes_kb=l2_sizes, l2_assocs=l2_assocs,
-            l1_knobs=_knobs(raw, "l1_knobs", "campaign.amat",
-                            DEFAULT_L1_KNOBS),
-            l2_knobs=_knobs(raw, "l2_knobs", "campaign.amat",
-                            DEFAULT_L2_KNOBS),
+            # None = "each node's own default knobs" (resolved per node
+            # by the planner); explicit knobs are shared by every node
+            # and must therefore fit every node's box.
+            l1_knobs=_knobs(raw, "l1_knobs", "campaign.amat", None,
+                            technology=lead_tech),
+            l2_knobs=_knobs(raw, "l2_knobs", "campaign.amat", None,
+                            technology=lead_tech),
             memory_latency_ps=(
                 _number(raw, "memory_latency_ps", "campaign.amat",
                         minimum=1.0, maximum=1e7)
@@ -838,6 +940,11 @@ def parse_campaign(body, max_units: int = MAX_CAMPAIGN_UNITS):
                 else None
             ),
         )
+        for label, point in (("l1_knobs", amat.l1_knobs),
+                             ("l2_knobs", amat.l2_knobs)):
+            if point is not None:
+                _check_node_boxes((point.vth,), (point.tox_angstrom,),
+                                  f"campaign.amat.{label}")
 
     raw_sweeps = body.get("sweeps", [])
     if not isinstance(raw_sweeps, list) or len(raw_sweeps) > 64:
@@ -846,12 +953,28 @@ def parse_campaign(body, max_units: int = MAX_CAMPAIGN_UNITS):
         )
     sweeps = []
     for index, raw in enumerate(raw_sweeps):
+        if isinstance(raw, dict) and (
+            "node" in raw or "scaling_style" in raw
+        ):
+            raise ValidationError(
+                f"campaign.sweeps[{index}]: the technology axis is set at "
+                f"the campaign level ('nodes'/'scaling_style'), not per "
+                f"sweep block"
+            )
+        if isinstance(raw, dict):
+            # Parse against the lead node's box; the remaining nodes are
+            # checked below so every listed node can run the same axes.
+            raw = dict(raw)
+            raw["node"] = nodes[0]
+            raw["scaling_style"] = style
         try:
             request = parse_sweep(raw)
         except ValidationError as error:
             raise ValidationError(
                 f"campaign.sweeps[{index}]: {error}", status=error.status
             )
+        _check_node_boxes(request.vths, request.toxes_angstrom,
+                          f"campaign.sweeps[{index}]")
         sweeps.append(SweepBlock(
             config=request.config,
             vths=request.vths,
@@ -917,9 +1040,10 @@ def parse_campaign(body, max_units: int = MAX_CAMPAIGN_UNITS):
                     minimum=1.0, maximum=1e6)
             for index, value in enumerate(raw_targets)
         )
-        vths = _axis(raw, "vth", "campaign.optimize", VTH_MIN, VTH_MAX, "V")
-        toxes = _axis(raw, "tox", "campaign.optimize", TOX_MIN_A, TOX_MAX_A,
-                      "A")
+        vths = _axis(raw, "vth", "campaign.optimize", lead_tech.vth_min,
+                     lead_tech.vth_max, "V")
+        toxes = _axis(raw, "tox", "campaign.optimize", lead_tech.tox_min_a,
+                      lead_tech.tox_max_a, "A")
         if (vths is None) != (toxes is None):
             raise ValidationError(
                 "campaign.optimize needs either both 'vth' and 'tox' axes "
@@ -927,6 +1051,7 @@ def parse_campaign(body, max_units: int = MAX_CAMPAIGN_UNITS):
             )
         if vths is not None:
             _check_grid_budget(vths, toxes, "campaign.optimize")
+            _check_node_boxes(vths, toxes, "campaign.optimize")
         optimize = OptimizeBlock(
             configs=configs, schemes=tuple(schemes), targets_ps=targets,
             vths=vths, toxes_angstrom=toxes,
@@ -979,9 +1104,11 @@ def parse_campaign(body, max_units: int = MAX_CAMPAIGN_UNITS):
             unit_label="units", status=400,
         )
         block_counts.append(("matrix", count))
+    n_nodes = len(nodes)
     if amat is not None:
         count = _check_expansion_budget(
             ((n_workloads, "workloads"), (n_policies, "policies"),
+             (n_nodes, "nodes"),
              (len(amat.l1_sizes_kb), "l1_sizes_kb"),
              (len(amat.l1_assocs), "l1_assocs"),
              (len(amat.l2_sizes_kb), "l2_sizes_kb"),
@@ -991,12 +1118,18 @@ def parse_campaign(body, max_units: int = MAX_CAMPAIGN_UNITS):
         )
         block_counts.append(("amat", count))
     if sweeps:
-        block_counts.append(("sweeps", len(sweeps)))
+        count = _check_expansion_budget(
+            ((len(sweeps), "sweep blocks"), (n_nodes, "nodes")),
+            limit, "campaign.sweeps", verb="expands to",
+            unit_label="units", status=400,
+        )
+        block_counts.append(("sweeps", count))
     if optimize is not None:
         count = _check_expansion_budget(
             ((len(optimize.configs), "caches"),
              (len(optimize.schemes), "schemes"),
-             (len(optimize.targets_ps), "delay targets")),
+             (len(optimize.targets_ps), "delay targets"),
+             (n_nodes, "nodes")),
             limit, "campaign.optimize", verb="expands to",
             unit_label="units", status=400,
         )
@@ -1022,4 +1155,6 @@ def parse_campaign(body, max_units: int = MAX_CAMPAIGN_UNITS):
         sweeps=tuple(sweeps),
         optimize=optimize,
         constraints=constraints,
+        nodes=tuple(nodes),
+        scaling_style=style,
     )

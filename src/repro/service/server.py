@@ -72,6 +72,7 @@ from repro.optimize.single_cache import minimize_leakage
 from repro.optimize.space import DesignSpace
 from repro.perf import cache_info, disk_cache_info, profile_store_info
 from repro.perf.profile_store import get_store
+from repro.technology.nodes import node_technology
 
 from repro.service import schemas
 from repro.service.batching import SweepBatcher, slice_grid
@@ -256,7 +257,8 @@ class ReproService:
             jobs=self.jobs,
             metrics=self.metrics,
             cache_dir=config.cache_dir,
-            model_for=lambda cache_config: self._model_for(cache_config)[1],
+            model_for=lambda cache_config, node=65, scaling_style="itrs":
+                self._model_for(cache_config, node, scaling_style)[1],
             max_inflight=config.campaign_fanout,
             unit_retries=config.campaign_unit_retries,
             # The recovery hook: lets any worker re-parse a persisted
@@ -335,11 +337,20 @@ class ReproService:
 
     # -- shared model state ------------------------------------------------
 
-    def _model_for(self, config: CacheConfig) -> Tuple[str, CacheModel]:
+    def _model_for(
+        self,
+        config: CacheConfig,
+        node: int = 65,
+        scaling_style: str = "itrs",
+    ) -> Tuple[str, CacheModel]:
         """Return (structure key, shared CacheModel) for a validated config.
 
         The key deliberately excludes ``name`` so differently-labelled
-        requests for the same structure share one model *and* one batch.
+        requests for the same structure share one model *and* one batch —
+        but it *must* include the technology identity: the same geometry
+        at two nodes is two different circuits, and sharing a model (or
+        a batch) across nodes would serve one node's numbers for the
+        other.
         """
         key = repr(
             (
@@ -347,6 +358,8 @@ class ReproService:
                 config.block_bytes,
                 config.associativity,
                 config.output_bits,
+                node,
+                scaling_style,
             )
         )
         with self._models_lock:
@@ -356,7 +369,9 @@ class ReproService:
                 return key, model
         # Build outside the lock (construction sizes the whole circuit
         # substrate); worst case two threads build and one wins.
-        model = CacheModel(config)
+        model = CacheModel(
+            config, technology=node_technology(node, scaling_style)
+        )
         with self._models_lock:
             incumbent = self._models.get(key)
             if incumbent is not None:
@@ -370,7 +385,9 @@ class ReproService:
 
     def handle_sweep(self, body) -> Tuple[int, dict]:
         request = schemas.parse_sweep(body)
-        key, model = self._model_for(request.config)
+        key, model = self._model_for(
+            request.config, request.node, request.scaling_style
+        )
         tables, space = self.batcher.tables_for(
             key, model, request.vths, request.toxes_angstrom
         )
@@ -388,6 +405,8 @@ class ReproService:
             }
         return 200, {
             "cache": request.config.name,
+            "node": request.node,
+            "scaling_style": request.scaling_style,
             "vth": list(request.vths),
             "tox_angstrom": list(request.toxes_angstrom),
             "components": components,
@@ -395,10 +414,13 @@ class ReproService:
 
     def handle_optimize(self, body) -> Tuple[int, dict]:
         request = schemas.parse_optimize(body)
-        _, model = self._model_for(request.config)
+        _, model = self._model_for(
+            request.config, request.node, request.scaling_style
+        )
         space = None
         if request.vths is not None:
-            space = DesignSpace(
+            space = DesignSpace.for_technology(
+                model.technology,
                 vth_values=request.vths,
                 tox_values_angstrom=request.toxes_angstrom,
             )
@@ -407,6 +429,8 @@ class ReproService:
         )
         return 200, {
             "cache": request.config.name,
+            "node": request.node,
+            "scaling_style": request.scaling_style,
             "scheme": result.scheme.paper_name,
             "target_ps": units.to_ps(request.max_access_time),
             "access_ps": units.to_ps(result.access_time),
@@ -453,11 +477,14 @@ class ReproService:
                 surface=need_surface,
                 cache_dir=self.config.cache_dir,
             )
+        technology = node_technology(request.node, request.scaling_style)
         l1_model = CacheModel(
-            l1_config(request.l1_size_kb, associativity=l1_assoc)
+            l1_config(request.l1_size_kb, associativity=l1_assoc),
+            technology=technology,
         )
         l2_model = CacheModel(
-            l2_config(request.l2_size_kb, associativity=l2_assoc)
+            l2_config(request.l2_size_kb, associativity=l2_assoc),
+            technology=technology,
         )
         l1_eval = l1_model.uniform(request.l1_knobs)
         l2_eval = l2_model.uniform(request.l2_knobs)
@@ -481,6 +508,8 @@ class ReproService:
         return 200, {
             "workload": miss_model.workload,
             "policy": request.policy,
+            "node": request.node,
+            "scaling_style": request.scaling_style,
             "amat_ps": units.to_ps(amat),
             "energy_per_access_pj": units.to_pj(energy),
             "total_leakage_mw": units.to_mw(

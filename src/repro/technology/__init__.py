@@ -12,7 +12,11 @@ from 10 Å to 14 Å.  This package provides:
   thicker oxide forces a longer drawn channel (to keep the gate in control
   against DIBL) and proportionally wider cell transistors (to keep the
   memory cell stable), which grows the cell in both dimensions;
-* :mod:`~repro.technology.corners` — process/temperature corner handling.
+* :mod:`~repro.technology.corners` — process/temperature corner handling;
+* :mod:`~repro.technology.nodes` — the node-parameterised family
+  (65/45/32/22/16/11/8 nm, ITRS vs conservative scaling styles), each
+  node a drop-in :class:`~repro.technology.bptm.Technology` carrying its
+  own node-correct (Vth, Tox) design-space bounds.
 """
 
 from repro.technology.bptm import (
@@ -22,6 +26,13 @@ from repro.technology.bptm import (
     VTH_MAX,
     TOX_MIN_A,
     TOX_MAX_A,
+)
+from repro.technology.nodes import (
+    NODES,
+    SCALING_STYLES,
+    NodeSpec,
+    node_spec,
+    node_technology,
 )
 from repro.technology.scaling import ToxScalingRule, ScaledGeometry
 from repro.technology.corners import Corner, CornerName, apply_corner
@@ -33,6 +44,11 @@ __all__ = [
     "VTH_MAX",
     "TOX_MIN_A",
     "TOX_MAX_A",
+    "NODES",
+    "SCALING_STYLES",
+    "NodeSpec",
+    "node_spec",
+    "node_technology",
     "ToxScalingRule",
     "ScaledGeometry",
     "Corner",

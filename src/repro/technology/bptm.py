@@ -10,8 +10,13 @@ test (or a corner, see :mod:`repro.technology.corners`) can derive a
 perturbed copy with :func:`dataclasses.replace`.
 
 The paper's design space is the grid ``Vth in [0.2 V, 0.5 V]`` x ``Tox in
-[10 Å, 14 Å]``; the bounds are exported here as module constants because
-the optimisers in :mod:`repro.optimize` clamp their search grids to them.
+[10 Å, 14 Å]`` — at 65 nm.  The bounds live on the :class:`Technology`
+instance (``vth_min``/``vth_max``/``tox_min_a``/``tox_max_a``) so scaled
+nodes (:mod:`repro.technology.nodes`) carry their own, node-correct
+design ranges; the optimisers in :mod:`repro.optimize` clamp their
+search grids to the bounds of the technology they were handed.  The
+module constants below remain as the 65 nm values for backward
+compatibility (they are the dataclass defaults).
 """
 
 from __future__ import annotations
@@ -92,6 +97,10 @@ class Technology:
         6T SRAM cell footprint (m) at the reference oxide thickness.
     junction_cap_per_width:
         Source/drain junction capacitance per unit transistor width (F/m).
+    vth_min / vth_max:
+        This node's (Vth) design-space bounds (V).
+    tox_min_a / tox_max_a:
+        This node's (Tox) design-space bounds (Å).
     """
 
     name: str = "bptm-65nm"
@@ -115,10 +124,24 @@ class Technology:
     cell_height_ref: float = 0.88e-6
     cell_width_ref: float = 1.46e-6
     junction_cap_per_width: float = 8.0e-10
+    vth_min: float = VTH_MIN
+    vth_max: float = VTH_MAX
+    tox_min_a: float = TOX_MIN_A
+    tox_max_a: float = TOX_MAX_A
 
     def __post_init__(self) -> None:
         if self.vdd <= 0:
             raise TechnologyError(f"vdd must be positive, got {self.vdd}")
+        if not 0.0 < self.vth_min < self.vth_max:
+            raise TechnologyError(
+                f"need 0 < vth_min < vth_max, got "
+                f"[{self.vth_min}, {self.vth_max}]"
+            )
+        if not 0.0 < self.tox_min_a < self.tox_max_a:
+            raise TechnologyError(
+                f"need 0 < tox_min_a < tox_max_a, got "
+                f"[{self.tox_min_a}, {self.tox_max_a}]"
+            )
         if self.tox_ref <= 0:
             raise TechnologyError(f"tox_ref must be positive, got {self.tox_ref}")
         if not 0.0 < self.leff_ratio <= 1.0:
@@ -164,21 +187,21 @@ class Technology:
         return units.oxide_capacitance_per_area(tox)
 
     def validate_vth(self, vth: float) -> float:
-        """Return ``vth`` if it lies in the paper's design range, else raise."""
-        if not VTH_MIN <= vth <= VTH_MAX:
+        """Return ``vth`` if it lies in this node's design range, else raise."""
+        if not self.vth_min <= vth <= self.vth_max:
             raise TechnologyError(
-                f"Vth={vth:.3f} V outside the paper's design range "
-                f"[{VTH_MIN}, {VTH_MAX}] V"
+                f"Vth={vth:.3f} V outside {self.name}'s design range "
+                f"[{self.vth_min:g}, {self.vth_max:g}] V"
             )
         return vth
 
     def validate_tox(self, tox: float) -> float:
-        """Return ``tox`` (m) if it lies in the paper's design range, else raise."""
+        """Return ``tox`` (m) if it lies in this node's design range, else raise."""
         tox_a = units.to_angstrom(tox)
-        if not TOX_MIN_A - 1e-9 <= tox_a <= TOX_MAX_A + 1e-9:
+        if not self.tox_min_a - 1e-9 <= tox_a <= self.tox_max_a + 1e-9:
             raise TechnologyError(
-                f"Tox={tox_a:.2f} Å outside the paper's design range "
-                f"[{TOX_MIN_A}, {TOX_MAX_A}] Å"
+                f"Tox={tox_a:.2f} Å outside {self.name}'s design range "
+                f"[{self.tox_min_a:g}, {self.tox_max_a:g}] Å"
             )
         return tox
 

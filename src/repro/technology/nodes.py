@@ -1,0 +1,195 @@
+"""Node-parameterised technology family: BPTM 65 nm scaled to 8 nm.
+
+The paper's study is anchored at BPTM 65 nm (:func:`~repro.technology
+.bptm.bptm65`).  This module extends that single point into a family of
+seven nodes (65/45/32/22/16/11/8 nm) under two scaling styles, following
+the ITRS-vs-conservative table pattern of the lumos dark-silicon model
+(Esmaeilzadeh et al.; see ``hoangt/lumos``), re-anchored to 65 nm:
+
+``"itrs"``
+    Aggressive ITRS-projection scaling: supply and threshold keep
+    falling with the node, oxide thins steeply, nominal frequency climbs
+    fast.  Leakage (both subthreshold and gate) grows quickly.
+``"cons"``
+    Conservative scaling: supply nearly flattens below 22 nm, the oxide
+    thins slowly, frequency gains are modest.  This is the
+    post-Dennard reality track.
+
+What scales with the node
+-------------------------
+* ``vdd``, nominal ``vth_ref`` and ``tox_ref`` — per-style tables below.
+* Geometry: drawn gate length, minimum width and the 6T cell footprint
+  shrink linearly with the node (cell *area* shrinks quadratically).
+* Mobility: mildly degraded at small nodes (``(node/65)^0.25``),
+  reflecting higher vertical fields and channel doping.
+* Wire resistance per metre grows as ``65/node`` (thinner wires); wire
+  capacitance per metre is roughly constant across nodes and is held at
+  the 65 nm value.
+* Design-space bounds: each node carries its own ``(Vth, Tox)`` box.
+  The Tox box keeps the paper's +-2 Å-around-nominal *proportions*
+  (``tox_ref x 10/12`` to ``tox_ref x 14/12``); the Vth floor scales
+  with the nominal threshold (``0.2 V x vth_ref/0.22``) and the Vth
+  ceiling with the supply (``0.5 x vdd`` — the paper's "unlikely above
+  half the supply" rule).  At 65 nm these reduce exactly to the paper's
+  [0.2, 0.5] V x [10, 14] Å grid.
+
+What is held fixed
+------------------
+Subthreshold swing, DIBL, body effect, the alpha-power index, the gate
+tunnelling constants (the *exponential* Tox dependence already drives
+the per-area gate leakage up as the oxide thins), junction capacitance
+per width, and temperature.  These second-order parameters drift far
+less than the first-order knobs above, and holding them fixed keeps the
+65 nm node bit-identical to the seed ``bptm65()``.
+
+``node_technology(65, style)`` returns exactly ``bptm65()`` for both
+styles — same name, same fields — so every fingerprint, cached table
+and experiment result from the single-node era is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.errors import TechnologyError
+from repro.technology.bptm import Technology, bptm65
+
+__all__ = [
+    "NODES",
+    "SCALING_STYLES",
+    "NodeSpec",
+    "node_spec",
+    "node_technology",
+]
+
+#: Feature sizes (nm) of the family, largest first.
+NODES: Tuple[int, ...] = (65, 45, 32, 22, 16, 11, 8)
+
+#: Supported scaling styles.
+SCALING_STYLES: Tuple[str, ...] = ("itrs", "cons")
+
+# -- per-node scaling tables (65 nm == 1.0) --------------------------------
+#
+# Shapes follow the lumos 45 nm-anchored ITRS/conservative tables,
+# re-anchored to 65 nm and lightly adapted so that the family's headline
+# trends are strict: Vdd falls monotonically in both styles, and the
+# ITRS nominal frequency dominates the conservative one at every node.
+
+_VDD_SCALE: Dict[str, Dict[int, float]] = {
+    "itrs": {65: 1.00, 45: 0.93, 32: 0.86, 22: 0.78, 16: 0.70,
+             11: 0.63, 8: 0.58},
+    "cons": {65: 1.00, 45: 0.95, 32: 0.88, 22: 0.84, 16: 0.82,
+             11: 0.80, 8: 0.79},
+}
+
+#: Nominal-Vth scaling (shared by both styles, tracking ITRS HP logic).
+_VTH_SCALE: Dict[int, float] = {
+    65: 1.000, 45: 0.950, 32: 0.881, 22: 0.793, 16: 0.715,
+    11: 0.646, 8: 0.588,
+}
+
+#: Nominal oxide thickness (Å) per node and style.
+_TOX_REF_A: Dict[str, Dict[int, float]] = {
+    "itrs": {65: 12.0, 45: 11.0, 32: 10.0, 22: 9.0, 16: 8.5,
+             11: 8.0, 8: 7.5},
+    "cons": {65: 12.0, 45: 11.5, 32: 10.8, 22: 10.2, 16: 9.8,
+             11: 9.5, 8: 9.2},
+}
+
+#: Nominal core-frequency scaling vs 65 nm (NodeSpec metadata; the
+#: physical delay of a given cache comes from the device model, not
+#: from this table).
+_FREQ_SCALE: Dict[str, Dict[int, float]] = {
+    "itrs": {65: 1.00, 45: 1.35, 32: 1.50, 22: 2.80, 16: 3.90,
+             11: 5.00, 8: 5.20},
+    "cons": {65: 1.00, 45: 1.12, 32: 1.23, 22: 1.33, 16: 1.40,
+             11: 1.46, 8: 1.50},
+}
+
+# The 65 nm anchor values the bound formulas are expressed against.
+_ANCHOR = bptm65()
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One (node, scaling style) point of the family.
+
+    Carries the raw table entries plus metadata that does not belong on
+    the :class:`Technology` instance (nominal frequency scaling).
+    """
+
+    node: int
+    scaling_style: str
+    vdd_scale: float
+    vth_scale: float
+    tox_ref_a: float
+    freq_scale: float
+
+    def technology(self) -> Technology:
+        """Materialise this spec as a drop-in :class:`Technology`."""
+        return node_technology(self.node, self.scaling_style)
+
+
+def _check(node: int, scaling_style: str) -> None:
+    if scaling_style not in SCALING_STYLES:
+        raise TechnologyError(
+            f"unknown scaling style {scaling_style!r}; expected one of "
+            f"{', '.join(SCALING_STYLES)}"
+        )
+    if node not in NODES:
+        raise TechnologyError(
+            f"unknown technology node {node!r}; expected one of "
+            f"{', '.join(str(n) for n in NODES)} (nm)"
+        )
+
+
+def node_spec(node: int, scaling_style: str = "itrs") -> NodeSpec:
+    """The scaling-table entry for one node, or :class:`TechnologyError`."""
+    _check(node, scaling_style)
+    return NodeSpec(
+        node=node,
+        scaling_style=scaling_style,
+        vdd_scale=_VDD_SCALE[scaling_style][node],
+        vth_scale=_VTH_SCALE[node],
+        tox_ref_a=_TOX_REF_A[scaling_style][node],
+        freq_scale=_FREQ_SCALE[scaling_style][node],
+    )
+
+
+@lru_cache(maxsize=None)
+def node_technology(node: int, scaling_style: str = "itrs") -> Technology:
+    """A :class:`Technology` for ``node`` nm under ``scaling_style``.
+
+    The result drops into the device -> circuit -> cache evaluation
+    path unchanged.  ``node_technology(65, style)`` is bit-identical to
+    :func:`~repro.technology.bptm.bptm65` for both styles (the scale
+    factors are exactly 1.0 there), so 65 nm results never move.
+    """
+    spec = node_spec(node, scaling_style)
+    base = _ANCHOR
+    if node == 65:
+        return base
+    shrink = node / 65.0
+    vdd = base.vdd * spec.vdd_scale
+    vth_ref = base.vth_ref * spec.vth_scale
+    tox_ref_a = spec.tox_ref_a
+    return replace(
+        base,
+        name=f"bptm-{node}nm-{scaling_style}",
+        vdd=vdd,
+        lgate_drawn=base.lgate_drawn * shrink,
+        tox_ref=tox_ref_a * 1e-10,
+        vth_ref=vth_ref,
+        wmin=base.wmin * shrink,
+        mobility_n=base.mobility_n * shrink ** 0.25,
+        mobility_p=base.mobility_p * shrink ** 0.25,
+        wire_res_per_m=base.wire_res_per_m / shrink,
+        cell_height_ref=base.cell_height_ref * shrink,
+        cell_width_ref=base.cell_width_ref * shrink,
+        vth_min=base.vth_min * (vth_ref / base.vth_ref),
+        vth_max=base.vth_max * vdd / base.vdd,
+        tox_min_a=tox_ref_a * (base.tox_min_a / 12.0),
+        tox_max_a=tox_ref_a * (base.tox_max_a / 12.0),
+    )

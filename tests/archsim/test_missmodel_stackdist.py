@@ -1,21 +1,20 @@
 """The stack-distance calibration estimator and its quantified error.
 
 ``measure_miss_model(..., estimator="stackdist")`` replaces one
-simulation per (level, size) grid point with a single O(n log n)
-reuse-distance profile.  These tests pin, on one standard workload, how
-far that fully-associative demand-only approximation sits from the
+simulation per (level, size) grid point with reuse-distance profiling.
+These tests pin, on one standard workload, how far it sits from the
 set-associative simulation grid:
 
 * L1 curves agree to a few tenths of a percent absolute — L1 miss rates
-  are dominated by the reuse profile, which the estimator captures
-  exactly;
-* L2 *local* curves used to carry a ~0.1-0.3 positive bias because the
-  simulated L2 also serves L1 dirty write-backs, which inflate its
-  access count.  The estimator now scales its L2 access denominator by
-  the measured L1 write-back ratio (one cheap single-lane
-  `MultiConfigHierarchyEngine` run), which closes the gap to under a
-  percent; the small residual — write-back reuse distances differing
-  from demand reuse — stays positive and is bounded here.  The grid
+  are dominated by the reuse profile, which the fully-associative
+  O(n log n) pass captures exactly up to set-conflict effects;
+* L2 *local* curves are now derived from the reference L1's
+  reconstructed demand-miss + dirty-write-back event stream
+  (``reference_event_stream``), profiling the write-back stream's *own*
+  reuse distances per set instead of scaling the demand denominator by
+  a measured write-back ratio.  That closes the historical ~0.006
+  positive residual entirely: the L2 curve matches the simulation grid
+  bit-for-bit, and in particular never underestimates it.  The grid
   stays the calibration of record.
 """
 
@@ -54,16 +53,17 @@ class TestEstimatorAgainstGrid:
         assert max(errors) < 0.005
         assert sum(errors) / len(errors) < 0.003
 
-    def test_l2_bias_is_bounded_and_positive(self, curves):
+    def test_l2_curve_matches_grid_and_never_underestimates(self, curves):
         grid, stackdist = curves
         grid_l2 = dict(grid.l2_curve)
         gaps = [rate - grid_l2[size] for size, rate in stackdist.l2_curve]
-        # The residual filtering/reordering bias inflates every estimate...
-        assert all(gap > 0 for gap in gaps)
-        # ...but the write-back correction keeps it under a percent or
-        # two (measured ~0.006 at this trace length).
-        assert sum(abs(gap) for gap in gaps) / len(gaps) < 0.02
-        assert max(abs(gap) for gap in gaps) < 0.025
+        # The reconstructed write-back event stream is exact and its
+        # per-set profile answers the reference L2 shape exactly, so the
+        # historical ~0.006 residual is closed: the estimate never
+        # drops below the simulated rate...
+        assert all(gap >= 0 for gap in gaps)
+        # ...because it equals it bit-for-bit.
+        assert all(gap == 0 for gap in gaps)
 
     def test_estimated_curves_are_valid_miss_curves(self, curves):
         _, stackdist = curves

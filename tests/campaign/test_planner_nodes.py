@@ -1,0 +1,155 @@
+"""Planner node axis: expansion, fingerprints, per-node knob defaults.
+
+The collision regressions of the node-scaling bugfix sweep: two
+campaigns that differ only in technology node must never share a
+circuit-level unit fingerprint (a checkpoint hit across nodes would
+silently serve one node's physics for another), while the architectural
+units (profiles, matrix points) are node-free by design and *must*
+collapse across nodes.
+"""
+
+from __future__ import annotations
+
+from repro.archsim.workloads import STANDARD_WORKLOADS
+from repro.cache.config import l1_config
+from repro.campaign.planner import build_plan
+from repro.campaign.spec import (
+    AmatBlock,
+    CampaignCalibration,
+    CampaignSpec,
+    OptimizeBlock,
+    SweepBlock,
+)
+from repro.cache.assignment import knobs
+from repro.optimize.two_level import default_l1_knobs, default_l2_knobs
+from repro.technology.nodes import node_technology
+
+CALIBRATION = CampaignCalibration(n_accesses=5_000, seed=1)
+
+#: Axes inside both the 65 nm box and the 22 nm cons box.
+SHARED_VTHS = (0.25, 0.3)
+SHARED_TOXES = (10.5,)
+
+
+def spec(nodes=(65,), style="itrs", **blocks) -> CampaignSpec:
+    return CampaignSpec(
+        name="node-plan",
+        workloads=(STANDARD_WORKLOADS["spec2000"],),
+        policies=("lru",),
+        calibration=CALIBRATION,
+        nodes=tuple(nodes),
+        scaling_style=style,
+        **blocks,
+    )
+
+
+def sweep_block() -> SweepBlock:
+    return SweepBlock(
+        config=l1_config(16),
+        vths=SHARED_VTHS,
+        toxes_angstrom=SHARED_TOXES,
+        components=("array",),
+    )
+
+
+def amat_block(with_knobs=False) -> AmatBlock:
+    return AmatBlock(
+        l1_sizes_kb=(8,), l1_assocs=(2,),
+        l2_sizes_kb=(256,), l2_assocs=(8,),
+        l1_knobs=knobs(0.3, 12.0) if with_knobs else None,
+        l2_knobs=knobs(0.35, 13.0) if with_knobs else None,
+    )
+
+
+class TestFingerprints:
+    def test_same_block_two_nodes_two_fingerprints(self, tmp_path):
+        plan = build_plan(
+            spec(nodes=(65, 22), style="cons", sweeps=(sweep_block(),)),
+            cache_dir=str(tmp_path),
+        )
+        sweeps = [u for u in plan.units if u.kind == "sweep"]
+        assert len(sweeps) == 2
+        assert sweeps[0].fingerprint != sweeps[1].fingerprint
+        assert {u.payload["node"] for u in sweeps} == {65, 22}
+
+    def test_node_65_fingerprint_differs_from_node_22(self, tmp_path):
+        at_65 = build_plan(
+            spec(nodes=(65,), style="cons", sweeps=(sweep_block(),)),
+            cache_dir=str(tmp_path),
+        )
+        at_22 = build_plan(
+            spec(nodes=(22,), style="cons", sweeps=(sweep_block(),)),
+            cache_dir=str(tmp_path),
+        )
+        assert (
+            at_65.units[0].fingerprint != at_22.units[0].fingerprint
+        )
+
+    def test_styles_do_not_collide_off_anchor(self, tmp_path):
+        itrs = build_plan(
+            spec(nodes=(22,), style="itrs", sweeps=(sweep_block(),)),
+            cache_dir=str(tmp_path),
+        )
+        cons = build_plan(
+            spec(nodes=(22,), style="cons", sweeps=(sweep_block(),)),
+            cache_dir=str(tmp_path),
+        )
+        assert itrs.units[0].fingerprint != cons.units[0].fingerprint
+
+    def test_architectural_units_stay_node_free(self, tmp_path):
+        """Profiles depend on the trace, not the transistor."""
+        single = build_plan(
+            spec(nodes=(65,), amat=amat_block(True)),
+            cache_dir=str(tmp_path),
+        )
+        multi = build_plan(
+            spec(nodes=(65, 22), style="cons", amat=amat_block(True)),
+            cache_dir=str(tmp_path),
+        )
+        profile = lambda plan: [
+            u.fingerprint for u in plan.units if u.kind == "profile"
+        ]
+        assert profile(single) == profile(multi)
+        # ... while the amat pricing doubled, one per node.
+        assert len([u for u in multi.units if u.kind == "amat"]) == 2
+
+
+class TestExpansion:
+    def test_optimize_multiplies_per_node(self, tmp_path):
+        block = OptimizeBlock(
+            configs=(l1_config(16),),
+            schemes=("scheme-3",),
+            targets_ps=(900.0, 1200.0),
+            vths=SHARED_VTHS,
+            toxes_angstrom=SHARED_TOXES,
+        )
+        plan = build_plan(
+            spec(nodes=(65, 22), style="cons", optimize=block),
+            cache_dir=str(tmp_path),
+        )
+        optimizes = [u for u in plan.units if u.kind == "optimize"]
+        assert len(optimizes) == 4  # 2 targets x 2 nodes
+        assert {u.payload["node"] for u in optimizes} == {65, 22}
+
+    def test_default_amat_knobs_resolve_per_node(self, tmp_path):
+        plan = build_plan(
+            spec(nodes=(22,), style="cons", amat=amat_block(False)),
+            cache_dir=str(tmp_path),
+        )
+        unit = next(u for u in plan.units if u.kind == "amat")
+        technology = node_technology(22, "cons")
+        expected_l1 = default_l1_knobs(technology)
+        expected_l2 = default_l2_knobs(technology)
+        assert unit.payload["l1_knobs"]["vth"] == expected_l1.vth
+        assert unit.payload["l2_knobs"]["vth"] == expected_l2.vth
+        # Inside the 22 nm box, below the 65 nm defaults' 12 Å oxide.
+        assert unit.payload["l1_knobs"]["tox"] < 12.0
+
+    def test_explicit_amat_knobs_are_kept(self, tmp_path):
+        plan = build_plan(
+            spec(nodes=(65,), amat=amat_block(True)),
+            cache_dir=str(tmp_path),
+        )
+        unit = next(u for u in plan.units if u.kind == "amat")
+        assert unit.payload["l1_knobs"]["vth"] == 0.3
+        assert unit.payload["l1_knobs"]["tox"] == 12.0

@@ -118,7 +118,9 @@ class TestE7ModelFit:
 
 class TestRunner:
     def test_registry_covers_all_ids(self):
-        assert set(REGISTRY) == {"E1", "E2", "E3", "E4", "E5", "E6", "E7"}
+        assert set(REGISTRY) == {
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"
+        }
 
     def test_unknown_experiment(self):
         with pytest.raises(ReproError):
@@ -127,4 +129,4 @@ class TestRunner:
     def test_main_list(self, capsys):
         assert main(["--list"]) == 0
         output = capsys.readouterr().out
-        assert "E1" in output and "E7" in output
+        assert "E1" in output and "E7" in output and "E9" in output

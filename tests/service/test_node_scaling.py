@@ -1,0 +1,288 @@
+"""Node-parameterised endpoints: correctness, caching, structured 400s.
+
+Three families of guarantees:
+
+1. a request carrying ``node``/``scaling_style`` is served from that
+   node's technology — numbers equal direct library calls on
+   ``node_technology(node, style)``, and returned knobs live inside the
+   node's own design box, not the paper's 65 nm box;
+2. cache-key hygiene — the same cache geometry at two nodes is two
+   different circuits: the daemon's model memo and the evaluation-table
+   cache must never serve one node's tables for another (the latent
+   collision this PR's audit flushed out);
+3. unknown nodes and styles draw structured 400s naming the supported
+   family, on every endpoint including campaign specs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.cache.assignment import COMPONENT_NAMES
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import l1_config
+from repro.optimize.single_cache import component_tables
+from repro.optimize.space import DesignSpace
+from repro.service.client import ServiceError
+from repro.technology.bptm import TOX_MIN_A
+from repro.technology.nodes import NODES, node_technology
+
+#: Axes inside the 22 nm cons box (Tox nominal is 10.2 Å there).
+VTHS_22 = (0.2, 0.25)
+TOXES_22 = (9.5, 10.2, 10.9)
+
+
+def test_sweep_at_node_matches_direct(client):
+    response = client.request(
+        "POST",
+        "/v1/sweep",
+        {
+            "cache": {"size_kb": 16},
+            "vth": list(VTHS_22),
+            "tox": list(TOXES_22),
+            "node": 22,
+            "scaling_style": "cons",
+        },
+    )
+    assert response["node"] == 22
+    assert response["scaling_style"] == "cons"
+
+    technology = node_technology(22, "cons")
+    model = CacheModel(l1_config(16), technology=technology)
+    space = DesignSpace.for_technology(
+        technology, vth_values=VTHS_22, tox_values_angstrom=TOXES_22
+    )
+    tables = component_tables(model, space)
+    for name in COMPONENT_NAMES:
+        served = np.asarray(response["components"][name]["delay_ps"])
+        direct = units.to_ps(
+            np.asarray(tables[name].delays).reshape(
+                len(VTHS_22), len(TOXES_22)
+            )
+        )
+        np.testing.assert_allclose(served, direct, rtol=1e-12)
+
+
+def test_same_geometry_two_nodes_never_collide(client):
+    """The model memo and table cache key on technology identity."""
+    at_65 = client.request(
+        "POST",
+        "/v1/sweep",
+        {
+            "cache": {"size_kb": 16},
+            "vth": [0.3],
+            "tox": [11.0],
+            "components": ["array"],
+        },
+    )
+    # 11.0 Å is inside the 16 nm cons box [8.17, 11.43] too — same
+    # geometry, same requested point, different node.
+    at_16 = client.request(
+        "POST",
+        "/v1/sweep",
+        {
+            "cache": {"size_kb": 16},
+            "vth": [0.3],
+            "tox": [11.0],
+            "components": ["array"],
+            "node": 16,
+            "scaling_style": "cons",
+        },
+    )
+    delay_65 = at_65["components"]["array"]["delay_ps"][0][0]
+    delay_16 = at_16["components"]["array"]["delay_ps"][0][0]
+    assert delay_16 != delay_65
+    assert delay_16 < delay_65  # the scaled node is faster
+
+
+def test_repeat_sweep_at_node_is_a_cache_hit(client):
+    body = {
+        "cache": {"size_kb": 32},
+        "vth": list(VTHS_22),
+        "tox": list(TOXES_22),
+        "node": 22,
+        "scaling_style": "cons",
+    }
+    first = client.request("POST", "/v1/sweep", body)
+    evaluations = client.metrics()["counters"].get(
+        "sweep.engine_grid_evaluations", 0
+    )
+    second = client.request("POST", "/v1/sweep", body)
+    after = client.metrics()["counters"].get(
+        "sweep.engine_grid_evaluations", 0
+    )
+    assert second["components"] == first["components"]
+    assert after == evaluations  # served from the table cache
+
+
+def test_optimize_at_8nm_lands_in_its_own_box(client):
+    response = client.request(
+        "POST",
+        "/v1/optimize",
+        {
+            "cache": {"size_kb": 16},
+            "scheme": "2",
+            "target_ps": 200,
+            "node": 8,
+            "scaling_style": "itrs",
+        },
+    )
+    assert response["node"] == 8
+    technology = node_technology(8, "itrs")
+    for knobs in response["assignment"].values():
+        assert (
+            technology.vth_min - 1e-9
+            <= knobs["vth"]
+            <= technology.vth_max + 1e-9
+        )
+        assert (
+            technology.tox_min_a - 1e-9
+            <= knobs["tox_angstrom"]
+            <= technology.tox_max_a + 1e-9
+        )
+        # The whole 8 nm Tox box sits below the 65 nm floor: a 65 nm
+        # default space could never have produced this assignment.
+        assert knobs["tox_angstrom"] < TOX_MIN_A
+
+
+def test_amat_default_knobs_resolve_per_node(client):
+    # No knobs given: the 65 nm defaults (0.3 V, 12 Å) are far outside
+    # the 11 nm cons box, so a 200 here proves the defaults were
+    # resolved from the node's own technology.
+    response = client.amat(
+        workload="spec2000",
+        l1_size_kb=16,
+        l2_size_kb=256,
+        node=11,
+        scaling_style="cons",
+    )
+    assert response["node"] == 11
+    assert response["scaling_style"] == "cons"
+    assert response["amat_ps"] > 0
+    at_65 = client.amat(
+        workload="spec2000", l1_size_kb=16, l2_size_kb=256
+    )
+    assert response["l1"]["access_ps"] < at_65["l1"]["access_ps"]
+
+
+def test_amat_explicit_knobs_checked_against_the_node(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.amat(
+            workload="spec2000",
+            l1_size_kb=16,
+            l2_size_kb=256,
+            node=11,
+            scaling_style="cons",
+            l1_knobs={"vth": 0.3, "tox": 12.0},
+        )
+    assert excinfo.value.status == 400
+    # The bound named is the 11 nm cons ceiling, not the 65 nm 14 Å one.
+    assert "above the maximum 11" in excinfo.value.envelope["error"]["message"]
+
+
+@pytest.mark.parametrize(
+    "path,extra",
+    [
+        ("/v1/sweep", {"vth": [0.3], "tox": [12.0]}),
+        ("/v1/optimize", {"scheme": "3", "target_ps": 900}),
+        ("/v1/amat", {"workload": "spec2000", "l2_size_kb": 256}),
+    ],
+)
+def test_unknown_node_draws_structured_400(client, path, extra):
+    body = {"node": 14, **extra}
+    if path != "/v1/amat":
+        body["cache"] = {"size_kb": 16}
+    with pytest.raises(ServiceError) as excinfo:
+        client.request("POST", path, body)
+    assert excinfo.value.status == 400
+    message = excinfo.value.envelope["error"]["message"]
+    assert "14" in message
+    for node in NODES:
+        assert str(node) in message  # the 400 names the family
+
+
+def test_unknown_style_draws_structured_400(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.request(
+            "POST",
+            "/v1/sweep",
+            {
+                "cache": {"size_kb": 16},
+                "vth": [0.3],
+                "tox": [12.0],
+                "node": 22,
+                "scaling_style": "moore",
+            },
+        )
+    assert excinfo.value.status == 400
+    assert "moore" in excinfo.value.envelope["error"]["message"]
+
+
+def test_axes_outside_the_nodes_box_draw_400(client):
+    """The paper's 12 Å nominal is out of box at 8 nm itrs."""
+    with pytest.raises(ServiceError) as excinfo:
+        client.request(
+            "POST",
+            "/v1/sweep",
+            {
+                "cache": {"size_kb": 16},
+                "vth": [0.2],
+                "tox": [12.0],
+                "node": 8,
+            },
+        )
+    assert excinfo.value.status == 400
+    assert "design box" in excinfo.value.envelope["error"]["message"]
+
+
+class TestCampaignNodeAxis:
+    def _spec(self, **overrides) -> dict:
+        base = {
+            "name": "node-axis",
+            "workloads": ["spec2000"],
+            "policies": ["lru"],
+            "calibration": {"n_accesses": 5_000},
+            "sweeps": [
+                {
+                    "cache": {"size_kb": 16},
+                    "vth": [0.2],
+                    "tox": [9.8],
+                    "components": ["array"],
+                }
+            ],
+        }
+        base.update(overrides)
+        return base
+
+    def test_nodes_multiply_circuit_level_units(self, client):
+        body = self._spec(nodes=[22, 16], scaling_style="cons")
+        submitted = client.request("POST", "/v1/campaigns", body)
+        assert submitted["units"]["total"] == 2  # one sweep per node
+
+    def test_unknown_campaign_node_draws_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.request(
+                "POST", "/v1/campaigns", self._spec(nodes=[22, 14])
+            )
+        assert excinfo.value.status == 400
+
+    def test_per_block_node_key_rejected(self, client):
+        body = self._spec()
+        body["sweeps"][0]["node"] = 22
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("POST", "/v1/campaigns", body)
+        assert excinfo.value.status == 400
+        assert "campaign level" in excinfo.value.envelope["error"]["message"]
+
+    def test_axes_must_fit_every_listed_node(self, client):
+        # 9.8 Å fits the 22/16 nm cons boxes but not 8 nm itrs.
+        with pytest.raises(ServiceError) as excinfo:
+            client.request(
+                "POST",
+                "/v1/campaigns",
+                self._spec(nodes=[22, 8], scaling_style="itrs"),
+            )
+        assert excinfo.value.status == 400
+        assert "8" in excinfo.value.envelope["error"]["message"]

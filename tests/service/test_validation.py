@@ -78,8 +78,8 @@ class TestMalformedTransport:
 class TestSweepValidation:
     @pytest.mark.parametrize("mutation, expected_status, needle", [
         ({"vth": None}, 400, "vth"),                       # missing axis
-        ({"vth": [0.9, 0.3]}, 400, "range"),               # Vth out of range
-        ({"tox": [5.0]}, 400, "range"),                    # Tox out of range
+        ({"vth": [0.9, 0.3]}, 400, "design box"),          # Vth out of range
+        ({"tox": [5.0]}, 400, "design box"),               # Tox out of range
         ({"vth": [0.3, "x"]}, 400, "number"),              # wrong type
         ({"vth": []}, 400, "empty"),                       # empty axis
         ({"components": ["flux_capacitor"]}, 400, "component"),

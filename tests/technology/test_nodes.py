@@ -1,0 +1,247 @@
+"""Property suite for the scaled technology-node family.
+
+Four families of guarantees:
+
+1. the headline scaling trends are strict (Vdd falls, a fixed cache gets
+   faster, gate-leakage density climbs as the oxide thins);
+2. the two styles are ordered (ITRS is the aggressive track — its
+   nominal frequency dominates the conservative one at every node);
+3. every (node, style) round-trips through the full device -> circuit ->
+   cache grid evaluation with finite numbers over its *own* design box;
+4. the 65 nm member is bit-identical to the seed ``bptm65()``, so the
+   node family is a strict superset of the original study.
+
+Plus the node-correct-bounds regressions: a non-65 nm optimisation is
+clamped to *its* node's (Vth, Tox) box, not the paper's 65 nm box.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.cache.assignment import Knobs
+from repro.cache.cache_model import CacheModel
+from repro.cache.config import l1_config
+from repro.devices.gate_leakage import gate_current_density
+from repro.errors import ConfigurationError, TechnologyError
+from repro.optimize.single_cache import component_tables, minimize_leakage
+from repro.optimize.schemes import Scheme
+from repro.optimize.space import DesignSpace, default_space
+from repro.technology.bptm import (
+    TOX_MAX_A,
+    TOX_MIN_A,
+    VTH_MAX,
+    VTH_MIN,
+    bptm65,
+)
+from repro.technology.nodes import (
+    NODES,
+    SCALING_STYLES,
+    node_spec,
+    node_technology,
+)
+
+ALL_POINTS = [
+    (node, style) for style in SCALING_STYLES for node in NODES
+]
+
+
+def _nominal(technology) -> Knobs:
+    return Knobs(vth=technology.vth_ref, tox=technology.tox_ref)
+
+
+class TestFamilyShape:
+    def test_family_covers_seven_nodes(self):
+        assert len(NODES) == 7
+        assert NODES[0] == 65 and NODES[-1] == 8
+        assert list(NODES) == sorted(NODES, reverse=True)
+
+    @pytest.mark.parametrize("style", SCALING_STYLES)
+    def test_anchor_is_bit_identical_to_bptm65(self, style):
+        assert node_technology(65, style) == bptm65()
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(TechnologyError):
+            node_technology(14)
+        with pytest.raises(TechnologyError):
+            node_spec(90, "itrs")
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(TechnologyError):
+            node_technology(22, "moore")
+
+    @pytest.mark.parametrize("node,style", ALL_POINTS)
+    def test_box_is_well_formed(self, node, style):
+        technology = node_technology(node, style)
+        assert technology.vth_min < technology.vth_max
+        assert technology.tox_min_a < technology.tox_max_a
+        assert (
+            technology.vth_min <= technology.vth_ref <= technology.vth_max
+        )
+        tox_ref_a = units.to_angstrom(technology.tox_ref)
+        assert technology.tox_min_a <= tox_ref_a <= technology.tox_max_a
+
+
+class TestMonotoneTrends:
+    @pytest.mark.parametrize("style", SCALING_STYLES)
+    def test_vdd_strictly_falls(self, style):
+        vdds = [node_technology(n, style).vdd for n in NODES]
+        assert all(a > b for a, b in zip(vdds, vdds[1:]))
+
+    @pytest.mark.parametrize("style", SCALING_STYLES)
+    def test_fixed_cache_gets_faster(self, style):
+        delays = []
+        for node in NODES:
+            technology = node_technology(node, style)
+            model = CacheModel(l1_config(16), technology=technology)
+            delays.append(model.uniform(_nominal(technology)).access_time)
+        assert all(a > b for a, b in zip(delays, delays[1:]))
+
+    @pytest.mark.parametrize("style", SCALING_STYLES)
+    def test_gate_leakage_density_climbs(self, style):
+        densities = []
+        for node in NODES:
+            technology = node_technology(node, style)
+            densities.append(
+                gate_current_density(
+                    technology, technology.vdd, technology.tox_ref
+                )
+            )
+        assert all(a < b for a, b in zip(densities, densities[1:]))
+
+    def test_itrs_frequency_dominates_cons(self):
+        for node in NODES:
+            itrs = node_spec(node, "itrs").freq_scale
+            cons = node_spec(node, "cons").freq_scale
+            assert itrs >= cons
+
+    @pytest.mark.parametrize("style", SCALING_STYLES)
+    def test_frequency_scale_monotone(self, style):
+        scales = [node_spec(n, style).freq_scale for n in NODES]
+        assert all(a <= b for a, b in zip(scales, scales[1:]))
+
+
+class TestGridRoundTrips:
+    @pytest.mark.parametrize("node,style", ALL_POINTS)
+    def test_evaluate_grid_finite_over_own_box(self, node, style):
+        technology = node_technology(node, style)
+        model = CacheModel(l1_config(16), technology=technology)
+        space = DesignSpace.for_technology(
+            technology,
+            vth_values=tuple(
+                np.linspace(technology.vth_min, technology.vth_max, 3)
+            ),
+            tox_values_angstrom=tuple(
+                np.linspace(technology.tox_min_a, technology.tox_max_a, 3)
+            ),
+        )
+        tables = component_tables(model, space)
+        for table in tables.values():
+            assert np.isfinite(table.delays).all()
+            assert np.isfinite(table.leakages).all()
+            assert np.isfinite(table.energies).all()
+            assert (table.delays > 0).all()
+            assert (table.leakages > 0).all()
+
+
+class TestNodeCorrectBounds:
+    """Satellite regressions: bounds come from the instance, not 65 nm."""
+
+    def test_default_space_spans_the_nodes_own_box(self):
+        technology = node_technology(8, "itrs")
+        space = default_space(technology=technology)
+        assert space.vth_min == technology.vth_min
+        assert space.tox_max_a == technology.tox_max_a
+        # The 8 nm Tox box sits entirely below the 65 nm floor.
+        assert max(space.tox_values_angstrom) < TOX_MIN_A
+        assert min(space.vth_values) < VTH_MIN
+
+    def test_knobs_valid_at_65_rejected_at_8(self):
+        point = Knobs(vth=0.3, tox=units.angstrom(12.0))
+        point.validate()  # inside the paper's 65 nm box
+        with pytest.raises(ConfigurationError):
+            point.validate(technology=node_technology(8, "itrs"))
+
+    def test_knobs_valid_at_8_rejected_at_65(self):
+        technology = node_technology(8, "itrs")
+        point = Knobs(
+            vth=technology.vth_ref, tox=technology.tox_ref
+        )
+        point.validate(technology=technology)
+        with pytest.raises(ConfigurationError):
+            point.validate()
+
+    def test_optimizer_clamps_to_the_nodes_box(self):
+        """A non-65 nm optimisation lands inside *its* node's box."""
+        technology = node_technology(22, "cons")
+        model = CacheModel(l1_config(16), technology=technology)
+        fastest = model.uniform(
+            Knobs(
+                vth=technology.vth_min,
+                tox=units.angstrom(technology.tox_min_a),
+            )
+        ).access_time
+        result = minimize_leakage(
+            model, Scheme.UNIFORM, max_access_time=fastest * 1.5
+        )
+        for _, knobs in result.assignment.by_component:
+            assert (
+                technology.vth_min <= knobs.vth <= technology.vth_max
+            )
+            assert (
+                technology.tox_min_a - 1e-9
+                <= knobs.tox_angstrom
+                <= technology.tox_max_a + 1e-9
+            )
+            # ... and demonstrably NOT clamped to the 65 nm box: the
+            # 22 nm cons Tox ceiling is below the paper's 12 Å nominal.
+            assert knobs.tox_angstrom < TOX_MIN_A + 2.0
+
+    def test_space_validation_uses_instance_bounds(self):
+        technology = node_technology(16, "cons")
+        axes = dict(
+            vth_values=(technology.vth_min, technology.vth_max),
+            tox_values_angstrom=(
+                technology.tox_min_a,
+                technology.tox_max_a,
+            ),
+        )
+        DesignSpace.for_technology(technology, **axes)  # fits its box
+        with pytest.raises(Exception):
+            DesignSpace(**axes)  # same axes fail the 65 nm default box
+
+    def test_module_constants_remain_the_65nm_box(self):
+        anchor = bptm65()
+        assert (VTH_MIN, VTH_MAX) == (anchor.vth_min, anchor.vth_max)
+        assert (TOX_MIN_A, TOX_MAX_A) == (
+            anchor.tox_min_a,
+            anchor.tox_max_a,
+        )
+
+
+class TestIdentityHygiene:
+    @pytest.mark.parametrize("node,style", ALL_POINTS)
+    def test_name_identifies_the_member(self, node, style):
+        technology = node_technology(node, style)
+        if node == 65:
+            assert technology.name == bptm65().name
+        else:
+            assert str(node) in technology.name
+            assert style in technology.name
+
+    def test_members_are_distinct(self):
+        names = {
+            repr(node_technology(node, style))
+            for node, style in ALL_POINTS
+        }
+        # 65 nm is shared between the styles; everything else distinct.
+        assert len(names) == len(ALL_POINTS) - 1
+
+    @pytest.mark.parametrize("node,style", ALL_POINTS)
+    def test_instances_are_frozen_and_cached(self, node, style):
+        technology = node_technology(node, style)
+        assert technology is node_technology(node, style)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            technology.vdd = 1.0

@@ -124,8 +124,9 @@ def bench_experiments() -> dict:
         clear_cache()
         seconds, _ = _timed(lambda eid=experiment_id: run_experiment(eid))
         times[experiment_id] = seconds
-        print(f"  {experiment_id}: {seconds:.2f} s (baseline "
-              f"{SWEEP_BASELINE['experiments'][experiment_id]:.2f} s)")
+        baseline = SWEEP_BASELINE["experiments"].get(experiment_id)
+        against = f" (baseline {baseline:.2f} s)" if baseline else ""
+        print(f"  {experiment_id}: {seconds:.2f} s{against}")
     return times
 
 
@@ -1035,6 +1036,94 @@ def run_campaign_suite(output: str) -> int:
 
 
 # --------------------------------------------------------------------------
+# nodes suite (PR 10)
+# --------------------------------------------------------------------------
+
+#: Acceptance floor (PR 10): a node-sweep campaign served by the
+#: evaluation-table cache must beat naive per-node recompute by >= 2x.
+NODES_MIN_SPEEDUP = 2.0
+
+
+def run_nodes_suite(output: str, smoke: bool = False) -> int:
+    """Technology-node sweep: table-cache amortisation across the family.
+
+    A node campaign prices every (node, style) grid several times — the
+    scheme optimisers, the sweep endpoint, and the figure experiments
+    all consume the same component tables.  The suite times two full
+    passes over the family, once with the evaluation-table cache
+    disabled (naive per-node recompute) and once enabled, and checks the
+    amortised run wins by >= 2x.  It also asserts cache-key hygiene: one
+    real engine evaluation per (node, style) member — never fewer, which
+    would mean two nodes collided on one cache entry.
+    """
+    from repro.cache.cache_model import CacheModel
+    from repro.cache.config import l1_config
+    from repro.optimize.single_cache import component_tables
+    from repro.optimize.space import default_space
+    from repro.perf import cache_info, clear_cache
+    from repro.technology.nodes import NODES, SCALING_STYLES, node_technology
+
+    nodes = (65, 22, 8) if smoke else NODES
+    styles = ("itrs",) if smoke else SCALING_STYLES
+    # 65 nm is the shared anchor: both styles yield the same Technology
+    # there, so the distinct-member count collapses the duplicate.
+    members = []
+    for style in styles:
+        for node in nodes:
+            technology = node_technology(node, style)
+            if all(technology is not existing for _, _, existing in members):
+                members.append((node, style, technology))
+    # A campaign prices each grid at least thrice: the three scheme
+    # optimisations alone share one table set, before sweeps/figures.
+    passes = 3
+
+    def one_pass(use_cache: bool) -> None:
+        for node, style, technology in members:
+            model = CacheModel(l1_config(16), technology=technology)
+            space = default_space(technology=technology)
+            component_tables(model, space, use_cache=use_cache)
+
+    label = "nodes smoke" if smoke else "nodes suite"
+    print(f"{label}: {len(members)} distinct (node, style) members, "
+          f"{passes} passes")
+    clear_cache()
+    naive, _ = _timed(lambda: [one_pass(False) for _ in range(passes)])
+    print(f"  naive per-node recompute: {naive:.2f} s")
+    clear_cache()
+    cached, _ = _timed(lambda: [one_pass(True) for _ in range(passes)])
+    info = cache_info()
+    print(f"  table-cache amortised:    {cached:.2f} s "
+          f"({info.misses} misses, {info.hits} hits)")
+
+    speedup = naive / cached
+    distinct_ok = info.misses == len(members)
+    passed = speedup >= NODES_MIN_SPEEDUP and distinct_ok
+    report = {
+        "members": [
+            {"node": node, "style": style} for node, style, _ in members
+        ],
+        "passes": passes,
+        "measured": {
+            "naive_per_node_recompute_s": naive,
+            "table_cache_amortised_s": cached,
+        },
+        "table_cache": {"hits": info.hits, "misses": info.misses},
+        "speedup": speedup,
+        "min_speedup": NODES_MIN_SPEEDUP,
+        "distinct_entries_per_member": distinct_ok,
+        "passed": passed,
+    }
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\n{label}: {'PASS' if passed else 'FAIL'} "
+          f"({speedup:.1f}x vs naive, floor {NODES_MIN_SPEEDUP:.0f}x; "
+          f"one cache entry per member: {distinct_ok})")
+    print(f"report written to {output}")
+    return 0 if passed else 1
+
+
+# --------------------------------------------------------------------------
 # scale suite (PR 9)
 # --------------------------------------------------------------------------
 
@@ -1242,7 +1331,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite", default="archsim",
                         choices=("archsim", "sweep", "service", "calib",
-                                 "campaign", "scale"),
+                                 "campaign", "scale", "nodes"),
                         help="which benchmark suite to run")
     parser.add_argument("--output", default=None,
                         help="JSON report path (default BENCH_2.json for "
@@ -1262,9 +1351,14 @@ def main(argv=None) -> int:
         if arguments.suite == "scale":
             return run_scale_suite(arguments.output or "BENCH_9.json",
                                    smoke=True)
+        if arguments.suite == "nodes":
+            return run_nodes_suite(arguments.output or "BENCH_10.json",
+                                   smoke=True)
         return run_smoke()
     if arguments.suite == "scale":
         return run_scale_suite(arguments.output or "BENCH_9.json")
+    if arguments.suite == "nodes":
+        return run_nodes_suite(arguments.output or "BENCH_10.json")
     if arguments.suite == "sweep":
         return run_sweep_suite(arguments.output or "BENCH_1.json",
                                arguments.jobs)

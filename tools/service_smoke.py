@@ -257,8 +257,59 @@ def check_service(host: str, port: int, workers: int = 1) -> None:
     print("  profile store: assoc calibrate ran the engine once; repeat "
           "sub-grid served synchronously, rates identical")
 
+    check_node_round_trip(client)
     check_campaigns(client, cluster=cluster)
     client.close()
+
+
+def check_node_round_trip(client: ServiceClient) -> None:
+    """Non-default technology node: sweep + optimize round trip.
+
+    The same cache geometry at 22 nm must be served from the scaled
+    node's technology (faster than 65 nm, never from a 65 nm cache
+    entry), the optimum must land inside the 22 nm design box, and an
+    unknown node must draw a structured 400 naming the family.
+    """
+    at_65 = client.request("POST", "/v1/sweep", {
+        "cache": {"size_kb": 16}, "vth": [0.25], "tox": [10.5],
+        "components": ["array"],
+    })
+    at_22 = client.request("POST", "/v1/sweep", {
+        "cache": {"size_kb": 16}, "vth": [0.25], "tox": [10.5],
+        "components": ["array"], "node": 22, "scaling_style": "cons",
+    })
+    if at_22.get("node") != 22 or at_22.get("scaling_style") != "cons":
+        _fail(f"sweep response lost its node labels: {at_22}")
+    delay_65 = at_65["components"]["array"]["delay_ps"][0][0]
+    delay_22 = at_22["components"]["array"]["delay_ps"][0][0]
+    if not delay_22 < delay_65:
+        _fail(f"22 nm sweep not faster than 65 nm: "
+              f"{delay_22} ps vs {delay_65} ps")
+
+    optimum = client.request("POST", "/v1/optimize", {
+        "cache": {"size_kb": 16}, "scheme": "2", "target_ps": 250,
+        "node": 22, "scaling_style": "cons",
+    })
+    if optimum.get("node") != 22:
+        _fail(f"optimize response lost its node label: {optimum}")
+    for component, knob in optimum["assignment"].items():
+        if not 8.5 - 1e-9 <= knob["tox_angstrom"] <= 11.9 + 1e-9:
+            _fail(f"optimize {component} Tox {knob['tox_angstrom']} Å "
+                  "outside the 22 nm cons box [8.5, 11.9]")
+
+    try:
+        client.request("POST", "/v1/sweep", {
+            "cache": {"size_kb": 16}, "vth": [0.25], "tox": [10.5],
+            "node": 14,
+        })
+        _fail("unknown node 14 was accepted")
+    except ServiceError as error:
+        if error.status != 400 or "65" not in str(error):
+            _fail(f"unknown node: expected a 400 naming the family, "
+                  f"got {error.status}: {error}")
+    print(f"  nodes: 22 nm sweep {delay_22:.1f} ps < 65 nm "
+          f"{delay_65:.1f} ps, optimum inside the 22 nm box, "
+          "unknown node -> structured 400")
 
 
 def check_campaigns(client: ServiceClient, cluster: bool = False) -> None:
